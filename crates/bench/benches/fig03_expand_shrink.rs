@@ -1,0 +1,31 @@
+//! Fig. 3 bench: orthogonal (exact Boolean) vs Euclidean (raster distance
+//! transform) sizing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diic_geom::size::{expand, shrink};
+use diic_geom::{Raster, Rect, Region};
+
+fn workload() -> Region {
+    Region::from_rects((0..12).flat_map(|i| {
+        (0..12).map(move |j| Rect::new(i * 800, j * 800, i * 800 + 500, j * 800 + 500))
+    }))
+}
+
+fn bench(c: &mut Criterion) {
+    let region = workload();
+    let bounds = region.bbox().unwrap().inflate(600).unwrap();
+    let mut g = c.benchmark_group("fig03");
+    g.bench_function("orthogonal_expand", |b| b.iter(|| expand(&region, 250).unwrap()));
+    g.bench_function("orthogonal_shrink", |b| b.iter(|| shrink(&region, 100).unwrap()));
+    g.sample_size(20);
+    g.bench_function("euclidean_expand_raster", |b| {
+        b.iter(|| {
+            let raster = Raster::from_region(&region, bounds, 10);
+            raster.euclidean_expand(250)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 9/10 bench: hierarchical interaction search (with candidate cache)
+//! vs flat search, as the array grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diic_core::{check, CheckOptions};
+use diic_gen::{generate, ChipSpec};
+use diic_tech::nmos::nmos_technology;
+
+fn bench(c: &mut Criterion) {
+    let tech = nmos_technology();
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    for (nx, ny) in [(4, 2), (8, 4), (12, 6)] {
+        let chip = generate(&ChipSpec {
+            demo_cells: false,
+            ..ChipSpec::clean(nx, ny)
+        });
+        let layout = diic_cif::parse(&chip.cif).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("hierarchical", nx * ny),
+            &layout,
+            |b, l| b.iter(|| check(l, &tech, &CheckOptions::default())),
+        );
+        g.bench_with_input(BenchmarkId::new("flat_search", nx * ny), &layout, |b, l| {
+            b.iter(|| {
+                check(
+                    l,
+                    &tech,
+                    &CheckOptions {
+                        hierarchical: false,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

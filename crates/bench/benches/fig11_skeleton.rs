@@ -1,0 +1,41 @@
+//! Fig. 11 bench: skeletal connectivity vs Boolean-union width checking
+//! for validating a connection ("this eliminates using complicated polygon
+//! routines to check simple connected elements").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diic_geom::skeleton::Skeleton;
+use diic_geom::width::shrink_expand_compare;
+use diic_geom::{Rect, Region};
+
+fn bench(c: &mut Criterion) {
+    // A chain of overlapping wires.
+    let rects: Vec<Rect> = (0..64)
+        .map(|i| Rect::new(i * 1500, 0, i * 1500 + 2000, 500))
+        .collect();
+    let mut g = c.benchmark_group("fig11");
+    g.bench_function("skeletal_connectivity_chain", |b| {
+        b.iter(|| {
+            let sk: Vec<Skeleton> = rects
+                .iter()
+                .map(|r| Skeleton::of_rect(r, 250).unwrap())
+                .collect();
+            let mut connected = 0;
+            for w in sk.windows(2) {
+                if w[0].connected_to(&w[1]) {
+                    connected += 1;
+                }
+            }
+            connected
+        })
+    });
+    g.bench_function("union_width_check_chain", |b| {
+        b.iter(|| {
+            let union = Region::from_rects(rects.iter().copied());
+            shrink_expand_compare(&union, 500).len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig. 13 bench: the exposure-model spacing predicate vs the plain
+//! geometric distance predicate ("although still slower than the
+//! expand-check-overlap technique, is more correct").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diic_geom::spacing::check_rect_spacing;
+use diic_geom::{Rect, SizingMode};
+use diic_process::{exposure_spacing_check, ExposureModel};
+
+fn bench(c: &mut Criterion) {
+    let a = [Rect::new(0, 0, 2000, 2000)];
+    let b = [Rect::new(2400, 0, 4400, 2000)];
+    let model = ExposureModel::new(125.0, 0.5);
+    let mut g = c.benchmark_group("fig13");
+    g.bench_function("exposure_spacing_check", |bch| {
+        bch.iter(|| exposure_spacing_check(&a, &b, &model, 250))
+    });
+    g.bench_function("geometric_distance_check", |bch| {
+        bch.iter(|| check_rect_spacing(&a[0], &b[0], 750, SizingMode::Euclidean))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

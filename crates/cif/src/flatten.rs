@@ -1,0 +1,169 @@
+//! Full instantiation (flattening) of a hierarchical layout.
+//!
+//! The DIIC pipeline **never** does this — "the chip is never fully
+//! instantiated" — but the traditional mask-level checkers the paper
+//! critiques do, and our baseline flat checker needs the same input. The
+//! flattener also drives differential tests: hierarchical results must
+//! agree with flat results on designs without hierarchy-specific waivers.
+
+use crate::layout::{Item, Layout, LayerRef, Shape, SymbolId};
+use diic_geom::Transform;
+
+/// One fully-instantiated element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatElement {
+    /// The mask layer.
+    pub layer: LayerRef,
+    /// Geometry in chip coordinates.
+    pub shape: Shape,
+    /// Fully-qualified net identifier (`a.b.net` dot notation), if the
+    /// element carried one.
+    pub net: Option<String>,
+    /// Instance path (`a.b`), empty for top-level elements.
+    pub path: String,
+    /// The symbol the element came from (None for top-level elements) —
+    /// the information a flat checker throws away.
+    pub source: Option<SymbolId>,
+    /// True if the element lives inside a declared device symbol.
+    pub in_device: bool,
+}
+
+/// Fully instantiates the layout.
+///
+/// Net identifiers are qualified with the instance path using the paper's
+/// dot notation: element net `n` inside instance `a` of instance `b` becomes
+/// `b.a.n`. Elements without nets get `None`.
+pub fn flatten(layout: &Layout) -> Vec<FlatElement> {
+    let mut out = Vec::new();
+    for item in layout.top_items() {
+        flatten_item(layout, item, &Transform::IDENTITY, "", None, false, &mut out);
+    }
+    out
+}
+
+fn flatten_item(
+    layout: &Layout,
+    item: &Item,
+    t: &Transform,
+    path: &str,
+    source: Option<SymbolId>,
+    in_device: bool,
+    out: &mut Vec<FlatElement>,
+) {
+    match item {
+        Item::Element(e) => {
+            let net = e.net.as_ref().map(|n| {
+                if path.is_empty() {
+                    n.clone()
+                } else {
+                    format!("{path}.{n}")
+                }
+            });
+            out.push(FlatElement {
+                layer: e.layer,
+                shape: e.shape.transformed(t),
+                net,
+                path: path.to_string(),
+                source,
+                in_device,
+            });
+        }
+        Item::Call(c) => {
+            let sym = layout.symbol(c.target);
+            let child_path = if path.is_empty() {
+                c.name.clone()
+            } else {
+                format!("{path}.{}", c.name)
+            };
+            let child_t = t.after(&c.transform);
+            let child_in_device = in_device || sym.is_device();
+            for child in &sym.items {
+                flatten_item(
+                    layout,
+                    child,
+                    &child_t,
+                    &child_path,
+                    Some(c.target),
+                    child_in_device,
+                    out,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use diic_geom::Rect;
+
+    #[test]
+    fn flatten_two_instances() {
+        let l = parse("DS 1; L ND; B 10 10 5 5; DF; C 1 T 0 0; C 1 T 100 0; E").unwrap();
+        let flat = flatten(&l);
+        assert_eq!(flat.len(), 2);
+        assert_eq!(flat[0].shape.bbox(), Rect::new(0, 0, 10, 10));
+        assert_eq!(flat[1].shape.bbox(), Rect::new(100, 0, 110, 10));
+        assert_eq!(flat[0].path, "i0");
+        assert_eq!(flat[1].path, "i1");
+    }
+
+    #[test]
+    fn nested_paths_use_dot_notation() {
+        let l = parse(
+            "DS 1; L ND; 9N out; B 10 10 5 5; DF;
+             DS 2; C 1 T 0 0; DF;
+             C 2 T 0 0; E",
+        )
+        .unwrap();
+        let flat = flatten(&l);
+        assert_eq!(flat.len(), 1);
+        assert_eq!(flat[0].path, "i0.i0");
+        assert_eq!(flat[0].net.as_deref(), Some("i0.i0.out"));
+    }
+
+    #[test]
+    fn transforms_compose_through_hierarchy() {
+        let l = parse(
+            "DS 1; L ND; B 10 10 5 5; DF;
+             DS 2; C 1 T 20 0; DF;
+             C 2 T 0 100; E",
+        )
+        .unwrap();
+        let flat = flatten(&l);
+        assert_eq!(flat[0].shape.bbox(), Rect::new(20, 100, 30, 110));
+    }
+
+    #[test]
+    fn mirror_transform_flattened() {
+        let l = parse("DS 1; L ND; B 10 10 15 5; DF; C 1 MX; E").unwrap();
+        let flat = flatten(&l);
+        // Box at [10,20]x[0,10] mirrored in x -> [-20,-10]x[0,10].
+        assert_eq!(flat[0].shape.bbox(), Rect::new(-20, 0, -10, 10));
+    }
+
+    #[test]
+    fn device_membership_propagates() {
+        let l = parse(
+            "DS 1; 9D CONTACT; L NC; B 4 4 0 0; DF;
+             DS 2; C 1; L NM; B 20 4 0 0; DF;
+             C 2; E",
+        )
+        .unwrap();
+        let flat = flatten(&l);
+        let contact = flat.iter().find(|e| matches!(e.shape, Shape::Box(r) if r.width() == 4 && r.height() == 4)).unwrap();
+        assert!(contact.in_device);
+        let metal = flat.iter().find(|e| matches!(e.shape, Shape::Box(r) if r.width() == 20)).unwrap();
+        assert!(!metal.in_device);
+    }
+
+    #[test]
+    fn top_level_elements_have_empty_path() {
+        let l = parse("L NM; 9N VDD; B 10 10 0 0; E").unwrap();
+        let flat = flatten(&l);
+        assert_eq!(flat[0].path, "");
+        assert_eq!(flat[0].net.as_deref(), Some("VDD"));
+        assert_eq!(flat[0].source, None);
+    }
+}

@@ -1,0 +1,243 @@
+//! Hierarchy validation and statistics.
+//!
+//! The paper exploits design hierarchy to avoid redundant checks; this
+//! module provides the structural groundwork: cycle detection, topological
+//! order (children before parents), per-symbol bounding boxes, and instance
+//! counts (how many times each symbol is ultimately instantiated on the
+//! chip — the flat-equivalent size).
+
+use crate::error::{CifError, CifErrorKind};
+use crate::layout::{Item, Layout, SymbolId};
+use diic_geom::Rect;
+use std::collections::HashMap;
+
+/// Verifies that symbol calls form a DAG.
+///
+/// # Errors
+///
+/// [`CifErrorKind::RecursiveSymbol`] naming a symbol on a call cycle.
+pub fn check_acyclic(layout: &Layout) -> Result<(), CifError> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let n = layout.symbols().len();
+    let mut marks = vec![Mark::White; n];
+
+    fn visit(
+        layout: &Layout,
+        id: SymbolId,
+        marks: &mut [Mark],
+    ) -> Result<(), CifError> {
+        match marks[id.0 as usize] {
+            Mark::Black => return Ok(()),
+            Mark::Grey => {
+                return Err(CifError::new(
+                    0,
+                    CifErrorKind::RecursiveSymbol(layout.symbol(id).cif_id),
+                ))
+            }
+            Mark::White => {}
+        }
+        marks[id.0 as usize] = Mark::Grey;
+        for call in layout.symbol(id).calls() {
+            visit(layout, call.target, marks)?;
+        }
+        marks[id.0 as usize] = Mark::Black;
+        Ok(())
+    }
+
+    for i in 0..n {
+        visit(layout, SymbolId(i as u32), &mut marks)?;
+    }
+    Ok(())
+}
+
+/// Returns the symbols in topological order: every symbol appears after all
+/// symbols it calls (children first). Assumes an acyclic layout.
+pub fn topological_order(layout: &Layout) -> Vec<SymbolId> {
+    let n = layout.symbols().len();
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+
+    fn visit(layout: &Layout, id: SymbolId, visited: &mut [bool], order: &mut Vec<SymbolId>) {
+        if visited[id.0 as usize] {
+            return;
+        }
+        visited[id.0 as usize] = true;
+        for call in layout.symbol(id).calls() {
+            visit(layout, call.target, visited, order);
+        }
+        order.push(id);
+    }
+
+    for i in 0..n {
+        visit(layout, SymbolId(i as u32), &mut visited, &mut order);
+    }
+    order
+}
+
+/// Per-symbol and chip statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// Bounding box of each symbol's own + called geometry (None if empty).
+    pub symbol_bbox: HashMap<SymbolId, Option<Rect>>,
+    /// How many times each symbol is instantiated on the chip in total
+    /// (through all hierarchy paths).
+    pub instance_counts: HashMap<SymbolId, u64>,
+    /// Chip bounding box.
+    pub chip_bbox: Option<Rect>,
+    /// Flat-equivalent element count (elements × instantiations).
+    pub flat_element_count: u64,
+    /// Hierarchical (as-stored) element count.
+    pub stored_element_count: u64,
+}
+
+/// Computes hierarchy statistics bottom-up without flattening.
+pub fn stats(layout: &Layout) -> HierarchyStats {
+    let order = topological_order(layout);
+    let mut symbol_bbox: HashMap<SymbolId, Option<Rect>> = HashMap::new();
+    let mut flat_elems: HashMap<SymbolId, u64> = HashMap::new();
+
+    for id in &order {
+        let sym = layout.symbol(*id);
+        let mut bbox: Option<Rect> = None;
+        let mut elems: u64 = 0;
+        for item in &sym.items {
+            match item {
+                Item::Element(e) => {
+                    let b = e.shape.bbox();
+                    bbox = Some(bbox.map_or(b, |acc| acc.bounding_union(&b)));
+                    elems += 1;
+                }
+                Item::Call(c) => {
+                    if let Some(child) = symbol_bbox.get(&c.target).copied().flatten() {
+                        let tb = c.transform.apply_rect(&child);
+                        bbox = Some(bbox.map_or(tb, |acc| acc.bounding_union(&tb)));
+                    }
+                    elems += flat_elems.get(&c.target).copied().unwrap_or(0);
+                }
+            }
+        }
+        symbol_bbox.insert(*id, bbox);
+        flat_elems.insert(*id, elems);
+    }
+
+    // Instance counts: push multiplicities down the DAG, parents before
+    // children (reverse topological order), starting from the top level.
+    let mut mult: HashMap<SymbolId, u64> = HashMap::new();
+    for item in layout.top_items() {
+        if let Item::Call(c) = item {
+            *mult.entry(c.target).or_insert(0) += 1;
+        }
+    }
+    for id in order.iter().rev() {
+        let m = mult.get(id).copied().unwrap_or(0);
+        if m == 0 {
+            continue;
+        }
+        for call in layout.symbol(*id).calls() {
+            *mult.entry(call.target).or_insert(0) += m;
+        }
+    }
+    let instance_counts: HashMap<SymbolId, u64> =
+        mult.into_iter().filter(|&(_, m)| m > 0).collect();
+
+    let mut chip_bbox: Option<Rect> = None;
+    let mut flat_element_count: u64 = 0;
+    let mut stored_element_count: u64 = layout
+        .symbols()
+        .iter()
+        .map(|s| s.elements().count() as u64)
+        .sum();
+    for item in layout.top_items() {
+        match item {
+            Item::Element(e) => {
+                let b = e.shape.bbox();
+                chip_bbox = Some(chip_bbox.map_or(b, |acc| acc.bounding_union(&b)));
+                flat_element_count += 1;
+                stored_element_count += 1;
+            }
+            Item::Call(c) => {
+                if let Some(child) = symbol_bbox.get(&c.target).copied().flatten() {
+                    let tb = c.transform.apply_rect(&child);
+                    chip_bbox = Some(chip_bbox.map_or(tb, |acc| acc.bounding_union(&tb)));
+                }
+                flat_element_count += flat_elems.get(&c.target).copied().unwrap_or(0);
+            }
+        }
+    }
+
+    HierarchyStats {
+        symbol_bbox,
+        instance_counts,
+        chip_bbox,
+        flat_element_count,
+        stored_element_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn topological_children_first() {
+        let l = parse("DS 1; DF; DS 2; C 1; DF; DS 3; C 2; C 1; DF; C 3; E").unwrap();
+        let order = topological_order(&l);
+        let pos = |cif: u32| {
+            order
+                .iter()
+                .position(|id| l.symbol(*id).cif_id == cif)
+                .unwrap()
+        };
+        assert!(pos(1) < pos(2));
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn stats_instance_counts_multiply() {
+        // leaf called 2x by mid; mid called 3x at top => leaf 6, mid 3.
+        let l = parse(
+            "DS 1; L ND; B 2 2 0 0; DF;
+             DS 2; C 1 T 0 0; C 1 T 10 0; DF;
+             C 2; C 2 T 100 0; C 2 T 200 0; E",
+        )
+        .unwrap();
+        let s = stats(&l);
+        let leaf = l.symbol_by_cif_id(1).unwrap();
+        let mid = l.symbol_by_cif_id(2).unwrap();
+        assert_eq!(s.instance_counts.get(&leaf), Some(&6));
+        assert_eq!(s.instance_counts.get(&mid), Some(&3));
+        assert_eq!(s.flat_element_count, 6);
+        assert_eq!(s.stored_element_count, 1);
+    }
+
+    #[test]
+    fn stats_bbox_through_transforms() {
+        let l = parse("DS 1; L ND; B 10 10 5 5; DF; C 1 T 100 100; E").unwrap();
+        let s = stats(&l);
+        assert_eq!(s.chip_bbox, Some(Rect::new(100, 100, 110, 110)));
+    }
+
+    #[test]
+    fn empty_layout_stats() {
+        let l = parse("E").unwrap();
+        let s = stats(&l);
+        assert_eq!(s.chip_bbox, None);
+        assert_eq!(s.flat_element_count, 0);
+    }
+
+    #[test]
+    fn uninstantiated_symbol_counts_zero() {
+        let l = parse("DS 1; L ND; B 2 2 0 0; DF; E").unwrap();
+        let s = stats(&l);
+        let id = l.symbol_by_cif_id(1).unwrap();
+        assert_eq!(s.instance_counts.get(&id), None);
+        assert_eq!(s.flat_element_count, 0);
+        assert_eq!(s.stored_element_count, 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! CIF lexer.
+//!
+//! CIF is deliberately loose at the character level: commands are single
+//! upper-case letters (plus the digit-prefixed user extensions), integers
+//! may be separated by any "junk", comments are parenthesised (and nest),
+//! and every command ends with a semicolon. The lexer normalises all of
+//! this into a small token stream with line tracking.
+
+use crate::error::{CifError, CifErrorKind};
+
+/// One lexical token of a CIF file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An upper-case command letter (`D`, `S`, `F`, `C`, `T`, `M`, `R`,
+    /// `L`, `B`, `W`, `P`, `X`, `Y`, `E` …).
+    Letter(char),
+    /// A (signed) integer.
+    Number(i64),
+    /// A user-extension command: the digit and its raw body (up to the
+    /// terminating semicolon, trimmed).
+    Extension(char, String),
+    /// Command terminator.
+    Semi,
+}
+
+/// A token plus the 1-based line it started on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Lexes CIF text into tokens.
+///
+/// # Errors
+///
+/// Returns [`CifError`] on unclosed comments or stray characters that are
+/// not valid between commands (CIF tolerates most junk *between numbers*,
+/// but we are stricter to catch real typos).
+pub fn lex(input: &str) -> Result<Vec<Spanned>, CifError> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() || c == ',' => {
+                chars.next();
+            }
+            '(' => {
+                // Nested comments.
+                let mut depth = 0usize;
+                for c in chars.by_ref() {
+                    match c {
+                        '(' => depth += 1,
+                        ')' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        '\n' => line += 1,
+                        _ => {}
+                    }
+                }
+                if depth != 0 {
+                    return Err(CifError::new(line, CifErrorKind::UnclosedComment));
+                }
+            }
+            ';' => {
+                out.push(Spanned { token: Token::Semi, line });
+                chars.next();
+            }
+            '-' => {
+                chars.next();
+                let n = lex_number(&mut chars, line, true)?;
+                out.push(Spanned { token: Token::Number(n), line });
+            }
+            '0'..='9' => {
+                // Could be a plain number or, at command position, a user
+                // extension. Context decides: an extension starts a command,
+                // i.e. the previous token is a semicolon (or nothing).
+                let at_command = matches!(
+                    out.last(),
+                    None | Some(Spanned { token: Token::Semi, .. })
+                );
+                if at_command {
+                    let digit = c;
+                    chars.next();
+                    let mut body = String::new();
+                    for c in chars.by_ref() {
+                        if c == ';' {
+                            break;
+                        }
+                        if c == '\n' {
+                            line += 1;
+                        }
+                        body.push(c);
+                    }
+                    // The body is kept raw (only right-trimmed): a leading
+                    // space distinguishes the symbol-name form `9 <name>`
+                    // from sub-commands like `9N <net>`.
+                    out.push(Spanned {
+                        token: Token::Extension(digit, body.trim_end().to_string()),
+                        line,
+                    });
+                    out.push(Spanned { token: Token::Semi, line });
+                } else {
+                    let n = lex_number(&mut chars, line, false)?;
+                    out.push(Spanned { token: Token::Number(n), line });
+                }
+            }
+            'A'..='Z' | 'a'..='z' => {
+                // Lower-case letters are accepted as their upper-case
+                // commands (seen in hand-written CIF).
+                let upper = c.to_ascii_uppercase();
+                // `E` at command position ends the file; everything after it
+                // is ignored per the CIF definition.
+                let at_command = matches!(
+                    out.last(),
+                    None | Some(Spanned { token: Token::Semi, .. })
+                );
+                chars.next();
+                out.push(Spanned { token: Token::Letter(upper), line });
+                if upper == 'E' && at_command {
+                    break;
+                }
+            }
+            other => {
+                return Err(CifError::new(line, CifErrorKind::UnexpectedChar(other)));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    line: usize,
+    negative: bool,
+) -> Result<i64, CifError> {
+    let mut value: i64 = 0;
+    let mut any = false;
+    while let Some(&c) = chars.peek() {
+        if let Some(d) = c.to_digit(10) {
+            value = value * 10 + d as i64;
+            any = true;
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    if !any {
+        return Err(CifError::new(
+            line,
+            CifErrorKind::ExpectedNumber("after '-'".into()),
+        ));
+    }
+    Ok(if negative { -value } else { value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        lex(s).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn numbers_and_letters() {
+        assert_eq!(
+            toks("B 20 60 10,30;"),
+            vec![
+                Token::Letter('B'),
+                Token::Number(20),
+                Token::Number(60),
+                Token::Number(10),
+                Token::Number(30),
+                Token::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_numbers() {
+        assert_eq!(
+            toks("T -5 -10;"),
+            vec![Token::Letter('T'), Token::Number(-5), Token::Number(-10), Token::Semi]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_nest() {
+        // Lexing stops at the E command; the trailing semicolon is ignored.
+        assert_eq!(
+            toks("(a comment (nested) more) E;"),
+            vec![Token::Letter('E')]
+        );
+    }
+
+    #[test]
+    fn unclosed_comment_is_error() {
+        assert!(lex("(oops").is_err());
+    }
+
+    #[test]
+    fn extension_at_command_position() {
+        assert_eq!(
+            toks("9N VDD;"),
+            vec![Token::Extension('9', "N VDD".into()), Token::Semi]
+        );
+        // Digits inside a command are numbers, not extensions.
+        assert_eq!(
+            toks("DS 9 1 1;"),
+            vec![
+                Token::Letter('D'),
+                Token::Letter('S'),
+                Token::Number(9),
+                Token::Number(1),
+                Token::Number(1),
+                Token::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn lowercase_commands_normalised() {
+        assert_eq!(toks("b 1 1 0 0;"), toks("B 1 1 0 0;"));
+        assert_eq!(toks("e;"), vec![Token::Letter('E')]);
+    }
+
+    #[test]
+    fn line_tracking() {
+        let spanned = lex("B 1 1 0 0;\nB 2 2 0 0;").unwrap();
+        assert_eq!(spanned.first().unwrap().line, 1);
+        assert_eq!(spanned.last().unwrap().line, 2);
+    }
+
+    #[test]
+    fn stray_punctuation_rejected() {
+        assert!(lex("B 1 ! 1;").is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! CIF writer: [`Layout`] → text, round-trippable through
+//! [`parse()`](crate::parse::parse).
+
+use crate::layout::{Item, Layout, Shape};
+use diic_geom::{Orientation, Transform};
+use std::fmt::Write as _;
+
+/// Serialises a layout to extended-CIF text.
+///
+/// The output uses one command per line, emits `9 <name>` / `9D` / `9C` /
+/// `9T` / `9N` / `9L` extensions, and ends with `E`. Parsing the output
+/// yields an equivalent layout (same symbols, items, nets and labels;
+/// instance names are regenerated in the same order).
+pub fn to_cif(layout: &Layout) -> String {
+    let mut s = String::new();
+    for sym in layout.symbols() {
+        let _ = writeln!(s, "DS {} 1 1;", sym.cif_id);
+        if let Some(name) = &sym.name {
+            let _ = writeln!(s, "9 {name};");
+        }
+        if let Some(dev) = &sym.device {
+            let _ = writeln!(s, "9D {};", dev.device_type);
+            for t in &dev.terminals {
+                let _ = writeln!(
+                    s,
+                    "9T {} {} {} {};",
+                    t.name,
+                    layout.layer_name(t.layer),
+                    t.position.x,
+                    t.position.y
+                );
+            }
+            if dev.checked {
+                s.push_str("9C;\n");
+            }
+        }
+        write_items(&mut s, layout, &sym.items);
+        s.push_str("DF;\n");
+    }
+    write_items(&mut s, layout, layout.top_items());
+    for label in layout.labels() {
+        let _ = writeln!(
+            s,
+            "9L {} {} {} {};",
+            label.net,
+            layout.layer_name(label.layer),
+            label.position.x,
+            label.position.y
+        );
+    }
+    s.push_str("E\n");
+    s
+}
+
+fn write_items(s: &mut String, layout: &Layout, items: &[Item]) {
+    for item in items {
+        match item {
+            Item::Element(e) => {
+                if let Some(net) = &e.net {
+                    let _ = writeln!(s, "9N {net};");
+                }
+                let _ = writeln!(s, "L {};", layout.layer_name(e.layer));
+                match &e.shape {
+                    Shape::Box(r) => {
+                        let _ = writeln!(
+                            s,
+                            "B {} {} {} {};",
+                            r.width(),
+                            r.height(),
+                            r.x1 + r.width() / 2,
+                            r.y1 + r.height() / 2
+                        );
+                    }
+                    Shape::Wire(w) => {
+                        let _ = write!(s, "W {}", w.width());
+                        for p in w.points() {
+                            let _ = write!(s, " {} {}", p.x, p.y);
+                        }
+                        s.push_str(";\n");
+                    }
+                    Shape::Polygon(p) => {
+                        let _ = write!(s, "P");
+                        for pt in p.points() {
+                            let _ = write!(s, " {} {}", pt.x, pt.y);
+                        }
+                        s.push_str(";\n");
+                    }
+                }
+            }
+            Item::Call(c) => {
+                let sym = layout.symbol(c.target);
+                let _ = write!(s, "C {}", sym.cif_id);
+                write_transform(s, &c.transform);
+                s.push_str(";\n");
+            }
+        }
+    }
+}
+
+fn write_transform(s: &mut String, t: &Transform) {
+    // Decompose into (orientation ops, then translation) — our Transform is
+    // exactly `orient` then `offset`, so emit R/M then T.
+    match t.orient {
+        Orientation::R0 => {}
+        Orientation::R90 => s.push_str(" R 0 1"),
+        Orientation::R180 => s.push_str(" R -1 0"),
+        Orientation::R270 => s.push_str(" R 0 -1"),
+        Orientation::MR0 => s.push_str(" M X"),
+        Orientation::MR90 => s.push_str(" M X R 0 1"),
+        Orientation::MR180 => s.push_str(" M Y"),
+        Orientation::MR270 => s.push_str(" M X R 0 -1"),
+    }
+    if t.offset.x != 0 || t.offset.y != 0 {
+        let _ = write!(s, " T {} {}", t.offset.x, t.offset.y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flatten::flatten;
+    use crate::parse;
+
+    fn roundtrip(text: &str) {
+        let a = parse(text).unwrap();
+        let cif = to_cif(&a);
+        let b = parse(&cif).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{cif}"));
+        // Compare flat instantiations (stable under renaming/reordering).
+        let fa = flatten(&a);
+        let fb = flatten(&b);
+        assert_eq!(fa.len(), fb.len(), "element count changed:\n{cif}");
+        for (x, y) in fa.iter().zip(fb.iter()) {
+            assert_eq!(x.shape, y.shape, "shape changed:\n{cif}");
+            assert_eq!(x.net, y.net);
+            assert_eq!(
+                a.layer_name(x.layer),
+                b.layer_name(y.layer),
+                "layer changed"
+            );
+        }
+        assert_eq!(a.labels().len(), b.labels().len());
+    }
+
+    #[test]
+    fn roundtrip_boxes_wires_polygons() {
+        roundtrip(
+            "L NM; B 40 20 20 10; 9N A; W 20 0 0 100 0; L NP; P 0 0 50 0 50 50 0 50; E",
+        );
+    }
+
+    #[test]
+    fn roundtrip_hierarchy_and_transforms() {
+        roundtrip(
+            "DS 1; 9 cell; L ND; B 10 10 5 5; DF;
+             C 1 T 0 0; C 1 MX T 100 0; C 1 R 0 1 T 50 50; C 1 M Y R 0 -1 T 7 9; E",
+        );
+    }
+
+    #[test]
+    fn roundtrip_device_declarations() {
+        roundtrip(
+            "DS 1; 9 tr; 9D NMOS_ENH; 9T G NP 10 10; 9C; L NP; B 20 60 10 30; DF; C 1; E",
+        );
+    }
+
+    #[test]
+    fn roundtrip_labels() {
+        roundtrip("L NM; B 4 4 0 0; 9L VDD NM 0 0; E");
+    }
+
+    #[test]
+    fn all_orientations_roundtrip() {
+        for orient_ops in ["", "M X", "M Y", "R 0 1", "R -1 0", "R 0 -1", "M X R 0 1", "M X R 0 -1"]
+        {
+            let text = format!("DS 1; L ND; B 10 4 9 2; DF; C 1 {orient_ops} T 31 17; E");
+            roundtrip(&text);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests: random layouts survive the write→parse round trip, and
+//! hierarchy statistics agree with brute-force flattening.
+
+use diic_cif::{flatten, parse, to_cif};
+use proptest::prelude::*;
+
+/// Generates a random extended-CIF text with 1–3 symbols and calls.
+fn arb_cif() -> impl Strategy<Value = String> {
+    let coord = -5000i64..5000;
+    let dim = (250i64..2000).prop_map(|v| (v / 50) * 50);
+    let boxes = proptest::collection::vec(
+        (dim.clone(), dim, coord.clone(), coord.clone(), 0usize..3),
+        1..5,
+    );
+    let calls = proptest::collection::vec(
+        (0u32..3, coord.clone(), coord, 0usize..8),
+        0..4,
+    );
+    (boxes, calls).prop_map(|(boxes, calls)| {
+        let layers = ["NM", "NP", "ND"];
+        let orients = [
+            "",
+            "M X",
+            "M Y",
+            "R 0 1",
+            "R -1 0",
+            "R 0 -1",
+            "M X R 0 1",
+            "M X R 0 -1",
+        ];
+        let mut s = String::new();
+        // Three symbols, each holding a subset of the boxes.
+        for sym in 0..3u32 {
+            s.push_str(&format!("DS {} 1 1;\n9 sym{};\n", sym + 1, sym));
+            for (i, (l, w, x, y, layer)) in boxes.iter().enumerate() {
+                if i % 3 == sym as usize {
+                    s.push_str(&format!("L {};\n", layers[*layer]));
+                    if i % 2 == 0 {
+                        s.push_str(&format!("9N n{i};\n"));
+                    }
+                    s.push_str(&format!("B {l} {w} {x} {y};\n"));
+                }
+            }
+            s.push_str("DF;\n");
+        }
+        for (target, x, y, orient) in &calls {
+            s.push_str(&format!(
+                "C {} {} T {} {};\n",
+                target + 1,
+                orients[*orient],
+                x,
+                y
+            ));
+        }
+        s.push_str("E\n");
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn write_parse_roundtrip_preserves_flat_view(cif in arb_cif()) {
+        let a = parse(&cif).unwrap();
+        let text = to_cif(&a);
+        let b = parse(&text).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{text}"));
+        let fa = flatten(&a);
+        let fb = flatten(&b);
+        prop_assert_eq!(fa.len(), fb.len());
+        for (x, y) in fa.iter().zip(fb.iter()) {
+            prop_assert_eq!(&x.shape, &y.shape);
+            prop_assert_eq!(&x.net, &y.net);
+            prop_assert_eq!(a.layer_name(x.layer), b.layer_name(y.layer));
+        }
+    }
+
+    #[test]
+    fn stats_flat_count_matches_flatten(cif in arb_cif()) {
+        let layout = parse(&cif).unwrap();
+        let stats = diic_cif::hierarchy::stats(&layout);
+        let flat = flatten(&layout);
+        prop_assert_eq!(stats.flat_element_count as usize, flat.len());
+        // Chip bbox covers every flattened element.
+        if let Some(bbox) = stats.chip_bbox {
+            for e in &flat {
+                let b = e.shape.bbox();
+                prop_assert!(bbox.contains_rect(&b), "{b} outside {bbox}");
+            }
+        } else {
+            prop_assert!(flat.is_empty());
+        }
+    }
+
+    #[test]
+    fn transforms_preserve_area(cif in arb_cif()) {
+        let layout = parse(&cif).unwrap();
+        // Every flattened box must have the same dimensions as some source
+        // box (Manhattan transforms preserve side lengths up to swap).
+        let mut source_dims: Vec<(i64, i64)> = Vec::new();
+        for sym in layout.symbols() {
+            for e in sym.elements() {
+                let b = e.shape.bbox();
+                source_dims.push((b.width().min(b.height()), b.width().max(b.height())));
+            }
+        }
+        for e in flatten(&layout) {
+            let b = e.shape.bbox();
+            let dims = (b.width().min(b.height()), b.width().max(b.height()));
+            prop_assert!(source_dims.contains(&dims));
+        }
+    }
+}

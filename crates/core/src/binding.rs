@@ -1,0 +1,323 @@
+//! Binding a parsed layout to a technology, and the instantiated chip view.
+//!
+//! Stages 3–6 of the pipeline work on *instantiated* elements — but unlike
+//! a flat checker, every instantiated element keeps its topology: the
+//! symbol it came from, the device instance it belongs to, its net key, and
+//! its skeleton. "The information about what symbol the piece of geometry
+//! came from is never lost."
+
+use crate::violations::{CheckStage, Violation, ViolationKind};
+use diic_cif::{Item, Layout, LayerRef, Shape, SymbolId};
+use diic_geom::skeleton::Skeleton;
+use diic_geom::{Point, Rect, Region, Transform};
+use diic_tech::{DeviceClass, LayerId, Technology};
+
+/// Maps layout layer references to technology layers.
+#[derive(Debug, Clone)]
+pub struct LayerBinding {
+    map: Vec<Option<LayerId>>,
+}
+
+impl LayerBinding {
+    /// Builds the binding; unknown CIF layer names produce violations.
+    pub fn bind(layout: &Layout, tech: &Technology) -> (LayerBinding, Vec<Violation>) {
+        let mut map = Vec::with_capacity(layout.layer_names().len());
+        let mut violations = Vec::new();
+        for name in layout.layer_names() {
+            let id = tech.layer_by_cif(name);
+            if id.is_none() {
+                violations.push(Violation {
+                    stage: CheckStage::Elements,
+                    kind: ViolationKind::UnknownLayer {
+                        cif_name: name.clone(),
+                    },
+                    location: None,
+                    context: String::new(),
+                });
+            }
+            map.push(id);
+        }
+        (LayerBinding { map }, violations)
+    }
+
+    /// Resolves a layout layer reference.
+    pub fn layer(&self, r: LayerRef) -> Option<LayerId> {
+        self.map.get(r.0 as usize).copied().flatten()
+    }
+}
+
+/// An instantiated element with its topology retained.
+#[derive(Debug, Clone)]
+pub struct ChipElement {
+    /// Index in [`ChipView::elements`].
+    pub id: usize,
+    /// Technology layer.
+    pub layer: LayerId,
+    /// Exact covered rectangles in chip coordinates (boxes, Manhattan
+    /// wires, rectilinear polygons).
+    pub rects: Vec<Rect>,
+    /// Bounding box in chip coordinates.
+    pub bbox: Rect,
+    /// Skeleton for connectivity checking (`None` when the element is
+    /// under-width — already a width violation).
+    pub skeleton: Option<Skeleton>,
+    /// Net key: the declared net qualified by instance path, or a unique
+    /// auto key.
+    pub net_key: String,
+    /// True if the net was declared via `9N` (vs auto-generated).
+    pub net_declared: bool,
+    /// Instance path of the enclosing scope.
+    pub path: String,
+    /// Index into [`ChipView::devices`] if the element lives inside a
+    /// device symbol instance.
+    pub device: Option<usize>,
+    /// The symbol definition the element came from (None = top level).
+    pub source: Option<SymbolId>,
+}
+
+/// An instantiated device (one per call of a device symbol).
+#[derive(Debug, Clone)]
+pub struct DeviceInstance {
+    /// Instance path (dot notation).
+    pub path: String,
+    /// The device symbol.
+    pub symbol: SymbolId,
+    /// Declared `9D` type.
+    pub device_type: String,
+    /// Archetype class if the technology knows the type.
+    pub class: Option<DeviceClass>,
+    /// Immunity flag (`9C`).
+    pub checked: bool,
+    /// Terminals in chip coordinates.
+    pub terminals: Vec<(String, LayerId, Point)>,
+    /// Ids of this instance's elements in [`ChipView::elements`].
+    pub element_ids: Vec<usize>,
+    /// Placement transform (chip ← symbol).
+    pub transform: Transform,
+}
+
+/// The instantiated chip: all elements and device instances, topology
+/// intact.
+#[derive(Debug, Clone, Default)]
+pub struct ChipView {
+    /// All instantiated elements.
+    pub elements: Vec<ChipElement>,
+    /// All device instances.
+    pub devices: Vec<DeviceInstance>,
+    /// Violations discovered during instantiation (unknown layers on
+    /// terminals, non-rectilinear polygons treated as bboxes, …).
+    pub violations: Vec<Violation>,
+}
+
+/// Instantiates the layout against a technology.
+///
+/// Elements on unknown layers are skipped (the binding already reported
+/// them). Device symbols instantiate a [`DeviceInstance`] per call;
+/// elements inside them are tagged with it.
+pub fn instantiate(layout: &Layout, tech: &Technology, binding: &LayerBinding) -> ChipView {
+    let mut view = ChipView::default();
+    let t = Transform::IDENTITY;
+    for item in layout.top_items() {
+        walk(layout, tech, binding, item, &t, "", None, None, &mut view);
+    }
+    view
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    layout: &Layout,
+    tech: &Technology,
+    binding: &LayerBinding,
+    item: &Item,
+    t: &Transform,
+    path: &str,
+    device: Option<usize>,
+    source: Option<SymbolId>,
+    view: &mut ChipView,
+) {
+    match item {
+        Item::Element(e) => {
+            let Some(layer) = binding.layer(e.layer) else {
+                return; // unknown layer, already reported
+            };
+            let shape = e.shape.transformed(t);
+            let rects: Vec<Rect> = match &shape {
+                Shape::Box(r) => vec![*r],
+                Shape::Wire(w) => w.to_rects(),
+                Shape::Polygon(p) => match p.to_rects() {
+                    Ok(rs) => rs,
+                    Err(_) => vec![p.bbox()], // non-rectilinear: bbox cover
+                },
+            };
+            let bbox = shape.bbox();
+            let half = tech.layer(layer).half_min_width();
+            let skeleton = match &shape {
+                Shape::Box(r) => Skeleton::of_rect(r, half),
+                Shape::Wire(w) => Skeleton::of_wire(w, half),
+                Shape::Polygon(_) => {
+                    Skeleton::of_region(&Region::from_rects(rects.iter().copied()), half)
+                }
+            };
+            let id = view.elements.len();
+            let (net_key, net_declared) = match &e.net {
+                Some(n) if path.is_empty() => (n.clone(), true),
+                Some(n) => (format!("{path}.{n}"), true),
+                None => (format!("#e{id}"), false),
+            };
+            view.elements.push(ChipElement {
+                id,
+                layer,
+                rects,
+                bbox,
+                skeleton,
+                net_key,
+                net_declared,
+                path: path.to_string(),
+                device,
+                source,
+            });
+            if let Some(d) = device {
+                view.devices[d].element_ids.push(id);
+            }
+        }
+        Item::Call(c) => {
+            let sym = layout.symbol(c.target);
+            let child_path = if path.is_empty() {
+                c.name.clone()
+            } else {
+                format!("{path}.{}", c.name)
+            };
+            let child_t = t.after(&c.transform);
+            let child_device = if let Some(decl) = &sym.device {
+                // A nested device inside a device keeps the outermost
+                // instance (the paper's primitive symbols contain only
+                // geometry; nesting is reported by primitive checks).
+                if device.is_some() {
+                    device
+                } else {
+                    let idx = view.devices.len();
+                    let terminals = decl
+                        .terminals
+                        .iter()
+                        .filter_map(|term| {
+                            let layer = binding.layer(term.layer)?;
+                            Some((
+                                term.name.clone(),
+                                layer,
+                                child_t.apply_point(term.position),
+                            ))
+                        })
+                        .collect();
+                    view.devices.push(DeviceInstance {
+                        path: child_path.clone(),
+                        symbol: c.target,
+                        device_type: decl.device_type.clone(),
+                        class: tech.device(&decl.device_type).map(|a| a.class),
+                        checked: decl.checked,
+                        terminals,
+                        element_ids: Vec::new(),
+                        transform: child_t,
+                    });
+                    Some(idx)
+                }
+            } else {
+                device
+            };
+            for child in &sym.items {
+                walk(
+                    layout,
+                    tech,
+                    binding,
+                    child,
+                    &child_t,
+                    &child_path,
+                    child_device,
+                    Some(c.target),
+                    view,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diic_cif::parse;
+    use diic_tech::nmos::nmos_technology;
+
+    fn view_of(cif: &str) -> (ChipView, Vec<Violation>) {
+        let layout = parse(cif).unwrap();
+        let tech = nmos_technology();
+        let (binding, v) = LayerBinding::bind(&layout, &tech);
+        (instantiate(&layout, &tech, &binding), v)
+    }
+
+    #[test]
+    fn unknown_layer_reported_and_skipped() {
+        let (view, v) = view_of("L XX; B 500 500 0 0; E");
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0].kind, ViolationKind::UnknownLayer { .. }));
+        assert!(view.elements.is_empty());
+    }
+
+    #[test]
+    fn elements_get_nets_and_skeletons() {
+        let (view, v) = view_of("L NM; 9N VDD; B 1000 750 0 0; B 100 100 5000 5000; E");
+        assert!(v.is_empty());
+        assert_eq!(view.elements.len(), 2);
+        let rail = &view.elements[0];
+        assert_eq!(rail.net_key, "VDD");
+        assert!(rail.net_declared);
+        assert!(rail.skeleton.is_some());
+        let tiny = &view.elements[1];
+        assert!(!tiny.net_declared);
+        assert!(tiny.skeleton.is_none()); // under metal min width 750
+    }
+
+    #[test]
+    fn device_instances_created_per_call() {
+        let cif = "
+        DS 1; 9 ct; 9D CONTACT_D; 9T A NM 250 250; 9T B ND 250 250;
+        L NC; B 500 500 250 250; L ND; B 1000 1000 250 250; L NM; B 1000 1000 250 250; DF;
+        C 1 T 0 0; C 1 T 5000 0; E";
+        let (view, v) = view_of(cif);
+        assert!(v.is_empty());
+        assert_eq!(view.devices.len(), 2);
+        assert_eq!(view.devices[0].path, "i0");
+        assert_eq!(view.devices[1].path, "i1");
+        assert_eq!(view.devices[0].element_ids.len(), 3);
+        // Terminal transformed to chip coords.
+        let (name, _, pos) = &view.devices[1].terminals[0];
+        assert_eq!(name, "A");
+        assert_eq!(*pos, Point::new(5250, 250));
+        // Elements tagged with the device.
+        for &eid in &view.devices[1].element_ids {
+            assert_eq!(view.elements[eid].device, Some(1));
+        }
+    }
+
+    #[test]
+    fn nested_instance_paths() {
+        let cif = "
+        DS 1; L NM; 9N out; B 1000 750 0 0; DF;
+        DS 2; C 1 T 0 0; DF;
+        C 2 T 0 0; E";
+        let (view, _) = view_of(cif);
+        assert_eq!(view.elements.len(), 1);
+        assert_eq!(view.elements[0].path, "i0.i0");
+        assert_eq!(view.elements[0].net_key, "i0.i0.out");
+    }
+
+    #[test]
+    fn class_resolved_from_technology() {
+        let cif = "
+        DS 1; 9D NMOS_ENH; L NP; B 1500 500 0 0; L ND; B 500 2000 0 0; DF;
+        C 1; E";
+        let (view, _) = view_of(cif);
+        assert_eq!(view.devices[0].class, Some(DeviceClass::MosEnhancement));
+        let cif2 = "DS 1; 9D FROB; L NP; B 500 500 0 0; DF; C 1; E";
+        let (view2, _) = view_of(cif2);
+        assert_eq!(view2.devices[0].class, None);
+    }
+}

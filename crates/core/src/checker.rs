@@ -1,0 +1,314 @@
+//! The design checker: the paper's Fig. 10 pipeline, end to end.
+//!
+//! ```text
+//! PARSE CIF → CHECK ELEMENTS → CHECK PRIMITIVE SYMBOLS →
+//! CHECK LEGAL CONNECTIONS → GENERATE HIERARCHICAL NET LIST →
+//! CHECK INTERACTIONS  (+ non-geometric construction rules)
+//! ```
+
+use crate::binding::{instantiate, ChipView, LayerBinding};
+use crate::connect::check_connections;
+use crate::element_checks::check_elements;
+use crate::interact::{check_interactions, InteractOptions, InteractStats};
+use crate::netgen::generate_netlist;
+use crate::primitive_checks::check_primitive_symbols;
+use crate::violations::{CheckStage, Violation, ViolationKind};
+use diic_cif::Layout;
+use diic_geom::SizingMode;
+use diic_netlist::{check_erc, compare_by_structure, Netlist};
+use diic_tech::Technology;
+use std::time::{Duration, Instant};
+
+/// Configuration of a full check run.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Suppress same-net spacing checks (Fig. 5a). Default true.
+    pub same_net_suppression: bool,
+    /// Spacing metric. Default Euclidean.
+    pub metric: SizingMode,
+    /// Use the hierarchical interaction search. Default true.
+    pub hierarchical: bool,
+    /// Run the non-geometric construction rules. Default true.
+    pub erc: bool,
+    /// Compare the extracted net list against an intended one.
+    pub intended_netlist: Option<Netlist>,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            same_net_suppression: true,
+            metric: SizingMode::Euclidean,
+            hierarchical: true,
+            erc: true,
+            intended_netlist: None,
+        }
+    }
+}
+
+/// Per-stage wall-clock timings (Fig. 9/10 cost profile).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Binding + instantiation.
+    pub instantiate: Duration,
+    /// Stage 2: element checks.
+    pub elements: Duration,
+    /// Stage 3: primitive symbol checks.
+    pub primitives: Duration,
+    /// Stage 4: connection checks.
+    pub connections: Duration,
+    /// Stage 5: net-list generation.
+    pub netlist: Duration,
+    /// Stage 6: interaction checks.
+    pub interactions: Duration,
+    /// Composition rules (ERC) + netlist comparison.
+    pub composition: Duration,
+}
+
+impl StageTimings {
+    /// Total pipeline time.
+    pub fn total(&self) -> Duration {
+        self.instantiate
+            + self.elements
+            + self.primitives
+            + self.connections
+            + self.netlist
+            + self.interactions
+            + self.composition
+    }
+}
+
+/// The result of a full check.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// All violations from all stages.
+    pub violations: Vec<Violation>,
+    /// The extracted hierarchical net list.
+    pub netlist: Netlist,
+    /// Interaction-stage statistics (pruning counters, cache hits).
+    pub interact_stats: InteractStats,
+    /// Wall-clock per stage.
+    pub timings: StageTimings,
+    /// Devices waived by the immunity flag.
+    pub waived_devices: Vec<String>,
+    /// Number of elements instantiated.
+    pub element_count: usize,
+    /// Number of device instances.
+    pub device_count: usize,
+}
+
+impl CheckReport {
+    /// True if no violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violations of a given stage.
+    pub fn by_stage(&self, stage: CheckStage) -> Vec<&Violation> {
+        self.violations.iter().filter(|v| v.stage == stage).collect()
+    }
+}
+
+/// Runs the full DIIC pipeline over a parsed layout.
+pub fn check(layout: &Layout, tech: &Technology, options: &CheckOptions) -> CheckReport {
+    let mut violations = Vec::new();
+    let mut timings = StageTimings::default();
+
+    // Parse is done; bind layers and instantiate the chip view.
+    let t0 = Instant::now();
+    let (binding, bind_violations) = LayerBinding::bind(layout, tech);
+    violations.extend(bind_violations);
+    let view: ChipView = instantiate(layout, tech, &binding);
+    violations.extend(view.violations.clone());
+    timings.instantiate = t0.elapsed();
+
+    // Stage 2: check elements (per definition).
+    let t = Instant::now();
+    violations.extend(check_elements(layout, tech, &binding));
+    timings.elements = t.elapsed();
+
+    // Stage 3: check primitive symbols (per definition, with immunity).
+    let t = Instant::now();
+    let prim = check_primitive_symbols(layout, tech, &binding);
+    violations.extend(prim.violations);
+    timings.primitives = t.elapsed();
+
+    // Stage 4: check legal connections.
+    let t = Instant::now();
+    let conn = check_connections(&view, tech);
+    violations.extend(conn.violations.clone());
+    timings.connections = t.elapsed();
+
+    // Stage 5: generate the hierarchical net list.
+    let t = Instant::now();
+    let labels: Vec<_> = layout
+        .labels()
+        .iter()
+        .map(|l| (l.clone(), binding.layer(l.layer)))
+        .collect();
+    let nets = generate_netlist(&view, tech, &conn.merges, &labels);
+    violations.extend(nets.violations.clone());
+    timings.netlist = t.elapsed();
+
+    // Stage 6: check interactions.
+    let t = Instant::now();
+    let interact_options = InteractOptions {
+        same_net_suppression: options.same_net_suppression,
+        metric: options.metric,
+        hierarchical: options.hierarchical,
+    };
+    let (ivs, interact_stats) =
+        check_interactions(&view, tech, &nets, layout, &interact_options);
+    violations.extend(ivs);
+    timings.interactions = t.elapsed();
+
+    // Composition rules + netlist consistency.
+    let t = Instant::now();
+    if options.erc {
+        for e in check_erc(&nets.netlist, tech) {
+            violations.push(Violation {
+                stage: CheckStage::Composition,
+                kind: ViolationKind::Erc {
+                    rule: e.rule,
+                    detail: e.detail,
+                },
+                location: None,
+                context: nets.netlist.net(e.net).name.clone(),
+            });
+        }
+    }
+    if let Some(intended) = &options.intended_netlist {
+        let diff = compare_by_structure(&nets.netlist, intended, 12);
+        if !diff.matched {
+            for msg in diff.messages {
+                violations.push(Violation {
+                    stage: CheckStage::NetList,
+                    kind: ViolationKind::NetlistMismatch { detail: msg },
+                    location: None,
+                    context: String::new(),
+                });
+            }
+        }
+    }
+    timings.composition = t.elapsed();
+
+    CheckReport {
+        violations,
+        netlist: nets.netlist,
+        interact_stats,
+        timings,
+        waived_devices: prim.waived,
+        element_count: view.elements.len(),
+        device_count: view.devices.len(),
+    }
+}
+
+/// Convenience: parse CIF text and check it in one call.
+///
+/// # Errors
+///
+/// Returns the CIF parse error if the text is malformed; rule violations
+/// are reported in the [`CheckReport`], not as errors.
+pub fn check_cif(
+    cif: &str,
+    tech: &Technology,
+    options: &CheckOptions,
+) -> Result<CheckReport, diic_cif::CifError> {
+    let layout = diic_cif::parse(cif)?;
+    Ok(check(&layout, tech, options))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diic_tech::nmos::nmos_technology;
+
+    #[test]
+    fn clean_layout_is_clean() {
+        let tech = nmos_technology();
+        let r = check_cif(
+            "L NM; 9N VDD; B 10000 750 5000 375;
+             L NM; 9N GND; B 10000 750 5000 3000;
+             9L VDD NM 1000 375; 9L GND NM 1000 3000; E",
+            &tech,
+            &CheckOptions {
+                erc: false, // rails alone have no devices
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(r.is_clean(), "{:#?}", r.violations);
+        assert_eq!(r.element_count, 2);
+    }
+
+    #[test]
+    fn pipeline_collects_all_stages() {
+        let tech = nmos_technology();
+        // Narrow wire (elements), loose contact (elements),
+        // butted boxes (connections), close wires (interactions).
+        let r = check_cif(
+            "L NM; B 2000 700 1000 350;
+             L NC; B 500 500 9000 0;
+             L NM; B 2000 750 1000 2000; B 2000 750 3000 2000;
+             L NP; B 3000 500 20000 250; B 3000 500 20000 800;
+             E",
+            &tech,
+            &CheckOptions {
+                erc: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!r.by_stage(CheckStage::Elements).is_empty());
+        assert!(!r.by_stage(CheckStage::Connections).is_empty());
+        assert!(!r.by_stage(CheckStage::Interactions).is_empty());
+    }
+
+    #[test]
+    fn erc_runs_when_enabled() {
+        let tech = nmos_technology();
+        // VDD and GND shorted by one metal rail.
+        let r = check_cif(
+            "L NM; 9N VDD; B 10000 750 5000 375;
+             9L GND NM 1000 375; E",
+            &tech,
+            &CheckOptions::default(),
+        )
+        .unwrap();
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::Erc { .. })), "{:#?}", r.violations);
+    }
+
+    #[test]
+    fn hierarchical_and_flat_equivalent() {
+        let tech = nmos_technology();
+        let mut cif = String::from("DS 1; L NM; B 2000 750 1000 375; DF;\n");
+        for i in 0..8 {
+            cif.push_str(&format!("C 1 T {} 0;\n", i * 2500));
+        }
+        cif.push_str("E");
+        let hier = check_cif(&cif, &tech, &CheckOptions { erc: false, ..Default::default() }).unwrap();
+        let flat = check_cif(
+            &cif,
+            &tech,
+            &CheckOptions {
+                hierarchical: false,
+                erc: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(hier.violations.len(), flat.violations.len());
+        assert!(hier.interact_stats.cache_hits > 0);
+        assert_eq!(flat.interact_stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn timings_populated() {
+        let tech = nmos_technology();
+        let r = check_cif("L NM; B 2000 750 0 0; E", &tech, &CheckOptions::default()).unwrap();
+        assert!(r.timings.total() > Duration::ZERO);
+    }
+}

@@ -1,0 +1,312 @@
+//! Stage 4 — "check legal connections": skeletal connectivity.
+//!
+//! "In doing this, elements which interact and are on the same layer are
+//! checked against the connection rules for legal connections. The legal
+//! connection criterion used here is that of skeletal connectivity. \[...\]
+//! Note that if two elements are each of legal width and are skeletally
+//! connected, then the union of the elements is of legal width."
+//!
+//! This stage also enforces declared-device typing (Fig. 8): interconnect
+//! on a device-forming layer pair (poly × diffusion) that overlaps outside
+//! a device symbol is an **undeclared device** — the single biggest class
+//! of unchecked errors in mask-level checkers, which "will not recognize
+//! the accidental crossing of poly and diffusion as an error since it
+//! forms a legal transistor".
+
+use crate::binding::ChipView;
+use crate::violations::{CheckStage, Violation, ViolationKind};
+use diic_geom::GridIndex;
+use diic_tech::{DeviceClass, InternalRule, LayerId, Technology};
+use std::collections::HashSet;
+
+/// Output of the connection-checking stage.
+#[derive(Debug, Clone, Default)]
+pub struct ConnectionResult {
+    /// Violations (illegal connections, implied devices).
+    pub violations: Vec<Violation>,
+    /// Element-id pairs found legally connected (to merge in net-list
+    /// generation).
+    pub merges: Vec<(usize, usize)>,
+    /// Number of same-layer touching pairs examined.
+    pub pairs_examined: usize,
+}
+
+/// True if a device class joins all of its elements into one net
+/// (contacts of all kinds).
+pub fn is_joining_class(class: Option<DeviceClass>) -> bool {
+    matches!(
+        class,
+        Some(DeviceClass::Contact)
+            | Some(DeviceClass::ButtingContact)
+            | Some(DeviceClass::BuriedContact)
+    )
+}
+
+/// The layer pairs whose interconnect overlap forms an undeclared device,
+/// derived from the technology's archetypes: any `RequiresOverlap { a, b }`
+/// rule on interconnect layers.
+pub fn device_forming_pairs(tech: &Technology) -> HashSet<(LayerId, LayerId)> {
+    let mut out = HashSet::new();
+    for dev in tech.devices() {
+        for rule in &dev.internal_rules {
+            if let InternalRule::RequiresOverlap { a, b } = rule {
+                if tech.layer(*a).kind.is_interconnect() && tech.layer(*b).kind.is_interconnect()
+                {
+                    let (x, y) = if a <= b { (*a, *b) } else { (*b, *a) };
+                    out.insert((x, y));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs the connection checks over the instantiated chip.
+pub fn check_connections(view: &ChipView, tech: &Technology) -> ConnectionResult {
+    let mut result = ConnectionResult::default();
+    let forming = device_forming_pairs(tech);
+
+    // Index all elements by bbox.
+    let mut index: GridIndex<usize> = GridIndex::new(2000);
+    for e in &view.elements {
+        index.insert(e.bbox, e.id);
+    }
+
+    let mut seen: HashSet<(usize, usize)> = HashSet::new();
+    for a in &view.elements {
+        for &j in index.query(&a.bbox) {
+            if j <= a.id || !seen.insert((a.id, j)) {
+                continue;
+            }
+            let b = &view.elements[j];
+            // Pairs within one device instance are stage-3 territory.
+            if a.device.is_some() && a.device == b.device {
+                continue;
+            }
+            let touching = a
+                .rects
+                .iter()
+                .any(|ra| b.rects.iter().any(|rb| ra.touches(rb)));
+            if !touching {
+                continue;
+            }
+
+            if a.layer == b.layer {
+                result.pairs_examined += 1;
+                handle_same_layer(view, tech, a.id, j, &mut result);
+            } else {
+                // Cross-layer overlap on a device-forming pair = implied
+                // device (Fig. 8), unless it is a device's own geometry
+                // overlapping — the declared-device case handled above by
+                // the same-instance skip; a device element overlapping
+                // *another* instance's geometry is still parasitic.
+                let key = if a.layer <= b.layer {
+                    (a.layer, b.layer)
+                } else {
+                    (b.layer, a.layer)
+                };
+                if forming.contains(&key) {
+                    let overlapping = a
+                        .rects
+                        .iter()
+                        .any(|ra| b.rects.iter().any(|rb| ra.overlaps(rb)));
+                    if overlapping {
+                        result.violations.push(Violation {
+                            stage: CheckStage::Connections,
+                            kind: ViolationKind::ImpliedDevice {
+                                layer_a: tech.layer(a.layer).name.clone(),
+                                layer_b: tech.layer(b.layer).name.clone(),
+                            },
+                            location: overlap_bbox(view, a.id, j),
+                            context: context_of(view, a.id, j),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+fn handle_same_layer(
+    view: &ChipView,
+    tech: &Technology,
+    i: usize,
+    j: usize,
+    result: &mut ConnectionResult,
+) {
+    let a = &view.elements[i];
+    let b = &view.elements[j];
+    let a_join = a
+        .device
+        .map(|d| is_joining_class(view.devices[d].class))
+        .unwrap_or(false);
+    let b_join = b
+        .device
+        .map(|d| is_joining_class(view.devices[d].class))
+        .unwrap_or(false);
+
+    match (a.device.is_some(), b.device.is_some()) {
+        (false, false) => {
+            // Interconnect ↔ interconnect: skeletal connectivity decides.
+            let connected = match (&a.skeleton, &b.skeleton) {
+                (Some(sa), Some(sb)) => sa.connected_to(sb),
+                _ => false, // an under-width element cannot legally connect
+            };
+            if connected {
+                result.merges.push((i, j));
+            } else {
+                result.violations.push(Violation {
+                    stage: CheckStage::Connections,
+                    kind: ViolationKind::IllegalConnection {
+                        layer: tech.layer(a.layer).name.clone(),
+                    },
+                    location: overlap_bbox(view, i, j),
+                    context: context_of(view, i, j),
+                });
+            }
+        }
+        // A contact-class device joins everything it touches on its layers.
+        (true, false) if a_join => result.merges.push((i, j)),
+        (false, true) if b_join => result.merges.push((i, j)),
+        (true, true) if a_join && b_join => result.merges.push((i, j)),
+        // Transistor/resistor geometry connects only through declared
+        // terminals (net-list generation handles those); silent here.
+        _ => {}
+    }
+}
+
+fn overlap_bbox(view: &ChipView, i: usize, j: usize) -> Option<diic_geom::Rect> {
+    let a = &view.elements[i];
+    let b = &view.elements[j];
+    a.bbox.intersection(&b.bbox).or(Some(a.bbox))
+}
+
+fn context_of(view: &ChipView, i: usize, j: usize) -> String {
+    let a = &view.elements[i];
+    let b = &view.elements[j];
+    if a.path == b.path {
+        a.path.clone()
+    } else if a.path.is_empty() || b.path.is_empty() {
+        format!("{}{}", a.path, b.path)
+    } else {
+        format!("{} / {}", a.path, b.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::{instantiate, LayerBinding};
+    use diic_cif::parse;
+    use diic_tech::nmos::nmos_technology;
+
+    fn run(cif: &str) -> ConnectionResult {
+        let layout = parse(cif).unwrap();
+        let tech = nmos_technology();
+        let (binding, _) = LayerBinding::bind(&layout, &tech);
+        let view = instantiate(&layout, &tech, &binding);
+        check_connections(&view, &tech)
+    }
+
+    #[test]
+    fn overlapping_wires_merge() {
+        // Two metal wires overlapping by a full min width.
+        let r = run("L NM; 9N A; B 2000 750 1000 375; 9N B; B 2000 750 2200 375; E");
+        assert_eq!(r.merges.len(), 1);
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn fig15_butted_boxes_flagged() {
+        // Touching end to end without overlap: not skeletally connected.
+        let r = run("L NM; B 2000 750 1000 375; B 2000 750 3000 375; E");
+        assert!(r.merges.is_empty());
+        assert_eq!(r.violations.len(), 1);
+        assert!(matches!(
+            r.violations[0].kind,
+            ViolationKind::IllegalConnection { .. }
+        ));
+    }
+
+    #[test]
+    fn fig8_accidental_transistor_flagged() {
+        // Poly interconnect crossing diffusion interconnect: implied device.
+        let r = run("L NP; W 500 0 1000 3000 1000; L ND; W 500 1500 0 1500 2000; E");
+        assert_eq!(r.violations.len(), 1);
+        assert!(matches!(
+            r.violations[0].kind,
+            ViolationKind::ImpliedDevice { .. }
+        ));
+    }
+
+    #[test]
+    fn declared_transistor_not_flagged() {
+        // The same crossing inside a declared device symbol: fine.
+        let r = run(
+            "DS 1; 9D NMOS_ENH; L NP; B 1500 500 250 0; L ND; B 500 2500 250 0; DF; C 1; E",
+        );
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn poly_wire_over_foreign_transistor_diff_flagged() {
+        // A poly wire crossing a *device's* diffusion is still parasitic.
+        let r = run(
+            "DS 1; 9D NMOS_ENH; L NP; B 1500 500 250 0; L ND; B 500 2500 250 0; DF;
+             C 1 T 0 0;
+             L NP; W 500 -2000 750 2000 750; E",
+        );
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::ImpliedDevice { .. })));
+    }
+
+    #[test]
+    fn metal_crossing_everything_is_fine() {
+        let r = run("L NM; W 750 0 0 5000 0; L NP; W 500 2000 -2000 2000 2000; E");
+        assert!(r.violations.is_empty());
+        assert!(r.merges.is_empty());
+    }
+
+    #[test]
+    fn contact_device_joins_touching_interconnect() {
+        let r = run(
+            "DS 1; 9D CONTACT_D;
+             L NC; B 500 500 0 0; L ND; B 1000 1000 0 0; L NM; B 1000 1000 0 0; DF;
+             C 1 T 0 0;
+             L NM; 9N OUT; W 750 0 0 5000 0;
+             L ND; 9N OUT; W 500 0 0 -5000 0; E",
+        );
+        // Metal wire merges with contact metal; diff wire with contact diff.
+        assert_eq!(r.merges.len(), 2, "{:?}", r.violations);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn transistor_geometry_does_not_join_by_touch() {
+        // A diff wire overlapping a transistor's diffusion merges nothing
+        // here (terminal connections are net-list generation's job).
+        let r = run(
+            "DS 1; 9D NMOS_ENH; L NP; B 1500 500 250 0; L ND; B 500 2500 250 0; DF;
+             C 1 T 0 0;
+             L ND; W 500 250 -1000 250 -4000; E",
+        );
+        assert!(r.merges.is_empty());
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn under_width_touch_is_illegal_connection() {
+        // A legal wire touched by an under-width stub: the stub has no
+        // skeleton, so the connection is illegal (plus the stub is a width
+        // violation from stage 2, reported separately).
+        let r = run("L NM; B 2000 750 1000 375; B 400 400 2200 375; E");
+        assert_eq!(r.violations.len(), 1);
+        assert!(matches!(
+            r.violations[0].kind,
+            ViolationKind::IllegalConnection { .. }
+        ));
+    }
+}

@@ -1,0 +1,239 @@
+//! Stage 2 — "check elements": interconnect width per symbol definition.
+//!
+//! "The primitive elements of the chip are checked for legal width. This is
+//! done in the symbol definition, not in each instance of a symbol. Boxes
+//! and wires are trivial to check, polygons require a more general purpose
+//! polygon width routine. The only elements which are checked at this stage
+//! are interconnect."
+//!
+//! Checking per *definition* is the first hierarchy win: an element in a
+//! cell instantiated 10,000 times is checked once. It is also what enforces
+//! the paper's **self-sufficiency** usage rule (Fig. 15): a half-width box
+//! that would only reach legal width when butted against a copy from a
+//! neighbouring instance is flagged *in the definition*.
+
+use crate::binding::LayerBinding;
+use crate::violations::{CheckStage, Violation, ViolationKind};
+use diic_cif::{Element, Item, Layout, Shape, Symbol};
+use diic_geom::width::{check_polygon_width, check_rect_width, check_wire_width};
+use diic_tech::Technology;
+
+/// Runs element checks over every symbol definition and the top level.
+/// Elements inside device symbols are excluded (stage 3 checks those).
+pub fn check_elements(
+    layout: &Layout,
+    tech: &Technology,
+    binding: &LayerBinding,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for sym in layout.symbols() {
+        if sym.is_device() {
+            continue; // device internals belong to stage 3
+        }
+        for e in sym.elements() {
+            check_one(e, tech, binding, &sym.display_name(), &mut out);
+        }
+    }
+    for item in layout.top_items() {
+        if let Item::Element(e) = item {
+            check_one(e, tech, binding, "<top>", &mut out);
+        }
+    }
+    out
+}
+
+fn check_one(
+    e: &Element,
+    tech: &Technology,
+    binding: &LayerBinding,
+    context: &str,
+    out: &mut Vec<Violation>,
+) {
+    let Some(layer_id) = binding.layer(e.layer) else {
+        return; // unknown layer, reported by binding
+    };
+    let layer = tech.layer(layer_id);
+
+    // Device-only layers may not appear as loose interconnect: "implied
+    // devices are not allowed".
+    if layer.kind.is_device_only() {
+        out.push(Violation {
+            stage: CheckStage::Elements,
+            kind: ViolationKind::DeviceOnlyLayer {
+                layer: layer.name.clone(),
+            },
+            location: Some(e.shape.bbox()),
+            context: context.to_string(),
+        });
+        return;
+    }
+    if !layer.kind.is_interconnect() {
+        return; // e.g. glass: not geometrically checked
+    }
+
+    let min_w = layer.min_width;
+    match &e.shape {
+        Shape::Box(r) => {
+            if let Some(v) = check_rect_width(r, min_w) {
+                out.push(width_violation(layer.name.clone(), v.measured, min_w, v.location, context));
+            }
+        }
+        Shape::Wire(w) => {
+            if !w.is_manhattan() {
+                out.push(Violation {
+                    stage: CheckStage::Elements,
+                    kind: ViolationKind::NonManhattan,
+                    location: Some(w.bbox()),
+                    context: context.to_string(),
+                });
+            }
+            if let Some(v) = check_wire_width(w, min_w) {
+                out.push(width_violation(layer.name.clone(), v.measured, min_w, v.location, context));
+            }
+        }
+        Shape::Polygon(p) => {
+            for v in check_polygon_width(p, min_w) {
+                out.push(width_violation(layer.name.clone(), v.measured, min_w, v.location, context));
+            }
+        }
+    }
+}
+
+fn width_violation(
+    layer: String,
+    measured: diic_geom::Coord,
+    required: diic_geom::Coord,
+    location: diic_geom::Rect,
+    context: &str,
+) -> Violation {
+    Violation {
+        stage: CheckStage::Elements,
+        kind: ViolationKind::Width {
+            layer,
+            measured,
+            required,
+        },
+        location: Some(location),
+        context: context.to_string(),
+    }
+}
+
+/// Counts how many element width checks a flat checker would perform for
+/// the same layout (elements × instantiations) versus the hierarchical
+/// count (elements once per definition) — the stage-2 part of the run-time
+/// argument (paper Fig. 9/10).
+pub fn check_count_comparison(layout: &Layout) -> (u64, u64) {
+    let stats = diic_cif::hierarchy::stats(layout);
+    let hierarchical: u64 = layout
+        .symbols()
+        .iter()
+        .map(|s: &Symbol| s.elements().count() as u64)
+        .sum::<u64>()
+        + layout
+            .top_items()
+            .iter()
+            .filter(|i| matches!(i, Item::Element(_)))
+            .count() as u64;
+    (hierarchical, stats.flat_element_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diic_cif::parse;
+    use diic_tech::nmos::nmos_technology;
+
+    fn run(cif: &str) -> Vec<Violation> {
+        let layout = parse(cif).unwrap();
+        let tech = nmos_technology();
+        let (binding, mut v) = LayerBinding::bind(&layout, &tech);
+        v.extend(check_elements(&layout, &tech, &binding));
+        v
+    }
+
+    #[test]
+    fn legal_interconnect_passes() {
+        let v = run("L NM; B 2000 750 0 0; W 750 0 0 5000 0; L NP; B 500 3000 0 0; E");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn narrow_box_flagged() {
+        let v = run("L NM; B 2000 700 0 0; E");
+        assert_eq!(v.len(), 1);
+        assert!(matches!(
+            &v[0].kind,
+            ViolationKind::Width { measured: 700, required: 750, .. }
+        ));
+    }
+
+    #[test]
+    fn narrow_wire_flagged() {
+        let v = run("L NP; W 400 0 0 5000 0; E");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn fig15_half_width_box_flagged_in_definition() {
+        // A cell with a half-width poly box meant to butt against its
+        // neighbour: flagged once, in the definition.
+        let v = run("DS 1; 9 bad; L NP; B 250 2000 125 1000; DF; C 1; C 1 T 250 0; E");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].context, "bad");
+    }
+
+    #[test]
+    fn checked_once_per_definition() {
+        // 100 instances, still one violation record.
+        let mut cif = String::from("DS 1; L NM; B 2000 700 0 0; DF;\n");
+        for i in 0..100 {
+            cif.push_str(&format!("C 1 T {} 0;\n", i * 3000));
+        }
+        cif.push_str("E");
+        let v = run(&cif);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn device_symbol_elements_skipped() {
+        // Contact cut inside a device: not an element-stage problem.
+        let v = run("DS 1; 9D CONTACT_D; L NC; B 500 500 0 0; DF; C 1; E");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn loose_contact_flagged() {
+        let v = run("L NC; B 500 500 0 0; E");
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0].kind, ViolationKind::DeviceOnlyLayer { .. }));
+    }
+
+    #[test]
+    fn diagonal_wire_flagged() {
+        let v = run("L NM; W 750 0 0 5000 5000; E");
+        assert!(v.iter().any(|x| matches!(x.kind, ViolationKind::NonManhattan)));
+    }
+
+    #[test]
+    fn polygon_width_checked() {
+        // Legal L-shaped metal polygon.
+        let ok = run("L NM; P 0 0 3000 0 3000 750 750 750 750 3000 0 3000; E");
+        assert!(ok.is_empty(), "{ok:?}");
+        // Too-narrow arm.
+        let bad = run("L NM; P 0 0 3000 0 3000 700 700 700 700 3000 0 3000; E");
+        assert!(!bad.is_empty());
+    }
+
+    #[test]
+    fn count_comparison() {
+        let layout = parse(
+            "DS 1; L NM; B 2000 750 0 0; B 2000 750 0 2000; DF;
+             DS 2; C 1; C 1 T 5000 0; DF;
+             C 2; C 2 T 0 10000; C 2 T 0 20000; E",
+        )
+        .unwrap();
+        let (hier, flat) = check_count_comparison(&layout);
+        assert_eq!(hier, 2);
+        assert_eq!(flat, 2 * 2 * 3);
+    }
+}

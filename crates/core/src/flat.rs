@@ -1,0 +1,283 @@
+//! The baseline **flat, mask-level checker** the paper critiques.
+//!
+//! "Traditional checkers deal with mask geometry, that is, the geometrical
+//! form of the data just before pattern generation, in its fully
+//! instantiated form. Any topological or device information about the
+//! circuit is discarded."
+//!
+//! Faithfully reproduced here:
+//!
+//! * the layout is **fully instantiated** and unioned per mask layer —
+//!   symbol and net information is thrown away;
+//! * width = *shrink-expand-compare* (orthogonal, exact; or Euclidean on a
+//!   raster, which flags every convex corner — Fig. 4);
+//! * spacing = *expand-check-overlap* between connected components
+//!   (orthogonal ⇒ L∞ metric with its corner-to-corner false errors, or
+//!   Euclidean ⇒ L2);
+//! * no nets: electrically equivalent features are flagged (Fig. 5a);
+//! * no devices: poly crossing diffusion is assumed to be a legal
+//!   transistor (Fig. 8 — accidental crossings go **unchecked**), the
+//!   device-dependent base/isolation rule of Fig. 6 cannot be
+//!   distinguished (resistor ties are flagged), and a mask-level "no
+//!   contact over gate" check flags every butting contact (Fig. 7).
+
+use crate::violations::{CheckStage, Violation, ViolationKind};
+use diic_cif::{flatten, Layout};
+use diic_geom::raster::euclidean_shrink_expand_compare;
+use diic_geom::spacing::check_region_spacing;
+use diic_geom::width::shrink_expand_compare;
+use diic_geom::{Rect, Region, SizingMode};
+use diic_tech::{LayerId, LayerKind, Technology};
+use std::collections::HashMap;
+
+/// Baseline options.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatOptions {
+    /// Sizing/distance flavour for both width and spacing baselines.
+    pub metric: SizingMode,
+    /// Raster resolution for Euclidean shrink-expand-compare.
+    pub raster_resolution: i64,
+    /// Apply the mask-level "no contact over poly∩diff" rule (Fig. 7).
+    pub contact_over_gate_rule: bool,
+}
+
+impl Default for FlatOptions {
+    fn default() -> Self {
+        FlatOptions {
+            metric: SizingMode::Orthogonal,
+            raster_resolution: 25,
+            contact_over_gate_rule: true,
+        }
+    }
+}
+
+/// Runs the flat checker.
+pub fn flat_check(layout: &Layout, tech: &Technology, options: &FlatOptions) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let flat = flatten(layout);
+
+    // Union per layer: all topology discarded.
+    let mut rects_per_layer: HashMap<LayerId, Vec<Rect>> = HashMap::new();
+    for e in &flat {
+        let Some(layer) = tech.layer_by_cif(layout.layer_name(e.layer)) else {
+            continue; // unknown layers are the hierarchical front end's report
+        };
+        rects_per_layer.entry(layer).or_default().extend(e.shape.rects());
+    }
+    let layers: HashMap<LayerId, Region> = rects_per_layer
+        .into_iter()
+        .map(|(l, rs)| (l, Region::from_rects(rs)))
+        .collect();
+
+    // Width: shrink-expand-compare per layer.
+    for (&layer, region) in &layers {
+        let info = tech.layer(layer);
+        if !info.kind.is_interconnect() && info.kind != LayerKind::Contact {
+            continue;
+        }
+        let min_w = info.min_width;
+        match options.metric {
+            SizingMode::Orthogonal => {
+                for v in shrink_expand_compare(region, min_w) {
+                    violations.push(Violation {
+                        stage: CheckStage::Elements,
+                        kind: ViolationKind::Width {
+                            layer: info.name.clone(),
+                            measured: v.measured,
+                            required: min_w,
+                        },
+                        location: Some(v.location),
+                        context: "flat".to_string(),
+                    });
+                }
+            }
+            SizingMode::Euclidean => {
+                for loc in
+                    euclidean_shrink_expand_compare(region, min_w, options.raster_resolution)
+                {
+                    violations.push(Violation {
+                        stage: CheckStage::Elements,
+                        kind: ViolationKind::Width {
+                            layer: info.name.clone(),
+                            measured: loc.min_side().min(min_w - 1),
+                            required: min_w,
+                        },
+                        location: Some(loc),
+                        context: "flat".to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Spacing: expand-check-overlap between connected components, same
+    // layer and cross layer per the matrix. No net information exists.
+    for (a, b, rule) in tech.rules().entries() {
+        let required = rule.diff_net;
+        if a == b {
+            let Some(region) = layers.get(&a) else { continue };
+            let comps = region.components();
+            for i in 0..comps.len() {
+                for j in (i + 1)..comps.len() {
+                    for v in
+                        check_region_spacing(&comps[i], &comps[j], required, options.metric)
+                    {
+                        violations.push(spacing_violation(tech, a, b, &v));
+                    }
+                }
+            }
+        } else {
+            let (Some(ra), Some(rb)) = (layers.get(&a), layers.get(&b)) else {
+                continue;
+            };
+            // Overlapping cross-layer geometry is assumed intentional (a
+            // transistor, a contact): the mask-level checker cannot know
+            // better. Only disjoint features are spacing-checked — so it
+            // misses accidental crossings entirely (Fig. 8).
+            for v in check_region_spacing(ra, rb, required, options.metric) {
+                violations.push(spacing_violation(tech, a, b, &v));
+            }
+        }
+    }
+
+    // The mask-level Fig. 7 rule: no contact over the "active gate",
+    // defined — wrongly, as the paper points out — as poly ∩ diffusion.
+    if options.contact_over_gate_rule {
+        let poly = layers
+            .iter()
+            .find(|(l, _)| tech.layer(**l).kind == LayerKind::Poly)
+            .map(|(_, r)| r.clone());
+        let diff = layers
+            .iter()
+            .find(|(l, _)| tech.layer(**l).kind == LayerKind::Diffusion)
+            .map(|(_, r)| r.clone());
+        let contact = layers
+            .iter()
+            .find(|(l, _)| tech.layer(**l).kind == LayerKind::Contact)
+            .map(|(_, r)| r.clone());
+        if let (Some(poly), Some(diff), Some(contact)) = (poly, diff, contact) {
+            let gate = poly.intersection(&diff);
+            let bad = contact.intersection(&gate);
+            for comp in bad.components() {
+                violations.push(Violation {
+                    stage: CheckStage::PrimitiveSymbols,
+                    kind: ViolationKind::DeviceRule {
+                        device_type: "mask-level".to_string(),
+                        rule: "contact over poly∩diff (mask-level gate definition)".to_string(),
+                    },
+                    location: comp.bbox(),
+                    context: "flat".to_string(),
+                });
+            }
+        }
+    }
+
+    violations
+}
+
+fn spacing_violation(
+    tech: &Technology,
+    a: LayerId,
+    b: LayerId,
+    v: &diic_geom::spacing::SpacingViolation,
+) -> Violation {
+    Violation {
+        stage: CheckStage::Interactions,
+        kind: ViolationKind::Spacing {
+            layer_a: tech.layer(a).name.clone(),
+            layer_b: tech.layer(b).name.clone(),
+            measured: v.measured,
+            required: v.required,
+            same_net: false, // the flat checker has no concept of nets
+        },
+        location: Some(v.location),
+        context: "flat".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diic_cif::parse;
+    use diic_tech::nmos::nmos_technology;
+
+    fn run(cif: &str) -> Vec<Violation> {
+        let layout = parse(cif).unwrap();
+        flat_check(&layout, &nmos_technology(), &FlatOptions::default())
+    }
+
+    #[test]
+    fn clean_rails_pass() {
+        let v = run("L NM; B 10000 750 5000 375; B 10000 750 5000 3000; E");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn width_violation_found() {
+        let v = run("L NM; B 2000 700 1000 350; E");
+        assert!(v.iter().any(|x| matches!(x.kind, ViolationKind::Width { .. })));
+    }
+
+    #[test]
+    fn fig5a_same_net_false_error() {
+        // Two features of one (declared!) net too close: the flat checker
+        // has no nets and flags them anyway.
+        let v = run("L NM; 9N A; B 2000 750 1000 375; 9N A; B 2000 750 1000 1625; E");
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0].kind, ViolationKind::Spacing { .. }));
+    }
+
+    #[test]
+    fn fig8_accidental_crossing_unchecked() {
+        // Poly accidentally crossing diffusion: the flat checker reports
+        // NOTHING (it assumes a legal transistor) — an unchecked error.
+        let v = run("L NP; W 500 0 1000 3000 1000; L ND; W 500 1500 0 1500 2000; E");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn fig4_orthogonal_corner_false_error() {
+        // Corners at L2 ≈ 778 (legal) but L∞ = 550 (< 750): false error
+        // under the orthogonal expand-check-overlap baseline.
+        let v = run("L NM; B 1000 750 500 375; B 1000 750 2050 1675; E");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn euclidean_sec_flags_corners_of_legal_square() {
+        // A perfectly legal metal square: Euclidean shrink-expand-compare
+        // reports four corner slivers (Fig. 4's classic false errors).
+        let layout = parse("L NM; B 3000 3000 1500 1500; E").unwrap();
+        let v = flat_check(
+            &layout,
+            &nmos_technology(),
+            &FlatOptions {
+                metric: SizingMode::Euclidean,
+                raster_resolution: 10,
+                contact_over_gate_rule: true,
+            },
+        );
+        let widths = v
+            .iter()
+            .filter(|x| matches!(x.kind, ViolationKind::Width { .. }))
+            .count();
+        assert_eq!(widths, 4, "{v:?}");
+    }
+
+    #[test]
+    fn mask_level_contact_rule_flags_butting_contact() {
+        // A (perfectly legal) butting contact: contact over poly∩diff.
+        let v = run(
+            "DS 1; 9D BUTTING_CONTACT;
+             L NP; B 1000 1000 0 -250; L ND; B 1000 1000 0 250;
+             L NC; B 500 500 0 0; L NM; B 1000 1000 0 0; DF;
+             C 1; E",
+        );
+        assert!(
+            v.iter().any(
+                |x| matches!(&x.kind, ViolationKind::DeviceRule { rule, .. } if rule.contains("contact over"))
+            ),
+            "{v:?}"
+        );
+    }
+}

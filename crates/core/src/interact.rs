@@ -1,0 +1,678 @@
+//! Stage 6 — "check interactions": spacing via the rule matrix (Fig. 12).
+//!
+//! "At this point all elements are checked, all primitive symbols are
+//! checked, connections between the elements and symbols are checked, and
+//! net identifiers are available for each element. What remains to be
+//! checked are the interactions between elements and/or primitive symbols.
+//! The checks which remain are only spacing checks."
+//!
+//! Each layer-pair case splits into subcases (Fig. 12): same-net pairs are
+//! usually not checked at all (Fig. 5a — electrically equivalent), device
+//! overrides specialise the verdicts (Figs. 5b/6), and a transistor's
+//! un-netted parts are checked only against *unrelated* elements.
+//!
+//! Two search engines produce identical verdicts:
+//!
+//! * a **flat search** over one grid index of all instantiated elements;
+//! * a **hierarchical search** that caches geometric candidate pairs per
+//!   symbol (intra-instance) and per symbol-pair-with-relative-placement
+//!   (inter-instance) — Manhattan transforms preserve distances, so one
+//!   instance's geometry answers for all its repeats; only the per-instance
+//!   net subcases are re-evaluated. This is the "eliminate redundant
+//!   checks" front end of the paper.
+
+use crate::binding::ChipView;
+use crate::netgen::NetgenResult;
+use crate::violations::{CheckStage, Violation, ViolationKind};
+use diic_cif::{Item, Layout, SymbolId};
+use diic_geom::{Coord, GridIndex, Rect, SizingMode, Transform};
+
+use diic_tech::Technology;
+use std::collections::HashMap;
+
+/// Options for the interaction stage (ablation knobs).
+#[derive(Debug, Clone, Copy)]
+pub struct InteractOptions {
+    /// Suppress checks between same-net elements (the DIIC behaviour).
+    /// Off = check every pair like a topology-blind checker (Fig. 5a's
+    /// false errors return).
+    pub same_net_suppression: bool,
+    /// Distance metric: Euclidean (the physical intent) or orthogonal
+    /// (the L∞ expand-check-overlap baseline with its Fig. 4 corner
+    /// pathology).
+    pub metric: SizingMode,
+    /// Use the hierarchical candidate cache.
+    pub hierarchical: bool,
+}
+
+impl Default for InteractOptions {
+    fn default() -> Self {
+        InteractOptions {
+            same_net_suppression: true,
+            metric: SizingMode::Euclidean,
+            hierarchical: false,
+        }
+    }
+}
+
+/// Counters exposing how much work the topology saves (Fig. 12 pruning).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InteractStats {
+    /// Candidate pairs produced by the search.
+    pub candidate_pairs: u64,
+    /// Pairs with no rule in the matrix.
+    pub no_rule: u64,
+    /// Pairs suppressed because the elements share a net.
+    pub same_net_suppressed: u64,
+    /// Pairs suppressed because a transistor and its own terminals are
+    /// related.
+    pub related_suppressed: u64,
+    /// Pairs waived by a device override (Fig. 6b).
+    pub override_waived: u64,
+    /// Distance evaluations performed.
+    pub distance_checks: u64,
+    /// Violations reported.
+    pub violations: u64,
+    /// Hierarchical cache hits (instance pairs answered from cache).
+    pub cache_hits: u64,
+    /// Hierarchical cache misses (instance pairs searched geometrically).
+    pub cache_misses: u64,
+}
+
+/// Runs the interaction checks.
+pub fn check_interactions(
+    view: &ChipView,
+    tech: &Technology,
+    nets: &NetgenResult,
+    layout: &Layout,
+    options: &InteractOptions,
+) -> (Vec<Violation>, InteractStats) {
+    let mut stats = InteractStats::default();
+    let max_range = max_rule_range(tech);
+    let mut violations = Vec::new();
+    if options.hierarchical {
+        hierarchical_search(
+            view, tech, nets, layout, options, max_range, &mut violations, &mut stats,
+        );
+    } else {
+        flat_search(view, tech, nets, options, max_range, &mut violations, &mut stats);
+    }
+    stats.violations = violations.len() as u64;
+    (violations, stats)
+}
+
+fn max_rule_range(tech: &Technology) -> Coord {
+    let mut m = 1;
+    for (_, _, rule) in tech.rules().entries() {
+        m = m
+            .max(rule.diff_net)
+            .max(rule.same_net.unwrap_or(0))
+            .max(rule.unrelated_device.unwrap_or(0));
+    }
+    for dev in tech.devices() {
+        for o in &dev.overrides {
+            m = m.max(o.spacing.unwrap_or(0));
+        }
+    }
+    m
+}
+
+#[allow(clippy::too_many_arguments)]
+fn flat_search(
+    view: &ChipView,
+    tech: &Technology,
+    nets: &NetgenResult,
+    options: &InteractOptions,
+    max_range: Coord,
+    violations: &mut Vec<Violation>,
+    stats: &mut InteractStats,
+) {
+    let mut index: GridIndex<usize> = GridIndex::new((max_range * 4).max(1000));
+    for e in &view.elements {
+        index.insert(e.bbox, e.id);
+    }
+    let mut seen: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    for a in &view.elements {
+        let query = a
+            .bbox
+            .inflate(max_range)
+            .expect("inflating by positive range cannot fail");
+        for &j in index.query(&query) {
+            if j <= a.id || !seen.insert((a.id, j)) {
+                continue;
+            }
+            stats.candidate_pairs += 1;
+            evaluate_pair(view, tech, nets, options, a.id, j, violations, stats);
+        }
+    }
+}
+
+/// Decides and applies the rule for one element pair.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_pair(
+    view: &ChipView,
+    tech: &Technology,
+    nets: &NetgenResult,
+    options: &InteractOptions,
+    i: usize,
+    j: usize,
+    violations: &mut Vec<Violation>,
+    stats: &mut InteractStats,
+) {
+    let a = &view.elements[i];
+    let b = &view.elements[j];
+    if a.device.is_some() && a.device == b.device {
+        return; // internal to one device: stage 3's territory
+    }
+
+    let net_a = nets.element_net[i];
+    let net_b = nets.element_net[j];
+    let same_net = match (net_a, net_b) {
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    };
+
+    // Device overrides (Fig. 6): an element inside a device may replace the
+    // matrix rule for its interactions.
+    let mut rule: Option<(Coord, bool)> = None; // (required, counts_same_net)
+    let mut overridden = false;
+    for (own, other) in [(i, j), (j, i)] {
+        let eo = &view.elements[own];
+        let Some(d) = eo.device else { continue };
+        let Some(arch) = tech.device(&view.devices[d].device_type) else {
+            continue;
+        };
+        if let Some(o) = arch.find_override(eo.layer, view.elements[other].layer) {
+            overridden = true;
+            match o.spacing {
+                None => {
+                    stats.override_waived += 1;
+                    return; // waived entirely (resistor-to-isolation tie)
+                }
+                Some(s) => {
+                    if same_net && !o.applies_same_net {
+                        stats.same_net_suppressed += 1;
+                        return;
+                    }
+                    rule = Some((s, same_net));
+                }
+            }
+            break;
+        }
+    }
+
+    if !overridden {
+        let Some(matrix) = tech.rules().spacing(a.layer, b.layer) else {
+            stats.no_rule += 1;
+            return;
+        };
+        // Transistor relatedness: a transistor's un-netted parts are only
+        // checked against unrelated elements.
+        let mut required = None;
+        for (inside, other) in [(i, j), (j, i)] {
+            let e = &view.elements[inside];
+            let Some(d) = e.device else { continue };
+            let dev = &view.devices[d];
+            if !dev.class.map(|c| c.is_transistor()).unwrap_or(false) {
+                continue;
+            }
+            let other_net = nets.element_net[other];
+            let related = match other_net {
+                Some(n) => nets.device_terminal_nets[d].contains(&n),
+                None => view.elements[other]
+                    .device
+                    .map(|od| od == d)
+                    .unwrap_or(false),
+            };
+            if related {
+                stats.related_suppressed += 1;
+                return;
+            }
+            required = Some(matrix.for_unrelated_device());
+        }
+        let req = match required {
+            Some(r) => r,
+            None => {
+                if same_net && options.same_net_suppression {
+                    match matrix.for_same_net() {
+                        None => {
+                            stats.same_net_suppressed += 1;
+                            return;
+                        }
+                        Some(s) => s,
+                    }
+                } else {
+                    matrix.diff_net
+                }
+            }
+        };
+        rule = Some((req, same_net));
+    }
+
+    let Some((required, same_net)) = rule else { return };
+
+    // Distance.
+    stats.distance_checks += 1;
+    let Some((dist, gap_loc)) = element_distance(a.rects.as_slice(), b.rects.as_slice(), options.metric)
+    else {
+        return;
+    };
+
+    if dist == 0 {
+        // Touching: same-layer pairs were resolved by the connection stage;
+        // cross-layer device-forming overlaps were reported as implied
+        // devices. What remains (e.g. base touching isolation under a
+        // transistor override) is a genuine short.
+        if a.layer == b.layer {
+            return;
+        }
+        let forming = crate::connect::device_forming_pairs(tech);
+        let key = if a.layer <= b.layer {
+            (a.layer, b.layer)
+        } else {
+            (b.layer, a.layer)
+        };
+        if forming.contains(&key) {
+            return;
+        }
+    }
+
+    if dist < required {
+        violations.push(Violation {
+            stage: CheckStage::Interactions,
+            kind: ViolationKind::Spacing {
+                layer_a: tech.layer(a.layer).name.clone(),
+                layer_b: tech.layer(b.layer).name.clone(),
+                measured: dist,
+                required,
+                same_net,
+            },
+            location: Some(gap_loc),
+            context: pair_context(a, b),
+        });
+    }
+}
+
+/// Minimum distance between two rect sets under the metric, with a marker
+/// rectangle. Returns `None` if either set is empty.
+fn element_distance(a: &[Rect], b: &[Rect], metric: SizingMode) -> Option<(Coord, Rect)> {
+    let mut best: Option<(Coord, Rect)> = None;
+    for ra in a {
+        for rb in b {
+            let d = match metric {
+                SizingMode::Euclidean => diic_geom::width::isqrt(ra.dist_sq(rb)),
+                SizingMode::Orthogonal => ra.dist_linf(rb),
+            };
+            if best.as_ref().map_or(true, |(bd, _)| d < *bd) {
+                best = Some((d, ra.bounding_union(rb)));
+            }
+        }
+    }
+    best
+}
+
+fn pair_context(a: &crate::binding::ChipElement, b: &crate::binding::ChipElement) -> String {
+    if a.path == b.path {
+        a.path.clone()
+    } else {
+        format!("{} / {}", a.path, b.path)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hierarchical search with candidate caching.
+// ---------------------------------------------------------------------
+
+/// A top-level scope: one top-level call (with all elements instantiated
+/// beneath it) or the loose top-level elements.
+struct Scope {
+    symbol: Option<SymbolId>,
+    transform: Transform,
+    element_ids: Vec<usize>,
+    bbox: Option<Rect>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hierarchical_search(
+    view: &ChipView,
+    tech: &Technology,
+    nets: &NetgenResult,
+    layout: &Layout,
+    options: &InteractOptions,
+    max_range: Coord,
+    violations: &mut Vec<Violation>,
+    stats: &mut InteractStats,
+) {
+    // Group elements by top-level scope, in walk order (deterministic:
+    // walk order is identical for every instance of the same symbol).
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut loose: Vec<usize> = Vec::new();
+    let mut call_idx = 0usize;
+    let mut path_to_scope: HashMap<String, usize> = HashMap::new();
+    for item in layout.top_items() {
+        if let Item::Call(c) = item {
+            scopes.push(Scope {
+                symbol: Some(c.target),
+                transform: c.transform,
+                element_ids: Vec::new(),
+                bbox: None,
+            });
+            path_to_scope.insert(c.name.clone(), call_idx);
+            call_idx += 1;
+        }
+    }
+    for e in &view.elements {
+        let top = e.path.split('.').next().unwrap_or("");
+        if top.is_empty() {
+            loose.push(e.id);
+        } else if let Some(&s) = path_to_scope.get(top) {
+            scopes[s].element_ids.push(e.id);
+        } else {
+            loose.push(e.id);
+        }
+    }
+    scopes.push(Scope {
+        symbol: None,
+        transform: Transform::IDENTITY,
+        element_ids: loose,
+        bbox: None,
+    });
+    for s in &mut scopes {
+        let mut bb: Option<Rect> = None;
+        for &id in &s.element_ids {
+            let b = view.elements[id].bbox;
+            bb = Some(bb.map_or(b, |acc| acc.bounding_union(&b)));
+        }
+        s.bbox = bb;
+    }
+
+    // Candidate caches. Keys express "same geometry up to rigid motion".
+    let mut intra_cache: HashMap<SymbolId, Vec<(usize, usize)>> = HashMap::new();
+    let mut inter_cache: HashMap<(SymbolId, SymbolId, Transform), Vec<(usize, usize)>> =
+        HashMap::new();
+
+    // Intra-scope candidates.
+    for scope in &scopes {
+        let pairs: Vec<(usize, usize)> = match scope.symbol {
+            Some(sym) => {
+                if let Some(cached) = intra_cache.get(&sym) {
+                    stats.cache_hits += 1;
+                    cached.clone()
+                } else {
+                    stats.cache_misses += 1;
+                    let pairs = local_candidates(view, &scope.element_ids, max_range);
+                    intra_cache.insert(sym, pairs.clone());
+                    pairs
+                }
+            }
+            None => local_candidates(view, &scope.element_ids, max_range),
+        };
+        for (li, lj) in pairs {
+            stats.candidate_pairs += 1;
+            evaluate_pair(
+                view,
+                tech,
+                nets,
+                options,
+                scope.element_ids[li],
+                scope.element_ids[lj],
+                violations,
+                stats,
+            );
+        }
+    }
+
+    // Inter-scope candidates: only scope pairs whose inflated bboxes touch.
+    for si in 0..scopes.len() {
+        for sj in (si + 1)..scopes.len() {
+            let (sa, sb) = (&scopes[si], &scopes[sj]);
+            let (Some(ba), Some(bb)) = (sa.bbox, sb.bbox) else { continue };
+            let near = ba
+                .inflate(max_range)
+                .expect("inflate cannot fail")
+                .touches(&bb);
+            if !near {
+                continue;
+            }
+            let cached_pairs: Option<Vec<(usize, usize)>> = match (sa.symbol, sb.symbol) {
+                (Some(x), Some(y)) => {
+                    let rel = sa.transform.inverse().after(&sb.transform);
+                    let key = (x, y, rel);
+                    if let Some(p) = inter_cache.get(&key) {
+                        stats.cache_hits += 1;
+                        Some(p.clone())
+                    } else {
+                        stats.cache_misses += 1;
+                        let p = cross_candidates(view, &sa.element_ids, &sb.element_ids, max_range);
+                        inter_cache.insert(key, p.clone());
+                        Some(p)
+                    }
+                }
+                _ => None,
+            };
+            let pairs = cached_pairs.unwrap_or_else(|| {
+                cross_candidates(view, &sa.element_ids, &sb.element_ids, max_range)
+            });
+            for (li, lj) in pairs {
+                stats.candidate_pairs += 1;
+                evaluate_pair(
+                    view,
+                    tech,
+                    nets,
+                    options,
+                    sa.element_ids[li],
+                    sb.element_ids[lj],
+                    violations,
+                    stats,
+                );
+            }
+        }
+    }
+}
+
+/// Candidate close pairs within one element set (local indices).
+fn local_candidates(view: &ChipView, ids: &[usize], max_range: Coord) -> Vec<(usize, usize)> {
+    let mut index: GridIndex<usize> = GridIndex::new((max_range * 4).max(1000));
+    for (local, &id) in ids.iter().enumerate() {
+        index.insert(view.elements[id].bbox, local);
+    }
+    let mut out = Vec::new();
+    for (li, &id) in ids.iter().enumerate() {
+        let query = view.elements[id]
+            .bbox
+            .inflate(max_range)
+            .expect("inflate cannot fail");
+        for &lj in index.query(&query) {
+            if lj > li {
+                out.push((li, lj));
+            }
+        }
+    }
+    out
+}
+
+/// Candidate close pairs across two element sets (local index pairs).
+fn cross_candidates(
+    view: &ChipView,
+    a: &[usize],
+    b: &[usize],
+    max_range: Coord,
+) -> Vec<(usize, usize)> {
+    let mut index: GridIndex<usize> = GridIndex::new((max_range * 4).max(1000));
+    for (local, &id) in b.iter().enumerate() {
+        index.insert(view.elements[id].bbox, local);
+    }
+    let mut out = Vec::new();
+    for (la, &id) in a.iter().enumerate() {
+        let query = view.elements[id]
+            .bbox
+            .inflate(max_range)
+            .expect("inflate cannot fail");
+        for &lb in index.query(&query) {
+            out.push((la, lb));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::{instantiate, LayerBinding};
+    use crate::connect::check_connections;
+    use crate::netgen::generate_netlist;
+    use diic_cif::parse;
+    use diic_tech::nmos::nmos_technology;
+
+    fn run_with(cif: &str, options: InteractOptions) -> (Vec<Violation>, InteractStats) {
+        let layout = parse(cif).unwrap();
+        let tech = nmos_technology();
+        let (binding, _) = LayerBinding::bind(&layout, &tech);
+        let view = instantiate(&layout, &tech, &binding);
+        let conn = check_connections(&view, &tech);
+        let labels: Vec<_> = layout
+            .labels()
+            .iter()
+            .map(|l| (l.clone(), binding.layer(l.layer)))
+            .collect();
+        let nets = generate_netlist(&view, &tech, &conn.merges, &labels);
+        check_interactions(&view, &tech, &nets, &layout, &options)
+    }
+
+    fn run(cif: &str) -> (Vec<Violation>, InteractStats) {
+        run_with(cif, InteractOptions::default())
+    }
+
+    #[test]
+    fn metal_spacing_violation() {
+        // Two metal wires 500 apart; rule is 750.
+        let (v, _) = run("L NM; B 2000 750 1000 375; B 2000 750 1000 1625; E");
+        assert_eq!(v.len(), 1);
+        assert!(matches!(
+            &v[0].kind,
+            ViolationKind::Spacing { measured: 500, required: 750, .. }
+        ));
+    }
+
+    #[test]
+    fn fig5a_same_net_not_checked() {
+        // The same geometry with both wires declared on one net: suppressed.
+        let (v, stats) = run(
+            "L NM; 9N A; B 2000 750 1000 375; 9N A; B 2000 750 1000 1625; E",
+        );
+        assert!(v.is_empty(), "{v:?}");
+        assert!(stats.same_net_suppressed >= 1);
+    }
+
+    #[test]
+    fn ablation_without_suppression_flags_same_net() {
+        let opts = InteractOptions {
+            same_net_suppression: false,
+            ..Default::default()
+        };
+        let (v, _) = run_with(
+            "L NM; 9N A; B 2000 750 1000 375; 9N A; B 2000 750 1000 1625; E",
+            opts,
+        );
+        assert_eq!(v.len(), 1, "without topology the same-net pair is a false error");
+        assert!(matches!(&v[0].kind, ViolationKind::Spacing { same_net: true, .. }));
+    }
+
+    #[test]
+    fn fig4_corner_metric_difference() {
+        // Metal corners at diagonal distance 500·√2 ≈ 707 < 750: violation
+        // under Euclidean; L∞ = 500 also violates. Now at 550 apart each
+        // axis: L2 ≈ 778 > 750 passes, L∞ = 550 fails (false error).
+        let euclid = run("L NM; B 1000 750 500 375; B 1000 750 2050 1675; E");
+        assert!(euclid.0.is_empty(), "{:?}", euclid.0);
+        let orth = run_with(
+            "L NM; B 1000 750 500 375; B 1000 750 2050 1675; E",
+            InteractOptions {
+                metric: SizingMode::Orthogonal,
+                ..Default::default()
+            },
+        );
+        assert_eq!(orth.0.len(), 1, "orthogonal metric over-flags the corner");
+    }
+
+    #[test]
+    fn no_rule_pairs_skipped() {
+        let (v, stats) = run("L NM; B 2000 750 1000 375; L ND; B 2000 500 1000 1625; E");
+        assert!(v.is_empty());
+        assert!(stats.no_rule >= 1);
+    }
+
+    #[test]
+    fn transistor_related_suppressed_unrelated_checked() {
+        // A poly wire connected to the transistor's gate terminal may run
+        // close to the device; an unrelated poly wire may not.
+        let cif_related = "
+            DS 1; 9D NMOS_ENH; 9T G NP -375 0; 9T S ND 250 -1000; 9T D ND 250 1000;
+            L NP; B 1500 500 250 0; L ND; B 500 2500 250 0; DF;
+            C 1 T 0 0;
+            L NP; 9N in; W 500 -375 0 -3000 0;
+            E";
+        let (v, stats) = run(cif_related);
+        assert!(v.is_empty(), "{v:?}");
+        assert!(stats.related_suppressed >= 1);
+        // Unrelated wire at 125 from the diffusion (rule: poly-diff 250).
+        let cif_unrelated = "
+            DS 1; 9D NMOS_ENH; 9T G NP -375 0; 9T S ND 250 -1000; 9T D ND 250 1000;
+            L NP; B 1500 500 250 0; L ND; B 500 2500 250 0; DF;
+            C 1 T 0 0;
+            L NP; 9N foreign; W 500 875 -3000 875 3000;
+            E";
+        let (v2, _) = run(cif_unrelated);
+        assert!(
+            v2.iter().any(|x| matches!(&x.kind, ViolationKind::Spacing { .. })),
+            "unrelated poly near transistor diff must be checked: {v2:?}"
+        );
+    }
+
+    #[test]
+    fn hierarchical_matches_flat_verdicts() {
+        // An array with injected spacing violations must yield identical
+        // violation multisets under both engines.
+        let mut cif = String::from(
+            "DS 1; L NM; B 2000 750 1000 375; B 2000 750 1000 1625; DF;\n",
+        );
+        for i in 0..6 {
+            cif.push_str(&format!("C 1 T {} 0;\n", i * 4000));
+        }
+        cif.push_str("E");
+        let (flat, _) = run(&cif);
+        let (hier, stats) = run_with(
+            &cif,
+            InteractOptions {
+                hierarchical: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(flat.len(), hier.len());
+        assert_eq!(flat.len(), 6); // one violation per instance
+        assert!(stats.cache_hits >= 5, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn hierarchical_cross_instance_pairs() {
+        // Instances placed too close: the wires of adjacent cells violate
+        // metal spacing across the boundary.
+        let mut cif = String::from("DS 1; L NM; B 2000 750 1000 375; DF;\n");
+        for i in 0..5 {
+            cif.push_str(&format!("C 1 T {} 0;\n", i * 2500)); // 500 gap
+        }
+        cif.push_str("E");
+        let (flat, _) = run(&cif);
+        let (hier, stats) = run_with(
+            &cif,
+            InteractOptions {
+                hierarchical: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(flat.len(), 4, "{flat:?}");
+        assert_eq!(hier.len(), 4);
+        // 4 identical adjacent pairs: 1 miss + 3 hits.
+        assert!(stats.cache_hits >= 3, "stats: {stats:?}");
+    }
+}

@@ -1,0 +1,64 @@
+//! # diic-core — Design Integrity and Immunity Checking
+//!
+//! The primary contribution of McGrath & Whitney (DAC 1980): a layout
+//! verifier that keeps **topological and device information** instead of
+//! checking bare mask geometry, eliminating most false and unchecked
+//! errors.
+//!
+//! The pipeline (paper Fig. 10):
+//!
+//! 1. **Parse CIF** (in [`diic_cif`]) — extended with net identifiers
+//!    (`9N`), device types (`9D`), immunity flags (`9C`), terminals (`9T`)
+//!    and net labels (`9L`);
+//! 2. **Check elements** — interconnect width, once per symbol
+//!    *definition* ([`element_checks`]);
+//! 3. **Check primitive symbols** — device-internal enclosure / overlap /
+//!    overlap-of-overlap rules, with the `9C` immunity waiver
+//!    ([`primitive_checks`]);
+//! 4. **Check legal connections** — skeletal connectivity (Fig. 11) and
+//!    undeclared-device detection (Fig. 8) ([`connect`]);
+//! 5. **Generate hierarchical net list** — dot-notation net identifiers,
+//!    device terminals ([`netgen`]);
+//! 6. **Check interactions** — spacing only, driven by the Fig. 12
+//!    upper-triangular layer-pair matrix with same-net / unrelated-device
+//!    subcases and device overrides (Figs. 5–6), searched hierarchically
+//!    with candidate caching ([`interact`]);
+//!
+//! plus the non-geometric construction rules and net-list consistency
+//! check, and the **flat mask-level baseline** ([`flat`]) the paper
+//! measures itself against.
+//!
+//! # Example
+//!
+//! ```
+//! use diic_core::{check_cif, CheckOptions};
+//! use diic_tech::nmos::nmos_technology;
+//!
+//! let tech = nmos_technology();
+//! let options = CheckOptions { erc: false, ..CheckOptions::default() };
+//! let report = check_cif(
+//!     "L NM; B 2000 700 1000 350; E", // a 700-wide wire; metal needs 750
+//!     &tech,
+//!     &options,
+//! )?;
+//! assert_eq!(report.violations.len(), 1);
+//! # Ok::<(), diic_cif::CifError>(())
+//! ```
+
+pub mod binding;
+pub mod checker;
+pub mod connect;
+pub mod element_checks;
+pub mod flat;
+pub mod interact;
+pub mod netgen;
+pub mod primitive_checks;
+pub mod report;
+pub mod violations;
+
+pub use binding::{ChipElement, ChipView, DeviceInstance, LayerBinding};
+pub use checker::{check, check_cif, CheckOptions, CheckReport, StageTimings};
+pub use flat::{flat_check, FlatOptions};
+pub use interact::{InteractOptions, InteractStats};
+pub use report::{account, category_of, format_report, ErrorRegions, InjectedError};
+pub use violations::{CheckStage, Violation, ViolationKind};

@@ -1,0 +1,290 @@
+//! Stage 5 — "generate hierarchical net list".
+//!
+//! "While parsing the design, each element in the design is assigned a
+//! unique net identifier using a dot notation to reference elements in an
+//! instance from a higher level in the hierarchy. With this hierarchical
+//! net list available, it is now possible to check electrical construction
+//! rules or to check the net list against an input net list for
+//! consistency."
+
+use crate::binding::ChipView;
+use crate::connect::is_joining_class;
+use crate::violations::Violation;
+use diic_cif::NetLabel;
+use diic_geom::{GridIndex, Point};
+use diic_netlist::{NetId, Netlist, NetlistBuilder};
+use diic_tech::{DeviceClass, LayerId, Technology};
+
+/// Output of net-list generation.
+#[derive(Debug, Clone)]
+pub struct NetgenResult {
+    /// The extracted net list.
+    pub netlist: Netlist,
+    /// Net of each element (index = element id); `None` for un-netted
+    /// device internals (gates, resistor bodies).
+    pub element_net: Vec<Option<NetId>>,
+    /// Terminal nets per device instance (index = device id).
+    pub device_terminal_nets: Vec<Vec<NetId>>,
+    /// Violations (currently none are produced here; reserved for
+    /// extraction anomalies).
+    pub violations: Vec<Violation>,
+}
+
+/// Generates the hierarchical net list.
+///
+/// * interconnect elements get their declared (`9N`, path-qualified) or
+///   auto net keys;
+/// * stage-4 merges unify keys;
+/// * contact-class devices join all their elements and terminals into one
+///   net; transistors/resistors expose per-terminal nets that bind to any
+///   element covering the terminal point on the terminal's layer;
+/// * `9L` labels name the net of the element covering the labelled point.
+pub fn generate_netlist(
+    view: &ChipView,
+    _tech: &Technology,
+    merges: &[(usize, usize)],
+    labels: &[(NetLabel, Option<LayerId>)],
+) -> NetgenResult {
+    let mut b = NetlistBuilder::new();
+
+    // Element keys — only for elements that carry nets: interconnect and
+    // joining (contact-class) device geometry. A transistor's un-netted
+    // parts must not become phantom zero-terminal nets.
+    for e in &view.elements {
+        let netted = match e.device {
+            None => true,
+            Some(d) => is_joining_class(view.devices[d].class),
+        };
+        if netted {
+            b.node(&e.net_key);
+        }
+    }
+    // Stage-4 merges.
+    for &(i, j) in merges {
+        b.connect(&view.elements[i].net_key, &view.elements[j].net_key);
+    }
+
+    // Spatial index for terminal/label point binding: prefer interconnect
+    // and joining-device elements (transistor internals don't carry nets).
+    let mut index: GridIndex<usize> = GridIndex::new(2000);
+    for e in &view.elements {
+        let bindable = match e.device {
+            None => true,
+            Some(d) => is_joining_class(view.devices[d].class),
+        };
+        if bindable {
+            index.insert(e.bbox, e.id);
+        }
+    }
+    let elements_at = |index: &GridIndex<usize>, layer: LayerId, p: Point| -> Vec<usize> {
+        index
+            .query(&diic_geom::Rect::new(p.x, p.y, p.x, p.y))
+            .into_iter()
+            .copied()
+            .filter(|&id| {
+                let e = &view.elements[id];
+                e.layer == layer && e.rects.iter().any(|r| r.contains_point(p))
+            })
+            .collect()
+    };
+
+    // Devices.
+    let mut device_term_keys: Vec<Vec<(String, String)>> = Vec::with_capacity(view.devices.len());
+    for (di, dev) in view.devices.iter().enumerate() {
+        let joining = is_joining_class(dev.class);
+        let mut term_keys = Vec::new();
+        if joining {
+            // One net for the whole device.
+            let dev_key = format!("{}.#", dev.path);
+            b.node(&dev_key);
+            for &eid in &dev.element_ids {
+                b.connect(&dev_key, &view.elements[eid].net_key);
+            }
+            for (tname, _, _) in &dev.terminals {
+                term_keys.push((tname.clone(), dev_key.clone()));
+            }
+            if dev.terminals.is_empty() {
+                // Still a device on its single net.
+                term_keys.push(("A".to_string(), dev_key.clone()));
+            }
+        } else {
+            // Terminal-separated device: each terminal is its own key,
+            // bound to covering elements.
+            for (tname, layer, pos) in &dev.terminals {
+                let key = format!("{}.{}", dev.path, tname);
+                b.node(&key);
+                for id in elements_at(&index, *layer, *pos) {
+                    b.connect(&key, &view.elements[id].net_key);
+                }
+                term_keys.push((tname.clone(), key));
+            }
+        }
+        let class = dev.class.unwrap_or(DeviceClass::Capacitor);
+        let refs: Vec<(&str, &str)> = term_keys
+            .iter()
+            .map(|(t, k)| (t.as_str(), k.as_str()))
+            .collect();
+        b.add_device(&dev.path, &dev.device_type, class, &refs);
+        device_term_keys.push(term_keys);
+        let _ = di;
+    }
+
+    // Labels.
+    for (label, layer) in labels {
+        let Some(layer) = layer else { continue };
+        b.node(&label.net);
+        for id in elements_at(&index, *layer, label.position) {
+            b.connect(&label.net, &view.elements[id].net_key);
+        }
+    }
+
+    let netlist = b.finish();
+
+    // Resolve nets per element and per device terminal.
+    let element_net: Vec<Option<NetId>> = view
+        .elements
+        .iter()
+        .map(|e| {
+            let unnetted = match e.device {
+                None => false,
+                Some(d) => !is_joining_class(view.devices[d].class),
+            };
+            if unnetted {
+                None
+            } else {
+                netlist.net_by_name(&e.net_key)
+            }
+        })
+        .collect();
+    let device_terminal_nets: Vec<Vec<NetId>> = device_term_keys
+        .iter()
+        .map(|terms| {
+            terms
+                .iter()
+                .filter_map(|(_, key)| netlist.net_by_name(key))
+                .collect()
+        })
+        .collect();
+
+    NetgenResult {
+        netlist,
+        element_net,
+        device_terminal_nets,
+        violations: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::{instantiate, LayerBinding};
+    use crate::connect::check_connections;
+    use diic_cif::parse;
+    use diic_tech::nmos::nmos_technology;
+
+    fn extract(cif: &str) -> (NetgenResult, ChipView) {
+        let layout = parse(cif).unwrap();
+        let tech = nmos_technology();
+        let (binding, _) = LayerBinding::bind(&layout, &tech);
+        let view = instantiate(&layout, &tech, &binding);
+        let conn = check_connections(&view, &tech);
+        let labels: Vec<(NetLabel, Option<LayerId>)> = layout
+            .labels()
+            .iter()
+            .map(|l| (l.clone(), binding.layer(l.layer)))
+            .collect();
+        let r = generate_netlist(&view, &tech, &conn.merges, &labels);
+        (r, view)
+    }
+
+    #[test]
+    fn connected_wires_share_a_net() {
+        let (r, _) = extract(
+            "L NM; 9N A; B 2000 750 1000 375; 9N B; B 2000 750 2200 375; E",
+        );
+        let a = r.netlist.net_by_name("A").unwrap();
+        let b = r.netlist.net_by_name("B").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transistor_terminals_bind_to_covering_wires() {
+        // Enhancement transistor with poly gate wire and diff S/D wires
+        // covering its terminal points.
+        let (r, _) = extract(
+            "DS 1; 9 tr; 9D NMOS_ENH;
+             9T G NP -375 0; 9T S ND 250 -1000; 9T D ND 250 1000;
+             L NP; B 1500 500 250 0;
+             L ND; B 500 2500 250 0;
+             DF;
+             C 1 T 0 0;
+             L NP; 9N in; W 500 -375 0 -3000 0;
+             L ND; 9N gnd; W 500 250 -1000 250 -4000;
+             L ND; 9N out; W 500 250 1000 250 4000;
+             E",
+        );
+        assert_eq!(r.netlist.device_count(), 1);
+        let dev = &r.netlist.devices()[0];
+        assert_eq!(dev.device_type, "NMOS_ENH");
+        let g = r.netlist.net_by_name("in").unwrap();
+        let s = r.netlist.net_by_name("gnd").unwrap();
+        let d = r.netlist.net_by_name("out").unwrap();
+        let find = |t: &str| dev.terminals.iter().find(|(n, _)| n == t).unwrap().1;
+        assert_eq!(find("G"), g);
+        assert_eq!(find("S"), s);
+        assert_eq!(find("D"), d);
+        // Three distinct nets (no shorting through the channel!).
+        assert_ne!(s, d);
+        assert_ne!(g, s);
+    }
+
+    #[test]
+    fn contact_joins_layers_into_one_net() {
+        let (r, _) = extract(
+            "DS 1; 9D CONTACT_D; 9T A NM 0 0; 9T B ND 0 0;
+             L NC; B 500 500 0 0; L ND; B 1000 1000 0 0; L NM; B 1000 1000 0 0; DF;
+             C 1 T 0 0;
+             L NM; 9N up; W 750 0 0 4000 0;
+             L ND; 9N down; W 500 0 0 -4000 0;
+             E",
+        );
+        let up = r.netlist.net_by_name("up").unwrap();
+        let down = r.netlist.net_by_name("down").unwrap();
+        assert_eq!(up, down, "contact must join metal and diffusion nets");
+    }
+
+    #[test]
+    fn labels_name_nets() {
+        let (r, _) = extract("L NM; B 2000 750 1000 375; 9L VDD NM 1000 375; E");
+        assert!(r.netlist.net_by_name("VDD").is_some());
+        // The rail element's net carries the VDD alias.
+        let vdd = r.netlist.net_by_name("VDD").unwrap();
+        assert!(r.netlist.net(vdd).aliases.iter().any(|a| a == "VDD"));
+        assert!(r.element_net[0] == Some(vdd));
+    }
+
+    #[test]
+    fn hierarchical_dot_notation_nets() {
+        let (r, _) = extract(
+            "DS 1; L NM; 9N out; B 2000 750 1000 375; DF;
+             C 1 T 0 0; C 1 T 10000 0; E",
+        );
+        assert!(r.netlist.net_by_name("i0.out").is_some());
+        assert!(r.netlist.net_by_name("i1.out").is_some());
+        assert_ne!(
+            r.netlist.net_by_name("i0.out"),
+            r.netlist.net_by_name("i1.out"),
+            "instances must get distinct nets"
+        );
+    }
+
+    #[test]
+    fn transistor_internals_unnetted() {
+        let (r, view) = extract(
+            "DS 1; 9D NMOS_ENH; L NP; B 1500 500 250 0; L ND; B 500 2500 250 0; DF; C 1; E",
+        );
+        for e in &view.elements {
+            assert!(r.element_net[e.id].is_none());
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Report formatting and the Fig. 1 error-region accounting.
+//!
+//! The paper's Fig. 1 partitions the world into: region 1 — real errors
+//! **not** flagged (unchecked); region 2 — real errors flagged; region 3 —
+//! flagged non-errors (false errors). Given a ground-truth ledger of
+//! injected errors, [`account`] classifies a checker's output and computes
+//! the false:real ratio ("the ratio of false to real errors can be 10 to 1
+//! or higher").
+
+use crate::violations::{CheckStage, Violation};
+use diic_geom::Rect;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// One injected (ground-truth) error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedError {
+    /// Where the error was injected (chip coordinates).
+    pub location: Rect,
+    /// Category tag that a matching violation must carry (see
+    /// [`category_of`]).
+    pub category: &'static str,
+    /// Free-form description.
+    pub description: String,
+}
+
+/// The Fig. 1 accounting result.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ErrorRegions {
+    /// Region 2: injected errors that were flagged.
+    pub real_flagged: usize,
+    /// Region 1: injected errors that were missed.
+    pub unchecked: usize,
+    /// Region 3: flagged violations matching no injected error.
+    pub false_errors: usize,
+    /// Total violations reported.
+    pub reported: usize,
+    /// Total errors injected.
+    pub injected: usize,
+}
+
+impl ErrorRegions {
+    /// The false-to-real ratio (∞ when nothing real was flagged but false
+    /// errors exist; 0 when nothing false).
+    pub fn false_to_real_ratio(&self) -> f64 {
+        if self.real_flagged == 0 {
+            if self.false_errors == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.false_errors as f64 / self.real_flagged as f64
+        }
+    }
+
+    /// Coverage: fraction of injected errors flagged.
+    pub fn coverage(&self) -> f64 {
+        if self.injected == 0 {
+            1.0
+        } else {
+            self.real_flagged as f64 / self.injected as f64
+        }
+    }
+}
+
+/// The category a violation belongs to, for ground-truth matching.
+pub fn category_of(v: &Violation) -> &'static str {
+    use crate::violations::ViolationKind::*;
+    match &v.kind {
+        Width { .. } => "width",
+        Spacing { .. } => "spacing",
+        IllegalConnection { .. } => "connection",
+        ImpliedDevice { .. } => "implied-device",
+        DeviceOnlyLayer { .. } => "device-only-layer",
+        NonManhattan => "non-manhattan",
+        UnknownLayer { .. } => "unknown-layer",
+        UnknownDeviceType { .. } => "unknown-device",
+        // The contact-over-gate class gets its own category: both the DIIC
+        // archetype rule and the flat checker's mask-level rule detect it,
+        // and it must not satisfy ground truth for other device rules.
+        DeviceRule { rule, .. } if rule.contains("active gate") || rule.contains("contact over") => {
+            "contact-over-gate"
+        }
+        DeviceRule { .. } => "device-rule",
+        TerminalOutsideDevice { .. } => "terminal",
+        Erc { .. } => "erc",
+        NetlistMismatch { .. } => "netlist",
+    }
+}
+
+/// Matches violations against injected errors by category and location
+/// (inflated by `tolerance`), and computes the error regions.
+///
+/// A violation without a location can only match location-less ground
+/// truth of the same category (ERC errors use a zero rect sentinel and
+/// match any distance — electrical errors have no meaningful location).
+pub fn account(
+    violations: &[Violation],
+    injected: &[InjectedError],
+    tolerance: i64,
+) -> ErrorRegions {
+    let mut matched_injected: HashSet<usize> = HashSet::new();
+    let mut false_errors = 0usize;
+    for v in violations {
+        let cat = category_of(v);
+        let mut matched = false;
+        for (idx, inj) in injected.iter().enumerate() {
+            if inj.category != cat {
+                continue;
+            }
+            let loc_ok = match (&v.location, inj.location.is_degenerate()) {
+                (_, true) => true, // location-less ground truth (ERC)
+                (Some(loc), false) => loc
+                    .inflate(tolerance)
+                    .map(|l| l.touches(&inj.location))
+                    .unwrap_or(false),
+                (None, false) => false,
+            };
+            if loc_ok {
+                matched_injected.insert(idx);
+                matched = true;
+                // Keep scanning: one violation may witness several injected
+                // errors at the same spot.
+            }
+        }
+        if !matched {
+            false_errors += 1;
+        }
+    }
+    ErrorRegions {
+        real_flagged: matched_injected.len(),
+        unchecked: injected.len() - matched_injected.len(),
+        false_errors,
+        reported: violations.len(),
+        injected: injected.len(),
+    }
+}
+
+/// Formats a human-readable violation report grouped by stage.
+pub fn format_report(violations: &[Violation]) -> String {
+    let mut s = String::new();
+    let stages = [
+        CheckStage::Elements,
+        CheckStage::PrimitiveSymbols,
+        CheckStage::Connections,
+        CheckStage::NetList,
+        CheckStage::Interactions,
+        CheckStage::Composition,
+    ];
+    let _ = writeln!(s, "{} violation(s)", violations.len());
+    for stage in stages {
+        let of_stage: Vec<&Violation> = violations.iter().filter(|v| v.stage == stage).collect();
+        if of_stage.is_empty() {
+            continue;
+        }
+        let _ = writeln!(s, "== {} ({})", stage, of_stage.len());
+        for v in of_stage {
+            let _ = writeln!(s, "   {v}");
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::violations::ViolationKind;
+
+    fn width_violation(x: i64) -> Violation {
+        Violation {
+            stage: CheckStage::Elements,
+            kind: ViolationKind::Width {
+                layer: "metal".into(),
+                measured: 700,
+                required: 750,
+            },
+            location: Some(Rect::new(x, 0, x + 100, 100)),
+            context: String::new(),
+        }
+    }
+
+    #[test]
+    fn perfect_checker_accounting() {
+        let injected = vec![InjectedError {
+            location: Rect::new(0, 0, 100, 100),
+            category: "width",
+            description: "narrowed wire".into(),
+        }];
+        let r = account(&[width_violation(0)], &injected, 100);
+        assert_eq!(r.real_flagged, 1);
+        assert_eq!(r.unchecked, 0);
+        assert_eq!(r.false_errors, 0);
+        assert_eq!(r.false_to_real_ratio(), 0.0);
+        assert_eq!(r.coverage(), 1.0);
+    }
+
+    #[test]
+    fn false_and_unchecked_errors() {
+        let injected = vec![InjectedError {
+            location: Rect::new(0, 0, 100, 100),
+            category: "spacing",
+            description: "nudged wire".into(),
+        }];
+        // Wrong category and far away: one false error, one unchecked.
+        let r = account(&[width_violation(100_000)], &injected, 100);
+        assert_eq!(r.real_flagged, 0);
+        assert_eq!(r.unchecked, 1);
+        assert_eq!(r.false_errors, 1);
+        assert!(r.false_to_real_ratio().is_infinite());
+        assert_eq!(r.coverage(), 0.0);
+    }
+
+    #[test]
+    fn location_tolerance() {
+        let injected = vec![InjectedError {
+            location: Rect::new(300, 0, 400, 100),
+            category: "width",
+            description: "near miss".into(),
+        }];
+        // 200 away from the violation bbox: tolerance 250 matches,
+        // tolerance 150 does not.
+        let r = account(&[width_violation(0)], &injected, 250);
+        assert_eq!(r.real_flagged, 1);
+        let strict = account(&[width_violation(0)], &injected, 150);
+        assert_eq!(strict.real_flagged, 0);
+    }
+
+    #[test]
+    fn erc_ground_truth_matches_without_location() {
+        let injected = vec![InjectedError {
+            location: Rect::new(0, 0, 0, 0),
+            category: "erc",
+            description: "power-ground short".into(),
+        }];
+        let v = Violation {
+            stage: CheckStage::Composition,
+            kind: ViolationKind::Erc {
+                rule: diic_netlist::ErcRule::PowerGroundShort,
+                detail: "net x".into(),
+            },
+            location: None,
+            context: "x".into(),
+        };
+        let r = account(&[v], &injected, 0);
+        assert_eq!(r.real_flagged, 1);
+        assert_eq!(r.false_errors, 0);
+    }
+
+    #[test]
+    fn report_formatting() {
+        let text = format_report(&[width_violation(0)]);
+        assert!(text.contains("1 violation"));
+        assert!(text.contains("== elements"));
+    }
+}

@@ -1,0 +1,220 @@
+//! The violation model: what the checker reports.
+
+use diic_geom::{Coord, Rect};
+use diic_netlist::ErcRule;
+
+/// Which pipeline stage (paper Fig. 10) produced a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckStage {
+    /// "Check elements" — interconnect width per symbol definition.
+    Elements,
+    /// "Check primitive symbols" — device-internal rules.
+    PrimitiveSymbols,
+    /// "Check legal connections" — skeletal connectivity.
+    Connections,
+    /// "Generate hierarchical net list" — extraction anomalies.
+    NetList,
+    /// "Check interactions" — spacing via the rule matrix.
+    Interactions,
+    /// Non-geometric construction rules (ERC).
+    Composition,
+}
+
+impl std::fmt::Display for CheckStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CheckStage::Elements => "elements",
+            CheckStage::PrimitiveSymbols => "primitive-symbols",
+            CheckStage::Connections => "connections",
+            CheckStage::NetList => "net-list",
+            CheckStage::Interactions => "interactions",
+            CheckStage::Composition => "composition",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What kind of rule was violated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViolationKind {
+    /// Feature narrower than the layer's minimum width.
+    Width {
+        /// The layer name.
+        layer: String,
+        /// Measured width.
+        measured: Coord,
+        /// Required minimum.
+        required: Coord,
+    },
+    /// Features closer than the applicable spacing rule.
+    Spacing {
+        /// First layer name.
+        layer_a: String,
+        /// Second layer name.
+        layer_b: String,
+        /// Measured distance (0 = touching/overlapping).
+        measured: Coord,
+        /// Required minimum.
+        required: Coord,
+        /// True if the offending pair shared a net (only possible for
+        /// rules with a same-net subcase, e.g. across a resistor).
+        same_net: bool,
+    },
+    /// Same-layer elements touch but are not skeletally connected
+    /// (paper Fig. 11/15): the union's width is not guaranteed legal.
+    IllegalConnection {
+        /// The layer name.
+        layer: String,
+    },
+    /// Interconnect on two layers forms an undeclared device (paper
+    /// Fig. 8: poly crossing diffusion outside a transistor symbol).
+    ImpliedDevice {
+        /// First layer name.
+        layer_a: String,
+        /// Second layer name.
+        layer_b: String,
+    },
+    /// An element on a device-only layer (contact, implant, buried)
+    /// appears outside any declared device symbol.
+    DeviceOnlyLayer {
+        /// The layer name.
+        layer: String,
+    },
+    /// A wire with non-axis-parallel segments (the DIIC design style is
+    /// Manhattan).
+    NonManhattan,
+    /// A CIF layer name that the technology does not define.
+    UnknownLayer {
+        /// The CIF layer name.
+        cif_name: String,
+    },
+    /// A `9D` device type the technology does not define.
+    UnknownDeviceType {
+        /// The declared type name.
+        type_name: String,
+    },
+    /// A device-internal construction rule failed.
+    DeviceRule {
+        /// The device type.
+        device_type: String,
+        /// Which rule failed, in words.
+        rule: String,
+    },
+    /// A declared terminal lies outside the device's geometry on its layer.
+    TerminalOutsideDevice {
+        /// Terminal name.
+        terminal: String,
+    },
+    /// A non-geometric (electrical construction) rule failed.
+    Erc {
+        /// The ERC rule.
+        rule: ErcRule,
+        /// Details (net names).
+        detail: String,
+    },
+    /// Extracted net list does not match the intended net list.
+    NetlistMismatch {
+        /// Description of the discrepancy.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViolationKind::Width { layer, measured, required } => {
+                write!(f, "width {measured} < {required} on {layer}")
+            }
+            ViolationKind::Spacing { layer_a, layer_b, measured, required, same_net } => {
+                let net = if *same_net { " (same net)" } else { "" };
+                write!(f, "spacing {measured} < {required} between {layer_a} and {layer_b}{net}")
+            }
+            ViolationKind::IllegalConnection { layer } => {
+                write!(f, "elements touch on {layer} but are not skeletally connected")
+            }
+            ViolationKind::ImpliedDevice { layer_a, layer_b } => {
+                write!(f, "undeclared device: {layer_a} crosses {layer_b} outside a device symbol")
+            }
+            ViolationKind::DeviceOnlyLayer { layer } => {
+                write!(f, "{layer} geometry outside any device symbol")
+            }
+            ViolationKind::NonManhattan => write!(f, "non-Manhattan wire"),
+            ViolationKind::UnknownLayer { cif_name } => {
+                write!(f, "unknown layer {cif_name}")
+            }
+            ViolationKind::UnknownDeviceType { type_name } => {
+                write!(f, "unknown device type {type_name}")
+            }
+            ViolationKind::DeviceRule { device_type, rule } => {
+                write!(f, "device {device_type}: {rule}")
+            }
+            ViolationKind::TerminalOutsideDevice { terminal } => {
+                write!(f, "terminal {terminal} outside device geometry")
+            }
+            ViolationKind::Erc { rule, detail } => write!(f, "{rule}: {detail}"),
+            ViolationKind::NetlistMismatch { detail } => {
+                write!(f, "net list mismatch: {detail}")
+            }
+        }
+    }
+}
+
+/// A reported violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The pipeline stage that found it.
+    pub stage: CheckStage,
+    /// What was violated.
+    pub kind: ViolationKind,
+    /// Location. For per-definition checks (stages 1–2) this is in the
+    /// symbol's local coordinates; for instantiated checks it is in chip
+    /// coordinates.
+    pub location: Option<Rect>,
+    /// Context: symbol name for definition checks, instance path or net
+    /// name otherwise.
+    pub context: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.stage, self.kind)?;
+        if let Some(loc) = &self.location {
+            write!(f, " at {loc}")?;
+        }
+        if !self.context.is_empty() {
+            write!(f, " ({})", self.context)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let v = Violation {
+            stage: CheckStage::Interactions,
+            kind: ViolationKind::Spacing {
+                layer_a: "poly".into(),
+                layer_b: "diff".into(),
+                measured: 200,
+                required: 250,
+                same_net: false,
+            },
+            location: Some(Rect::new(0, 0, 10, 10)),
+            context: "i3.i1".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("[interactions]"));
+        assert!(s.contains("spacing 200 < 250"));
+        assert!(s.contains("(i3.i1)"));
+    }
+
+    #[test]
+    fn stage_names() {
+        assert_eq!(CheckStage::Elements.to_string(), "elements");
+        assert_eq!(CheckStage::Composition.to_string(), "composition");
+    }
+}

@@ -1,0 +1,279 @@
+//! The NMOS cell library: device symbols and the inverter cell.
+//!
+//! All geometry is in database units (λ = 250). Cell coordinates were
+//! designed against the `nmos_technology` rules; the crate's tests assert
+//! every cell is rule-clean under the full pipeline.
+
+use crate::{l, lh};
+use std::fmt::Write as _;
+
+/// Fixed CIF symbol ids for the library.
+pub mod ids {
+    /// Enhancement transistor.
+    pub const TENH: u32 = 1;
+    /// Depletion transistor.
+    pub const TDEP: u32 = 2;
+    /// Metal-diffusion contact.
+    pub const CD: u32 = 3;
+    /// Metal-poly contact.
+    pub const CP: u32 = 4;
+    /// Butting contact.
+    pub const BC: u32 = 5;
+    /// Diffusion resistor.
+    pub const RES: u32 = 6;
+    /// Broken enhancement transistor: short gate overhang (for injection).
+    pub const TENH_SHORT: u32 = 7;
+    /// Broken enhancement transistor: contact over the gate (Fig. 7).
+    pub const TENH_CONTACT: u32 = 8;
+    /// The inverter cell.
+    pub const INV: u32 = 10;
+    /// Inverter variant: pull-up drain strapped to ground (ERC demo).
+    pub const INV_DEP_GND: u32 = 11;
+    /// Inverter variant using the broken short-overhang transistor.
+    pub const INV_BAD_TR: u32 = 12;
+    /// Inverter variant using the contact-over-gate transistor.
+    pub const INV_BAD_CONTACT: u32 = 13;
+}
+
+/// Horizontal cell pitch of the inverter (20λ).
+pub const PITCH_X: i64 = l(20);
+/// Vertical row pitch (44λ).
+pub const PITCH_Y: i64 = l(44);
+
+/// Emits the enhancement-transistor symbol definition.
+pub fn tenh(out: &mut String) {
+    let _ = writeln!(
+        out,
+        "DS {} 1 1;\n9 tenh;\n9D NMOS_ENH;\n9T G NP {} 0;\n9T S ND {} {};\n9T D ND {} {};\nL NP; B {} {} {} 0;\nL ND; B {} {} {} 0;\nDF;",
+        ids::TENH,
+        -lh(3),            // G at (-1.5λ, 0)
+        l(1), -l(4),       // S at (1λ, -4λ)
+        l(1), l(4),        // D at (1λ, 4λ)
+        l(6), l(2), l(1),  // poly 6λ x 2λ centred (1λ, 0)
+        l(2), l(10), l(1), // diff 2λ x 10λ centred (1λ, 0)
+    );
+}
+
+/// Emits the depletion-transistor symbol (same structure plus implant).
+pub fn tdep(out: &mut String) {
+    let _ = writeln!(
+        out,
+        "DS {} 1 1;\n9 tdep;\n9D NMOS_DEP;\n9T G NP {} 0;\n9T S ND {} {};\n9T D ND {} {};\nL NP; B {} {} {} 0;\nL ND; B {} {} {} 0;\nL NI; B {} {} {} 0;\nDF;",
+        ids::TDEP,
+        -lh(3),
+        l(1), -l(4),
+        l(1), l(4),
+        l(6), l(2), l(1),
+        l(2), l(10), l(1),
+        l(5), l(5), l(1), // implant 5λ x 5λ centred on the gate
+    );
+}
+
+/// Emits the metal-diffusion contact symbol.
+pub fn cd(out: &mut String) {
+    let _ = writeln!(
+        out,
+        "DS {} 1 1;\n9 cd;\n9D CONTACT_D;\n9T A NM 0 0;\n9T B ND 0 0;\nL NC; B {} {} 0 0;\nL ND; B {} {} 0 0;\nL NM; B {} {} 0 0;\nDF;",
+        ids::CD,
+        l(2), l(2),
+        l(4), l(4),
+        l(4), l(4),
+    );
+}
+
+/// Emits the metal-poly contact symbol.
+pub fn cp(out: &mut String) {
+    let _ = writeln!(
+        out,
+        "DS {} 1 1;\n9 cp;\n9D CONTACT_P;\n9T A NM 0 0;\n9T B NP 0 0;\nL NC; B {} {} 0 0;\nL NP; B {} {} 0 0;\nL NM; B {} {} 0 0;\nDF;",
+        ids::CP,
+        l(2), l(2),
+        l(4), l(4),
+        l(4), l(4),
+    );
+}
+
+/// Emits the butting-contact symbol (paper Fig. 7, legal form).
+pub fn bc(out: &mut String) {
+    let _ = writeln!(
+        out,
+        "DS {} 1 1;\n9 bc;\n9D BUTTING_CONTACT;\n9T A NP 0 {};\n9T B ND 0 {};\nL NP; B {} {} 0 {};\nL ND; B {} {} 0 {};\nL NC; B {} {} 0 0;\nL NM; B {} {} 0 0;\nDF;",
+        ids::BC,
+        -l(2), l(2),
+        l(4), l(4), -l(1), // poly 4λx4λ centred (0,-1λ): y in [-3λ, 1λ]
+        l(4), l(4), l(1),  // diff centred (0, 1λ): y in [-1λ, 3λ]
+        l(2), l(2),
+        l(4), l(4),
+    );
+}
+
+/// Emits the diffusion-resistor symbol (Fig. 5b device).
+pub fn res(out: &mut String) {
+    let _ = writeln!(
+        out,
+        "DS {} 1 1;\n9 res;\n9D RESISTOR_D;\n9T A ND 0 {};\n9T B ND 0 {};\nL ND; B {} {} 0 0;\nDF;",
+        ids::RES,
+        -l(3), l(3),
+        l(2), l(8), // body 2λ x 8λ
+    );
+}
+
+/// Emits the broken transistor with only 1λ gate overhang.
+pub fn tenh_short(out: &mut String) {
+    let _ = writeln!(
+        out,
+        "DS {} 1 1;\n9 tenh_short;\n9D NMOS_ENH;\n9T G NP {} 0;\n9T S ND {} {};\n9T D ND {} {};\nL NP; B {} {} {} 0;\nL ND; B {} {} {} 0;\nDF;",
+        ids::TENH_SHORT,
+        -lh(1),            // G at (-0.5λ, 0) — still on the shorter poly
+        l(1), -l(4),
+        l(1), l(4),
+        l(4), l(2), l(1),  // poly only 4λ long: 1λ overhang each side
+        l(2), l(10), l(1),
+    );
+}
+
+/// Emits the broken transistor with a contact cut over the gate (Fig. 7a).
+pub fn tenh_contact(out: &mut String) {
+    let _ = writeln!(
+        out,
+        "DS {} 1 1;\n9 tenh_contact;\n9D NMOS_ENH;\n9T G NP {} 0;\n9T S ND {} {};\n9T D ND {} {};\nL NP; B {} {} {} 0;\nL ND; B {} {} {} 0;\nL NC; B {} {} {} 0;\nDF;",
+        ids::TENH_CONTACT,
+        -lh(3),
+        l(1), -l(4),
+        l(1), l(4),
+        l(6), l(2), l(1),
+        l(2), l(10), l(1),
+        l(2), l(2), l(1), // the offending cut, right on the gate
+    );
+}
+
+/// Emits the inverter cell body items (shared by all variants).
+///
+/// Layout (cell-local, λ units; origin = bottom-left of the active area):
+/// GND rail y∈\[0,3\], VDD rail y∈\[37,40\], both spanning x∈\[-2,21\] so
+/// adjacent cells' rails overlap by 3λ (skeletal connection). Pull-down
+/// enhancement transistor at (4,11), pull-up depletion at (4,21); contacts
+/// to both rails; gate of the pull-up tied to the output through a poly
+/// contact; output leaves on poly at y=11 overlapping the next cell's
+/// input wire.
+fn inverter_body(out: &mut String, vdd_wire_up: bool) {
+    // Rails.
+    let _ = writeln!(out, "L NM; 9N GND; B {} {} {} {};", l(23), l(3), lh(19), lh(3));
+    let _ = writeln!(out, "L NM; 9N VDD; B {} {} {} {};", l(23), l(3), lh(19), lh(77));
+    // GND contact (cd) and its strap to the rail.
+    let _ = writeln!(out, "C {} T {} {};", ids::CD, l(4), lh(11)); // centre (4, 5.5)λ
+    let _ = writeln!(out, "L NM; 9N GND; W {} {} {} {} {};", l(3), l(4), lh(3), l(4), lh(11));
+    // Pull-down enhancement transistor at (4λ, 11λ).
+    let _ = writeln!(out, "C {} T {} {};", ids::TENH, l(4), l(11));
+    // Input poly wire to the gate terminal (G at cell (2.5λ, 11λ)).
+    let _ = writeln!(out, "L NP; 9N in; W {} {} {} {} {};", l(2), -l(1), l(11), lh(5), l(11));
+    // Output diffusion wire joining enh D (5,15) and dep S (5,17).
+    let _ = writeln!(out, "L ND; 9N out; W {} {} {} {} {};", l(2), l(5), l(14), l(5), l(18));
+    // Pull-up depletion transistor at (4λ, 21λ).
+    let _ = writeln!(out, "C {} T {} {};", ids::TDEP, l(4), l(21));
+    // Gate tie: one poly wire from G (2.5,21) straight down into the poly
+    // contact. It deliberately runs 0.5λ from the transistor diffusions and
+    // the output diffusion — legal for DIIC (same net / related device,
+    // Figs. 5a & 12) but a guaranteed false error for a topology-blind
+    // mask-level checker.
+    let _ = writeln!(out, "L NP; 9N out; W {} {} {} {} {};", l(2), lh(5), l(21), lh(5), l(17));
+    // Poly contact joining the tie to the output metal, at (1λ, 16λ).
+    let _ = writeln!(out, "C {} T {} {};", ids::CP, l(1), l(16));
+    // Output metal wire.
+    let _ = writeln!(out, "L NM; 9N out; W {} {} {} {} {};", l(3), l(1), l(16), l(13), l(16));
+    // Poly contact back to poly for the cell output, at (13λ, 16λ).
+    let _ = writeln!(out, "C {} T {} {};", ids::CP, l(13), l(16));
+    // Output poly: down to y=11 and right past the cell edge to overlap
+    // the next cell's input wire.
+    let _ = writeln!(out, "L NP; 9N out; W {} {} {} {} {};", l(2), l(13), l(16), l(13), l(11));
+    let _ = writeln!(out, "L NP; 9N out; W {} {} {} {} {};", l(2), l(13), l(11), l(22), l(11));
+    // VDD contact (cd) above the pull-up, at (5λ, 28λ).
+    let _ = writeln!(out, "C {} T {} {};", ids::CD, l(5), l(28));
+    // Diffusion strap from dep D (5,25) into the VDD contact.
+    let _ = writeln!(out, "L ND; 9N VDD; W {} {} {} {} {};", l(2), l(5), l(24), l(5), l(27));
+    if vdd_wire_up {
+        // Metal strap from the VDD contact up to the VDD rail.
+        let _ = writeln!(out, "L NM; 9N VDD; W {} {} {} {} {};", l(3), l(5), l(28), l(5), lh(77));
+    } else {
+        // ERC-broken variant: the strap runs DOWN to the ground rail,
+        // putting the depletion pull-up on GND (rule 4 + leaves VDD rail
+        // only powering the contact).
+        let _ = writeln!(out, "L NM; W {} {} {} {} {};", l(3), l(4), l(27), l(4), lh(3));
+    }
+}
+
+/// Emits the standard inverter symbol.
+pub fn inverter(out: &mut String) {
+    let _ = writeln!(out, "DS {} 1 1;\n9 inv;", ids::INV);
+    inverter_body(out, true);
+    let _ = writeln!(out, "DF;");
+}
+
+/// Emits the ERC-broken inverter (pull-up strapped to ground).
+pub fn inverter_dep_gnd(out: &mut String) {
+    let _ = writeln!(out, "DS {} 1 1;\n9 inv_dep_gnd;", ids::INV_DEP_GND);
+    inverter_body(out, false);
+    let _ = writeln!(out, "DF;");
+}
+
+/// Emits an inverter variant whose pull-down uses a broken transistor
+/// symbol (`which` = [`ids::TENH_SHORT`] or [`ids::TENH_CONTACT`]).
+pub fn inverter_with_bad_transistor(out: &mut String, variant_id: u32, which: u32) {
+    let name = if which == ids::TENH_SHORT {
+        "inv_bad_tr"
+    } else {
+        "inv_bad_contact"
+    };
+    let _ = writeln!(out, "DS {variant_id} 1 1;\n9 {name};");
+    // Same body but with the pull-down swapped; re-emit with substitution.
+    let mut body = String::new();
+    inverter_body(&mut body, true);
+    let needle = format!("C {} T {} {};", ids::TENH, l(4), l(11));
+    let replacement = format!("C {} T {} {};", which, l(4), l(11));
+    let _ = write!(out, "{}", body.replace(&needle, &replacement));
+    let _ = writeln!(out, "DF;");
+}
+
+/// Emits the whole cell library.
+pub fn library(out: &mut String) {
+    tenh(out);
+    tdep(out);
+    cd(out);
+    cp(out);
+    bc(out);
+    res(out);
+    tenh_short(out);
+    tenh_contact(out);
+    inverter(out);
+    inverter_dep_gnd(out);
+    inverter_with_bad_transistor(out, ids::INV_BAD_TR, ids::TENH_SHORT);
+    inverter_with_bad_transistor(out, ids::INV_BAD_CONTACT, ids::TENH_CONTACT);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_parses() {
+        let mut cif = String::new();
+        library(&mut cif);
+        cif.push_str("E\n");
+        let layout = diic_cif::parse(&cif).unwrap();
+        assert_eq!(layout.symbols().len(), 12);
+        assert!(layout.symbol_by_name("inv").is_some());
+        assert!(layout.symbol_by_name("tenh").is_some());
+    }
+
+    #[test]
+    fn device_symbols_have_terminals() {
+        let mut cif = String::new();
+        library(&mut cif);
+        cif.push_str("E\n");
+        let layout = diic_cif::parse(&cif).unwrap();
+        let tenh = layout.symbol(layout.symbol_by_name("tenh").unwrap());
+        let dev = tenh.device.as_ref().unwrap();
+        assert_eq!(dev.device_type, "NMOS_ENH");
+        assert_eq!(dev.terminals.len(), 3);
+    }
+}

@@ -1,0 +1,131 @@
+//! Error injection with ground truth.
+//!
+//! Each injector adds chip-level geometry (or swaps a cell for a broken
+//! variant) and records what a perfect checker must report. Stub nets are
+//! named with the `IO_` prefix so the *injected* error is the only error
+//! (no collateral dangling-net reports).
+
+use diic_geom::Rect;
+
+/// The kinds of errors the generator can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// A metal stub narrower than minimum width.
+    NarrowWire,
+    /// A metal stub too close to the cell's output metal.
+    CloseSpacing,
+    /// A poly stub crossing a diff stub outside any device (Fig. 8).
+    AccidentalTransistor,
+    /// Two legal-width boxes butted end to end (Fig. 15).
+    ButtedBoxes,
+    /// A metal strap shorting VDD to GND.
+    PowerGroundShort,
+    /// A cell variant strapping the depletion pull-up to ground.
+    DepletionToGround,
+    /// A bus label on the ground rail.
+    BusToRail,
+    /// A cell variant whose pull-down has a 1λ gate overhang (needs 2λ).
+    BadGateOverhang,
+    /// A cell variant with a contact cut over the active gate (Fig. 7).
+    ContactOverGate,
+}
+
+impl ErrorKind {
+    /// All kinds, for sweeps.
+    pub const ALL: [ErrorKind; 9] = [
+        ErrorKind::NarrowWire,
+        ErrorKind::CloseSpacing,
+        ErrorKind::AccidentalTransistor,
+        ErrorKind::ButtedBoxes,
+        ErrorKind::PowerGroundShort,
+        ErrorKind::DepletionToGround,
+        ErrorKind::BusToRail,
+        ErrorKind::BadGateOverhang,
+        ErrorKind::ContactOverGate,
+    ];
+
+    /// True if injection swaps the cell symbol (vs adding stubs).
+    pub fn is_variant(self) -> bool {
+        matches!(
+            self,
+            ErrorKind::DepletionToGround | ErrorKind::BadGateOverhang | ErrorKind::ContactOverGate
+        )
+    }
+
+    /// The ground-truth category a checker's report must match
+    /// (see `diic_core::report::category_of`).
+    pub fn category(self) -> &'static str {
+        match self {
+            ErrorKind::NarrowWire => "width",
+            ErrorKind::CloseSpacing => "spacing",
+            ErrorKind::AccidentalTransistor => "implied-device",
+            ErrorKind::ButtedBoxes => "connection",
+            ErrorKind::PowerGroundShort
+            | ErrorKind::DepletionToGround
+            | ErrorKind::BusToRail => "erc",
+            ErrorKind::BadGateOverhang => "device-rule",
+            ErrorKind::ContactOverGate => "contact-over-gate",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorKind::NarrowWire => "narrow-wire",
+            ErrorKind::CloseSpacing => "close-spacing",
+            ErrorKind::AccidentalTransistor => "accidental-transistor",
+            ErrorKind::ButtedBoxes => "butted-boxes",
+            ErrorKind::PowerGroundShort => "power-ground-short",
+            ErrorKind::DepletionToGround => "depletion-to-ground",
+            ErrorKind::BusToRail => "bus-to-rail",
+            ErrorKind::BadGateOverhang => "bad-gate-overhang",
+            ErrorKind::ContactOverGate => "contact-over-gate",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One ground-truth record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundTruthEntry {
+    /// The injected kind.
+    pub kind: ErrorKind,
+    /// Location in chip coordinates; degenerate (zero-area) for errors
+    /// without a meaningful location (ERC, definition-level device rules).
+    pub location: Rect,
+    /// Category for report matching.
+    pub category: &'static str,
+    /// Description.
+    pub description: String,
+}
+
+impl GroundTruthEntry {
+    /// Converts to the checker's accounting type.
+    pub fn to_injected(&self) -> diic_core::InjectedError {
+        diic_core::InjectedError {
+            location: self.location,
+            category: self.category,
+            description: self.description.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_cover_all_kinds() {
+        for k in ErrorKind::ALL {
+            assert!(!k.category().is_empty());
+            assert!(!k.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn variant_classification() {
+        assert!(ErrorKind::BadGateOverhang.is_variant());
+        assert!(!ErrorKind::NarrowWire.is_variant());
+    }
+}

@@ -1,0 +1,48 @@
+//! # diic-gen — synthetic NMOS workloads with ground truth
+//!
+//! The paper evaluated its checker on Caltech Silicon Structures Project
+//! chips; those are not available, so this crate synthesises NMOS layouts
+//! of configurable size in the extended CIF the checker consumes, together
+//! with a **ground-truth ledger** of every injected error — which is what
+//! the Fig. 1 error-region accounting (real / false / unchecked) needs.
+//!
+//! The base workload is an `nx × ny` array of a hand-designed, rule-clean
+//! NMOS inverter cell (enhancement pull-down, depletion pull-up, two
+//! diffusion contacts, two poly contacts, declared devices and terminals).
+//! Inverters in a row form a chain; row inputs/outputs are chip I/O nets.
+//! Error injectors add width, spacing, connection, implied-device,
+//! device-rule and electrical errors at deterministic pseudo-random
+//! locations.
+
+pub mod cells;
+pub mod chip;
+pub mod inject;
+
+pub use chip::{generate, ChipSpec, GeneratedChip};
+pub use inject::{ErrorKind, GroundTruthEntry};
+
+/// λ in database units for all generated layouts (matches
+/// [`diic_tech::nmos::nmos_technology`]).
+pub const LAMBDA: i64 = 250;
+
+/// Converts λ to database units.
+pub const fn l(lambdas: i64) -> i64 {
+    lambdas * LAMBDA
+}
+
+/// Converts half-λ to database units (for 1.5λ-style coordinates).
+pub const fn lh(half_lambdas: i64) -> i64 {
+    half_lambdas * LAMBDA / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_helpers() {
+        assert_eq!(l(2), 500);
+        assert_eq!(lh(3), 375);
+        assert_eq!(lh(4), l(2));
+    }
+}

@@ -1,0 +1,217 @@
+//! Exact integer distance computations.
+//!
+//! All routines return **squared** Euclidean distances as `i128`, computed
+//! exactly with integer arithmetic — no floating point, no rounding, no
+//! overflow for coordinates below 2^62. Exactness matters for design rule
+//! checking: a spacing check `dist < s` must not produce different verdicts
+//! on mathematically identical layouts depending on rounding.
+//!
+//! Point-to-segment distance uses the standard projection clamp, but keeps
+//! the division-free form: comparing `t = d·(p-a)` against `0` and `|d|²`
+//! and, for the interior case, using the identity
+//! `dist² = cross(d, p-a)² / |d|²` evaluated as exact rational comparison
+//! where needed, or via the rounded-down quotient when an absolute value is
+//! required. For *comparisons* against rule values we provide
+//! [`point_segment_dist_cmp`] which is fully exact.
+
+use crate::{Coord, Point};
+use std::cmp::Ordering;
+
+/// Squared Euclidean distance from point `p` to the closed segment `ab`.
+///
+/// When the projection of `p` falls in the interior of the segment the exact
+/// squared distance may be non-integral (`cross²/len²`); this function
+/// returns the value **rounded down**. For exact comparisons against a rule
+/// distance use [`point_segment_dist_cmp`].
+pub fn point_segment_dist_sq(p: Point, a: Point, b: Point) -> i128 {
+    let d = b - a;
+    let ap = p - a;
+    let len2 = d.norm_sq();
+    if len2 == 0 {
+        return ap.norm_sq();
+    }
+    let t = d.dot(ap);
+    if t <= 0 {
+        ap.norm_sq()
+    } else if t >= len2 {
+        (p - b).norm_sq()
+    } else {
+        let c = d.cross(ap);
+        // dist² = c² / len2, rounded down.
+        mul_div_floor(c, c, len2)
+    }
+}
+
+/// Compares the exact distance from `p` to segment `ab` against `value`
+/// (a linear distance). Returns `Less` when dist < value, etc.
+///
+/// Fully exact: no rounding anywhere.
+pub fn point_segment_dist_cmp(p: Point, a: Point, b: Point, value: Coord) -> Ordering {
+    let v2 = value as i128 * value as i128;
+    let d = b - a;
+    let ap = p - a;
+    let len2 = d.norm_sq();
+    if len2 == 0 {
+        return ap.norm_sq().cmp(&v2);
+    }
+    let t = d.dot(ap);
+    if t <= 0 {
+        ap.norm_sq().cmp(&v2)
+    } else if t >= len2 {
+        (p - b).norm_sq().cmp(&v2)
+    } else {
+        let c = d.cross(ap);
+        // Compare c² vs v² · len2 exactly. c can be up to ~2^126 when both
+        // coordinates approach 2^62, so compare via checked wide multiply.
+        cmp_products(c, c, v2, len2)
+    }
+}
+
+/// Squared Euclidean distance between closed segments `ab` and `cd`
+/// (zero if they intersect). Interior projections are rounded down; see
+/// [`point_segment_dist_sq`].
+pub fn segment_segment_dist_sq(a: Point, b: Point, c: Point, d: Point) -> i128 {
+    if segments_intersect(a, b, c, d) {
+        return 0;
+    }
+    point_segment_dist_sq(a, c, d)
+        .min(point_segment_dist_sq(b, c, d))
+        .min(point_segment_dist_sq(c, a, b))
+        .min(point_segment_dist_sq(d, a, b))
+}
+
+/// True if the closed segments `ab` and `cd` share at least one point.
+pub fn segments_intersect(a: Point, b: Point, c: Point, d: Point) -> bool {
+    let d1 = sign((b - a).cross(c - a));
+    let d2 = sign((b - a).cross(d - a));
+    let d3 = sign((d - c).cross(a - c));
+    let d4 = sign((d - c).cross(b - c));
+    if d1 != d2 && d3 != d4 && d1 != 0 && d2 != 0 && d3 != 0 && d4 != 0 {
+        return true;
+    }
+    // Collinear / endpoint cases.
+    (d1 == 0 && on_segment(a, b, c))
+        || (d2 == 0 && on_segment(a, b, d))
+        || (d3 == 0 && on_segment(c, d, a))
+        || (d4 == 0 && on_segment(c, d, b))
+        || (d1 != d2 && d3 != d4 && (d1 == 0 || d2 == 0 || d3 == 0 || d4 == 0))
+}
+
+fn on_segment(a: Point, b: Point, p: Point) -> bool {
+    p.x >= a.x.min(b.x) && p.x <= a.x.max(b.x) && p.y >= a.y.min(b.y) && p.y <= a.y.max(b.y)
+}
+
+fn sign(v: i128) -> i8 {
+    match v.cmp(&0) {
+        Ordering::Less => -1,
+        Ordering::Equal => 0,
+        Ordering::Greater => 1,
+    }
+}
+
+/// Computes `(a * b) / c` rounded toward negative infinity, guarding against
+/// overflow by splitting into quotient and remainder.
+fn mul_div_floor(a: i128, b: i128, c: i128) -> i128 {
+    debug_assert!(c > 0);
+    // a*b may overflow i128 for extreme coordinates; split a = q*c + r.
+    let q = a.div_euclid(c);
+    let r = a.rem_euclid(c);
+    // a*b/c = q*b + r*b/c ; r < c so r*b fits comfortably for layout-scale b.
+    q * b + (r * b).div_euclid(c)
+}
+
+/// Compares `x1 * x2` with `y1 * y2` without overflow for layout-scale
+/// operands (each product is formed in `i128` after range reduction).
+fn cmp_products(x1: i128, x2: i128, y1: i128, y2: i128) -> Ordering {
+    // For layout coordinates (|c| < 2^31 in practice) the direct products fit
+    // easily. Fall back to saturating comparison if they would not.
+    match (x1.checked_mul(x2), y1.checked_mul(y2)) {
+        (Some(x), Some(y)) => x.cmp(&y),
+        // If one side overflows i128 its magnitude certainly exceeds the
+        // other representable side.
+        (None, Some(_)) => Ordering::Greater,
+        (Some(_), None) => Ordering::Less,
+        (None, None) => Ordering::Equal, // both astronomically large; treat as equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: Coord, y: Coord) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn point_to_degenerate_segment() {
+        assert_eq!(point_segment_dist_sq(p(3, 4), p(0, 0), p(0, 0)), 25);
+    }
+
+    #[test]
+    fn point_to_interior() {
+        // Distance from (5,3) to x-axis segment is 3.
+        assert_eq!(point_segment_dist_sq(p(5, 3), p(0, 0), p(10, 0)), 9);
+        // 45° segment: distance from (0,2) to y=x line is √2 → dist²=2.
+        assert_eq!(point_segment_dist_sq(p(0, 2), p(0, 0), p(10, 10)), 2);
+    }
+
+    #[test]
+    fn exact_comparison_agrees_with_rounded() {
+        let a = p(0, 0);
+        let b = p(7, 3);
+        let q = p(2, 5);
+        let d2 = point_segment_dist_sq(q, a, b);
+        // Rounded-down distance² is d2, so dist >= sqrt(d2), dist < sqrt(d2)+1.
+        let lo = (d2 as f64).sqrt().floor() as Coord;
+        let hi = lo + 2;
+        assert_ne!(point_segment_dist_cmp(q, a, b, lo), Ordering::Less);
+        assert_eq!(point_segment_dist_cmp(q, a, b, hi), Ordering::Less);
+    }
+
+    #[test]
+    fn crossing_segments_distance_zero() {
+        assert_eq!(
+            segment_segment_dist_sq(p(0, 0), p(10, 10), p(0, 10), p(10, 0)),
+            0
+        );
+    }
+
+    #[test]
+    fn endpoint_touch_counts_as_intersection() {
+        assert!(segments_intersect(p(0, 0), p(10, 0), p(10, 0), p(20, 5)));
+        assert!(segments_intersect(p(0, 0), p(10, 0), p(5, 0), p(5, 5)));
+    }
+
+    #[test]
+    fn collinear_overlap_and_disjoint() {
+        assert!(segments_intersect(p(0, 0), p(10, 0), p(5, 0), p(15, 0)));
+        assert!(!segments_intersect(p(0, 0), p(10, 0), p(11, 0), p(15, 0)));
+        assert_eq!(
+            segment_segment_dist_sq(p(0, 0), p(10, 0), p(11, 0), p(15, 0)),
+            1
+        );
+    }
+
+    #[test]
+    fn parallel_segments() {
+        assert_eq!(
+            segment_segment_dist_sq(p(0, 0), p(10, 0), p(0, 7), p(10, 7)),
+            49
+        );
+    }
+
+    #[test]
+    fn mul_div_floor_basic() {
+        assert_eq!(mul_div_floor(7, 7, 2), 24); // 49/2 floor
+        assert_eq!(mul_div_floor(-7, 7, 2), -25); // -49/2 floor
+        assert_eq!(mul_div_floor(6, 6, 4), 9);
+    }
+
+    #[test]
+    fn large_coordinates_do_not_panic() {
+        let big = 1i64 << 40;
+        let _ = point_segment_dist_sq(p(big, big), p(-big, 0), p(big, 0));
+        let _ = point_segment_dist_cmp(p(big, big), p(-big, 0), p(big, 0), big);
+    }
+}

@@ -1,0 +1,221 @@
+//! Line segments (polygon edges) and their geometric predicates.
+
+use crate::distance::{point_segment_dist_sq, segment_segment_dist_sq};
+use crate::{Point, Rect, Vector};
+use std::fmt;
+
+/// A directed line segment between two points.
+///
+/// Polygon edges are directed so that (for a counter-clockwise outer
+/// boundary) the polygon interior lies to the **left** of the edge; this is
+/// what width- and spacing-checking algorithms use to decide whether two
+/// edges *face* each other across interior or across exterior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment from `a` to `b`.
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Direction vector `b - a`.
+    pub fn dir(&self) -> Vector {
+        self.b - self.a
+    }
+
+    /// Squared length in `i128`.
+    pub fn len_sq(&self) -> i128 {
+        self.dir().norm_sq()
+    }
+
+    /// True if the segment is horizontal or vertical.
+    pub fn is_axis_parallel(&self) -> bool {
+        self.dir().is_axis_parallel()
+    }
+
+    /// True if the segment has zero length.
+    pub fn is_degenerate(&self) -> bool {
+        self.a == self.b
+    }
+
+    /// The segment with direction reversed.
+    pub fn reversed(&self) -> Segment {
+        Segment::new(self.b, self.a)
+    }
+
+    /// Axis-aligned bounding rectangle.
+    pub fn bbox(&self) -> Rect {
+        Rect::from_points(self.a, self.b)
+    }
+
+    /// Midpoint (coordinates rounded toward negative infinity).
+    pub fn midpoint(&self) -> Point {
+        Point::new(
+            self.a.x + (self.b.x - self.a.x) / 2,
+            self.a.y + (self.b.y - self.a.y) / 2,
+        )
+    }
+
+    /// Twice the signed area of triangle `(a, b, p)`.
+    ///
+    /// Positive when `p` is strictly to the left of the directed segment.
+    pub fn side_of(&self, p: Point) -> i128 {
+        self.dir().cross(p - self.a)
+    }
+
+    /// True if `p` lies on the closed segment.
+    pub fn contains_point(&self, p: Point) -> bool {
+        if self.side_of(p) != 0 {
+            return false;
+        }
+        self.bbox().contains_point(p)
+    }
+
+    /// Squared Euclidean distance from `p` to the closed segment.
+    pub fn dist_sq_point(&self, p: Point) -> i128 {
+        point_segment_dist_sq(p, self.a, self.b)
+    }
+
+    /// Squared Euclidean distance between two closed segments
+    /// (zero if they intersect).
+    pub fn dist_sq(&self, other: &Segment) -> i128 {
+        segment_segment_dist_sq(self.a, self.b, other.a, other.b)
+    }
+
+    /// True if the two closed segments share at least one point.
+    pub fn intersects(&self, other: &Segment) -> bool {
+        self.dist_sq(other) == 0
+    }
+
+    /// True if the segments are parallel (or either is degenerate).
+    pub fn is_parallel_to(&self, other: &Segment) -> bool {
+        self.dir().cross(other.dir()) == 0
+    }
+
+    /// True if the segments point in opposite directions
+    /// (anti-parallel, both non-degenerate).
+    pub fn is_antiparallel_to(&self, other: &Segment) -> bool {
+        !self.is_degenerate()
+            && !other.is_degenerate()
+            && self.is_parallel_to(other)
+            && self.dir().dot(other.dir()) < 0
+    }
+
+    /// Length of the overlap of the two segments' projections onto `self`'s
+    /// direction, scaled by `self`'s length (i.e. `overlap · |self|`).
+    ///
+    /// Positive iff the projections properly overlap. Used by width/spacing
+    /// checks: two anti-parallel edges only constrain each other where their
+    /// projections overlap.
+    pub fn projection_overlap(&self, other: &Segment) -> i128 {
+        let d = self.dir();
+        let t0 = 0i128;
+        let t1 = d.norm_sq();
+        let ta = d.dot(other.a - self.a);
+        let tb = d.dot(other.b - self.a);
+        let (lo, hi) = if ta <= tb { (ta, tb) } else { (tb, ta) };
+        let start = lo.max(t0);
+        let end = hi.min(t1);
+        end - start
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coord;
+
+    fn seg(ax: Coord, ay: Coord, bx: Coord, by: Coord) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn side_of_convention() {
+        let s = seg(0, 0, 10, 0);
+        assert!(s.side_of(Point::new(5, 3)) > 0); // left = above for eastward
+        assert!(s.side_of(Point::new(5, -3)) < 0);
+        assert_eq!(s.side_of(Point::new(5, 0)), 0);
+    }
+
+    #[test]
+    fn contains_point_on_segment() {
+        let s = seg(0, 0, 10, 10);
+        assert!(s.contains_point(Point::new(5, 5)));
+        assert!(s.contains_point(Point::new(0, 0)));
+        assert!(!s.contains_point(Point::new(11, 11)));
+        assert!(!s.contains_point(Point::new(5, 6)));
+    }
+
+    #[test]
+    fn point_distance() {
+        let s = seg(0, 0, 10, 0);
+        assert_eq!(s.dist_sq_point(Point::new(5, 3)), 9);
+        assert_eq!(s.dist_sq_point(Point::new(-3, 4)), 25); // to endpoint a
+        assert_eq!(s.dist_sq_point(Point::new(13, 4)), 25); // to endpoint b
+        assert_eq!(s.dist_sq_point(Point::new(7, 0)), 0);
+    }
+
+    #[test]
+    fn segment_distance_and_intersection() {
+        let s1 = seg(0, 0, 10, 0);
+        let s2 = seg(0, 5, 10, 5);
+        assert_eq!(s1.dist_sq(&s2), 25);
+        assert!(!s1.intersects(&s2));
+        let crossing = seg(5, -5, 5, 5);
+        assert!(s1.intersects(&crossing));
+        let touching = seg(10, 0, 20, 0);
+        assert!(s1.intersects(&touching));
+        // Collinear but disjoint:
+        let apart = seg(11, 0, 20, 0);
+        assert!(!s1.intersects(&apart));
+        assert_eq!(s1.dist_sq(&apart), 1);
+    }
+
+    #[test]
+    fn antiparallel_detection() {
+        let east = seg(0, 0, 10, 0);
+        let west = seg(10, 5, 0, 5);
+        let north = seg(0, 0, 0, 10);
+        assert!(east.is_antiparallel_to(&west));
+        assert!(!east.is_antiparallel_to(&east));
+        assert!(!east.is_antiparallel_to(&north));
+    }
+
+    #[test]
+    fn projection_overlap_cases() {
+        let base = seg(0, 0, 10, 0);
+        // Fully overlapping projection, |base| = 10 → overlap·len = 10·10.
+        let above = seg(10, 5, 0, 5);
+        assert_eq!(base.projection_overlap(&above), 100);
+        // Half overlap.
+        let half = seg(15, 5, 5, 5);
+        assert_eq!(base.projection_overlap(&half), 50);
+        // Touching projections → zero.
+        let touch = seg(20, 5, 10, 5);
+        assert_eq!(base.projection_overlap(&touch), 0);
+        // Disjoint projections → negative.
+        let apart = seg(30, 5, 20, 5);
+        assert!(base.projection_overlap(&apart) < 0);
+    }
+
+    #[test]
+    fn diagonal_segments() {
+        let d1 = seg(0, 0, 10, 10);
+        let d2 = seg(0, 4, 10, 14);
+        assert!(d1.is_parallel_to(&d2));
+        // Distance between parallel 45° lines offset by 4 vertically: 4/√2 → dist² = 8.
+        assert_eq!(d1.dist_sq(&d2), 8);
+    }
+}

@@ -1,0 +1,188 @@
+//! Uniform-grid spatial index for interaction searches.
+//!
+//! The "check interactions" stage of the pipeline must find, for every
+//! element, the nearby elements it could interact with. A uniform grid over
+//! bucketed bounding boxes is simple, fast for layout data (bounded local
+//! density), and needs no balancing.
+
+use crate::{Coord, Rect};
+use std::collections::HashMap;
+
+/// A uniform-grid spatial index mapping rectangles to payload values.
+///
+/// # Example
+///
+/// ```
+/// use diic_geom::{GridIndex, Rect};
+/// let mut idx = GridIndex::new(100);
+/// idx.insert(Rect::new(0, 0, 50, 50), "a");
+/// idx.insert(Rect::new(500, 500, 550, 550), "b");
+/// let near_origin = idx.query(&Rect::new(0, 0, 60, 60));
+/// assert_eq!(near_origin, vec![&"a"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    cell: Coord,
+    items: Vec<(Rect, T)>,
+    cells: HashMap<(Coord, Coord), Vec<u32>>,
+}
+
+impl<T> GridIndex<T> {
+    /// Creates an index with the given cell size (clamped to ≥ 1).
+    /// A good cell size is a few times the typical feature pitch.
+    pub fn new(cell_size: Coord) -> Self {
+        GridIndex {
+            cell: cell_size.max(1),
+            items: Vec::new(),
+            cells: HashMap::new(),
+        }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no items have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Inserts a rectangle with its payload.
+    pub fn insert(&mut self, rect: Rect, value: T) {
+        let id = self.items.len() as u32;
+        for key in self.cover_keys(&rect) {
+            self.cells.entry(key).or_default().push(id);
+        }
+        self.items.push((rect, value));
+    }
+
+    /// Returns payload references for all items whose rectangle **touches**
+    /// the query rectangle (closed-sense). Each item is returned once.
+    pub fn query(&self, query: &Rect) -> Vec<&T> {
+        let mut seen = vec![false; self.items.len()];
+        let mut out = Vec::new();
+        for key in self.cover_keys(query) {
+            if let Some(ids) = self.cells.get(&key) {
+                for &id in ids {
+                    let idx = id as usize;
+                    if !seen[idx] && self.items[idx].0.touches(query) {
+                        seen[idx] = true;
+                        out.push(&self.items[idx].1);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Like [`GridIndex::query`] but returns `(rect, payload)` pairs.
+    pub fn query_pairs(&self, query: &Rect) -> Vec<(&Rect, &T)> {
+        let mut seen = vec![false; self.items.len()];
+        let mut out = Vec::new();
+        for key in self.cover_keys(query) {
+            if let Some(ids) = self.cells.get(&key) {
+                for &id in ids {
+                    let idx = id as usize;
+                    if !seen[idx] && self.items[idx].0.touches(query) {
+                        seen[idx] = true;
+                        out.push((&self.items[idx].0, &self.items[idx].1));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates over all `(rect, payload)` items in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Rect, &T)> {
+        self.items.iter().map(|(r, t)| (r, t))
+    }
+
+    fn cover_keys(&self, r: &Rect) -> impl Iterator<Item = (Coord, Coord)> {
+        let c = self.cell;
+        let kx1 = r.x1.div_euclid(c);
+        let kx2 = r.x2.div_euclid(c);
+        let ky1 = r.y1.div_euclid(c);
+        let ky2 = r.y2.div_euclid(c);
+        (kx1..=kx2).flat_map(move |kx| (ky1..=ky2).map(move |ky| (kx, ky)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_index() {
+        let idx: GridIndex<u32> = GridIndex::new(100);
+        assert!(idx.is_empty());
+        assert!(idx.query(&Rect::new(0, 0, 10, 10)).is_empty());
+    }
+
+    #[test]
+    fn query_returns_touching_items_once() {
+        let mut idx = GridIndex::new(10);
+        // Spans many cells; must still be returned exactly once.
+        idx.insert(Rect::new(0, 0, 100, 100), 1u32);
+        idx.insert(Rect::new(200, 200, 210, 210), 2);
+        let hits = idx.query(&Rect::new(50, 50, 60, 60));
+        assert_eq!(hits, vec![&1]);
+    }
+
+    #[test]
+    fn closed_touch_semantics() {
+        let mut idx = GridIndex::new(64);
+        idx.insert(Rect::new(0, 0, 10, 10), "a");
+        // Query sharing only the corner point (10,10).
+        let hits = idx.query(&Rect::new(10, 10, 20, 20));
+        assert_eq!(hits, vec![&"a"]);
+        // Query 1 unit away: no hit.
+        let miss = idx.query(&Rect::new(11, 11, 20, 20));
+        assert!(miss.is_empty());
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let mut idx = GridIndex::new(50);
+        idx.insert(Rect::new(-100, -100, -50, -50), 7u8);
+        assert_eq!(idx.query(&Rect::new(-60, -60, -55, -55)), vec![&7]);
+        assert!(idx.query(&Rect::new(0, 0, 10, 10)).is_empty());
+    }
+
+    #[test]
+    fn dense_grid_all_found() {
+        let mut idx = GridIndex::new(25);
+        let mut expected = 0;
+        for i in 0..20 {
+            for j in 0..20 {
+                idx.insert(Rect::new(i * 40, j * 40, i * 40 + 20, j * 40 + 20), (i, j));
+                if i < 10 && j < 10 {
+                    expected += 1;
+                }
+            }
+        }
+        let hits = idx.query(&Rect::new(0, 0, 10 * 40 - 21, 10 * 40 - 21));
+        assert_eq!(hits.len(), expected);
+    }
+
+    #[test]
+    fn query_pairs_exposes_rects() {
+        let mut idx = GridIndex::new(100);
+        let r = Rect::new(5, 5, 15, 15);
+        idx.insert(r, 42u32);
+        let pairs = idx.query_pairs(&Rect::new(0, 0, 10, 10));
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(*pairs[0].0, r);
+        assert_eq!(*pairs[0].1, 42);
+    }
+
+    #[test]
+    fn len_and_iter() {
+        let mut idx = GridIndex::new(10);
+        idx.insert(Rect::new(0, 0, 5, 5), 'x');
+        idx.insert(Rect::new(20, 20, 25, 25), 'y');
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.iter().count(), 2);
+    }
+}

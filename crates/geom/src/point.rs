@@ -1,0 +1,249 @@
+//! Points and vectors in the integer layout plane.
+
+use crate::Coord;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A point in the layout plane, in database units.
+///
+/// # Example
+///
+/// ```
+/// use diic_geom::Point;
+/// let p = Point::new(100, 200);
+/// assert_eq!(p + diic_geom::Vector::new(10, -20), Point::new(110, 180));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: Coord,
+    /// Vertical coordinate.
+    pub y: Coord,
+}
+
+/// A displacement between two [`Point`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vector {
+    /// Horizontal component.
+    pub x: Coord,
+    /// Vertical component.
+    pub y: Coord,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub const fn new(x: Coord, y: Coord) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0, 0);
+
+    /// Vector from `self` to `other`.
+    pub fn to(self, other: Point) -> Vector {
+        Vector::new(other.x - self.x, other.y - self.y)
+    }
+
+    /// Squared Euclidean distance to `other`, in `i128` (never overflows).
+    pub fn dist_sq(self, other: Point) -> i128 {
+        let dx = (self.x - other.x) as i128;
+        let dy = (self.y - other.y) as i128;
+        dx * dx + dy * dy
+    }
+
+    /// Chebyshev (L∞) distance to `other`.
+    pub fn dist_linf(self, other: Point) -> Coord {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    pub fn dist_l1(self, other: Point) -> Coord {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+}
+
+impl Vector {
+    /// Creates a vector from its components.
+    pub const fn new(x: Coord, y: Coord) -> Self {
+        Vector { x, y }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Vector = Vector::new(0, 0);
+
+    /// 2-D cross product (z-component of the 3-D cross product), in `i128`.
+    ///
+    /// Positive when `other` is counter-clockwise from `self`.
+    pub fn cross(self, other: Vector) -> i128 {
+        self.x as i128 * other.y as i128 - self.y as i128 * other.x as i128
+    }
+
+    /// Dot product, in `i128`.
+    pub fn dot(self, other: Vector) -> i128 {
+        self.x as i128 * other.x as i128 + self.y as i128 * other.y as i128
+    }
+
+    /// Squared Euclidean length, in `i128`.
+    pub fn norm_sq(self) -> i128 {
+        self.dot(self)
+    }
+
+    /// True if the vector is axis-parallel (including zero).
+    pub fn is_axis_parallel(self) -> bool {
+        self.x == 0 || self.y == 0
+    }
+
+    /// Rotates the vector 90° counter-clockwise.
+    pub fn rot90(self) -> Vector {
+        Vector::new(-self.y, self.x)
+    }
+}
+
+impl Add<Vector> for Point {
+    type Output = Point;
+    fn add(self, v: Vector) -> Point {
+        Point::new(self.x + v.x, self.y + v.y)
+    }
+}
+
+impl AddAssign<Vector> for Point {
+    fn add_assign(&mut self, v: Vector) {
+        self.x += v.x;
+        self.y += v.y;
+    }
+}
+
+impl Sub<Vector> for Point {
+    type Output = Point;
+    fn sub(self, v: Vector) -> Point {
+        Point::new(self.x - v.x, self.y - v.y)
+    }
+}
+
+impl SubAssign<Vector> for Point {
+    fn sub_assign(&mut self, v: Vector) {
+        self.x -= v.x;
+        self.y -= v.y;
+    }
+}
+
+impl Sub for Point {
+    type Output = Vector;
+    fn sub(self, other: Point) -> Vector {
+        Vector::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl Add for Vector {
+    type Output = Vector;
+    fn add(self, other: Vector) -> Vector {
+        Vector::new(self.x + other.x, self.y + other.y)
+    }
+}
+
+impl Sub for Vector {
+    type Output = Vector;
+    fn sub(self, other: Vector) -> Vector {
+        Vector::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        Vector::new(-self.x, -self.y)
+    }
+}
+
+impl Mul<Coord> for Vector {
+    type Output = Vector;
+    fn mul(self, k: Coord) -> Vector {
+        Vector::new(self.x * k, self.y * k)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}>", self.x, self.y)
+    }
+}
+
+impl From<(Coord, Coord)> for Point {
+    fn from((x, y): (Coord, Coord)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<(Coord, Coord)> for Vector {
+    fn from((x, y): (Coord, Coord)) -> Self {
+        Vector::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_arithmetic() {
+        let p = Point::new(3, 4);
+        let q = Point::new(1, 1);
+        assert_eq!(p - q, Vector::new(2, 3));
+        assert_eq!(q + Vector::new(2, 3), p);
+        assert_eq!(p - Vector::new(3, 4), Point::ORIGIN);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0, 0);
+        let b = Point::new(3, 4);
+        assert_eq!(a.dist_sq(b), 25);
+        assert_eq!(a.dist_linf(b), 4);
+        assert_eq!(a.dist_l1(b), 7);
+    }
+
+    #[test]
+    fn cross_sign_convention() {
+        let east = Vector::new(1, 0);
+        let north = Vector::new(0, 1);
+        assert_eq!(east.cross(north), 1);
+        assert_eq!(north.cross(east), -1);
+        assert_eq!(east.rot90(), north);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let v = Vector::new(3, 4);
+        assert_eq!(v.norm_sq(), 25);
+        assert_eq!(v.dot(Vector::new(-4, 3)), 0);
+    }
+
+    #[test]
+    fn no_overflow_at_extremes() {
+        let a = Point::new(i64::MAX / 4, i64::MAX / 4);
+        let b = Point::new(-(i64::MAX / 4), -(i64::MAX / 4));
+        // Must not panic in debug builds.
+        let _ = a.dist_sq(b);
+        let v = a - b;
+        let _ = v.norm_sq();
+    }
+
+    #[test]
+    fn axis_parallel() {
+        assert!(Vector::new(5, 0).is_axis_parallel());
+        assert!(Vector::new(0, -2).is_axis_parallel());
+        assert!(!Vector::new(1, 1).is_axis_parallel());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(Point::new(1, -2).to_string(), "(1, -2)");
+        assert_eq!(Vector::new(1, -2).to_string(), "<1, -2>");
+    }
+}

@@ -1,0 +1,413 @@
+//! Simple polygons: validity, area, orientation, containment, decomposition.
+
+use crate::{Coord, GeomError, Point, Rect, Segment};
+
+/// A simple polygon given by its vertex ring (implicitly closed).
+///
+/// Construction via [`Polygon::new`] normalises the ring to counter-clockwise
+/// winding and removes repeated/collinear vertices, so every edge's interior
+/// lies to its left — the convention required by the width- and
+/// spacing-checking algorithms.
+///
+/// # Example
+///
+/// ```
+/// use diic_geom::{Point, Polygon};
+/// let square = Polygon::new(vec![
+///     Point::new(0, 0),
+///     Point::new(10, 0),
+///     Point::new(10, 10),
+///     Point::new(0, 10),
+/// ]).unwrap();
+/// assert_eq!(square.area2(), 200); // twice the signed area
+/// assert!(square.is_rectilinear());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Polygon {
+    points: Vec<Point>,
+}
+
+impl Polygon {
+    /// Creates a polygon, normalising winding to counter-clockwise and
+    /// dropping duplicate and collinear vertices.
+    ///
+    /// # Errors
+    ///
+    /// [`GeomError::TooFewVertices`] if fewer than three distinct vertices
+    /// remain; [`GeomError::DegeneratePolygon`] if the ring has zero area.
+    pub fn new(points: Vec<Point>) -> Result<Self, GeomError> {
+        let cleaned = clean_ring(points);
+        if cleaned.len() < 3 {
+            return Err(GeomError::TooFewVertices(cleaned.len()));
+        }
+        let mut poly = Polygon { points: cleaned };
+        let a2 = poly.signed_area2();
+        if a2 == 0 {
+            return Err(GeomError::DegeneratePolygon);
+        }
+        if a2 < 0 {
+            poly.points.reverse();
+        }
+        Ok(poly)
+    }
+
+    /// Creates a polygon without cleaning or validation. The caller must
+    /// guarantee a simple, counter-clockwise ring. Used internally by
+    /// transforms (which may reverse winding — callers re-normalise).
+    pub fn new_unchecked(points: Vec<Point>) -> Self {
+        let mut poly = Polygon { points };
+        if poly.signed_area2() < 0 {
+            poly.points.reverse();
+        }
+        poly
+    }
+
+    /// Creates the polygon of a rectangle.
+    pub fn from_rect(r: &Rect) -> Self {
+        Polygon {
+            points: r.corners().to_vec(),
+        }
+    }
+
+    /// The vertex ring (counter-clockwise).
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the polygon has no vertices (never true for validated
+    /// polygons).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterator over the directed edges, interior to the left.
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.points.len();
+        (0..n).map(move |i| Segment::new(self.points[i], self.points[(i + 1) % n]))
+    }
+
+    /// Twice the signed area (positive: counter-clockwise).
+    pub fn signed_area2(&self) -> i128 {
+        let n = self.points.len();
+        if n < 3 {
+            return 0;
+        }
+        let mut sum: i128 = 0;
+        for i in 0..n {
+            let p = self.points[i];
+            let q = self.points[(i + 1) % n];
+            sum += p.x as i128 * q.y as i128 - q.x as i128 * p.y as i128;
+        }
+        sum
+    }
+
+    /// Twice the absolute area.
+    pub fn area2(&self) -> i128 {
+        self.signed_area2().abs()
+    }
+
+    /// Axis-aligned bounding rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polygon has no vertices.
+    pub fn bbox(&self) -> Rect {
+        let first = self.points[0];
+        let mut r = Rect::new(first.x, first.y, first.x, first.y);
+        for p in &self.points[1..] {
+            r.x1 = r.x1.min(p.x);
+            r.y1 = r.y1.min(p.y);
+            r.x2 = r.x2.max(p.x);
+            r.y2 = r.y2.max(p.y);
+        }
+        r
+    }
+
+    /// True if every edge is horizontal or vertical.
+    pub fn is_rectilinear(&self) -> bool {
+        self.edges().all(|e| e.is_axis_parallel())
+    }
+
+    /// True if every edge is horizontal, vertical, or at 45°.
+    pub fn is_45(&self) -> bool {
+        self.edges().all(|e| {
+            let d = e.dir();
+            d.x == 0 || d.y == 0 || d.x.abs() == d.y.abs()
+        })
+    }
+
+    /// Point-in-polygon test (boundary counts as inside), by ray crossing.
+    pub fn contains_point(&self, p: Point) -> bool {
+        // Boundary check first.
+        for e in self.edges() {
+            if e.contains_point(p) {
+                return true;
+            }
+        }
+        let mut inside = false;
+        let n = self.points.len();
+        for i in 0..n {
+            let a = self.points[i];
+            let b = self.points[(i + 1) % n];
+            // Ray to +x; half-open rule on y avoids double counting vertices.
+            if (a.y > p.y) != (b.y > p.y) {
+                // x coordinate of edge at height p.y, compared exactly:
+                // p.x < a.x + (p.y-a.y)*(b.x-a.x)/(b.y-a.y)
+                let lhs = (p.x - a.x) as i128 * (b.y - a.y) as i128;
+                let rhs = (p.y - a.y) as i128 * (b.x - a.x) as i128;
+                let crossed = if b.y > a.y { lhs < rhs } else { lhs > rhs };
+                if crossed {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+
+    /// True if the ring is simple (no two non-adjacent edges intersect and
+    /// adjacent edges meet only at their shared vertex).
+    pub fn is_simple(&self) -> bool {
+        let edges: Vec<Segment> = self.edges().collect();
+        let n = edges.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let adjacent = j == i + 1 || (i == 0 && j == n - 1);
+                if adjacent {
+                    // Adjacent edges share exactly one endpoint; any further
+                    // contact means a degenerate spike.
+                    let shared = if j == i + 1 { edges[i].b } else { edges[i].a };
+                    let e1 = edges[i];
+                    let e2 = edges[j];
+                    // Check the non-shared endpoints do not lie on the other edge.
+                    let other1 = if e1.a == shared { e1.b } else { e1.a };
+                    let other2 = if e2.a == shared { e2.b } else { e2.a };
+                    if e2.contains_point(other1) || e1.contains_point(other2) {
+                        return false;
+                    }
+                } else if edges[i].intersects(&edges[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Decomposes a **rectilinear** polygon into disjoint rectangles by
+    /// horizontal slab cutting.
+    ///
+    /// # Errors
+    ///
+    /// [`GeomError::NotRectilinear`] if any edge is not axis-parallel.
+    pub fn to_rects(&self) -> Result<Vec<Rect>, GeomError> {
+        if !self.is_rectilinear() {
+            return Err(GeomError::NotRectilinear);
+        }
+        // Collect vertical edges; sweep horizontal slabs between distinct y
+        // coordinates; inside-ness along x toggles at vertical edges crossing
+        // the slab.
+        let mut ys: Vec<Coord> = self.points.iter().map(|p| p.y).collect();
+        ys.sort_unstable();
+        ys.dedup();
+        let mut vedges: Vec<(Coord, Coord, Coord)> = Vec::new(); // (x, ylo, yhi)
+        for e in self.edges() {
+            if e.a.x == e.b.x && e.a.y != e.b.y {
+                vedges.push((e.a.x, e.a.y.min(e.b.y), e.a.y.max(e.b.y)));
+            }
+        }
+        vedges.sort_unstable();
+        let mut rects = Vec::new();
+        for w in ys.windows(2) {
+            let (ylo, yhi) = (w[0], w[1]);
+            // Vertical edges spanning this slab, in x order.
+            let xs: Vec<Coord> = vedges
+                .iter()
+                .filter(|&&(_, e_lo, e_hi)| e_lo <= ylo && yhi <= e_hi)
+                .map(|&(x, _, _)| x)
+                .collect();
+            // Inside between alternating pairs.
+            for pair in xs.chunks(2) {
+                if let [x1, x2] = pair {
+                    rects.push(Rect::new(*x1, ylo, *x2, yhi));
+                }
+            }
+        }
+        Ok(rects)
+    }
+}
+
+/// Removes consecutive duplicate points and collinear intermediate vertices.
+fn clean_ring(points: Vec<Point>) -> Vec<Point> {
+    // Drop consecutive duplicates (including wraparound).
+    let mut pts: Vec<Point> = Vec::with_capacity(points.len());
+    for p in points {
+        if pts.last() != Some(&p) {
+            pts.push(p);
+        }
+    }
+    while pts.len() > 1 && pts.first() == pts.last() {
+        pts.pop();
+    }
+    // Drop collinear vertices, repeating until stable (removing one vertex
+    // can make its neighbours collinear).
+    loop {
+        let n = pts.len();
+        if n < 3 {
+            return pts;
+        }
+        let mut out: Vec<Point> = Vec::with_capacity(n);
+        for i in 0..n {
+            let prev = pts[(i + n - 1) % n];
+            let cur = pts[i];
+            let next = pts[(i + 1) % n];
+            if (cur - prev).cross(next - cur) != 0 {
+                out.push(cur);
+            }
+        }
+        if out.len() == n {
+            return pts;
+        }
+        pts = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: Coord, y: Coord) -> Point {
+        Point::new(x, y)
+    }
+
+    fn square() -> Polygon {
+        Polygon::new(vec![p(0, 0), p(10, 0), p(10, 10), p(0, 10)]).unwrap()
+    }
+
+    fn ell() -> Polygon {
+        // L-shape: 20 wide arms, outer 60x60.
+        Polygon::new(vec![
+            p(0, 0),
+            p(60, 0),
+            p(60, 20),
+            p(20, 20),
+            p(20, 60),
+            p(0, 60),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_normalises_winding() {
+        let cw = Polygon::new(vec![p(0, 10), p(10, 10), p(10, 0), p(0, 0)]).unwrap();
+        assert!(cw.signed_area2() > 0);
+        assert_eq!(cw.area2(), 200);
+    }
+
+    #[test]
+    fn construction_rejects_degenerate() {
+        assert!(matches!(
+            Polygon::new(vec![p(0, 0), p(1, 1)]),
+            Err(GeomError::TooFewVertices(_))
+        ));
+        assert!(matches!(
+            Polygon::new(vec![p(0, 0), p(5, 0), p(10, 0)]),
+            Err(GeomError::DegeneratePolygon) | Err(GeomError::TooFewVertices(_))
+        ));
+    }
+
+    #[test]
+    fn collinear_vertices_removed() {
+        let poly = Polygon::new(vec![p(0, 0), p(5, 0), p(10, 0), p(10, 10), p(0, 10)]).unwrap();
+        assert_eq!(poly.len(), 4);
+    }
+
+    #[test]
+    fn duplicate_vertices_removed() {
+        let poly =
+            Polygon::new(vec![p(0, 0), p(0, 0), p(10, 0), p(10, 10), p(10, 10), p(0, 10), p(0, 0)])
+                .unwrap();
+        assert_eq!(poly.len(), 4);
+    }
+
+    #[test]
+    fn bbox_and_rectilinear() {
+        let l = ell();
+        assert_eq!(l.bbox(), Rect::new(0, 0, 60, 60));
+        assert!(l.is_rectilinear());
+        assert!(l.is_45());
+        let tri = Polygon::new(vec![p(0, 0), p(10, 0), p(0, 10)]).unwrap();
+        assert!(!tri.is_rectilinear());
+        assert!(tri.is_45());
+        let odd = Polygon::new(vec![p(0, 0), p(10, 3), p(0, 10)]).unwrap();
+        assert!(!odd.is_45());
+    }
+
+    #[test]
+    fn contains_point_square() {
+        let s = square();
+        assert!(s.contains_point(p(5, 5)));
+        assert!(s.contains_point(p(0, 0))); // corner on boundary
+        assert!(s.contains_point(p(10, 5))); // edge on boundary
+        assert!(!s.contains_point(p(11, 5)));
+        assert!(!s.contains_point(p(-1, -1)));
+    }
+
+    #[test]
+    fn contains_point_concave() {
+        let l = ell();
+        assert!(l.contains_point(p(10, 40))); // in vertical arm
+        assert!(l.contains_point(p(40, 10))); // in horizontal arm
+        assert!(!l.contains_point(p(40, 40))); // in the notch
+    }
+
+    #[test]
+    fn simplicity() {
+        assert!(square().is_simple());
+        assert!(ell().is_simple());
+        // Bow-tie: self-intersecting (zero net signed area, so it can only
+        // be built unchecked — `new` rejects it as degenerate).
+        let bow = Polygon::new_unchecked(vec![p(0, 0), p(10, 10), p(10, 0), p(0, 10)]);
+        assert!(!bow.is_simple());
+        // An asymmetric self-intersecting ring passes `new` (non-zero net
+        // area) but must still fail `is_simple`.
+        let skew = Polygon::new(vec![p(0, 0), p(20, 20), p(20, 0), p(0, 10)]).unwrap();
+        assert!(!skew.is_simple());
+    }
+
+    #[test]
+    fn rect_decomposition_of_square() {
+        let rects = square().to_rects().unwrap();
+        assert_eq!(rects, vec![Rect::new(0, 0, 10, 10)]);
+    }
+
+    #[test]
+    fn rect_decomposition_of_ell() {
+        let rects = ell().to_rects().unwrap();
+        let total: i128 = rects.iter().map(Rect::area).sum();
+        assert_eq!(total * 2, ell().area2());
+        // Disjoint interiors:
+        for (i, a) in rects.iter().enumerate() {
+            for b in rects.iter().skip(i + 1) {
+                assert!(!a.overlaps(b), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rect_decomposition_rejects_triangle() {
+        let tri = Polygon::new(vec![p(0, 0), p(10, 0), p(0, 10)]).unwrap();
+        assert!(matches!(tri.to_rects(), Err(GeomError::NotRectilinear)));
+    }
+
+    #[test]
+    fn edges_interior_left() {
+        // CCW square: walking the edges, interior (5,5) is on the left.
+        for e in square().edges() {
+            assert!(e.side_of(p(5, 5)) > 0, "interior not left of {e}");
+        }
+    }
+}

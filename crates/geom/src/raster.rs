@@ -1,0 +1,421 @@
+//! Raster geometry: exact Euclidean distance transforms on a pixel grid.
+//!
+//! Euclidean (disc-kernel) sizing of polygonal data is not representable in
+//! the rectilinear [`Region`] algebra, so the Euclidean variant of the
+//! *shrink-expand-compare* baseline (paper Fig. 4) is computed on a raster:
+//! rasterise, take the exact squared Euclidean distance transform
+//! (Felzenszwalb–Huttenlocher), threshold to shrink/expand, and compare.
+//! On a legal square this flags a sliver at **every convex corner** — the
+//! false-error pathology the paper describes.
+
+use crate::{Coord, Point, Rect, Region};
+
+const INF: i64 = i64::MAX / 4;
+
+/// A binary raster over a rectangular window of the layout plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Raster {
+    bounds: Rect,
+    resolution: Coord,
+    width: usize,
+    height: usize,
+    bits: Vec<bool>,
+}
+
+impl Raster {
+    /// Rasterises `region` over `bounds` at `resolution` layout units per
+    /// pixel (pixel centres are sampled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution < 1` or `bounds` is degenerate.
+    pub fn from_region(region: &Region, bounds: Rect, resolution: Coord) -> Self {
+        assert!(resolution >= 1, "resolution must be >= 1");
+        assert!(!bounds.is_degenerate(), "raster bounds must have area");
+        let width = ((bounds.width() + resolution - 1) / resolution) as usize;
+        let height = ((bounds.height() + resolution - 1) / resolution) as usize;
+        let mut bits = vec![false; width * height];
+        for r in region.rects() {
+            // Pixel index range whose centres fall inside r.
+            let px1 = pixel_floor(r.x1 - bounds.x1, resolution);
+            let px2 = pixel_ceil(r.x2 - bounds.x1, resolution);
+            let py1 = pixel_floor(r.y1 - bounds.y1, resolution);
+            let py2 = pixel_ceil(r.y2 - bounds.y1, resolution);
+            for py in py1.max(0)..py2.min(height as i64) {
+                for px in px1.max(0)..px2.min(width as i64) {
+                    let cx = bounds.x1 + px * resolution + resolution / 2;
+                    let cy = bounds.y1 + py * resolution + resolution / 2;
+                    if r.contains_point(Point::new(cx, cy)) {
+                        bits[py as usize * width + px as usize] = true;
+                    }
+                }
+            }
+        }
+        Raster {
+            bounds,
+            resolution,
+            width,
+            height,
+            bits,
+        }
+    }
+
+    /// Grid width in pixels.
+    pub fn pixel_width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height in pixels.
+    pub fn pixel_height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of set pixels.
+    pub fn count(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Set-pixel area in layout units².
+    pub fn area(&self) -> i128 {
+        self.count() as i128 * (self.resolution as i128) * (self.resolution as i128)
+    }
+
+    /// Pixel accessor (false outside the grid).
+    pub fn get(&self, x: usize, y: usize) -> bool {
+        if x < self.width && y < self.height {
+            self.bits[y * self.width + x]
+        } else {
+            false
+        }
+    }
+
+    /// Exact squared Euclidean distance (in pixels²) from each pixel to the
+    /// nearest pixel **not** in the set. Set pixels adjacent to the
+    /// background get 1; background pixels get 0.
+    pub fn distance_to_background_sq(&self) -> Vec<i64> {
+        // Seed: 0 on background, INF on foreground, with a virtual background
+        // border outside the grid handled by seeding edges correctly: the
+        // transform treats outside-of-grid as background at distance from the
+        // border, achieved by clamping during the 1-D passes (we add a ring).
+        let w = self.width + 2;
+        let h = self.height + 2;
+        let mut f = vec![0i64; w * h];
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if self.bits[y * self.width + x] {
+                    f[(y + 1) * w + (x + 1)] = INF;
+                }
+            }
+        }
+        let mut d = edt_2d(&f, w, h);
+        // Strip the ring.
+        let mut out = vec![0i64; self.width * self.height];
+        for y in 0..self.height {
+            for x in 0..self.width {
+                out[y * self.width + x] = d[(y + 1) * w + (x + 1)];
+            }
+        }
+        d.clear();
+        out
+    }
+
+    /// Exact squared Euclidean distance (in pixels²) from each pixel to the
+    /// nearest **set** pixel (0 on set pixels).
+    pub fn distance_to_foreground_sq(&self) -> Vec<i64> {
+        let w = self.width;
+        let h = self.height;
+        let mut f = vec![INF; w * h];
+        for i in 0..w * h {
+            if self.bits[i] {
+                f[i] = 0;
+            }
+        }
+        edt_2d(&f, w, h)
+    }
+
+    /// Euclidean shrink by `d` layout units: keeps pixels whose distance to
+    /// the background exceeds `d` (in pixel metric, conservative rounding).
+    pub fn euclidean_shrink(&self, d: Coord) -> Raster {
+        let dp = d as f64 / self.resolution as f64;
+        let thr = (dp * dp).ceil() as i64;
+        let dist = self.distance_to_background_sq();
+        let mut out = self.clone();
+        for i in 0..out.bits.len() {
+            out.bits[i] = dist[i] > thr;
+        }
+        out
+    }
+
+    /// Euclidean expand by `d` layout units: sets pixels within `d` of a set
+    /// pixel.
+    pub fn euclidean_expand(&self, d: Coord) -> Raster {
+        let dp = d as f64 / self.resolution as f64;
+        let thr = (dp * dp).floor() as i64;
+        let dist = self.distance_to_foreground_sq();
+        let mut out = self.clone();
+        for i in 0..out.bits.len() {
+            out.bits[i] = dist[i] <= thr;
+        }
+        out
+    }
+
+    /// Pixels set in `self` but not in `other` (both rasters must share
+    /// geometry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rasters have different bounds or resolution.
+    pub fn difference(&self, other: &Raster) -> Raster {
+        assert_eq!(self.bounds, other.bounds, "raster bounds mismatch");
+        assert_eq!(self.resolution, other.resolution, "raster resolution mismatch");
+        let mut out = self.clone();
+        for i in 0..out.bits.len() {
+            out.bits[i] = self.bits[i] && !other.bits[i];
+        }
+        out
+    }
+
+    /// Connected components (8-connectivity) of the set pixels, as bounding
+    /// boxes in layout coordinates.
+    pub fn components(&self) -> Vec<Rect> {
+        let mut seen = vec![false; self.bits.len()];
+        let mut out = Vec::new();
+        for start in 0..self.bits.len() {
+            if !self.bits[start] || seen[start] {
+                continue;
+            }
+            let mut stack = vec![start];
+            seen[start] = true;
+            let (mut minx, mut miny, mut maxx, mut maxy) =
+                (usize::MAX, usize::MAX, 0usize, 0usize);
+            while let Some(i) = stack.pop() {
+                let (x, y) = (i % self.width, i / self.width);
+                minx = minx.min(x);
+                maxx = maxx.max(x);
+                miny = miny.min(y);
+                maxy = maxy.max(y);
+                for dy in -1i64..=1 {
+                    for dx in -1i64..=1 {
+                        let nx = x as i64 + dx;
+                        let ny = y as i64 + dy;
+                        if nx < 0 || ny < 0 || nx >= self.width as i64 || ny >= self.height as i64
+                        {
+                            continue;
+                        }
+                        let ni = ny as usize * self.width + nx as usize;
+                        if self.bits[ni] && !seen[ni] {
+                            seen[ni] = true;
+                            stack.push(ni);
+                        }
+                    }
+                }
+            }
+            out.push(Rect::new(
+                self.bounds.x1 + minx as Coord * self.resolution,
+                self.bounds.y1 + miny as Coord * self.resolution,
+                self.bounds.x1 + (maxx as Coord + 1) * self.resolution,
+                self.bounds.y1 + (maxy as Coord + 1) * self.resolution,
+            ));
+        }
+        out
+    }
+}
+
+/// Euclidean shrink-expand-compare on a raster: the Fig. 4 baseline.
+/// Returns the bounding boxes of the "lost" areas — for a legal square these
+/// are the four corner slivers (false errors); for a genuinely thin feature
+/// they cover the feature.
+pub fn euclidean_shrink_expand_compare(
+    region: &Region,
+    min_width: Coord,
+    resolution: Coord,
+) -> Vec<Rect> {
+    let Some(bbox) = region.bbox() else {
+        return Vec::new();
+    };
+    let bounds = bbox
+        .inflate(min_width + 2 * resolution)
+        .expect("inflating by positive amount cannot fail");
+    let raster = Raster::from_region(region, bounds, resolution);
+    let opened = raster.euclidean_shrink(min_width / 2).euclidean_expand(min_width / 2);
+    let lost = raster.difference(&opened);
+    lost.components()
+}
+
+fn pixel_floor(v: Coord, res: Coord) -> i64 {
+    v.div_euclid(res)
+}
+
+fn pixel_ceil(v: Coord, res: Coord) -> i64 {
+    (v + res - 1).div_euclid(res)
+}
+
+/// Exact 2-D squared EDT: column pass then row pass of the 1-D transform.
+fn edt_2d(f: &[i64], w: usize, h: usize) -> Vec<i64> {
+    let mut tmp = vec![0i64; w * h];
+    let mut col = vec![0i64; h];
+    let mut out_col = vec![0i64; h];
+    for x in 0..w {
+        for y in 0..h {
+            col[y] = f[y * w + x];
+        }
+        edt_1d(&col, &mut out_col);
+        for y in 0..h {
+            tmp[y * w + x] = out_col[y];
+        }
+    }
+    let mut out = vec![0i64; w * h];
+    let mut row = vec![0i64; w];
+    let mut out_row = vec![0i64; w];
+    for y in 0..h {
+        row.copy_from_slice(&tmp[y * w..(y + 1) * w]);
+        edt_1d(&row, &mut out_row);
+        out[y * w..(y + 1) * w].copy_from_slice(&out_row);
+    }
+    out
+}
+
+/// Felzenszwalb–Huttenlocher 1-D squared distance transform:
+/// `d(p) = min_q ((p - q)² + f(q))`.
+///
+/// `INF` seeds are handled by the vanilla algorithm: an `INF` parabola's
+/// boundary with any finite one lands astronomically far outside the grid,
+/// so f64 rounding there cannot affect verdicts inside the grid.
+fn edt_1d(f: &[i64], d: &mut [i64]) {
+    let n = f.len();
+    let mut v = vec![0usize; n]; // parabola sites
+    let mut z = vec![0f64; n + 1]; // boundaries
+    let mut k = 0usize;
+    v[0] = 0;
+    z[0] = f64::NEG_INFINITY;
+    z[1] = f64::INFINITY;
+    for q in 1..n {
+        loop {
+            let p = v[k];
+            let s = intersect(p, f[p], q, f[q]);
+            if s <= z[k] {
+                debug_assert!(k > 0, "first parabola can never be displaced below z[0]");
+                k -= 1;
+            } else {
+                k += 1;
+                v[k] = q;
+                z[k] = s;
+                z[k + 1] = f64::INFINITY;
+                break;
+            }
+        }
+    }
+    let mut k2 = 0usize;
+    for q in 0..n {
+        while z[k2 + 1] < q as f64 {
+            k2 += 1;
+        }
+        let p = v[k2];
+        let diff = q as i64 - p as i64;
+        d[q] = (diff * diff).saturating_add(f[p]);
+    }
+}
+
+fn intersect(p: usize, fp: i64, q: usize, fq: i64) -> f64 {
+    let (p, q) = (p as f64, q as f64);
+    ((fq as f64 + q * q) - (fp as f64 + p * p)) / (2.0 * q - 2.0 * p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_region(side: Coord) -> Region {
+        Region::from_rect(Rect::new(0, 0, side, side))
+    }
+
+    #[test]
+    fn rasterise_square_area() {
+        let r = Raster::from_region(&square_region(100), Rect::new(-10, -10, 110, 110), 1);
+        assert_eq!(r.count(), 100 * 100);
+    }
+
+    #[test]
+    fn distance_transform_center_of_square() {
+        let r = Raster::from_region(&square_region(21), Rect::new(0, 0, 21, 21), 1);
+        let d = r.distance_to_background_sq();
+        // Centre pixel (10,10): 10 pixels to the nearest edge pixel outside…
+        // pixel (10,10) centre, edge background just outside the square.
+        let centre = d[10 * r.pixel_width() + 10];
+        assert!(centre >= 10 * 10 && centre <= 12 * 12, "centre dist² = {centre}");
+        // A corner pixel is adjacent to background.
+        let corner = d[0];
+        assert!(corner >= 1 && corner <= 2, "corner dist² = {corner}");
+    }
+
+    #[test]
+    fn shrink_expand_square_loses_corners_only() {
+        // Fig. 4: Euclidean SEC on a LEGAL 100-wide square with min width 40
+        // flags the four corners.
+        let lost = euclidean_shrink_expand_compare(&square_region(100), 40, 1);
+        assert_eq!(lost.len(), 4, "expected 4 corner slivers, got {lost:?}");
+        // Each sliver hugs a corner of the square.
+        let corners = [
+            Point::new(0, 0),
+            Point::new(100, 0),
+            Point::new(100, 100),
+            Point::new(0, 100),
+        ];
+        for c in corners {
+            assert!(
+                lost.iter().any(|r| r.inflate(2).unwrap().contains_point(c)),
+                "no sliver at corner {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn shrink_expand_thin_bar_lost_entirely() {
+        let thin = Region::from_rect(Rect::new(0, 0, 100, 10));
+        let lost = euclidean_shrink_expand_compare(&thin, 40, 1);
+        assert_eq!(lost.len(), 1);
+        assert!(lost[0].contains_rect(&Rect::new(0, 0, 100, 10)));
+    }
+
+    #[test]
+    fn expand_then_compare_no_loss_for_disc_like() {
+        // Shrinking then expanding a huge square loses only corner slivers;
+        // total lost area ≈ 4 · (1 - π/4) · (w/2)² — check the right order.
+        let lost = euclidean_shrink_expand_compare(&square_region(400), 100, 2);
+        let lost_area: i128 = lost.iter().map(Rect::area).sum();
+        // Bounding boxes over-cover; the true lost area per corner is
+        // (1 - π/4)·50² ≈ 536, bbox at most 50x50=2500 each.
+        assert!(lost_area > 4 * 400 && lost_area < 4 * 3000, "lost={lost_area}");
+        assert_eq!(lost.len(), 4);
+    }
+
+    #[test]
+    fn components_merge_diagonal_pixels() {
+        let region = Region::from_rects([Rect::new(0, 0, 2, 2), Rect::new(2, 2, 4, 4)]);
+        let raster = Raster::from_region(&region, Rect::new(0, 0, 4, 4), 1);
+        assert_eq!(raster.components().len(), 1); // 8-connectivity
+    }
+
+    #[test]
+    fn empty_region_rasterises_empty() {
+        let r = Raster::from_region(&Region::empty(), Rect::new(0, 0, 10, 10), 1);
+        assert_eq!(r.count(), 0);
+        assert!(r.components().is_empty());
+        assert!(euclidean_shrink_expand_compare(&Region::empty(), 40, 1).is_empty());
+    }
+
+    #[test]
+    fn orthogonal_vs_euclidean_expand_area_on_raster() {
+        // Euclidean raster expand of a square has area < orthogonal expand.
+        let sq = square_region(60);
+        let bounds = Rect::new(-40, -40, 100, 100);
+        let raster = Raster::from_region(&sq, bounds, 1);
+        let expanded = raster.euclidean_expand(20);
+        let orth_area = (60 + 40) * (60 + 40);
+        let eucl_area = expanded.count() as i64;
+        assert!(eucl_area < orth_area);
+        // Rounded corners: missing area ≈ (4 - π)·d² ≈ 343.
+        let missing = orth_area - eucl_area;
+        assert!(missing > 200 && missing < 500, "missing={missing}");
+    }
+}

@@ -1,0 +1,320 @@
+//! Regions: canonical sets of disjoint rectangles with Boolean algebra.
+
+use crate::boolean::{boolean_op, BoolOp};
+use crate::{GeomError, Point, Polygon, Rect, Wire};
+
+/// A (possibly disconnected, possibly hole-y) rectilinear area, stored as a
+/// normalised list of disjoint axis-aligned rectangles.
+///
+/// `Region` is a *measure-theoretic* area: zero-area rectangles vanish and
+/// two regions that merely touch have an empty intersection. Touch/abutment
+/// predicates for connectivity live on [`Rect`] and in
+/// [`crate::skeleton`].
+///
+/// # Example
+///
+/// ```
+/// use diic_geom::{Rect, Region};
+/// let plus = Region::from_rects([
+///     Rect::new(0, 10, 30, 20),
+///     Rect::new(10, 0, 20, 30),
+/// ]);
+/// assert_eq!(plus.area(), 500);
+/// assert!(plus.contains_point(diic_geom::Point::new(15, 15)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Region {
+    rects: Vec<Rect>,
+}
+
+impl Region {
+    /// The empty region.
+    pub fn empty() -> Self {
+        Region { rects: Vec::new() }
+    }
+
+    /// A region covering a single rectangle.
+    pub fn from_rect(r: Rect) -> Self {
+        if r.is_degenerate() {
+            Region::empty()
+        } else {
+            Region { rects: vec![r] }
+        }
+    }
+
+    /// A region covering the union of arbitrary (possibly overlapping)
+    /// rectangles.
+    pub fn from_rects<I: IntoIterator<Item = Rect>>(rects: I) -> Self {
+        let raw: Vec<Rect> = rects.into_iter().collect();
+        Region {
+            rects: boolean_op(&raw, &[], BoolOp::Union),
+        }
+    }
+
+    /// A region covering a rectilinear polygon.
+    ///
+    /// # Errors
+    ///
+    /// [`GeomError::NotRectilinear`] if the polygon has non-axis-parallel
+    /// edges.
+    pub fn from_polygon(poly: &Polygon) -> Result<Self, GeomError> {
+        Ok(Region::from_rects(poly.to_rects()?))
+    }
+
+    /// A region covering a Manhattan wire.
+    pub fn from_wire(wire: &Wire) -> Self {
+        Region::from_rects(wire.to_rects())
+    }
+
+    /// The disjoint rectangles of the region.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Number of rectangles in the canonical decomposition.
+    pub fn rect_count(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// True if the region covers no area.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Total covered area.
+    pub fn area(&self) -> i128 {
+        self.rects.iter().map(Rect::area).sum()
+    }
+
+    /// Bounding rectangle, or `None` if empty.
+    pub fn bbox(&self) -> Option<Rect> {
+        let mut it = self.rects.iter();
+        let first = *it.next()?;
+        Some(it.fold(first, |acc, r| acc.bounding_union(r)))
+    }
+
+    /// True if `p` is inside or on the boundary of some rectangle.
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.rects.iter().any(|r| r.contains_point(p))
+    }
+
+    /// Union with another region.
+    pub fn union(&self, other: &Region) -> Region {
+        Region {
+            rects: boolean_op(&self.rects, &other.rects, BoolOp::Union),
+        }
+    }
+
+    /// Intersection with another region.
+    pub fn intersection(&self, other: &Region) -> Region {
+        Region {
+            rects: boolean_op(&self.rects, &other.rects, BoolOp::Intersection),
+        }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &Region) -> Region {
+        Region {
+            rects: boolean_op(&self.rects, &other.rects, BoolOp::Difference),
+        }
+    }
+
+    /// Symmetric difference.
+    pub fn xor(&self, other: &Region) -> Region {
+        Region {
+            rects: boolean_op(&self.rects, &other.rects, BoolOp::Xor),
+        }
+    }
+
+    /// True if the regions share interior area.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        // Cheap bbox rejection, then rect-pair test (regions are usually
+        // small); fall back to a full intersection only when needed.
+        match (self.bbox(), other.bbox()) {
+            (Some(a), Some(b)) if a.overlaps(&b) => {}
+            _ => return false,
+        }
+        self.rects
+            .iter()
+            .any(|ra| other.rects.iter().any(|rb| ra.overlaps(rb)))
+    }
+
+    /// True if the closed regions share at least one point (touching edges
+    /// or corners count) — the predicate used for connectivity.
+    pub fn touches(&self, other: &Region) -> bool {
+        match (self.bbox(), other.bbox()) {
+            (Some(a), Some(b)) if a.touches(&b) => {}
+            _ => return false,
+        }
+        self.rects
+            .iter()
+            .any(|ra| other.rects.iter().any(|rb| ra.touches(rb)))
+    }
+
+    /// True if `other` is entirely covered by `self`.
+    pub fn covers(&self, other: &Region) -> bool {
+        other.difference(self).is_empty()
+    }
+
+    /// Splits the region into connected components (rectangles connected by
+    /// shared edges or corners — closed-touch connectivity).
+    pub fn components(&self) -> Vec<Region> {
+        let n = self.rects.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let root = find(parent, parent[i]);
+                parent[i] = root;
+            }
+            parent[i]
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.rects[i].touches(&self.rects[j]) {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+        let mut groups: std::collections::HashMap<usize, Vec<Rect>> =
+            std::collections::HashMap::new();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            groups.entry(root).or_default().push(self.rects[i]);
+        }
+        let mut comps: Vec<Region> = groups
+            .into_values()
+            .map(|rects| Region { rects })
+            .collect();
+        comps.sort_by_key(|r| r.bbox().map(|b| (b.x1, b.y1)));
+        comps
+    }
+}
+
+impl FromIterator<Rect> for Region {
+    fn from_iter<I: IntoIterator<Item = Rect>>(iter: I) -> Self {
+        Region::from_rects(iter)
+    }
+}
+
+impl Extend<Rect> for Region {
+    fn extend<I: IntoIterator<Item = Rect>>(&mut self, iter: I) {
+        let mut raw = std::mem::take(&mut self.rects);
+        raw.extend(iter);
+        self.rects = boolean_op(&raw, &[], BoolOp::Union);
+    }
+}
+
+impl From<Rect> for Region {
+    fn from(r: Rect) -> Self {
+        Region::from_rect(r)
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Region[{} rects, area {}]", self.rect_count(), self.area())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_region_identities() {
+        let e = Region::empty();
+        let a = Region::from_rect(Rect::new(0, 0, 10, 10));
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0);
+        assert_eq!(e.bbox(), None);
+        assert_eq!(a.union(&e), a);
+        assert!(a.intersection(&e).is_empty());
+        assert_eq!(a.difference(&e), a);
+    }
+
+    #[test]
+    fn union_area_inclusion_exclusion() {
+        let a = Region::from_rect(Rect::new(0, 0, 100, 100));
+        let b = Region::from_rect(Rect::new(50, 50, 150, 150));
+        assert_eq!(a.union(&b).area(), 10_000 + 10_000 - 2_500);
+        assert_eq!(a.intersection(&b).area(), 2_500);
+        assert_eq!(a.xor(&b).area(), 15_000);
+        assert_eq!(a.difference(&b).area(), 7_500);
+    }
+
+    #[test]
+    fn covers_and_overlap() {
+        let big = Region::from_rect(Rect::new(0, 0, 100, 100));
+        let small = Region::from_rect(Rect::new(20, 20, 40, 40));
+        assert!(big.covers(&small));
+        assert!(!small.covers(&big));
+        assert!(big.overlaps(&small));
+        let apart = Region::from_rect(Rect::new(200, 0, 300, 100));
+        assert!(!big.overlaps(&apart));
+        assert!(!big.touches(&apart));
+    }
+
+    #[test]
+    fn touch_without_overlap() {
+        let a = Region::from_rect(Rect::new(0, 0, 10, 10));
+        let b = Region::from_rect(Rect::new(10, 0, 20, 10));
+        assert!(a.touches(&b));
+        assert!(!a.overlaps(&b));
+        assert!(a.intersection(&b).is_empty());
+        // Corner touch.
+        let c = Region::from_rect(Rect::new(10, 10, 20, 20));
+        assert!(a.touches(&c));
+    }
+
+    #[test]
+    fn components_split() {
+        let r = Region::from_rects([
+            Rect::new(0, 0, 10, 10),
+            Rect::new(10, 0, 20, 10), // touches first -> same component
+            Rect::new(100, 100, 110, 110),
+        ]);
+        let comps = r.components();
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn from_polygon_l_shape() {
+        let l = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(60, 0),
+            Point::new(60, 20),
+            Point::new(20, 20),
+            Point::new(20, 60),
+            Point::new(0, 60),
+        ])
+        .unwrap();
+        let r = Region::from_polygon(&l).unwrap();
+        assert_eq!(r.area() * 2, l.area2());
+        assert!(r.contains_point(Point::new(10, 50)));
+        assert!(!r.contains_point(Point::new(50, 50)));
+    }
+
+    #[test]
+    fn from_wire() {
+        let w = Wire::new(20, vec![Point::new(0, 0), Point::new(100, 0), Point::new(100, 100)])
+            .unwrap();
+        let r = Region::from_wire(&w);
+        // Two arm rects overlap in the corner square; union removes it once.
+        assert_eq!(r.area(), 120 * 20 + 120 * 20 - 20 * 20);
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let mut r: Region = [Rect::new(0, 0, 10, 10)].into_iter().collect();
+        r.extend([Rect::new(5, 0, 15, 10)]);
+        assert_eq!(r.area(), 150);
+    }
+
+    #[test]
+    fn degenerate_rect_is_empty_region() {
+        assert!(Region::from_rect(Rect::new(5, 0, 5, 10)).is_empty());
+    }
+}

@@ -1,0 +1,308 @@
+//! Sizing (expand / shrink) of regions.
+//!
+//! The paper's Fig. 3 contrasts **orthogonal** expansion (Minkowski sum with
+//! a square — preserves square corners) with **Euclidean** expansion
+//! (Minkowski sum with a disc — rounds corners). Orthogonal sizing of a
+//! rectilinear region is exact here; Euclidean sizing is inherently
+//! non-rectilinear, so we provide (a) analytic results for simple shapes
+//! (all that Fig. 3 needs) and a polygonal arc approximation for convex
+//! shapes, and (b) an exact-on-grid raster implementation in
+//! [`crate::raster`] used by the shrink-expand-compare baseline.
+
+use crate::{Coord, GeomError, Point, Polygon, Rect, Region};
+
+/// Which metric ball a sizing operation (or distance predicate) uses.
+///
+/// * `Orthogonal`: L∞ ball (a square). Expansion preserves square corners.
+/// * `Euclidean`: L2 ball (a disc). Expansion rounds convex corners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SizingMode {
+    /// Square structuring element (L∞).
+    #[default]
+    Orthogonal,
+    /// Disc structuring element (L2).
+    Euclidean,
+}
+
+impl std::fmt::Display for SizingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SizingMode::Orthogonal => f.write_str("orthogonal"),
+            SizingMode::Euclidean => f.write_str("euclidean"),
+        }
+    }
+}
+
+/// Orthogonal expansion: Minkowski sum of the region with the square
+/// `[-d, d]²`. Exact.
+///
+/// # Errors
+///
+/// [`GeomError::NegativeSize`] when `d < 0` (use [`shrink`]).
+pub fn expand(region: &Region, d: Coord) -> Result<Region, GeomError> {
+    if d < 0 {
+        return Err(GeomError::NegativeSize(d));
+    }
+    if d == 0 {
+        return Ok(region.clone());
+    }
+    Ok(Region::from_rects(
+        region
+            .rects()
+            .iter()
+            .map(|r| Rect::new(r.x1 - d, r.y1 - d, r.x2 + d, r.y2 + d)),
+    ))
+}
+
+/// Orthogonal shrink: the set of points whose L∞-ball of radius `d` lies
+/// inside the (closed) region. Exact, computed via the complement identity
+/// `shrink(A, d) = A \ expand(Aᶜ, d)`.
+///
+/// Features narrower than `2d` vanish entirely (measure semantics: a
+/// min-width feature shrunk by half its width has zero area). For skeleton
+/// computations that must *keep* such degenerate remainders, see
+/// [`crate::skeleton`].
+///
+/// # Errors
+///
+/// [`GeomError::NegativeSize`] when `d < 0`.
+pub fn shrink(region: &Region, d: Coord) -> Result<Region, GeomError> {
+    if d < 0 {
+        return Err(GeomError::NegativeSize(d));
+    }
+    if d == 0 || region.is_empty() {
+        return Ok(region.clone());
+    }
+    let bbox = region.bbox().expect("non-empty region has bbox");
+    let universe = Region::from_rect(
+        bbox.inflate(2 * d + 2).expect("inflating by positive amount cannot fail"),
+    );
+    let complement = universe.difference(region);
+    let grown = expand(&complement, d)?;
+    Ok(region.difference(&grown))
+}
+
+/// Morphological opening: shrink then expand by `d` (orthogonal). This is
+/// the *shrink-expand-compare* primitive: `region − opening(region, w/2)` is
+/// what a traditional checker reports as sub-width area.
+///
+/// # Errors
+///
+/// [`GeomError::NegativeSize`] when `d < 0`.
+pub fn opening(region: &Region, d: Coord) -> Result<Region, GeomError> {
+    expand(&shrink(region, d)?, d)
+}
+
+/// Morphological closing: expand then shrink by `d` (orthogonal). Fills
+/// gaps and notches narrower than `2d`.
+///
+/// # Errors
+///
+/// [`GeomError::NegativeSize`] when `d < 0`.
+pub fn closing(region: &Region, d: Coord) -> Result<Region, GeomError> {
+    shrink(&expand(region, d)?, d)
+}
+
+/// Exact area of the Euclidean expansion of a single rectangle by `d`:
+/// `A + P·d + π·d²` (rounded corners). Returned as `f64` since π is
+/// irrational. Used by the Fig. 3 experiment to compare against the
+/// orthogonal expansion area `A + P·d + 4·d²`.
+pub fn euclidean_expand_area_rect(r: &Rect, d: Coord) -> f64 {
+    let a = r.area() as f64;
+    let p = 2.0 * (r.width() + r.height()) as f64;
+    a + p * d as f64 + std::f64::consts::PI * (d as f64) * (d as f64)
+}
+
+/// Orthogonal expansion area of a single rectangle (exact).
+pub fn orthogonal_expand_area_rect(r: &Rect, d: Coord) -> i128 {
+    let e = Rect::new(r.x1 - d, r.y1 - d, r.x2 + d, r.y2 + d);
+    e.area()
+}
+
+/// Euclidean expansion of a **convex** polygon as a polygon approximation:
+/// each edge is offset outward by `d`; each convex corner is replaced by
+/// `segments` chords approximating the arc. The approximation is inscribed
+/// in the true expansion (vertices lie exactly on the offset circle, up to
+/// integer rounding).
+///
+/// # Errors
+///
+/// [`GeomError::NotRectilinear`] is *not* required — any convex polygon
+/// works; returns [`GeomError::DegeneratePolygon`] if the input is not
+/// convex (reflex corner found) since concave offsetting needs arc/arc
+/// trimming this kernel does not provide.
+pub fn euclidean_expand_convex(
+    poly: &Polygon,
+    d: Coord,
+    segments: usize,
+) -> Result<Polygon, GeomError> {
+    if d < 0 {
+        return Err(GeomError::NegativeSize(d));
+    }
+    let pts = poly.points();
+    let n = pts.len();
+    // Convexity check (CCW ring: all turns must be left turns).
+    for i in 0..n {
+        let a = pts[i];
+        let b = pts[(i + 1) % n];
+        let c = pts[(i + 2) % n];
+        if (b - a).cross(c - b) < 0 {
+            return Err(GeomError::DegeneratePolygon);
+        }
+    }
+    let segs = segments.max(1);
+    let mut out: Vec<Point> = Vec::with_capacity(n * (segs + 1));
+    for i in 0..n {
+        let prev = pts[(i + n - 1) % n];
+        let cur = pts[i];
+        let next = pts[(i + 1) % n];
+        let din = cur - prev;
+        let dout = next - cur;
+        // Outward normals (interior is left for CCW, so outward = right =
+        // direction rotated -90°).
+        let nin = angle_of(-din.rot90());
+        let nout = angle_of(-dout.rot90());
+        // Sweep the arc from nin to nout (counter-clockwise, convex corner).
+        let mut sweep = nout - nin;
+        while sweep < 0.0 {
+            sweep += std::f64::consts::TAU;
+        }
+        for k in 0..=segs {
+            let ang = nin + sweep * (k as f64) / (segs as f64);
+            let px = cur.x as f64 + d as f64 * ang.cos();
+            let py = cur.y as f64 + d as f64 * ang.sin();
+            out.push(Point::new(px.round() as Coord, py.round() as Coord));
+        }
+    }
+    Polygon::new(out)
+}
+
+fn angle_of(v: crate::Vector) -> f64 {
+    (v.y as f64).atan2(v.x as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(side: Coord) -> Region {
+        Region::from_rect(Rect::new(0, 0, side, side))
+    }
+
+    #[test]
+    fn expand_square() {
+        let r = expand(&square(10), 5).unwrap();
+        assert_eq!(r, Region::from_rect(Rect::new(-5, -5, 15, 15)));
+    }
+
+    #[test]
+    fn shrink_square() {
+        let r = shrink(&square(10), 3).unwrap();
+        assert_eq!(r, Region::from_rect(Rect::new(3, 3, 7, 7)));
+    }
+
+    #[test]
+    fn shrink_to_nothing() {
+        // Fig. 3: orthogonal shrink of a square yields a square — and at
+        // half the side, nothing (measure semantics).
+        assert!(shrink(&square(10), 5).unwrap().is_empty());
+        assert!(shrink(&square(10), 7).unwrap().is_empty());
+    }
+
+    #[test]
+    fn expand_then_shrink_roundtrip_on_square() {
+        let s = square(10);
+        let back = shrink(&expand(&s, 4).unwrap(), 4).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn shrink_l_shape_keeps_wide_parts() {
+        // L with 20-wide arms; shrinking by 5 keeps 10-wide arms.
+        let l = Region::from_rects([Rect::new(0, 0, 60, 20), Rect::new(0, 0, 20, 60)]);
+        let s = shrink(&l, 5).unwrap();
+        assert_eq!(s.area(), {
+            // Shrunk L: horizontal arm [5,55]x[5,15], vertical [5,15]x[5,55],
+            // overlapping in [5,15]x[5,15].
+            (50 * 10 + 50 * 10 - 10 * 10) as i128
+        });
+    }
+
+    #[test]
+    fn opening_removes_thin_neck() {
+        // Two 20x20 squares joined by a 4-wide neck; opening by 5 removes
+        // the neck but keeps the squares.
+        let shape = Region::from_rects([
+            Rect::new(0, 0, 20, 20),
+            Rect::new(20, 8, 40, 12),
+            Rect::new(40, 0, 60, 20),
+        ]);
+        let opened = opening(&shape, 5).unwrap();
+        assert_eq!(opened.area(), 2 * 400);
+        let lost = shape.difference(&opened);
+        assert_eq!(lost.area(), 20 * 4);
+    }
+
+    #[test]
+    fn closing_fills_narrow_gap() {
+        let gap = Region::from_rects([Rect::new(0, 0, 10, 20), Rect::new(14, 0, 24, 20)]);
+        let closed = closing(&gap, 3).unwrap();
+        // The 4-wide slot between the bars is filled.
+        assert_eq!(closed.area(), 24 * 20);
+    }
+
+    #[test]
+    fn negative_size_rejected() {
+        assert!(expand(&square(10), -1).is_err());
+        assert!(shrink(&square(10), -1).is_err());
+    }
+
+    #[test]
+    fn euclidean_vs_orthogonal_area_fig3() {
+        // Fig. 3: expanding a square, orthogonal keeps square corners
+        // (larger area), Euclidean rounds them.
+        let r = Rect::new(0, 0, 100, 100);
+        let orth = orthogonal_expand_area_rect(&r, 10) as f64;
+        let eucl = euclidean_expand_area_rect(&r, 10);
+        assert!(eucl < orth);
+        // The difference is exactly (4 - π)·d².
+        let diff = orth - eucl;
+        let expected = (4.0 - std::f64::consts::PI) * 100.0;
+        assert!((diff - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn euclidean_expand_convex_square() {
+        let sq = Polygon::from_rect(&Rect::new(0, 0, 1000, 1000));
+        let exp = euclidean_expand_convex(&sq, 100, 8).unwrap();
+        // More vertices than the square: arcs at each corner.
+        assert!(exp.len() > 4 + 4 * 4);
+        // Area between the inscribed approximation and the true value.
+        let approx_area = exp.area2() as f64 / 2.0;
+        let true_area = euclidean_expand_area_rect(&Rect::new(0, 0, 1000, 1000), 100);
+        assert!(approx_area <= true_area + 1e4);
+        assert!(approx_area > true_area * 0.99);
+        // And well above the unexpanded area.
+        assert!(approx_area > 1_000_000.0);
+    }
+
+    #[test]
+    fn euclidean_expand_rejects_concave() {
+        let l = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(60, 0),
+            Point::new(60, 20),
+            Point::new(20, 20),
+            Point::new(20, 60),
+            Point::new(0, 60),
+        ])
+        .unwrap();
+        assert!(euclidean_expand_convex(&l, 5, 4).is_err());
+    }
+
+    #[test]
+    fn shrink_of_empty_is_empty() {
+        assert!(shrink(&Region::empty(), 5).unwrap().is_empty());
+        assert!(expand(&Region::empty(), 5).unwrap().is_empty());
+    }
+}

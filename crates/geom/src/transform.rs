@@ -1,0 +1,287 @@
+//! Manhattan transforms: the eight axis orientations plus translation.
+//!
+//! CIF calls compose translations (`T`), mirrors (`MX`, `MY`) and rotations
+//! (`R` with a direction vector). The DIIC design style is Manhattan, so
+//! rotations are restricted to the four axis directions; together with the
+//! mirrors this yields the eight-element dihedral group `D4` represented by
+//! [`Orientation`].
+
+use crate::{Coord, Point, Polygon, Rect, Vector};
+use std::fmt;
+
+/// One of the eight Manhattan orientations (the dihedral group of the
+/// square). `R0` is the identity; `Rn` rotates counter-clockwise by `n`
+/// degrees; the `M*` variants mirror first (about the y-axis, i.e. negate x)
+/// and then rotate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Orientation {
+    /// Identity.
+    #[default]
+    R0,
+    /// Rotate 90° counter-clockwise.
+    R90,
+    /// Rotate 180°.
+    R180,
+    /// Rotate 270° counter-clockwise.
+    R270,
+    /// Mirror x (negate x), no rotation — CIF `MX`.
+    MR0,
+    /// Mirror x then rotate 90°.
+    MR90,
+    /// Mirror x then rotate 180° (equals CIF `MY`).
+    MR180,
+    /// Mirror x then rotate 270°.
+    MR270,
+}
+
+impl Orientation {
+    /// All eight orientations, in enum order.
+    pub const ALL: [Orientation; 8] = [
+        Orientation::R0,
+        Orientation::R90,
+        Orientation::R180,
+        Orientation::R270,
+        Orientation::MR0,
+        Orientation::MR90,
+        Orientation::MR180,
+        Orientation::MR270,
+    ];
+
+    /// True if this orientation includes a mirror (reverses polygon
+    /// winding direction).
+    pub fn is_mirrored(self) -> bool {
+        matches!(
+            self,
+            Orientation::MR0 | Orientation::MR90 | Orientation::MR180 | Orientation::MR270
+        )
+    }
+
+    /// Applies the orientation to a vector.
+    pub fn apply_vector(self, v: Vector) -> Vector {
+        let (x, y) = if self.is_mirrored() { (-v.x, v.y) } else { (v.x, v.y) };
+        match self {
+            Orientation::R0 | Orientation::MR0 => Vector::new(x, y),
+            Orientation::R90 | Orientation::MR90 => Vector::new(-y, x),
+            Orientation::R180 | Orientation::MR180 => Vector::new(-x, -y),
+            Orientation::R270 | Orientation::MR270 => Vector::new(y, -x),
+        }
+    }
+
+    /// Composition: applies `self` *after* `first`.
+    pub fn after(self, first: Orientation) -> Orientation {
+        // Compose by tracking the images of the two basis vectors.
+        let e1 = self.apply_vector(first.apply_vector(Vector::new(1, 0)));
+        let e2 = self.apply_vector(first.apply_vector(Vector::new(0, 1)));
+        Orientation::from_basis(e1, e2).expect("composition of orientations is an orientation")
+    }
+
+    /// Inverse orientation.
+    pub fn inverse(self) -> Orientation {
+        for o in Orientation::ALL {
+            if o.after(self) == Orientation::R0 {
+                return o;
+            }
+        }
+        unreachable!("every orientation has an inverse")
+    }
+
+    fn from_basis(e1: Vector, e2: Vector) -> Option<Orientation> {
+        Orientation::ALL
+            .into_iter()
+            .find(|o| o.apply_vector(Vector::new(1, 0)) == e1 && o.apply_vector(Vector::new(0, 1)) == e2)
+    }
+
+    /// Maps a CIF `R a b` rotation direction to an orientation, if the
+    /// direction is one of the four axis directions.
+    pub fn from_cif_direction(a: Coord, b: Coord) -> Option<Orientation> {
+        match (a.signum(), b.signum()) {
+            (1, 0) => Some(Orientation::R0),
+            (0, 1) => Some(Orientation::R90),
+            (-1, 0) => Some(Orientation::R180),
+            (0, -1) => Some(Orientation::R270),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Orientation::R0 => "R0",
+            Orientation::R90 => "R90",
+            Orientation::R180 => "R180",
+            Orientation::R270 => "R270",
+            Orientation::MR0 => "MR0",
+            Orientation::MR90 => "MR90",
+            Orientation::MR180 => "MR180",
+            Orientation::MR270 => "MR270",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An orientation followed by a translation: `p ↦ orient(p) + offset`.
+///
+/// # Example
+///
+/// ```
+/// use diic_geom::{Orientation, Point, Transform, Vector};
+/// let t = Transform::new(Orientation::R90, Vector::new(100, 0));
+/// assert_eq!(t.apply_point(Point::new(10, 0)), Point::new(100, 10));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Transform {
+    /// The linear part.
+    pub orient: Orientation,
+    /// The translation applied after the linear part.
+    pub offset: Vector,
+}
+
+impl Transform {
+    /// Creates a transform from its parts.
+    pub const fn new(orient: Orientation, offset: Vector) -> Self {
+        Transform { orient, offset }
+    }
+
+    /// The identity transform.
+    pub const IDENTITY: Transform = Transform::new(Orientation::R0, Vector::ZERO);
+
+    /// A pure translation.
+    pub const fn translate(offset: Vector) -> Self {
+        Transform::new(Orientation::R0, offset)
+    }
+
+    /// True if this is the identity.
+    pub fn is_identity(&self) -> bool {
+        *self == Transform::IDENTITY
+    }
+
+    /// Applies the transform to a point.
+    pub fn apply_point(&self, p: Point) -> Point {
+        Point::ORIGIN + self.orient.apply_vector(Vector::new(p.x, p.y)) + self.offset
+    }
+
+    /// Applies the transform to a vector (translation does not apply).
+    pub fn apply_vector(&self, v: Vector) -> Vector {
+        self.orient.apply_vector(v)
+    }
+
+    /// Applies the transform to a rectangle (always yields a rectangle,
+    /// since orientations are Manhattan).
+    pub fn apply_rect(&self, r: &Rect) -> Rect {
+        Rect::from_points(self.apply_point(r.lower_left()), self.apply_point(r.upper_right()))
+    }
+
+    /// Applies the transform to every vertex of a polygon.
+    pub fn apply_polygon(&self, poly: &Polygon) -> Polygon {
+        Polygon::new_unchecked(poly.points().iter().map(|&p| self.apply_point(p)).collect())
+    }
+
+    /// Composition: the transform that applies `first`, then `self`.
+    pub fn after(&self, first: &Transform) -> Transform {
+        Transform {
+            orient: self.orient.after(first.orient),
+            offset: self.orient.apply_vector(first.offset) + self.offset,
+        }
+    }
+
+    /// The inverse transform.
+    pub fn inverse(&self) -> Transform {
+        let inv = self.orient.inverse();
+        Transform {
+            orient: inv,
+            offset: -inv.apply_vector(self.offset),
+        }
+    }
+}
+
+impl fmt::Display for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} + {}", self.orient, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orientation_group_closure_and_inverse() {
+        for a in Orientation::ALL {
+            assert_eq!(a.after(Orientation::R0), a);
+            assert_eq!(Orientation::R0.after(a), a);
+            let inv = a.inverse();
+            assert_eq!(inv.after(a), Orientation::R0);
+            assert_eq!(a.after(inv), Orientation::R0);
+            for b in Orientation::ALL {
+                // Closure: composition must be one of the eight.
+                let _ = a.after(b);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_of_unit_vectors() {
+        let e = Vector::new(1, 0);
+        assert_eq!(Orientation::R90.apply_vector(e), Vector::new(0, 1));
+        assert_eq!(Orientation::R180.apply_vector(e), Vector::new(-1, 0));
+        assert_eq!(Orientation::R270.apply_vector(e), Vector::new(0, -1));
+        assert_eq!(Orientation::MR0.apply_vector(e), Vector::new(-1, 0));
+    }
+
+    #[test]
+    fn mirror_reverses_winding() {
+        for o in Orientation::ALL {
+            let e1 = o.apply_vector(Vector::new(1, 0));
+            let e2 = o.apply_vector(Vector::new(0, 1));
+            let det = e1.cross(e2);
+            if o.is_mirrored() {
+                assert_eq!(det, -1);
+            } else {
+                assert_eq!(det, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn transform_point_and_rect() {
+        let t = Transform::new(Orientation::R90, Vector::new(5, 7));
+        let p = Point::new(2, 3);
+        assert_eq!(t.apply_point(p), Point::new(5 - 3, 7 + 2));
+        let r = Rect::new(0, 0, 4, 2);
+        let tr = t.apply_rect(&r);
+        assert_eq!(tr, Rect::new(3, 7, 5, 11));
+    }
+
+    #[test]
+    fn transform_composition_matches_sequential_application() {
+        let t1 = Transform::new(Orientation::R90, Vector::new(10, 0));
+        let t2 = Transform::new(Orientation::MR0, Vector::new(0, 5));
+        let comp = t2.after(&t1);
+        for p in [Point::new(0, 0), Point::new(3, 4), Point::new(-7, 2)] {
+            assert_eq!(comp.apply_point(p), t2.apply_point(t1.apply_point(p)));
+        }
+    }
+
+    #[test]
+    fn transform_inverse_roundtrip() {
+        for o in Orientation::ALL {
+            let t = Transform::new(o, Vector::new(13, -4));
+            let inv = t.inverse();
+            for p in [Point::new(0, 0), Point::new(5, 9), Point::new(-2, 11)] {
+                assert_eq!(inv.apply_point(t.apply_point(p)), p);
+                assert_eq!(t.apply_point(inv.apply_point(p)), p);
+            }
+        }
+    }
+
+    #[test]
+    fn cif_direction_mapping() {
+        assert_eq!(Orientation::from_cif_direction(1, 0), Some(Orientation::R0));
+        assert_eq!(Orientation::from_cif_direction(0, 30), Some(Orientation::R90));
+        assert_eq!(Orientation::from_cif_direction(-5, 0), Some(Orientation::R180));
+        assert_eq!(Orientation::from_cif_direction(0, -1), Some(Orientation::R270));
+        assert_eq!(Orientation::from_cif_direction(1, 1), None);
+        assert_eq!(Orientation::from_cif_direction(0, 0), None);
+    }
+}

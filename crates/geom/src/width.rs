@@ -1,0 +1,378 @@
+//! Minimum-width checking.
+//!
+//! Two families of algorithms, deliberately:
+//!
+//! * **Element-based checks** ([`check_rect_width`], [`check_wire_width`],
+//!   [`check_polygon_width`]) — what the DIIC pipeline uses. Boxes and wires
+//!   are trivial; polygons use an exact edge-pair algorithm. No corner
+//!   artefacts.
+//! * **Shrink-expand-compare** ([`shrink_expand_compare`]) — the traditional
+//!   technique the paper critiques (Fig. 4): `region − opening(region, w/2)`.
+//!   With orthogonal sizing it is exact for rectilinear data; with Euclidean
+//!   sizing (see [`crate::raster`]) it flags *every convex corner*, the
+//!   classic false-error source.
+
+use crate::{Coord, Point, Polygon, Rect, Region, Segment, Wire};
+
+/// A minimum-width violation marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WidthViolation {
+    /// Where the violation was detected.
+    pub location: Rect,
+    /// The measured width (for edge-pair checks, the distance between the
+    /// offending edges, rounded down).
+    pub measured: Coord,
+    /// The required minimum width.
+    pub required: Coord,
+}
+
+impl std::fmt::Display for WidthViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "width {} < required {} at {}",
+            self.measured, self.required, self.location
+        )
+    }
+}
+
+/// Checks a box element: its smaller side must be at least `min_width`.
+pub fn check_rect_width(r: &Rect, min_width: Coord) -> Option<WidthViolation> {
+    if r.min_side() < min_width {
+        Some(WidthViolation {
+            location: *r,
+            measured: r.min_side(),
+            required: min_width,
+        })
+    } else {
+        None
+    }
+}
+
+/// Checks a wire element: its declared width must be at least `min_width`.
+pub fn check_wire_width(w: &Wire, min_width: Coord) -> Option<WidthViolation> {
+    if w.width() < min_width {
+        Some(WidthViolation {
+            location: w.bbox(),
+            measured: w.width(),
+            required: min_width,
+        })
+    } else {
+        None
+    }
+}
+
+/// Checks a polygon with the exact edge-pair algorithm.
+///
+/// Two non-adjacent, anti-parallel edges whose projections overlap and that
+/// *face each other across the interior* must be at least `min_width` apart.
+/// Additionally, pairs of reflex (concave) vertices closer than `min_width`
+/// whose connecting midpoint is interior are flagged (diagonal necks).
+///
+/// Works for any simple polygon; exact for rectilinear and 45° data.
+pub fn check_polygon_width(poly: &Polygon, min_width: Coord) -> Vec<WidthViolation> {
+    let mut out = Vec::new();
+    let edges: Vec<Segment> = poly.edges().collect();
+    let n = edges.len();
+    let w2 = min_width as i128 * min_width as i128;
+
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if j == i + 1 || (i == 0 && j == n - 1) {
+                continue; // adjacent edges meet at a vertex; no width there
+            }
+            let (e1, e2) = (edges[i], edges[j]);
+            if !e1.is_antiparallel_to(&e2) {
+                continue;
+            }
+            // Facing across the interior: each edge's points weakly on the
+            // left (interior) side of the other.
+            let facing = e2_weakly_left_of(&e1, &e2) && e2_weakly_left_of(&e2, &e1);
+            if !facing {
+                continue;
+            }
+            if e1.projection_overlap(&e2) <= 0 {
+                continue;
+            }
+            let d2 = e1.dist_sq(&e2);
+            if d2 < w2 {
+                out.push(WidthViolation {
+                    location: e1.bbox().bounding_union(&e2.bbox()),
+                    measured: isqrt(d2),
+                    required: min_width,
+                });
+            }
+        }
+    }
+
+    // Diagonal necks between reflex vertices. Adjacent vertices are skipped
+    // (their connector is a polygon edge) and the connector's midpoint must
+    // be strictly interior — a connector along the boundary (e.g. the bottom
+    // of a notch) is an exterior matter, not a width violation.
+    let pts = poly.points();
+    let m = pts.len();
+    for i in 0..m {
+        if !is_reflex(pts, i) {
+            continue;
+        }
+        for j in (i + 1)..m {
+            if !is_reflex(pts, j) {
+                continue;
+            }
+            if j == i + 1 || (i == 0 && j == m - 1) {
+                continue;
+            }
+            let (a, b) = (pts[i], pts[j]);
+            let d2 = a.dist_sq(b);
+            if d2 == 0 || d2 >= w2 {
+                continue;
+            }
+            let mid = Segment::new(a, b).midpoint();
+            let on_boundary = edges.iter().any(|e| e.contains_point(mid));
+            if !on_boundary && poly.contains_point(mid) {
+                out.push(WidthViolation {
+                    location: Rect::from_points(a, b),
+                    measured: isqrt(d2),
+                    required: min_width,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn e2_weakly_left_of(base: &Segment, other: &Segment) -> bool {
+    base.side_of(other.a) >= 0 && base.side_of(other.b) >= 0
+}
+
+fn is_reflex(pts: &[Point], i: usize) -> bool {
+    let n = pts.len();
+    let prev = pts[(i + n - 1) % n];
+    let cur = pts[i];
+    let next = pts[(i + 1) % n];
+    // CCW ring: interior angle > 180° iff right turn.
+    (cur - prev).cross(next - cur) < 0
+}
+
+/// Integer square root (floor) of a non-negative `i128` — exact.
+pub fn isqrt(v: i128) -> Coord {
+    if v < 0 {
+        return 0;
+    }
+    let mut x = (v as f64).sqrt() as i128;
+    while x * x > v {
+        x -= 1;
+    }
+    while (x + 1) * (x + 1) <= v {
+        x += 1;
+    }
+    x as Coord
+}
+
+/// The traditional *shrink-expand-compare* width check (orthogonal sizing):
+/// returns the sub-width area `region − opening(region, w/2)` as violation
+/// markers. Exact for rectilinear regions at any parity: computed in a
+/// doubled coordinate grid with a shrink of `w − 1`, so a feature of width
+/// exactly `min_width` survives while `min_width − 1` does not. For the
+/// Euclidean variant (which also flags corners — the Fig. 4 pathology) see
+/// [`crate::raster::euclidean_shrink_expand_compare`].
+pub fn shrink_expand_compare(region: &Region, min_width: Coord) -> Vec<WidthViolation> {
+    if min_width <= 1 {
+        return Vec::new();
+    }
+    let doubled = Region::from_rects(
+        region
+            .rects()
+            .iter()
+            .map(|r| crate::Rect::new(2 * r.x1, 2 * r.y1, 2 * r.x2, 2 * r.y2)),
+    );
+    let opened = crate::size::opening(&doubled, min_width - 1)
+        .expect("non-negative opening cannot fail");
+    let lost = doubled.difference(&opened);
+    lost.components()
+        .into_iter()
+        .filter_map(|comp| {
+            comp.bbox().map(|b| {
+                let halved = crate::Rect::new(
+                    b.x1.div_euclid(2),
+                    b.y1.div_euclid(2),
+                    (b.x2 + 1).div_euclid(2),
+                    (b.y2 + 1).div_euclid(2),
+                );
+                WidthViolation {
+                    location: halved,
+                    measured: halved.min_side().min(min_width - 1),
+                    required: min_width,
+                }
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: Coord, y: Coord) -> Point {
+        Point::new(x, y)
+    }
+
+    const W: Coord = 20;
+
+    #[test]
+    fn rect_width_check() {
+        assert!(check_rect_width(&Rect::new(0, 0, 100, 20), W).is_none());
+        let v = check_rect_width(&Rect::new(0, 0, 100, 19), W).unwrap();
+        assert_eq!(v.measured, 19);
+        assert_eq!(v.required, 20);
+    }
+
+    #[test]
+    fn wire_width_check() {
+        let ok = Wire::new(20, vec![p(0, 0), p(100, 0)]).unwrap();
+        assert!(check_wire_width(&ok, W).is_none());
+        let thin = Wire::new(10, vec![p(0, 0), p(100, 0)]).unwrap();
+        assert!(check_wire_width(&thin, W).is_some());
+    }
+
+    #[test]
+    fn polygon_legal_square_passes() {
+        let sq = Polygon::from_rect(&Rect::new(0, 0, 100, 100));
+        assert!(check_polygon_width(&sq, W).is_empty());
+    }
+
+    #[test]
+    fn polygon_thin_strip_fails() {
+        let strip = Polygon::from_rect(&Rect::new(0, 0, 100, 10));
+        let v = check_polygon_width(&strip, W);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].measured, 10);
+    }
+
+    #[test]
+    fn polygon_neck_detected() {
+        // Dumbbell: two 40x40 squares joined by a 10-wide neck.
+        let poly = Polygon::new(vec![
+            p(0, 0),
+            p(40, 0),
+            p(40, 15),
+            p(80, 15),
+            p(80, 0),
+            p(120, 0),
+            p(120, 40),
+            p(80, 40),
+            p(80, 25),
+            p(40, 25),
+            p(40, 40),
+            p(0, 40),
+        ])
+        .unwrap();
+        let v = check_polygon_width(&poly, W);
+        assert!(!v.is_empty());
+        assert!(v.iter().any(|x| x.measured == 10));
+        // But the squares themselves are fine at min width 15:
+        let v15 = check_polygon_width(&poly, 10);
+        assert!(v15.is_empty());
+    }
+
+    #[test]
+    fn polygon_l_shape_no_false_corner_errors() {
+        // Fig. 4: the DIIC edge-pair check must NOT flag corners of a legal
+        // L-shape (unlike Euclidean shrink-expand-compare).
+        let l = Polygon::new(vec![
+            p(0, 0),
+            p(100, 0),
+            p(100, 30),
+            p(30, 30),
+            p(30, 100),
+            p(0, 100),
+        ])
+        .unwrap();
+        assert!(check_polygon_width(&l, W).is_empty());
+    }
+
+    #[test]
+    fn polygon_notch_is_not_width_violation() {
+        // A notch (exterior slot) narrower than min width is a *spacing*
+        // issue, not a width issue; the width check must not flag it.
+        let notched = Polygon::new(vec![
+            p(0, 0),
+            p(100, 0),
+            p(100, 40),
+            p(55, 40),
+            p(55, 25),
+            p(45, 25),
+            p(45, 40),
+            p(0, 40),
+        ])
+        .unwrap();
+        // Width from notch bottom (y=25) to polygon bottom (y=0) is 25 >= 20:
+        assert!(check_polygon_width(&notched, W).is_empty());
+        // With min width 30 the strip under the notch violates:
+        assert!(!check_polygon_width(&notched, 30).is_empty());
+    }
+
+    #[test]
+    fn diagonal_neck_between_reflex_corners() {
+        // Staircase with a diagonal neck: two reflex corners 10·√2 apart.
+        let z = Polygon::new(vec![
+            p(0, 0),
+            p(50, 0),
+            p(50, 30),
+            p(90, 30),
+            p(90, 70),
+            p(40, 70),
+            p(40, 40),
+            p(0, 40),
+        ])
+        .unwrap();
+        // Reflex corners at (50,30) and (40,40): dist² = 200 < 400.
+        let v = check_polygon_width(&z, W);
+        assert!(!v.is_empty());
+        assert!(v.iter().any(|x| x.measured == 14)); // floor(√200)
+    }
+
+    #[test]
+    fn sec_orthogonal_flags_thin_neck_only() {
+        let shape = Region::from_rects([
+            Rect::new(0, 0, 40, 40),
+            Rect::new(40, 15, 80, 25),
+            Rect::new(80, 0, 120, 40),
+        ]);
+        let v = shrink_expand_compare(&shape, W);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].location.touches(&Rect::new(40, 15, 80, 25)));
+        // A legal square produces nothing — orthogonal SEC has no corner
+        // pathology on rectilinear data.
+        let ok = shrink_expand_compare(&Region::from_rect(Rect::new(0, 0, 100, 100)), W);
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn isqrt_exactness() {
+        assert_eq!(isqrt(0), 0);
+        assert_eq!(isqrt(1), 1);
+        assert_eq!(isqrt(2), 1);
+        assert_eq!(isqrt(4), 2);
+        assert_eq!(isqrt(200), 14);
+        assert_eq!(isqrt(10_000_000_001), 100_000);
+    }
+
+    #[test]
+    fn polygon_45_degree_taper() {
+        // A 45° taper narrowing below min width.
+        let taper = Polygon::new(vec![
+            p(0, 0),
+            p(100, 0),
+            p(140, 40),
+            p(140, 100),
+            p(120, 100),
+            p(120, 48),
+            p(92, 20),
+            p(0, 20),
+        ])
+        .unwrap();
+        let v = check_polygon_width(&taper, 25);
+        assert!(!v.is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Wires: centre-line paths with a width (the CIF `W` element).
+//!
+//! The DIIC design style is Manhattan; wires here use **square ends**
+//! extended by half the width, the convention of Manhattan layout systems
+//! (CIF's original definition uses round ends, which matters only for
+//! non-Manhattan wires — documented substitution, see `DESIGN.md`).
+
+use crate::{Coord, GeomError, Point, Rect, Segment};
+
+/// A wire: a polyline of centre points swept with a square brush of the
+/// given full `width`.
+///
+/// # Example
+///
+/// ```
+/// use diic_geom::{Point, Wire, Rect};
+/// let w = Wire::new(200, vec![Point::new(0, 0), Point::new(1000, 0)]).unwrap();
+/// assert_eq!(w.to_rects(), vec![Rect::new(-100, -100, 1100, 100)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Wire {
+    width: Coord,
+    points: Vec<Point>,
+}
+
+impl Wire {
+    /// Creates a wire.
+    ///
+    /// # Errors
+    ///
+    /// [`GeomError::InvalidWire`] when `width <= 0` or `points` is empty.
+    pub fn new(width: Coord, points: Vec<Point>) -> Result<Self, GeomError> {
+        if width <= 0 || points.is_empty() {
+            return Err(GeomError::InvalidWire);
+        }
+        Ok(Wire { width, points })
+    }
+
+    /// The full width of the wire.
+    pub fn width(&self) -> Coord {
+        self.width
+    }
+
+    /// The centre-line points.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The centre-line segments (empty for a single-point wire).
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.points.windows(2).map(|w| Segment::new(w[0], w[1]))
+    }
+
+    /// True if every segment is axis-parallel.
+    pub fn is_manhattan(&self) -> bool {
+        self.segments().all(|s| s.is_axis_parallel())
+    }
+
+    /// The rectangles covered by a **Manhattan** wire: one per segment, each
+    /// the segment expanded by `width/2` on every side (square ends). A
+    /// single-point wire yields one square.
+    ///
+    /// Non-Manhattan segments are covered by their expanded bounding box —
+    /// an over-approximation; the DIIC pipeline rejects non-Manhattan wires
+    /// before geometry checks.
+    pub fn to_rects(&self) -> Vec<Rect> {
+        let h = self.width / 2;
+        if self.points.len() == 1 {
+            let p = self.points[0];
+            return vec![Rect::new(p.x - h, p.y - h, p.x - h + self.width, p.y - h + self.width)];
+        }
+        self.segments()
+            .map(|s| {
+                let bb = s.bbox();
+                Rect::new(bb.x1 - h, bb.y1 - h, bb.x2 + h, bb.y2 + h)
+            })
+            .collect()
+    }
+
+    /// Axis-aligned bounding rectangle of the covered area.
+    pub fn bbox(&self) -> Rect {
+        let rects = self.to_rects();
+        let mut bb = rects[0];
+        for r in &rects[1..] {
+            bb = bb.bounding_union(r);
+        }
+        bb
+    }
+
+    /// The skeleton of the wire for skeletal-connectivity checking (paper
+    /// Fig. 11): the wire shrunk by `half_min_width` on every side. For a
+    /// minimum-width wire this degenerates to the centre line.
+    ///
+    /// Returns the covered rectangles of the shrunk wire (possibly
+    /// degenerate), or an empty vector if the wire is narrower than the
+    /// minimum width (such wires are already width violations).
+    pub fn skeleton_rects(&self, half_min_width: Coord) -> Vec<Rect> {
+        let h = self.width / 2 - half_min_width;
+        if h < 0 {
+            return Vec::new();
+        }
+        if self.points.len() == 1 {
+            let p = self.points[0];
+            return vec![Rect::new(p.x - h, p.y - h, p.x + h, p.y + h)];
+        }
+        self.segments()
+            .map(|s| {
+                let bb = s.bbox();
+                Rect::new(bb.x1 - h, bb.y1 - h, bb.x2 + h, bb.y2 + h)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: Coord, y: Coord) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn invalid_wires_rejected() {
+        assert!(Wire::new(0, vec![p(0, 0)]).is_err());
+        assert!(Wire::new(-5, vec![p(0, 0)]).is_err());
+        assert!(Wire::new(100, vec![]).is_err());
+    }
+
+    #[test]
+    fn single_point_wire_is_square() {
+        let w = Wire::new(100, vec![p(50, 50)]).unwrap();
+        assert_eq!(w.to_rects(), vec![Rect::new(0, 0, 100, 100)]);
+    }
+
+    #[test]
+    fn l_shaped_wire_covers_both_arms() {
+        let w = Wire::new(20, vec![p(0, 0), p(100, 0), p(100, 100)]).unwrap();
+        let rects = w.to_rects();
+        assert_eq!(rects.len(), 2);
+        assert_eq!(rects[0], Rect::new(-10, -10, 110, 10));
+        assert_eq!(rects[1], Rect::new(90, -10, 110, 110));
+        assert!(w.is_manhattan());
+        assert_eq!(w.bbox(), Rect::new(-10, -10, 110, 110));
+    }
+
+    #[test]
+    fn min_width_wire_skeleton_is_centerline() {
+        let w = Wire::new(20, vec![p(0, 0), p(100, 0)]).unwrap();
+        let skel = w.skeleton_rects(10);
+        assert_eq!(skel, vec![Rect::new(0, 0, 100, 0)]);
+        assert!(skel[0].is_degenerate());
+    }
+
+    #[test]
+    fn wide_wire_skeleton_retains_area() {
+        let w = Wire::new(40, vec![p(0, 0), p(100, 0)]).unwrap();
+        let skel = w.skeleton_rects(10);
+        assert_eq!(skel, vec![Rect::new(-10, -10, 110, 10)]);
+    }
+
+    #[test]
+    fn under_width_wire_has_no_skeleton() {
+        let w = Wire::new(10, vec![p(0, 0), p(100, 0)]).unwrap();
+        assert!(w.skeleton_rects(10).is_empty());
+    }
+
+    #[test]
+    fn diagonal_wire_flagged_non_manhattan() {
+        let w = Wire::new(10, vec![p(0, 0), p(50, 50)]).unwrap();
+        assert!(!w.is_manhattan());
+    }
+}

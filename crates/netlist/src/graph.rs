@@ -1,0 +1,289 @@
+//! Net-list model: nets, devices, terminals.
+
+use crate::unionfind::UnionFind;
+use diic_tech::DeviceClass;
+use std::collections::HashMap;
+
+/// Identifier of a net in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+/// Identifier of a device in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u32);
+
+/// A net: a canonical name, all its aliases (dot-notation identifiers that
+/// were merged into it), and the device terminals on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Canonical name (the lexicographically smallest alias, which favours
+    /// short top-level names like `VDD` over deep `a.b.c` paths).
+    pub name: String,
+    /// All identifiers merged into this net, sorted.
+    pub aliases: Vec<String>,
+    /// `(device, terminal-name)` pairs attached to this net.
+    pub terminals: Vec<(DeviceId, String)>,
+}
+
+/// A device instance with its typed terminals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Device {
+    /// Instance path (dot notation).
+    pub name: String,
+    /// The `9D` type name (e.g. `NMOS_ENH`).
+    pub device_type: String,
+    /// Electrical class.
+    pub class: DeviceClass,
+    /// `(terminal-name, net)` pairs.
+    pub terminals: Vec<(String, NetId)>,
+}
+
+/// An extracted or intended net list.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Netlist {
+    nets: Vec<Net>,
+    devices: Vec<Device>,
+    by_name: HashMap<String, NetId>,
+}
+
+impl Netlist {
+    /// All nets.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// All devices.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// A net by id.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.0 as usize]
+    }
+
+    /// A device by id.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.0 as usize]
+    }
+
+    /// Finds the net that has `name` among its aliases.
+    pub fn net_by_name(&self, name: &str) -> Option<NetId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+}
+
+/// Builder: intern net keys, merge them as connections are discovered, add
+/// devices, then [`NetlistBuilder::finish`] into a canonical [`Netlist`].
+#[derive(Debug, Clone, Default)]
+pub struct NetlistBuilder {
+    uf: UnionFind,
+    keys: HashMap<String, u32>,
+    names: Vec<String>,
+    devices: Vec<(String, String, DeviceClass, Vec<(String, u32)>)>,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        NetlistBuilder::default()
+    }
+
+    /// Interns a net identifier, returning its node.
+    pub fn node(&mut self, key: &str) -> u32 {
+        if let Some(&n) = self.keys.get(key) {
+            return n;
+        }
+        let n = self.uf.make();
+        debug_assert_eq!(n as usize, self.names.len());
+        self.keys.insert(key.to_string(), n);
+        self.names.push(key.to_string());
+        n
+    }
+
+    /// Records that two net identifiers are connected (merges their nets).
+    pub fn connect(&mut self, a: &str, b: &str) {
+        let na = self.node(a);
+        let nb = self.node(b);
+        self.uf.union(na, nb);
+    }
+
+    /// True if two identifiers are currently on the same net.
+    pub fn connected(&mut self, a: &str, b: &str) -> bool {
+        let na = self.node(a);
+        let nb = self.node(b);
+        self.uf.same(na, nb)
+    }
+
+    /// Adds a device with `(terminal-name, net-key)` pairs.
+    pub fn add_device(
+        &mut self,
+        name: &str,
+        device_type: &str,
+        class: DeviceClass,
+        terminals: &[(&str, &str)],
+    ) {
+        let terms: Vec<(String, u32)> = terminals
+            .iter()
+            .map(|(t, key)| (t.to_string(), self.node(key)))
+            .collect();
+        self.devices
+            .push((name.to_string(), device_type.to_string(), class, terms));
+    }
+
+    /// Produces the canonical net list.
+    pub fn finish(mut self) -> Netlist {
+        // Group aliases by root.
+        let mut groups: HashMap<u32, Vec<String>> = HashMap::new();
+        for (name, &node) in &self.keys {
+            let root = self.uf.find(node);
+            groups.entry(root).or_default().push(name.clone());
+        }
+        // Deterministic net order: by canonical (min) alias.
+        let mut roots: Vec<(String, u32, Vec<String>)> = groups
+            .into_iter()
+            .map(|(root, mut aliases)| {
+                aliases.sort_by(|a, b| (a.len(), a.as_str()).cmp(&(b.len(), b.as_str())));
+                (aliases[0].clone(), root, aliases)
+            })
+            .collect();
+        roots.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut root_to_net: HashMap<u32, NetId> = HashMap::new();
+        let mut nets: Vec<Net> = Vec::with_capacity(roots.len());
+        let mut by_name: HashMap<String, NetId> = HashMap::new();
+        for (canon, root, mut aliases) in roots {
+            let id = NetId(nets.len() as u32);
+            aliases.sort();
+            for a in &aliases {
+                by_name.insert(a.clone(), id);
+            }
+            root_to_net.insert(root, id);
+            nets.push(Net {
+                name: canon,
+                aliases,
+                terminals: Vec::new(),
+            });
+        }
+
+        let mut devices: Vec<Device> = Vec::with_capacity(self.devices.len());
+        for (di, (name, device_type, class, terms)) in self.devices.clone().into_iter().enumerate()
+        {
+            let mut terminals = Vec::with_capacity(terms.len());
+            for (tname, node) in terms {
+                let net = root_to_net[&self.uf.find(node)];
+                nets[net.0 as usize]
+                    .terminals
+                    .push((DeviceId(di as u32), tname.clone()));
+                terminals.push((tname, net));
+            }
+            devices.push(Device {
+                name,
+                device_type,
+                class,
+                terminals,
+            });
+        }
+
+        Netlist {
+            nets,
+            devices,
+            by_name,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inverter_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        b.add_device(
+            "pullup",
+            "NMOS_DEP",
+            DeviceClass::MosDepletion,
+            &[("G", "out"), ("S", "out"), ("D", "VDD")],
+        );
+        b.add_device(
+            "pulldown",
+            "NMOS_ENH",
+            DeviceClass::MosEnhancement,
+            &[("G", "in"), ("S", "GND"), ("D", "out")],
+        );
+        b.finish()
+    }
+
+    #[test]
+    fn build_inverter() {
+        let n = inverter_netlist();
+        assert_eq!(n.device_count(), 2);
+        assert_eq!(n.net_count(), 4); // VDD, GND, in, out
+        let out = n.net_by_name("out").unwrap();
+        assert_eq!(n.net(out).terminals.len(), 3);
+    }
+
+    #[test]
+    fn connect_merges_aliases() {
+        let mut b = NetlistBuilder::new();
+        b.connect("a.out", "b.in");
+        b.connect("b.in", "x");
+        let n = b.finish();
+        assert_eq!(n.net_count(), 1);
+        let id = n.net_by_name("x").unwrap();
+        assert_eq!(n.net_by_name("a.out"), Some(id));
+        assert_eq!(n.net(id).name, "x"); // shortest alias wins
+        assert_eq!(n.net(id).aliases.len(), 3);
+    }
+
+    #[test]
+    fn canonical_name_prefers_short_toplevel() {
+        let mut b = NetlistBuilder::new();
+        b.connect("i3.i2.vdd", "VDD");
+        let n = b.finish();
+        assert_eq!(n.net(NetId(0)).name, "VDD");
+    }
+
+    #[test]
+    fn device_terminals_resolve_through_merges() {
+        let mut b = NetlistBuilder::new();
+        b.add_device(
+            "t1",
+            "NMOS_ENH",
+            DeviceClass::MosEnhancement,
+            &[("G", "g1"), ("S", "s1"), ("D", "d1")],
+        );
+        b.connect("d1", "wire");
+        b.connect("wire", "g2");
+        b.add_device(
+            "t2",
+            "NMOS_ENH",
+            DeviceClass::MosEnhancement,
+            &[("G", "g2"), ("S", "s2"), ("D", "d2")],
+        );
+        let n = b.finish();
+        let d1 = n.net_by_name("d1").unwrap();
+        let g2 = n.net_by_name("g2").unwrap();
+        assert_eq!(d1, g2);
+        // Both devices appear on the shared net.
+        let net = n.net(d1);
+        assert_eq!(net.terminals.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let a = inverter_netlist();
+        let b = inverter_netlist();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for net-list construction and comparison.
+
+use diic_netlist::{compare_by_structure, NetlistBuilder, UnionFind};
+use diic_tech::DeviceClass;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn union_find_partitions(merges in proptest::collection::vec((0u32..20, 0u32..20), 0..40)) {
+        let mut uf = UnionFind::new();
+        for _ in 0..20 {
+            uf.make();
+        }
+        for &(a, b) in &merges {
+            uf.union(a, b);
+        }
+        // Reflexive, symmetric, transitive via representative equality.
+        for i in 0..20 {
+            prop_assert!(uf.same(i, i));
+        }
+        for &(a, b) in &merges {
+            prop_assert!(uf.same(a, b));
+        }
+        // Set count + singletons consistency.
+        let sets = uf.set_count();
+        prop_assert!(sets <= 20);
+        prop_assert!(sets >= 1);
+    }
+
+    #[test]
+    fn connect_is_order_independent(pairs in proptest::collection::vec((0u8..12, 0u8..12), 1..20)) {
+        let build = |order: &[(u8, u8)]| {
+            let mut b = NetlistBuilder::new();
+            for i in 0..12u8 {
+                b.node(&format!("n{i}"));
+            }
+            for &(x, y) in order {
+                b.connect(&format!("n{x}"), &format!("n{y}"));
+            }
+            b.finish()
+        };
+        let forward = build(&pairs);
+        let mut reversed = pairs.clone();
+        reversed.reverse();
+        let backward = build(&reversed);
+        prop_assert_eq!(forward.net_count(), backward.net_count());
+        // Same partitions: identical alias groupings.
+        for net in forward.nets() {
+            let id = backward.net_by_name(&net.name).unwrap();
+            let mut a = net.aliases.clone();
+            let mut b = backward.net(id).aliases.clone();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn structural_compare_is_reflexive(n in 1usize..10, seed in 0u64..1000) {
+        // A pseudo-random netlist must always match itself.
+        let mut b1 = NetlistBuilder::new();
+        let mut b2 = NetlistBuilder::new();
+        for i in 0..n {
+            let g = format!("g{}", (seed as usize + i * 7) % n);
+            let d = format!("d{}", (seed as usize + i * 13) % n);
+            for b in [&mut b1, &mut b2] {
+                b.add_device(
+                    &format!("t{i}"),
+                    "NMOS_ENH",
+                    DeviceClass::MosEnhancement,
+                    &[("G", g.as_str()), ("S", "GND"), ("D", d.as_str())],
+                );
+            }
+        }
+        let a = b1.finish();
+        let b = b2.finish();
+        let d = compare_by_structure(&a, &b, 10);
+        prop_assert!(d.matched, "{:?}", d.messages);
+    }
+
+    #[test]
+    fn structural_compare_detects_retyping(n in 2usize..8) {
+        // Changing one device's type must break the match.
+        let build = |bad: Option<usize>| {
+            let mut b = NetlistBuilder::new();
+            for i in 0..n {
+                let ty = if bad == Some(i) { "NMOS_DEP" } else { "NMOS_ENH" };
+                let class = if bad == Some(i) {
+                    DeviceClass::MosDepletion
+                } else {
+                    DeviceClass::MosEnhancement
+                };
+                b.add_device(
+                    &format!("t{i}"),
+                    ty,
+                    class,
+                    &[
+                        ("G", format!("n{i}").as_str()),
+                        ("S", "GND"),
+                        ("D", format!("n{}", i + 1).as_str()),
+                    ],
+                );
+            }
+            b.finish()
+        };
+        let good = build(None);
+        let bad = build(Some(0));
+        let d = compare_by_structure(&good, &bad, 10);
+        prop_assert!(!d.matched);
+    }
+
+    #[test]
+    fn canonical_name_is_shortest(aliases in proptest::collection::vec("[a-z]{1,8}", 1..6)) {
+        let mut b = NetlistBuilder::new();
+        for w in aliases.windows(2) {
+            b.connect(&w[0], &w[1]);
+        }
+        if aliases.len() == 1 {
+            b.node(&aliases[0]);
+        }
+        let n = b.finish();
+        // All aliases collapse into one net whose canonical name is the
+        // shortest (ties broken lexicographically).
+        let mut unique: Vec<String> = aliases.clone();
+        unique.sort();
+        unique.dedup();
+        let expect = unique
+            .iter()
+            .min_by_key(|s| (s.len(), s.as_str()))
+            .unwrap();
+        prop_assert_eq!(n.net_count(), 1);
+        prop_assert_eq!(&n.nets()[0].name, expect);
+    }
+}

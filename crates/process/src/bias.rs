@@ -1,0 +1,98 @@
+//! Worst-case bias and misalignment bookkeeping.
+//!
+//! "Modelling of bias and misalignment effects should in general be
+//! different. Misalignment can be modelled by a simple translation while
+//! bias effects are more complex." This module provides the simple linear
+//! part of the story — per-layer bias (uniform over/under-sizing of printed
+//! geometry) and inter-layer misalignment — which justifies the split of
+//! spacing rules into same-layer (bias only) and cross-layer (bias +
+//! misalignment) cases.
+
+use diic_geom::Coord;
+
+/// Worst-case linear process parameters for a layer pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BiasModel {
+    /// Worst-case outward bias of the first layer's printed edges.
+    pub bias_a: Coord,
+    /// Worst-case outward bias of the second layer's printed edges.
+    pub bias_b: Coord,
+    /// Worst-case translation between the two mask layers (0 for the same
+    /// layer — a mask cannot be misaligned with itself).
+    pub misalignment: Coord,
+}
+
+impl BiasModel {
+    /// Same-layer model: only bias applies.
+    pub fn same_layer(bias: Coord) -> Self {
+        BiasModel {
+            bias_a: bias,
+            bias_b: bias,
+            misalignment: 0,
+        }
+    }
+
+    /// Cross-layer model: bias on each layer plus misalignment.
+    pub fn cross_layer(bias_a: Coord, bias_b: Coord, misalignment: Coord) -> Self {
+        BiasModel {
+            bias_a,
+            bias_b,
+            misalignment,
+        }
+    }
+
+    /// The effective remaining gap between two features drawn `drawn_gap`
+    /// apart, under worst-case processing. Negative = they may touch/short.
+    pub fn worst_case_gap(&self, drawn_gap: Coord) -> Coord {
+        drawn_gap - self.bias_a - self.bias_b - self.misalignment
+    }
+
+    /// The minimum drawn spacing needed to guarantee `required_final` gap
+    /// after processing — how paper-style spacing rules are derived from
+    /// process physics.
+    pub fn required_drawn_spacing(&self, required_final: Coord) -> Coord {
+        required_final + self.bias_a + self.bias_b + self.misalignment
+    }
+
+    /// The effective printed width of a feature drawn `drawn_width` wide
+    /// (worst-case *shrink* direction: bias works against you both ways).
+    pub fn worst_case_width(&self, drawn_width: Coord) -> Coord {
+        drawn_width - 2 * self.bias_a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_layer_has_no_misalignment() {
+        let m = BiasModel::same_layer(100);
+        assert_eq!(m.misalignment, 0);
+        assert_eq!(m.worst_case_gap(500), 300);
+    }
+
+    #[test]
+    fn cross_layer_budget() {
+        let m = BiasModel::cross_layer(100, 50, 250);
+        assert_eq!(m.worst_case_gap(500), 100);
+        assert_eq!(m.required_drawn_spacing(100), 500);
+    }
+
+    #[test]
+    fn rules_derivation_roundtrip() {
+        let m = BiasModel::cross_layer(75, 125, 200);
+        for want in [0, 100, 450] {
+            let drawn = m.required_drawn_spacing(want);
+            assert_eq!(m.worst_case_gap(drawn), want);
+        }
+    }
+
+    #[test]
+    fn width_shrinks_both_sides() {
+        let m = BiasModel::same_layer(-50); // under-etch: features shrink
+        assert_eq!(m.worst_case_width(500), 600);
+        let over = BiasModel::same_layer(50);
+        assert_eq!(over.worst_case_width(500), 400);
+    }
+}

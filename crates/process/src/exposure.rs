@@ -1,0 +1,279 @@
+//! Closed-form Gaussian exposure of box masks (the paper's Eq. 1).
+//!
+//! For a unit-amplitude Gaussian kernel of standard deviation σ and a mask
+//! that is a union of axis-aligned boxes, the exposure at a point separates
+//! into x and y factors:
+//!
+//! ```text
+//! I(p) = Σ_boxes ¼ · [erf((x₂−pₓ)/√2σ) − erf((x₁−pₓ)/√2σ)]
+//!                 · [erf((y₂−p_y)/√2σ) − erf((y₁−p_y)/√2σ)]
+//! ```
+//!
+//! normalised so that a point deep inside a large box sees exposure 1.
+//! The photoresist "prints" where exposure exceeds the threshold (0.5 at
+//! the edge of an isolated large feature).
+
+use crate::erf::erf;
+use diic_geom::{Coord, Rect};
+
+/// The Gaussian exposure model: kernel width and resist threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExposureModel {
+    /// Gaussian σ in database units (exposure + etch blur).
+    pub sigma: f64,
+    /// Resist threshold in normalised exposure units (print where
+    /// exposure ≥ threshold). 0.5 reproduces drawn dimensions for large
+    /// isolated features.
+    pub threshold: f64,
+}
+
+impl ExposureModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma <= 0` or `threshold` is outside `(0, 1)`.
+    pub fn new(sigma: f64, threshold: f64) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive");
+        assert!(
+            threshold > 0.0 && threshold < 1.0,
+            "threshold must be in (0,1)"
+        );
+        ExposureModel { sigma, threshold }
+    }
+
+    /// A model typical for the paper's era: σ = half a λ of 250 units,
+    /// threshold 0.5.
+    pub fn default_lambda250() -> Self {
+        ExposureModel::new(125.0, 0.5)
+    }
+
+    /// Exposure contribution of one box at point `(px, py)` (normalised).
+    pub fn box_exposure(&self, r: &Rect, px: f64, py: f64) -> f64 {
+        let s = self.sigma * std::f64::consts::SQRT_2;
+        let fx = erf((r.x2 as f64 - px) / s) - erf((r.x1 as f64 - px) / s);
+        let fy = erf((r.y2 as f64 - py) / s) - erf((r.y1 as f64 - py) / s);
+        0.25 * fx * fy
+    }
+
+    /// Exposure of a union-of-boxes mask at a point. Boxes must be disjoint
+    /// (overlapping boxes double-expose, as they would on a real mask
+    /// writer; pass a normalised `Region` decomposition for set semantics).
+    pub fn exposure(&self, rects: &[Rect], px: f64, py: f64) -> f64 {
+        rects.iter().map(|r| self.box_exposure(r, px, py)).sum()
+    }
+
+    /// True if the resist prints at the point.
+    pub fn prints(&self, rects: &[Rect], px: f64, py: f64) -> bool {
+        self.exposure(rects, px, py) >= self.threshold
+    }
+
+    /// Finds the extreme exposure along the segment from `(ax, ay)` to
+    /// `(bx, by)` by dense seeding plus local ternary refinement. With
+    /// `minimise = false` this is the maximum; with `minimise = true` the
+    /// minimum — the **saddle** of the exposure field between two features,
+    /// which is the value that decides whether the resist bridges the gap
+    /// (the exposure ridge between two features runs along the line of
+    /// closest approach; its lowest point is the bridging exposure).
+    /// Returns `(t_at_extreme, exposure)` with `t ∈ [0, 1]`.
+    pub fn extreme_exposure_on_segment(
+        &self,
+        rects: &[Rect],
+        a: (f64, f64),
+        b: (f64, f64),
+        minimise: bool,
+    ) -> (f64, f64) {
+        let sign = if minimise { -1.0 } else { 1.0 };
+        let eval = |t: f64| {
+            let x = a.0 + (b.0 - a.0) * t;
+            let y = a.1 + (b.1 - a.1) * t;
+            sign * self.exposure(rects, x, y)
+        };
+        // Dense seed.
+        let mut best_t = 0.0;
+        let mut best = eval(0.0);
+        const SEEDS: usize = 64;
+        for i in 1..=SEEDS {
+            let t = i as f64 / SEEDS as f64;
+            let v = eval(t);
+            if v > best {
+                best = v;
+                best_t = t;
+            }
+        }
+        // Local refinement by ternary search around the best seed.
+        let mut lo = (best_t - 1.0 / SEEDS as f64).max(0.0);
+        let mut hi = (best_t + 1.0 / SEEDS as f64).min(1.0);
+        for _ in 0..60 {
+            let m1 = lo + (hi - lo) / 3.0;
+            let m2 = hi - (hi - lo) / 3.0;
+            if eval(m1) < eval(m2) {
+                lo = m1;
+            } else {
+                hi = m2;
+            }
+        }
+        let t = (lo + hi) / 2.0;
+        (t, sign * eval(t))
+    }
+
+    /// Maximum exposure along a segment (see
+    /// [`ExposureModel::extreme_exposure_on_segment`]).
+    pub fn max_exposure_on_segment(
+        &self,
+        rects: &[Rect],
+        a: (f64, f64),
+        b: (f64, f64),
+    ) -> (f64, f64) {
+        self.extreme_exposure_on_segment(rects, a, b, false)
+    }
+
+    /// Minimum exposure along a segment — the gap's bridging (saddle)
+    /// exposure when the segment is the line of closest approach.
+    pub fn min_exposure_on_segment(
+        &self,
+        rects: &[Rect],
+        a: (f64, f64),
+        b: (f64, f64),
+    ) -> (f64, f64) {
+        self.extreme_exposure_on_segment(rects, a, b, true)
+    }
+
+    /// The printed position of an isolated long edge at drawn coordinate 0:
+    /// where exposure crosses the threshold along the edge normal. For
+    /// threshold 0.5 this is 0 (drawn = printed); other thresholds model
+    /// over/under-exposure bias. Returns the signed offset (positive =
+    /// printed feature extends beyond drawn edge).
+    pub fn edge_bias(&self) -> f64 {
+        // Solve erf(d / (√2 σ)) = 1 - 2·threshold by bisection.
+        let target = 1.0 - 2.0 * self.threshold;
+        let mut lo = -6.0 * self.sigma;
+        let mut hi = 6.0 * self.sigma;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            let v = erf(mid / (self.sigma * std::f64::consts::SQRT_2));
+            if v < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+/// Convenience: a very large box centred on the origin, for calibration
+/// tests.
+pub fn huge_box() -> Rect {
+    let k: Coord = 1_000_000;
+    Rect::new(-k, -k, k, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ExposureModel {
+        ExposureModel::new(125.0, 0.5)
+    }
+
+    #[test]
+    fn deep_interior_exposure_is_one() {
+        let m = model();
+        let v = m.exposure(&[huge_box()], 0.0, 0.0);
+        assert!((v - 1.0).abs() < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn far_outside_exposure_is_zero() {
+        let m = model();
+        let v = m.exposure(&[Rect::new(0, 0, 500, 500)], 5000.0, 5000.0);
+        assert!(v < 1e-9);
+    }
+
+    #[test]
+    fn edge_of_large_feature_is_half() {
+        let m = model();
+        // On the edge of a huge box (far from corners).
+        let v = m.exposure(&[huge_box()], -1_000_000.0, 0.0);
+        assert!((v - 0.5).abs() < 1e-6, "got {v}");
+    }
+
+    #[test]
+    fn corner_of_large_feature_is_quarter() {
+        let m = model();
+        let v = m.exposure(&[huge_box()], -1_000_000.0, -1_000_000.0);
+        assert!((v - 0.25).abs() < 1e-6, "got {v}");
+    }
+
+    #[test]
+    fn narrow_line_underexposed() {
+        // A line 1σ wide never reaches full exposure — the physics behind
+        // the relational endcap rule (Fig. 14).
+        let m = model();
+        let line = Rect::new(0, 0, 125, 100_000);
+        let centre = m.exposure(&[line], 62.5, 50_000.0);
+        assert!(centre < 0.5, "1σ line centre exposure {centre}");
+        let wide = Rect::new(0, 0, 1250, 100_000);
+        let centre_wide = m.exposure(&[wide], 625.0, 50_000.0);
+        assert!(centre_wide > 0.999);
+    }
+
+    #[test]
+    fn proximity_raises_exposure_between_features() {
+        // Two lines close together: the gap midpoint sees more exposure
+        // than the same point next to a single line — the proximity effect.
+        let m = model();
+        let a = Rect::new(0, 0, 500, 10_000);
+        let b = Rect::new(700, 0, 1200, 10_000);
+        let solo = m.exposure(&[a], 600.0, 5_000.0);
+        let both = m.exposure(&[a, b], 600.0, 5_000.0);
+        assert!(both > solo * 1.5, "solo={solo} both={both}");
+    }
+
+    #[test]
+    fn additivity_of_disjoint_boxes() {
+        let m = model();
+        let a = Rect::new(0, 0, 300, 300);
+        let b = Rect::new(300, 0, 600, 300);
+        let whole = Rect::new(0, 0, 600, 300);
+        let p = (150.0, 150.0);
+        let split = m.exposure(&[a, b], p.0, p.1);
+        let joined = m.exposure(&[whole], p.0, p.1);
+        assert!((split - joined).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_on_segment_finds_gap_saddle() {
+        let m = model();
+        let a = Rect::new(0, 0, 500, 1000);
+        let b = Rect::new(750, 0, 1250, 1000);
+        // The saddle sits mid-gap; for a 2σ gap it stays below threshold
+        // (the features print separately).
+        let (t, v) = m.min_exposure_on_segment(&[a, b], (500.0, 500.0), (750.0, 500.0));
+        assert!(v < 0.5, "saddle exposure {v} should be below threshold");
+        assert!(v > 0.2, "saddle exposure {v} unreasonably low for a 2σ gap");
+        assert!(t > 0.2 && t < 0.8, "saddle at t={t}");
+        // Max along the same segment is at a feature edge (>= 0.5).
+        let (_, vmax) = m.max_exposure_on_segment(&[a, b], (500.0, 500.0), (750.0, 500.0));
+        assert!(vmax >= 0.5);
+    }
+
+    #[test]
+    fn edge_bias_zero_at_half_threshold() {
+        let m = model();
+        assert!(m.edge_bias().abs() < 1.0);
+        // Under-exposure (higher threshold) pulls the edge in.
+        let under = ExposureModel::new(125.0, 0.7);
+        assert!(under.edge_bias() < -10.0);
+        // Over-exposure pushes it out.
+        let over = ExposureModel::new(125.0, 0.3);
+        assert!(over.edge_bias() > 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn invalid_sigma_panics() {
+        let _ = ExposureModel::new(0.0, 0.5);
+    }
+}

@@ -1,0 +1,41 @@
+//! # diic-process — 2-D process modelling for DRC (paper §"2-D Process
+//! Modelling for DRC")
+//!
+//! The paper proposes evaluating spacing and relational rules with a
+//! physical model instead of geometric expansion: convolve a Gaussian
+//! exposure kernel with the mask (Eq. 1),
+//!
+//! ```text
+//! I(p) = ∬ A·exp(−r²/2σ²) · M(r) dx dy
+//! ```
+//!
+//! clip at the photoresist threshold, and ask whether the printed image
+//! misbehaves. "If the mask function can be simplified to simple boxes or
+//! other elemental geometries, then equation (1) for the exposure at each
+//! point \[...\] has a closed form solution in terms of an error function."
+//!
+//! This crate implements:
+//!
+//! * [`erf()`](erf::erf) — the error function (no external math crates);
+//! * [`ExposureModel`] — closed-form Gaussian exposure of box masks;
+//! * [`proximity`] — printed-image computation and the proximity-effect
+//!   expansion of Fig. 13 (Euclidean and orthogonal expands for contrast);
+//! * [`spacing`] — the paper's spacing predicate: translate along the line
+//!   of closest approach (misalignment), maximise exposure along it,
+//!   compare against the critical value;
+//! * [`relational`] — the Fig. 14 relational rule: poly endcap retreat as a
+//!   function of wire width, and the gate-overlap check built on it;
+//! * [`bias`] — worst-case bias / misalignment bookkeeping used by the
+//!   simpler checks.
+
+pub mod bias;
+pub mod erf;
+pub mod exposure;
+pub mod proximity;
+pub mod relational;
+pub mod spacing;
+
+pub use erf::erf;
+pub use exposure::ExposureModel;
+pub use proximity::PrintedImage;
+pub use spacing::{exposure_spacing_check, ExposureSpacing};

@@ -1,0 +1,273 @@
+//! Printed-image computation and the proximity-effect expand (Fig. 13).
+//!
+//! The paper's Fig. 13 contrasts three expansions of the same drawn
+//! geometry: **orthogonal** (square corners), **Euclidean** (rounded
+//! corners), and **proximity-effect** (computed by convolving the Gaussian
+//! exposure with the mask and clipping — corners pull in, nearby features
+//! bloom toward each other). This module renders all three on a grid so
+//! the experiment harness can compare areas and contours.
+
+use crate::exposure::ExposureModel;
+use diic_geom::{Coord, Rect, Region};
+
+/// A boolean image of where the resist prints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrintedImage {
+    bounds: Rect,
+    resolution: Coord,
+    width: usize,
+    height: usize,
+    bits: Vec<bool>,
+}
+
+impl PrintedImage {
+    /// Computes the printed image of a box mask over `bounds` at
+    /// `resolution` units per pixel (pixel centres are sampled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution < 1` or `bounds` is degenerate.
+    pub fn compute(rects: &[Rect], model: &ExposureModel, bounds: Rect, resolution: Coord) -> Self {
+        assert!(resolution >= 1);
+        assert!(!bounds.is_degenerate());
+        let width = ((bounds.width() + resolution - 1) / resolution) as usize;
+        let height = ((bounds.height() + resolution - 1) / resolution) as usize;
+        let mut bits = vec![false; width * height];
+        for py in 0..height {
+            let y = bounds.y1 as f64 + (py as f64 + 0.5) * resolution as f64;
+            for px in 0..width {
+                let x = bounds.x1 as f64 + (px as f64 + 0.5) * resolution as f64;
+                bits[py * width + px] = model.prints(rects, x, y);
+            }
+        }
+        PrintedImage {
+            bounds,
+            resolution,
+            width,
+            height,
+            bits,
+        }
+    }
+
+    /// Printed area in layout units².
+    pub fn area(&self) -> i128 {
+        let set = self.bits.iter().filter(|&&b| b).count() as i128;
+        set * self.resolution as i128 * self.resolution as i128
+    }
+
+    /// True if the pixel containing the layout point prints.
+    pub fn contains(&self, x: Coord, y: Coord) -> bool {
+        if x < self.bounds.x1 || y < self.bounds.y1 {
+            return false;
+        }
+        let px = ((x - self.bounds.x1) / self.resolution) as usize;
+        let py = ((y - self.bounds.y1) / self.resolution) as usize;
+        px < self.width && py < self.height && self.bits[py * self.width + px]
+    }
+
+    /// Printed extent along the horizontal line `y`: the min and max layout
+    /// x of printing pixels, or `None` if nothing prints on that line.
+    pub fn x_extent_at(&self, y: Coord) -> Option<(Coord, Coord)> {
+        if y < self.bounds.y1 {
+            return None;
+        }
+        let py = ((y - self.bounds.y1) / self.resolution) as usize;
+        if py >= self.height {
+            return None;
+        }
+        let row = &self.bits[py * self.width..(py + 1) * self.width];
+        let first = row.iter().position(|&b| b)?;
+        let last = row.iter().rposition(|&b| b)?;
+        Some((
+            self.bounds.x1 + first as Coord * self.resolution,
+            self.bounds.x1 + (last as Coord + 1) * self.resolution,
+        ))
+    }
+
+    /// Printed extent along the vertical line `x` (min/max layout y).
+    pub fn y_extent_at(&self, x: Coord) -> Option<(Coord, Coord)> {
+        if x < self.bounds.x1 {
+            return None;
+        }
+        let px = ((x - self.bounds.x1) / self.resolution) as usize;
+        if px >= self.width {
+            return None;
+        }
+        let mut first = None;
+        let mut last = None;
+        for py in 0..self.height {
+            if self.bits[py * self.width + px] {
+                if first.is_none() {
+                    first = Some(py);
+                }
+                last = Some(py);
+            }
+        }
+        Some((
+            self.bounds.y1 + first? as Coord * self.resolution,
+            self.bounds.y1 + (last? as Coord + 1) * self.resolution,
+        ))
+    }
+}
+
+/// The three expansions of Fig. 13, as areas over the same grid, for a
+/// drawn region expanded by `d`:
+/// orthogonal (exact), Euclidean (exact-on-grid via distance), and
+/// proximity (exposure model with the threshold lowered to move the printed
+/// edge out by `d` — over-exposure).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpandComparison {
+    /// Area of the orthogonal (L∞) expansion.
+    pub orthogonal_area: f64,
+    /// Area of the Euclidean (L2) expansion.
+    pub euclidean_area: f64,
+    /// Area of the proximity-effect (exposure) expansion.
+    pub proximity_area: f64,
+}
+
+/// Computes the Fig. 13 comparison for a drawn mask.
+///
+/// The exposure expansion uses a threshold chosen so an isolated straight
+/// edge moves out by exactly `d` (`threshold = (1 − erf(d/√2σ))/2`), making
+/// the three expansions directly comparable: they agree on long straight
+/// edges and differ at corners and between closely spaced features.
+pub fn expand_comparison(
+    region: &Region,
+    d: Coord,
+    sigma: f64,
+    resolution: Coord,
+) -> ExpandComparison {
+    let bounds = region
+        .bbox()
+        .expect("non-empty region")
+        .inflate(4 * d + 4 * sigma as Coord)
+        .expect("inflate cannot fail");
+    // Orthogonal: exact.
+    let orth = diic_geom::size::expand(region, d).expect("non-negative expand");
+    let orthogonal_area = orth.area() as f64;
+    // Euclidean: raster with exact distance transform.
+    let raster = diic_geom::Raster::from_region(region, bounds, resolution);
+    let eucl = raster.euclidean_expand(d);
+    let euclidean_area = eucl.area() as f64;
+    // Proximity: exposure threshold moved so straight edges displace by d.
+    let threshold = 0.5 * (1.0 - crate::erf::erf(d as f64 / (sigma * std::f64::consts::SQRT_2)));
+    let model = ExposureModel::new(sigma, threshold.clamp(1e-6, 1.0 - 1e-6));
+    let printed = PrintedImage::compute(region.rects(), &model, bounds, resolution);
+    ExpandComparison {
+        orthogonal_area,
+        euclidean_area,
+        proximity_area: printed.area() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ExposureModel {
+        ExposureModel::new(125.0, 0.5)
+    }
+
+    #[test]
+    fn printed_image_of_large_square_matches_drawn() {
+        let sq = Rect::new(0, 0, 2000, 2000);
+        let img = PrintedImage::compute(
+            &[sq],
+            &model(),
+            Rect::new(-500, -500, 2500, 2500),
+            10,
+        );
+        let drawn_area = 2000.0 * 2000.0;
+        let printed = img.area() as f64;
+        // Corners round off slightly; area within 2%.
+        assert!((printed - drawn_area).abs() / drawn_area < 0.02);
+        assert!(img.contains(1000, 1000));
+        assert!(!img.contains(-400, -400));
+    }
+
+    #[test]
+    fn narrow_line_prints_thin_or_not_at_all() {
+        // 0.8σ line: prints narrower than drawn (or vanishes).
+        let line = Rect::new(0, 0, 100, 5000);
+        let img = PrintedImage::compute(&[line], &model(), Rect::new(-300, -300, 400, 5300), 5);
+        match img.x_extent_at(2500) {
+            Some((x1, x2)) => assert!(x2 - x1 < 100, "printed width {}", x2 - x1),
+            None => {} // vanished entirely: also acceptable physics
+        }
+    }
+
+    #[test]
+    fn endcap_retreats_on_narrow_line() {
+        // Fig. 14 physics: the end of a narrow line retreats more than the
+        // end of a wide line.
+        let m = model();
+        let narrow = Rect::new(0, 0, 250, 5000);
+        let wide = Rect::new(0, 0, 1000, 5000);
+        let img_n = PrintedImage::compute(&[narrow], &m, Rect::new(-500, -500, 750, 5500), 5);
+        let img_w = PrintedImage::compute(&[wide], &m, Rect::new(-500, -500, 1500, 5500), 5);
+        let end_n = img_n.y_extent_at(125).map(|(_, hi)| hi).unwrap_or(0);
+        let end_w = img_w.y_extent_at(500).map(|(_, hi)| hi).unwrap_or(0);
+        let retreat_n = 5000 - end_n;
+        let retreat_w = 5000 - end_w;
+        assert!(
+            retreat_n > retreat_w,
+            "narrow retreat {retreat_n} <= wide retreat {retreat_w}"
+        );
+    }
+
+    #[test]
+    fn fig13_expand_ordering() {
+        // For a square: orthogonal ⊇ euclidean; proximity rounds corners
+        // *and* loses a bit extra at convex corners (pulls in), so
+        // orth > eucl >= prox (for an isolated feature).
+        let sq = Region::from_rect(Rect::new(0, 0, 1500, 1500));
+        let c = expand_comparison(&sq, 250, 125.0, 10);
+        assert!(
+            c.orthogonal_area > c.euclidean_area,
+            "orth {} <= eucl {}",
+            c.orthogonal_area,
+            c.euclidean_area
+        );
+        assert!(
+            c.euclidean_area >= c.proximity_area * 0.98,
+            "eucl {} << prox {}",
+            c.euclidean_area,
+            c.proximity_area
+        );
+        // All three agree to first order (straight edges dominate).
+        let drawn = 1500.0f64 * 1500.0;
+        for v in [c.orthogonal_area, c.euclidean_area, c.proximity_area] {
+            assert!(v > drawn, "{v} not an expansion");
+            assert!((v - drawn) / drawn < 0.95, "{v} unreasonably large");
+        }
+    }
+
+    #[test]
+    fn proximity_blooms_between_close_features() {
+        // Two bars with a gap of 1.2σ: the proximity expand merges them
+        // while the Euclidean expand (same nominal d) does not.
+        let bars = Region::from_rects([
+            Rect::new(0, 0, 1000, 3000),
+            Rect::new(1150, 0, 2150, 3000),
+        ]);
+        let sigma = 125.0;
+        let d = 40;
+        let bounds = Rect::new(-500, -500, 2650, 3500);
+        // Euclidean expand by d: gap of 150-2*40 = 70 remains.
+        let raster = diic_geom::Raster::from_region(&bars, bounds, 5);
+        let eucl = raster.euclidean_expand(d);
+        // Mid-gap must not print under the euclidean expand.
+        // (check via component count: still 2 components)
+        assert_eq!(eucl.components().len(), 2);
+        // Exposure model with matching edge displacement: mid-gap sees
+        // double exposure and prints -> single component behaviour shows as
+        // the midpoint printing.
+        let threshold =
+            0.5 * (1.0 - crate::erf::erf(d as f64 / (sigma * std::f64::consts::SQRT_2)));
+        let m = ExposureModel::new(sigma, threshold);
+        assert!(
+            m.prints(bars.rects(), 1075.0, 1500.0),
+            "mid-gap does not print: proximity effect missing"
+        );
+    }
+}

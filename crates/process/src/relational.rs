@@ -1,0 +1,156 @@
+//! Relational rules (paper Fig. 14).
+//!
+//! "Relational rules are ones where one dimension of the structure depends
+//! on another feature of the same structure. For example, the poly overlap
+//! of the gate region on an MOS transistor is a function of the width of
+//! the poly in some design rules to account for the 'retreat' of the end
+//! on narrow wires. The fast way to check this rule \[...\] is to translate
+//! in the direction to make the overlap smaller, calculate the exposure
+//! function for the poly and for the diffusion along the line shown, clip
+//! as before, and check if the poly has retreated beyond the diffusion."
+
+use crate::exposure::ExposureModel;
+use diic_geom::{Coord, Rect};
+
+/// Computed endcap retreat of a wire end (positive = printed end sits
+/// inside the drawn end).
+///
+/// The wire is modelled as a vertical bar `width × length` with its end at
+/// `y = length`; we find where the exposure along the wire's centre line
+/// drops below threshold.
+pub fn endcap_retreat(width: Coord, model: &ExposureModel) -> f64 {
+    let length: Coord = (20.0 * model.sigma) as Coord + 10 * width;
+    let bar = Rect::new(0, 0, width, length);
+    let cx = width as f64 / 2.0;
+    // March down from the drawn end until the resist prints.
+    let end = length as f64;
+    let step = 0.25;
+    let mut y = end + 6.0 * model.sigma;
+    let floor = end - 6.0 * model.sigma - width as f64;
+    while y > floor {
+        if model.exposure(&[bar], cx, y) >= model.threshold {
+            return end - y;
+        }
+        y -= step;
+    }
+    // Never printed: the whole (narrow) line vanished.
+    f64::INFINITY
+}
+
+/// The Fig. 14 check: does the printed poly endcap still extend beyond the
+/// printed far edge of the diffusion it crosses?
+///
+/// `poly` is a vertical bar crossing the horizontal `diff` bar; `overlap`
+/// is the drawn poly extension beyond the diffusion's far edge. Translation
+/// "in the direction to make the overlap smaller" is the misalignment
+/// budget `misalignment`. Returns the printed margin (positive = rule met).
+pub fn gate_overlap_margin(
+    poly_width: Coord,
+    drawn_overlap: Coord,
+    diff_edge_y: Coord,
+    model: &ExposureModel,
+    misalignment: Coord,
+) -> f64 {
+    // Drawn poly end (after worst-case misalignment pulls it back).
+    let drawn_end = diff_edge_y + drawn_overlap - misalignment;
+    let length: Coord = drawn_end + (20.0 * model.sigma) as Coord;
+    let poly = Rect::new(0, -length, poly_width, drawn_end);
+    let cx = poly_width as f64 / 2.0;
+    // Printed poly end: where exposure on the centre line crosses threshold.
+    let mut printed_end = None;
+    let mut y = drawn_end as f64 + 6.0 * model.sigma;
+    let floor = drawn_end as f64 - 6.0 * model.sigma - poly_width as f64;
+    while y > floor {
+        if model.exposure(&[poly], cx, y) >= model.threshold {
+            printed_end = Some(y);
+            break;
+        }
+        y -= 0.25;
+    }
+    match printed_end {
+        Some(end) => end - diff_edge_y as f64,
+        None => f64::NEG_INFINITY, // line vanished entirely
+    }
+}
+
+/// The relational rule verdict: required drawn overlap for a given poly
+/// width such that the printed margin stays ≥ `required_margin`.
+/// Demonstrates the width→overlap dependence of Fig. 14 by search.
+pub fn required_overlap(
+    poly_width: Coord,
+    diff_edge_y: Coord,
+    model: &ExposureModel,
+    misalignment: Coord,
+    required_margin: f64,
+) -> Coord {
+    let mut overlap = 0;
+    loop {
+        let margin = gate_overlap_margin(poly_width, overlap, diff_edge_y, model, misalignment);
+        if margin >= required_margin {
+            return overlap;
+        }
+        overlap += 25; // 0.1λ steps
+        if overlap > 100 * 250 {
+            return overlap; // unreachable safeguard
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ExposureModel {
+        ExposureModel::new(125.0, 0.5)
+    }
+
+    #[test]
+    fn wide_line_barely_retreats() {
+        let r = endcap_retreat(1000, &model());
+        assert!(r.abs() < 20.0, "retreat {r}");
+    }
+
+    #[test]
+    fn narrow_line_retreats_more() {
+        let m = model();
+        let wide = endcap_retreat(1000, &m);
+        let mid = endcap_retreat(400, &m);
+        let narrow = endcap_retreat(250, &m);
+        assert!(mid > wide, "mid {mid} <= wide {wide}");
+        assert!(narrow > mid, "narrow {narrow} <= mid {mid}");
+    }
+
+    #[test]
+    fn below_resolution_line_vanishes() {
+        let r = endcap_retreat(60, &model());
+        assert!(r.is_infinite());
+    }
+
+    #[test]
+    fn gate_overlap_margin_decreases_with_narrow_poly() {
+        let m = model();
+        let wide = gate_overlap_margin(1000, 500, 0, &m, 0);
+        let narrow = gate_overlap_margin(250, 500, 0, &m, 0);
+        assert!(narrow < wide, "narrow {narrow} >= wide {wide}");
+        assert!(wide > 400.0, "wide margin {wide}");
+    }
+
+    #[test]
+    fn misalignment_reduces_margin() {
+        let m = model();
+        let aligned = gate_overlap_margin(500, 500, 0, &m, 0);
+        let shifted = gate_overlap_margin(500, 500, 0, &m, 250);
+        assert!((aligned - shifted - 250.0).abs() < 30.0);
+    }
+
+    #[test]
+    fn required_overlap_grows_as_width_shrinks() {
+        let m = model();
+        let need_wide = required_overlap(1000, 0, &m, 0, 250.0);
+        let need_narrow = required_overlap(250, 0, &m, 0, 250.0);
+        assert!(
+            need_narrow > need_wide,
+            "narrow needs {need_narrow} <= wide needs {need_wide}"
+        );
+    }
+}

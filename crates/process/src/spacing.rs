@@ -1,0 +1,212 @@
+//! Exposure-based spacing checking (the paper's proposed technique).
+//!
+//! "Spacing calculation by this technique now reduces to finding 'the line
+//! of closest approach'; translating one element along this line (if they
+//! are on different layers), finding the maximum of the exposure function
+//! (which will lie along this line), and comparing the value at this point
+//! against some critical value. This technique, although still slower than
+//! the expand-check-overlap technique, is more correct."
+
+use crate::exposure::ExposureModel;
+use diic_geom::{Coord, Rect};
+
+/// The outcome of an exposure-based spacing check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExposureSpacing {
+    /// The bridging (saddle) exposure: the lowest exposure along the line
+    /// of closest approach (after any misalignment translation). The
+    /// exposure field's ridge between two features runs along this line,
+    /// so its lowest point decides whether the resist bridges the gap.
+    pub bridge_exposure: f64,
+    /// The critical value compared against (the model threshold).
+    pub critical: f64,
+    /// Drawn distance between the closest rectangles (Euclidean, in
+    /// database units, before misalignment).
+    pub drawn_distance: f64,
+    /// True if the features would print merged (peak ≥ critical).
+    pub violation: bool,
+}
+
+/// Runs the paper's exposure spacing predicate between two box sets.
+///
+/// * Finds the closest rectangle pair and the line of closest approach
+///   between them.
+/// * If `misalignment > 0` (different mask layers), translates set `b`
+///   toward `a` along that line by the misalignment.
+/// * Evaluates the bridging (saddle) exposure along the line and compares
+///   it with the model threshold: if the resist prints all the way across
+///   the gap, the features short.
+///
+/// Touching/overlapping inputs are immediate violations (drawn short).
+pub fn exposure_spacing_check(
+    a: &[Rect],
+    b: &[Rect],
+    model: &ExposureModel,
+    misalignment: Coord,
+) -> ExposureSpacing {
+    // Closest pair.
+    let mut best: Option<(i128, &Rect, &Rect)> = None;
+    for ra in a {
+        for rb in b {
+            let d2 = ra.dist_sq(rb);
+            if best.map_or(true, |(bd, _, _)| d2 < bd) {
+                best = Some((d2, ra, rb));
+            }
+        }
+    }
+    let Some((d2, ra, rb)) = best else {
+        return ExposureSpacing {
+            bridge_exposure: 0.0,
+            critical: model.threshold,
+            drawn_distance: f64::INFINITY,
+            violation: false,
+        };
+    };
+    if d2 == 0 {
+        return ExposureSpacing {
+            bridge_exposure: 1.0,
+            critical: model.threshold,
+            drawn_distance: 0.0,
+            violation: true,
+        };
+    }
+
+    // Closest points on the two rectangles: per axis, either the facing
+    // edge coordinates (disjoint intervals) or the midpoint of the interval
+    // overlap — the middle of the facing span, where bridging exposure is
+    // worst (a corner point would understate it).
+    let (ax, bx) = closest_coords(ra.x1, ra.x2, rb.x1, rb.x2);
+    let (ay, by) = closest_coords(ra.y1, ra.y2, rb.y1, rb.y2);
+    let (ax, ay, bx, by) = (ax as f64, ay as f64, bx as f64, by as f64);
+    let len = ((bx - ax).powi(2) + (by - ay).powi(2)).sqrt();
+
+    // Misalignment: translate b toward a along the line of closest
+    // approach (worst case).
+    let (tb, translated): (Vec<Rect>, bool) = if misalignment > 0 && len > 0.0 {
+        let ux = (ax - bx) / len;
+        let uy = (ay - by) / len;
+        let dx = (ux * misalignment as f64).round() as Coord;
+        let dy = (uy * misalignment as f64).round() as Coord;
+        (
+            b.iter()
+                .map(|r| r.translate(diic_geom::Vector::new(dx, dy)))
+                .collect(),
+            true,
+        )
+    } else {
+        (b.to_vec(), false)
+    };
+
+    // Combined mask along the (post-translation) line of closest approach.
+    let mut mask: Vec<Rect> = a.to_vec();
+    mask.extend(tb.iter().copied());
+    // Recompute the segment after translation.
+    let (bx2, by2) = if translated {
+        let ux = (ax - bx) / len;
+        let uy = (ay - by) / len;
+        (bx + ux * misalignment as f64, by + uy * misalignment as f64)
+    } else {
+        (bx, by)
+    };
+    let (_, saddle) = model.min_exposure_on_segment(&mask, (ax, ay), (bx2, by2));
+    ExposureSpacing {
+        bridge_exposure: saddle,
+        critical: model.threshold,
+        drawn_distance: (d2 as f64).sqrt(),
+        violation: saddle >= model.threshold,
+    }
+}
+
+fn closest_coords(a_lo: Coord, a_hi: Coord, b_lo: Coord, b_hi: Coord) -> (Coord, Coord) {
+    if a_hi < b_lo {
+        (a_hi, b_lo)
+    } else if b_hi < a_lo {
+        (a_lo, b_hi)
+    } else {
+        // Overlapping intervals: the line of closest approach may sit
+        // anywhere in the overlap; its centre maximises bridging exposure.
+        let lo = a_lo.max(b_lo);
+        let hi = a_hi.min(b_hi);
+        let mid = lo + (hi - lo) / 2;
+        (mid, mid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ExposureModel {
+        ExposureModel::new(125.0, 0.5)
+    }
+
+    #[test]
+    fn far_apart_passes() {
+        let a = [Rect::new(0, 0, 1000, 1000)];
+        let b = [Rect::new(3000, 0, 4000, 1000)];
+        let r = exposure_spacing_check(&a, &b, &model(), 0);
+        assert!(!r.violation);
+        assert!(r.bridge_exposure < 0.5);
+        assert!((r.drawn_distance - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn touching_is_violation() {
+        let a = [Rect::new(0, 0, 1000, 1000)];
+        let b = [Rect::new(1000, 0, 2000, 1000)];
+        let r = exposure_spacing_check(&a, &b, &model(), 0);
+        assert!(r.violation);
+        assert_eq!(r.drawn_distance, 0.0);
+    }
+
+    #[test]
+    fn close_gap_prints() {
+        // Gap of 1σ between large features: the saddle exposure exceeds the
+        // threshold — the resist bridges and the features short.
+        let a = [Rect::new(0, 0, 2000, 2000)];
+        let b = [Rect::new(2125, 0, 4125, 2000)];
+        let r = exposure_spacing_check(&a, &b, &model(), 0);
+        assert!(r.violation, "bridge {}", r.bridge_exposure);
+    }
+
+    #[test]
+    fn misalignment_tightens_the_check() {
+        // A 300-unit gap passes aligned (saddle ≈ 0.23) but fails once a
+        // 250-unit misalignment squeezes it to 50 (saddle ≈ 0.84).
+        let a = [Rect::new(0, 0, 2000, 2000)];
+        let b = [Rect::new(2300, 0, 4300, 2000)];
+        let aligned = exposure_spacing_check(&a, &b, &model(), 0);
+        let misaligned = exposure_spacing_check(&a, &b, &model(), 250);
+        assert!(misaligned.bridge_exposure > aligned.bridge_exposure);
+        assert!(!aligned.violation, "aligned bridge {}", aligned.bridge_exposure);
+        assert!(
+            misaligned.violation,
+            "misaligned bridge {}",
+            misaligned.bridge_exposure
+        );
+    }
+
+    #[test]
+    fn diagonal_closest_approach() {
+        // Corner-to-corner: line of closest approach is diagonal; the
+        // exposure check is geometrically correct there (unlike L∞ expand).
+        let a = [Rect::new(0, 0, 1000, 1000)];
+        let b = [Rect::new(1400, 1400, 2400, 2400)];
+        let r = exposure_spacing_check(&a, &b, &model(), 0);
+        // Drawn distance is 400·√2 ≈ 566.
+        assert!((r.drawn_distance - (2.0f64).sqrt() * 400.0).abs() < 1.0);
+        assert!(!r.violation, "bridge {}", r.bridge_exposure);
+        // The same centre distance edge-to-edge is closer to printing:
+        let b2 = [Rect::new(1566, 0, 2566, 1000)];
+        let r2 = exposure_spacing_check(&a, &b2, &model(), 0);
+        assert!(r2.bridge_exposure > r.bridge_exposure);
+    }
+
+    #[test]
+    fn empty_inputs_pass() {
+        let a = [Rect::new(0, 0, 10, 10)];
+        let r = exposure_spacing_check(&a, &[], &model(), 0);
+        assert!(!r.violation);
+        assert!(r.drawn_distance.is_infinite());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the exposure model's physical invariants.
+
+use diic_geom::Rect;
+use diic_process::{erf, ExposureModel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn erf_bounded_and_odd(x in -8.0f64..8.0) {
+        let v = erf(x);
+        prop_assert!((-1.0..=1.0).contains(&v));
+        prop_assert!((erf(-x) + v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exposure_bounded_by_unity(
+        x in -3000.0f64..3000.0,
+        y in -3000.0f64..3000.0,
+        w in 100i64..2000,
+        h in 100i64..2000,
+    ) {
+        let m = ExposureModel::new(125.0, 0.5);
+        let v = m.exposure(&[Rect::new(0, 0, w, h)], x, y);
+        prop_assert!(v >= -1e-9, "negative exposure {v}");
+        prop_assert!(v <= 1.0 + 1e-9, "super-unity exposure {v}");
+    }
+
+    #[test]
+    fn exposure_monotone_in_mask(
+        x in -2000.0f64..2000.0,
+        y in -2000.0f64..2000.0,
+        w in 100i64..1500,
+    ) {
+        // Adding disjoint mask area never decreases exposure.
+        let m = ExposureModel::new(125.0, 0.5);
+        let a = Rect::new(0, 0, w, 1000);
+        let b = Rect::new(w + 500, 0, w + 1500, 1000);
+        let single = m.exposure(&[a], x, y);
+        let both = m.exposure(&[a, b], x, y);
+        prop_assert!(both + 1e-12 >= single);
+    }
+
+    #[test]
+    fn exposure_translation_invariant(
+        dx in -5000i64..5000,
+        dy in -5000i64..5000,
+        px in -500.0f64..1500.0,
+        py in -500.0f64..1500.0,
+    ) {
+        let m = ExposureModel::new(125.0, 0.5);
+        let r = Rect::new(0, 0, 1000, 1000);
+        let v1 = m.exposure(&[r], px, py);
+        let v2 = m.exposure(
+            &[r.translate(diic_geom::Vector::new(dx, dy))],
+            px + dx as f64,
+            py + dy as f64,
+        );
+        prop_assert!((v1 - v2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wider_lines_expose_more_at_centre(w1 in 100i64..800, extra in 50i64..800) {
+        let m = ExposureModel::new(125.0, 0.5);
+        let w2 = w1 + extra;
+        let narrow = Rect::new(-w1 / 2, -100_000, w1 / 2, 100_000);
+        let wide = Rect::new(-w2 / 2, -100_000, w2 / 2, 100_000);
+        let v1 = m.exposure(&[narrow], 0.0, 0.0);
+        let v2 = m.exposure(&[wide], 0.0, 0.0);
+        prop_assert!(v2 >= v1 - 1e-12, "wider line exposed less: {v2} < {v1}");
+    }
+
+    #[test]
+    fn spacing_verdict_monotone_in_gap(g1 in 50i64..800, extra in 1i64..800) {
+        // A wider gap never bridges harder.
+        let m = ExposureModel::new(125.0, 0.5);
+        let a = [Rect::new(0, 0, 2000, 2000)];
+        let near = [Rect::new(2000 + g1, 0, 4000 + g1, 2000)];
+        let far = [Rect::new(2000 + g1 + extra, 0, 4000 + g1 + extra, 2000)];
+        let vn = diic_process::exposure_spacing_check(&a, &near, &m, 0);
+        let vf = diic_process::exposure_spacing_check(&a, &far, &m, 0);
+        prop_assert!(vf.bridge_exposure <= vn.bridge_exposure + 1e-9);
+        if vf.violation {
+            prop_assert!(vn.violation, "nearer pair passed while farther failed");
+        }
+    }
+
+    #[test]
+    fn misalignment_never_helps(g in 200i64..900, mis in 0i64..400) {
+        let m = ExposureModel::new(125.0, 0.5);
+        let a = [Rect::new(0, 0, 2000, 2000)];
+        let b = [Rect::new(2000 + g, 0, 4000 + g, 2000)];
+        let aligned = diic_process::exposure_spacing_check(&a, &b, &m, 0);
+        let shifted = diic_process::exposure_spacing_check(&a, &b, &m, mis);
+        prop_assert!(shifted.bridge_exposure + 1e-9 >= aligned.bridge_exposure);
+    }
+}

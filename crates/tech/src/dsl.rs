@@ -1,0 +1,521 @@
+//! A small text format for technology rule files.
+//!
+//! "A means is required to inform the circuit designer of those
+//! limitations" — and the verification tools. The DSL lets process
+//! engineers state rules in the paper's four categories without
+//! recompiling. Line-oriented; `#` starts a comment.
+//!
+//! ```text
+//! tech nmos lambda 250
+//! layer diff ND diffusion width 500
+//! layer poly NP poly width 500
+//! space diff diff 750
+//! space poly diff 250 unrelated 250
+//! power VDD
+//! ground GND VSS
+//! busprefix BUS_
+//! device NMOS_ENH mos_enh
+//!   requires_overlap poly diff
+//!   gate_extension poly poly diff 500
+//!   no_layer_over_gate contact poly diff
+//!   enclosure contact metal 250
+//!   overlap_enclosure poly diff implant 375
+//!   requires_layer implant
+//!   min_width contact 500
+//!   override diff diff 750 samenet
+//!   override base iso none
+//!   terminals G S D
+//! end
+//! ```
+
+use crate::device::{DeviceArchetype, DeviceClass, InteractionOverride, InternalRule};
+use crate::layer::{Layer, LayerId, LayerKind};
+use crate::rules::SpacingRule;
+use crate::Technology;
+use std::fmt;
+
+/// An error in a rule file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DslError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule file line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DslError {}
+
+fn err(line: usize, message: impl Into<String>) -> DslError {
+    DslError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a rule file into a [`Technology`].
+///
+/// # Errors
+///
+/// [`DslError`] with the offending line number.
+pub fn parse_rules(text: &str) -> Result<Technology, DslError> {
+    let mut tech: Option<Technology> = None;
+    let mut device: Option<DeviceArchetype> = None;
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let cmd = parts[0];
+
+        if cmd == "tech" {
+            let [_, name, kw, lambda] = parts.as_slice() else {
+                return Err(err(line_no, "tech wants: tech <name> lambda <units>"));
+            };
+            if *kw != "lambda" {
+                return Err(err(line_no, "tech wants: tech <name> lambda <units>"));
+            }
+            let lambda: i64 = lambda
+                .parse()
+                .map_err(|_| err(line_no, format!("bad lambda {lambda:?}")))?;
+            tech = Some(Technology::new(name, lambda));
+            continue;
+        }
+
+        let t = tech
+            .as_mut()
+            .ok_or_else(|| err(line_no, "first directive must be `tech`"))?;
+
+        if let Some(dev) = device.as_mut() {
+            // Inside a device block.
+            match cmd {
+                "end" => {
+                    let d = device.take().expect("checked above");
+                    t.add_device(d);
+                }
+                "requires_overlap" => {
+                    let [a, b] = args(&parts, 2, line_no)?[..] else {
+                        unreachable!()
+                    };
+                    dev.internal_rules.push(InternalRule::RequiresOverlap {
+                        a: layer_of(t, a, line_no)?,
+                        b: layer_of(t, b, line_no)?,
+                    });
+                }
+                "requires_layer" => {
+                    let [l] = args(&parts, 1, line_no)?[..] else {
+                        unreachable!()
+                    };
+                    dev.internal_rules.push(InternalRule::RequiresLayer {
+                        layer: layer_of(t, l, line_no)?,
+                    });
+                }
+                "enclosure" => {
+                    let [inner, outer, m] = args(&parts, 3, line_no)?[..] else {
+                        unreachable!()
+                    };
+                    dev.internal_rules.push(InternalRule::Enclosure {
+                        inner: layer_of(t, inner, line_no)?,
+                        outer: layer_of(t, outer, line_no)?,
+                        margin: num(m, line_no)?,
+                    });
+                }
+                "overlap_enclosure" => {
+                    let [a, b, outer, m] = args(&parts, 4, line_no)?[..] else {
+                        unreachable!()
+                    };
+                    dev.internal_rules.push(InternalRule::OverlapEnclosure {
+                        a: layer_of(t, a, line_no)?,
+                        b: layer_of(t, b, line_no)?,
+                        outer: layer_of(t, outer, line_no)?,
+                        margin: num(m, line_no)?,
+                    });
+                }
+                "gate_extension" => {
+                    let [l, a, b, m] = args(&parts, 4, line_no)?[..] else {
+                        unreachable!()
+                    };
+                    dev.internal_rules.push(InternalRule::GateExtension {
+                        layer: layer_of(t, l, line_no)?,
+                        a: layer_of(t, a, line_no)?,
+                        b: layer_of(t, b, line_no)?,
+                        amount: num(m, line_no)?,
+                    });
+                }
+                "no_layer_over_gate" => {
+                    let [l, a, b] = args(&parts, 3, line_no)?[..] else {
+                        unreachable!()
+                    };
+                    dev.internal_rules.push(InternalRule::NoLayerOverGate {
+                        layer: layer_of(t, l, line_no)?,
+                        a: layer_of(t, a, line_no)?,
+                        b: layer_of(t, b, line_no)?,
+                    });
+                }
+                "min_width" => {
+                    let [l, w] = args(&parts, 2, line_no)?[..] else {
+                        unreachable!()
+                    };
+                    dev.internal_rules.push(InternalRule::MinWidth {
+                        layer: layer_of(t, l, line_no)?,
+                        width: num(w, line_no)?,
+                    });
+                }
+                "override" => {
+                    // override <own> <other> <spacing|none> [samenet]
+                    if parts.len() < 4 {
+                        return Err(err(line_no, "override wants: own other spacing|none [samenet]"));
+                    }
+                    let own = layer_of(t, parts[1], line_no)?;
+                    let other = layer_of(t, parts[2], line_no)?;
+                    let spacing = if parts[3] == "none" {
+                        None
+                    } else {
+                        Some(num(parts[3], line_no)?)
+                    };
+                    let applies_same_net = parts.get(4) == Some(&"samenet");
+                    dev.overrides.push(InteractionOverride {
+                        own_layer: own,
+                        other_layer: other,
+                        spacing,
+                        applies_same_net,
+                    });
+                }
+                "terminals" => {
+                    dev.terminal_names = parts[1..].iter().map(|s| s.to_string()).collect();
+                }
+                other => return Err(err(line_no, format!("unknown device directive {other:?}"))),
+            }
+            continue;
+        }
+
+        match cmd {
+            "layer" => {
+                // layer <name> <cif> <kind> width <w>
+                let [_, name, cif, kind, kw, w] = parts.as_slice() else {
+                    return Err(err(line_no, "layer wants: layer name cif kind width <w>"));
+                };
+                if *kw != "width" {
+                    return Err(err(line_no, "layer wants: layer name cif kind width <w>"));
+                }
+                let kind = kind_of(kind, line_no)?;
+                let w = num(w, line_no)?;
+                t.add_layer(Layer::new(name, cif, kind, w));
+            }
+            "space" => {
+                // space <a> <b> <diff_net> [samenet <s>] [unrelated <u>]
+                if parts.len() < 4 {
+                    return Err(err(line_no, "space wants: space a b diffnet [samenet s] [unrelated u]"));
+                }
+                let a = layer_of(t, parts[1], line_no)?;
+                let b = layer_of(t, parts[2], line_no)?;
+                let diff_net = num(parts[3], line_no)?;
+                let mut rule = SpacingRule::simple(diff_net);
+                let mut i = 4;
+                while i < parts.len() {
+                    match parts[i] {
+                        "samenet" => {
+                            let v = parts
+                                .get(i + 1)
+                                .ok_or_else(|| err(line_no, "samenet wants a value"))?;
+                            rule.same_net = Some(num(v, line_no)?);
+                            i += 2;
+                        }
+                        "unrelated" => {
+                            let v = parts
+                                .get(i + 1)
+                                .ok_or_else(|| err(line_no, "unrelated wants a value"))?;
+                            rule.unrelated_device = Some(num(v, line_no)?);
+                            i += 2;
+                        }
+                        other => return Err(err(line_no, format!("unknown space option {other:?}"))),
+                    }
+                }
+                t.rules_mut().set_spacing(a, b, rule);
+            }
+            "power" => {
+                t.power_nets = parts[1..].iter().map(|s| s.to_string()).collect();
+            }
+            "ground" => {
+                t.ground_nets = parts[1..].iter().map(|s| s.to_string()).collect();
+            }
+            "busprefix" => {
+                let [_, p] = parts.as_slice() else {
+                    return Err(err(line_no, "busprefix wants one argument"));
+                };
+                t.bus_prefix = p.to_string();
+            }
+            "ioprefix" => {
+                let [_, p] = parts.as_slice() else {
+                    return Err(err(line_no, "ioprefix wants one argument"));
+                };
+                t.io_prefix = p.to_string();
+            }
+            "device" => {
+                let [_, name, class] = parts.as_slice() else {
+                    return Err(err(line_no, "device wants: device <name> <class>"));
+                };
+                device = Some(DeviceArchetype::new(name, class_of(class, line_no)?));
+            }
+            "end" => return Err(err(line_no, "end without device")),
+            other => return Err(err(line_no, format!("unknown directive {other:?}"))),
+        }
+    }
+    if device.is_some() {
+        return Err(err(text.lines().count(), "device block never closed with `end`"));
+    }
+    tech.ok_or_else(|| err(0, "empty rule file (missing `tech`)"))
+}
+
+/// Serialises a technology to the rule-file format (round-trippable).
+pub fn to_rules(t: &Technology) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "tech {} lambda {}", t.name(), t.lambda());
+    for layer in t.layers() {
+        let _ = writeln!(
+            s,
+            "layer {} {} {} width {}",
+            layer.name,
+            layer.cif_name,
+            kind_name(layer.kind),
+            layer.min_width
+        );
+    }
+    for (a, b, rule) in t.rules().entries() {
+        let _ = write!(
+            s,
+            "space {} {} {}",
+            t.layer(a).name,
+            t.layer(b).name,
+            rule.diff_net
+        );
+        if let Some(sn) = rule.same_net {
+            let _ = write!(s, " samenet {sn}");
+        }
+        if let Some(u) = rule.unrelated_device {
+            let _ = write!(s, " unrelated {u}");
+        }
+        s.push('\n');
+    }
+    let _ = writeln!(s, "power {}", t.power_nets.join(" "));
+    let _ = writeln!(s, "ground {}", t.ground_nets.join(" "));
+    let _ = writeln!(s, "busprefix {}", t.bus_prefix);
+    let _ = writeln!(s, "ioprefix {}", t.io_prefix);
+    for dev in t.devices() {
+        let _ = writeln!(s, "device {} {}", dev.type_name, class_name(dev.class));
+        for rule in &dev.internal_rules {
+            match rule {
+                InternalRule::Enclosure { inner, outer, margin } => {
+                    let _ = writeln!(
+                        s,
+                        "  enclosure {} {} {margin}",
+                        t.layer(*inner).name,
+                        t.layer(*outer).name
+                    );
+                }
+                InternalRule::OverlapEnclosure { a, b, outer, margin } => {
+                    let _ = writeln!(
+                        s,
+                        "  overlap_enclosure {} {} {} {margin}",
+                        t.layer(*a).name,
+                        t.layer(*b).name,
+                        t.layer(*outer).name
+                    );
+                }
+                InternalRule::GateExtension { layer, a, b, amount } => {
+                    let _ = writeln!(
+                        s,
+                        "  gate_extension {} {} {} {amount}",
+                        t.layer(*layer).name,
+                        t.layer(*a).name,
+                        t.layer(*b).name
+                    );
+                }
+                InternalRule::RequiresOverlap { a, b } => {
+                    let _ = writeln!(
+                        s,
+                        "  requires_overlap {} {}",
+                        t.layer(*a).name,
+                        t.layer(*b).name
+                    );
+                }
+                InternalRule::NoLayerOverGate { layer, a, b } => {
+                    let _ = writeln!(
+                        s,
+                        "  no_layer_over_gate {} {} {}",
+                        t.layer(*layer).name,
+                        t.layer(*a).name,
+                        t.layer(*b).name
+                    );
+                }
+                InternalRule::RequiresLayer { layer } => {
+                    let _ = writeln!(s, "  requires_layer {}", t.layer(*layer).name);
+                }
+                InternalRule::MinWidth { layer, width } => {
+                    let _ = writeln!(s, "  min_width {} {width}", t.layer(*layer).name);
+                }
+            }
+        }
+        for o in &dev.overrides {
+            let spacing = o
+                .spacing
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "none".to_string());
+            let tail = if o.applies_same_net { " samenet" } else { "" };
+            let _ = writeln!(
+                s,
+                "  override {} {} {spacing}{tail}",
+                t.layer(o.own_layer).name,
+                t.layer(o.other_layer).name
+            );
+        }
+        if !dev.terminal_names.is_empty() {
+            let _ = writeln!(s, "  terminals {}", dev.terminal_names.join(" "));
+        }
+        s.push_str("end\n");
+    }
+    s
+}
+
+fn args<'a>(parts: &[&'a str], n: usize, line: usize) -> Result<Vec<&'a str>, DslError> {
+    if parts.len() != n + 1 {
+        return Err(err(
+            line,
+            format!("{} wants {n} arguments, got {}", parts[0], parts.len() - 1),
+        ));
+    }
+    Ok(parts[1..].to_vec())
+}
+
+fn num(s: &str, line: usize) -> Result<i64, DslError> {
+    s.parse().map_err(|_| err(line, format!("bad number {s:?}")))
+}
+
+fn layer_of(t: &Technology, name: &str, line: usize) -> Result<LayerId, DslError> {
+    t.layer_by_name(name)
+        .ok_or_else(|| err(line, format!("unknown layer {name:?}")))
+}
+
+fn kind_of(s: &str, line: usize) -> Result<LayerKind, DslError> {
+    Ok(match s {
+        "diffusion" => LayerKind::Diffusion,
+        "poly" => LayerKind::Poly,
+        "metal" => LayerKind::Metal,
+        "contact" => LayerKind::Contact,
+        "implant" => LayerKind::Implant,
+        "buried" => LayerKind::Buried,
+        "isolation" => LayerKind::Isolation,
+        "base" => LayerKind::Base,
+        "emitter" => LayerKind::Emitter,
+        "glass" => LayerKind::Glass,
+        other => return Err(err(line, format!("unknown layer kind {other:?}"))),
+    })
+}
+
+fn kind_name(k: LayerKind) -> &'static str {
+    match k {
+        LayerKind::Diffusion => "diffusion",
+        LayerKind::Poly => "poly",
+        LayerKind::Metal => "metal",
+        LayerKind::Contact => "contact",
+        LayerKind::Implant => "implant",
+        LayerKind::Buried => "buried",
+        LayerKind::Isolation => "isolation",
+        LayerKind::Base => "base",
+        LayerKind::Emitter => "emitter",
+        LayerKind::Glass => "glass",
+    }
+}
+
+fn class_of(s: &str, line: usize) -> Result<DeviceClass, DslError> {
+    Ok(match s {
+        "mos_enh" => DeviceClass::MosEnhancement,
+        "mos_dep" => DeviceClass::MosDepletion,
+        "resistor" => DeviceClass::Resistor,
+        "contact" => DeviceClass::Contact,
+        "butting_contact" => DeviceClass::ButtingContact,
+        "buried_contact" => DeviceClass::BuriedContact,
+        "npn" => DeviceClass::BipolarNpn,
+        "capacitor" => DeviceClass::Capacitor,
+        other => return Err(err(line, format!("unknown device class {other:?}"))),
+    })
+}
+
+fn class_name(c: DeviceClass) -> &'static str {
+    match c {
+        DeviceClass::MosEnhancement => "mos_enh",
+        DeviceClass::MosDepletion => "mos_dep",
+        DeviceClass::Resistor => "resistor",
+        DeviceClass::Contact => "contact",
+        DeviceClass::ButtingContact => "butting_contact",
+        DeviceClass::BuriedContact => "buried_contact",
+        DeviceClass::BipolarNpn => "npn",
+        DeviceClass::Capacitor => "capacitor",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bipolar::bipolar_technology, nmos::nmos_technology};
+
+    #[test]
+    fn roundtrip_nmos() {
+        let t = nmos_technology();
+        let text = to_rules(&t);
+        let back = parse_rules(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn roundtrip_bipolar() {
+        let t = bipolar_technology();
+        let text = to_rules(&t);
+        let back = parse_rules(&text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn parse_minimal() {
+        let t = parse_rules(
+            "tech demo lambda 100\nlayer m M1 metal width 300\nspace m m 300\n",
+        )
+        .unwrap();
+        assert_eq!(t.lambda(), 100);
+        let m = t.layer_by_name("m").unwrap();
+        assert_eq!(t.rules().spacing(m, m).unwrap().diff_net, 300);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let t = parse_rules("# header\n\ntech x lambda 1\n# done\n").unwrap();
+        assert_eq!(t.name(), "x");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_rules("tech x lambda 1\nlayer bad\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_rules("layer a A metal width 1\n").unwrap_err();
+        assert!(e.message.contains("tech"));
+        let e = parse_rules("tech x lambda 1\nspace a b 100\n").unwrap_err();
+        assert!(e.message.contains("unknown layer"));
+        let e = parse_rules("tech x lambda 1\ndevice D mos_enh\n").unwrap_err();
+        assert!(e.message.contains("never closed"));
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        let e = parse_rules("tech x lambda 1\nfrobnicate\n").unwrap_err();
+        assert!(e.message.contains("unknown directive"));
+    }
+}

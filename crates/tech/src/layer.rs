@@ -1,0 +1,112 @@
+//! Mask layers and their interconnect rules.
+
+use diic_geom::Coord;
+
+/// Identifier of a layer within a [`crate::Technology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LayerId(pub u16);
+
+/// Process role of a layer. The checker uses the kind to decide which
+/// elements are interconnect (checked in "check elements") and which only
+/// occur inside devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Diffusion (source/drain/interconnect).
+    Diffusion,
+    /// Polysilicon.
+    Poly,
+    /// Metal.
+    Metal,
+    /// Contact cut — only legal inside contact devices.
+    Contact,
+    /// Depletion implant — only legal inside depletion-mode transistors.
+    Implant,
+    /// Buried-contact window — only legal inside buried-contact devices.
+    Buried,
+    /// Bipolar: isolation diffusion.
+    Isolation,
+    /// Bipolar: base diffusion.
+    Base,
+    /// Bipolar: emitter diffusion.
+    Emitter,
+    /// Overglass / pad openings (not checked geometrically).
+    Glass,
+}
+
+impl LayerKind {
+    /// True if elements on this kind of layer are interconnect that may
+    /// appear outside device symbols (the paper's "check elements" stage
+    /// checks only interconnect).
+    pub fn is_interconnect(self) -> bool {
+        matches!(
+            self,
+            LayerKind::Diffusion
+                | LayerKind::Poly
+                | LayerKind::Metal
+                | LayerKind::Base
+                | LayerKind::Isolation
+        )
+    }
+
+    /// True if elements on this kind of layer may exist **only** inside a
+    /// declared device symbol (contacts, implants, buried windows —
+    /// "implied devices are not allowed").
+    pub fn is_device_only(self) -> bool {
+        matches!(
+            self,
+            LayerKind::Contact | LayerKind::Implant | LayerKind::Buried | LayerKind::Emitter
+        )
+    }
+}
+
+/// A mask layer: names, role, and interconnect width rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layer {
+    /// Canonical short name (e.g. `diff`, `poly`, `metal`).
+    pub name: String,
+    /// The CIF `L` command name (e.g. `ND`, `NP`, `NM`).
+    pub cif_name: String,
+    /// Process role.
+    pub kind: LayerKind,
+    /// Minimum feature width in database units.
+    pub min_width: Coord,
+}
+
+impl Layer {
+    /// Creates a layer.
+    pub fn new(name: &str, cif_name: &str, kind: LayerKind, min_width: Coord) -> Self {
+        Layer {
+            name: name.to_string(),
+            cif_name: cif_name.to_string(),
+            kind,
+            min_width,
+        }
+    }
+
+    /// Half the minimum width — the skeleton shrink amount (paper Fig. 11).
+    pub fn half_min_width(&self) -> Coord {
+        self.min_width / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interconnect_classification() {
+        assert!(LayerKind::Metal.is_interconnect());
+        assert!(LayerKind::Poly.is_interconnect());
+        assert!(LayerKind::Diffusion.is_interconnect());
+        assert!(!LayerKind::Contact.is_interconnect());
+        assert!(LayerKind::Contact.is_device_only());
+        assert!(LayerKind::Implant.is_device_only());
+        assert!(!LayerKind::Metal.is_device_only());
+    }
+
+    #[test]
+    fn half_min_width() {
+        let l = Layer::new("poly", "NP", LayerKind::Poly, 500);
+        assert_eq!(l.half_min_width(), 250);
+    }
+}

@@ -1,0 +1,169 @@
+//! The interaction rule matrix (paper Fig. 12).
+//!
+//! "The possible cases can be enumerated as the elements of an upper
+//! triangular matrix \[...\] Each of these cases can be broken into two
+//! subcases depending on whether or not the elements are on the same net.
+//! If the element is part of a transistor, the subcases depend on whether
+//! or not the elements are related."
+
+use crate::layer::LayerId;
+use diic_geom::Coord;
+use std::collections::HashMap;
+
+/// One entry of the interaction matrix for an (unordered) layer pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpacingRule {
+    /// Spacing required between elements on **different** nets.
+    pub diff_net: Coord,
+    /// Spacing required between elements on the **same** net
+    /// (`None` = not checked — electrically equivalent, the usual case).
+    pub same_net: Option<Coord>,
+    /// Spacing required between an element and a transistor's un-netted
+    /// parts (gate, implant) it is *not related* to; `None` falls back to
+    /// `diff_net`. ("Related" pairs — a transistor and its own terminals —
+    /// are never checked.)
+    pub unrelated_device: Option<Coord>,
+}
+
+impl SpacingRule {
+    /// A plain different-net-only rule.
+    pub fn simple(diff_net: Coord) -> Self {
+        SpacingRule {
+            diff_net,
+            same_net: None,
+            unrelated_device: None,
+        }
+    }
+
+    /// The spacing to apply for a pair on the same net.
+    pub fn for_same_net(&self) -> Option<Coord> {
+        self.same_net
+    }
+
+    /// The spacing to apply against unrelated transistor parts.
+    pub fn for_unrelated_device(&self) -> Coord {
+        self.unrelated_device.unwrap_or(self.diff_net)
+    }
+}
+
+/// The upper-triangular interaction matrix plus helpers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleSet {
+    spacing: HashMap<(LayerId, LayerId), SpacingRule>,
+}
+
+fn key(a: LayerId, b: LayerId) -> (LayerId, LayerId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl RuleSet {
+    /// Creates an empty rule set.
+    pub fn new() -> Self {
+        RuleSet::default()
+    }
+
+    /// Sets the rule for a layer pair (order-insensitive).
+    pub fn set_spacing(&mut self, a: LayerId, b: LayerId, rule: SpacingRule) {
+        self.spacing.insert(key(a, b), rule);
+    }
+
+    /// The rule for a layer pair, if any ("most of these cases are not
+    /// necessary; either there is no rule between those two mask layers or
+    /// the only rules relate to primitive symbols which are checked
+    /// already").
+    pub fn spacing(&self, a: LayerId, b: LayerId) -> Option<&SpacingRule> {
+        self.spacing.get(&key(a, b))
+    }
+
+    /// Number of layer-pair entries.
+    pub fn len(&self) -> usize {
+        self.spacing.len()
+    }
+
+    /// True if the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spacing.is_empty()
+    }
+
+    /// Enumerates the matrix entries in deterministic (sorted) order —
+    /// the Fig. 12 table.
+    pub fn entries(&self) -> Vec<(LayerId, LayerId, SpacingRule)> {
+        let mut v: Vec<(LayerId, LayerId, SpacingRule)> = self
+            .spacing
+            .iter()
+            .map(|(&(a, b), &r)| (a, b, r))
+            .collect();
+        v.sort_by_key(|&(a, b, _)| (a, b));
+        v
+    }
+
+    /// Counts the subcases of the matrix: for `n` layers there are
+    /// `n(n+1)/2` potential pairs, each with same-net and different-net
+    /// subcases; returns `(pairs_with_rules, pairs_checked_same_net)`.
+    /// The pruning the paper describes is the gap between the full matrix
+    /// and these counts.
+    pub fn subcase_counts(&self) -> (usize, usize) {
+        let with_rules = self.spacing.len();
+        let same_net_checked = self
+            .spacing
+            .values()
+            .filter(|r| r.same_net.is_some())
+            .count();
+        (with_rules, same_net_checked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_insensitive_lookup() {
+        let mut rs = RuleSet::new();
+        let a = LayerId(0);
+        let b = LayerId(3);
+        rs.set_spacing(b, a, SpacingRule::simple(750));
+        assert_eq!(rs.spacing(a, b).unwrap().diff_net, 750);
+        assert_eq!(rs.spacing(b, a).unwrap().diff_net, 750);
+        assert!(rs.spacing(a, LayerId(9)).is_none());
+    }
+
+    #[test]
+    fn same_net_default_unchecked() {
+        let r = SpacingRule::simple(500);
+        assert_eq!(r.for_same_net(), None);
+        assert_eq!(r.for_unrelated_device(), 500);
+        let strict = SpacingRule {
+            diff_net: 500,
+            same_net: Some(500),
+            unrelated_device: Some(250),
+        };
+        assert_eq!(strict.for_same_net(), Some(500));
+        assert_eq!(strict.for_unrelated_device(), 250);
+    }
+
+    #[test]
+    fn entries_sorted_and_counts() {
+        let mut rs = RuleSet::new();
+        rs.set_spacing(LayerId(2), LayerId(1), SpacingRule::simple(100));
+        rs.set_spacing(LayerId(0), LayerId(0), SpacingRule::simple(200));
+        rs.set_spacing(
+            LayerId(0),
+            LayerId(1),
+            SpacingRule {
+                diff_net: 300,
+                same_net: Some(300),
+                unrelated_device: None,
+            },
+        );
+        let e = rs.entries();
+        assert_eq!(e.len(), 3);
+        assert!(e[0].0 <= e[0].1);
+        assert_eq!(e[0].2.diff_net, 200);
+        assert_eq!(rs.subcase_counts(), (3, 1));
+    }
+}

@@ -1,0 +1,66 @@
+//! 2-D process modelling (paper §"2-D Process Modelling for DRC"):
+//! the Gaussian exposure model (Eq. 1), the three expansion flavours of
+//! Fig. 13, the exposure-based spacing predicate, and the relational
+//! endcap rule of Fig. 14.
+//!
+//! ```text
+//! cargo run --release --example process_modelling
+//! ```
+
+use diic::geom::{Rect, Region};
+use diic::process::proximity::expand_comparison;
+use diic::process::relational::{endcap_retreat, required_overlap};
+use diic::process::{exposure_spacing_check, ExposureModel};
+
+fn main() {
+    let model = ExposureModel::new(125.0, 0.5); // sigma = λ/2, threshold 0.5
+
+    println!("== exposure field of a 2λ line (Eq. 1 closed form) ==");
+    let line = Rect::new(0, 0, 500, 100_000);
+    for x in [-250i64, 0, 125, 250, 375, 500, 750] {
+        let v = model.exposure(&[line], x as f64, 50_000.0);
+        let mark = if v >= model.threshold { "prints" } else { "      " };
+        println!("  x = {x:>5}: I = {v:.3} {mark}");
+    }
+
+    println!();
+    println!("== Fig. 13: three expansions of a 6λ square, d = 1λ ==");
+    let sq = Region::from_rect(Rect::new(0, 0, 1500, 1500));
+    let c = expand_comparison(&sq, 250, 125.0, 10);
+    println!("  orthogonal (square corners): {:>10.0}", c.orthogonal_area);
+    println!("  Euclidean  (round corners) : {:>10.0}", c.euclidean_area);
+    println!("  proximity  (exposure model): {:>10.0}", c.proximity_area);
+
+    println!();
+    println!("== spacing by line of closest approach ==");
+    let a = [Rect::new(0, 0, 2000, 2000)];
+    for gap in [500i64, 300, 200, 125] {
+        let b = [Rect::new(2000 + gap, 0, 4000 + gap, 2000)];
+        let r = exposure_spacing_check(&a, &b, &model, 0);
+        println!(
+            "  gap {gap:>4}: bridge exposure {:.3} vs critical {:.2} -> {}",
+            r.bridge_exposure,
+            r.critical,
+            if r.violation { "SHORT" } else { "ok" }
+        );
+    }
+    let b = [Rect::new(2300, 0, 4300, 2000)];
+    let aligned = exposure_spacing_check(&a, &b, &model, 0);
+    let misaligned = exposure_spacing_check(&a, &b, &model, 250);
+    println!(
+        "  gap 300 with 1λ misalignment: {:.3} -> {} (aligned was {:.3})",
+        misaligned.bridge_exposure,
+        if misaligned.violation { "SHORT" } else { "ok" },
+        aligned.bridge_exposure
+    );
+
+    println!();
+    println!("== Fig. 14: relational rule — endcap retreat vs wire width ==");
+    println!("  {:>8} {:>10} {:>22}", "width", "retreat", "overlap for 1λ margin");
+    for w in [250i64, 375, 500, 750, 1000] {
+        let r = endcap_retreat(w, &model);
+        let need = required_overlap(w, 0, &model, 125, 250.0);
+        println!("  {w:>8} {r:>10.0} {need:>22}");
+    }
+    println!("  (the required gate overlap is a function of the poly width)");
+}
