@@ -15,8 +15,12 @@ fn bench(c: &mut Criterion) {
     let region = workload();
     let bounds = region.bbox().unwrap().inflate(600).unwrap();
     let mut g = c.benchmark_group("fig03");
-    g.bench_function("orthogonal_expand", |b| b.iter(|| expand(&region, 250).unwrap()));
-    g.bench_function("orthogonal_shrink", |b| b.iter(|| shrink(&region, 100).unwrap()));
+    g.bench_function("orthogonal_expand", |b| {
+        b.iter(|| expand(&region, 250).unwrap())
+    });
+    g.bench_function("orthogonal_shrink", |b| {
+        b.iter(|| shrink(&region, 100).unwrap())
+    });
     g.sample_size(20);
     g.bench_function("euclidean_expand_raster", |b| {
         b.iter(|| {

@@ -1,0 +1,41 @@
+//! Stage-engine bench: serial vs parallel interaction stage on a
+//! generated chip (the embarrassing parallelism the Fig. 10 pipeline's
+//! interaction search exposes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diic_core::{check, CheckOptions};
+use diic_gen::{generate, ChipSpec};
+use diic_tech::nmos::nmos_technology;
+
+fn bench(c: &mut Criterion) {
+    let tech = nmos_technology();
+    let chip = generate(&ChipSpec {
+        demo_cells: false,
+        ..ChipSpec::clean(12, 8)
+    });
+    let layout = diic_cif::parse(&chip.cif).unwrap();
+    let mut g = c.benchmark_group("fig16");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("interactions", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    check(
+                        &layout,
+                        &tech,
+                        &CheckOptions {
+                            parallelism: threads,
+                            ..CheckOptions::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -7,9 +7,7 @@
 //! See `DESIGN.md` §3 for the experiment index and `EXPERIMENTS.md` for
 //! recorded results.
 
-use diic_core::{
-    account, check_cif, flat_check, CheckOptions, FlatOptions, InteractOptions,
-};
+use diic_core::{account, check_cif, flat_check, CheckOptions, FlatOptions, InteractOptions};
 use diic_gen::{generate, ChipSpec, ErrorKind};
 use diic_geom::{Polygon, Rect, Region, SizingMode};
 use diic_process::{exposure_spacing_check, ExposureModel};
@@ -37,14 +35,21 @@ impl Scale {
 /// E1 — Fig. 1 + the "10:1" claim: error-region accounting, DIIC vs flat.
 pub fn e1_error_regions(scale: Scale) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "E1: Fig.1 error regions — DIIC vs flat mask-level checker");
+    let _ = writeln!(
+        out,
+        "E1: Fig.1 error regions — DIIC vs flat mask-level checker"
+    );
     let _ = writeln!(
         out,
         "{:<10} {:>6} {:>9} {:>6} {:>6} {:>9} {:>10}",
         "checker", "cells", "injected", "real", "false", "unchecked", "false:real"
     );
     let tech = nmos_technology();
-    let sizes = if scale.quick { vec![(4, 2)] } else { vec![(4, 2), (6, 4), (10, 6)] };
+    let sizes = if scale.quick {
+        vec![(4, 2)]
+    } else {
+        vec![(4, 2), (6, 4), (10, 6)]
+    };
     for (nx, ny) in sizes {
         let errors = vec![
             ErrorKind::NarrowWire,
@@ -92,7 +97,10 @@ pub fn e1_error_regions(scale: Scale) -> String {
             ratio
         );
     }
-    let _ = writeln!(out, "paper claim: flat false:real reaches 10:1 or higher; DIIC ~0");
+    let _ = writeln!(
+        out,
+        "paper claim: flat false:real reaches 10:1 or higher; DIIC ~0"
+    );
     out
 }
 
@@ -100,7 +108,10 @@ pub fn e1_error_regions(scale: Scale) -> String {
 /// reverse), verdicts of figure-based vs union-based vs DIIC checking.
 pub fn e2_figure_pathologies() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "E2: Fig.2 figure-based checking pathologies (min width 750)");
+    let _ = writeln!(
+        out,
+        "E2: Fig.2 figure-based checking pathologies (min width 750)"
+    );
     const W: i64 = 750;
     // Case A: two individually legal boxes joined only through a 100x100
     // corner overlap — the composite conducts through an illegal neck.
@@ -174,7 +185,10 @@ pub fn e2_figure_pathologies() -> String {
 /// E3 — Fig. 3: orthogonal vs Euclidean expand/shrink of a square.
 pub fn e3_expand_shrink() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "E3: Fig.3 orthogonal vs Euclidean sizing of a 1000-unit square");
+    let _ = writeln!(
+        out,
+        "E3: Fig.3 orthogonal vs Euclidean sizing of a 1000-unit square"
+    );
     let r = Rect::new(0, 0, 1000, 1000);
     let region = Region::from_rect(r);
     let _ = writeln!(
@@ -203,18 +217,32 @@ pub fn e3_expand_shrink() -> String {
 /// E4 — Fig. 4: width & spacing pathologies of the traditional techniques.
 pub fn e4_width_spacing_pathologies() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "E4: Fig.4 pathologies (metal rules: width 750, spacing 750)");
+    let _ = writeln!(
+        out,
+        "E4: Fig.4 pathologies (metal rules: width 750, spacing 750)"
+    );
     // Width: a LEGAL 3000-unit square.
     let square = Region::from_rect(Rect::new(0, 0, 3000, 3000));
     let orth_sec = diic_geom::width::shrink_expand_compare(&square, 750).len();
     let eucl_sec = diic_geom::raster::euclidean_shrink_expand_compare(&square, 750, 10).len();
-    let diic_width =
-        diic_geom::width::check_polygon_width(&Polygon::from_rect(&Rect::new(0, 0, 3000, 3000)), 750)
-            .len();
+    let diic_width = diic_geom::width::check_polygon_width(
+        &Polygon::from_rect(&Rect::new(0, 0, 3000, 3000)),
+        750,
+    )
+    .len();
     let _ = writeln!(out, "width check of a LEGAL square:");
-    let _ = writeln!(out, "  shrink-expand-compare (orthogonal): {orth_sec} errors");
-    let _ = writeln!(out, "  shrink-expand-compare (Euclidean):  {eucl_sec} errors (the four corners)");
-    let _ = writeln!(out, "  DIIC edge-pair width check:         {diic_width} errors");
+    let _ = writeln!(
+        out,
+        "  shrink-expand-compare (orthogonal): {orth_sec} errors"
+    );
+    let _ = writeln!(
+        out,
+        "  shrink-expand-compare (Euclidean):  {eucl_sec} errors (the four corners)"
+    );
+    let _ = writeln!(
+        out,
+        "  DIIC edge-pair width check:         {diic_width} errors"
+    );
     // Spacing: corners at L2 = 778 (legal), L∞ = 550 (flagged by orthogonal).
     let a = Rect::new(0, 0, 1000, 750);
     let b = Rect::new(1550, 1300, 2550, 2050);
@@ -224,7 +252,11 @@ pub fn e4_width_spacing_pathologies() -> String {
     let _ = writeln!(
         out,
         "  orthogonal expand-check-overlap: {}",
-        if orth.is_some() { "FALSE ERROR" } else { "pass" }
+        if orth.is_some() {
+            "FALSE ERROR"
+        } else {
+            "pass"
+        }
     );
     let _ = writeln!(
         out,
@@ -237,7 +269,10 @@ pub fn e4_width_spacing_pathologies() -> String {
 /// E5 — Fig. 5: electrical equivalence and the resistor exception.
 pub fn e5_electrical_equivalence() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "E5: Fig.5 same-net suppression and the resistor exception");
+    let _ = writeln!(
+        out,
+        "E5: Fig.5 same-net suppression and the resistor exception"
+    );
     let tech = nmos_technology();
     // (a) two same-net metal boxes 500 apart (rule 750).
     let cif_a = "L NM; 9N A; B 2000 750 1000 375; 9N A; B 2000 750 1000 1625; E";
@@ -252,7 +287,11 @@ pub fn e5_electrical_equivalence() -> String {
             },
         )
         .unwrap();
-        let _ = writeln!(out, "  (a) equivalent boxes 500 apart: {label}: {} errors", r.violations.len());
+        let _ = writeln!(
+            out,
+            "  (a) equivalent boxes 500 apart: {label}: {} errors",
+            r.violations.len()
+        );
     }
     // (b) a hairpin diffusion wire 375 from a resistor body, same net.
     let cif_b = "
@@ -276,14 +315,20 @@ pub fn e5_electrical_equivalence() -> String {
         "  (b) same-net hairpin 375 from resistor body: DIIC: {} error(s) (override keeps the check)",
         r.violations.len()
     );
-    let _ = writeln!(out, "paper: (a) unnecessary check eliminated; (b) short across resistor still caught");
+    let _ = writeln!(
+        out,
+        "paper: (a) unnecessary check eliminated; (b) short across resistor still caught"
+    );
     out
 }
 
 /// E6 — Fig. 6: device-dependent base/isolation rule in the bipolar tech.
 pub fn e6_device_dependent() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "E6: Fig.6 device-dependent rules (bipolar base vs isolation)");
+    let _ = writeln!(
+        out,
+        "E6: Fig.6 device-dependent rules (bipolar base vs isolation)"
+    );
     let tech = diic_tech::bipolar::bipolar_technology();
     // Transistor base touching isolation: error.
     let npn = "
@@ -292,13 +337,24 @@ pub fn e6_device_dependent() -> String {
         C 1 T 0 0;
         L BI; 9N GND; B 2000 2000 2000 0;
         E";
-    let r1 = check_cif(&npn.replace("2000 0;", "2000 0;"), &tech, &CheckOptions { erc: false, ..Default::default() }).unwrap();
+    let r1 = check_cif(
+        npn,
+        &tech,
+        &CheckOptions {
+            erc: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let spacing_errors = r1
         .violations
         .iter()
         .filter(|v| matches!(v.kind, diic_core::ViolationKind::Spacing { .. }))
         .count();
-    let _ = writeln!(out, "  NPN base touching isolation:        {spacing_errors} error(s) [expect 1]");
+    let _ = writeln!(
+        out,
+        "  NPN base touching isolation:        {spacing_errors} error(s) [expect 1]"
+    );
     // Resistor tied to isolation: legal.
     let res = "
         DS 2; 9 r; 9D BASE_RESISTOR; 9T A BB 0 -750; 9T B BB 0 750;
@@ -306,7 +362,15 @@ pub fn e6_device_dependent() -> String {
         C 2 T 0 0;
         L BI; 9N GND; B 2000 2000 1250 0;
         E";
-    let r2 = check_cif(res, &tech, &CheckOptions { erc: false, ..Default::default() }).unwrap();
+    let r2 = check_cif(
+        res,
+        &tech,
+        &CheckOptions {
+            erc: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let _ = writeln!(
         out,
         "  base RESISTOR tied to isolation:    {} error(s) [expect 0 — legal ground tie]",
@@ -321,7 +385,12 @@ pub fn e7_contact_over_gate() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "E7: Fig.7 contact-over-gate vs butting contact");
     let tech = nmos_technology();
-    let chip = generate(&ChipSpec::with_errors(3, 1, vec![ErrorKind::ContactOverGate], 3));
+    let chip = generate(&ChipSpec::with_errors(
+        3,
+        1,
+        vec![ErrorKind::ContactOverGate],
+        3,
+    ));
     let report = check_cif(&chip.cif, &tech, &CheckOptions::default()).unwrap();
     let layout = diic_cif::parse(&chip.cif).unwrap();
     let flat = flat_check(&layout, &tech, &FlatOptions::default());
@@ -334,9 +403,18 @@ pub fn e7_contact_over_gate() -> String {
         .iter()
         .filter(|v| diic_core::category_of(v) == "contact-over-gate")
         .count();
-    let _ = writeln!(out, "  chip: 1 bad transistor (contact on gate) + 1 legal butting contact");
-    let _ = writeln!(out, "  DIIC contact-over-gate reports: {diic_cog} [expect 1 — the bad transistor]");
-    let _ = writeln!(out, "  flat contact-over-gate reports: {flat_cog} [expect 2 — also flags the butting contact]");
+    let _ = writeln!(
+        out,
+        "  chip: 1 bad transistor (contact on gate) + 1 legal butting contact"
+    );
+    let _ = writeln!(
+        out,
+        "  DIIC contact-over-gate reports: {diic_cog} [expect 1 — the bad transistor]"
+    );
+    let _ = writeln!(
+        out,
+        "  flat contact-over-gate reports: {flat_cog} [expect 2 — also flags the butting contact]"
+    );
     out
 }
 
@@ -357,16 +435,26 @@ pub fn e8_accidental_transistors() -> String {
     let layout = diic_cif::parse(&chip.cif).unwrap();
     let flat = flat_check(&layout, &tech, &FlatOptions::default());
     let fr = account(&flat, &injected, 800);
-    let _ = writeln!(out, "  injected: accidental poly/diff crossing + missing gate overlap");
+    let _ = writeln!(
+        out,
+        "  injected: accidental poly/diff crossing + missing gate overlap"
+    );
     let _ = writeln!(out, "  DIIC: {} / 2 caught", diic.real_flagged);
-    let _ = writeln!(out, "  flat: {} / 2 caught ({} unchecked — assumed to be legal transistors)", fr.real_flagged, fr.unchecked);
+    let _ = writeln!(
+        out,
+        "  flat: {} / 2 caught ({} unchecked — assumed to be legal transistors)",
+        fr.real_flagged, fr.unchecked
+    );
     out
 }
 
 /// E9 — Figs. 9–10: pipeline stage costs and hierarchical vs flat scaling.
 pub fn e9_pipeline_scaling(scale: Scale) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "E9: Fig.9/10 hierarchy: run time and check counts vs array size");
+    let _ = writeln!(
+        out,
+        "E9: Fig.9/10 hierarchy: run time and check counts vs array size"
+    );
     let tech = nmos_technology();
     let _ = writeln!(
         out,
@@ -410,7 +498,10 @@ pub fn e9_pipeline_scaling(scale: Scale) -> String {
             flat_checks
         );
     }
-    let _ = writeln!(out, "definition-level checks stay constant while flat-equivalent work grows linearly");
+    let _ = writeln!(
+        out,
+        "definition-level checks stay constant while flat-equivalent work grows linearly"
+    );
     out
 }
 
@@ -418,7 +509,10 @@ pub fn e9_pipeline_scaling(scale: Scale) -> String {
 pub fn e10_skeletal_connectivity() -> String {
     use diic_geom::skeleton::Skeleton;
     let mut out = String::new();
-    let _ = writeln!(out, "E10: Fig.11 skeletal connectivity (min width 500, h = 250)");
+    let _ = writeln!(
+        out,
+        "E10: Fig.11 skeletal connectivity (min width 500, h = 250)"
+    );
     let base = Rect::new(0, 0, 2000, 500);
     let cases: Vec<(&str, Rect, bool)> = vec![
         ("full overlap", Rect::new(500, 0, 2500, 500), true),
@@ -426,11 +520,19 @@ pub fn e10_skeletal_connectivity() -> String {
         ("overlap < min width", Rect::new(1750, 0, 3750, 500), false),
         ("butted end-to-end", Rect::new(2000, 0, 4000, 500), false),
         ("enclosed", Rect::new(250, 0, 1000, 500), true),
-        ("corner overlap only", Rect::new(1900, 400, 3900, 900), false),
+        (
+            "corner overlap only",
+            Rect::new(1900, 400, 3900, 900),
+            false,
+        ),
         ("separated", Rect::new(3000, 0, 5000, 500), false),
     ];
     let sa = Skeleton::of_rect(&base, 250).unwrap();
-    let _ = writeln!(out, "{:<24} {:>10} {:>11}", "configuration", "connected", "union legal");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>10} {:>11}",
+        "configuration", "connected", "union legal"
+    );
     for (name, other, expect) in cases {
         let sb = Skeleton::of_rect(&other, 250).unwrap();
         let connected = sa.connected_to(&sb);
@@ -448,13 +550,20 @@ pub fn e10_skeletal_connectivity() -> String {
             name,
             if connected { "yes" } else { "no" },
             if connected {
-                if union_ok { "yes" } else { "VIOLATED" }
+                if union_ok {
+                    "yes"
+                } else {
+                    "VIOLATED"
+                }
             } else {
                 "n/a"
             }
         );
     }
-    let _ = writeln!(out, "theorem (paper): legal widths + skeletal connection => legal-width union");
+    let _ = writeln!(
+        out,
+        "theorem (paper): legal widths + skeletal connection => legal-width union"
+    );
     out
 }
 
@@ -463,7 +572,11 @@ pub fn e11_interaction_matrix(scale: Scale) -> String {
     let mut out = String::new();
     let tech = nmos_technology();
     let _ = writeln!(out, "E11: Fig.12 interaction matrix (NMOS)");
-    let _ = writeln!(out, "{:<10} {:<10} {:>9} {:>9} {:>10}", "layer", "layer", "diff-net", "same-net", "unrelated");
+    let _ = writeln!(
+        out,
+        "{:<10} {:<10} {:>9} {:>9} {:>10}",
+        "layer", "layer", "diff-net", "same-net", "unrelated"
+    );
     for (a, b, rule) in tech.rules().entries() {
         let _ = writeln!(
             out,
@@ -472,7 +585,9 @@ pub fn e11_interaction_matrix(scale: Scale) -> String {
             tech.layer(b).name,
             rule.diff_net,
             rule.same_net.map(|v| v.to_string()).unwrap_or("-".into()),
-            rule.unrelated_device.map(|v| v.to_string()).unwrap_or("-".into()),
+            rule.unrelated_device
+                .map(|v| v.to_string())
+                .unwrap_or("-".into()),
         );
     }
     let n = tech.layers().len();
@@ -502,7 +617,10 @@ pub fn e11_interaction_matrix(scale: Scale) -> String {
 /// E12 — Fig. 13 + Eq. 1: Euclidean vs orthogonal vs proximity expand.
 pub fn e12_proximity_expand(scale: Scale) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "E12: Fig.13 expansion flavours (square, d = 250, sigma = 125)");
+    let _ = writeln!(
+        out,
+        "E12: Fig.13 expansion flavours (square, d = 250, sigma = 125)"
+    );
     let sq = Region::from_rect(Rect::new(0, 0, 1500, 1500));
     let res = if scale.quick { 20 } else { 10 };
     let c = diic_process::proximity::expand_comparison(&sq, 250, 125.0, res);
@@ -513,24 +631,32 @@ pub fn e12_proximity_expand(scale: Scale) -> String {
         ("euclidean", c.euclidean_area),
         ("proximity", c.proximity_area),
     ] {
-        let _ = writeln!(out, "{:<14} {:>12.0} {:>8.1}%", name, area, 100.0 * (area - drawn) / drawn);
+        let _ = writeln!(
+            out,
+            "{:<14} {:>12.0} {:>8.1}%",
+            name,
+            area,
+            100.0 * (area - drawn) / drawn
+        );
     }
-    let _ = writeln!(out, "ordering orth > eucl >= prox at corners, as drawn in Fig.13");
+    let _ = writeln!(
+        out,
+        "ordering orth > eucl >= prox at corners, as drawn in Fig.13"
+    );
     // Proximity: the gap between close bars blooms shut.
     let bars = Region::from_rects([Rect::new(0, 0, 1000, 3000), Rect::new(1150, 0, 2150, 3000)]);
     let model = ExposureModel::new(125.0, 0.5);
-    let merged = exposure_spacing_check(
-        &bars.rects()[..1],
-        &bars.rects()[1..],
-        &model,
-        0,
-    );
+    let merged = exposure_spacing_check(&bars.rects()[..1], &bars.rects()[1..], &model, 0);
     let _ = writeln!(
         out,
         "two bars 150 apart (1.2 sigma): bridge exposure {:.2} vs critical {:.2} -> {}",
         merged.bridge_exposure,
         merged.critical,
-        if merged.violation { "MERGE (proximity effect)" } else { "separate" }
+        if merged.violation {
+            "MERGE (proximity effect)"
+        } else {
+            "separate"
+        }
     );
     out
 }
@@ -538,15 +664,25 @@ pub fn e12_proximity_expand(scale: Scale) -> String {
 /// E13 — Fig. 14: the relational endcap rule.
 pub fn e13_relational_rule() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "E13: Fig.14 relational rule — endcap retreat vs wire width");
+    let _ = writeln!(
+        out,
+        "E13: Fig.14 relational rule — endcap retreat vs wire width"
+    );
     let model = ExposureModel::new(125.0, 0.5);
-    let _ = writeln!(out, "{:>8} {:>10} {:>18}", "width", "retreat", "overlap needed");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>18}",
+        "width", "retreat", "overlap needed"
+    );
     for w in [250i64, 375, 500, 750, 1000] {
         let retreat = diic_process::relational::endcap_retreat(w, &model);
         let needed = diic_process::relational::required_overlap(w, 0, &model, 125, 250.0);
         let _ = writeln!(out, "{:>8} {:>10.0} {:>18}", w, retreat, needed);
     }
-    let _ = writeln!(out, "narrower poly retreats more => required overlap is a function of width");
+    let _ = writeln!(
+        out,
+        "narrower poly retreats more => required overlap is a function of width"
+    );
     out
 }
 
@@ -559,12 +695,28 @@ pub fn e14_self_sufficiency() -> String {
     let butted = "
         DS 1; 9 half; L NM; B 2000 375 1000 187; DF;
         C 1 T 0 0; C 1 T 0 375; E";
-    let r1 = check_cif(butted, &tech, &CheckOptions { erc: false, ..Default::default() }).unwrap();
+    let r1 = check_cif(
+        butted,
+        &tech,
+        &CheckOptions {
+            erc: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     // Overlapped full-width boxes.
     let overlapped = "
         DS 2; 9 full; L NM; B 2000 750 1000 375; DF;
         C 2 T 0 0; C 2 T 1250 0; E";
-    let r2 = check_cif(overlapped, &tech, &CheckOptions { erc: false, ..Default::default() }).unwrap();
+    let r2 = check_cif(
+        overlapped,
+        &tech,
+        &CheckOptions {
+            erc: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let _ = writeln!(
         out,
         "  half-width boxes butted to full width: {} violation(s) [expect >0: width-in-definition]",
@@ -610,6 +762,72 @@ pub fn e15_composition_rules() -> String {
     out
 }
 
+/// E16 — stage engine: serial vs parallel interaction search. The
+/// candidate evaluation is embarrassingly parallel; this prints the
+/// interaction-stage wall-clock speedup (from the engine's per-stage
+/// timings) and verifies the reports stay byte-identical.
+pub fn e16_parallel_speedup(scale: Scale) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "E16: parallel interaction stage — speedup over serial");
+    let tech = nmos_technology();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Always exercise at least two workers so the byte-identical claim is
+    // tested even on single-core hosts (where no speedup is possible).
+    let threads = cores.clamp(2, 8);
+    let _ = writeln!(
+        out,
+        "{:>9} {:>9} {:>11} {:>11} {:>8} {:>10}",
+        "cells", "pairs", "serial ms", "par ms", "speedup", "identical"
+    );
+    let sizes = if scale.quick {
+        vec![(4, 2), (8, 4)]
+    } else {
+        vec![(8, 4), (12, 8), (16, 12)]
+    };
+    for (nx, ny) in sizes {
+        let chip = generate(&ChipSpec {
+            demo_cells: false,
+            ..ChipSpec::clean(nx, ny)
+        });
+        let layout = diic_cif::parse(&chip.cif).unwrap();
+        let serial_opts = CheckOptions {
+            erc: false,
+            ..CheckOptions::default()
+        };
+        let par_opts = CheckOptions {
+            parallelism: threads,
+            ..serial_opts.clone()
+        };
+        let serial = diic_core::check(&layout, &tech, &serial_opts);
+        let parallel = diic_core::check(&layout, &tech, &par_opts);
+        // Compare the interaction stage itself, not the whole pipeline —
+        // the other six stages are serial either way and would dilute
+        // the ratio.
+        let t_serial = serial.timings.interactions;
+        let t_parallel = parallel.timings.interactions;
+        let identical = serial.violations == parallel.violations
+            && serial.interact_stats == parallel.interact_stats;
+        let _ = writeln!(
+            out,
+            "{:>9} {:>9} {:>11.2} {:>11.2} {:>7.2}x {:>10}",
+            nx * ny,
+            serial.interact_stats.candidate_pairs,
+            t_serial.as_secs_f64() * 1e3,
+            t_parallel.as_secs_f64() * 1e3,
+            t_serial.as_secs_f64() / t_parallel.as_secs_f64().max(1e-9),
+            if identical { "yes" } else { "NO" }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "({threads} workers on {cores} core(s); reports must stay byte-identical \
+         across worker counts; speedup needs >1 core)"
+    );
+    out
+}
+
 /// Runs every experiment, returning the combined report.
 pub fn run_all(scale: Scale) -> String {
     let parts = vec![
@@ -628,6 +846,7 @@ pub fn run_all(scale: Scale) -> String {
         e13_relational_rule(),
         e14_self_sufficiency(),
         e15_composition_rules(),
+        e16_parallel_speedup(scale),
     ];
     parts.join("\n")
 }
@@ -644,8 +863,9 @@ pub fn interact_violations(nx: usize, ny: usize, options: InteractOptions) -> us
             same_net_suppression: options.same_net_suppression,
             metric: options.metric,
             hierarchical: options.hierarchical,
+            parallelism: options.parallelism,
             erc: false,
-            intended_netlist: None,
+            ..CheckOptions::default()
         },
     )
     .unwrap();
@@ -682,6 +902,7 @@ mod tests {
             e13_relational_rule(),
             e14_self_sufficiency(),
             e15_composition_rules(),
+            e16_parallel_speedup(QUICK),
         ]
         .iter()
         .enumerate()

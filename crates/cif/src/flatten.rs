@@ -6,7 +6,7 @@
 //! flattener also drives differential tests: hierarchical results must
 //! agree with flat results on designs without hierarchy-specific waivers.
 
-use crate::layout::{Item, Layout, LayerRef, Shape, SymbolId};
+use crate::layout::{Item, LayerRef, Layout, Shape, SymbolId};
 use diic_geom::Transform;
 
 /// One fully-instantiated element.
@@ -36,7 +36,15 @@ pub struct FlatElement {
 pub fn flatten(layout: &Layout) -> Vec<FlatElement> {
     let mut out = Vec::new();
     for item in layout.top_items() {
-        flatten_item(layout, item, &Transform::IDENTITY, "", None, false, &mut out);
+        flatten_item(
+            layout,
+            item,
+            &Transform::IDENTITY,
+            "",
+            None,
+            false,
+            &mut out,
+        );
     }
     out
 }
@@ -152,9 +160,15 @@ mod tests {
         )
         .unwrap();
         let flat = flatten(&l);
-        let contact = flat.iter().find(|e| matches!(e.shape, Shape::Box(r) if r.width() == 4 && r.height() == 4)).unwrap();
+        let contact = flat
+            .iter()
+            .find(|e| matches!(e.shape, Shape::Box(r) if r.width() == 4 && r.height() == 4))
+            .unwrap();
         assert!(contact.in_device);
-        let metal = flat.iter().find(|e| matches!(e.shape, Shape::Box(r) if r.width() == 20)).unwrap();
+        let metal = flat
+            .iter()
+            .find(|e| matches!(e.shape, Shape::Box(r) if r.width() == 20))
+            .unwrap();
         assert!(!metal.in_device);
     }
 

@@ -26,11 +26,7 @@ pub fn check_acyclic(layout: &Layout) -> Result<(), CifError> {
     let n = layout.symbols().len();
     let mut marks = vec![Mark::White; n];
 
-    fn visit(
-        layout: &Layout,
-        id: SymbolId,
-        marks: &mut [Mark],
-    ) -> Result<(), CifError> {
+    fn visit(layout: &Layout, id: SymbolId, marks: &mut [Mark]) -> Result<(), CifError> {
         match marks[id.0 as usize] {
             Mark::Black => return Ok(()),
             Mark::Grey => {

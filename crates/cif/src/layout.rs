@@ -65,8 +65,11 @@ impl Shape {
         match self {
             Shape::Box(r) => Shape::Box(t.apply_rect(r)),
             Shape::Wire(w) => Shape::Wire(
-                Wire::new(w.width(), w.points().iter().map(|&p| t.apply_point(p)).collect())
-                    .expect("transform preserves wire validity"),
+                Wire::new(
+                    w.width(),
+                    w.points().iter().map(|&p| t.apply_point(p)).collect(),
+                )
+                .expect("transform preserves wire validity"),
             ),
             Shape::Polygon(p) => Shape::Polygon(t.apply_polygon(p)),
         }
@@ -146,7 +149,9 @@ pub struct Symbol {
 impl Symbol {
     /// Display name: the `9` name if present, else `S<cif_id>`.
     pub fn display_name(&self) -> String {
-        self.name.clone().unwrap_or_else(|| format!("S{}", self.cif_id))
+        self.name
+            .clone()
+            .unwrap_or_else(|| format!("S{}", self.cif_id))
     }
 
     /// True if this symbol is a declared primitive device.

@@ -63,7 +63,7 @@ pub mod write;
 pub use error::CifError;
 pub use flatten::{flatten, FlatElement};
 pub use layout::{
-    Call, DeviceDecl, Element, Item, Layout, LayerRef, NetLabel, Shape, Symbol, SymbolId, Terminal,
+    Call, DeviceDecl, Element, Item, LayerRef, Layout, NetLabel, Shape, Symbol, SymbolId, Terminal,
 };
 pub use parse::parse;
 pub use write::to_cif;

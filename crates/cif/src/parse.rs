@@ -2,7 +2,7 @@
 
 use crate::error::{CifError, CifErrorKind};
 use crate::layout::{
-    Call, DeviceDecl, Element, Item, Layout, LayerRef, NetLabel, Shape, Symbol, SymbolId, Terminal,
+    Call, DeviceDecl, Element, Item, LayerRef, Layout, NetLabel, Shape, Symbol, SymbolId, Terminal,
 };
 use crate::token::{lex, Spanned, Token};
 use diic_geom::{Coord, Orientation, Point, Polygon, Rect, Transform, Vector, Wire};
@@ -77,14 +77,20 @@ impl Parser {
     fn expect_number(&mut self, ctx: &str) -> Result<i64, CifError> {
         match self.next() {
             Some(Token::Number(n)) => Ok(n),
-            _ => Err(CifError::new(self.line(), CifErrorKind::ExpectedNumber(ctx.into()))),
+            _ => Err(CifError::new(
+                self.line(),
+                CifErrorKind::ExpectedNumber(ctx.into()),
+            )),
         }
     }
 
     fn expect_semi(&mut self, ctx: &str) -> Result<(), CifError> {
         match self.next() {
             Some(Token::Semi) => Ok(()),
-            _ => Err(CifError::new(self.line(), CifErrorKind::ExpectedSemicolon(ctx.into()))),
+            _ => Err(CifError::new(
+                self.line(),
+                CifErrorKind::ExpectedSemicolon(ctx.into()),
+            )),
         }
     }
 
@@ -133,7 +139,10 @@ impl Parser {
             }
         }
         if let Some((sym, _, _, line)) = self.current.take() {
-            return Err(CifError::new(line, CifErrorKind::UnclosedDefinition(sym.cif_id)));
+            return Err(CifError::new(
+                line,
+                CifErrorKind::UnclosedDefinition(sym.cif_id),
+            ));
         }
         self.resolve_calls()?;
         crate::hierarchy::check_acyclic(&self.layout)?;
@@ -288,9 +297,9 @@ impl Parser {
         let cy = self.expect_number("B cy")?;
         let cy = self.scale(cy);
         if length <= 0 || width <= 0 {
-            return Err(self.err(CifErrorKind::MalformedShape(
-                format!("box dimensions must be positive, got {length}x{width}"),
-            )));
+            return Err(self.err(CifErrorKind::MalformedShape(format!(
+                "box dimensions must be positive, got {length}x{width}"
+            ))));
         }
         // Optional direction: rotates the length axis.
         let (length, width) = match self.peek() {
@@ -346,8 +355,8 @@ impl Parser {
             pts.push(Point::new(self.scale(x), self.scale(y)));
         }
         self.expect_semi("P")?;
-        let poly = Polygon::new(pts)
-            .map_err(|e| self.err(CifErrorKind::MalformedShape(e.to_string())))?;
+        let poly =
+            Polygon::new(pts).map_err(|e| self.err(CifErrorKind::MalformedShape(e.to_string())))?;
         let net = self.take_net();
         self.push_item(Item::Element(Element {
             layer,
@@ -533,8 +542,11 @@ fn rebuild_with_top(layout: Layout, top: Vec<Item>) -> Layout {
 }
 
 fn parse_int(s: &str, p: &Parser) -> Result<i64, CifError> {
-    s.parse::<i64>()
-        .map_err(|_| p.err(CifErrorKind::ExpectedNumber(format!("extension field {s:?}"))))
+    s.parse::<i64>().map_err(|_| {
+        p.err(CifErrorKind::ExpectedNumber(format!(
+            "extension field {s:?}"
+        )))
+    })
 }
 
 #[cfg(test)]
@@ -566,9 +578,13 @@ mod tests {
     fn wire_and_polygon() {
         let l = parse("L NP; W 20 0 0 100 0 100 100; P 0 0 50 0 0 50; E").unwrap();
         assert_eq!(l.top_items().len(), 2);
-        let Item::Element(w) = &l.top_items()[0] else { panic!() };
+        let Item::Element(w) = &l.top_items()[0] else {
+            panic!()
+        };
         assert!(matches!(w.shape, Shape::Wire(_)));
-        let Item::Element(p) = &l.top_items()[1] else { panic!() };
+        let Item::Element(p) = &l.top_items()[1] else {
+            panic!()
+        };
         assert!(matches!(p.shape, Shape::Polygon(_)));
     }
 
@@ -577,7 +593,9 @@ mod tests {
         let l = parse("DS 1 1 1; 9 cell; L ND; B 20 20 10 10; DF; C 1 T 100 0; E").unwrap();
         assert_eq!(l.symbols().len(), 1);
         assert_eq!(l.symbol_by_name("cell"), Some(SymbolId(0)));
-        let Item::Call(c) = &l.top_items()[0] else { panic!() };
+        let Item::Call(c) = &l.top_items()[0] else {
+            panic!()
+        };
         assert_eq!(c.target, SymbolId(0));
         assert_eq!(c.transform.offset, Vector::new(100, 0));
         assert_eq!(c.name, "i0");
@@ -596,7 +614,9 @@ mod tests {
     fn transform_order_mirror_then_translate() {
         // CIF: ops apply left to right: MX then T.
         let l = parse("DS 1 1 1; L ND; B 2 2 5 0; DF; C 1 MX T 100 0; E").unwrap();
-        let Item::Call(c) = &l.top_items()[0] else { panic!() };
+        let Item::Call(c) = &l.top_items()[0] else {
+            panic!()
+        };
         // Point (5,0) -> MX -> (-5,0) -> T -> (95,0).
         assert_eq!(c.transform.apply_point(Point::new(5, 0)), Point::new(95, 0));
     }
@@ -610,7 +630,9 @@ mod tests {
     #[test]
     fn forward_reference_resolved() {
         let l = parse("C 2 T 0 0; DS 2 1 1; L ND; B 2 2 0 0; DF; E").unwrap();
-        let Item::Call(c) = &l.top_items()[0] else { panic!() };
+        let Item::Call(c) = &l.top_items()[0] else {
+            panic!()
+        };
         assert_eq!(c.target, SymbolId(0));
     }
 
@@ -647,8 +669,12 @@ mod tests {
     #[test]
     fn net_extension_binds_next_element() {
         let l = parse("L NM; 9N VDD; B 40 20 20 10; B 40 20 20 50; E").unwrap();
-        let Item::Element(e1) = &l.top_items()[0] else { panic!() };
-        let Item::Element(e2) = &l.top_items()[1] else { panic!() };
+        let Item::Element(e1) = &l.top_items()[0] else {
+            panic!()
+        };
+        let Item::Element(e2) = &l.top_items()[1] else {
+            panic!()
+        };
         assert_eq!(e1.net.as_deref(), Some("VDD"));
         assert_eq!(e2.net, None);
     }

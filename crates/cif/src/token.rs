@@ -73,13 +73,19 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, CifError> {
                 }
             }
             ';' => {
-                out.push(Spanned { token: Token::Semi, line });
+                out.push(Spanned {
+                    token: Token::Semi,
+                    line,
+                });
                 chars.next();
             }
             '-' => {
                 chars.next();
                 let n = lex_number(&mut chars, line, true)?;
-                out.push(Spanned { token: Token::Number(n), line });
+                out.push(Spanned {
+                    token: Token::Number(n),
+                    line,
+                });
             }
             '0'..='9' => {
                 // Could be a plain number or, at command position, a user
@@ -87,7 +93,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, CifError> {
                 // i.e. the previous token is a semicolon (or nothing).
                 let at_command = matches!(
                     out.last(),
-                    None | Some(Spanned { token: Token::Semi, .. })
+                    None | Some(Spanned {
+                        token: Token::Semi,
+                        ..
+                    })
                 );
                 if at_command {
                     let digit = c;
@@ -109,10 +118,16 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, CifError> {
                         token: Token::Extension(digit, body.trim_end().to_string()),
                         line,
                     });
-                    out.push(Spanned { token: Token::Semi, line });
+                    out.push(Spanned {
+                        token: Token::Semi,
+                        line,
+                    });
                 } else {
                     let n = lex_number(&mut chars, line, false)?;
-                    out.push(Spanned { token: Token::Number(n), line });
+                    out.push(Spanned {
+                        token: Token::Number(n),
+                        line,
+                    });
                 }
             }
             'A'..='Z' | 'a'..='z' => {
@@ -123,10 +138,16 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, CifError> {
                 // is ignored per the CIF definition.
                 let at_command = matches!(
                     out.last(),
-                    None | Some(Spanned { token: Token::Semi, .. })
+                    None | Some(Spanned {
+                        token: Token::Semi,
+                        ..
+                    })
                 );
                 chars.next();
-                out.push(Spanned { token: Token::Letter(upper), line });
+                out.push(Spanned {
+                    token: Token::Letter(upper),
+                    line,
+                });
                 if upper == 'E' && at_command {
                     break;
                 }
@@ -191,7 +212,12 @@ mod tests {
     fn negative_numbers() {
         assert_eq!(
             toks("T -5 -10;"),
-            vec![Token::Letter('T'), Token::Number(-5), Token::Number(-10), Token::Semi]
+            vec![
+                Token::Letter('T'),
+                Token::Number(-5),
+                Token::Number(-10),
+                Token::Semi
+            ]
         );
     }
 

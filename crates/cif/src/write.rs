@@ -143,9 +143,7 @@ mod tests {
 
     #[test]
     fn roundtrip_boxes_wires_polygons() {
-        roundtrip(
-            "L NM; B 40 20 20 10; 9N A; W 20 0 0 100 0; L NP; P 0 0 50 0 50 50 0 50; E",
-        );
+        roundtrip("L NM; B 40 20 20 10; 9N A; W 20 0 0 100 0; L NP; P 0 0 50 0 50 50 0 50; E");
     }
 
     #[test]
@@ -158,9 +156,7 @@ mod tests {
 
     #[test]
     fn roundtrip_device_declarations() {
-        roundtrip(
-            "DS 1; 9 tr; 9D NMOS_ENH; 9T G NP 10 10; 9C; L NP; B 20 60 10 30; DF; C 1; E",
-        );
+        roundtrip("DS 1; 9 tr; 9D NMOS_ENH; 9T G NP 10 10; 9C; L NP; B 20 60 10 30; DF; C 1; E");
     }
 
     #[test]
@@ -170,8 +166,16 @@ mod tests {
 
     #[test]
     fn all_orientations_roundtrip() {
-        for orient_ops in ["", "M X", "M Y", "R 0 1", "R -1 0", "R 0 -1", "M X R 0 1", "M X R 0 -1"]
-        {
+        for orient_ops in [
+            "",
+            "M X",
+            "M Y",
+            "R 0 1",
+            "R -1 0",
+            "R 0 -1",
+            "M X R 0 1",
+            "M X R 0 -1",
+        ] {
             let text = format!("DS 1; L ND; B 10 4 9 2; DF; C 1 {orient_ops} T 31 17; E");
             roundtrip(&text);
         }

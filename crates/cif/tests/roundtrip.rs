@@ -12,10 +12,7 @@ fn arb_cif() -> impl Strategy<Value = String> {
         (dim.clone(), dim, coord.clone(), coord.clone(), 0usize..3),
         1..5,
     );
-    let calls = proptest::collection::vec(
-        (0u32..3, coord.clone(), coord, 0usize..8),
-        0..4,
-    );
+    let calls = proptest::collection::vec((0u32..3, coord.clone(), coord, 0usize..8), 0..4);
     (boxes, calls).prop_map(|(boxes, calls)| {
         let layers = ["NM", "NP", "ND"];
         let orients = [

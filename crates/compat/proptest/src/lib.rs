@@ -1,0 +1,384 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates-registry access, so this crate
+//! vendors the subset of proptest's API the workspace's property tests
+//! use: numeric range strategies, tuple and `Vec` composition,
+//! `prop_map`, simple `[a-z]{m,n}`-style string patterns, the
+//! [`proptest!`] macro, and the `prop_assert*` assertions.
+//!
+//! Semantics differ from real proptest in two deliberate ways:
+//!
+//! * inputs are generated from a deterministic per-test seed (derived
+//!   from the test's module path and name), so runs are reproducible
+//!   without a persistence file;
+//! * there is no shrinking — a failing case panics with the assertion
+//!   message directly.
+
+use std::ops::Range;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic RNG handed to strategies (splitmix64 core).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one test case: seeded from the test identity and case
+    /// index so every run of the suite sees the same inputs.
+    pub fn for_case(test_hash: u64, case: u32) -> Self {
+        TestRng {
+            state: test_hash ^ ((case as u64).wrapping_mul(0xA24B_AED4_963E_E407)),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..bound` (`bound > 0`), rejection-sampled.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// FNV-1a hash of a test path, used to derive per-test seeds.
+pub fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A generator of random values, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy: Clone {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> O + Clone,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adaptor produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + Clone,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = if span <= u64::MAX as u128 {
+                    rng.below(span as u64) as u128
+                } else {
+                    // Only reachable for full-width 128-bit-span ranges,
+                    // which the workspace never uses; sample coarsely.
+                    rng.next_u64() as u128
+                };
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// String pattern strategies: a `&'static str` of the form
+/// `[lo-hi]{m,n}` (for example `"[a-z]{1,8}"`) generates strings of
+/// `m..=n` characters drawn uniformly from the inclusive class.
+/// This is the only regex shape the workspace's tests use.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (class, min, max) = parse_pattern(self).unwrap_or_else(|| {
+            panic!("unsupported string pattern {self:?} (expected \"[x-y]{{m,n}}\")")
+        });
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| class[rng.below(class.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class_text, rest) = rest.split_once(']')?;
+    let mut class = Vec::new();
+    let chars: Vec<char> = class_text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            class.extend((lo..=hi).collect::<Vec<char>>());
+            i += 3;
+        } else {
+            class.push(chars[i]);
+            i += 1;
+        }
+    }
+    if class.is_empty() {
+        return None;
+    }
+    let (min, max) = if rest.is_empty() {
+        (1, 1)
+    } else {
+        let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+        let (m, n) = counts.split_once(',')?;
+        (m.trim().parse().ok()?, n.trim().parse().ok()?)
+    };
+    if min > max {
+        return None;
+    }
+    Some((class, min, max))
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing a `Vec` with a length drawn from `len` and
+    /// elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runs a block of property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn holds(x in 0i64..100, y in 0i64..100) {
+///         prop_assert!(x + y >= x);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __seed = $crate::fnv(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::TestRng::for_case(__seed, __case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test (panics on failure; this
+/// stand-in has no shrinking, so it is `assert!` with another name).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case(1, 0);
+        for _ in 0..1000 {
+            let v = (-50i64..50).generate(&mut rng);
+            assert!((-50..50).contains(&v));
+            let f = (0.5f64..2.5).generate(&mut rng);
+            assert!((0.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let strat = (0i64..10, 0i64..10).prop_map(|(a, b)| a * 10 + b);
+        let mut rng = TestRng::for_case(2, 0);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((0..100).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let strat = crate::collection::vec(0u8..4, 2..5);
+        let mut rng = TestRng::for_case(3, 0);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    #[test]
+    fn string_pattern_class_and_length() {
+        let strat = "[a-c]{2,4}";
+        let mut rng = TestRng::for_case(4, 0);
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            assert!((2..=4).contains(&s.len()), "{s}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_runs(x in 0i64..100, y in 1i64..100) {
+            prop_assert!(x / y <= x || x == 0);
+            prop_assert_eq!(x + y, y + x);
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //! came from is never lost."
 
 use crate::violations::{CheckStage, Violation, ViolationKind};
-use diic_cif::{Item, Layout, LayerRef, Shape, SymbolId};
+use diic_cif::{Item, LayerRef, Layout, Shape, SymbolId};
 use diic_geom::skeleton::Skeleton;
 use diic_geom::{Point, Rect, Region, Transform};
 use diic_tech::{DeviceClass, LayerId, Technology};
@@ -201,11 +201,7 @@ fn walk(
                         .iter()
                         .filter_map(|term| {
                             let layer = binding.layer(term.layer)?;
-                            Some((
-                                term.name.clone(),
-                                layer,
-                                child_t.apply_point(term.position),
-                            ))
+                            Some((term.name.clone(), layer, child_t.apply_point(term.position)))
                         })
                         .collect();
                     view.devices.push(DeviceInstance {

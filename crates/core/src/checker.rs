@@ -5,19 +5,22 @@
 //! CHECK LEGAL CONNECTIONS → GENERATE HIERARCHICAL NET LIST →
 //! CHECK INTERACTIONS  (+ non-geometric construction rules)
 //! ```
+//!
+//! The stages themselves live in [`crate::engine`] as
+//! [`PipelineStage`](crate::engine::PipelineStage) implementations;
+//! [`check`] assembles the standard stage set and folds the engine's
+//! generic per-stage profile into the classic [`StageTimings`]
+//! breakdown. To run a custom stage set (extra lint stages, the flat
+//! baseline, ablated pipelines) use [`check_with_engine`].
 
-use crate::binding::{instantiate, ChipView, LayerBinding};
-use crate::connect::check_connections;
-use crate::element_checks::check_elements;
-use crate::interact::{check_interactions, InteractOptions, InteractStats};
-use crate::netgen::generate_netlist;
-use crate::primitive_checks::check_primitive_symbols;
-use crate::violations::{CheckStage, Violation, ViolationKind};
+use crate::engine::{CheckContext, StageEngine, StageTime};
+use crate::interact::InteractStats;
+use crate::violations::{CheckStage, Violation};
 use diic_cif::Layout;
 use diic_geom::SizingMode;
-use diic_netlist::{check_erc, compare_by_structure, Netlist};
+use diic_netlist::Netlist;
 use diic_tech::Technology;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of a full check run.
 #[derive(Debug, Clone)]
@@ -32,6 +35,11 @@ pub struct CheckOptions {
     pub erc: bool,
     /// Compare the extracted net list against an intended one.
     pub intended_netlist: Option<Netlist>,
+    /// Worker threads for the interaction search. `1` (the default)
+    /// runs serially; `0` uses all available cores; any other value
+    /// spawns that many scoped workers. Serial and parallel runs
+    /// produce byte-identical reports.
+    pub parallelism: usize,
 }
 
 impl Default for CheckOptions {
@@ -42,6 +50,7 @@ impl Default for CheckOptions {
             hierarchical: true,
             erc: true,
             intended_netlist: None,
+            parallelism: 1,
         }
     }
 }
@@ -76,6 +85,26 @@ impl StageTimings {
             + self.interactions
             + self.composition
     }
+
+    /// Folds an engine profile into the named buckets. Stages the
+    /// classic breakdown does not know (custom stages, the flat
+    /// baseline) stay visible in [`CheckReport::stage_profile`] only.
+    pub fn from_profile(profile: &[StageTime]) -> Self {
+        let mut t = StageTimings::default();
+        for s in profile {
+            match s.name.as_str() {
+                "instantiate" => t.instantiate += s.duration,
+                "elements" => t.elements += s.duration,
+                "primitives" => t.primitives += s.duration,
+                "connections" => t.connections += s.duration,
+                "netlist" => t.netlist += s.duration,
+                "interactions" => t.interactions += s.duration,
+                "composition" => t.composition += s.duration,
+                _ => {}
+            }
+        }
+        t
+    }
 }
 
 /// The result of a full check.
@@ -87,8 +116,11 @@ pub struct CheckReport {
     pub netlist: Netlist,
     /// Interaction-stage statistics (pruning counters, cache hits).
     pub interact_stats: InteractStats,
-    /// Wall-clock per stage.
+    /// Wall-clock per classic pipeline stage.
     pub timings: StageTimings,
+    /// Generic per-stage profile in engine order, including custom
+    /// stages the classic breakdown does not know.
+    pub stage_profile: Vec<StageTime>,
     /// Devices waived by the immunity flag.
     pub waived_devices: Vec<String>,
     /// Number of elements instantiated.
@@ -105,102 +137,33 @@ impl CheckReport {
 
     /// Violations of a given stage.
     pub fn by_stage(&self, stage: CheckStage) -> Vec<&Violation> {
-        self.violations.iter().filter(|v| v.stage == stage).collect()
+        self.violations
+            .iter()
+            .filter(|v| v.stage == stage)
+            .collect()
     }
 }
 
 /// Runs the full DIIC pipeline over a parsed layout.
 pub fn check(layout: &Layout, tech: &Technology, options: &CheckOptions) -> CheckReport {
-    let mut violations = Vec::new();
-    let mut timings = StageTimings::default();
+    check_with_engine(&StageEngine::diic_pipeline(), layout, tech, options)
+}
 
-    // Parse is done; bind layers and instantiate the chip view.
-    let t0 = Instant::now();
-    let (binding, bind_violations) = LayerBinding::bind(layout, tech);
-    violations.extend(bind_violations);
-    let view: ChipView = instantiate(layout, tech, &binding);
-    violations.extend(view.violations.clone());
-    timings.instantiate = t0.elapsed();
-
-    // Stage 2: check elements (per definition).
-    let t = Instant::now();
-    violations.extend(check_elements(layout, tech, &binding));
-    timings.elements = t.elapsed();
-
-    // Stage 3: check primitive symbols (per definition, with immunity).
-    let t = Instant::now();
-    let prim = check_primitive_symbols(layout, tech, &binding);
-    violations.extend(prim.violations);
-    timings.primitives = t.elapsed();
-
-    // Stage 4: check legal connections.
-    let t = Instant::now();
-    let conn = check_connections(&view, tech);
-    violations.extend(conn.violations.clone());
-    timings.connections = t.elapsed();
-
-    // Stage 5: generate the hierarchical net list.
-    let t = Instant::now();
-    let labels: Vec<_> = layout
-        .labels()
-        .iter()
-        .map(|l| (l.clone(), binding.layer(l.layer)))
-        .collect();
-    let nets = generate_netlist(&view, tech, &conn.merges, &labels);
-    violations.extend(nets.violations.clone());
-    timings.netlist = t.elapsed();
-
-    // Stage 6: check interactions.
-    let t = Instant::now();
-    let interact_options = InteractOptions {
-        same_net_suppression: options.same_net_suppression,
-        metric: options.metric,
-        hierarchical: options.hierarchical,
-    };
-    let (ivs, interact_stats) =
-        check_interactions(&view, tech, &nets, layout, &interact_options);
-    violations.extend(ivs);
-    timings.interactions = t.elapsed();
-
-    // Composition rules + netlist consistency.
-    let t = Instant::now();
-    if options.erc {
-        for e in check_erc(&nets.netlist, tech) {
-            violations.push(Violation {
-                stage: CheckStage::Composition,
-                kind: ViolationKind::Erc {
-                    rule: e.rule,
-                    detail: e.detail,
-                },
-                location: None,
-                context: nets.netlist.net(e.net).name.clone(),
-            });
-        }
-    }
-    if let Some(intended) = &options.intended_netlist {
-        let diff = compare_by_structure(&nets.netlist, intended, 12);
-        if !diff.matched {
-            for msg in diff.messages {
-                violations.push(Violation {
-                    stage: CheckStage::NetList,
-                    kind: ViolationKind::NetlistMismatch { detail: msg },
-                    location: None,
-                    context: String::new(),
-                });
-            }
-        }
-    }
-    timings.composition = t.elapsed();
-
-    CheckReport {
-        violations,
-        netlist: nets.netlist,
-        interact_stats,
-        timings,
-        waived_devices: prim.waived,
-        element_count: view.elements.len(),
-        device_count: view.devices.len(),
-    }
+/// Runs an arbitrary stage set over a parsed layout.
+///
+/// This is the extension point the standard [`check`] wraps: assemble a
+/// [`StageEngine`] (one of the shipped stage sets, or your own mix of
+/// [`PipelineStage`](crate::engine::PipelineStage)s) and drive it with
+/// the same inputs and report type as the classic entry point.
+pub fn check_with_engine(
+    engine: &StageEngine,
+    layout: &Layout,
+    tech: &Technology,
+    options: &CheckOptions,
+) -> CheckReport {
+    let mut ctx = CheckContext::new(layout, tech, options);
+    let profile = engine.run(&mut ctx);
+    ctx.into_report(profile)
 }
 
 /// Convenience: parse CIF text and check it in one call.
@@ -221,6 +184,7 @@ pub fn check_cif(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::violations::ViolationKind;
     use diic_tech::nmos::nmos_technology;
 
     #[test]
@@ -275,10 +239,13 @@ mod tests {
             &CheckOptions::default(),
         )
         .unwrap();
-        assert!(r
-            .violations
-            .iter()
-            .any(|v| matches!(v.kind, ViolationKind::Erc { .. })), "{:#?}", r.violations);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| matches!(v.kind, ViolationKind::Erc { .. })),
+            "{:#?}",
+            r.violations
+        );
     }
 
     #[test]
@@ -288,8 +255,16 @@ mod tests {
         for i in 0..8 {
             cif.push_str(&format!("C 1 T {} 0;\n", i * 2500));
         }
-        cif.push_str("E");
-        let hier = check_cif(&cif, &tech, &CheckOptions { erc: false, ..Default::default() }).unwrap();
+        cif.push('E');
+        let hier = check_cif(
+            &cif,
+            &tech,
+            &CheckOptions {
+                erc: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let flat = check_cif(
             &cif,
             &tech,
@@ -310,5 +285,50 @@ mod tests {
         let tech = nmos_technology();
         let r = check_cif("L NM; B 2000 750 0 0; E", &tech, &CheckOptions::default()).unwrap();
         assert!(r.timings.total() > Duration::ZERO);
+        assert_eq!(r.stage_profile.len(), 7, "{:?}", r.stage_profile);
+        assert_eq!(
+            r.timings.total(),
+            r.stage_profile.iter().map(|s| s.duration).sum(),
+            "classic buckets must cover the whole standard profile"
+        );
+    }
+
+    #[test]
+    fn parallel_report_is_byte_identical() {
+        let tech = nmos_technology();
+        // Spacing violations across and inside instances.
+        let mut cif = String::from("DS 1; L NM; B 2000 750 1000 375; B 2000 750 1000 1625; DF;\n");
+        for i in 0..6 {
+            cif.push_str(&format!("C 1 T {} 0;\n", i * 2500));
+        }
+        cif.push('E');
+        for hierarchical in [true, false] {
+            let serial = check_cif(
+                &cif,
+                &tech,
+                &CheckOptions {
+                    hierarchical,
+                    erc: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let parallel = check_cif(
+                &cif,
+                &tech,
+                &CheckOptions {
+                    hierarchical,
+                    erc: false,
+                    parallelism: 4,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                serial.violations, parallel.violations,
+                "hier={hierarchical}"
+            );
+            assert_eq!(serial.interact_stats, parallel.interact_stats);
+        }
     }
 }

@@ -50,8 +50,7 @@ pub fn device_forming_pairs(tech: &Technology) -> HashSet<(LayerId, LayerId)> {
     for dev in tech.devices() {
         for rule in &dev.internal_rules {
             if let InternalRule::RequiresOverlap { a, b } = rule {
-                if tech.layer(*a).kind.is_interconnect() && tech.layer(*b).kind.is_interconnect()
-                {
+                if tech.layer(*a).kind.is_interconnect() && tech.layer(*b).kind.is_interconnect() {
                     let (x, y) = if a <= b { (*a, *b) } else { (*b, *a) };
                     out.insert((x, y));
                 }
@@ -66,8 +65,9 @@ pub fn check_connections(view: &ChipView, tech: &Technology) -> ConnectionResult
     let mut result = ConnectionResult::default();
     let forming = device_forming_pairs(tech);
 
-    // Index all elements by bbox.
-    let mut index: GridIndex<usize> = GridIndex::new(2000);
+    // Index all elements by bbox, with cells sized from the
+    // technology's rule reach (see `interact::interaction_cell_size`).
+    let mut index: GridIndex<usize> = GridIndex::new(crate::interact::interaction_cell_size(tech));
     for e in &view.elements {
         index.insert(e.bbox, e.id);
     }
@@ -243,9 +243,8 @@ mod tests {
     #[test]
     fn declared_transistor_not_flagged() {
         // The same crossing inside a declared device symbol: fine.
-        let r = run(
-            "DS 1; 9D NMOS_ENH; L NP; B 1500 500 250 0; L ND; B 500 2500 250 0; DF; C 1; E",
-        );
+        let r =
+            run("DS 1; 9D NMOS_ENH; L NP; B 1500 500 250 0; L ND; B 500 2500 250 0; DF; C 1; E");
         assert!(r.violations.is_empty(), "{:?}", r.violations);
     }
 
@@ -272,13 +271,11 @@ mod tests {
 
     #[test]
     fn contact_device_joins_touching_interconnect() {
-        let r = run(
-            "DS 1; 9D CONTACT_D;
+        let r = run("DS 1; 9D CONTACT_D;
              L NC; B 500 500 0 0; L ND; B 1000 1000 0 0; L NM; B 1000 1000 0 0; DF;
              C 1 T 0 0;
              L NM; 9N OUT; W 750 0 0 5000 0;
-             L ND; 9N OUT; W 500 0 0 -5000 0; E",
-        );
+             L ND; 9N OUT; W 500 0 0 -5000 0; E");
         // Metal wire merges with contact metal; diff wire with contact diff.
         assert_eq!(r.merges.len(), 2, "{:?}", r.violations);
         assert!(r.violations.is_empty(), "{:?}", r.violations);

@@ -75,7 +75,13 @@ fn check_one(
     match &e.shape {
         Shape::Box(r) => {
             if let Some(v) = check_rect_width(r, min_w) {
-                out.push(width_violation(layer.name.clone(), v.measured, min_w, v.location, context));
+                out.push(width_violation(
+                    layer.name.clone(),
+                    v.measured,
+                    min_w,
+                    v.location,
+                    context,
+                ));
             }
         }
         Shape::Wire(w) => {
@@ -88,12 +94,24 @@ fn check_one(
                 });
             }
             if let Some(v) = check_wire_width(w, min_w) {
-                out.push(width_violation(layer.name.clone(), v.measured, min_w, v.location, context));
+                out.push(width_violation(
+                    layer.name.clone(),
+                    v.measured,
+                    min_w,
+                    v.location,
+                    context,
+                ));
             }
         }
         Shape::Polygon(p) => {
             for v in check_polygon_width(p, min_w) {
-                out.push(width_violation(layer.name.clone(), v.measured, min_w, v.location, context));
+                out.push(width_violation(
+                    layer.name.clone(),
+                    v.measured,
+                    min_w,
+                    v.location,
+                    context,
+                ));
             }
         }
     }
@@ -163,7 +181,11 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert!(matches!(
             &v[0].kind,
-            ViolationKind::Width { measured: 700, required: 750, .. }
+            ViolationKind::Width {
+                measured: 700,
+                required: 750,
+                ..
+            }
         ));
     }
 
@@ -189,7 +211,7 @@ mod tests {
         for i in 0..100 {
             cif.push_str(&format!("C 1 T {} 0;\n", i * 3000));
         }
-        cif.push_str("E");
+        cif.push('E');
         let v = run(&cif);
         assert_eq!(v.len(), 1);
     }
@@ -211,7 +233,9 @@ mod tests {
     #[test]
     fn diagonal_wire_flagged() {
         let v = run("L NM; W 750 0 0 5000 5000; E");
-        assert!(v.iter().any(|x| matches!(x.kind, ViolationKind::NonManhattan)));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x.kind, ViolationKind::NonManhattan)));
     }
 
     #[test]

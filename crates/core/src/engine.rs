@@ -1,0 +1,610 @@
+//! The stage engine: the Fig. 10 pipeline as a trait-based stage set.
+//!
+//! Instead of hard-wiring the six checking stages as sequential function
+//! calls, the pipeline is a [`StageEngine`] holding boxed
+//! [`PipelineStage`]s. Every stage reads and writes one shared
+//! [`CheckContext`] — the layout, technology, options, and the artefacts
+//! earlier stages produced (binding, [`ChipView`], connection merges,
+//! net list) — and reports findings by **moving** them into the
+//! context's [`DiagnosticSink`], so no stage ever clones its violation
+//! vector. The engine times every stage generically and returns a
+//! [`StageTime`] profile, which [`crate::checker::check_with_engine`]
+//! folds into the classic [`StageTimings`] cost breakdown.
+//!
+//! Two stage sets ship with the crate:
+//!
+//! * [`StageEngine::diic_pipeline`] — the paper's six stages plus
+//!   instantiation and the composition (ERC / net-list consistency)
+//!   tail;
+//! * [`StageEngine::flat_baseline`] — the mask-level baseline checker as
+//!   a single alternative stage, so ablation harnesses drive both
+//!   checkers through one interface.
+//!
+//! Custom stages (lint passes, exporters, extra rule decks) implement
+//! [`PipelineStage`] and are added with [`StageEngine::register`]; they
+//! appear in the per-stage profile like the built-in ones.
+
+use crate::binding::{instantiate, ChipView, LayerBinding};
+use crate::checker::{CheckOptions, CheckReport, StageTimings};
+use crate::connect::{check_connections, ConnectionResult};
+use crate::element_checks::check_elements;
+use crate::flat::{flat_check, FlatOptions};
+use crate::interact::{check_interactions, InteractOptions, InteractStats};
+use crate::netgen::{generate_netlist, NetgenResult};
+use crate::primitive_checks::check_primitive_symbols;
+use crate::violations::{CheckStage, Violation, ViolationKind};
+use diic_cif::Layout;
+use diic_netlist::{check_erc, compare_by_structure, NetlistBuilder};
+use diic_tech::Technology;
+use std::time::{Duration, Instant};
+
+/// Where stages deposit violations, by move.
+///
+/// The sink is the single owner of every violation found during a run;
+/// stages hand over their vectors with [`DiagnosticSink::absorb`] (by
+/// value) or [`DiagnosticSink::append`] (draining a vector that lives
+/// inside a result struct), so diagnostics are never cloned on their way
+/// to the report.
+#[derive(Debug, Default)]
+pub struct DiagnosticSink {
+    violations: Vec<Violation>,
+}
+
+impl DiagnosticSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        DiagnosticSink::default()
+    }
+
+    /// Adds one violation.
+    pub fn push(&mut self, v: Violation) {
+        self.violations.push(v);
+    }
+
+    /// Moves a whole vector of violations into the sink.
+    pub fn absorb(&mut self, mut vs: Vec<Violation>) {
+        self.violations.append(&mut vs);
+    }
+
+    /// Drains `vs` into the sink, leaving it empty (for violation
+    /// vectors embedded in stage result structs).
+    pub fn append(&mut self, vs: &mut Vec<Violation>) {
+        self.violations.append(vs);
+    }
+
+    /// Number of violations collected so far.
+    pub fn len(&self) -> usize {
+        self.violations.len()
+    }
+
+    /// True if nothing has been reported.
+    pub fn is_empty(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Consumes the sink, yielding the collected violations in report
+    /// order (stage registration order, stable within each stage).
+    pub fn into_violations(self) -> Vec<Violation> {
+        self.violations
+    }
+}
+
+/// Shared state threaded through a pipeline run.
+///
+/// The context owns everything a stage may need: the borrowed inputs
+/// (`layout`, `tech`), the run `options`, the sink, and the artefacts
+/// produced by earlier stages (`binding`, `view`, `connections`,
+/// `nets`). Later stages use the panicking accessors ([`Self::view`],
+/// [`Self::nets`], …) which name the stage that must run first, so a
+/// mis-assembled custom engine fails loudly instead of silently
+/// reporting nothing.
+///
+/// **Violations live in the sink, not in the artefacts.** The built-in
+/// stages drain the `violations` vector of every result they store
+/// (that is the zero-copy contract), so a custom stage reading
+/// `ctx.view().violations` or `ctx.connections().violations` will find
+/// them empty — inspect [`CheckContext::sink`] instead.
+#[derive(Debug)]
+pub struct CheckContext<'a> {
+    /// The parsed layout under check.
+    pub layout: &'a Layout,
+    /// The technology (layers, rule matrix, device archetypes).
+    pub tech: &'a Technology,
+    /// Options for this run (borrowed — a run never mutates them).
+    pub options: &'a CheckOptions,
+    /// Violation sink shared by all stages. All violations found so
+    /// far — including those drained out of `view`, `connections` and
+    /// `nets` below — are here.
+    pub sink: DiagnosticSink,
+    /// Layer binding, set by the instantiate stage.
+    pub binding: Option<LayerBinding>,
+    /// Instantiated chip view, set by the instantiate stage (its
+    /// `violations` have been moved into the sink).
+    pub view: Option<ChipView>,
+    /// Connection-stage output (merges for net-list generation; its
+    /// `violations` have been moved into the sink).
+    pub connections: Option<ConnectionResult>,
+    /// Net-list generation output (its `violations` have been moved
+    /// into the sink).
+    pub nets: Option<NetgenResult>,
+    /// Interaction-stage statistics.
+    pub interact_stats: InteractStats,
+    /// Devices waived by the `9C` immunity flag.
+    pub waived_devices: Vec<String>,
+}
+
+impl<'a> CheckContext<'a> {
+    /// A fresh context with no stage artefacts yet.
+    pub fn new(layout: &'a Layout, tech: &'a Technology, options: &'a CheckOptions) -> Self {
+        CheckContext {
+            layout,
+            tech,
+            options,
+            sink: DiagnosticSink::new(),
+            binding: None,
+            view: None,
+            connections: None,
+            nets: None,
+            interact_stats: InteractStats::default(),
+            waived_devices: Vec::new(),
+        }
+    }
+
+    /// The layer binding (requires the instantiate stage).
+    pub fn binding(&self) -> &LayerBinding {
+        self.binding
+            .as_ref()
+            .expect("layer binding not available: run the instantiate stage first")
+    }
+
+    /// The instantiated chip view (requires the instantiate stage).
+    pub fn view(&self) -> &ChipView {
+        self.view
+            .as_ref()
+            .expect("chip view not available: run the instantiate stage first")
+    }
+
+    /// The connection results (requires the connections stage).
+    pub fn connections(&self) -> &ConnectionResult {
+        self.connections
+            .as_ref()
+            .expect("connection results not available: run the connections stage first")
+    }
+
+    /// The generated net list (requires the net-list stage).
+    pub fn nets(&self) -> &NetgenResult {
+        self.nets
+            .as_ref()
+            .expect("net list not available: run the net-list stage first")
+    }
+
+    /// Folds the finished context and a stage profile into a report.
+    pub fn into_report(self, profile: Vec<StageTime>) -> CheckReport {
+        let timings = StageTimings::from_profile(&profile);
+        let (element_count, device_count) = self
+            .view
+            .as_ref()
+            .map(|v| (v.elements.len(), v.devices.len()))
+            .unwrap_or((0, 0));
+        CheckReport {
+            violations: self.sink.into_violations(),
+            netlist: self
+                .nets
+                .map(|n| n.netlist)
+                .unwrap_or_else(|| NetlistBuilder::new().finish()),
+            interact_stats: self.interact_stats,
+            timings,
+            stage_profile: profile,
+            waived_devices: self.waived_devices,
+            element_count,
+            device_count,
+        }
+    }
+}
+
+/// One stage of a checking pipeline.
+pub trait PipelineStage {
+    /// Stable stage name, used for timing profiles and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// The report stage ([`CheckStage`]) this stage primarily feeds, if
+    /// any. Infrastructure stages (instantiation, exporters) return
+    /// `None`.
+    fn stage(&self) -> Option<CheckStage> {
+        None
+    }
+
+    /// Runs the stage against the shared context.
+    fn run(&self, ctx: &mut CheckContext<'_>);
+}
+
+/// Wall-clock record for one executed stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTime {
+    /// The stage's [`PipelineStage::name`].
+    pub name: String,
+    /// Time spent inside [`PipelineStage::run`].
+    pub duration: Duration,
+    /// Violations the stage pushed into the sink.
+    pub violations: usize,
+}
+
+/// An ordered, extensible set of pipeline stages.
+#[derive(Default)]
+pub struct StageEngine {
+    stages: Vec<Box<dyn PipelineStage>>,
+}
+
+impl StageEngine {
+    /// An empty engine; add stages with [`Self::register`].
+    pub fn new() -> Self {
+        StageEngine::default()
+    }
+
+    /// Appends a stage to the pipeline.
+    pub fn register(&mut self, stage: Box<dyn PipelineStage>) -> &mut Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// Builder-style [`Self::register`].
+    #[must_use]
+    pub fn with_stage(mut self, stage: Box<dyn PipelineStage>) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// Names of the registered stages, in execution order.
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    /// The paper's Fig. 10 pipeline: instantiate, elements, primitive
+    /// symbols, connections, net list, interactions, composition.
+    pub fn diic_pipeline() -> Self {
+        StageEngine::new()
+            .with_stage(Box::new(InstantiateStage))
+            .with_stage(Box::new(ElementsStage))
+            .with_stage(Box::new(PrimitivesStage))
+            .with_stage(Box::new(ConnectionsStage))
+            .with_stage(Box::new(NetgenStage))
+            .with_stage(Box::new(InteractionsStage))
+            .with_stage(Box::new(CompositionStage))
+    }
+
+    /// The flat mask-level baseline as an alternative stage set.
+    pub fn flat_baseline(options: FlatOptions) -> Self {
+        StageEngine::new().with_stage(Box::new(FlatBaselineStage { options }))
+    }
+
+    /// Runs every stage in order, timing each generically.
+    pub fn run(&self, ctx: &mut CheckContext<'_>) -> Vec<StageTime> {
+        self.stages
+            .iter()
+            .map(|stage| {
+                let before = ctx.sink.len();
+                let t0 = Instant::now();
+                stage.run(ctx);
+                StageTime {
+                    name: stage.name().to_string(),
+                    duration: t0.elapsed(),
+                    violations: ctx.sink.len() - before,
+                }
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for StageEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StageEngine")
+            .field("stages", &self.stage_names())
+            .finish()
+    }
+}
+
+/// Binds layers and instantiates the chip view (the pipeline's front
+/// end; not one of the paper's numbered checking stages).
+pub struct InstantiateStage;
+
+impl PipelineStage for InstantiateStage {
+    fn name(&self) -> &'static str {
+        "instantiate"
+    }
+
+    fn run(&self, ctx: &mut CheckContext<'_>) {
+        let (binding, bind_violations) = LayerBinding::bind(ctx.layout, ctx.tech);
+        ctx.sink.absorb(bind_violations);
+        let mut view = instantiate(ctx.layout, ctx.tech, &binding);
+        ctx.sink.append(&mut view.violations);
+        ctx.binding = Some(binding);
+        ctx.view = Some(view);
+    }
+}
+
+/// Stage 2 — "check elements": interconnect width per definition.
+pub struct ElementsStage;
+
+impl PipelineStage for ElementsStage {
+    fn name(&self) -> &'static str {
+        "elements"
+    }
+
+    fn stage(&self) -> Option<CheckStage> {
+        Some(CheckStage::Elements)
+    }
+
+    fn run(&self, ctx: &mut CheckContext<'_>) {
+        let vs = check_elements(ctx.layout, ctx.tech, ctx.binding());
+        ctx.sink.absorb(vs);
+    }
+}
+
+/// Stage 3 — "check primitive symbols": device-internal rules with the
+/// `9C` immunity waiver.
+pub struct PrimitivesStage;
+
+impl PipelineStage for PrimitivesStage {
+    fn name(&self) -> &'static str {
+        "primitives"
+    }
+
+    fn stage(&self) -> Option<CheckStage> {
+        Some(CheckStage::PrimitiveSymbols)
+    }
+
+    fn run(&self, ctx: &mut CheckContext<'_>) {
+        let prim = check_primitive_symbols(ctx.layout, ctx.tech, ctx.binding());
+        ctx.sink.absorb(prim.violations);
+        ctx.waived_devices = prim.waived;
+    }
+}
+
+/// Stage 4 — "check legal connections": skeletal connectivity and
+/// undeclared-device detection.
+pub struct ConnectionsStage;
+
+impl PipelineStage for ConnectionsStage {
+    fn name(&self) -> &'static str {
+        "connections"
+    }
+
+    fn stage(&self) -> Option<CheckStage> {
+        Some(CheckStage::Connections)
+    }
+
+    fn run(&self, ctx: &mut CheckContext<'_>) {
+        let mut conn = check_connections(ctx.view(), ctx.tech);
+        ctx.sink.append(&mut conn.violations);
+        ctx.connections = Some(conn);
+    }
+}
+
+/// Stage 5 — "generate hierarchical net list".
+pub struct NetgenStage;
+
+impl PipelineStage for NetgenStage {
+    fn name(&self) -> &'static str {
+        "netlist"
+    }
+
+    fn stage(&self) -> Option<CheckStage> {
+        Some(CheckStage::NetList)
+    }
+
+    fn run(&self, ctx: &mut CheckContext<'_>) {
+        let labels: Vec<_> = ctx
+            .layout
+            .labels()
+            .iter()
+            .map(|l| (l.clone(), ctx.binding().layer(l.layer)))
+            .collect();
+        let mut nets = generate_netlist(ctx.view(), ctx.tech, &ctx.connections().merges, &labels);
+        ctx.sink.append(&mut nets.violations);
+        ctx.nets = Some(nets);
+    }
+}
+
+/// Stage 6 — "check interactions": spacing via the rule matrix, searched
+/// serially or across a scoped thread pool
+/// ([`CheckOptions::parallelism`]).
+pub struct InteractionsStage;
+
+impl PipelineStage for InteractionsStage {
+    fn name(&self) -> &'static str {
+        "interactions"
+    }
+
+    fn stage(&self) -> Option<CheckStage> {
+        Some(CheckStage::Interactions)
+    }
+
+    fn run(&self, ctx: &mut CheckContext<'_>) {
+        let interact_options = InteractOptions {
+            same_net_suppression: ctx.options.same_net_suppression,
+            metric: ctx.options.metric,
+            hierarchical: ctx.options.hierarchical,
+            parallelism: ctx.options.parallelism,
+        };
+        let (ivs, stats) = check_interactions(
+            ctx.view(),
+            ctx.tech,
+            ctx.nets(),
+            ctx.layout,
+            &interact_options,
+        );
+        ctx.sink.absorb(ivs);
+        ctx.interact_stats = stats;
+    }
+}
+
+/// The composition tail: non-geometric construction rules (ERC) and the
+/// net-list consistency check.
+pub struct CompositionStage;
+
+impl PipelineStage for CompositionStage {
+    fn name(&self) -> &'static str {
+        "composition"
+    }
+
+    fn stage(&self) -> Option<CheckStage> {
+        Some(CheckStage::Composition)
+    }
+
+    fn run(&self, ctx: &mut CheckContext<'_>) {
+        if ctx.options.erc {
+            for e in check_erc(&ctx.nets().netlist, ctx.tech) {
+                let context = ctx.nets().netlist.net(e.net).name.clone();
+                ctx.sink.push(Violation {
+                    stage: CheckStage::Composition,
+                    kind: ViolationKind::Erc {
+                        rule: e.rule,
+                        detail: e.detail,
+                    },
+                    location: None,
+                    context,
+                });
+            }
+        }
+        if let Some(intended) = &ctx.options.intended_netlist {
+            let diff = compare_by_structure(&ctx.nets().netlist, intended, 12);
+            if !diff.matched {
+                for msg in diff.messages {
+                    ctx.sink.push(Violation {
+                        stage: CheckStage::NetList,
+                        kind: ViolationKind::NetlistMismatch { detail: msg },
+                        location: None,
+                        context: String::new(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The mask-level baseline checker packaged as a single engine stage.
+pub struct FlatBaselineStage {
+    /// Baseline knobs (metric, raster resolution, Fig. 7 rule).
+    pub options: FlatOptions,
+}
+
+impl PipelineStage for FlatBaselineStage {
+    fn name(&self) -> &'static str {
+        "flat-baseline"
+    }
+
+    fn run(&self, ctx: &mut CheckContext<'_>) {
+        let vs = flat_check(ctx.layout, ctx.tech, &self.options);
+        ctx.sink.absorb(vs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::check_with_engine;
+    use diic_cif::parse;
+    use diic_tech::nmos::nmos_technology;
+
+    #[test]
+    fn diic_pipeline_stage_order() {
+        let engine = StageEngine::diic_pipeline();
+        assert_eq!(
+            engine.stage_names(),
+            vec![
+                "instantiate",
+                "elements",
+                "primitives",
+                "connections",
+                "netlist",
+                "interactions",
+                "composition"
+            ]
+        );
+    }
+
+    #[test]
+    fn custom_stage_runs_and_is_profiled() {
+        struct TagStage;
+        impl PipelineStage for TagStage {
+            fn name(&self) -> &'static str {
+                "tag"
+            }
+            fn run(&self, ctx: &mut CheckContext<'_>) {
+                ctx.sink.push(Violation {
+                    stage: CheckStage::Composition,
+                    kind: ViolationKind::NonManhattan,
+                    location: None,
+                    context: "tag-stage".into(),
+                });
+            }
+        }
+        let mut engine = StageEngine::diic_pipeline();
+        engine.register(Box::new(TagStage));
+        let layout = parse("L NM; B 2000 750 1000 375; E").unwrap();
+        let tech = nmos_technology();
+        let report = check_with_engine(
+            &engine,
+            &layout,
+            &tech,
+            &CheckOptions {
+                erc: false,
+                ..CheckOptions::default()
+            },
+        );
+        let tag = report
+            .stage_profile
+            .iter()
+            .find(|s| s.name == "tag")
+            .expect("custom stage missing from profile");
+        assert_eq!(tag.violations, 1);
+        assert!(report.violations.iter().any(|v| v.context == "tag-stage"));
+    }
+
+    #[test]
+    fn flat_baseline_engine_matches_flat_check() {
+        let layout = parse("L NM; B 2000 700 1000 350; E").unwrap();
+        let tech = nmos_technology();
+        let direct = flat_check(&layout, &tech, &FlatOptions::default());
+        let report = check_with_engine(
+            &StageEngine::flat_baseline(FlatOptions::default()),
+            &layout,
+            &tech,
+            &CheckOptions::default(),
+        );
+        assert_eq!(report.violations, direct);
+        assert_eq!(report.element_count, 0, "flat baseline builds no view");
+    }
+
+    #[test]
+    fn sink_moves_violations() {
+        let mut sink = DiagnosticSink::new();
+        let mut owned = vec![Violation {
+            stage: CheckStage::Elements,
+            kind: ViolationKind::NonManhattan,
+            location: None,
+            context: String::new(),
+        }];
+        sink.append(&mut owned);
+        assert!(owned.is_empty());
+        assert_eq!(sink.len(), 1);
+        sink.absorb(Vec::new());
+        assert_eq!(sink.into_violations().len(), 1);
+    }
+
+    #[test]
+    fn missing_stage_panics_with_guidance() {
+        let layout = parse("E").unwrap();
+        let tech = nmos_technology();
+        let options = CheckOptions::default();
+        let ctx = CheckContext::new(&layout, &tech, &options);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.view()))
+            .expect_err("accessor must panic before instantiate");
+        let msg = err
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| err.downcast_ref::<&str>().copied())
+            .unwrap_or_default();
+        assert!(msg.contains("instantiate"), "unhelpful panic: {msg}");
+    }
+}

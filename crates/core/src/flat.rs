@@ -62,7 +62,10 @@ pub fn flat_check(layout: &Layout, tech: &Technology, options: &FlatOptions) -> 
         let Some(layer) = tech.layer_by_cif(layout.layer_name(e.layer)) else {
             continue; // unknown layers are the hierarchical front end's report
         };
-        rects_per_layer.entry(layer).or_default().extend(e.shape.rects());
+        rects_per_layer
+            .entry(layer)
+            .or_default()
+            .extend(e.shape.rects());
     }
     let layers: HashMap<LayerId, Region> = rects_per_layer
         .into_iter()
@@ -92,8 +95,7 @@ pub fn flat_check(layout: &Layout, tech: &Technology, options: &FlatOptions) -> 
                 }
             }
             SizingMode::Euclidean => {
-                for loc in
-                    euclidean_shrink_expand_compare(region, min_w, options.raster_resolution)
+                for loc in euclidean_shrink_expand_compare(region, min_w, options.raster_resolution)
                 {
                     violations.push(Violation {
                         stage: CheckStage::Elements,
@@ -115,13 +117,13 @@ pub fn flat_check(layout: &Layout, tech: &Technology, options: &FlatOptions) -> 
     for (a, b, rule) in tech.rules().entries() {
         let required = rule.diff_net;
         if a == b {
-            let Some(region) = layers.get(&a) else { continue };
+            let Some(region) = layers.get(&a) else {
+                continue;
+            };
             let comps = region.components();
             for i in 0..comps.len() {
                 for j in (i + 1)..comps.len() {
-                    for v in
-                        check_region_spacing(&comps[i], &comps[j], required, options.metric)
-                    {
+                    for v in check_region_spacing(&comps[i], &comps[j], required, options.metric) {
                         violations.push(spacing_violation(tech, a, b, &v));
                     }
                 }
@@ -215,7 +217,9 @@ mod tests {
     #[test]
     fn width_violation_found() {
         let v = run("L NM; B 2000 700 1000 350; E");
-        assert!(v.iter().any(|x| matches!(x.kind, ViolationKind::Width { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x.kind, ViolationKind::Width { .. })));
     }
 
     #[test]
@@ -267,12 +271,10 @@ mod tests {
     #[test]
     fn mask_level_contact_rule_flags_butting_contact() {
         // A (perfectly legal) butting contact: contact over poly∩diff.
-        let v = run(
-            "DS 1; 9D BUTTING_CONTACT;
+        let v = run("DS 1; 9D BUTTING_CONTACT;
              L NP; B 1000 1000 0 -250; L ND; B 1000 1000 0 250;
              L NC; B 500 500 0 0; L NM; B 1000 1000 0 0; DF;
-             C 1; E",
-        );
+             C 1; E");
         assert!(
             v.iter().any(
                 |x| matches!(&x.kind, ViolationKind::DeviceRule { rule, .. } if rule.contains("contact over"))

@@ -11,24 +11,30 @@
 //! overrides specialise the verdicts (Figs. 5b/6), and a transistor's
 //! un-netted parts are checked only against *unrelated* elements.
 //!
-//! Two search engines produce identical verdicts:
+//! The stage runs in two phases:
 //!
-//! * a **flat search** over one grid index of all instantiated elements;
-//! * a **hierarchical search** that caches geometric candidate pairs per
-//!   symbol (intra-instance) and per symbol-pair-with-relative-placement
-//!   (inter-instance) — Manhattan transforms preserve distances, so one
-//!   instance's geometry answers for all its repeats; only the per-instance
-//!   net subcases are re-evaluated. This is the "eliminate redundant
-//!   checks" front end of the paper.
+//! 1. **candidate enumeration** — either a flat search over one grid
+//!    index of all instantiated elements, or a hierarchical search that
+//!    caches geometric candidate pairs per symbol (intra-instance) and
+//!    per symbol-pair-with-relative-placement (inter-instance) —
+//!    Manhattan transforms preserve distances, so one instance's
+//!    geometry answers for all its repeats. Candidates are produced in
+//!    a canonical order (ascending element-id pairs within each work
+//!    unit, units in a fixed walk order).
+//! 2. **pair evaluation** — the rule-matrix subcases and distance
+//!    checks, embarrassingly parallel over the candidate list. With
+//!    [`InteractOptions::parallelism`] > 1 the list is split into
+//!    contiguous chunks evaluated on a scoped thread pool; chunk
+//!    results are re-joined in chunk order, so serial and parallel
+//!    runs yield **byte-identical** violation lists and statistics.
 
 use crate::binding::ChipView;
 use crate::netgen::NetgenResult;
 use crate::violations::{CheckStage, Violation, ViolationKind};
 use diic_cif::{Item, Layout, SymbolId};
 use diic_geom::{Coord, GridIndex, Rect, SizingMode, Transform};
-
-use diic_tech::Technology;
-use std::collections::HashMap;
+use diic_tech::{LayerId, Technology};
+use std::collections::{HashMap, HashSet};
 
 /// Options for the interaction stage (ablation knobs).
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +49,9 @@ pub struct InteractOptions {
     pub metric: SizingMode,
     /// Use the hierarchical candidate cache.
     pub hierarchical: bool,
+    /// Worker threads for candidate evaluation. `1` = serial, `0` = all
+    /// available cores. Any value produces identical reports.
+    pub parallelism: usize,
 }
 
 impl Default for InteractOptions {
@@ -51,6 +60,7 @@ impl Default for InteractOptions {
             same_net_suppression: true,
             metric: SizingMode::Euclidean,
             hierarchical: false,
+            parallelism: 1,
         }
     }
 }
@@ -79,29 +89,26 @@ pub struct InteractStats {
     pub cache_misses: u64,
 }
 
-/// Runs the interaction checks.
-pub fn check_interactions(
-    view: &ChipView,
-    tech: &Technology,
-    nets: &NetgenResult,
-    layout: &Layout,
-    options: &InteractOptions,
-) -> (Vec<Violation>, InteractStats) {
-    let mut stats = InteractStats::default();
-    let max_range = max_rule_range(tech);
-    let mut violations = Vec::new();
-    if options.hierarchical {
-        hierarchical_search(
-            view, tech, nets, layout, options, max_range, &mut violations, &mut stats,
-        );
-    } else {
-        flat_search(view, tech, nets, options, max_range, &mut violations, &mut stats);
+impl InteractStats {
+    /// Adds another stats record into this one (used to merge per-worker
+    /// counters; all counters are sums, so merging is order-independent).
+    pub fn absorb(&mut self, other: &InteractStats) {
+        self.candidate_pairs += other.candidate_pairs;
+        self.no_rule += other.no_rule;
+        self.same_net_suppressed += other.same_net_suppressed;
+        self.related_suppressed += other.related_suppressed;
+        self.override_waived += other.override_waived;
+        self.distance_checks += other.distance_checks;
+        self.violations += other.violations;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
     }
-    stats.violations = violations.len() as u64;
-    (violations, stats)
 }
 
-fn max_rule_range(tech: &Technology) -> Coord {
+/// The longest reach of any spacing rule or device override in the
+/// technology: the radius within which two elements can possibly
+/// interact. Interaction searches inflate query windows by this much.
+pub fn max_rule_range(tech: &Technology) -> Coord {
     let mut m = 1;
     for (_, _, rule) in tech.rules().entries() {
         m = m
@@ -117,48 +124,389 @@ fn max_rule_range(tech: &Technology) -> Coord {
     m
 }
 
-#[allow(clippy::too_many_arguments)]
-fn flat_search(
+/// Grid cell size for interaction-scale spatial indexes, derived from
+/// the technology's rule reach (a few times the largest rule, floored
+/// so degenerate rule decks still get usable cells) instead of a magic
+/// constant.
+pub fn interaction_cell_size(tech: &Technology) -> Coord {
+    (max_rule_range(tech) * 4).max(1000)
+}
+
+/// Runs the interaction checks.
+pub fn check_interactions(
     view: &ChipView,
     tech: &Technology,
     nets: &NetgenResult,
+    layout: &Layout,
     options: &InteractOptions,
-    max_range: Coord,
-    violations: &mut Vec<Violation>,
-    stats: &mut InteractStats,
-) {
-    let mut index: GridIndex<usize> = GridIndex::new((max_range * 4).max(1000));
-    for e in &view.elements {
-        index.insert(e.bbox, e.id);
-    }
-    let mut seen: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
-    for a in &view.elements {
-        let query = a
-            .bbox
-            .inflate(max_range)
-            .expect("inflating by positive range cannot fail");
-        for &j in index.query(&query) {
-            if j <= a.id || !seen.insert((a.id, j)) {
-                continue;
-            }
-            stats.candidate_pairs += 1;
-            evaluate_pair(view, tech, nets, options, a.id, j, violations, stats);
-        }
+) -> (Vec<Violation>, InteractStats) {
+    let mut stats = InteractStats::default();
+    let max_range = max_rule_range(tech);
+    let cell = interaction_cell_size(tech);
+    let workers = effective_parallelism(options.parallelism);
+
+    let pairs = if options.hierarchical {
+        hierarchical_candidates(view, layout, max_range, cell, &mut stats)
+    } else {
+        flat_candidates(view, max_range, cell, workers)
+    };
+    stats.candidate_pairs = pairs.len() as u64;
+
+    let cx = EvalCx {
+        view,
+        tech,
+        nets,
+        options,
+        forming: crate::connect::device_forming_pairs(tech),
+    };
+    let violations = evaluate_candidates(&cx, &pairs, workers, &mut stats);
+    stats.violations = violations.len() as u64;
+    (violations, stats)
+}
+
+fn effective_parallelism(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
     }
 }
 
-/// Decides and applies the rule for one element pair.
-#[allow(clippy::too_many_arguments)]
-fn evaluate_pair(
+// ---------------------------------------------------------------------
+// Phase 1: candidate enumeration.
+// ---------------------------------------------------------------------
+
+/// Flat candidate search: one shared grid index over every instantiated
+/// element, queried in parallel over contiguous element-id ranges. Each
+/// range worker emits ascending `(i, j)` pairs with `i < j`; ranges are
+/// concatenated in order, so the list is globally sorted and identical
+/// for any worker count.
+fn flat_candidates(
     view: &ChipView,
-    tech: &Technology,
-    nets: &NetgenResult,
-    options: &InteractOptions,
+    max_range: Coord,
+    cell: Coord,
+    workers: usize,
+) -> Vec<(usize, usize)> {
+    let mut index: GridIndex<usize> = GridIndex::new(cell);
+    for e in &view.elements {
+        index.insert(e.bbox, e.id);
+    }
+    let n = view.elements.len();
+    let collect = |range: std::ops::Range<usize>| -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for a in &view.elements[range] {
+            let query = a
+                .bbox
+                .inflate(max_range)
+                .expect("inflating by a positive range cannot fail");
+            // GridIndex::query returns ids in ascending insertion order
+            // (documented and tested there), so the pairs come out
+            // already sorted by (a.id, j).
+            let near = index
+                .query(&query)
+                .into_iter()
+                .copied()
+                .filter(|&j| j > a.id);
+            out.extend(near.map(|j| (a.id, j)));
+        }
+        out
+    };
+    if workers <= 1 || n < 2 {
+        return collect(0..n);
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out = Vec::new();
+    std::thread::scope(|s| {
+        let collect = &collect;
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|lo| s.spawn(move || collect(lo..(lo + chunk).min(n))))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("candidate worker panicked"));
+        }
+    });
+    out
+}
+
+/// A top-level scope: one top-level call (with all elements instantiated
+/// beneath it) or the loose top-level elements.
+struct Scope {
+    symbol: Option<SymbolId>,
+    transform: Transform,
+    element_ids: Vec<usize>,
+    bbox: Option<Rect>,
+}
+
+/// Hierarchical candidate search with the paper's redundancy
+/// elimination: geometric candidate pairs are cached per symbol
+/// (intra-instance) and per symbol pair with relative placement
+/// (inter-instance), so repeated instances are searched once. The
+/// output order is canonical: intra-scope pairs in scope walk order,
+/// then inter-scope pairs over the upper-triangular scope matrix.
+fn hierarchical_candidates(
+    view: &ChipView,
+    layout: &Layout,
+    max_range: Coord,
+    cell: Coord,
+    stats: &mut InteractStats,
+) -> Vec<(usize, usize)> {
+    // Group elements by top-level scope, in walk order (deterministic:
+    // walk order is identical for every instance of the same symbol).
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut loose: Vec<usize> = Vec::new();
+    let mut call_idx = 0usize;
+    let mut path_to_scope: HashMap<String, usize> = HashMap::new();
+    for item in layout.top_items() {
+        if let Item::Call(c) = item {
+            scopes.push(Scope {
+                symbol: Some(c.target),
+                transform: c.transform,
+                element_ids: Vec::new(),
+                bbox: None,
+            });
+            path_to_scope.insert(c.name.clone(), call_idx);
+            call_idx += 1;
+        }
+    }
+    for e in &view.elements {
+        let top = e.path.split('.').next().unwrap_or("");
+        if top.is_empty() {
+            loose.push(e.id);
+        } else if let Some(&s) = path_to_scope.get(top) {
+            scopes[s].element_ids.push(e.id);
+        } else {
+            loose.push(e.id);
+        }
+    }
+    scopes.push(Scope {
+        symbol: None,
+        transform: Transform::IDENTITY,
+        element_ids: loose,
+        bbox: None,
+    });
+    for s in &mut scopes {
+        let mut bb: Option<Rect> = None;
+        for &id in &s.element_ids {
+            let b = view.elements[id].bbox;
+            bb = Some(bb.map_or(b, |acc| acc.bounding_union(&b)));
+        }
+        s.bbox = bb;
+    }
+
+    // Candidate caches. Keys express "same geometry up to rigid motion".
+    let mut intra_cache: HashMap<SymbolId, Vec<(usize, usize)>> = HashMap::new();
+    let mut inter_cache: HashMap<(SymbolId, SymbolId, Transform), Vec<(usize, usize)>> =
+        HashMap::new();
+    let mut out: Vec<(usize, usize)> = Vec::new();
+
+    // Intra-scope candidates.
+    for scope in &scopes {
+        let push_pairs = |out: &mut Vec<(usize, usize)>, pairs: &[(usize, usize)]| {
+            out.extend(
+                pairs
+                    .iter()
+                    .map(|&(li, lj)| (scope.element_ids[li], scope.element_ids[lj])),
+            );
+        };
+        match scope.symbol {
+            Some(sym) => {
+                if let Some(cached) = intra_cache.get(&sym) {
+                    stats.cache_hits += 1;
+                    push_pairs(&mut out, cached);
+                } else {
+                    stats.cache_misses += 1;
+                    let pairs = local_candidates(view, &scope.element_ids, max_range, cell);
+                    push_pairs(&mut out, &pairs);
+                    intra_cache.insert(sym, pairs);
+                }
+            }
+            None => {
+                let pairs = local_candidates(view, &scope.element_ids, max_range, cell);
+                push_pairs(&mut out, &pairs);
+            }
+        }
+    }
+
+    // Inter-scope candidates: only scope pairs whose inflated bboxes touch.
+    for si in 0..scopes.len() {
+        for sj in (si + 1)..scopes.len() {
+            let (sa, sb) = (&scopes[si], &scopes[sj]);
+            let (Some(ba), Some(bb)) = (sa.bbox, sb.bbox) else {
+                continue;
+            };
+            let near = ba
+                .inflate(max_range)
+                .expect("inflate cannot fail")
+                .touches(&bb);
+            if !near {
+                continue;
+            }
+            let push_pairs = |out: &mut Vec<(usize, usize)>, pairs: &[(usize, usize)]| {
+                out.extend(
+                    pairs
+                        .iter()
+                        .map(|&(la, lb)| (sa.element_ids[la], sb.element_ids[lb])),
+                );
+            };
+            match (sa.symbol, sb.symbol) {
+                (Some(x), Some(y)) => {
+                    let rel = sa.transform.inverse().after(&sb.transform);
+                    let key = (x, y, rel);
+                    if let Some(p) = inter_cache.get(&key) {
+                        stats.cache_hits += 1;
+                        push_pairs(&mut out, p);
+                    } else {
+                        stats.cache_misses += 1;
+                        let p = cross_candidates(
+                            view,
+                            &sa.element_ids,
+                            &sb.element_ids,
+                            max_range,
+                            cell,
+                        );
+                        push_pairs(&mut out, &p);
+                        inter_cache.insert(key, p);
+                    }
+                }
+                _ => {
+                    let p =
+                        cross_candidates(view, &sa.element_ids, &sb.element_ids, max_range, cell);
+                    push_pairs(&mut out, &p);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Candidate close pairs within one element set (sorted local indices).
+fn local_candidates(
+    view: &ChipView,
+    ids: &[usize],
+    max_range: Coord,
+    cell: Coord,
+) -> Vec<(usize, usize)> {
+    let mut index: GridIndex<usize> = GridIndex::new(cell);
+    for (local, &id) in ids.iter().enumerate() {
+        index.insert(view.elements[id].bbox, local);
+    }
+    let mut out = Vec::new();
+    for (li, &id) in ids.iter().enumerate() {
+        let query = view.elements[id]
+            .bbox
+            .inflate(max_range)
+            .expect("inflate cannot fail");
+        // Ascending-query-order results keep `out` lexicographically
+        // sorted without an explicit sort.
+        for &lj in index.query(&query) {
+            if lj > li {
+                out.push((li, lj));
+            }
+        }
+    }
+    debug_assert!(out.is_sorted());
+    out
+}
+
+/// Candidate close pairs across two element sets (sorted local index
+/// pairs).
+fn cross_candidates(
+    view: &ChipView,
+    a: &[usize],
+    b: &[usize],
+    max_range: Coord,
+    cell: Coord,
+) -> Vec<(usize, usize)> {
+    let mut index: GridIndex<usize> = GridIndex::new(cell);
+    for (local, &id) in b.iter().enumerate() {
+        index.insert(view.elements[id].bbox, local);
+    }
+    let mut out = Vec::new();
+    for (la, &id) in a.iter().enumerate() {
+        let query = view.elements[id]
+            .bbox
+            .inflate(max_range)
+            .expect("inflate cannot fail");
+        // Ascending-query-order results keep `out` lexicographically
+        // sorted without an explicit sort.
+        for &lb in index.query(&query) {
+            out.push((la, lb));
+        }
+    }
+    debug_assert!(out.is_sorted());
+    out
+}
+
+// ---------------------------------------------------------------------
+// Phase 2: pair evaluation (serial or scoped-parallel).
+// ---------------------------------------------------------------------
+
+/// Read-only state shared by every evaluation worker.
+struct EvalCx<'a> {
+    view: &'a ChipView,
+    tech: &'a Technology,
+    nets: &'a NetgenResult,
+    options: &'a InteractOptions,
+    /// Device-forming layer pairs, precomputed once per run (touching
+    /// cross-layer pairs on these layers were already reported as
+    /// implied devices by the connection stage).
+    forming: HashSet<(LayerId, LayerId)>,
+}
+
+/// Evaluates the candidate list, splitting it into contiguous chunks
+/// across a scoped thread pool when `workers > 1`. Workers collect into
+/// private vectors and counters; results are merged in chunk order, so
+/// the outcome is byte-identical to a serial evaluation.
+fn evaluate_candidates(
+    cx: &EvalCx<'_>,
+    pairs: &[(usize, usize)],
+    workers: usize,
+    stats: &mut InteractStats,
+) -> Vec<Violation> {
+    if workers <= 1 || pairs.len() < 2 {
+        let mut out = Vec::new();
+        for &(i, j) in pairs {
+            evaluate_pair(cx, i, j, &mut out, stats);
+        }
+        return out;
+    }
+    let chunk = pairs.len().div_ceil(workers);
+    let mut merged = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .map(|slice| {
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    let mut local_stats = InteractStats::default();
+                    for &(i, j) in slice {
+                        evaluate_pair(cx, i, j, &mut local, &mut local_stats);
+                    }
+                    (local, local_stats)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (local, local_stats) = h.join().expect("interaction worker panicked");
+            merged.extend(local);
+            stats.absorb(&local_stats);
+        }
+    });
+    merged
+}
+
+/// Decides and applies the rule for one element pair.
+fn evaluate_pair(
+    cx: &EvalCx<'_>,
     i: usize,
     j: usize,
     violations: &mut Vec<Violation>,
     stats: &mut InteractStats,
 ) {
+    let (view, tech, nets) = (cx.view, cx.tech, cx.nets);
     let a = &view.elements[i];
     let b = &view.elements[j];
     if a.device.is_some() && a.device == b.device {
@@ -233,7 +581,7 @@ fn evaluate_pair(
         let req = match required {
             Some(r) => r,
             None => {
-                if same_net && options.same_net_suppression {
+                if same_net && cx.options.same_net_suppression {
                     match matrix.for_same_net() {
                         None => {
                             stats.same_net_suppressed += 1;
@@ -249,11 +597,14 @@ fn evaluate_pair(
         rule = Some((req, same_net));
     }
 
-    let Some((required, same_net)) = rule else { return };
+    let Some((required, same_net)) = rule else {
+        return;
+    };
 
     // Distance.
     stats.distance_checks += 1;
-    let Some((dist, gap_loc)) = element_distance(a.rects.as_slice(), b.rects.as_slice(), options.metric)
+    let Some((dist, gap_loc)) =
+        element_distance(a.rects.as_slice(), b.rects.as_slice(), cx.options.metric)
     else {
         return;
     };
@@ -266,13 +617,12 @@ fn evaluate_pair(
         if a.layer == b.layer {
             return;
         }
-        let forming = crate::connect::device_forming_pairs(tech);
         let key = if a.layer <= b.layer {
             (a.layer, b.layer)
         } else {
             (b.layer, a.layer)
         };
-        if forming.contains(&key) {
+        if cx.forming.contains(&key) {
             return;
         }
     }
@@ -303,7 +653,7 @@ fn element_distance(a: &[Rect], b: &[Rect], metric: SizingMode) -> Option<(Coord
                 SizingMode::Euclidean => diic_geom::width::isqrt(ra.dist_sq(rb)),
                 SizingMode::Orthogonal => ra.dist_linf(rb),
             };
-            if best.as_ref().map_or(true, |(bd, _)| d < *bd) {
+            if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
                 best = Some((d, ra.bounding_union(rb)));
             }
         }
@@ -317,202 +667,6 @@ fn pair_context(a: &crate::binding::ChipElement, b: &crate::binding::ChipElement
     } else {
         format!("{} / {}", a.path, b.path)
     }
-}
-
-// ---------------------------------------------------------------------
-// Hierarchical search with candidate caching.
-// ---------------------------------------------------------------------
-
-/// A top-level scope: one top-level call (with all elements instantiated
-/// beneath it) or the loose top-level elements.
-struct Scope {
-    symbol: Option<SymbolId>,
-    transform: Transform,
-    element_ids: Vec<usize>,
-    bbox: Option<Rect>,
-}
-
-#[allow(clippy::too_many_arguments)]
-fn hierarchical_search(
-    view: &ChipView,
-    tech: &Technology,
-    nets: &NetgenResult,
-    layout: &Layout,
-    options: &InteractOptions,
-    max_range: Coord,
-    violations: &mut Vec<Violation>,
-    stats: &mut InteractStats,
-) {
-    // Group elements by top-level scope, in walk order (deterministic:
-    // walk order is identical for every instance of the same symbol).
-    let mut scopes: Vec<Scope> = Vec::new();
-    let mut loose: Vec<usize> = Vec::new();
-    let mut call_idx = 0usize;
-    let mut path_to_scope: HashMap<String, usize> = HashMap::new();
-    for item in layout.top_items() {
-        if let Item::Call(c) = item {
-            scopes.push(Scope {
-                symbol: Some(c.target),
-                transform: c.transform,
-                element_ids: Vec::new(),
-                bbox: None,
-            });
-            path_to_scope.insert(c.name.clone(), call_idx);
-            call_idx += 1;
-        }
-    }
-    for e in &view.elements {
-        let top = e.path.split('.').next().unwrap_or("");
-        if top.is_empty() {
-            loose.push(e.id);
-        } else if let Some(&s) = path_to_scope.get(top) {
-            scopes[s].element_ids.push(e.id);
-        } else {
-            loose.push(e.id);
-        }
-    }
-    scopes.push(Scope {
-        symbol: None,
-        transform: Transform::IDENTITY,
-        element_ids: loose,
-        bbox: None,
-    });
-    for s in &mut scopes {
-        let mut bb: Option<Rect> = None;
-        for &id in &s.element_ids {
-            let b = view.elements[id].bbox;
-            bb = Some(bb.map_or(b, |acc| acc.bounding_union(&b)));
-        }
-        s.bbox = bb;
-    }
-
-    // Candidate caches. Keys express "same geometry up to rigid motion".
-    let mut intra_cache: HashMap<SymbolId, Vec<(usize, usize)>> = HashMap::new();
-    let mut inter_cache: HashMap<(SymbolId, SymbolId, Transform), Vec<(usize, usize)>> =
-        HashMap::new();
-
-    // Intra-scope candidates.
-    for scope in &scopes {
-        let pairs: Vec<(usize, usize)> = match scope.symbol {
-            Some(sym) => {
-                if let Some(cached) = intra_cache.get(&sym) {
-                    stats.cache_hits += 1;
-                    cached.clone()
-                } else {
-                    stats.cache_misses += 1;
-                    let pairs = local_candidates(view, &scope.element_ids, max_range);
-                    intra_cache.insert(sym, pairs.clone());
-                    pairs
-                }
-            }
-            None => local_candidates(view, &scope.element_ids, max_range),
-        };
-        for (li, lj) in pairs {
-            stats.candidate_pairs += 1;
-            evaluate_pair(
-                view,
-                tech,
-                nets,
-                options,
-                scope.element_ids[li],
-                scope.element_ids[lj],
-                violations,
-                stats,
-            );
-        }
-    }
-
-    // Inter-scope candidates: only scope pairs whose inflated bboxes touch.
-    for si in 0..scopes.len() {
-        for sj in (si + 1)..scopes.len() {
-            let (sa, sb) = (&scopes[si], &scopes[sj]);
-            let (Some(ba), Some(bb)) = (sa.bbox, sb.bbox) else { continue };
-            let near = ba
-                .inflate(max_range)
-                .expect("inflate cannot fail")
-                .touches(&bb);
-            if !near {
-                continue;
-            }
-            let cached_pairs: Option<Vec<(usize, usize)>> = match (sa.symbol, sb.symbol) {
-                (Some(x), Some(y)) => {
-                    let rel = sa.transform.inverse().after(&sb.transform);
-                    let key = (x, y, rel);
-                    if let Some(p) = inter_cache.get(&key) {
-                        stats.cache_hits += 1;
-                        Some(p.clone())
-                    } else {
-                        stats.cache_misses += 1;
-                        let p = cross_candidates(view, &sa.element_ids, &sb.element_ids, max_range);
-                        inter_cache.insert(key, p.clone());
-                        Some(p)
-                    }
-                }
-                _ => None,
-            };
-            let pairs = cached_pairs.unwrap_or_else(|| {
-                cross_candidates(view, &sa.element_ids, &sb.element_ids, max_range)
-            });
-            for (li, lj) in pairs {
-                stats.candidate_pairs += 1;
-                evaluate_pair(
-                    view,
-                    tech,
-                    nets,
-                    options,
-                    sa.element_ids[li],
-                    sb.element_ids[lj],
-                    violations,
-                    stats,
-                );
-            }
-        }
-    }
-}
-
-/// Candidate close pairs within one element set (local indices).
-fn local_candidates(view: &ChipView, ids: &[usize], max_range: Coord) -> Vec<(usize, usize)> {
-    let mut index: GridIndex<usize> = GridIndex::new((max_range * 4).max(1000));
-    for (local, &id) in ids.iter().enumerate() {
-        index.insert(view.elements[id].bbox, local);
-    }
-    let mut out = Vec::new();
-    for (li, &id) in ids.iter().enumerate() {
-        let query = view.elements[id]
-            .bbox
-            .inflate(max_range)
-            .expect("inflate cannot fail");
-        for &lj in index.query(&query) {
-            if lj > li {
-                out.push((li, lj));
-            }
-        }
-    }
-    out
-}
-
-/// Candidate close pairs across two element sets (local index pairs).
-fn cross_candidates(
-    view: &ChipView,
-    a: &[usize],
-    b: &[usize],
-    max_range: Coord,
-) -> Vec<(usize, usize)> {
-    let mut index: GridIndex<usize> = GridIndex::new((max_range * 4).max(1000));
-    for (local, &id) in b.iter().enumerate() {
-        index.insert(view.elements[id].bbox, local);
-    }
-    let mut out = Vec::new();
-    for (la, &id) in a.iter().enumerate() {
-        let query = view.elements[id]
-            .bbox
-            .inflate(max_range)
-            .expect("inflate cannot fail");
-        for &lb in index.query(&query) {
-            out.push((la, lb));
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -550,16 +704,18 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert!(matches!(
             &v[0].kind,
-            ViolationKind::Spacing { measured: 500, required: 750, .. }
+            ViolationKind::Spacing {
+                measured: 500,
+                required: 750,
+                ..
+            }
         ));
     }
 
     #[test]
     fn fig5a_same_net_not_checked() {
         // The same geometry with both wires declared on one net: suppressed.
-        let (v, stats) = run(
-            "L NM; 9N A; B 2000 750 1000 375; 9N A; B 2000 750 1000 1625; E",
-        );
+        let (v, stats) = run("L NM; 9N A; B 2000 750 1000 375; 9N A; B 2000 750 1000 1625; E");
         assert!(v.is_empty(), "{v:?}");
         assert!(stats.same_net_suppressed >= 1);
     }
@@ -574,8 +730,15 @@ mod tests {
             "L NM; 9N A; B 2000 750 1000 375; 9N A; B 2000 750 1000 1625; E",
             opts,
         );
-        assert_eq!(v.len(), 1, "without topology the same-net pair is a false error");
-        assert!(matches!(&v[0].kind, ViolationKind::Spacing { same_net: true, .. }));
+        assert_eq!(
+            v.len(),
+            1,
+            "without topology the same-net pair is a false error"
+        );
+        assert!(matches!(
+            &v[0].kind,
+            ViolationKind::Spacing { same_net: true, .. }
+        ));
     }
 
     #[test]
@@ -624,7 +787,8 @@ mod tests {
             E";
         let (v2, _) = run(cif_unrelated);
         assert!(
-            v2.iter().any(|x| matches!(&x.kind, ViolationKind::Spacing { .. })),
+            v2.iter()
+                .any(|x| matches!(&x.kind, ViolationKind::Spacing { .. })),
             "unrelated poly near transistor diff must be checked: {v2:?}"
         );
     }
@@ -633,13 +797,11 @@ mod tests {
     fn hierarchical_matches_flat_verdicts() {
         // An array with injected spacing violations must yield identical
         // violation multisets under both engines.
-        let mut cif = String::from(
-            "DS 1; L NM; B 2000 750 1000 375; B 2000 750 1000 1625; DF;\n",
-        );
+        let mut cif = String::from("DS 1; L NM; B 2000 750 1000 375; B 2000 750 1000 1625; DF;\n");
         for i in 0..6 {
             cif.push_str(&format!("C 1 T {} 0;\n", i * 4000));
         }
-        cif.push_str("E");
+        cif.push('E');
         let (flat, _) = run(&cif);
         let (hier, stats) = run_with(
             &cif,
@@ -661,7 +823,7 @@ mod tests {
         for i in 0..5 {
             cif.push_str(&format!("C 1 T {} 0;\n", i * 2500)); // 500 gap
         }
-        cif.push_str("E");
+        cif.push('E');
         let (flat, _) = run(&cif);
         let (hier, stats) = run_with(
             &cif,
@@ -674,5 +836,68 @@ mod tests {
         assert_eq!(hier.len(), 4);
         // 4 identical adjacent pairs: 1 miss + 3 hits.
         assert!(stats.cache_hits >= 3, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial_exactly() {
+        // A dense array with both intra- and inter-instance violations.
+        let mut cif = String::from("DS 1; L NM; B 2000 750 1000 375; B 2000 750 1000 1625; DF;\n");
+        for i in 0..8 {
+            cif.push_str(&format!("C 1 T {} 0;\n", i * 2500));
+        }
+        cif.push('E');
+        for hierarchical in [false, true] {
+            let serial = run_with(
+                &cif,
+                InteractOptions {
+                    hierarchical,
+                    ..Default::default()
+                },
+            );
+            for workers in [2usize, 3, 8, 0] {
+                let parallel = run_with(
+                    &cif,
+                    InteractOptions {
+                        hierarchical,
+                        parallelism: workers,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(
+                    serial.0, parallel.0,
+                    "hier={hierarchical} workers={workers}: violation lists diverge"
+                );
+                assert_eq!(
+                    serial.1, parallel.1,
+                    "hier={hierarchical} workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_absorb_sums_counters() {
+        let mut a = InteractStats {
+            candidate_pairs: 1,
+            distance_checks: 2,
+            ..Default::default()
+        };
+        let b = InteractStats {
+            candidate_pairs: 10,
+            same_net_suppressed: 3,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.candidate_pairs, 11);
+        assert_eq!(a.distance_checks, 2);
+        assert_eq!(a.same_net_suppressed, 3);
+    }
+
+    #[test]
+    fn cell_size_derived_from_rules() {
+        let tech = nmos_technology();
+        let reach = max_rule_range(&tech);
+        assert!(reach > 0);
+        assert_eq!(interaction_cell_size(&tech), (reach * 4).max(1000));
     }
 }

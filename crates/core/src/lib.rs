@@ -5,7 +5,40 @@
 //! checking bare mask geometry, eliminating most false and unchecked
 //! errors.
 //!
-//! The pipeline (paper Fig. 10):
+//! # Architecture: a trait-based stage engine
+//!
+//! The paper's Fig. 10 pipeline is implemented as a set of
+//! [`PipelineStage`]s executed by a [`StageEngine`] over one shared
+//! [`CheckContext`]:
+//!
+//! ```text
+//! StageEngine::diic_pipeline()
+//!   ├─ instantiate   bind layers, build the ChipView          (engine)
+//!   ├─ elements      interconnect width per definition        (element_checks)
+//!   ├─ primitives    device-internal rules, 9C immunity       (primitive_checks)
+//!   ├─ connections   skeletal connectivity, implied devices   (connect)
+//!   ├─ netlist       hierarchical net-list generation         (netgen)
+//!   ├─ interactions  rule-matrix spacing, serial or parallel  (interact)
+//!   └─ composition   ERC + net-list consistency               (engine)
+//! ```
+//!
+//! Every stage moves its findings into the context's
+//! [`DiagnosticSink`] (no violation vector is ever cloned), and the
+//! engine times stages generically — custom stages registered with
+//! [`StageEngine::register`] appear in
+//! [`CheckReport::stage_profile`] like the built-in ones. The flat
+//! mask-level baseline the paper measures itself against ships as an
+//! alternative stage set ([`StageEngine::flat_baseline`], module
+//! [`flat`]).
+//!
+//! The interaction stage is **embarrassingly parallel**: candidate
+//! pairs are enumerated in a canonical order (hierarchically cached per
+//! symbol and per relative placement, or from one flat grid index) and
+//! evaluated across a scoped thread pool when
+//! [`CheckOptions::parallelism`] asks for it. Serial and parallel runs
+//! produce byte-identical reports.
+//!
+//! The checking stages themselves (paper Fig. 10):
 //!
 //! 1. **Parse CIF** (in [`diic_cif`]) — extended with net identifiers
 //!    (`9N`), device types (`9D`), immunity flags (`9C`), terminals (`9T`)
@@ -25,8 +58,7 @@
 //!    with candidate caching ([`interact`]);
 //!
 //! plus the non-geometric construction rules and net-list consistency
-//! check, and the **flat mask-level baseline** ([`flat`]) the paper
-//! measures itself against.
+//! check.
 //!
 //! # Example
 //!
@@ -49,6 +81,7 @@ pub mod binding;
 pub mod checker;
 pub mod connect;
 pub mod element_checks;
+pub mod engine;
 pub mod flat;
 pub mod interact;
 pub mod netgen;
@@ -57,8 +90,9 @@ pub mod report;
 pub mod violations;
 
 pub use binding::{ChipElement, ChipView, DeviceInstance, LayerBinding};
-pub use checker::{check, check_cif, CheckOptions, CheckReport, StageTimings};
+pub use checker::{check, check_cif, check_with_engine, CheckOptions, CheckReport, StageTimings};
+pub use engine::{CheckContext, DiagnosticSink, PipelineStage, StageEngine, StageTime};
 pub use flat::{flat_check, FlatOptions};
-pub use interact::{InteractOptions, InteractStats};
+pub use interact::{interaction_cell_size, max_rule_range, InteractOptions, InteractStats};
 pub use report::{account, category_of, format_report, ErrorRegions, InjectedError};
 pub use violations::{CheckStage, Violation, ViolationKind};

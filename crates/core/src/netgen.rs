@@ -41,7 +41,7 @@ pub struct NetgenResult {
 /// * `9L` labels name the net of the element covering the labelled point.
 pub fn generate_netlist(
     view: &ChipView,
-    _tech: &Technology,
+    tech: &Technology,
     merges: &[(usize, usize)],
     labels: &[(NetLabel, Option<LayerId>)],
 ) -> NetgenResult {
@@ -66,7 +66,9 @@ pub fn generate_netlist(
 
     // Spatial index for terminal/label point binding: prefer interconnect
     // and joining-device elements (transistor internals don't carry nets).
-    let mut index: GridIndex<usize> = GridIndex::new(2000);
+    // Cells are sized from the technology's rule reach rather than a
+    // magic constant.
+    let mut index: GridIndex<usize> = GridIndex::new(crate::interact::interaction_cell_size(tech));
     for e in &view.elements {
         let bindable = match e.device {
             None => true,
@@ -199,9 +201,7 @@ mod tests {
 
     #[test]
     fn connected_wires_share_a_net() {
-        let (r, _) = extract(
-            "L NM; 9N A; B 2000 750 1000 375; 9N B; B 2000 750 2200 375; E",
-        );
+        let (r, _) = extract("L NM; 9N A; B 2000 750 1000 375; 9N B; B 2000 750 2200 375; E");
         let a = r.netlist.net_by_name("A").unwrap();
         let b = r.netlist.net_by_name("B").unwrap();
         assert_eq!(a, b);

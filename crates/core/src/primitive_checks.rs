@@ -104,7 +104,11 @@ pub fn check_primitive_symbols(
                         None
                     }
                 }
-                InternalRule::Enclosure { inner, outer, margin } => {
+                InternalRule::Enclosure {
+                    inner,
+                    outer,
+                    margin,
+                } => {
                     let inner_r = region_of(*inner);
                     if inner_r.is_empty() {
                         None // nothing to enclose; RequiresLayer handles absence
@@ -125,7 +129,12 @@ pub fn check_primitive_symbols(
                         }
                     }
                 }
-                InternalRule::OverlapEnclosure { a, b, outer, margin } => {
+                InternalRule::OverlapEnclosure {
+                    a,
+                    b,
+                    outer,
+                    margin,
+                } => {
                     let gate = region_of(*a).intersection(&region_of(*b));
                     if gate.is_empty() {
                         None
@@ -147,7 +156,12 @@ pub fn check_primitive_symbols(
                         }
                     }
                 }
-                InternalRule::GateExtension { layer, a, b, amount } => {
+                InternalRule::GateExtension {
+                    layer,
+                    a,
+                    b,
+                    amount,
+                } => {
                     let gate = region_of(*a).intersection(&region_of(*b));
                     if gate.is_empty() {
                         None
@@ -228,7 +242,9 @@ pub fn check_primitive_symbols(
 
         // Terminals must sit on device geometry of their layer.
         for term in &decl.terminals {
-            let Some(layer) = binding.layer(term.layer) else { continue };
+            let Some(layer) = binding.layer(term.layer) else {
+                continue;
+            };
             if !region_of(layer).contains_point(term.position) {
                 result.violations.push(Violation {
                     stage: CheckStage::PrimitiveSymbols,
@@ -252,7 +268,9 @@ pub fn check_primitive_symbols(
 fn layer_regions(sym: &Symbol, binding: &LayerBinding) -> HashMap<LayerId, Region> {
     let mut map: HashMap<LayerId, Vec<Rect>> = HashMap::new();
     for e in sym.elements() {
-        let Some(layer) = binding.layer(e.layer) else { continue };
+        let Some(layer) = binding.layer(e.layer) else {
+            continue;
+        };
         let rects = match &e.shape {
             Shape::Box(r) => vec![*r],
             Shape::Wire(w) => w.to_rects(),
@@ -266,7 +284,11 @@ fn layer_regions(sym: &Symbol, binding: &LayerBinding) -> HashMap<LayerId, Regio
 }
 
 fn translate_region(r: &Region, dx: i64, dy: i64) -> Region {
-    Region::from_rects(r.rects().iter().map(|rect| rect.translate(Vector::new(dx, dy))))
+    Region::from_rects(
+        r.rects()
+            .iter()
+            .map(|rect| rect.translate(Vector::new(dx, dy))),
+    )
 }
 
 #[cfg(test)]
@@ -300,42 +322,34 @@ mod tests {
     #[test]
     fn missing_gate_fails() {
         // Fig. 8 bottom: poly does not reach across the diffusion.
-        let r = run(
-            "DS 1; 9D NMOS_ENH;
+        let r = run("DS 1; 9D NMOS_ENH;
              L NP; B 500 500 -750 0;
              L ND; B 500 2500 250 0;
-             DF; C 1; E",
-        );
-        assert!(r
-            .violations
-            .iter()
-            .any(|v| matches!(&v.kind, ViolationKind::DeviceRule { rule, .. } if rule.contains("cross"))));
+             DF; C 1; E");
+        assert!(r.violations.iter().any(
+            |v| matches!(&v.kind, ViolationKind::DeviceRule { rule, .. } if rule.contains("cross"))
+        ));
     }
 
     #[test]
     fn short_gate_overhang_fails() {
         // Poly only extends 1λ beyond the gate.
-        let r = run(
-            "DS 1; 9D NMOS_ENH;
+        let r = run("DS 1; 9D NMOS_ENH;
              L NP; B 1000 500 250 0;
              L ND; B 500 2500 250 0;
-             DF; C 1; E",
-        );
-        assert!(r
-            .violations
-            .iter()
-            .any(|v| matches!(&v.kind, ViolationKind::DeviceRule { rule, .. } if rule.contains("extend"))));
+             DF; C 1; E");
+        assert!(r.violations.iter().any(
+            |v| matches!(&v.kind, ViolationKind::DeviceRule { rule, .. } if rule.contains("extend"))
+        ));
     }
 
     #[test]
     fn fig7_contact_over_gate_fails() {
-        let r = run(
-            "DS 1; 9D NMOS_ENH;
+        let r = run("DS 1; 9D NMOS_ENH;
              L NP; B 1500 500 250 0;
              L ND; B 500 2500 250 0;
              L NC; B 500 500 250 0;
-             DF; C 1; E",
-        );
+             DF; C 1; E");
         assert!(r
             .violations
             .iter()
@@ -346,26 +360,22 @@ mod tests {
     fn fig7_butting_contact_passes() {
         // The same poly∩diff overlap with a contact over it is legal in a
         // butting contact: its archetype has no NoLayerOverGate rule.
-        let r = run(
-            "DS 1; 9D BUTTING_CONTACT;
+        let r = run("DS 1; 9D BUTTING_CONTACT;
              L NP; B 1000 1000 0 -250;
              L ND; B 1000 1000 0 250;
              L NC; B 500 500 0 0;
              L NM; B 1000 1000 0 0;
-             DF; C 1; E",
-        );
+             DF; C 1; E");
         assert!(r.violations.is_empty(), "{:?}", r.violations);
     }
 
     #[test]
     fn immunity_flag_waives_rules() {
         // Same broken transistor as `missing_gate_fails`, marked 9C.
-        let r = run(
-            "DS 1; 9 odd; 9D NMOS_ENH; 9C;
+        let r = run("DS 1; 9 odd; 9D NMOS_ENH; 9C;
              L NP; B 500 500 -750 0;
              L ND; B 500 2500 250 0;
-             DF; C 1; E",
-        );
+             DF; C 1; E");
         assert!(r.violations.is_empty());
         assert_eq!(r.waived, vec!["odd"]);
         assert_eq!(r.checked, 0);
@@ -383,22 +393,18 @@ mod tests {
     #[test]
     fn contact_enclosure_rules() {
         // Good: 2λ cut, 1λ diff and metal margin all around.
-        let good = run(
-            "DS 1; 9D CONTACT_D;
+        let good = run("DS 1; 9D CONTACT_D;
              L NC; B 500 500 0 0;
              L ND; B 1000 1000 0 0;
              L NM; B 1000 1000 0 0;
-             DF; C 1; E",
-        );
+             DF; C 1; E");
         assert!(good.violations.is_empty(), "{:?}", good.violations);
         // Bad: metal flush with the cut on one side.
-        let bad = run(
-            "DS 1; 9D CONTACT_D;
+        let bad = run("DS 1; 9D CONTACT_D;
              L NC; B 500 500 0 0;
              L ND; B 1000 1000 0 0;
              L NM; B 750 1000 -125 0;
-             DF; C 1; E",
-        );
+             DF; C 1; E");
         assert!(bad
             .violations
             .iter()
@@ -408,34 +414,28 @@ mod tests {
     #[test]
     fn depletion_implant_overlap_of_overlap() {
         // Depletion transistor with implant exactly 1.5λ around the gate.
-        let good = run(
-            "DS 1; 9D NMOS_DEP;
+        let good = run("DS 1; 9D NMOS_DEP;
              L NP; B 1500 500 250 0;
              L ND; B 500 2500 250 0;
              L NI; B 1250 1250 250 0;
-             DF; C 1; E",
-        );
+             DF; C 1; E");
         assert!(good.violations.is_empty(), "{:?}", good.violations);
         // Implant too small.
-        let bad = run(
-            "DS 1; 9D NMOS_DEP;
+        let bad = run("DS 1; 9D NMOS_DEP;
              L NP; B 1500 500 250 0;
              L ND; B 500 2500 250 0;
              L NI; B 1000 1000 250 0;
-             DF; C 1; E",
-        );
+             DF; C 1; E");
         assert!(!bad.violations.is_empty());
     }
 
     #[test]
     fn terminal_outside_geometry_flagged() {
-        let r = run(
-            "DS 1; 9D CONTACT_D; 9T A NM 5000 5000;
+        let r = run("DS 1; 9D CONTACT_D; 9T A NM 5000 5000;
              L NC; B 500 500 0 0;
              L ND; B 1000 1000 0 0;
              L NM; B 1000 1000 0 0;
-             DF; C 1; E",
-        );
+             DF; C 1; E");
         assert!(r
             .violations
             .iter()
@@ -444,12 +444,10 @@ mod tests {
 
     #[test]
     fn device_with_calls_flagged() {
-        let r = run(
-            "DS 2; L NM; B 1000 1000 0 0; DF;
+        let r = run("DS 2; L NM; B 1000 1000 0 0; DF;
              DS 1; 9D CONTACT_D; C 2;
              L NC; B 500 500 0 0; L ND; B 1000 1000 0 0; L NM; B 1000 1000 0 0;
-             DF; C 1; E",
-        );
+             DF; C 1; E");
         assert!(r
             .violations
             .iter()

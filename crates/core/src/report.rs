@@ -79,7 +79,9 @@ pub fn category_of(v: &Violation) -> &'static str {
         // The contact-over-gate class gets its own category: both the DIIC
         // archetype rule and the flat checker's mask-level rule detect it,
         // and it must not satisfy ground truth for other device rules.
-        DeviceRule { rule, .. } if rule.contains("active gate") || rule.contains("contact over") => {
+        DeviceRule { rule, .. }
+            if rule.contains("active gate") || rule.contains("contact over") =>
+        {
             "contact-over-gate"
         }
         DeviceRule { .. } => "device-rule",

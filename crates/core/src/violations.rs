@@ -122,18 +122,37 @@ pub enum ViolationKind {
 impl std::fmt::Display for ViolationKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ViolationKind::Width { layer, measured, required } => {
+            ViolationKind::Width {
+                layer,
+                measured,
+                required,
+            } => {
                 write!(f, "width {measured} < {required} on {layer}")
             }
-            ViolationKind::Spacing { layer_a, layer_b, measured, required, same_net } => {
+            ViolationKind::Spacing {
+                layer_a,
+                layer_b,
+                measured,
+                required,
+                same_net,
+            } => {
                 let net = if *same_net { " (same net)" } else { "" };
-                write!(f, "spacing {measured} < {required} between {layer_a} and {layer_b}{net}")
+                write!(
+                    f,
+                    "spacing {measured} < {required} between {layer_a} and {layer_b}{net}"
+                )
             }
             ViolationKind::IllegalConnection { layer } => {
-                write!(f, "elements touch on {layer} but are not skeletally connected")
+                write!(
+                    f,
+                    "elements touch on {layer} but are not skeletally connected"
+                )
             }
             ViolationKind::ImpliedDevice { layer_a, layer_b } => {
-                write!(f, "undeclared device: {layer_a} crosses {layer_b} outside a device symbol")
+                write!(
+                    f,
+                    "undeclared device: {layer_a} crosses {layer_b} outside a device symbol"
+                )
             }
             ViolationKind::DeviceOnlyLayer { layer } => {
                 write!(f, "{layer} geometry outside any device symbol")

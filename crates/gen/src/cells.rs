@@ -109,7 +109,8 @@ pub fn bc(out: &mut String) {
 
 /// Emits the diffusion-resistor symbol (Fig. 5b device).
 pub fn res(out: &mut String) {
-    let _ = writeln!(
+    let _ =
+        writeln!(
         out,
         "DS {} 1 1;\n9 res;\n9D RESISTOR_D;\n9T A ND 0 {};\n9T B ND 0 {};\nL ND; B {} {} 0 0;\nDF;",
         ids::RES,
@@ -158,17 +159,55 @@ pub fn tenh_contact(out: &mut String) {
 /// input wire.
 fn inverter_body(out: &mut String, vdd_wire_up: bool) {
     // Rails.
-    let _ = writeln!(out, "L NM; 9N GND; B {} {} {} {};", l(23), l(3), lh(19), lh(3));
-    let _ = writeln!(out, "L NM; 9N VDD; B {} {} {} {};", l(23), l(3), lh(19), lh(77));
+    let _ = writeln!(
+        out,
+        "L NM; 9N GND; B {} {} {} {};",
+        l(23),
+        l(3),
+        lh(19),
+        lh(3)
+    );
+    let _ = writeln!(
+        out,
+        "L NM; 9N VDD; B {} {} {} {};",
+        l(23),
+        l(3),
+        lh(19),
+        lh(77)
+    );
     // GND contact (cd) and its strap to the rail.
     let _ = writeln!(out, "C {} T {} {};", ids::CD, l(4), lh(11)); // centre (4, 5.5)λ
-    let _ = writeln!(out, "L NM; 9N GND; W {} {} {} {} {};", l(3), l(4), lh(3), l(4), lh(11));
+    let _ = writeln!(
+        out,
+        "L NM; 9N GND; W {} {} {} {} {};",
+        l(3),
+        l(4),
+        lh(3),
+        l(4),
+        lh(11)
+    );
     // Pull-down enhancement transistor at (4λ, 11λ).
     let _ = writeln!(out, "C {} T {} {};", ids::TENH, l(4), l(11));
     // Input poly wire to the gate terminal (G at cell (2.5λ, 11λ)).
-    let _ = writeln!(out, "L NP; 9N in; W {} {} {} {} {};", l(2), -l(1), l(11), lh(5), l(11));
+    let _ = writeln!(
+        out,
+        "L NP; 9N in; W {} {} {} {} {};",
+        l(2),
+        -l(1),
+        l(11),
+        lh(5),
+        l(11)
+    );
     // Output diffusion wire joining enh D (5,15) and dep S (5,17).
-    let _ = writeln!(out, "L ND; 9N out; W {} {} {} {} {};", l(2), l(5), l(14), l(5), l(18));
+    let _ = writeln!(
+        out,
+        "L ND; 9N out; W {} {} {} {} {};",
+        l(2),
+        l(5),
+        l(14),
+        l(5),
+        l(18)
+    );
     // Pull-up depletion transistor at (4λ, 21λ).
     let _ = writeln!(out, "C {} T {} {};", ids::TDEP, l(4), l(21));
     // Gate tie: one poly wire from G (2.5,21) straight down into the poly
@@ -176,29 +215,85 @@ fn inverter_body(out: &mut String, vdd_wire_up: bool) {
     // the output diffusion — legal for DIIC (same net / related device,
     // Figs. 5a & 12) but a guaranteed false error for a topology-blind
     // mask-level checker.
-    let _ = writeln!(out, "L NP; 9N out; W {} {} {} {} {};", l(2), lh(5), l(21), lh(5), l(17));
+    let _ = writeln!(
+        out,
+        "L NP; 9N out; W {} {} {} {} {};",
+        l(2),
+        lh(5),
+        l(21),
+        lh(5),
+        l(17)
+    );
     // Poly contact joining the tie to the output metal, at (1λ, 16λ).
     let _ = writeln!(out, "C {} T {} {};", ids::CP, l(1), l(16));
     // Output metal wire.
-    let _ = writeln!(out, "L NM; 9N out; W {} {} {} {} {};", l(3), l(1), l(16), l(13), l(16));
+    let _ = writeln!(
+        out,
+        "L NM; 9N out; W {} {} {} {} {};",
+        l(3),
+        l(1),
+        l(16),
+        l(13),
+        l(16)
+    );
     // Poly contact back to poly for the cell output, at (13λ, 16λ).
     let _ = writeln!(out, "C {} T {} {};", ids::CP, l(13), l(16));
     // Output poly: down to y=11 and right past the cell edge to overlap
     // the next cell's input wire.
-    let _ = writeln!(out, "L NP; 9N out; W {} {} {} {} {};", l(2), l(13), l(16), l(13), l(11));
-    let _ = writeln!(out, "L NP; 9N out; W {} {} {} {} {};", l(2), l(13), l(11), l(22), l(11));
+    let _ = writeln!(
+        out,
+        "L NP; 9N out; W {} {} {} {} {};",
+        l(2),
+        l(13),
+        l(16),
+        l(13),
+        l(11)
+    );
+    let _ = writeln!(
+        out,
+        "L NP; 9N out; W {} {} {} {} {};",
+        l(2),
+        l(13),
+        l(11),
+        l(22),
+        l(11)
+    );
     // VDD contact (cd) above the pull-up, at (5λ, 28λ).
     let _ = writeln!(out, "C {} T {} {};", ids::CD, l(5), l(28));
     // Diffusion strap from dep D (5,25) into the VDD contact.
-    let _ = writeln!(out, "L ND; 9N VDD; W {} {} {} {} {};", l(2), l(5), l(24), l(5), l(27));
+    let _ = writeln!(
+        out,
+        "L ND; 9N VDD; W {} {} {} {} {};",
+        l(2),
+        l(5),
+        l(24),
+        l(5),
+        l(27)
+    );
     if vdd_wire_up {
         // Metal strap from the VDD contact up to the VDD rail.
-        let _ = writeln!(out, "L NM; 9N VDD; W {} {} {} {} {};", l(3), l(5), l(28), l(5), lh(77));
+        let _ = writeln!(
+            out,
+            "L NM; 9N VDD; W {} {} {} {} {};",
+            l(3),
+            l(5),
+            l(28),
+            l(5),
+            lh(77)
+        );
     } else {
         // ERC-broken variant: the strap runs DOWN to the ground rail,
         // putting the depletion pull-up on GND (rule 4 + leaves VDD rail
         // only powering the contact).
-        let _ = writeln!(out, "L NM; W {} {} {} {} {};", l(3), l(4), l(27), l(4), lh(3));
+        let _ = writeln!(
+            out,
+            "L NM; W {} {} {} {} {};",
+            l(3),
+            l(4),
+            l(27),
+            l(4),
+            lh(3)
+        );
     }
 }
 

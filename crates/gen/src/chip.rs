@@ -87,12 +87,8 @@ pub fn generate(spec: &ChipSpec) -> GeneratedChip {
     // Assign each error a distinct cell.
     let mut cell_order: Vec<usize> = (0..total_cells).collect();
     cell_order.shuffle(&mut rng);
-    let assignments: Vec<(ErrorKind, usize)> = spec
-        .errors
-        .iter()
-        .copied()
-        .zip(cell_order.into_iter())
-        .collect();
+    let assignments: Vec<(ErrorKind, usize)> =
+        spec.errors.iter().copied().zip(cell_order).collect();
 
     let mut cif = String::new();
     let mut ground_truth = Vec::new();
@@ -160,14 +156,54 @@ pub fn generate(spec: &ChipSpec) -> GeneratedChip {
         // Butting contact with its three wires.
         let (bx, by) = (l(8), -l(12));
         let _ = writeln!(cif, "C {} T {} {};", ids::BC, bx, by);
-        let _ = writeln!(cif, "L NP; 9N IO_BC; W {} {} {} {} {};", l(2), bx, by - l(2), bx, by - l(8));
-        let _ = writeln!(cif, "L ND; 9N IO_BC; W {} {} {} {} {};", l(2), bx, by + l(2), bx, by + l(8));
-        let _ = writeln!(cif, "L NM; 9N IO_BC; W {} {} {} {} {};", l(3), bx, by, bx + l(8), by);
+        let _ = writeln!(
+            cif,
+            "L NP; 9N IO_BC; W {} {} {} {} {};",
+            l(2),
+            bx,
+            by - l(2),
+            bx,
+            by - l(8)
+        );
+        let _ = writeln!(
+            cif,
+            "L ND; 9N IO_BC; W {} {} {} {} {};",
+            l(2),
+            bx,
+            by + l(2),
+            bx,
+            by + l(8)
+        );
+        let _ = writeln!(
+            cif,
+            "L NM; 9N IO_BC; W {} {} {} {} {};",
+            l(3),
+            bx,
+            by,
+            bx + l(8),
+            by
+        );
         // Resistor with end wires.
         let (rx, ry) = (l(32), -l(12));
         let _ = writeln!(cif, "C {} T {} {};", ids::RES, rx, ry);
-        let _ = writeln!(cif, "L ND; 9N IO_RA; W {} {} {} {} {};", l(2), rx, ry - l(3), rx, ry - l(8));
-        let _ = writeln!(cif, "L ND; 9N IO_RB; W {} {} {} {} {};", l(2), rx, ry + l(3), rx, ry + l(8));
+        let _ = writeln!(
+            cif,
+            "L ND; 9N IO_RA; W {} {} {} {} {};",
+            l(2),
+            rx,
+            ry - l(3),
+            rx,
+            ry - l(8)
+        );
+        let _ = writeln!(
+            cif,
+            "L ND; 9N IO_RB; W {} {} {} {} {};",
+            l(2),
+            rx,
+            ry + l(3),
+            rx,
+            ry + l(8)
+        );
     }
 
     // Stub-based injections.
@@ -223,14 +259,7 @@ pub fn generate(spec: &ChipSpec) -> GeneratedChip {
             }
             ErrorKind::PowerGroundShort => {
                 let (cx, _) = at(2500, 0);
-                let _ = writeln!(
-                    cif,
-                    "L NM; W 750 {} {} {} {};",
-                    cx,
-                    oy + 375,
-                    cx,
-                    oy + 9625
-                );
+                let _ = writeln!(cif, "L NM; W 750 {} {} {} {};", cx, oy + 375, cx, oy + 9625);
                 ground_truth.push(GroundTruthEntry {
                     kind: *kind,
                     location: Rect::new(0, 0, 0, 0),
@@ -376,7 +405,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "one cell per injected error")]
     fn too_many_errors_panics() {
-        generate(&ChipSpec::with_errors(1, 1, vec![ErrorKind::NarrowWire; 2], 1));
+        generate(&ChipSpec::with_errors(
+            1,
+            1,
+            vec![ErrorKind::NarrowWire; 2],
+            1,
+        ));
     }
 
     #[test]

@@ -60,9 +60,9 @@ impl ErrorKind {
             ErrorKind::CloseSpacing => "spacing",
             ErrorKind::AccidentalTransistor => "implied-device",
             ErrorKind::ButtedBoxes => "connection",
-            ErrorKind::PowerGroundShort
-            | ErrorKind::DepletionToGround
-            | ErrorKind::BusToRail => "erc",
+            ErrorKind::PowerGroundShort | ErrorKind::DepletionToGround | ErrorKind::BusToRail => {
+                "erc"
+            }
             ErrorKind::BadGateOverhang => "device-rule",
             ErrorKind::ContactOverGate => "contact-over-gate",
         }

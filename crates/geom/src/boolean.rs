@@ -61,8 +61,20 @@ pub fn boolean_op(a: &[Rect], b: &[Rect], op: BoolOp) -> Vec<Rect> {
             if r.is_degenerate() {
                 continue;
             }
-            events.push(Event { x: r.x1, y1: r.y1, y2: r.y2, delta: 1, set });
-            events.push(Event { x: r.x2, y1: r.y1, y2: r.y2, delta: -1, set });
+            events.push(Event {
+                x: r.x1,
+                y1: r.y1,
+                y2: r.y2,
+                delta: 1,
+                set,
+            });
+            events.push(Event {
+                x: r.x2,
+                y1: r.y1,
+                y2: r.y2,
+                delta: -1,
+                set,
+            });
         }
     }
     if events.is_empty() {
@@ -199,7 +211,11 @@ mod tests {
 
     #[test]
     fn self_overlapping_input_normalised() {
-        let a = [Rect::new(0, 0, 10, 10), Rect::new(0, 0, 10, 10), Rect::new(5, 0, 15, 10)];
+        let a = [
+            Rect::new(0, 0, 10, 10),
+            Rect::new(0, 0, 10, 10),
+            Rect::new(5, 0, 15, 10),
+        ];
         let u = boolean_op(&a, &[], BoolOp::Union);
         assert_eq!(u, vec![Rect::new(0, 0, 15, 10)]);
     }

@@ -4,6 +4,11 @@
 //! element, the nearby elements it could interact with. A uniform grid over
 //! bucketed bounding boxes is simple, fast for layout data (bounded local
 //! density), and needs no balancing.
+//!
+//! Queries take `&self` and allocate only per-result scratch, so a
+//! populated index can be **shared across threads** (`GridIndex<T>` is
+//! `Sync` whenever `T` is) — the parallel interaction search builds the
+//! index once and fans queries out over a scoped thread pool.
 
 use crate::{Coord, Rect};
 use std::collections::HashMap;
@@ -38,6 +43,11 @@ impl<T> GridIndex<T> {
         }
     }
 
+    /// The configured cell size.
+    pub fn cell_size(&self) -> Coord {
+        self.cell
+    }
+
     /// Number of indexed items.
     pub fn len(&self) -> usize {
         self.items.len()
@@ -58,40 +68,41 @@ impl<T> GridIndex<T> {
     }
 
     /// Returns payload references for all items whose rectangle **touches**
-    /// the query rectangle (closed-sense). Each item is returned once.
+    /// the query rectangle (closed-sense). Each item is returned once, in
+    /// insertion order.
     pub fn query(&self, query: &Rect) -> Vec<&T> {
-        let mut seen = vec![false; self.items.len()];
-        let mut out = Vec::new();
-        for key in self.cover_keys(query) {
-            if let Some(ids) = self.cells.get(&key) {
-                for &id in ids {
-                    let idx = id as usize;
-                    if !seen[idx] && self.items[idx].0.touches(query) {
-                        seen[idx] = true;
-                        out.push(&self.items[idx].1);
-                    }
-                }
-            }
-        }
-        out
+        self.matching_ids(query)
+            .into_iter()
+            .map(|id| &self.items[id as usize].1)
+            .collect()
     }
 
     /// Like [`GridIndex::query`] but returns `(rect, payload)` pairs.
     pub fn query_pairs(&self, query: &Rect) -> Vec<(&Rect, &T)> {
-        let mut seen = vec![false; self.items.len()];
-        let mut out = Vec::new();
+        self.matching_ids(query)
+            .into_iter()
+            .map(|id| {
+                let (rect, value) = &self.items[id as usize];
+                (rect, value)
+            })
+            .collect()
+    }
+
+    /// Item ids (ascending, deduplicated) whose rectangles touch the
+    /// query. Work is proportional to the covered cells' occupancy, not
+    /// to the total item count, so hot query loops stay cheap on large
+    /// indexes.
+    fn matching_ids(&self, query: &Rect) -> Vec<u32> {
+        let mut ids: Vec<u32> = Vec::new();
         for key in self.cover_keys(query) {
-            if let Some(ids) = self.cells.get(&key) {
-                for &id in ids {
-                    let idx = id as usize;
-                    if !seen[idx] && self.items[idx].0.touches(query) {
-                        seen[idx] = true;
-                        out.push((&self.items[idx].0, &self.items[idx].1));
-                    }
-                }
+            if let Some(cell) = self.cells.get(&key) {
+                ids.extend_from_slice(cell);
             }
         }
-        out
+        ids.sort_unstable();
+        ids.dedup();
+        ids.retain(|&id| self.items[id as usize].0.touches(query));
+        ids
     }
 
     /// Iterates over all `(rect, payload)` items in insertion order.
@@ -184,5 +195,40 @@ mod tests {
         idx.insert(Rect::new(20, 20, 25, 25), 'y');
         assert_eq!(idx.len(), 2);
         assert_eq!(idx.iter().count(), 2);
+        assert_eq!(idx.cell_size(), 10);
+    }
+
+    #[test]
+    fn results_in_insertion_order() {
+        let mut idx = GridIndex::new(10);
+        // Inserted out of spatial order; both span several cells.
+        idx.insert(Rect::new(50, 0, 120, 15), 2u32);
+        idx.insert(Rect::new(0, 0, 100, 15), 1);
+        assert_eq!(idx.query(&Rect::new(0, 0, 200, 200)), vec![&2, &1]);
+    }
+
+    #[test]
+    fn shared_queries_across_threads() {
+        // The parallel interaction search relies on `&GridIndex` being
+        // usable from scoped worker threads.
+        let mut idx = GridIndex::new(50);
+        for i in 0..100i64 {
+            idx.insert(Rect::new(i * 60, 0, i * 60 + 40, 40), i);
+        }
+        let idx = &idx;
+        let counts: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|w| {
+                    s.spawn(move || {
+                        (0..100)
+                            .filter(|i| i % 4 == w)
+                            .map(|i| idx.query(&Rect::new(i * 60, 0, i * 60 + 40, 40)).len())
+                            .sum()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(counts.iter().sum::<usize>(), 100);
     }
 }

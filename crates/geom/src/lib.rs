@@ -94,7 +94,10 @@ impl std::fmt::Display for GeomError {
             }
             GeomError::DegeneratePolygon => write!(f, "polygon has zero area"),
             GeomError::NotRectilinear => {
-                write!(f, "polygon is not rectilinear (axis-parallel edges required)")
+                write!(
+                    f,
+                    "polygon is not rectilinear (axis-parallel edges required)"
+                )
             }
             GeomError::InvalidWire => write!(f, "wire needs at least one point and positive width"),
             GeomError::NegativeSize(d) => write!(f, "sizing amount {d} is negative"),

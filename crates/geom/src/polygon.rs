@@ -327,9 +327,16 @@ mod tests {
 
     #[test]
     fn duplicate_vertices_removed() {
-        let poly =
-            Polygon::new(vec![p(0, 0), p(0, 0), p(10, 0), p(10, 10), p(10, 10), p(0, 10), p(0, 0)])
-                .unwrap();
+        let poly = Polygon::new(vec![
+            p(0, 0),
+            p(0, 0),
+            p(10, 0),
+            p(10, 10),
+            p(10, 10),
+            p(0, 10),
+            p(0, 0),
+        ])
+        .unwrap();
         assert_eq!(poly.len(), 4);
     }
 

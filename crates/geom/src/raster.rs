@@ -125,9 +125,9 @@ impl Raster {
         let w = self.width;
         let h = self.height;
         let mut f = vec![INF; w * h];
-        for i in 0..w * h {
-            if self.bits[i] {
-                f[i] = 0;
+        for (fi, &bit) in f.iter_mut().zip(&self.bits) {
+            if bit {
+                *fi = 0;
             }
         }
         edt_2d(&f, w, h)
@@ -140,8 +140,8 @@ impl Raster {
         let thr = (dp * dp).ceil() as i64;
         let dist = self.distance_to_background_sq();
         let mut out = self.clone();
-        for i in 0..out.bits.len() {
-            out.bits[i] = dist[i] > thr;
+        for (bit, &d2) in out.bits.iter_mut().zip(&dist) {
+            *bit = d2 > thr;
         }
         out
     }
@@ -153,8 +153,8 @@ impl Raster {
         let thr = (dp * dp).floor() as i64;
         let dist = self.distance_to_foreground_sq();
         let mut out = self.clone();
-        for i in 0..out.bits.len() {
-            out.bits[i] = dist[i] <= thr;
+        for (bit, &d2) in out.bits.iter_mut().zip(&dist) {
+            *bit = d2 <= thr;
         }
         out
     }
@@ -167,7 +167,10 @@ impl Raster {
     /// Panics if the rasters have different bounds or resolution.
     pub fn difference(&self, other: &Raster) -> Raster {
         assert_eq!(self.bounds, other.bounds, "raster bounds mismatch");
-        assert_eq!(self.resolution, other.resolution, "raster resolution mismatch");
+        assert_eq!(
+            self.resolution, other.resolution,
+            "raster resolution mismatch"
+        );
         let mut out = self.clone();
         for i in 0..out.bits.len() {
             out.bits[i] = self.bits[i] && !other.bits[i];
@@ -186,8 +189,7 @@ impl Raster {
             }
             let mut stack = vec![start];
             seen[start] = true;
-            let (mut minx, mut miny, mut maxx, mut maxy) =
-                (usize::MAX, usize::MAX, 0usize, 0usize);
+            let (mut minx, mut miny, mut maxx, mut maxy) = (usize::MAX, usize::MAX, 0usize, 0usize);
             while let Some(i) = stack.pop() {
                 let (x, y) = (i % self.width, i / self.width);
                 minx = minx.min(x);
@@ -198,8 +200,7 @@ impl Raster {
                     for dx in -1i64..=1 {
                         let nx = x as i64 + dx;
                         let ny = y as i64 + dy;
-                        if nx < 0 || ny < 0 || nx >= self.width as i64 || ny >= self.height as i64
-                        {
+                        if nx < 0 || ny < 0 || nx >= self.width as i64 || ny >= self.height as i64 {
                             continue;
                         }
                         let ni = ny as usize * self.width + nx as usize;
@@ -237,7 +238,9 @@ pub fn euclidean_shrink_expand_compare(
         .inflate(min_width + 2 * resolution)
         .expect("inflating by positive amount cannot fail");
     let raster = Raster::from_region(region, bounds, resolution);
-    let opened = raster.euclidean_shrink(min_width / 2).euclidean_expand(min_width / 2);
+    let opened = raster
+        .euclidean_shrink(min_width / 2)
+        .euclidean_expand(min_width / 2);
     let lost = raster.difference(&opened);
     lost.components()
 }
@@ -306,13 +309,13 @@ fn edt_1d(f: &[i64], d: &mut [i64]) {
         }
     }
     let mut k2 = 0usize;
-    for q in 0..n {
+    for (q, dq) in d.iter_mut().enumerate().take(n) {
         while z[k2 + 1] < q as f64 {
             k2 += 1;
         }
         let p = v[k2];
         let diff = q as i64 - p as i64;
-        d[q] = (diff * diff).saturating_add(f[p]);
+        *dq = (diff * diff).saturating_add(f[p]);
     }
 }
 
@@ -342,10 +345,13 @@ mod tests {
         // Centre pixel (10,10): 10 pixels to the nearest edge pixel outside…
         // pixel (10,10) centre, edge background just outside the square.
         let centre = d[10 * r.pixel_width() + 10];
-        assert!(centre >= 10 * 10 && centre <= 12 * 12, "centre dist² = {centre}");
+        assert!(
+            (10 * 10..=12 * 12).contains(&centre),
+            "centre dist² = {centre}"
+        );
         // A corner pixel is adjacent to background.
         let corner = d[0];
-        assert!(corner >= 1 && corner <= 2, "corner dist² = {corner}");
+        assert!((1..=2).contains(&corner), "corner dist² = {corner}");
     }
 
     #[test]
@@ -385,7 +391,10 @@ mod tests {
         let lost_area: i128 = lost.iter().map(Rect::area).sum();
         // Bounding boxes over-cover; the true lost area per corner is
         // (1 - π/4)·50² ≈ 536, bbox at most 50x50=2500 each.
-        assert!(lost_area > 4 * 400 && lost_area < 4 * 3000, "lost={lost_area}");
+        assert!(
+            lost_area > 4 * 400 && lost_area < 4 * 3000,
+            "lost={lost_area}"
+        );
         assert_eq!(lost.len(), 4);
     }
 

@@ -89,10 +89,7 @@ impl Rect {
 
     /// Centre point (rounded toward negative infinity on odd extents).
     pub fn center(&self) -> Point {
-        Point::new(
-            self.x1 + self.width() / 2,
-            self.y1 + self.height() / 2,
-        )
+        Point::new(self.x1 + self.width() / 2, self.y1 + self.height() / 2)
     }
 
     /// Bottom-left corner.

@@ -184,10 +184,7 @@ impl Region {
             let root = find(&mut parent, i);
             groups.entry(root).or_default().push(self.rects[i]);
         }
-        let mut comps: Vec<Region> = groups
-            .into_values()
-            .map(|rects| Region { rects })
-            .collect();
+        let mut comps: Vec<Region> = groups.into_values().map(|rects| Region { rects }).collect();
         comps.sort_by_key(|r| r.bbox().map(|b| (b.x1, b.y1)));
         comps
     }
@@ -215,7 +212,12 @@ impl From<Rect> for Region {
 
 impl std::fmt::Display for Region {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Region[{} rects, area {}]", self.rect_count(), self.area())
+        write!(
+            f,
+            "Region[{} rects, area {}]",
+            self.rect_count(),
+            self.area()
+        )
     }
 }
 
@@ -299,8 +301,11 @@ mod tests {
 
     #[test]
     fn from_wire() {
-        let w = Wire::new(20, vec![Point::new(0, 0), Point::new(100, 0), Point::new(100, 100)])
-            .unwrap();
+        let w = Wire::new(
+            20,
+            vec![Point::new(0, 0), Point::new(100, 0), Point::new(100, 100)],
+        )
+        .unwrap();
         let r = Region::from_wire(&w);
         // Two arm rects overlap in the corner square; union removes it once.
         assert_eq!(r.area(), 120 * 20 + 120 * 20 - 20 * 20);

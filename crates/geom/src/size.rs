@@ -46,12 +46,9 @@ pub fn expand(region: &Region, d: Coord) -> Result<Region, GeomError> {
     if d == 0 {
         return Ok(region.clone());
     }
-    Ok(Region::from_rects(
-        region
-            .rects()
-            .iter()
-            .map(|r| Rect::new(r.x1 - d, r.y1 - d, r.x2 + d, r.y2 + d)),
-    ))
+    Ok(Region::from_rects(region.rects().iter().map(|r| {
+        Rect::new(r.x1 - d, r.y1 - d, r.x2 + d, r.y2 + d)
+    })))
 }
 
 /// Orthogonal shrink: the set of points whose L∞-ball of radius `d` lies
@@ -75,7 +72,8 @@ pub fn shrink(region: &Region, d: Coord) -> Result<Region, GeomError> {
     }
     let bbox = region.bbox().expect("non-empty region has bbox");
     let universe = Region::from_rect(
-        bbox.inflate(2 * d + 2).expect("inflating by positive amount cannot fail"),
+        bbox.inflate(2 * d + 2)
+            .expect("inflating by positive amount cannot fail"),
     );
     let complement = universe.difference(region);
     let grown = expand(&complement, d)?;

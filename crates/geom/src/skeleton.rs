@@ -52,7 +52,12 @@ impl Skeleton {
             return None;
         }
         Some(Skeleton {
-            scaled: vec![scale_inflate(&Rect::new(r.x1 + h, r.y1 + h, r.x2 - h, r.y2 - h))],
+            scaled: vec![scale_inflate(&Rect::new(
+                r.x1 + h,
+                r.y1 + h,
+                r.x2 - h,
+                r.y2 - h,
+            ))],
         })
     }
 
@@ -88,8 +93,8 @@ impl Skeleton {
                 .map(|r| Rect::new(2 * r.x1, 2 * r.y1, 2 * r.x2, 2 * r.y2)),
         );
         let d = 2 * half_min_width - 1;
-        let shrunk = crate::size::shrink(&doubled, d.max(0))
-            .expect("non-negative shrink cannot fail");
+        let shrunk =
+            crate::size::shrink(&doubled, d.max(0)).expect("non-negative shrink cannot fail");
         if shrunk.is_empty() {
             return None;
         }
@@ -111,12 +116,14 @@ impl Skeleton {
     pub fn rects(&self) -> Vec<Rect> {
         self.scaled
             .iter()
-            .map(|r| Rect::new(
-                (r.x1 + 1).div_euclid(2),
-                (r.y1 + 1).div_euclid(2),
-                (r.x2 - 1).div_euclid(2),
-                (r.y2 - 1).div_euclid(2),
-            ))
+            .map(|r| {
+                Rect::new(
+                    (r.x1 + 1).div_euclid(2),
+                    (r.y1 + 1).div_euclid(2),
+                    (r.x2 - 1).div_euclid(2),
+                    (r.y2 - 1).div_euclid(2),
+                )
+            })
             .collect()
     }
 }

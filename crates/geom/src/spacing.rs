@@ -121,7 +121,7 @@ pub fn check_polygon_spacing(
                     d as i128 * d as i128
                 }
             };
-            if best.map_or(true, |bst| d2 < bst) {
+            if best.is_none_or(|bst| d2 < bst) {
                 best = Some(d2);
                 loc = Some(ea.bbox().bounding_union(&eb.bbox()));
             }
@@ -265,6 +265,9 @@ mod tests {
         let a = Region::from_rect(Rect::new(0, 0, 10, 10));
         let b = Region::from_rect(Rect::new(25, 25, 35, 35));
         assert!(expand_check_overlap(&a, &b, S, SizingMode::Euclidean).is_empty());
-        assert_eq!(expand_check_overlap(&a, &b, S, SizingMode::Orthogonal).len(), 1);
+        assert_eq!(
+            expand_check_overlap(&a, &b, S, SizingMode::Orthogonal).len(),
+            1
+        );
     }
 }

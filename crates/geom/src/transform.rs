@@ -58,7 +58,11 @@ impl Orientation {
 
     /// Applies the orientation to a vector.
     pub fn apply_vector(self, v: Vector) -> Vector {
-        let (x, y) = if self.is_mirrored() { (-v.x, v.y) } else { (v.x, v.y) };
+        let (x, y) = if self.is_mirrored() {
+            (-v.x, v.y)
+        } else {
+            (v.x, v.y)
+        };
         match self {
             Orientation::R0 | Orientation::MR0 => Vector::new(x, y),
             Orientation::R90 | Orientation::MR90 => Vector::new(-y, x),
@@ -86,9 +90,9 @@ impl Orientation {
     }
 
     fn from_basis(e1: Vector, e2: Vector) -> Option<Orientation> {
-        Orientation::ALL
-            .into_iter()
-            .find(|o| o.apply_vector(Vector::new(1, 0)) == e1 && o.apply_vector(Vector::new(0, 1)) == e2)
+        Orientation::ALL.into_iter().find(|o| {
+            o.apply_vector(Vector::new(1, 0)) == e1 && o.apply_vector(Vector::new(0, 1)) == e2
+        })
     }
 
     /// Maps a CIF `R a b` rotation direction to an orientation, if the
@@ -169,7 +173,10 @@ impl Transform {
     /// Applies the transform to a rectangle (always yields a rectangle,
     /// since orientations are Manhattan).
     pub fn apply_rect(&self, r: &Rect) -> Rect {
-        Rect::from_points(self.apply_point(r.lower_left()), self.apply_point(r.upper_right()))
+        Rect::from_points(
+            self.apply_point(r.lower_left()),
+            self.apply_point(r.upper_right()),
+        )
     }
 
     /// Applies the transform to every vertex of a polygon.
@@ -278,9 +285,18 @@ mod tests {
     #[test]
     fn cif_direction_mapping() {
         assert_eq!(Orientation::from_cif_direction(1, 0), Some(Orientation::R0));
-        assert_eq!(Orientation::from_cif_direction(0, 30), Some(Orientation::R90));
-        assert_eq!(Orientation::from_cif_direction(-5, 0), Some(Orientation::R180));
-        assert_eq!(Orientation::from_cif_direction(0, -1), Some(Orientation::R270));
+        assert_eq!(
+            Orientation::from_cif_direction(0, 30),
+            Some(Orientation::R90)
+        );
+        assert_eq!(
+            Orientation::from_cif_direction(-5, 0),
+            Some(Orientation::R180)
+        );
+        assert_eq!(
+            Orientation::from_cif_direction(0, -1),
+            Some(Orientation::R270)
+        );
         assert_eq!(Orientation::from_cif_direction(1, 1), None);
         assert_eq!(Orientation::from_cif_direction(0, 0), None);
     }

@@ -186,8 +186,8 @@ pub fn shrink_expand_compare(region: &Region, min_width: Coord) -> Vec<WidthViol
             .iter()
             .map(|r| crate::Rect::new(2 * r.x1, 2 * r.y1, 2 * r.x2, 2 * r.y2)),
     );
-    let opened = crate::size::opening(&doubled, min_width - 1)
-        .expect("non-negative opening cannot fail");
+    let opened =
+        crate::size::opening(&doubled, min_width - 1).expect("non-negative opening cannot fail");
     let lost = doubled.difference(&opened);
     lost.components()
         .into_iter()

@@ -67,7 +67,12 @@ impl Wire {
         let h = self.width / 2;
         if self.points.len() == 1 {
             let p = self.points[0];
-            return vec![Rect::new(p.x - h, p.y - h, p.x - h + self.width, p.y - h + self.width)];
+            return vec![Rect::new(
+                p.x - h,
+                p.y - h,
+                p.x - h + self.width,
+                p.y - h + self.width,
+            )];
         }
         self.segments()
             .map(|s| {

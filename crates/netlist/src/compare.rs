@@ -140,7 +140,11 @@ struct Colors {
 }
 
 fn refine(n: &Netlist, rounds: usize) -> Colors {
-    let mut dev: Vec<u64> = n.devices().iter().map(|d| hash_one(&d.device_type)).collect();
+    let mut dev: Vec<u64> = n
+        .devices()
+        .iter()
+        .map(|d| hash_one(&d.device_type))
+        .collect();
     let mut net: Vec<u64> = n
         .nets()
         .iter()
@@ -336,8 +340,14 @@ mod tests {
         let b = inverter(["VDD", "GND", "in2", "out"]);
         let d = compare_by_names(&a, &b);
         assert!(!d.matched);
-        assert!(d.messages.iter().any(|m| m.contains("extracted but not intended")));
-        assert!(d.messages.iter().any(|m| m.contains("intended but not extracted")));
+        assert!(d
+            .messages
+            .iter()
+            .any(|m| m.contains("extracted but not intended")));
+        assert!(d
+            .messages
+            .iter()
+            .any(|m| m.contains("intended but not extracted")));
     }
 
     #[test]

@@ -83,6 +83,10 @@ impl Netlist {
     }
 }
 
+/// A device staged in the builder: path, type, class, and terminal
+/// `(name, interned net key)` pairs.
+type StagedDevice = (String, String, DeviceClass, Vec<(String, u32)>);
+
 /// Builder: intern net keys, merge them as connections are discovered, add
 /// devices, then [`NetlistBuilder::finish`] into a canonical [`Netlist`].
 #[derive(Debug, Clone, Default)]
@@ -90,7 +94,7 @@ pub struct NetlistBuilder {
     uf: UnionFind,
     keys: HashMap<String, u32>,
     names: Vec<String>,
-    devices: Vec<(String, String, DeviceClass, Vec<(String, u32)>)>,
+    devices: Vec<StagedDevice>,
 }
 
 impl NetlistBuilder {

@@ -57,11 +57,7 @@ mod tests {
     #[test]
     fn matches_reference_table() {
         for &(x, v) in TABLE {
-            assert!(
-                (erf(x) - v).abs() < 2e-7,
-                "erf({x}) = {} want {v}",
-                erf(x)
-            );
+            assert!((erf(x) - v).abs() < 2e-7, "erf({x}) = {} want {v}", erf(x));
         }
     }
 

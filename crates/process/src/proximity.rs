@@ -171,12 +171,7 @@ mod tests {
     #[test]
     fn printed_image_of_large_square_matches_drawn() {
         let sq = Rect::new(0, 0, 2000, 2000);
-        let img = PrintedImage::compute(
-            &[sq],
-            &model(),
-            Rect::new(-500, -500, 2500, 2500),
-            10,
-        );
+        let img = PrintedImage::compute(&[sq], &model(), Rect::new(-500, -500, 2500, 2500), 10);
         let drawn_area = 2000.0 * 2000.0;
         let printed = img.area() as f64;
         // Corners round off slightly; area within 2%.
@@ -190,9 +185,9 @@ mod tests {
         // 0.8σ line: prints narrower than drawn (or vanishes).
         let line = Rect::new(0, 0, 100, 5000);
         let img = PrintedImage::compute(&[line], &model(), Rect::new(-300, -300, 400, 5300), 5);
-        match img.x_extent_at(2500) {
-            Some((x1, x2)) => assert!(x2 - x1 < 100, "printed width {}", x2 - x1),
-            None => {} // vanished entirely: also acceptable physics
+        // A vanished line (None) is also acceptable physics.
+        if let Some((x1, x2)) = img.x_extent_at(2500) {
+            assert!(x2 - x1 < 100, "printed width {}", x2 - x1);
         }
     }
 
@@ -246,10 +241,8 @@ mod tests {
     fn proximity_blooms_between_close_features() {
         // Two bars with a gap of 1.2σ: the proximity expand merges them
         // while the Euclidean expand (same nominal d) does not.
-        let bars = Region::from_rects([
-            Rect::new(0, 0, 1000, 3000),
-            Rect::new(1150, 0, 2150, 3000),
-        ]);
+        let bars =
+            Region::from_rects([Rect::new(0, 0, 1000, 3000), Rect::new(1150, 0, 2150, 3000)]);
         let sigma = 125.0;
         let d = 40;
         let bounds = Rect::new(-500, -500, 2650, 3500);

@@ -49,7 +49,7 @@ pub fn exposure_spacing_check(
     for ra in a {
         for rb in b {
             let d2 = ra.dist_sq(rb);
-            if best.map_or(true, |(bd, _, _)| d2 < bd) {
+            if best.is_none_or(|(bd, _, _)| d2 < bd) {
                 best = Some((d2, ra, rb));
             }
         }
@@ -178,7 +178,11 @@ mod tests {
         let aligned = exposure_spacing_check(&a, &b, &model(), 0);
         let misaligned = exposure_spacing_check(&a, &b, &model(), 250);
         assert!(misaligned.bridge_exposure > aligned.bridge_exposure);
-        assert!(!aligned.violation, "aligned bridge {}", aligned.bridge_exposure);
+        assert!(
+            !aligned.violation,
+            "aligned bridge {}",
+            aligned.bridge_exposure
+        );
         assert!(
             misaligned.violation,
             "misaligned bridge {}",

@@ -172,7 +172,10 @@ pub fn parse_rules(text: &str) -> Result<Technology, DslError> {
                 "override" => {
                     // override <own> <other> <spacing|none> [samenet]
                     if parts.len() < 4 {
-                        return Err(err(line_no, "override wants: own other spacing|none [samenet]"));
+                        return Err(err(
+                            line_no,
+                            "override wants: own other spacing|none [samenet]",
+                        ));
                     }
                     let own = layer_of(t, parts[1], line_no)?;
                     let other = layer_of(t, parts[2], line_no)?;
@@ -213,7 +216,10 @@ pub fn parse_rules(text: &str) -> Result<Technology, DslError> {
             "space" => {
                 // space <a> <b> <diff_net> [samenet <s>] [unrelated <u>]
                 if parts.len() < 4 {
-                    return Err(err(line_no, "space wants: space a b diffnet [samenet s] [unrelated u]"));
+                    return Err(err(
+                        line_no,
+                        "space wants: space a b diffnet [samenet s] [unrelated u]",
+                    ));
                 }
                 let a = layer_of(t, parts[1], line_no)?;
                 let b = layer_of(t, parts[2], line_no)?;
@@ -236,7 +242,9 @@ pub fn parse_rules(text: &str) -> Result<Technology, DslError> {
                             rule.unrelated_device = Some(num(v, line_no)?);
                             i += 2;
                         }
-                        other => return Err(err(line_no, format!("unknown space option {other:?}"))),
+                        other => {
+                            return Err(err(line_no, format!("unknown space option {other:?}")))
+                        }
                     }
                 }
                 t.rules_mut().set_spacing(a, b, rule);
@@ -270,7 +278,10 @@ pub fn parse_rules(text: &str) -> Result<Technology, DslError> {
         }
     }
     if device.is_some() {
-        return Err(err(text.lines().count(), "device block never closed with `end`"));
+        return Err(err(
+            text.lines().count(),
+            "device block never closed with `end`",
+        ));
     }
     tech.ok_or_else(|| err(0, "empty rule file (missing `tech`)"))
 }
@@ -314,7 +325,11 @@ pub fn to_rules(t: &Technology) -> String {
         let _ = writeln!(s, "device {} {}", dev.type_name, class_name(dev.class));
         for rule in &dev.internal_rules {
             match rule {
-                InternalRule::Enclosure { inner, outer, margin } => {
+                InternalRule::Enclosure {
+                    inner,
+                    outer,
+                    margin,
+                } => {
                     let _ = writeln!(
                         s,
                         "  enclosure {} {} {margin}",
@@ -322,7 +337,12 @@ pub fn to_rules(t: &Technology) -> String {
                         t.layer(*outer).name
                     );
                 }
-                InternalRule::OverlapEnclosure { a, b, outer, margin } => {
+                InternalRule::OverlapEnclosure {
+                    a,
+                    b,
+                    outer,
+                    margin,
+                } => {
                     let _ = writeln!(
                         s,
                         "  overlap_enclosure {} {} {} {margin}",
@@ -331,7 +351,12 @@ pub fn to_rules(t: &Technology) -> String {
                         t.layer(*outer).name
                     );
                 }
-                InternalRule::GateExtension { layer, a, b, amount } => {
+                InternalRule::GateExtension {
+                    layer,
+                    a,
+                    b,
+                    amount,
+                } => {
                     let _ = writeln!(
                         s,
                         "  gate_extension {} {} {} {amount}",
@@ -397,7 +422,8 @@ fn args<'a>(parts: &[&'a str], n: usize, line: usize) -> Result<Vec<&'a str>, Ds
 }
 
 fn num(s: &str, line: usize) -> Result<i64, DslError> {
-    s.parse().map_err(|_| err(line, format!("bad number {s:?}")))
+    s.parse()
+        .map_err(|_| err(line, format!("bad number {s:?}")))
 }
 
 fn layer_of(t: &Technology, name: &str, line: usize) -> Result<LayerId, DslError> {
@@ -486,10 +512,8 @@ mod tests {
 
     #[test]
     fn parse_minimal() {
-        let t = parse_rules(
-            "tech demo lambda 100\nlayer m M1 metal width 300\nspace m m 300\n",
-        )
-        .unwrap();
+        let t = parse_rules("tech demo lambda 100\nlayer m M1 metal width 300\nspace m m 300\n")
+            .unwrap();
         assert_eq!(t.lambda(), 100);
         let m = t.layer_by_name("m").unwrap();
         assert_eq!(t.rules().spacing(m, m).unwrap().diff_net, 300);

@@ -92,11 +92,8 @@ impl RuleSet {
     /// Enumerates the matrix entries in deterministic (sorted) order —
     /// the Fig. 12 table.
     pub fn entries(&self) -> Vec<(LayerId, LayerId, SpacingRule)> {
-        let mut v: Vec<(LayerId, LayerId, SpacingRule)> = self
-            .spacing
-            .iter()
-            .map(|(&(a, b), &r)| (a, b, r))
-            .collect();
+        let mut v: Vec<(LayerId, LayerId, SpacingRule)> =
+            self.spacing.iter().map(|(&(a, b), &r)| (a, b, r)).collect();
         v.sort_by_key(|&(a, b, _)| (a, b));
         v
     }

@@ -19,7 +19,11 @@ fn main() {
     let line = Rect::new(0, 0, 500, 100_000);
     for x in [-250i64, 0, 125, 250, 375, 500, 750] {
         let v = model.exposure(&[line], x as f64, 50_000.0);
-        let mark = if v >= model.threshold { "prints" } else { "      " };
+        let mark = if v >= model.threshold {
+            "prints"
+        } else {
+            "      "
+        };
         println!("  x = {x:>5}: I = {v:.3} {mark}");
     }
 
@@ -56,7 +60,10 @@ fn main() {
 
     println!();
     println!("== Fig. 14: relational rule — endcap retreat vs wire width ==");
-    println!("  {:>8} {:>10} {:>22}", "width", "retreat", "overlap for 1λ margin");
+    println!(
+        "  {:>8} {:>10} {:>22}",
+        "width", "retreat", "overlap for 1λ margin"
+    );
     for w in [250i64, 375, 500, 750, 1000] {
         let r = endcap_retreat(w, &model);
         let need = required_overlap(w, 0, &model, 125, 250.0);

@@ -29,11 +29,33 @@ fn main() {
     tightened = tightened.replace("space metal metal 750", "space metal metal 1000");
     let tight = parse_rules(&tightened).unwrap();
     let pair = "L NM; B 2000 750 1000 375; B 2000 750 1000 2000; E"; // 875 apart
-    let relaxed_report = check_cif(pair, &nmos, &CheckOptions { erc: false, ..Default::default() }).unwrap();
-    let tight_report = check_cif(pair, &tight, &CheckOptions { erc: false, ..Default::default() }).unwrap();
+    let relaxed_report = check_cif(
+        pair,
+        &nmos,
+        &CheckOptions {
+            erc: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let tight_report = check_cif(
+        pair,
+        &tight,
+        &CheckOptions {
+            erc: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     println!("== metal pair 875 apart ==");
-    println!("  under 3λ rule: {} violation(s)", relaxed_report.violations.len());
-    println!("  under 4λ rule: {} violation(s)\n", tight_report.violations.len());
+    println!(
+        "  under 3λ rule: {} violation(s)",
+        relaxed_report.violations.len()
+    );
+    println!(
+        "  under 4λ rule: {} violation(s)\n",
+        tight_report.violations.len()
+    );
 
     // Fig. 6 under the bipolar technology.
     let bip = bipolar_technology();
@@ -47,10 +69,19 @@ fn main() {
         L BB; B 500 2000 0 0; DF;
         C 2 T 0 0;
         L BI; 9N GND; B 2000 2000 1250 0; E";
-    let opt = CheckOptions { erc: false, ..Default::default() };
+    let opt = CheckOptions {
+        erc: false,
+        ..Default::default()
+    };
     let r1 = check_cif(npn, &bip, &opt).unwrap();
     let r2 = check_cif(res, &bip, &opt).unwrap();
     println!("== Fig. 6: the same base/isolation contact, two devices ==");
-    println!("  NPN transistor base touching isolation: {} violation(s) (device integrity)", r1.violations.len());
-    println!("  base resistor tied to isolation:        {} violation(s) (legal ground tie)", r2.violations.len());
+    println!(
+        "  NPN transistor base touching isolation: {} violation(s) (device integrity)",
+        r1.violations.len()
+    );
+    println!(
+        "  base resistor tied to isolation:        {} violation(s) (legal ground tie)",
+        r2.violations.len()
+    );
 }

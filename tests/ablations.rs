@@ -102,7 +102,10 @@ fn ablation_hierarchical_cache_equivalence() {
         a.sort();
         b.sort();
         assert_eq!(a, b, "seed {seed}: verdicts diverge");
-        assert!(hier.interact_stats.cache_hits > 0, "seed {seed}: cache unused");
+        assert!(
+            hier.interact_stats.cache_hits > 0,
+            "seed {seed}: cache unused"
+        );
     }
 }
 

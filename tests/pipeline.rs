@@ -28,7 +28,8 @@ fn clean_chip_without_demo_cells_is_clean_for_flat_widths() {
     let layout = diic::cif::parse(&chip.cif).unwrap();
     let flat = flat_check(&layout, &tech, &FlatOptions::default());
     assert!(
-        flat.iter().all(|v| !matches!(v.kind, ViolationKind::Width { .. })),
+        flat.iter()
+            .all(|v| !matches!(v.kind, ViolationKind::Width { .. })),
         "{flat:?}"
     );
     assert!(!flat.is_empty(), "flat checker should produce false errors");
@@ -42,7 +43,8 @@ fn every_injected_error_is_caught_by_diic() {
         let report = check_cif(&chip.cif, &tech, &CheckOptions::default()).unwrap();
         let regions = diic::core::account(&report.violations, &chip.injected(), 800);
         assert_eq!(
-            regions.unchecked, 0,
+            regions.unchecked,
+            0,
             "{kind} not caught; report:\n{}",
             diic::core::format_report(&report.violations)
         );
@@ -85,7 +87,10 @@ fn flat_checker_misses_topological_errors() {
         let layout = diic::cif::parse(&chip.cif).unwrap();
         let flat = flat_check(&layout, &tech, &FlatOptions::default());
         let regions = diic::core::account(&flat, &chip.injected(), 800);
-        assert_eq!(regions.unchecked, 1, "{kind} unexpectedly caught: {flat:#?}");
+        assert_eq!(
+            regions.unchecked, 1,
+            "{kind} unexpectedly caught: {flat:#?}"
+        );
     }
 }
 
@@ -179,8 +184,7 @@ fn extraction_matches_intended_structure_for_sizes() {
     for nx in [1, 2, 5] {
         let chip = generate(&ChipSpec::clean(nx, 1));
         let report = check_cif(&chip.cif, &tech, &CheckOptions::default()).unwrap();
-        let diff =
-            diic::netlist::compare_by_structure(&report.netlist, &chip.intended_netlist, 12);
+        let diff = diic::netlist::compare_by_structure(&report.netlist, &chip.intended_netlist, 12);
         assert!(diff.matched, "nx={nx}: {:?}", diff.messages);
     }
 }
