@@ -1,9 +1,9 @@
-//! Stage-engine bench: serial vs parallel interaction stage on a
-//! generated chip (the embarrassing parallelism the Fig. 10 pipeline's
-//! interaction search exposes).
+//! Stage-engine bench: serial vs parallel stages on a generated chip —
+//! the interaction search (the Fig. 10 pipeline's embarrassingly
+//! parallel tail) and the flat baseline's per-layer Boolean work.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use diic_core::{check, CheckOptions};
+use diic_core::{check, flat_check, CheckOptions, FlatOptions};
 use diic_gen::{generate, ChipSpec};
 use diic_tech::nmos::nmos_technology;
 
@@ -28,6 +28,22 @@ fn bench(c: &mut Criterion) {
                         &CheckOptions {
                             parallelism: threads,
                             ..CheckOptions::default()
+                        },
+                    )
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("flat-baseline", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    flat_check(
+                        &layout,
+                        &tech,
+                        &FlatOptions {
+                            parallelism: threads,
+                            ..FlatOptions::default()
                         },
                     )
                 })

@@ -7,7 +7,10 @@
 //! See `DESIGN.md` §3 for the experiment index and `EXPERIMENTS.md` for
 //! recorded results.
 
-use diic_core::{account, check_cif, flat_check, CheckOptions, FlatOptions, InteractOptions};
+use diic_core::{
+    account, check_cif, check_with_engine, flat_check, CheckOptions, FlatOptions, InteractOptions,
+    StageEngine,
+};
 use diic_gen::{generate, ChipSpec, ErrorKind};
 use diic_geom::{Polygon, Rect, Region, SizingMode};
 use diic_process::{exposure_spacing_check, ExposureModel};
@@ -762,10 +765,11 @@ pub fn e15_composition_rules() -> String {
     out
 }
 
-/// E16 — stage engine: serial vs parallel interaction search. The
-/// candidate evaluation is embarrassingly parallel; this prints the
-/// interaction-stage wall-clock speedup (from the engine's per-stage
-/// timings) and verifies the reports stay byte-identical.
+/// E16 — stage engine: serial vs parallel paths. The interaction
+/// search's candidate enumeration/evaluation and the flat baseline's
+/// per-layer Boolean work are embarrassingly parallel; this prints
+/// wall-clock speedups for both (from the engine's per-stage timings)
+/// and verifies the reports stay byte-identical.
 pub fn e16_parallel_speedup(scale: Scale) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "E16: parallel interaction stage — speedup over serial");
@@ -825,6 +829,65 @@ pub fn e16_parallel_speedup(scale: Scale) -> String {
         "({threads} workers on {cores} core(s); reports must stay byte-identical \
          across worker counts; speedup needs >1 core)"
     );
+
+    // The flat baseline's per-layer Boolean work, parallelised the same
+    // way (per-layer width jobs, per-component spacing jobs). Timed
+    // from the engine's stage profile — width + spacing only, since the
+    // flatten/union front end (flat-union) is serial either way and
+    // would dilute the ratio just like the other pipeline stages above.
+    let _ = writeln!(out, "\nflat baseline — per-layer Boolean work:");
+    let _ = writeln!(
+        out,
+        "{:>9} {:>11} {:>11} {:>8} {:>10}",
+        "cells", "serial ms", "par ms", "speedup", "identical"
+    );
+    let flat_sizes = if scale.quick {
+        vec![(4, 2), (8, 4)]
+    } else {
+        vec![(8, 4), (12, 8), (16, 12)]
+    };
+    let flat_engine = StageEngine::flat_baseline(FlatOptions::default());
+    let boolean_work = |report: &diic_core::CheckReport| {
+        report
+            .stage_profile
+            .iter()
+            .filter(|s| s.name == "flat-width" || s.name == "flat-spacing")
+            .map(|s| s.duration)
+            .sum::<std::time::Duration>()
+    };
+    for (nx, ny) in flat_sizes {
+        let chip = generate(&ChipSpec {
+            demo_cells: false,
+            ..ChipSpec::clean(nx, ny)
+        });
+        let layout = diic_cif::parse(&chip.cif).unwrap();
+        let tech = nmos_technology();
+        let serial_opts = CheckOptions {
+            erc: false,
+            ..CheckOptions::default()
+        };
+        let par_opts = CheckOptions {
+            parallelism: threads,
+            ..serial_opts.clone()
+        };
+        let serial = check_with_engine(&flat_engine, &layout, &tech, &serial_opts);
+        let parallel = check_with_engine(&flat_engine, &layout, &tech, &par_opts);
+        let t_serial = boolean_work(&serial);
+        let t_parallel = boolean_work(&parallel);
+        let _ = writeln!(
+            out,
+            "{:>9} {:>11.2} {:>11.2} {:>7.2}x {:>10}",
+            nx * ny,
+            t_serial.as_secs_f64() * 1e3,
+            t_parallel.as_secs_f64() * 1e3,
+            t_serial.as_secs_f64() / t_parallel.as_secs_f64().max(1e-9),
+            if serial.violations == parallel.violations {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
+    }
     out
 }
 
@@ -945,5 +1008,13 @@ mod tests {
     fn e14_verdicts() {
         let t = e14_self_sufficiency();
         assert!(t.contains("0 violation(s) [expect 0"), "{t}");
+    }
+
+    #[test]
+    fn e16_includes_flat_rows_and_identity() {
+        let t = e16_parallel_speedup(QUICK);
+        assert!(t.contains("flat baseline"), "{t}");
+        assert!(t.contains("yes"), "{t}");
+        assert!(!t.contains(" NO"), "a parallel run diverged: {t}");
     }
 }

@@ -55,6 +55,16 @@ impl Default for CheckOptions {
     }
 }
 
+impl CheckOptions {
+    /// The effective worker count: `0` clamped to all available cores,
+    /// through the same [`crate::parallel::effective_parallelism`] that
+    /// resolves [`crate::FlatOptions::parallelism`] — the two knobs
+    /// cannot disagree on what `0` means.
+    pub fn effective_parallelism(&self) -> usize {
+        crate::parallel::effective_parallelism(self.parallelism)
+    }
+}
+
 /// Per-stage wall-clock timings (Fig. 9/10 cost profile).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StageTimings {
@@ -290,6 +300,26 @@ mod tests {
             r.timings.total(),
             r.stage_profile.iter().map(|s| s.duration).sum(),
             "classic buckets must cover the whole standard profile"
+        );
+    }
+
+    #[test]
+    fn zero_parallelism_clamps_consistently_with_flat_options() {
+        // The cross-validation contract for the two tuning knobs.
+        let check = CheckOptions {
+            parallelism: 0,
+            ..CheckOptions::default()
+        };
+        let flat = crate::flat::FlatOptions {
+            parallelism: 0,
+            ..crate::flat::FlatOptions::default()
+        };
+        assert_eq!(check.effective_parallelism(), flat.effective_parallelism());
+        assert!(check.effective_parallelism() >= 1);
+        assert_eq!(
+            CheckOptions::default().effective_parallelism(),
+            1,
+            "the default stays serial"
         );
     }
 

@@ -17,8 +17,10 @@
 //!   instantiation and the composition (ERC / net-list consistency)
 //!   tail;
 //! * [`StageEngine::flat_baseline`] — the mask-level baseline checker as
-//!   a single alternative stage, so ablation harnesses drive both
-//!   checkers through one interface.
+//!   an alternative four-stage set (union, width, spacing, Fig. 7 gate
+//!   rule — each separately profiled, the width/spacing phases parallel
+//!   per [`CheckOptions::parallelism`]), so ablation harnesses drive
+//!   both checkers through one interface.
 //!
 //! Custom stages (lint passes, exporters, extra rule decks) implement
 //! [`PipelineStage`] and are added with [`StageEngine::register`]; they
@@ -28,9 +30,12 @@ use crate::binding::{instantiate, ChipView, LayerBinding};
 use crate::checker::{CheckOptions, CheckReport, StageTimings};
 use crate::connect::{check_connections, ConnectionResult};
 use crate::element_checks::check_elements;
-use crate::flat::{flat_check, FlatOptions};
+use crate::flat::{
+    flat_gate_checks, flat_spacing_checks, flat_width_checks, FlatLayers, FlatOptions,
+};
 use crate::interact::{check_interactions, InteractOptions, InteractStats};
 use crate::netgen::{generate_netlist, NetgenResult};
+use crate::parallel::effective_parallelism;
 use crate::primitive_checks::check_primitive_symbols;
 use crate::violations::{CheckStage, Violation, ViolationKind};
 use diic_cif::Layout;
@@ -127,6 +132,9 @@ pub struct CheckContext<'a> {
     /// Net-list generation output (its `violations` have been moved
     /// into the sink).
     pub nets: Option<NetgenResult>,
+    /// Per-layer mask unions, set by the flat-union stage (the flat
+    /// baseline's counterpart of the instantiate stage).
+    pub flat_layers: Option<FlatLayers>,
     /// Interaction-stage statistics.
     pub interact_stats: InteractStats,
     /// Devices waived by the `9C` immunity flag.
@@ -145,6 +153,7 @@ impl<'a> CheckContext<'a> {
             view: None,
             connections: None,
             nets: None,
+            flat_layers: None,
             interact_stats: InteractStats::default(),
             waived_devices: Vec::new(),
         }
@@ -176,6 +185,13 @@ impl<'a> CheckContext<'a> {
         self.nets
             .as_ref()
             .expect("net list not available: run the net-list stage first")
+    }
+
+    /// The per-layer mask unions (requires the flat-union stage).
+    pub fn flat_layers(&self) -> &FlatLayers {
+        self.flat_layers
+            .as_ref()
+            .expect("flat layer unions not available: run the flat-union stage first")
     }
 
     /// Folds the finished context and a stage profile into a report.
@@ -272,9 +288,18 @@ impl StageEngine {
             .with_stage(Box::new(CompositionStage))
     }
 
-    /// The flat mask-level baseline as an alternative stage set.
+    /// The flat mask-level baseline as an alternative stage set: union
+    /// per layer, then the width, spacing, and contact-over-gate phases
+    /// as separately profiled stages. The width and spacing stages run
+    /// their per-layer/per-rule jobs across the scoped worker pool when
+    /// [`CheckOptions::parallelism`] asks for it — like the interaction
+    /// stage, byte-identical to serial.
     pub fn flat_baseline(options: FlatOptions) -> Self {
-        StageEngine::new().with_stage(Box::new(FlatBaselineStage { options }))
+        StageEngine::new()
+            .with_stage(Box::new(FlatUnionStage))
+            .with_stage(Box::new(FlatWidthStage { options }))
+            .with_stage(Box::new(FlatSpacingStage { options }))
+            .with_stage(Box::new(FlatGateStage { options }))
     }
 
     /// Runs every stage in order, timing each generically.
@@ -482,20 +507,100 @@ impl PipelineStage for CompositionStage {
     }
 }
 
-/// The mask-level baseline checker packaged as a single engine stage.
-pub struct FlatBaselineStage {
-    /// Baseline knobs (metric, raster resolution, Fig. 7 rule).
-    pub options: FlatOptions,
-}
+/// Flat front end: flatten the layout and union it per mask layer (the
+/// baseline's counterpart of the instantiate stage — all topology is
+/// discarded here).
+pub struct FlatUnionStage;
 
-impl PipelineStage for FlatBaselineStage {
+impl PipelineStage for FlatUnionStage {
     fn name(&self) -> &'static str {
-        "flat-baseline"
+        "flat-union"
     }
 
     fn run(&self, ctx: &mut CheckContext<'_>) {
-        let vs = flat_check(ctx.layout, ctx.tech, &self.options);
+        ctx.flat_layers = Some(FlatLayers::build(ctx.layout, ctx.tech));
+    }
+}
+
+/// The worker count for a flat stage: the stage's own
+/// [`FlatOptions::parallelism`] when explicitly set, otherwise the
+/// run-wide [`CheckOptions::parallelism`] — so neither knob is silently
+/// dead in engine runs.
+fn flat_stage_workers(options: &FlatOptions, ctx: &CheckContext<'_>) -> usize {
+    if options.parallelism == 1 {
+        effective_parallelism(ctx.options.parallelism)
+    } else {
+        options.effective_parallelism()
+    }
+}
+
+/// Flat width phase: shrink-expand-compare per layer, parallel over
+/// layers ([`flat_stage_workers`]).
+pub struct FlatWidthStage {
+    /// Baseline knobs (metric, raster resolution).
+    pub options: FlatOptions,
+}
+
+impl PipelineStage for FlatWidthStage {
+    fn name(&self) -> &'static str {
+        "flat-width"
+    }
+
+    fn stage(&self) -> Option<CheckStage> {
+        Some(CheckStage::Elements)
+    }
+
+    fn run(&self, ctx: &mut CheckContext<'_>) {
+        let workers = flat_stage_workers(&self.options, ctx);
+        let vs = flat_width_checks(ctx.flat_layers(), ctx.tech, &self.options, workers);
         ctx.sink.absorb(vs);
+    }
+}
+
+/// Flat spacing phase: expand-check-overlap per rule entry / component,
+/// parallel over the job list ([`flat_stage_workers`]).
+pub struct FlatSpacingStage {
+    /// Baseline knobs (metric).
+    pub options: FlatOptions,
+}
+
+impl PipelineStage for FlatSpacingStage {
+    fn name(&self) -> &'static str {
+        "flat-spacing"
+    }
+
+    fn stage(&self) -> Option<CheckStage> {
+        Some(CheckStage::Interactions)
+    }
+
+    fn run(&self, ctx: &mut CheckContext<'_>) {
+        let workers = flat_stage_workers(&self.options, ctx);
+        let vs = flat_spacing_checks(ctx.flat_layers(), ctx.tech, &self.options, workers);
+        ctx.sink.absorb(vs);
+    }
+}
+
+/// Flat Fig. 7 phase: the mask-level "no contact over poly∩diff" rule
+/// (skipped when [`FlatOptions::contact_over_gate_rule`] is off).
+pub struct FlatGateStage {
+    /// Baseline knobs (Fig. 7 rule toggle).
+    pub options: FlatOptions,
+}
+
+impl PipelineStage for FlatGateStage {
+    fn name(&self) -> &'static str {
+        "flat-gate"
+    }
+
+    fn stage(&self) -> Option<CheckStage> {
+        Some(CheckStage::PrimitiveSymbols)
+    }
+
+    fn run(&self, ctx: &mut CheckContext<'_>) {
+        if self.options.contact_over_gate_rule {
+            let vs = flat_gate_checks(ctx.flat_layers(), ctx.tech);
+            ctx.sink.absorb(vs);
+        }
     }
 }
 
@@ -565,7 +670,7 @@ mod tests {
     fn flat_baseline_engine_matches_flat_check() {
         let layout = parse("L NM; B 2000 700 1000 350; E").unwrap();
         let tech = nmos_technology();
-        let direct = flat_check(&layout, &tech, &FlatOptions::default());
+        let direct = crate::flat::flat_check(&layout, &tech, &FlatOptions::default());
         let report = check_with_engine(
             &StageEngine::flat_baseline(FlatOptions::default()),
             &layout,
@@ -574,6 +679,51 @@ mod tests {
         );
         assert_eq!(report.violations, direct);
         assert_eq!(report.element_count, 0, "flat baseline builds no view");
+        assert_eq!(
+            report
+                .stage_profile
+                .iter()
+                .map(|s| s.name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["flat-union", "flat-width", "flat-spacing", "flat-gate"],
+        );
+    }
+
+    #[test]
+    fn parallel_flat_baseline_engine_is_byte_identical() {
+        let layout = parse(
+            "L NM; B 2000 700 1000 350;
+             L NM; B 2000 750 1000 2000; B 2000 750 1000 2500; E",
+        )
+        .unwrap();
+        let tech = nmos_technology();
+        let engine = StageEngine::flat_baseline(FlatOptions::default());
+        let serial = check_with_engine(&engine, &layout, &tech, &CheckOptions::default());
+        assert!(!serial.violations.is_empty());
+        for parallelism in [2usize, 4, 0] {
+            let parallel = check_with_engine(
+                &engine,
+                &layout,
+                &tech,
+                &CheckOptions {
+                    parallelism,
+                    ..CheckOptions::default()
+                },
+            );
+            assert_eq!(serial.violations, parallel.violations, "{parallelism}");
+        }
+        // The FlatOptions knob is live in engine runs too: an explicit
+        // non-default value wins over a serial CheckOptions.
+        let via_flat_options = check_with_engine(
+            &StageEngine::flat_baseline(FlatOptions {
+                parallelism: 3,
+                ..FlatOptions::default()
+            }),
+            &layout,
+            &tech,
+            &CheckOptions::default(),
+        );
+        assert_eq!(serial.violations, via_flat_options.violations);
     }
 
     #[test]

@@ -20,13 +20,23 @@
 //!   device-dependent base/isolation rule of Fig. 6 cannot be
 //!   distinguished (resistor ties are flagged), and a mask-level "no
 //!   contact over gate" check flags every butting contact (Fig. 7).
+//!
+//! The per-layer Boolean/expand-shrink work is embarrassingly parallel:
+//! each width job (one mask layer) and spacing job (one component of a
+//! same-layer rule entry, or one cross-layer rule entry) is independent.
+//! With [`FlatOptions::parallelism`] > 1 the jobs run on the shared
+//! scoped worker pool ([`crate::parallel::run_ordered`]) and merge in
+//! job order, so serial and parallel runs are **byte-identical**. The
+//! job walk itself is deterministic because [`FlatLayers`] keeps the
+//! per-layer unions sorted by layer id (never in hash order).
 
+use crate::parallel::{effective_parallelism, run_ordered};
 use crate::violations::{CheckStage, Violation, ViolationKind};
 use diic_cif::{flatten, Layout};
 use diic_geom::raster::euclidean_shrink_expand_compare;
 use diic_geom::spacing::check_region_spacing;
 use diic_geom::width::shrink_expand_compare;
-use diic_geom::{Rect, Region, SizingMode};
+use diic_geom::{Coord, Rect, Region, SizingMode};
 use diic_tech::{LayerId, LayerKind, Technology};
 use std::collections::HashMap;
 
@@ -39,6 +49,15 @@ pub struct FlatOptions {
     pub raster_resolution: i64,
     /// Apply the mask-level "no contact over poly∩diff" rule (Fig. 7).
     pub contact_over_gate_rule: bool,
+    /// Worker threads for the per-layer Boolean/expand-shrink work.
+    /// `1` (the default) runs [`flat_check`] serially; `0` uses all
+    /// available cores — the same clamping as
+    /// [`crate::CheckOptions::parallelism`], via the shared
+    /// [`effective_parallelism`]. Any value yields byte-identical
+    /// reports. In engine runs via `StageEngine::flat_baseline`, the
+    /// default defers to `CheckOptions::parallelism` (one knob for the
+    /// whole pipeline run); an explicit non-default value wins.
+    pub parallelism: usize,
 }
 
 impl Default for FlatOptions {
@@ -47,42 +66,110 @@ impl Default for FlatOptions {
             metric: SizingMode::Orthogonal,
             raster_resolution: 25,
             contact_over_gate_rule: true,
+            parallelism: 1,
         }
     }
 }
 
-/// Runs the flat checker.
-pub fn flat_check(layout: &Layout, tech: &Technology, options: &FlatOptions) -> Vec<Violation> {
-    let mut violations = Vec::new();
-    let flat = flatten(layout);
-
-    // Union per layer: all topology discarded.
-    let mut rects_per_layer: HashMap<LayerId, Vec<Rect>> = HashMap::new();
-    for e in &flat {
-        let Some(layer) = tech.layer_by_cif(layout.layer_name(e.layer)) else {
-            continue; // unknown layers are the hierarchical front end's report
-        };
-        rects_per_layer
-            .entry(layer)
-            .or_default()
-            .extend(e.shape.rects());
+impl FlatOptions {
+    /// The effective worker count for a direct [`flat_check`] run —
+    /// `0` clamped to all cores through the same function that resolves
+    /// `CheckOptions::parallelism`.
+    pub fn effective_parallelism(&self) -> usize {
+        effective_parallelism(self.parallelism)
     }
-    let layers: HashMap<LayerId, Region> = rects_per_layer
-        .into_iter()
-        .map(|(l, rs)| (l, Region::from_rects(rs)))
-        .collect();
+}
 
-    // Width: shrink-expand-compare per layer.
-    for (&layer, region) in &layers {
-        let info = tech.layer(layer);
-        if !info.kind.is_interconnect() && info.kind != LayerKind::Contact {
-            continue;
+/// The per-mask-layer unions the flat baseline operates on, **sorted by
+/// layer id** so every downstream walk (and hence the violation order)
+/// is deterministic — independent of hash order and worker count.
+///
+/// Built once per run by [`FlatLayers::build`] and shared read-only by
+/// the width, spacing, and contact-over-gate phases (as engine stage
+/// artefact or inside [`flat_check`]).
+#[derive(Debug, Clone, Default)]
+pub struct FlatLayers {
+    layers: Vec<(LayerId, Region)>,
+}
+
+impl FlatLayers {
+    /// Flattens the layout and unions its geometry per mask layer: all
+    /// topology discarded, exactly what a mask-level checker sees.
+    pub fn build(layout: &Layout, tech: &Technology) -> FlatLayers {
+        let flat = flatten(layout);
+        let mut rects_per_layer: HashMap<LayerId, Vec<Rect>> = HashMap::new();
+        for e in &flat {
+            let Some(layer) = tech.layer_by_cif(layout.layer_name(e.layer)) else {
+                continue; // unknown layers are the hierarchical front end's report
+            };
+            rects_per_layer
+                .entry(layer)
+                .or_default()
+                .extend(e.shape.rects());
         }
+        let mut layers: Vec<(LayerId, Region)> = rects_per_layer
+            .into_iter()
+            .map(|(l, rs)| (l, Region::from_rects(rs)))
+            .collect();
+        layers.sort_by_key(|(l, _)| *l);
+        FlatLayers { layers }
+    }
+
+    /// The union for one layer, if any geometry was drawn on it.
+    pub fn get(&self, layer: LayerId) -> Option<&Region> {
+        self.layers
+            .binary_search_by_key(&layer, |(l, _)| *l)
+            .ok()
+            .map(|i| &self.layers[i].1)
+    }
+
+    /// `(layer, union)` pairs in ascending layer-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (LayerId, &Region)> {
+        self.layers.iter().map(|(l, r)| (*l, r))
+    }
+
+    /// Number of layers with geometry.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if the layout drew on no known layer.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The union of the first layer of the given kind, if drawn.
+    fn kind_region(&self, tech: &Technology, kind: LayerKind) -> Option<&Region> {
+        self.iter()
+            .find(|(l, _)| tech.layer(*l).kind == kind)
+            .map(|(_, r)| r)
+    }
+}
+
+/// Width phase: shrink-expand-compare per layer, one job per eligible
+/// layer, merged in layer order.
+pub fn flat_width_checks(
+    layers: &FlatLayers,
+    tech: &Technology,
+    options: &FlatOptions,
+    workers: usize,
+) -> Vec<Violation> {
+    let eligible: Vec<(LayerId, &Region)> = layers
+        .iter()
+        .filter(|(layer, _)| {
+            let info = tech.layer(*layer);
+            info.kind.is_interconnect() || info.kind == LayerKind::Contact
+        })
+        .collect();
+    run_ordered(eligible.len(), workers, |k| {
+        let (layer, region) = eligible[k];
+        let info = tech.layer(layer);
         let min_w = info.min_width;
+        let mut out = Vec::new();
         match options.metric {
             SizingMode::Orthogonal => {
                 for v in shrink_expand_compare(region, min_w) {
-                    violations.push(Violation {
+                    out.push(Violation {
                         stage: CheckStage::Elements,
                         kind: ViolationKind::Width {
                             layer: info.name.clone(),
@@ -97,7 +184,7 @@ pub fn flat_check(layout: &Layout, tech: &Technology, options: &FlatOptions) -> 
             SizingMode::Euclidean => {
                 for loc in euclidean_shrink_expand_compare(region, min_w, options.raster_resolution)
                 {
-                    violations.push(Violation {
+                    out.push(Violation {
                         stage: CheckStage::Elements,
                         kind: ViolationKind::Width {
                             layer: info.name.clone(),
@@ -110,70 +197,143 @@ pub fn flat_check(layout: &Layout, tech: &Technology, options: &FlatOptions) -> 
                 }
             }
         }
-    }
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
 
-    // Spacing: expand-check-overlap between connected components, same
-    // layer and cross layer per the matrix. No net information exists.
+/// One unit of the spacing phase's deterministic job list.
+enum SpacingJob {
+    /// Check component `i` of a same-layer entry against components
+    /// `i+1..` (indices into the per-entry component store).
+    Same {
+        entry: usize,
+        layer: LayerId,
+        required: Coord,
+        i: usize,
+    },
+    /// Check one disjoint cross-layer rule entry.
+    Cross {
+        a: LayerId,
+        b: LayerId,
+        required: Coord,
+    },
+}
+
+/// Spacing phase: expand-check-overlap between connected components
+/// (same layer) and disjoint cross-layer features, per the rule matrix.
+/// No net information exists. Jobs follow the matrix's deterministic
+/// entry order — per-component for same-layer entries (the quadratic
+/// part), per-entry for cross-layer ones — and merge in job order.
+pub fn flat_spacing_checks(
+    layers: &FlatLayers,
+    tech: &Technology,
+    options: &FlatOptions,
+    workers: usize,
+) -> Vec<Violation> {
+    // Connected components per same-layer entry, computed once up front
+    // and shared read-only by the jobs.
+    let mut components: Vec<Vec<Region>> = Vec::new();
+    let mut jobs: Vec<SpacingJob> = Vec::new();
     for (a, b, rule) in tech.rules().entries() {
         let required = rule.diff_net;
         if a == b {
-            let Some(region) = layers.get(&a) else {
+            let Some(region) = layers.get(a) else {
                 continue;
             };
             let comps = region.components();
-            for i in 0..comps.len() {
+            let entry = components.len();
+            jobs.extend(
+                (0..comps.len().saturating_sub(1)).map(|i| SpacingJob::Same {
+                    entry,
+                    layer: a,
+                    required,
+                    i,
+                }),
+            );
+            components.push(comps);
+        } else {
+            if layers.get(a).is_none() || layers.get(b).is_none() {
+                continue;
+            }
+            jobs.push(SpacingJob::Cross { a, b, required });
+        }
+    }
+    run_ordered(jobs.len(), workers, |k| {
+        let mut out = Vec::new();
+        match jobs[k] {
+            SpacingJob::Same {
+                entry,
+                layer,
+                required,
+                i,
+            } => {
+                let comps = &components[entry];
                 for j in (i + 1)..comps.len() {
                     for v in check_region_spacing(&comps[i], &comps[j], required, options.metric) {
-                        violations.push(spacing_violation(tech, a, b, &v));
+                        out.push(spacing_violation(tech, layer, layer, &v));
                     }
                 }
             }
-        } else {
-            let (Some(ra), Some(rb)) = (layers.get(&a), layers.get(&b)) else {
-                continue;
-            };
-            // Overlapping cross-layer geometry is assumed intentional (a
-            // transistor, a contact): the mask-level checker cannot know
-            // better. Only disjoint features are spacing-checked — so it
-            // misses accidental crossings entirely (Fig. 8).
-            for v in check_region_spacing(ra, rb, required, options.metric) {
-                violations.push(spacing_violation(tech, a, b, &v));
+            SpacingJob::Cross { a, b, required } => {
+                let (ra, rb) = (
+                    layers.get(a).expect("job built from present layer"),
+                    layers.get(b).expect("job built from present layer"),
+                );
+                // Overlapping cross-layer geometry is assumed intentional (a
+                // transistor, a contact): the mask-level checker cannot know
+                // better. Only disjoint features are spacing-checked — so it
+                // misses accidental crossings entirely (Fig. 8).
+                for v in check_region_spacing(ra, rb, required, options.metric) {
+                    out.push(spacing_violation(tech, a, b, &v));
+                }
             }
         }
-    }
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
 
-    // The mask-level Fig. 7 rule: no contact over the "active gate",
-    // defined — wrongly, as the paper points out — as poly ∩ diffusion.
+/// The mask-level Fig. 7 rule: no contact over the "active gate",
+/// defined — wrongly, as the paper points out — as poly ∩ diffusion.
+pub fn flat_gate_checks(layers: &FlatLayers, tech: &Technology) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let poly = layers.kind_region(tech, LayerKind::Poly);
+    let diff = layers.kind_region(tech, LayerKind::Diffusion);
+    let contact = layers.kind_region(tech, LayerKind::Contact);
+    if let (Some(poly), Some(diff), Some(contact)) = (poly, diff, contact) {
+        let gate = poly.intersection(diff);
+        let bad = contact.intersection(&gate);
+        for comp in bad.components() {
+            violations.push(Violation {
+                stage: CheckStage::PrimitiveSymbols,
+                kind: ViolationKind::DeviceRule {
+                    device_type: "mask-level".to_string(),
+                    rule: "contact over poly∩diff (mask-level gate definition)".to_string(),
+                },
+                location: comp.bbox(),
+                context: "flat".to_string(),
+            });
+        }
+    }
+    violations
+}
+
+/// Runs the flat checker: union per layer, then the width, spacing, and
+/// contact-over-gate phases (in that order), parallel per
+/// [`FlatOptions::parallelism`].
+pub fn flat_check(layout: &Layout, tech: &Technology, options: &FlatOptions) -> Vec<Violation> {
+    let workers = options.effective_parallelism();
+    let layers = FlatLayers::build(layout, tech);
+    let mut violations = flat_width_checks(&layers, tech, options, workers);
+    violations.extend(flat_spacing_checks(&layers, tech, options, workers));
     if options.contact_over_gate_rule {
-        let poly = layers
-            .iter()
-            .find(|(l, _)| tech.layer(**l).kind == LayerKind::Poly)
-            .map(|(_, r)| r.clone());
-        let diff = layers
-            .iter()
-            .find(|(l, _)| tech.layer(**l).kind == LayerKind::Diffusion)
-            .map(|(_, r)| r.clone());
-        let contact = layers
-            .iter()
-            .find(|(l, _)| tech.layer(**l).kind == LayerKind::Contact)
-            .map(|(_, r)| r.clone());
-        if let (Some(poly), Some(diff), Some(contact)) = (poly, diff, contact) {
-            let gate = poly.intersection(&diff);
-            let bad = contact.intersection(&gate);
-            for comp in bad.components() {
-                violations.push(Violation {
-                    stage: CheckStage::PrimitiveSymbols,
-                    kind: ViolationKind::DeviceRule {
-                        device_type: "mask-level".to_string(),
-                        rule: "contact over poly∩diff (mask-level gate definition)".to_string(),
-                    },
-                    location: comp.bbox(),
-                    context: "flat".to_string(),
-                });
-            }
-        }
+        violations.extend(flat_gate_checks(&layers, tech));
     }
-
     violations
 }
 
@@ -258,7 +418,7 @@ mod tests {
             &FlatOptions {
                 metric: SizingMode::Euclidean,
                 raster_resolution: 10,
-                contact_over_gate_rule: true,
+                ..FlatOptions::default()
             },
         );
         let widths = v
@@ -281,5 +441,64 @@ mod tests {
             ),
             "{v:?}"
         );
+    }
+
+    #[test]
+    fn flat_layers_sorted_and_queryable() {
+        let layout = parse("L NM; B 1000 750 0 0; L NP; B 1000 500 5000 0; E").unwrap();
+        let tech = nmos_technology();
+        let layers = FlatLayers::build(&layout, &tech);
+        assert_eq!(layers.len(), 2);
+        let ids: Vec<LayerId> = layers.iter().map(|(l, _)| l).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted, "layer walk must be in ascending id order");
+        let metal = tech.layer_by_cif("NM").unwrap();
+        assert!(layers.get(metal).is_some());
+        assert!(layers.get(tech.layer_by_cif("NI").unwrap()).is_none());
+    }
+
+    #[test]
+    fn parallel_flat_is_byte_identical() {
+        // A layout exercising all three phases: narrow wire (width),
+        // close wires (same-layer spacing), poly near diff (cross-layer
+        // spacing via the matrix), butting contact (gate rule).
+        let cif = "DS 1; 9D BUTTING_CONTACT;
+             L NP; B 1000 1000 0 -250; L ND; B 1000 1000 0 250;
+             L NC; B 500 500 0 0; L NM; B 1000 1000 0 0; DF;
+             C 1;
+             L NM; B 2000 700 9000 350;
+             L NM; B 2000 750 9000 2000; B 2000 750 9000 2500;
+             E";
+        let layout = parse(cif).unwrap();
+        let tech = nmos_technology();
+        let serial = flat_check(&layout, &tech, &FlatOptions::default());
+        assert!(!serial.is_empty());
+        for workers in [2usize, 3, 8, 0] {
+            let parallel = flat_check(
+                &layout,
+                &tech,
+                &FlatOptions {
+                    parallelism: workers,
+                    ..FlatOptions::default()
+                },
+            );
+            assert_eq!(serial, parallel, "workers={workers}: flat reports diverge");
+        }
+    }
+
+    #[test]
+    fn zero_parallelism_clamps_like_check_options() {
+        // The cross-validation contract: FlatOptions resolves 0 through
+        // the same effective_parallelism as CheckOptions.
+        let opts = FlatOptions {
+            parallelism: 0,
+            ..FlatOptions::default()
+        };
+        assert_eq!(
+            opts.effective_parallelism(),
+            crate::parallel::effective_parallelism(0)
+        );
+        assert!(opts.effective_parallelism() >= 1);
     }
 }

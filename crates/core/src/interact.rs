@@ -20,7 +20,14 @@
 //!    Manhattan transforms preserve distances, so one instance's
 //!    geometry answers for all its repeats. Candidates are produced in
 //!    a canonical order (ascending element-id pairs within each work
-//!    unit, units in a fixed walk order).
+//!    unit, units in a fixed walk order). Both searches are parallel:
+//!    the flat search fans element-range queries over one shared
+//!    [`GridIndex`], and the hierarchical search plans its distinct
+//!    cache fills up front (one job per unique symbol / unique
+//!    symbol-pair-with-relative-placement), fills them across the
+//!    worker pool, and assembles the canonical pair list from the
+//!    filled caches — every fill is a pure function of its scope's
+//!    element sets, so the cache contents match a serial run exactly.
 //! 2. **pair evaluation** — the rule-matrix subcases and distance
 //!    checks, embarrassingly parallel over the candidate list. With
 //!    [`InteractOptions::parallelism`] > 1 the list is split into
@@ -30,6 +37,7 @@
 
 use crate::binding::ChipView;
 use crate::netgen::NetgenResult;
+use crate::parallel::{effective_parallelism, run_ordered};
 use crate::violations::{CheckStage, Violation, ViolationKind};
 use diic_cif::{Item, Layout, SymbolId};
 use diic_geom::{Coord, GridIndex, Rect, SizingMode, Transform};
@@ -126,10 +134,11 @@ pub fn max_rule_range(tech: &Technology) -> Coord {
 
 /// Grid cell size for interaction-scale spatial indexes, derived from
 /// the technology's rule reach (a few times the largest rule, floored
-/// so degenerate rule decks still get usable cells) instead of a magic
-/// constant.
+/// so degenerate rule decks still get usable cells, saturated so
+/// pathological near-`Coord::MAX` rules cannot overflow) instead of a
+/// magic constant.
 pub fn interaction_cell_size(tech: &Technology) -> Coord {
-    (max_rule_range(tech) * 4).max(1000)
+    max_rule_range(tech).saturating_mul(4).max(1000)
 }
 
 /// Runs the interaction checks.
@@ -146,7 +155,7 @@ pub fn check_interactions(
     let workers = effective_parallelism(options.parallelism);
 
     let pairs = if options.hierarchical {
-        hierarchical_candidates(view, layout, max_range, cell, &mut stats)
+        hierarchical_candidates(view, layout, max_range, cell, workers, &mut stats)
     } else {
         flat_candidates(view, max_range, cell, workers)
     };
@@ -162,16 +171,6 @@ pub fn check_interactions(
     let violations = evaluate_candidates(&cx, &pairs, workers, &mut stats);
     stats.violations = violations.len() as u64;
     (violations, stats)
-}
-
-fn effective_parallelism(requested: usize) -> usize {
-    if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        requested
-    }
 }
 
 // ---------------------------------------------------------------------
@@ -217,18 +216,14 @@ fn flat_candidates(
         return collect(0..n);
     }
     let chunk = n.div_ceil(workers);
-    let mut out = Vec::new();
-    std::thread::scope(|s| {
-        let collect = &collect;
-        let handles: Vec<_> = (0..n)
-            .step_by(chunk)
-            .map(|lo| s.spawn(move || collect(lo..(lo + chunk).min(n))))
-            .collect();
-        for h in handles {
-            out.extend(h.join().expect("candidate worker panicked"));
-        }
-    });
-    out
+    let chunks = n.div_ceil(chunk);
+    run_ordered(chunks, workers, |k| {
+        let lo = k * chunk;
+        collect(lo..(lo + chunk).min(n))
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// A top-level scope: one top-level call (with all elements instantiated
@@ -246,11 +241,26 @@ struct Scope {
 /// (inter-instance), so repeated instances are searched once. The
 /// output order is canonical: intra-scope pairs in scope walk order,
 /// then inter-scope pairs over the upper-triangular scope matrix.
+///
+/// The search runs in three deterministic steps so the cache fills can
+/// be shared across threads:
+///
+/// 1. **plan** (serial, cheap) — walk the scopes and scope pairs in
+///    canonical order, deduplicating cache keys into an ordered job
+///    list and recording which job feeds each scope / scope pair (the
+///    first occurrence of a key is the cache miss, later ones the
+///    hits — identical counters to a serial fill);
+/// 2. **fill** — run the distinct geometric searches across the worker
+///    pool ([`run_ordered`]); each is a pure function of its scope's
+///    element sets, so parallel fills return exactly the serial values;
+/// 3. **assemble** (serial, cheap) — emit the canonical pair list from
+///    the filled caches.
 fn hierarchical_candidates(
     view: &ChipView,
     layout: &Layout,
     max_range: Coord,
     cell: Coord,
+    workers: usize,
     stats: &mut InteractStats,
 ) -> Vec<(usize, usize)> {
     // Group elements by top-level scope, in walk order (deterministic:
@@ -296,41 +306,44 @@ fn hierarchical_candidates(
         s.bbox = bb;
     }
 
-    // Candidate caches. Keys express "same geometry up to rigid motion".
-    let mut intra_cache: HashMap<SymbolId, Vec<(usize, usize)>> = HashMap::new();
-    let mut inter_cache: HashMap<(SymbolId, SymbolId, Transform), Vec<(usize, usize)>> =
-        HashMap::new();
-    let mut out: Vec<(usize, usize)> = Vec::new();
+    // Step 1 — plan. Cache keys express "same geometry up to rigid
+    // motion"; the first scope (pair) presenting a key owns the fill
+    // job, later ones reuse its result.
+    enum FillJob {
+        /// Intra-scope search of the scope at this index.
+        Intra(usize),
+        /// Cross-scope search of the scope pair at these indices.
+        Cross(usize, usize),
+    }
+    let mut jobs: Vec<FillJob> = Vec::new();
 
-    // Intra-scope candidates.
-    for scope in &scopes {
-        let push_pairs = |out: &mut Vec<(usize, usize)>, pairs: &[(usize, usize)]| {
-            out.extend(
-                pairs
-                    .iter()
-                    .map(|&(li, lj)| (scope.element_ids[li], scope.element_ids[lj])),
-            );
-        };
+    // Intra-scope plan: scope walk order.
+    let mut intra_key_to_job: HashMap<SymbolId, usize> = HashMap::new();
+    let mut intra_source: Vec<usize> = Vec::with_capacity(scopes.len());
+    for (si, scope) in scopes.iter().enumerate() {
         match scope.symbol {
             Some(sym) => {
-                if let Some(cached) = intra_cache.get(&sym) {
+                if let Some(&job) = intra_key_to_job.get(&sym) {
                     stats.cache_hits += 1;
-                    push_pairs(&mut out, cached);
+                    intra_source.push(job);
                 } else {
                     stats.cache_misses += 1;
-                    let pairs = local_candidates(view, &scope.element_ids, max_range, cell);
-                    push_pairs(&mut out, &pairs);
-                    intra_cache.insert(sym, pairs);
+                    intra_key_to_job.insert(sym, jobs.len());
+                    intra_source.push(jobs.len());
+                    jobs.push(FillJob::Intra(si));
                 }
             }
             None => {
-                let pairs = local_candidates(view, &scope.element_ids, max_range, cell);
-                push_pairs(&mut out, &pairs);
+                intra_source.push(jobs.len());
+                jobs.push(FillJob::Intra(si));
             }
         }
     }
 
-    // Inter-scope candidates: only scope pairs whose inflated bboxes touch.
+    // Inter-scope plan: upper-triangular walk over scope pairs whose
+    // inflated bboxes touch.
+    let mut inter_key_to_job: HashMap<(SymbolId, SymbolId, Transform), usize> = HashMap::new();
+    let mut inter_source: Vec<(usize, usize, usize)> = Vec::new(); // (si, sj, job)
     for si in 0..scopes.len() {
         for sj in (si + 1)..scopes.len() {
             let (sa, sb) = (&scopes[si], &scopes[sj]);
@@ -344,40 +357,57 @@ fn hierarchical_candidates(
             if !near {
                 continue;
             }
-            let push_pairs = |out: &mut Vec<(usize, usize)>, pairs: &[(usize, usize)]| {
-                out.extend(
-                    pairs
-                        .iter()
-                        .map(|&(la, lb)| (sa.element_ids[la], sb.element_ids[lb])),
-                );
-            };
             match (sa.symbol, sb.symbol) {
                 (Some(x), Some(y)) => {
                     let rel = sa.transform.inverse().after(&sb.transform);
                     let key = (x, y, rel);
-                    if let Some(p) = inter_cache.get(&key) {
+                    if let Some(&job) = inter_key_to_job.get(&key) {
                         stats.cache_hits += 1;
-                        push_pairs(&mut out, p);
+                        inter_source.push((si, sj, job));
                     } else {
                         stats.cache_misses += 1;
-                        let p = cross_candidates(
-                            view,
-                            &sa.element_ids,
-                            &sb.element_ids,
-                            max_range,
-                            cell,
-                        );
-                        push_pairs(&mut out, &p);
-                        inter_cache.insert(key, p);
+                        inter_key_to_job.insert(key, jobs.len());
+                        inter_source.push((si, sj, jobs.len()));
+                        jobs.push(FillJob::Cross(si, sj));
                     }
                 }
                 _ => {
-                    let p =
-                        cross_candidates(view, &sa.element_ids, &sb.element_ids, max_range, cell);
-                    push_pairs(&mut out, &p);
+                    inter_source.push((si, sj, jobs.len()));
+                    jobs.push(FillJob::Cross(si, sj));
                 }
             }
         }
+    }
+
+    // Step 2 — fill every distinct cache entry (and each uncached scope
+    // search) across the worker pool.
+    let filled: Vec<Vec<(usize, usize)>> = run_ordered(jobs.len(), workers, |k| match jobs[k] {
+        FillJob::Intra(si) => local_candidates(view, &scopes[si].element_ids, max_range, cell),
+        FillJob::Cross(si, sj) => cross_candidates(
+            view,
+            &scopes[si].element_ids,
+            &scopes[sj].element_ids,
+            max_range,
+            cell,
+        ),
+    });
+
+    // Step 3 — assemble the canonical pair list.
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    for (scope, &job) in scopes.iter().zip(&intra_source) {
+        out.extend(
+            filled[job]
+                .iter()
+                .map(|&(li, lj)| (scope.element_ids[li], scope.element_ids[lj])),
+        );
+    }
+    for &(si, sj, job) in &inter_source {
+        let (sa, sb) = (&scopes[si], &scopes[sj]);
+        out.extend(
+            filled[job]
+                .iter()
+                .map(|&(la, lb)| (sa.element_ids[la], sb.element_ids[lb])),
+        );
     }
     out
 }
@@ -474,27 +504,20 @@ fn evaluate_candidates(
         return out;
     }
     let chunk = pairs.len().div_ceil(workers);
-    let mut merged = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = pairs
-            .chunks(chunk)
-            .map(|slice| {
-                s.spawn(move || {
-                    let mut local = Vec::new();
-                    let mut local_stats = InteractStats::default();
-                    for &(i, j) in slice {
-                        evaluate_pair(cx, i, j, &mut local, &mut local_stats);
-                    }
-                    (local, local_stats)
-                })
-            })
-            .collect();
-        for h in handles {
-            let (local, local_stats) = h.join().expect("interaction worker panicked");
-            merged.extend(local);
-            stats.absorb(&local_stats);
+    let chunks: Vec<&[(usize, usize)]> = pairs.chunks(chunk).collect();
+    let results = run_ordered(chunks.len(), workers, |k| {
+        let mut local = Vec::new();
+        let mut local_stats = InteractStats::default();
+        for &(i, j) in chunks[k] {
+            evaluate_pair(cx, i, j, &mut local, &mut local_stats);
         }
+        (local, local_stats)
     });
+    let mut merged = Vec::new();
+    for (local, local_stats) in results {
+        merged.extend(local);
+        stats.absorb(&local_stats);
+    }
     merged
 }
 
@@ -899,5 +922,59 @@ mod tests {
         let reach = max_rule_range(&tech);
         assert!(reach > 0);
         assert_eq!(interaction_cell_size(&tech), (reach * 4).max(1000));
+    }
+
+    #[test]
+    fn cell_size_floored_for_empty_rule_deck() {
+        // A technology with no rules and no devices: the reach floor of
+        // 1 must still yield a usable (non-degenerate) cell size.
+        let tech = diic_tech::Technology::new("empty", 250);
+        assert_eq!(max_rule_range(&tech), 1);
+        assert_eq!(interaction_cell_size(&tech), 1000);
+    }
+
+    #[test]
+    fn cell_size_saturates_for_huge_rule_reach() {
+        use diic_tech::{Layer, LayerKind, SpacingRule, Technology};
+        let mut tech = Technology::new("huge", 250);
+        let m = tech.add_layer(Layer::new("m", "M", LayerKind::Metal, 750));
+        tech.rules_mut()
+            .set_spacing(m, m, SpacingRule::simple(Coord::MAX));
+        assert_eq!(max_rule_range(&tech), Coord::MAX);
+        // reach * 4 would overflow; the derivation must saturate, not panic.
+        assert_eq!(interaction_cell_size(&tech), Coord::MAX);
+    }
+
+    #[test]
+    fn parallel_enumeration_matches_serial_exactly() {
+        // Enumeration itself (not just evaluation) runs on the worker
+        // pool: an array with repeated symbols (intra + inter cache
+        // traffic) and loose top-level geometry must yield identical
+        // pair lists, stats, and violations for any worker count.
+        let mut cif = String::from("DS 1; L NM; B 2000 750 1000 375; B 2000 750 1000 1625; DF;\n");
+        for i in 0..7 {
+            cif.push_str(&format!("C 1 T {} 0;\n", i * 2300));
+        }
+        cif.push_str("L NM; B 2000 700 1000 9000;\nE");
+        let serial = run_with(
+            &cif,
+            InteractOptions {
+                hierarchical: true,
+                ..Default::default()
+            },
+        );
+        assert!(serial.1.cache_hits > 0 && serial.1.cache_misses > 0);
+        for workers in [2usize, 5, 0] {
+            let parallel = run_with(
+                &cif,
+                InteractOptions {
+                    hierarchical: true,
+                    parallelism: workers,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(serial.0, parallel.0, "workers={workers}");
+            assert_eq!(serial.1, parallel.1, "workers={workers}");
+        }
     }
 }

@@ -33,10 +33,15 @@
 //!
 //! The interaction stage is **embarrassingly parallel**: candidate
 //! pairs are enumerated in a canonical order (hierarchically cached per
-//! symbol and per relative placement, or from one flat grid index) and
-//! evaluated across a scoped thread pool when
-//! [`CheckOptions::parallelism`] asks for it. Serial and parallel runs
-//! produce byte-identical reports.
+//! symbol and per relative placement — with the distinct cache fills
+//! shared across threads — or from one flat grid index) and evaluated
+//! across a scoped thread pool when [`CheckOptions::parallelism`] asks
+//! for it. The flat baseline's per-layer Boolean work parallelises the
+//! same way ([`FlatOptions::parallelism`], module [`parallel`]). Serial
+//! and parallel runs produce byte-identical reports, and the flat and
+//! hierarchical interaction searches agree on the violation *set* —
+//! the four-way guarantee `tests/differential.rs` checks on generated
+//! chips with injected faults.
 //!
 //! The checking stages themselves (paper Fig. 10):
 //!
@@ -85,6 +90,7 @@ pub mod engine;
 pub mod flat;
 pub mod interact;
 pub mod netgen;
+pub mod parallel;
 pub mod primitive_checks;
 pub mod report;
 pub mod violations;
@@ -92,7 +98,8 @@ pub mod violations;
 pub use binding::{ChipElement, ChipView, DeviceInstance, LayerBinding};
 pub use checker::{check, check_cif, check_with_engine, CheckOptions, CheckReport, StageTimings};
 pub use engine::{CheckContext, DiagnosticSink, PipelineStage, StageEngine, StageTime};
-pub use flat::{flat_check, FlatOptions};
+pub use flat::{flat_check, FlatLayers, FlatOptions};
 pub use interact::{interaction_cell_size, max_rule_range, InteractOptions, InteractStats};
+pub use parallel::{effective_parallelism, env_parallelism};
 pub use report::{account, category_of, format_report, ErrorRegions, InjectedError};
 pub use violations::{CheckStage, Violation, ViolationKind};

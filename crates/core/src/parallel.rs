@@ -1,0 +1,171 @@
+//! Shared worker-pool plumbing for every parallel path in the pipeline.
+//!
+//! All three parallel hot paths — the flat baseline's per-layer Boolean
+//! work ([`crate::flat`]), the interaction stage's candidate enumeration
+//! and its pair evaluation ([`crate::interact`]) — follow one
+//! discipline, implemented once here:
+//!
+//! 1. split the work into a **deterministic, ordered job list**;
+//! 2. execute the jobs on a scoped thread pool (work-stealing via an
+//!    atomic cursor, so unevenly sized jobs do not idle workers);
+//! 3. merge the results **in job order**.
+//!
+//! Because each job is a pure function of its inputs and the merge is
+//! positional, any worker count — including 1 — produces byte-identical
+//! output. That invariant is what the differential test oracle
+//! (`tests/differential.rs`) checks end to end.
+//!
+//! The two user-facing knobs ([`crate::CheckOptions::parallelism`] and
+//! [`crate::FlatOptions::parallelism`]) are both resolved through the
+//! single [`effective_parallelism`] function so their semantics cannot
+//! drift apart: `0` means "all available cores", anything else is the
+//! literal worker count, and the result is never zero.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a requested worker count to the effective one.
+///
+/// `0` is clamped to the number of available cores (at least 1); any
+/// other value is taken literally. Both `CheckOptions::parallelism`
+/// and `FlatOptions::parallelism` go through this function, so the two
+/// knobs agree on what `0` means.
+pub fn effective_parallelism(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// The worker count forced by the `CHECK_PARALLELISM` environment
+/// variable.
+///
+/// CI exports `CHECK_PARALLELISM=1` and `CHECK_PARALLELISM=$(nproc)` in
+/// separate steps so the serial/parallel equivalence guarantee is
+/// exercised on every push; the differential test suite picks its
+/// "wide" worker count from this variable.
+///
+/// # Panics
+///
+/// Panics when the variable is set (non-empty) but not a number — a
+/// silently ignored typo here would quietly un-force the CI matrix and
+/// green-light a configuration that was never tested.
+pub fn env_parallelism() -> Option<usize> {
+    let raw = std::env::var("CHECK_PARALLELISM").ok()?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    Some(
+        trimmed
+            .parse()
+            .unwrap_or_else(|_| panic!("CHECK_PARALLELISM must be a worker count, got {raw:?}")),
+    )
+}
+
+/// Runs `job(0)`, `job(1)`, …, `job(jobs - 1)` across `workers` scoped
+/// threads and returns the results **in job order**.
+///
+/// Jobs are claimed from an atomic cursor (work stealing), so long and
+/// short jobs mix freely; determinism comes from the positional merge,
+/// not from the execution schedule. With `workers <= 1` (or fewer than
+/// two jobs) the jobs run inline on the caller's thread — the parallel
+/// and serial paths are the same code.
+pub fn run_ordered<T, F>(jobs: usize, workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || jobs < 2 {
+        return (0..jobs).map(job).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers.min(jobs))
+            .map(|_| {
+                let (cursor, job) = (&cursor, &job);
+                s.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        done.push((i, job(i)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("pipeline worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every job index is claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_clamps_to_available_cores() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(effective_parallelism(0), cores);
+        assert!(effective_parallelism(0) >= 1);
+    }
+
+    #[test]
+    fn nonzero_taken_literally() {
+        assert_eq!(effective_parallelism(1), 1);
+        assert_eq!(effective_parallelism(7), 7);
+    }
+
+    #[test]
+    fn run_ordered_preserves_job_order() {
+        let serial: Vec<usize> = run_ordered(100, 1, |i| i * i);
+        for workers in [2usize, 3, 8, 64] {
+            let parallel = run_ordered(100, workers, |i| i * i);
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn run_ordered_uneven_jobs_stay_ordered() {
+        // Job i sleeps inversely to its index, so later jobs finish
+        // first — the merge must still be positional.
+        let out = run_ordered(16, 4, |i| {
+            std::thread::sleep(std::time::Duration::from_micros((16 - i as u64) * 50));
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_ordered_handles_empty_and_single() {
+        assert!(run_ordered(0, 4, |i| i).is_empty());
+        assert_eq!(run_ordered(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn env_parallelism_parses() {
+        // The variable is unset in normal test runs; when CI sets it,
+        // the parsed value must round-trip (whitespace tolerated, but
+        // garbage panics rather than silently un-forcing the matrix).
+        match std::env::var("CHECK_PARALLELISM") {
+            Ok(v) if v.trim().is_empty() => assert_eq!(env_parallelism(), None),
+            Ok(v) => assert_eq!(env_parallelism(), Some(v.trim().parse().unwrap())),
+            Err(_) => assert_eq!(env_parallelism(), None),
+        }
+    }
+}

@@ -208,6 +208,41 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_queries_are_deterministic() {
+        // The parallel candidate searches assume a query answered from a
+        // worker thread returns exactly what the same query returns
+        // serially — same ids, same (insertion) order — because results
+        // are sort-dedup'd from immutable buckets, never from per-query
+        // mutable scratch.
+        let mut idx = GridIndex::new(30);
+        for i in 0..200i64 {
+            // Overlapping rects spanning several cells, inserted out of
+            // spatial order.
+            let x = (i * 37) % 500;
+            idx.insert(Rect::new(x, 0, x + 90, 60), i);
+        }
+        let queries: Vec<Rect> = (0..40)
+            .map(|q| Rect::new(q * 13, 0, q * 13 + 120, 60))
+            .collect();
+        let serial: Vec<Vec<i64>> = queries
+            .iter()
+            .map(|q| idx.query(q).into_iter().copied().collect())
+            .collect();
+        let idx = &idx;
+        let (serial, queries) = (&serial, &queries);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(move || {
+                    for (q, expect) in queries.iter().zip(serial) {
+                        let got: Vec<i64> = idx.query(q).into_iter().copied().collect();
+                        assert_eq!(&got, expect, "concurrent query diverged for {q:?}");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
     fn shared_queries_across_threads() {
         // The parallel interaction search relies on `&GridIndex` being
         // usable from scoped worker threads.

@@ -1,6 +1,8 @@
 //! Ablation tests for the design choices called out in DESIGN.md §4.
 
-use diic::core::{check_cif, CheckOptions, ViolationKind};
+use diic::core::{
+    check_cif, check_with_engine, flat_check, CheckOptions, FlatOptions, StageEngine, ViolationKind,
+};
 use diic::gen::{generate, ChipSpec, ErrorKind};
 use diic::geom::SizingMode;
 use diic::tech::nmos::nmos_technology;
@@ -105,6 +107,60 @@ fn ablation_hierarchical_cache_equivalence() {
         assert!(
             hier.interact_stats.cache_hits > 0,
             "seed {seed}: cache unused"
+        );
+    }
+}
+
+/// Parallel-flat ablation: splitting the baseline's per-layer Boolean
+/// work across workers changes nothing about the verdicts, and the flat
+/// stage set reports the new per-phase profile entries the e16 table
+/// exercises.
+#[test]
+fn ablation_parallel_flat_baseline() {
+    let tech = nmos_technology();
+    let chip = generate(&ChipSpec::with_errors(
+        4,
+        2,
+        vec![
+            ErrorKind::NarrowWire,
+            ErrorKind::CloseSpacing,
+            ErrorKind::ContactOverGate,
+        ],
+        17,
+    ));
+    let layout = diic::cif::parse(&chip.cif).unwrap();
+    let serial = flat_check(&layout, &tech, &FlatOptions::default());
+    assert!(
+        !serial.is_empty(),
+        "injected faults must reach the baseline"
+    );
+    for workers in [2usize, 8, 0] {
+        let parallel = flat_check(
+            &layout,
+            &tech,
+            &FlatOptions {
+                parallelism: workers,
+                ..FlatOptions::default()
+            },
+        );
+        assert_eq!(serial, parallel, "workers={workers}: flat verdicts diverge");
+    }
+    // Engine wiring: the parallel flat phases appear in the stage profile.
+    let report = check_with_engine(
+        &StageEngine::flat_baseline(FlatOptions::default()),
+        &layout,
+        &tech,
+        &CheckOptions {
+            parallelism: 4,
+            ..CheckOptions::default()
+        },
+    );
+    assert_eq!(report.violations, serial);
+    for stage in ["flat-union", "flat-width", "flat-spacing", "flat-gate"] {
+        assert!(
+            report.stage_profile.iter().any(|s| s.name == stage),
+            "missing stage_profile entry {stage}: {:?}",
+            report.stage_profile
         );
     }
 }

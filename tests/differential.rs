@@ -1,0 +1,195 @@
+//! The differential test oracle for the paper's central claim: the
+//! hierarchical candidate search finds **exactly** what the flat
+//! (fully-instantiated) search finds, only faster — and parallelism
+//! changes nothing at all. (The mask-level *baseline* checker finds
+//! different things by design — that asymmetry is the paper's point —
+//! so its own serial/parallel identity is checked separately below.)
+//!
+//! Every generated chip (with injected faults from `diic-gen`'s ledger)
+//! is checked four ways:
+//!
+//! | path          | `hierarchical` | `parallelism` |
+//! |---------------|----------------|---------------|
+//! | flat-serial   | false          | 1             |
+//! | flat-parallel | false          | wide          |
+//! | hier-serial   | true           | 1             |
+//! | hier-parallel | true           | wide          |
+//!
+//! Within one search engine, serial and parallel reports must be
+//! **byte-identical** (ordered lists and statistics). Across engines,
+//! the reports must be identical **after a canonical sort** (the two
+//! searches enumerate candidates in different walk orders). On top of
+//! the equivalence, every injected fault must be recalled by all four
+//! paths (region 1 of the paper's Fig. 1 accounting stays empty).
+//!
+//! The "wide" worker count honours the `CHECK_PARALLELISM` environment
+//! variable (CI forces it to `1` and to `$(nproc)` in separate steps),
+//! defaulting to all available cores.
+
+use diic::core::{
+    account, check_cif, env_parallelism, flat_check, CheckOptions, CheckReport, FlatOptions,
+    Violation,
+};
+use diic::gen::{generate, ChipSpec, ErrorKind};
+use diic::tech::nmos::nmos_technology;
+use diic::tech::Technology;
+use proptest::prelude::*;
+
+/// The parallel worker count exercised against serial runs.
+fn wide_workers() -> usize {
+    env_parallelism().unwrap_or(0) // 0 = all available cores
+}
+
+/// Canonical form of a report's violation set: sorted debug renderings,
+/// so "identical after canonical sort" is literal byte equality.
+fn canonical(violations: &[Violation]) -> Vec<String> {
+    let mut v: Vec<String> = violations.iter().map(|x| format!("{x:?}")).collect();
+    v.sort();
+    v
+}
+
+fn run(cif: &str, tech: &Technology, hierarchical: bool, parallelism: usize) -> CheckReport {
+    check_cif(
+        cif,
+        tech,
+        &CheckOptions {
+            hierarchical,
+            parallelism,
+            ..CheckOptions::default()
+        },
+    )
+    .expect("generated chips always parse")
+}
+
+/// Checks the four-way contract for one generated chip; returns the
+/// reports for further assertions.
+fn assert_four_way(chip_cif: &str, tech: &Technology) -> [CheckReport; 4] {
+    let wide = wide_workers();
+    let flat_serial = run(chip_cif, tech, false, 1);
+    let flat_parallel = run(chip_cif, tech, false, wide);
+    let hier_serial = run(chip_cif, tech, true, 1);
+    let hier_parallel = run(chip_cif, tech, true, wide);
+
+    // Serial vs parallel, same engine: byte-identical ordered reports.
+    assert_eq!(
+        flat_serial.violations, flat_parallel.violations,
+        "flat search: parallel run diverges from serial"
+    );
+    assert_eq!(flat_serial.interact_stats, flat_parallel.interact_stats);
+    assert_eq!(
+        hier_serial.violations, hier_parallel.violations,
+        "hierarchical search: parallel run diverges from serial"
+    );
+    assert_eq!(hier_serial.interact_stats, hier_parallel.interact_stats);
+
+    // Flat vs hierarchical: identical violation sets after canonical sort.
+    assert_eq!(
+        canonical(&flat_serial.violations),
+        canonical(&hier_serial.violations),
+        "flat and hierarchical searches disagree on the violation set"
+    );
+    [flat_serial, flat_parallel, hier_serial, hier_parallel]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The oracle proper: ≥ 64 proptest-generated chips with injected
+    /// faults, all four paths agree, and every injected fault is
+    /// recalled by every path.
+    #[test]
+    fn four_way_equivalence_with_fault_recall(
+        nx in 2usize..5,
+        ny in 1usize..3,
+        seed in 0u64..1_000_000,
+        mask in 1u16..512,
+    ) {
+        let tech = nmos_technology();
+        let cells = nx * ny;
+        let errors: Vec<ErrorKind> = ErrorKind::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, k)| *k)
+            .take(cells)
+            .collect();
+        let chip = generate(&ChipSpec::with_errors(nx, ny, errors, seed));
+        let injected = chip.injected();
+        let reports = assert_four_way(&chip.cif, &tech);
+        for (path, report) in ["flat-serial", "flat-parallel", "hier-serial", "hier-parallel"]
+            .iter()
+            .zip(&reports)
+        {
+            let regions = account(&report.violations, &injected, 800);
+            prop_assert_eq!(
+                regions.unchecked, 0,
+                "{}: {} of {} injected faults missed (nx={} ny={} seed={} mask={:#b})",
+                path, regions.unchecked, regions.injected, nx, ny, seed, mask
+            );
+        }
+    }
+
+    /// The mask-level baseline's parallel per-layer Boolean work,
+    /// under the same oracle regime: serial and wide runs of
+    /// `flat_check` must be byte-identical on every generated chip.
+    #[test]
+    fn flat_baseline_parallel_is_byte_identical(
+        nx in 2usize..5,
+        ny in 1usize..3,
+        seed in 0u64..1_000_000,
+        mask in 1u16..512,
+    ) {
+        let tech = nmos_technology();
+        let errors: Vec<ErrorKind> = ErrorKind::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, k)| *k)
+            .take(nx * ny)
+            .collect();
+        let chip = generate(&ChipSpec::with_errors(nx, ny, errors, seed));
+        let layout = diic::cif::parse(&chip.cif).expect("generated chips always parse");
+        let serial = flat_check(&layout, &tech, &FlatOptions::default());
+        let parallel = flat_check(
+            &layout,
+            &tech,
+            &FlatOptions {
+                parallelism: wide_workers(),
+                ..FlatOptions::default()
+            },
+        );
+        prop_assert_eq!(
+            serial, parallel,
+            "flat baseline: parallel run diverges (nx={} ny={} seed={} mask={:#b})",
+            nx, ny, seed, mask
+        );
+    }
+}
+
+/// A clean chip must stay clean on all four paths (no false errors
+/// introduced by parallelism or the candidate cache).
+#[test]
+fn clean_chip_is_clean_on_all_paths() {
+    let tech = nmos_technology();
+    let chip = generate(&ChipSpec::clean(4, 2));
+    for report in assert_four_way(&chip.cif, &tech) {
+        assert!(report.is_clean(), "{:#?}", report.violations);
+    }
+}
+
+/// The hierarchical cache must actually engage on the arrays the oracle
+/// generates — otherwise the differential test compares the flat search
+/// against itself.
+#[test]
+fn oracle_workload_exercises_the_cache() {
+    let tech = nmos_technology();
+    let chip = generate(&ChipSpec::with_errors(
+        4,
+        2,
+        vec![ErrorKind::NarrowWire, ErrorKind::CloseSpacing],
+        7,
+    ));
+    let [_, _, hier, _] = assert_four_way(&chip.cif, &tech);
+    assert!(hier.interact_stats.cache_hits > 0, "cache unused");
+    assert!(hier.interact_stats.cache_misses > 0);
+}
