@@ -1,0 +1,64 @@
+//! Incremental re-check bench: an edit session's patched re-check vs a
+//! from-scratch run, per edit class (the e17 experiment's workloads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diic_core::incremental::{CheckSession, EditSet};
+use diic_core::{check, CheckOptions};
+use diic_gen::{generate, ChipSpec};
+use diic_geom::Rect;
+use diic_tech::nmos::nmos_technology;
+
+fn bench(c: &mut Criterion) {
+    let tech = nmos_technology();
+    let chip = generate(&ChipSpec {
+        demo_cells: false,
+        ..ChipSpec::clean(12, 8)
+    });
+    let layout = diic_cif::parse(&chip.cif).unwrap();
+    let options = CheckOptions::default();
+    let mut g = c.benchmark_group("fig_incremental");
+    g.sample_size(10);
+
+    g.bench_function(BenchmarkId::new("full-recheck", "12x8"), |b| {
+        b.iter(|| check(&layout, &tech, &options))
+    });
+
+    // A live session with a probe wire being dragged around: the
+    // net-neutral hot path.
+    let mut session = CheckSession::new(layout.clone(), &tech, &options);
+    let probe = session.layout().top_items().len();
+    let mut add = EditSet::new();
+    add.add_box("NM", Rect::new(0, -20000, 2000, -19250), Some("IO_PROBE"));
+    session.apply(&add).unwrap();
+    let mut flip = 0usize;
+    g.bench_function(BenchmarkId::new("move-wire", "12x8"), |b| {
+        b.iter(|| {
+            let mut mv = EditSet::new();
+            mv.translate(probe, if flip.is_multiple_of(2) { 2500 } else { -2500 }, 0);
+            flip += 1;
+            session.apply(&mv).unwrap()
+        })
+    });
+
+    // Add + remove: the net graph genuinely changes, the net list
+    // reassembles, but the re-check stays scoped to the stub.
+    g.bench_function(BenchmarkId::new("add-remove-wire", "12x8"), |b| {
+        b.iter(|| {
+            let n = session.layout().top_items().len();
+            let mut add = EditSet::new();
+            add.add_box(
+                "NM",
+                Rect::new(5000, -20000, 7000, -19250),
+                Some("IO_PROBE2"),
+            );
+            session.apply(&add).unwrap();
+            let mut rm = EditSet::new();
+            rm.remove(n);
+            session.apply(&rm).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

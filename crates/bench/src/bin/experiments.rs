@@ -51,6 +51,7 @@ fn main() {
             "e16",
             Box::new(move || diic_bench::e16_parallel_speedup(scale)),
         ),
+        ("e17", Box::new(move || diic_bench::e17_incremental(scale))),
     ];
 
     println!("DIIC experiment harness — McGrath & Whitney, DAC 1980");

@@ -266,6 +266,26 @@ impl Layout {
         self.top.push(item);
     }
 
+    /// Removes and returns the top-level item at `index` (later items
+    /// shift down — element identity in checkers is positional, which is
+    /// why edit sessions track runs per item).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn remove_top(&mut self, index: usize) -> Item {
+        self.top.remove(index)
+    }
+
+    /// Mutable access to a top-level item (for programmatic edits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn top_item_mut(&mut self, index: usize) -> &mut Item {
+        &mut self.top[index]
+    }
+
     /// Adds a net label.
     pub fn push_label(&mut self, label: NetLabel) {
         self.labels.push(label);

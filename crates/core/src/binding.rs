@@ -120,7 +120,128 @@ pub fn instantiate(layout: &Layout, tech: &Technology, binding: &LayerBinding) -
     for item in layout.top_items() {
         walk(layout, tech, binding, item, &t, "", None, None, &mut view);
     }
+    assign_auto_net_keys(&mut view.elements, None);
     view
+}
+
+/// Instantiates a single top-level item, appending its elements and
+/// device instances to `view` (the incremental checker's entry point for
+/// regenerating one dirty item's run). Auto net keys are **not**
+/// assigned here — run [`assign_auto_net_keys`] over the assembled
+/// element vector afterwards.
+pub(crate) fn instantiate_item(
+    layout: &Layout,
+    tech: &Technology,
+    binding: &LayerBinding,
+    item: &Item,
+    view: &mut ChipView,
+) {
+    walk(
+        layout,
+        tech,
+        binding,
+        item,
+        &Transform::IDENTITY,
+        "",
+        None,
+        None,
+        view,
+    );
+}
+
+/// The ordinal-free base of an auto net key: strips a trailing `:<n>`
+/// duplicate ordinal. Unambiguous because a base's own last `:` segment
+/// is the four comma-joined bbox coordinates — never bare digits.
+fn auto_key_base(key: &str) -> &str {
+    if let Some(pos) = key.rfind(':') {
+        let tail = &key[pos + 1..];
+        if !tail.is_empty() && tail.bytes().all(|b| b.is_ascii_digit()) {
+            return &key[..pos];
+        }
+    }
+    key
+}
+
+/// Finalises the auto (undeclared) net keys over a finished element
+/// list — appending ordinals where exact duplicates share a key base —
+/// and returns the ids whose key changed.
+///
+/// The key is a pure function of the element's *identity* — instance
+/// path, layer, and definition-local bounding box (the base the walk
+/// stored in `net_key`), with an ordinal disambiguating exact
+/// duplicates — never of its position in the element vector. That
+/// stability is what lets an edit session reuse the net graph of
+/// untouched elements: adding or removing an element elsewhere does not
+/// rename every auto net after it (the old scheme's `#e{id}` did), and
+/// moving an instance does not rename its internals at all (local
+/// coordinates).
+///
+/// `changed` (when given) marks the elements whose identity may have
+/// changed since keys were last assigned — only identity groups with a
+/// changed member are re-derived, so an edit session pays for the edit,
+/// not for re-formatting every auto key on the chip. The mask must
+/// cover every element sharing a (chip) bounding box with changed or
+/// removed geometry: duplicate ordinals shift only within one identity
+/// group, and duplicates by definition share path, layer, and bbox.
+pub(crate) fn assign_auto_net_keys(
+    elements: &mut [ChipElement],
+    changed: Option<&[bool]>,
+) -> Vec<usize> {
+    use std::collections::{HashMap, HashSet};
+    // Pre-filter: the (layer, chip bbox) cells of changed undeclared
+    // elements — a superset of the affected identity groups (exact
+    // grouping is by key base below; a spurious match just re-derives
+    // an unchanged key).
+    let hot: Option<HashSet<(diic_tech::LayerId, Rect)>> = changed.map(|mask| {
+        elements
+            .iter()
+            .filter(|e| !e.net_declared && mask[e.id])
+            .map(|e| (e.layer, e.bbox))
+            .collect()
+    });
+    if hot.as_ref().is_some_and(|h| h.is_empty()) {
+        return Vec::new();
+    }
+    let mut ordinals: HashMap<String, u32> = HashMap::new();
+    let mut rekeyed = Vec::new();
+    for e in elements {
+        if e.net_declared {
+            continue;
+        }
+        if let Some(h) = &hot {
+            if !h.contains(&(e.layer, e.bbox)) {
+                continue;
+            }
+        }
+        let base = auto_key_base(&e.net_key);
+        let key = match ordinals.get_mut(base) {
+            None => {
+                ordinals.insert(base.to_string(), 1);
+                None // ordinal 0: the base itself is the key
+            }
+            Some(n) => {
+                let key = format!("{base}:{n}");
+                *n += 1;
+                Some(key)
+            }
+        };
+        match key {
+            None => {
+                if e.net_key != auto_key_base(&e.net_key) {
+                    let key = auto_key_base(&e.net_key).to_string();
+                    rekeyed.push(e.id);
+                    e.net_key = key;
+                }
+            }
+            Some(key) => {
+                if e.net_key != key {
+                    rekeyed.push(e.id);
+                    e.net_key = key;
+                }
+            }
+        }
+    }
+    rekeyed
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -140,6 +261,10 @@ fn walk(
             let Some(layer) = binding.layer(e.layer) else {
                 return; // unknown layer, already reported
             };
+            // Auto-key base in *local* (definition) coordinates: stable
+            // under instance moves, so dragging a call does not rename
+            // its internal nets.
+            let local_bbox = e.shape.bbox();
             let shape = e.shape.transformed(t);
             let rects: Vec<Rect> = match &shape {
                 Shape::Box(r) => vec![*r],
@@ -159,10 +284,20 @@ fn walk(
                 }
             };
             let id = view.elements.len();
+            // Undeclared elements get their key *base* (path, layer and
+            // local bbox — never the element's position in the vector);
+            // `assign_auto_net_keys` appends ordinals where exact
+            // duplicates collide once the element list is complete.
             let (net_key, net_declared) = match &e.net {
                 Some(n) if path.is_empty() => (n.clone(), true),
                 Some(n) => (format!("{path}.{n}"), true),
-                None => (format!("#e{id}"), false),
+                None => (
+                    format!(
+                        "#{}:{}:{},{},{},{}",
+                        path, layer.0, local_bbox.x1, local_bbox.y1, local_bbox.x2, local_bbox.y2
+                    ),
+                    false,
+                ),
             };
             view.elements.push(ChipElement {
                 id,

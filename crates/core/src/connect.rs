@@ -62,20 +62,37 @@ pub fn device_forming_pairs(tech: &Technology) -> HashSet<(LayerId, LayerId)> {
 
 /// Runs the connection checks over the instantiated chip.
 pub fn check_connections(view: &ChipView, tech: &Technology) -> ConnectionResult {
+    let ids: Vec<usize> = (0..view.elements.len()).collect();
+    check_connections_among(view, tech, &ids)
+}
+
+/// Runs the connection checks over the pairs **among** the given
+/// elements only (ascending ids). This is the incremental checker's
+/// scoped pass: a connection verdict (touch + skeletal connectivity) is
+/// a pure pair function, so pairs with an endpoint outside the seed set
+/// keep their cached verdicts, and every pair whose verdict could have
+/// changed has both endpoints in the seed set (any element whose
+/// geometry changed — or that sits inside the dirty footprint a changed
+/// element left behind — is a seed).
+pub fn check_connections_among(
+    view: &ChipView,
+    tech: &Technology,
+    ids: &[usize],
+) -> ConnectionResult {
     let mut result = ConnectionResult::default();
     let forming = device_forming_pairs(tech);
 
-    // Index all elements by bbox, with cells sized from the
+    // Index the seed elements by bbox, with cells sized from the
     // technology's rule reach (see `interact::interaction_cell_size`).
     let mut index: GridIndex<usize> = GridIndex::new(crate::interact::interaction_cell_size(tech));
-    for e in &view.elements {
-        index.insert(e.bbox, e.id);
+    for &id in ids {
+        index.insert(view.elements[id].bbox, id);
     }
 
-    let mut seen: HashSet<(usize, usize)> = HashSet::new();
-    for a in &view.elements {
+    for &i in ids {
+        let a = &view.elements[i];
         for &j in index.query(&a.bbox) {
-            if j <= a.id || !seen.insert((a.id, j)) {
+            if j <= a.id {
                 continue;
             }
             let b = &view.elements[j];

@@ -66,13 +66,17 @@ impl DiagnosticSink {
         self.violations.push(v);
     }
 
-    /// Moves a whole vector of violations into the sink.
+    /// Moves a whole vector of violations into the sink (the owned-vector
+    /// form of [`DiagnosticSink::append`] — both funnel through one path
+    /// so the ordering contract below cannot fork).
     pub fn absorb(&mut self, mut vs: Vec<Violation>) {
-        self.violations.append(&mut vs);
+        self.append(&mut vs);
     }
 
     /// Drains `vs` into the sink, leaving it empty (for violation
-    /// vectors embedded in stage result structs).
+    /// vectors embedded in stage result structs). This is the single
+    /// ingestion path: every violation enters the sink in the order its
+    /// stage produced it, after everything previously ingested.
     pub fn append(&mut self, vs: &mut Vec<Violation>) {
         self.violations.append(vs);
     }
@@ -87,8 +91,18 @@ impl DiagnosticSink {
         self.violations.is_empty()
     }
 
-    /// Consumes the sink, yielding the collected violations in report
-    /// order (stage registration order, stable within each stage).
+    /// Consumes the sink, yielding the collected violations in **report
+    /// order**.
+    ///
+    /// The ordering contract (which report patching depends on): the
+    /// list is exactly the concatenation of each stage's violations in
+    /// stage *registration* order, and within one stage in the order
+    /// the stage pushed them — ingestion is append-only through
+    /// [`DiagnosticSink::append`], nothing is ever reordered or
+    /// deduplicated here. A canonical refinement of this order (sorted
+    /// within each stage) is produced by
+    /// [`crate::report::canonical_sort`]; the incremental checker keeps
+    /// its patched reports in that canonical form.
     pub fn into_violations(self) -> Vec<Violation> {
         self.violations
     }
@@ -139,6 +153,13 @@ pub struct CheckContext<'a> {
     pub interact_stats: InteractStats,
     /// Devices waived by the `9C` immunity flag.
     pub waived_devices: Vec<String>,
+    /// Optional clip region: stages that support scoping (interactions,
+    /// flat width/spacing) restrict their search to geometry within rule
+    /// reach of this region and report only violations anchored inside
+    /// it. `None` (the default) checks the whole chip. This is the
+    /// engine hook the incremental re-check subsystem drives; see
+    /// [`crate::incremental`].
+    pub clip: Option<diic_geom::Region>,
 }
 
 impl<'a> CheckContext<'a> {
@@ -156,7 +177,15 @@ impl<'a> CheckContext<'a> {
             flat_layers: None,
             interact_stats: InteractStats::default(),
             waived_devices: Vec::new(),
+            clip: None,
         }
+    }
+
+    /// Builder-style clip region (see [`CheckContext::clip`]).
+    #[must_use]
+    pub fn with_clip(mut self, clip: diic_geom::Region) -> Self {
+        self.clip = Some(clip);
+        self
     }
 
     /// The layer binding (requires the instantiate stage).
@@ -296,7 +325,7 @@ impl StageEngine {
     /// stage, byte-identical to serial.
     pub fn flat_baseline(options: FlatOptions) -> Self {
         StageEngine::new()
-            .with_stage(Box::new(FlatUnionStage))
+            .with_stage(Box::new(FlatUnionStage { options }))
             .with_stage(Box::new(FlatWidthStage { options }))
             .with_stage(Box::new(FlatSpacingStage { options }))
             .with_stage(Box::new(FlatGateStage { options }))
@@ -451,16 +480,65 @@ impl PipelineStage for InteractionsStage {
             hierarchical: ctx.options.hierarchical,
             parallelism: ctx.options.parallelism,
         };
-        let (ivs, stats) = check_interactions(
-            ctx.view(),
-            ctx.tech,
-            ctx.nets(),
-            ctx.layout,
-            &interact_options,
-        );
+        let (ivs, stats) = match &ctx.clip {
+            Some(clip) => crate::interact::check_interactions_clipped(
+                ctx.view(),
+                ctx.tech,
+                ctx.nets(),
+                &interact_options,
+                clip,
+            ),
+            None => check_interactions(
+                ctx.view(),
+                ctx.tech,
+                ctx.nets(),
+                ctx.layout,
+                &interact_options,
+            ),
+        };
         ctx.sink.absorb(ivs);
         ctx.interact_stats = stats;
     }
+}
+
+/// The composition tail as a free function: non-geometric construction
+/// rules (ERC) and the net-list consistency check. Shared by
+/// [`CompositionStage`] and the incremental session (where it is re-run
+/// in full on every edit — ERC is global over the net list).
+pub fn composition_violations(
+    netlist: &diic_netlist::Netlist,
+    tech: &Technology,
+    options: &CheckOptions,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if options.erc {
+        for e in check_erc(netlist, tech) {
+            let context = netlist.net(e.net).name.clone();
+            out.push(Violation {
+                stage: CheckStage::Composition,
+                kind: ViolationKind::Erc {
+                    rule: e.rule,
+                    detail: e.detail,
+                },
+                location: None,
+                context,
+            });
+        }
+    }
+    if let Some(intended) = &options.intended_netlist {
+        let diff = compare_by_structure(netlist, intended, 12);
+        if !diff.matched {
+            for msg in diff.messages {
+                out.push(Violation {
+                    stage: CheckStage::NetList,
+                    kind: ViolationKind::NetlistMismatch { detail: msg },
+                    location: None,
+                    context: String::new(),
+                });
+            }
+        }
+    }
+    out
 }
 
 /// The composition tail: non-geometric construction rules (ERC) and the
@@ -477,40 +555,19 @@ impl PipelineStage for CompositionStage {
     }
 
     fn run(&self, ctx: &mut CheckContext<'_>) {
-        if ctx.options.erc {
-            for e in check_erc(&ctx.nets().netlist, ctx.tech) {
-                let context = ctx.nets().netlist.net(e.net).name.clone();
-                ctx.sink.push(Violation {
-                    stage: CheckStage::Composition,
-                    kind: ViolationKind::Erc {
-                        rule: e.rule,
-                        detail: e.detail,
-                    },
-                    location: None,
-                    context,
-                });
-            }
-        }
-        if let Some(intended) = &ctx.options.intended_netlist {
-            let diff = compare_by_structure(&ctx.nets().netlist, intended, 12);
-            if !diff.matched {
-                for msg in diff.messages {
-                    ctx.sink.push(Violation {
-                        stage: CheckStage::NetList,
-                        kind: ViolationKind::NetlistMismatch { detail: msg },
-                        location: None,
-                        context: String::new(),
-                    });
-                }
-            }
-        }
+        let vs = composition_violations(&ctx.nets().netlist, ctx.tech, ctx.options);
+        ctx.sink.absorb(vs);
     }
 }
 
 /// Flat front end: flatten the layout and union it per mask layer (the
 /// baseline's counterpart of the instantiate stage — all topology is
-/// discarded here).
-pub struct FlatUnionStage;
+/// discarded here). The per-layer unions run across the worker pool
+/// ([`flat_stage_workers`]), byte-identical to serial.
+pub struct FlatUnionStage {
+    /// Baseline knobs (worker count).
+    pub options: FlatOptions,
+}
 
 impl PipelineStage for FlatUnionStage {
     fn name(&self) -> &'static str {
@@ -518,7 +575,8 @@ impl PipelineStage for FlatUnionStage {
     }
 
     fn run(&self, ctx: &mut CheckContext<'_>) {
-        ctx.flat_layers = Some(FlatLayers::build(ctx.layout, ctx.tech));
+        let workers = flat_stage_workers(&self.options, ctx);
+        ctx.flat_layers = Some(FlatLayers::build_parallel(ctx.layout, ctx.tech, workers));
     }
 }
 
@@ -552,7 +610,13 @@ impl PipelineStage for FlatWidthStage {
 
     fn run(&self, ctx: &mut CheckContext<'_>) {
         let workers = flat_stage_workers(&self.options, ctx);
-        let vs = flat_width_checks(ctx.flat_layers(), ctx.tech, &self.options, workers);
+        let vs = flat_width_checks(
+            ctx.flat_layers(),
+            ctx.tech,
+            &self.options,
+            workers,
+            ctx.clip.as_ref(),
+        );
         ctx.sink.absorb(vs);
     }
 }
@@ -575,7 +639,13 @@ impl PipelineStage for FlatSpacingStage {
 
     fn run(&self, ctx: &mut CheckContext<'_>) {
         let workers = flat_stage_workers(&self.options, ctx);
-        let vs = flat_spacing_checks(ctx.flat_layers(), ctx.tech, &self.options, workers);
+        let vs = flat_spacing_checks(
+            ctx.flat_layers(),
+            ctx.tech,
+            &self.options,
+            workers,
+            ctx.clip.as_ref(),
+        );
         ctx.sink.absorb(vs);
     }
 }
@@ -598,7 +668,14 @@ impl PipelineStage for FlatGateStage {
 
     fn run(&self, ctx: &mut CheckContext<'_>) {
         if self.options.contact_over_gate_rule {
-            let vs = flat_gate_checks(ctx.flat_layers(), ctx.tech);
+            // The gate rule is a handful of whole-layer Booleans — cheap
+            // enough to evaluate in full even under a clip (which keeps
+            // violation content exact: no component is ever truncated at
+            // the clip boundary); only the reported set is clipped.
+            let mut vs = flat_gate_checks(ctx.flat_layers(), ctx.tech);
+            if let Some(clip) = &ctx.clip {
+                vs.retain(|v| v.location.is_none_or(|l| clip.touches_rect(&l)));
+            }
             ctx.sink.absorb(vs);
         }
     }

@@ -95,7 +95,18 @@ pub struct FlatLayers {
 impl FlatLayers {
     /// Flattens the layout and unions its geometry per mask layer: all
     /// topology discarded, exactly what a mask-level checker sees.
+    /// Serial — [`FlatLayers::build_parallel`] with one worker.
     pub fn build(layout: &Layout, tech: &Technology) -> FlatLayers {
+        FlatLayers::build_parallel(layout, tech, 1)
+    }
+
+    /// [`FlatLayers::build`] with the per-layer union jobs spread across
+    /// `workers` scoped threads ([`run_ordered`]). The flatten walk is
+    /// serial (it is a fraction of the Boolean work); each layer's union
+    /// is an independent pure job and the jobs run in ascending layer-id
+    /// order, so any worker count produces a byte-identical artefact —
+    /// this was the flat path's last serial bottleneck.
+    pub fn build_parallel(layout: &Layout, tech: &Technology, workers: usize) -> FlatLayers {
         let flat = flatten(layout);
         let mut rects_per_layer: HashMap<LayerId, Vec<Rect>> = HashMap::new();
         for e in &flat {
@@ -107,12 +118,14 @@ impl FlatLayers {
                 .or_default()
                 .extend(e.shape.rects());
         }
-        let mut layers: Vec<(LayerId, Region)> = rects_per_layer
-            .into_iter()
-            .map(|(l, rs)| (l, Region::from_rects(rs)))
-            .collect();
-        layers.sort_by_key(|(l, _)| *l);
-        FlatLayers { layers }
+        let mut keyed: Vec<(LayerId, Vec<Rect>)> = rects_per_layer.into_iter().collect();
+        keyed.sort_by_key(|(l, _)| *l);
+        let unions = run_ordered(keyed.len(), workers, |k| {
+            Region::from_rects(keyed[k].1.iter().copied())
+        });
+        FlatLayers {
+            layers: keyed.iter().map(|(l, _)| *l).zip(unions).collect(),
+        }
     }
 
     /// The union for one layer, if any geometry was drawn on it.
@@ -148,21 +161,47 @@ impl FlatLayers {
 
 /// Width phase: shrink-expand-compare per layer, one job per eligible
 /// layer, merged in layer order.
+///
+/// With a `clip`, only the connected components within reach of the clip
+/// are checked and only violations anchored inside it are reported —
+/// sound because a width sliver lies inside its component, and exact
+/// because components are taken whole (never truncated at the clip
+/// boundary).
 pub fn flat_width_checks(
     layers: &FlatLayers,
     tech: &Technology,
     options: &FlatOptions,
     workers: usize,
+    clip: Option<&Region>,
 ) -> Vec<Violation> {
-    let eligible: Vec<(LayerId, &Region)> = layers
+    // Unclipped runs (the common baseline path) borrow the layer unions
+    // as-is; only clipped runs materialise scoped sub-regions.
+    let eligible: Vec<(LayerId, std::borrow::Cow<'_, Region>)> = layers
         .iter()
         .filter(|(layer, _)| {
             let info = tech.layer(*layer);
             info.kind.is_interconnect() || info.kind == LayerKind::Contact
         })
+        .filter_map(|(layer, region)| {
+            let region: std::borrow::Cow<'_, Region> = match clip {
+                None => std::borrow::Cow::Borrowed(region),
+                Some(clip) => {
+                    let scope = clip.inflate(tech.layer(layer).min_width.max(1) * 2);
+                    let kept: Vec<Rect> = region
+                        .components()
+                        .into_iter()
+                        .filter(|c| c.bbox().map(|b| scope.touches_rect(&b)).unwrap_or(false))
+                        .flat_map(|c| c.rects().to_vec())
+                        .collect();
+                    std::borrow::Cow::Owned(Region::from_rects(kept))
+                }
+            };
+            (!region.is_empty()).then_some((layer, region))
+        })
         .collect();
     run_ordered(eligible.len(), workers, |k| {
-        let (layer, region) = eligible[k];
+        let (layer, region) = &eligible[k];
+        let (layer, region) = (*layer, region.as_ref());
         let info = tech.layer(layer);
         let min_w = info.min_width;
         let mut out = Vec::new();
@@ -197,6 +236,9 @@ pub fn flat_width_checks(
                 }
             }
         }
+        if let Some(clip) = clip {
+            out.retain(|v| v.location.is_none_or(|l| clip.touches_rect(&l)));
+        }
         out
     })
     .into_iter()
@@ -214,8 +256,10 @@ enum SpacingJob {
         required: Coord,
         i: usize,
     },
-    /// Check one disjoint cross-layer rule entry.
+    /// Check one disjoint cross-layer rule entry (index into the
+    /// precomputed, possibly clip-scoped region pair store).
     Cross {
+        entry: usize,
         a: LayerId,
         b: LayerId,
         required: Coord,
@@ -227,23 +271,50 @@ enum SpacingJob {
 /// No net information exists. Jobs follow the matrix's deterministic
 /// entry order — per-component for same-layer entries (the quadratic
 /// part), per-entry for cross-layer ones — and merge in job order.
+///
+/// With a `clip`, only features within the rule's reach of the clip are
+/// paired and only violations whose gap marker touches the clip are
+/// reported — sound because a marker lies within the required spacing of
+/// **both** offending features.
 pub fn flat_spacing_checks(
     layers: &FlatLayers,
     tech: &Technology,
     options: &FlatOptions,
     workers: usize,
+    clip: Option<&Region>,
 ) -> Vec<Violation> {
     // Connected components per same-layer entry, computed once up front
     // and shared read-only by the jobs.
     let mut components: Vec<Vec<Region>> = Vec::new();
     let mut jobs: Vec<SpacingJob> = Vec::new();
+    // Unclipped runs borrow the layer unions; clipped runs own scoped
+    // sub-regions.
+    let mut cross_scoped: Vec<(std::borrow::Cow<'_, Region>, std::borrow::Cow<'_, Region>)> =
+        Vec::new();
+    // A feature can only produce a marker inside the clip if it lies
+    // within `required` of it.
+    let near = |region: &Region, clip: &Region, required: Coord| -> Region {
+        let scope = clip.inflate(required.max(1));
+        Region::from_rects(
+            region
+                .rects()
+                .iter()
+                .filter(|r| scope.touches_rect(r))
+                .copied()
+                .collect::<Vec<_>>(),
+        )
+    };
     for (a, b, rule) in tech.rules().entries() {
         let required = rule.diff_net;
         if a == b {
             let Some(region) = layers.get(a) else {
                 continue;
             };
-            let comps = region.components();
+            let mut comps = region.components();
+            if let Some(clip) = clip {
+                let scope = clip.inflate(required.max(1));
+                comps.retain(|c| c.bbox().map(|bb| scope.touches_rect(&bb)).unwrap_or(false));
+            }
             let entry = components.len();
             jobs.extend(
                 (0..comps.len().saturating_sub(1)).map(|i| SpacingJob::Same {
@@ -255,13 +326,33 @@ pub fn flat_spacing_checks(
             );
             components.push(comps);
         } else {
-            if layers.get(a).is_none() || layers.get(b).is_none() {
+            let (Some(ra), Some(rb)) = (layers.get(a), layers.get(b)) else {
                 continue;
-            }
-            jobs.push(SpacingJob::Cross { a, b, required });
+            };
+            let (ra, rb) = match clip {
+                None => (
+                    std::borrow::Cow::Borrowed(ra),
+                    std::borrow::Cow::Borrowed(rb),
+                ),
+                Some(clip) => {
+                    let (ra, rb) = (near(ra, clip, required), near(rb, clip, required));
+                    if ra.is_empty() || rb.is_empty() {
+                        continue;
+                    }
+                    (std::borrow::Cow::Owned(ra), std::borrow::Cow::Owned(rb))
+                }
+            };
+            let entry = cross_scoped.len();
+            cross_scoped.push((ra, rb));
+            jobs.push(SpacingJob::Cross {
+                entry,
+                a,
+                b,
+                required,
+            });
         }
     }
-    run_ordered(jobs.len(), workers, |k| {
+    let mut violations: Vec<Violation> = run_ordered(jobs.len(), workers, |k| {
         let mut out = Vec::new();
         match jobs[k] {
             SpacingJob::Same {
@@ -277,11 +368,13 @@ pub fn flat_spacing_checks(
                     }
                 }
             }
-            SpacingJob::Cross { a, b, required } => {
-                let (ra, rb) = (
-                    layers.get(a).expect("job built from present layer"),
-                    layers.get(b).expect("job built from present layer"),
-                );
+            SpacingJob::Cross {
+                entry,
+                a,
+                b,
+                required,
+            } => {
+                let (ra, rb) = &cross_scoped[entry];
                 // Overlapping cross-layer geometry is assumed intentional (a
                 // transistor, a contact): the mask-level checker cannot know
                 // better. Only disjoint features are spacing-checked — so it
@@ -295,7 +388,11 @@ pub fn flat_spacing_checks(
     })
     .into_iter()
     .flatten()
-    .collect()
+    .collect();
+    if let Some(clip) = clip {
+        violations.retain(|v| v.location.is_none_or(|l| clip.touches_rect(&l)));
+    }
+    violations
 }
 
 /// The mask-level Fig. 7 rule: no contact over the "active gate",
@@ -328,9 +425,9 @@ pub fn flat_gate_checks(layers: &FlatLayers, tech: &Technology) -> Vec<Violation
 /// [`FlatOptions::parallelism`].
 pub fn flat_check(layout: &Layout, tech: &Technology, options: &FlatOptions) -> Vec<Violation> {
     let workers = options.effective_parallelism();
-    let layers = FlatLayers::build(layout, tech);
-    let mut violations = flat_width_checks(&layers, tech, options, workers);
-    violations.extend(flat_spacing_checks(&layers, tech, options, workers));
+    let layers = FlatLayers::build_parallel(layout, tech, workers);
+    let mut violations = flat_width_checks(&layers, tech, options, workers, None);
+    violations.extend(flat_spacing_checks(&layers, tech, options, workers, None));
     if options.contact_over_gate_rule {
         violations.extend(flat_gate_checks(&layers, tech));
     }

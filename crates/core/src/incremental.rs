@@ -1,0 +1,1310 @@
+//! The incremental re-check subsystem: edit sessions, dirty-halo
+//! scoping, and report patching.
+//!
+//! The paper pitches layout verification as part of the *design loop* —
+//! designers re-check after every edit, not once at tapeout. A
+//! [`CheckSession`] makes that loop cheap: it owns the [`Layout`] and a
+//! cached, canonically ordered [`CheckReport`], accepts a typed
+//! [`EditSet`] (add / remove / move top-level items, replace a cell
+//! definition), and re-checks only the disturbed neighbourhood — yet the
+//! patched report is **byte-identical** to a from-scratch run
+//! ([`canonical_check`]) on the edited layout.
+//!
+//! # How the patch stays exact
+//!
+//! Per edit the session computes a **dirty core**: the union of the
+//! old and new footprints of every structurally changed element (edited
+//! top-level items; every instance of a replaced definition, found
+//! through the call-graph closure). From there:
+//!
+//! * **cheap global stages re-run in full** — layer binding, element
+//!   (per-definition width) checks, primitive-symbol checks, ERC and
+//!   net-list comparison. Their violations replace the cached ones
+//!   wholesale; they are a small fraction of a full run.
+//! * **the chip view is patched** — untouched top-level items keep
+//!   their instantiated element/device runs (ids and device indices are
+//!   renumbered in place); only dirty items re-instantiate. Auto net
+//!   keys are stable functions of element identity (path, layer, bbox),
+//!   so reuse does not rename distant nets.
+//! * **connections are patched** — a connection verdict is a pure pair
+//!   function, and its anchor (the bbox overlap) touches both elements,
+//!   so pairs among the *seed set* (dirty elements plus everything
+//!   whose bbox touches the dirty core) re-check while every other
+//!   pair's cached verdict and merge survive.
+//! * **the net graph is patched, the net list reassembled** — net keys
+//!   are interned once into stable integer nodes
+//!   ([`crate::netgen::NetParts`]); the edit swaps the dirty rows and
+//!   re-folds the graph through the same canonical
+//!   [`diic_netlist::assemble_netlist`] a full build uses. Cost is
+//!   integer union-find plus net construction, not string re-interning.
+//! * **net-wide effects are caught by a name diff** — connectivity is
+//!   global (one added strap merges two nets chip-wide), so after
+//!   reassembly every surviving element whose net's canonical name
+//!   changed, and every device whose terminal-net names changed, adds
+//!   its footprint to the dirty core. A merge or split always renames
+//!   at least one side (the canonical name is the minimum alias), so
+//!   every pair whose same-net/relatedness verdict could have flipped
+//!   now has a dirty endpoint.
+//! * **interactions re-run inside the halo only** — the dirty core is
+//!   inflated by the technology's rule reach
+//!   ([`crate::interact::max_rule_range`], the same reach that sizes
+//!   [`crate::interact::interaction_cell_size`]) and handed to
+//!   [`crate::interact::check_interactions_clipped`]. Spacing markers
+//!   are tight gap boxes (within the pair's gap of *both* elements), so
+//!   cached violations whose marker misses the halo are provably
+//!   unchanged and are kept; everything anchored inside the halo is
+//!   retracted and re-found fresh. The patched list is re-sorted with
+//!   [`crate::report::canonical_sort`], which is the order
+//!   [`canonical_check`] reports in — hence byte equality.
+//!
+//! What is *not* invalidated incrementally: the net list and ERC are
+//! recomputed every edit (the graph patch makes that cheap), and
+//! per-definition checks re-run in full. `tests/incremental.rs` holds
+//! the differential oracle: random edit sequences where the session
+//! report must equal a from-scratch check at every step, serial and
+//! parallel.
+//!
+//! # Example
+//!
+//! ```
+//! use diic_core::incremental::{CheckSession, EditSet};
+//! use diic_core::CheckOptions;
+//! use diic_geom::Rect;
+//! use diic_tech::nmos::nmos_technology;
+//!
+//! let tech = nmos_technology();
+//! let layout = diic_cif::parse("L NM; B 2000 750 1000 375; E").unwrap();
+//! let options = CheckOptions { erc: false, ..CheckOptions::default() };
+//! let mut session = CheckSession::new(layout, &tech, &options);
+//! assert!(session.report().violations.is_empty());
+//!
+//! // Drop a too-close metal stub next to the wire and re-check.
+//! let mut edits = EditSet::new();
+//! edits.add_box("NM", Rect::new(0, 1250, 2000, 2000), None);
+//! session.apply(&edits).unwrap();
+//! assert_eq!(session.report().violations.len(), 1);
+//! assert_eq!(
+//!     session.report().violations,
+//!     session.full_check().violations
+//! );
+//! ```
+
+use crate::binding::{assign_auto_net_keys, instantiate_item, ChipView, LayerBinding};
+use crate::checker::{check, CheckOptions, CheckReport};
+use crate::connect::check_connections_among;
+use crate::element_checks::check_elements;
+use crate::engine::composition_violations;
+use crate::interact::{check_interactions, max_rule_range, InteractOptions};
+use crate::netgen::{element_is_netted, BindIndex, NetParts, NetgenResult};
+use crate::primitive_checks::check_primitive_symbols;
+use crate::report::canonical_sort;
+use crate::violations::{CheckStage, Violation};
+use diic_cif::{Element, Item, Layout, NetLabel, Shape, SymbolId};
+use diic_geom::{Rect, Region, Transform, Vector};
+use diic_tech::{LayerId, Technology};
+use std::collections::HashSet;
+
+/// One edit against the top level of a layout or its symbol table.
+#[derive(Debug, Clone)]
+pub enum Edit {
+    /// Append a primitive element at top level. The layer is named by
+    /// its CIF name (interned on application; unknown names are
+    /// reported by layer binding exactly as a full check would).
+    AddElement {
+        /// CIF layer name (e.g. `NM`).
+        cif_layer: String,
+        /// The geometry.
+        shape: Shape,
+        /// Optional declared net (`9N`).
+        net: Option<String>,
+    },
+    /// Remove the top-level item at this index (element or call; later
+    /// items shift down, exactly as in the layout itself).
+    RemoveItem {
+        /// Index into the current `Layout::top_items`.
+        index: usize,
+    },
+    /// Translate the top-level item at this index (an element's shape,
+    /// or a call's placement transform).
+    MoveItem {
+        /// Index into the current `Layout::top_items`.
+        index: usize,
+        /// Translation vector.
+        by: Vector,
+    },
+    /// Replace a symbol definition's body items. Every instance of the
+    /// symbol (and of symbols that call it, transitively) is
+    /// invalidated.
+    ReplaceSymbol {
+        /// The definition to replace.
+        symbol: SymbolId,
+        /// The new body.
+        items: Vec<Item>,
+    },
+}
+
+/// An ordered batch of edits, applied sequentially (each edit sees the
+/// indices left by the previous one).
+#[derive(Debug, Clone, Default)]
+pub struct EditSet {
+    /// The edits, in application order.
+    pub edits: Vec<Edit>,
+}
+
+impl EditSet {
+    /// An empty edit set.
+    pub fn new() -> Self {
+        EditSet::default()
+    }
+
+    /// True if the set contains no edits.
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+
+    /// Convenience: append a box element.
+    pub fn add_box(&mut self, cif_layer: &str, rect: Rect, net: Option<&str>) -> &mut Self {
+        self.edits.push(Edit::AddElement {
+            cif_layer: cif_layer.to_string(),
+            shape: Shape::Box(rect),
+            net: net.map(str::to_string),
+        });
+        self
+    }
+
+    /// Convenience: remove a top-level item.
+    pub fn remove(&mut self, index: usize) -> &mut Self {
+        self.edits.push(Edit::RemoveItem { index });
+        self
+    }
+
+    /// Convenience: move a top-level item.
+    pub fn translate(&mut self, index: usize, dx: i64, dy: i64) -> &mut Self {
+        self.edits.push(Edit::MoveItem {
+            index,
+            by: Vector::new(dx, dy),
+        });
+        self
+    }
+
+    /// Convenience: replace a symbol's body.
+    pub fn replace_symbol(&mut self, symbol: SymbolId, items: Vec<Item>) -> &mut Self {
+        self.edits.push(Edit::ReplaceSymbol { symbol, items });
+        self
+    }
+}
+
+/// Why an [`EditSet`] was rejected (the session is left untouched).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditError {
+    /// An item index was out of bounds at its point in the sequence.
+    ItemOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The top-item count at that point.
+        len: usize,
+    },
+    /// A replaced symbol id does not exist.
+    UnknownSymbol(SymbolId),
+}
+
+impl std::fmt::Display for EditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EditError::ItemOutOfBounds { index, len } => {
+                write!(f, "top-level item index {index} out of bounds (len {len})")
+            }
+            EditError::UnknownSymbol(s) => write!(f, "unknown symbol id {}", s.0),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+/// What one [`CheckSession::apply`] did — the observability handle the
+/// `fig_incremental` bench and the e17 experiment table read.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EditStats {
+    /// Top-level items re-instantiated (dirty).
+    pub dirty_items: usize,
+    /// Elements belonging to dirty items (structurally dirty).
+    pub dirty_elements: usize,
+    /// Elements whose net changed identity in the name diff.
+    pub net_dirty_elements: usize,
+    /// Seed elements the scoped connection pass examined.
+    pub seed_elements: usize,
+    /// Candidate pairs the scoped interaction pass evaluated.
+    pub rechecked_pairs: u64,
+    /// Cached violations retracted from the report.
+    pub retracted: usize,
+    /// Fresh violations spliced into the report (patched stages only).
+    pub spliced: usize,
+    /// True when the edit dirtied so much of the chip that the session
+    /// fell back to a full rebuild (still byte-identical — just not
+    /// faster than a from-scratch check).
+    pub full_rebuild: bool,
+    /// True when the edit was *net-neutral* — the patched net graph
+    /// proved bit-identical to the cached one (same nodes, edges, and
+    /// bindings), so the cached net list was reused without
+    /// reassembly. Moving geometry with declared nets, or whole
+    /// instances (auto keys are instance-local), typically qualifies.
+    pub netlist_reused: bool,
+    /// Wall clock of the view patch (apply + instantiate dirty items).
+    pub t_view: std::time::Duration,
+    /// Wall clock of the scoped connection pass.
+    pub t_conn: std::time::Duration,
+    /// Wall clock of the net-graph patch + reassembly + name diff.
+    pub t_net: std::time::Duration,
+    /// Wall clock of the scoped interaction pass.
+    pub t_interact: std::time::Duration,
+    /// Wall clock of the full-re-run global stages (binding, elements,
+    /// primitives, composition).
+    pub t_global: std::time::Duration,
+    /// Wall clock of the report retract/splice/sort.
+    pub t_patch: std::time::Duration,
+}
+
+/// Per-item instantiation run lengths (the unit of view reuse).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct ItemRun {
+    elems: usize,
+    devices: usize,
+}
+
+/// A slot in the edited top-item list: where it came from and whether
+/// it must re-instantiate.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    origin: Option<usize>,
+    dirty: bool,
+}
+
+/// An element's entry in the session's persistent spatial index: a
+/// session-unique tag (the index payload) and the grid handle for
+/// removal.
+#[derive(Debug, Clone, Copy)]
+struct ElemTag {
+    tag: u32,
+    handle: u32,
+}
+
+/// An edit session: a layout under interactive editing with its cached,
+/// canonically ordered check report and the artefacts needed to re-check
+/// incrementally. See the module docs for the invalidation model.
+#[derive(Debug)]
+pub struct CheckSession {
+    layout: Layout,
+    tech: Technology,
+    options: CheckOptions,
+    halo: i64,
+    binding: LayerBinding,
+    labels: Vec<(NetLabel, Option<LayerId>)>,
+    view: ChipView,
+    runs: Vec<ItemRun>,
+    merges: Vec<(usize, usize)>,
+    parts: NetParts,
+    element_net: Vec<Option<diic_netlist::NetId>>,
+    device_terminal_nets: Vec<Vec<diic_netlist::NetId>>,
+    /// Persistent spatial index over element bboxes (the
+    /// [`diic_geom::GridIndex`] incremental-update path): dirty-region
+    /// queries cost the neighbourhood, not a whole-chip scan.
+    elem_index: diic_geom::GridIndex<u32>,
+    elem_tags: Vec<ElemTag>,
+    next_tag: u32,
+    /// Tag → current element id. Stale (removed) tags keep garbage
+    /// values; only live tags — which the index queries return — are
+    /// ever read.
+    tag_owner: Vec<usize>,
+    report: CheckReport,
+}
+
+impl CheckSession {
+    /// Opens a session: runs a full check and caches every artefact.
+    /// The session owns the layout; edits go through
+    /// [`CheckSession::apply`].
+    pub fn new(layout: Layout, tech: &Technology, options: &CheckOptions) -> CheckSession {
+        let tech = tech.clone();
+        let options = options.clone();
+        let halo = max_rule_range(&tech);
+
+        let (binding, bind_violations) = LayerBinding::bind(&layout, &tech);
+        let mut view = ChipView::default();
+        let mut runs = Vec::with_capacity(layout.top_items().len());
+        for item in layout.top_items() {
+            let (e0, d0) = (view.elements.len(), view.devices.len());
+            instantiate_item(&layout, &tech, &binding, item, &mut view);
+            runs.push(ItemRun {
+                elems: view.elements.len() - e0,
+                devices: view.devices.len() - d0,
+            });
+        }
+        assign_auto_net_keys(&mut view.elements, None);
+        let mut instantiate_violations = std::mem::take(&mut view.violations);
+        // The patch path cannot regenerate *clean* items' instantiation
+        // violations (it never re-walks them), which is sound today only
+        // because the walk produces none. If `ChipView::violations` ever
+        // gains a producer, teach the session to cache them per item run
+        // before relying on report patching.
+        debug_assert!(
+            instantiate_violations.is_empty(),
+            "instantiate-time violations are not cached per item run yet; \
+             CheckSession::apply would silently drop them for clean items"
+        );
+
+        let mut elem_index =
+            diic_geom::GridIndex::new(crate::interact::interaction_cell_size(&tech));
+        let mut elem_tags = Vec::with_capacity(view.elements.len());
+        let mut next_tag = 0u32;
+        for e in &view.elements {
+            let tag = next_tag;
+            next_tag += 1;
+            let handle = elem_index.insert(e.bbox, tag);
+            elem_tags.push(ElemTag { tag, handle });
+        }
+
+        let mut violations = bind_violations;
+        violations.append(&mut instantiate_violations);
+        violations.extend(check_elements(&layout, &tech, &binding));
+        let prim = check_primitive_symbols(&layout, &tech, &binding);
+        let waived_devices = prim.waived;
+        violations.extend(prim.violations);
+
+        let conn = crate::connect::check_connections(&view, &tech);
+        violations.extend(conn.violations);
+
+        let labels: Vec<(NetLabel, Option<LayerId>)> = layout
+            .labels()
+            .iter()
+            .map(|l| (l.clone(), binding.layer(l.layer)))
+            .collect();
+        let parts = NetParts::build(&view, &tech, &conn.merges, &labels);
+        let mut nets = parts.assemble(&view);
+        violations.append(&mut nets.violations);
+
+        let interact_options = InteractOptions {
+            same_net_suppression: options.same_net_suppression,
+            metric: options.metric,
+            hierarchical: options.hierarchical,
+            parallelism: options.parallelism,
+        };
+        let (ivs, stats) = check_interactions(&view, &tech, &nets, &layout, &interact_options);
+        violations.extend(ivs);
+
+        violations.extend(composition_violations(&nets.netlist, &tech, &options));
+        canonical_sort(&mut violations);
+
+        let NetgenResult {
+            netlist,
+            element_net,
+            device_terminal_nets,
+            ..
+        } = nets;
+        let report = CheckReport {
+            violations,
+            netlist,
+            interact_stats: stats,
+            timings: Default::default(),
+            stage_profile: Vec::new(),
+            waived_devices,
+            element_count: view.elements.len(),
+            device_count: view.devices.len(),
+        };
+
+        CheckSession {
+            layout,
+            tech,
+            options,
+            halo,
+            binding,
+            labels,
+            view,
+            runs,
+            merges: conn.merges,
+            parts,
+            element_net,
+            device_terminal_nets,
+            elem_index,
+            elem_tags,
+            next_tag,
+            tag_owner: (0..next_tag as usize).collect(),
+            report,
+        }
+    }
+
+    /// The layout in its current (edited) state.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The cached report for the current layout, in canonical order —
+    /// violations, net list and counts are byte-identical to
+    /// [`CheckSession::full_check`]. `interact_stats` and timings
+    /// describe the *incremental* work of the last apply, not a full
+    /// run.
+    pub fn report(&self) -> &CheckReport {
+        &self.report
+    }
+
+    /// A from-scratch check of the current layout, canonically sorted —
+    /// the oracle [`CheckSession::report`] must match.
+    pub fn full_check(&self) -> CheckReport {
+        canonical_check(&self.layout, &self.tech, &self.options)
+    }
+
+    /// Applies an edit batch and patches the cached report. On error
+    /// the session (including the layout) is untouched.
+    pub fn apply(&mut self, edits: &EditSet) -> Result<EditStats, EditError> {
+        let t_start = std::time::Instant::now();
+        // -- Phase A: validate and simulate slot bookkeeping. ---------
+        let n_old = self.layout.top_items().len();
+        let mut slots: Vec<Slot> = (0..n_old)
+            .map(|i| Slot {
+                origin: Some(i),
+                dirty: false,
+            })
+            .collect();
+        let mut removed_origins: Vec<usize> = Vec::new();
+        let mut replaced: Vec<SymbolId> = Vec::new();
+        for edit in &edits.edits {
+            match edit {
+                Edit::AddElement { .. } => slots.push(Slot {
+                    origin: None,
+                    dirty: true,
+                }),
+                Edit::RemoveItem { index } => {
+                    if *index >= slots.len() {
+                        return Err(EditError::ItemOutOfBounds {
+                            index: *index,
+                            len: slots.len(),
+                        });
+                    }
+                    if let Some(o) = slots.remove(*index).origin {
+                        removed_origins.push(o);
+                    }
+                }
+                Edit::MoveItem { index, .. } => {
+                    if *index >= slots.len() {
+                        return Err(EditError::ItemOutOfBounds {
+                            index: *index,
+                            len: slots.len(),
+                        });
+                    }
+                    slots[*index].dirty = true;
+                }
+                Edit::ReplaceSymbol { symbol, .. } => {
+                    if symbol.0 as usize >= self.layout.symbols().len() {
+                        return Err(EditError::UnknownSymbol(*symbol));
+                    }
+                    replaced.push(*symbol);
+                }
+            }
+        }
+
+        // Dirty-symbol closure: a replaced definition invalidates every
+        // symbol that (transitively) calls it. Ancestry edges come from
+        // *other* symbols' bodies, which no edit touches, so the closure
+        // is the same before and after application.
+        let dirty_symbols = dirty_symbol_closure(&self.layout, &replaced);
+        for slot in &mut slots {
+            let Some(o) = slot.origin else { continue };
+            if let Item::Call(c) = &self.layout.top_items()[o] {
+                if dirty_symbols.contains(&c.target) {
+                    slot.dirty = true;
+                }
+            }
+        }
+
+        // Degradation guard: when the edit dirties a large fraction of
+        // the chip (a definition instantiated everywhere, a shuffled
+        // floorplan), patching costs more than recomputing — the halo
+        // covers everything and every cache misses. Rebuild instead;
+        // the result is the same canonical report either way.
+        let total_old = self.view.elements.len();
+        let dirty_old: usize = removed_origins
+            .iter()
+            .copied()
+            .chain(slots.iter().filter(|s| s.dirty).filter_map(|s| s.origin))
+            .map(|o| self.runs[o].elems)
+            .sum();
+        if total_old > 0 && dirty_old * 10 >= total_old * 3 {
+            let dirty_items = slots.iter().filter(|s| s.dirty).count();
+            apply_layout_edits(&mut self.layout, edits);
+            let layout = std::mem::take(&mut self.layout);
+            *self = CheckSession::new(layout, &self.tech, &self.options);
+            return Ok(EditStats {
+                dirty_items,
+                dirty_elements: dirty_old,
+                full_rebuild: true,
+                t_view: t_start.elapsed(),
+                ..EditStats::default()
+            });
+        }
+
+        // -- Phase B: old footprints (from the cached view's runs), and
+        // eviction of the stale entries from the persistent element
+        // index (survivor entries stay put — their bboxes are
+        // unchanged).
+        let mut stats = EditStats::default();
+        // Removed items never reach the new view's dirty loop below, but
+        // their evicted footprints drive retraction and halo re-checks
+        // all the same — count them as dirty work.
+        stats.dirty_items += removed_origins.len();
+        stats.dirty_elements += removed_origins
+            .iter()
+            .map(|&o| self.runs[o].elems)
+            .sum::<usize>();
+        let old_offsets = run_offsets(&self.runs);
+        let mut foot: Vec<Rect> = Vec::new();
+        for o in removed_origins
+            .iter()
+            .copied()
+            .chain(slots.iter().filter(|s| s.dirty).filter_map(|s| s.origin))
+        {
+            let (e0, _) = old_offsets[o];
+            for (e, t) in self.view.elements[e0..e0 + self.runs[o].elems]
+                .iter()
+                .zip(&self.elem_tags[e0..e0 + self.runs[o].elems])
+            {
+                foot.push(e.bbox);
+                self.elem_index.remove(t.handle);
+            }
+        }
+
+        // -- Phase C: apply the edits to the layout. ------------------
+        apply_layout_edits(&mut self.layout, edits);
+        debug_assert_eq!(slots.len(), self.layout.top_items().len());
+
+        // -- Phase D: re-bind layers (the name set may have grown). ---
+        let (binding, bind_violations) = LayerBinding::bind(&self.layout, &self.tech);
+
+        // -- Phase E: patch the view, reusing clean runs. -------------
+        let old_view = std::mem::take(&mut self.view);
+        let old_runs = std::mem::take(&mut self.runs);
+        let old_tags = std::mem::take(&mut self.elem_tags);
+        let old_element_count = old_view.elements.len();
+        let mut old_elems: Vec<Option<crate::binding::ChipElement>> =
+            old_view.elements.into_iter().map(Some).collect();
+        let mut old_devs: Vec<Option<crate::binding::DeviceInstance>> =
+            old_view.devices.into_iter().map(Some).collect();
+
+        let mut view = ChipView::default();
+        let mut tags: Vec<ElemTag> = Vec::with_capacity(old_element_count);
+        let mut runs: Vec<ItemRun> = Vec::with_capacity(slots.len());
+        let mut old_to_new: Vec<Option<usize>> = vec![None; old_element_count];
+        // Device alignment for the terminal-net diff: new device id →
+        // old device id (survivor runs only).
+        let mut dev_old_of_new: Vec<Option<usize>> = Vec::new();
+        for (k, slot) in slots.iter().enumerate() {
+            let (e0, d0) = (view.elements.len(), view.devices.len());
+            match (slot.dirty, slot.origin) {
+                (false, Some(o)) => {
+                    let (oe, od) = old_offsets[o];
+                    let run = old_runs[o];
+                    for t in 0..run.elems {
+                        let mut el = old_elems[oe + t].take().expect("runs are disjoint");
+                        el.id = e0 + t;
+                        if let Some(d) = el.device {
+                            el.device = Some(d - od + d0);
+                        }
+                        old_to_new[oe + t] = Some(e0 + t);
+                        tags.push(old_tags[oe + t]);
+                        view.elements.push(el);
+                    }
+                    for t in 0..run.devices {
+                        let mut dv = old_devs[od + t].take().expect("runs are disjoint");
+                        for id in dv.element_ids.iter_mut() {
+                            *id = *id - oe + e0;
+                        }
+                        dev_old_of_new.push(Some(od + t));
+                        view.devices.push(dv);
+                    }
+                    runs.push(run);
+                }
+                _ => {
+                    stats.dirty_items += 1;
+                    instantiate_item(
+                        &self.layout,
+                        &self.tech,
+                        &binding,
+                        &self.layout.top_items()[k],
+                        &mut view,
+                    );
+                    for e in &view.elements[e0..] {
+                        let tag = self.next_tag;
+                        self.next_tag += 1;
+                        let handle = self.elem_index.insert(e.bbox, tag);
+                        tags.push(ElemTag { tag, handle });
+                    }
+                    dev_old_of_new.extend(std::iter::repeat_n(None, view.devices.len() - d0));
+                    runs.push(ItemRun {
+                        elems: view.elements.len() - e0,
+                        devices: view.devices.len() - d0,
+                    });
+                }
+            }
+        }
+        let mut fresh_instantiate_violations = std::mem::take(&mut view.violations);
+
+        // New footprints + dirty element flags.
+        let n_new = view.elements.len();
+        let mut dirty_elem = vec![false; n_new];
+        let new_offsets = run_offsets(&runs);
+        for (slot, (&(e0, _), run)) in slots.iter().zip(new_offsets.iter().zip(&runs)) {
+            if slot.dirty {
+                for e in &view.elements[e0..e0 + run.elems] {
+                    foot.push(e.bbox);
+                    dirty_elem[e.id] = true;
+                    stats.dirty_elements += 1;
+                }
+            }
+        }
+        let d_conn = Region::from_rects(foot.iter().copied());
+        let cell = crate::interact::interaction_cell_size(&self.tech);
+        let d_conn_grid = region_grid(&d_conn, cell);
+        // Refresh the tag → element-id map (stale tags are never read:
+        // the index only returns live ones).
+        self.tag_owner.resize(self.next_tag as usize, usize::MAX);
+        for (id, t) in tags.iter().enumerate() {
+            self.tag_owner[t.tag as usize] = id;
+        }
+        let tag_owner = &self.tag_owner;
+        // Seed set: dirty elements plus everything touching the dirty
+        // footprints — the elements whose pair verdicts, duplicate-key
+        // ordinals, or bindings could have changed. Queried from the
+        // persistent index: cost follows the edit, not the chip.
+        let mut seed = dirty_elem.clone();
+        for r in d_conn.rects() {
+            for &tag in self.elem_index.query(r) {
+                seed[tag_owner[tag as usize]] = true;
+            }
+        }
+        // Auto net keys: re-derive only identity groups with a changed
+        // member (the seed mask covers removed duplicates — they share
+        // their bbox with their survivors by definition).
+        let rekeyed = assign_auto_net_keys(&mut view.elements, Some(&seed));
+        stats.t_view = t_start.elapsed();
+
+        // -- Phase F: patch connections. ------------------------------
+        let t0 = std::time::Instant::now();
+        let seeds: Vec<usize> = (0..n_new).filter(|&i| seed[i]).collect();
+        stats.seed_elements = seeds.len();
+        let scoped_conn = check_connections_among(&view, &self.tech, &seeds);
+        let mut merges: Vec<(usize, usize)> = self
+            .merges
+            .iter()
+            .filter_map(|&(i, j)| {
+                let (Some(ni), Some(nj)) = (old_to_new[i], old_to_new[j]) else {
+                    return None;
+                };
+                // Pairs fully inside the seed set are the scoped pass's
+                // verdicts; everything else is provably unchanged.
+                (!(seed[ni] && seed[nj])).then_some((ni, nj))
+            })
+            .collect();
+        merges.extend_from_slice(&scoped_conn.merges);
+        merges.sort_unstable();
+        stats.t_conn = t0.elapsed();
+
+        // -- Phase G: patch the net graph and reassemble. -------------
+        let t0 = std::time::Instant::now();
+        let old_element_node = std::mem::take(&mut self.parts.element_node);
+        let mut element_node: Vec<Option<u32>> = vec![None; n_new];
+        for (old, new) in old_to_new.iter().enumerate() {
+            if let Some(new) = new {
+                element_node[*new] = old_element_node[old];
+            }
+        }
+        for &id in &rekeyed {
+            // Re-keyed survivors keep their netted-ness; fresh elements
+            // are handled below.
+            if element_node[id].is_some() {
+                element_node[id] = Some(self.parts.node(&view.elements[id].net_key));
+            }
+        }
+        for (id, e) in view.elements.iter().enumerate() {
+            if dirty_elem[id] {
+                element_node[id] = element_is_netted(&view, e).then(|| self.parts.node(&e.net_key));
+            }
+        }
+        // Net-neutral fast-path candidate: an edit that provably leaves
+        // the net graph bit-identical (same item structure, no re-keyed
+        // elements, every dirty element kept its node, and — checked
+        // below — identical connection edges and device/label rows)
+        // reuses the cached net list instead of reassembling it. A
+        // moved instance (auto keys are instance-local) or a dragged
+        // declared-net wire in free space is the common hit.
+        let aligned = slots.len() == old_runs.len()
+            && slots.iter().enumerate().all(|(i, s)| s.origin == Some(i))
+            && runs == old_runs;
+        let mut net_neutral = aligned
+            && rekeyed.is_empty()
+            && (0..n_new)
+                .filter(|&i| dirty_elem[i])
+                .all(|i| element_node[i] == old_element_node[i]);
+        self.parts.element_node = element_node;
+        let old_conn_edges = net_neutral.then(|| self.parts.conn_edges.clone());
+        self.parts.set_conn_edges(&merges);
+        if let Some(old_edges) = &old_conn_edges {
+            net_neutral &= *old_edges == self.parts.conn_edges;
+        }
+
+        // Rebinding region: geometry changes plus re-keyed elements
+        // (their interned node changed even though nothing moved). With
+        // no surviving re-keys it is exactly the connection dirty
+        // region, whose grid already exists.
+        let d_bind_grid_wide = rekeyed.iter().any(|&id| !dirty_elem[id]).then(|| {
+            let mut rects = foot.clone();
+            rects.extend(rekeyed.iter().map(|&id| view.elements[id].bbox));
+            region_grid(&Region::from_rects(rects), cell)
+        });
+        let d_bind_grid = d_bind_grid_wide.as_ref().unwrap_or(&d_conn_grid);
+        let rekeyed_flags = {
+            let mut f = vec![false; n_new];
+            for &id in &rekeyed {
+                f[id] = true;
+            }
+            f
+        };
+
+        // Decide which devices and labels re-bind. A binding (point →
+        // covering elements) can only have changed if geometry inside
+        // the point's bbox changed — i.e. the point touches `d_bind`;
+        // a device also re-rows when one of its own elements was
+        // re-keyed (its join/bind edges reference the stale node).
+        let point_rect = |p: diic_geom::Point| Rect::new(p.x, p.y, p.x, p.y);
+        let rerow: Vec<bool> = (0..view.devices.len())
+            .map(|di| {
+                let dev = &view.devices[di];
+                dev_old_of_new[di].is_none()
+                    || dev.element_ids.iter().any(|&eid| rekeyed_flags[eid])
+                    || dev
+                        .terminals
+                        .iter()
+                        .any(|(_, _, p)| d_bind_grid.touches_any(&point_rect(*p)))
+            })
+            .collect();
+        let relabel: Vec<bool> = self
+            .labels
+            .iter()
+            .map(|(label, _)| d_bind_grid.touches_any(&point_rect(label.position)))
+            .collect();
+
+        // The scoped bind index must be complete at **every** re-bound
+        // point — a device re-rows all of its terminals even when only
+        // one sits in the dirty region, so the scope is the union of
+        // the re-bound points themselves (an element can only bind if
+        // its bbox covers the point).
+        let bind: Option<BindIndex> = if rerow.iter().any(|&b| b) || relabel.iter().any(|&b| b) {
+            let mut pts: Vec<Rect> = Vec::new();
+            for (di, &r) in rerow.iter().enumerate() {
+                if r {
+                    for (_, _, p) in &view.devices[di].terminals {
+                        // 1-unit pad: Region drops zero-area rects.
+                        pts.push(Rect::new(p.x - 1, p.y - 1, p.x + 1, p.y + 1));
+                    }
+                }
+            }
+            for ((label, _), &r) in self.labels.iter().zip(&relabel) {
+                if r {
+                    let p = label.position;
+                    pts.push(Rect::new(p.x - 1, p.y - 1, p.x + 1, p.y + 1));
+                }
+            }
+            let mut ids: Vec<usize> = Vec::new();
+            for r in Region::from_rects(pts).rects() {
+                ids.extend(
+                    self.elem_index
+                        .query(r)
+                        .into_iter()
+                        .map(|&tag| tag_owner[tag as usize]),
+                );
+            }
+            ids.sort_unstable();
+            ids.dedup();
+            ids.retain(|&id| element_is_netted(&view, &view.elements[id]));
+            Some(BindIndex::build_among(&view, &self.tech, &ids))
+        } else {
+            None
+        };
+
+        // Device rows: reuse survivors, recompute the rest.
+        let mut old_rows: Vec<Option<crate::netgen::DeviceParts>> =
+            std::mem::take(&mut self.parts.devices)
+                .into_iter()
+                .map(Some)
+                .collect();
+        let mut new_rows: Vec<crate::netgen::DeviceParts> = Vec::with_capacity(view.devices.len());
+        for di in 0..view.devices.len() {
+            let reusable = if rerow[di] {
+                None
+            } else {
+                dev_old_of_new[di].and_then(|od| old_rows[od].take())
+            };
+            match reusable {
+                Some(row) => new_rows.push(row),
+                None => {
+                    let b = bind
+                        .as_ref()
+                        .expect("bind index built when anything re-rows");
+                    let row = self.parts.device_parts(&view, di, b);
+                    if net_neutral {
+                        // Under `aligned`, device di corresponds to old
+                        // device di.
+                        net_neutral = old_rows
+                            .get(di)
+                            .and_then(|r| r.as_ref())
+                            .is_some_and(|old| *old == row);
+                    }
+                    new_rows.push(row);
+                }
+            }
+        }
+        self.parts.devices = new_rows;
+
+        // Label rows: re-bind those whose point sits in the rebinding
+        // region.
+        for (li, (label, layer)) in self.labels.iter().enumerate() {
+            if relabel[li] {
+                let b = bind
+                    .as_ref()
+                    .expect("bind index built when anything re-binds");
+                let row = self.parts.label_parts(&view, label, *layer, b);
+                net_neutral &= self.parts.labels[li] == row;
+                self.parts.labels[li] = row;
+            }
+        }
+
+        let nets_new = if net_neutral {
+            stats.netlist_reused = true;
+            NetgenResult {
+                netlist: std::mem::take(&mut self.report.netlist),
+                element_net: std::mem::take(&mut self.element_net),
+                device_terminal_nets: std::mem::take(&mut self.device_terminal_nets),
+                violations: Vec::new(),
+            }
+        } else {
+            self.parts.assemble(&view)
+        };
+
+        // -- Phase H: net-identity diff extends the dirty core. -------
+        let mut int_foot = foot;
+        if !net_neutral {
+            let old_name = |id: Option<diic_netlist::NetId>| -> Option<&str> {
+                id.map(|id| self.report.netlist.net(id).name.as_str())
+            };
+            let new_name = |id: Option<diic_netlist::NetId>| -> Option<&str> {
+                id.map(|id| nets_new.netlist.net(id).name.as_str())
+            };
+            for (old, new) in old_to_new.iter().enumerate() {
+                let Some(new) = *new else { continue };
+                if old_name(self.element_net[old]) != new_name(nets_new.element_net[new]) {
+                    int_foot.push(view.elements[new].bbox);
+                    stats.net_dirty_elements += 1;
+                }
+            }
+            for (di, old_di) in dev_old_of_new.iter().enumerate() {
+                let Some(old_di) = *old_di else { continue };
+                let old_terms = &self.device_terminal_nets[old_di];
+                let new_terms = &nets_new.device_terminal_nets[di];
+                let same = old_terms.len() == new_terms.len()
+                    && old_terms
+                        .iter()
+                        .zip(new_terms)
+                        .all(|(&o, &n)| old_name(Some(o)) == new_name(Some(n)));
+                if !same {
+                    for &eid in &view.devices[di].element_ids {
+                        int_foot.push(view.elements[eid].bbox);
+                    }
+                }
+            }
+        }
+        let d_halo = Region::from_rects(int_foot).inflate(self.halo);
+        // One grid serves both the scoped search's marker filter and
+        // Phase K's retraction predicate — they must agree bit for bit.
+        let d_halo_grid = region_grid(&d_halo, cell);
+        stats.t_net = t0.elapsed();
+
+        // -- Phase I: scoped interactions inside the halo. ------------
+        let t0 = std::time::Instant::now();
+        let interact_options = InteractOptions {
+            same_net_suppression: self.options.same_net_suppression,
+            metric: self.options.metric,
+            hierarchical: self.options.hierarchical,
+            parallelism: self.options.parallelism,
+        };
+        // Candidate elements (one rule reach around the halo) from the
+        // persistent index: bbox ⊕ reach touches the halo ⇔ bbox
+        // touches a halo rect ⊕ reach.
+        let mut halo_ids: Vec<usize> = Vec::new();
+        for r in d_halo.rects() {
+            if let Some(q) = r.inflate(self.halo) {
+                halo_ids.extend(
+                    self.elem_index
+                        .query(&q)
+                        .into_iter()
+                        .map(|&tag| tag_owner[tag as usize]),
+                );
+            }
+        }
+        halo_ids.sort_unstable();
+        halo_ids.dedup();
+        let (ivs, istats) = crate::interact::check_interactions_among_clipped(
+            &view,
+            &self.tech,
+            &nets_new,
+            &interact_options,
+            &halo_ids,
+            &d_halo_grid,
+        );
+        stats.rechecked_pairs = istats.candidate_pairs;
+        stats.t_interact = t0.elapsed();
+
+        // -- Phase J: global stages re-run in full. -------------------
+        let t0 = std::time::Instant::now();
+        let mut fresh: Vec<Violation> = bind_violations;
+        fresh.append(&mut fresh_instantiate_violations);
+        fresh.extend(check_elements(&self.layout, &self.tech, &binding));
+        let prim = check_primitive_symbols(&self.layout, &self.tech, &binding);
+        let waived_devices = prim.waived;
+        fresh.extend(prim.violations);
+        fresh.extend(nets_new.violations.iter().cloned());
+        fresh.extend(composition_violations(
+            &nets_new.netlist,
+            &self.tech,
+            &self.options,
+        ));
+        stats.t_global = t0.elapsed();
+
+        // -- Phase K: patch the report. -------------------------------
+        let t0 = std::time::Instant::now();
+        let anchored_in = |v: &Violation, grid: &diic_geom::GridIndex<()>| -> bool {
+            v.location.is_none_or(|l| grid.touches_any(&l))
+        };
+        let mut violations: Vec<Violation> = Vec::with_capacity(self.report.violations.len());
+        for v in &self.report.violations {
+            let keep = match v.stage {
+                CheckStage::Connections => !anchored_in(v, &d_conn_grid),
+                CheckStage::Interactions => !anchored_in(v, &d_halo_grid),
+                _ => false, // replaced wholesale by the fresh global runs
+            };
+            if keep {
+                violations.push(v.clone());
+            }
+        }
+        let kept = violations.len();
+        stats.retracted = self.report.violations.len() - kept;
+        violations.extend(fresh);
+        violations.extend(
+            scoped_conn
+                .violations
+                .into_iter()
+                .filter(|v| anchored_in(v, &d_conn_grid)),
+        );
+        violations.extend(ivs);
+        stats.spliced = violations.len() - kept;
+        canonical_sort(&mut violations);
+        stats.t_patch = t0.elapsed();
+
+        // -- Phase L: commit. -----------------------------------------
+        self.binding = binding;
+        self.view = view;
+        self.runs = runs;
+        self.elem_tags = tags;
+        self.merges = merges;
+        let NetgenResult {
+            netlist,
+            element_net,
+            device_terminal_nets,
+            ..
+        } = nets_new;
+        self.element_net = element_net;
+        self.device_terminal_nets = device_terminal_nets;
+        self.report = CheckReport {
+            violations,
+            netlist,
+            interact_stats: istats,
+            timings: Default::default(),
+            stage_profile: Vec::new(),
+            waived_devices,
+            element_count: self.view.elements.len(),
+            device_count: self.view.devices.len(),
+        };
+        Ok(stats)
+    }
+}
+
+/// A from-scratch [`check`] with the violations brought into canonical
+/// order — the oracle an incremental session's patched report must equal
+/// byte for byte.
+pub fn canonical_check(layout: &Layout, tech: &Technology, options: &CheckOptions) -> CheckReport {
+    let mut report = check(layout, tech, options);
+    canonical_sort(&mut report.violations);
+    report
+}
+
+/// Applies an edit batch to a layout (indices must already be
+/// validated).
+fn apply_layout_edits(layout: &mut Layout, edits: &EditSet) {
+    for edit in &edits.edits {
+        match edit {
+            Edit::AddElement {
+                cif_layer,
+                shape,
+                net,
+            } => {
+                let layer = layout.intern_layer(cif_layer);
+                layout.push_top(Item::Element(Element {
+                    layer,
+                    shape: shape.clone(),
+                    net: net.clone(),
+                }));
+            }
+            Edit::RemoveItem { index } => {
+                layout.remove_top(*index);
+            }
+            Edit::MoveItem { index, by } => {
+                let t = Transform::translate(*by);
+                match layout.top_item_mut(*index) {
+                    Item::Element(el) => el.shape = el.shape.transformed(&t),
+                    Item::Call(c) => c.transform = t.after(&c.transform),
+                }
+            }
+            Edit::ReplaceSymbol { symbol, items } => {
+                layout.symbol_mut(*symbol).items = items.clone();
+            }
+        }
+    }
+}
+
+/// A uniform grid over a region's rects, for fast "does this bbox touch
+/// the dirty region" predicates (a whole-chip dirty region can hold
+/// thousands of rects; the linear scan in [`Region::touches_rect`] is
+/// the wrong tool for per-element loops).
+fn region_grid(region: &Region, cell: i64) -> diic_geom::GridIndex<()> {
+    let mut grid = diic_geom::GridIndex::new(cell);
+    for r in region.rects() {
+        grid.insert(*r, ());
+    }
+    grid
+}
+
+/// Prefix sums of the per-item runs: `(element_start, device_start)`.
+fn run_offsets(runs: &[ItemRun]) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(runs.len());
+    let (mut e, mut d) = (0usize, 0usize);
+    for r in runs {
+        out.push((e, d));
+        e += r.elems;
+        d += r.devices;
+    }
+    out
+}
+
+/// The replaced symbols plus everything that transitively calls them.
+fn dirty_symbol_closure(layout: &Layout, replaced: &[SymbolId]) -> HashSet<SymbolId> {
+    let mut callers: Vec<Vec<SymbolId>> = vec![Vec::new(); layout.symbols().len()];
+    for (si, sym) in layout.symbols().iter().enumerate() {
+        for call in sym.calls() {
+            callers[call.target.0 as usize].push(SymbolId(si as u32));
+        }
+    }
+    let mut dirty: HashSet<SymbolId> = HashSet::new();
+    let mut queue: Vec<SymbolId> = replaced.to_vec();
+    while let Some(s) = queue.pop() {
+        if dirty.insert(s) {
+            queue.extend(callers[s.0 as usize].iter().copied());
+        }
+    }
+    dirty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diic_cif::parse;
+    use diic_tech::nmos::nmos_technology;
+
+    fn options() -> CheckOptions {
+        CheckOptions {
+            erc: false,
+            ..CheckOptions::default()
+        }
+    }
+
+    fn assert_matches_full(session: &CheckSession) {
+        let full = session.full_check();
+        assert_eq!(
+            session.report().violations,
+            full.violations,
+            "patched report diverged from from-scratch check"
+        );
+        assert_eq!(session.report().netlist, full.netlist);
+        assert_eq!(session.report().element_count, full.element_count);
+        assert_eq!(session.report().device_count, full.device_count);
+        assert_eq!(session.report().waived_devices, full.waived_devices);
+    }
+
+    #[test]
+    fn empty_edit_set_changes_nothing() {
+        let layout = parse("L NM; B 2000 750 1000 375; B 2000 750 1000 1625; E").unwrap();
+        let tech = nmos_technology();
+        let mut session = CheckSession::new(layout, &tech, &options());
+        let before = session.report().violations.clone();
+        let stats = session.apply(&EditSet::new()).unwrap();
+        assert_eq!(stats.dirty_items, 0);
+        assert_eq!(stats.retracted, 0);
+        assert_eq!(session.report().violations, before);
+        assert_matches_full(&session);
+    }
+
+    #[test]
+    fn add_then_remove_roundtrips() {
+        let layout = parse("L NM; B 2000 750 1000 375; E").unwrap();
+        let tech = nmos_technology();
+        let mut session = CheckSession::new(layout, &tech, &options());
+        assert!(session.report().violations.is_empty());
+
+        let mut add = EditSet::new();
+        add.add_box("NM", Rect::new(0, 1250, 2000, 2000), None); // 500 gap, rule 750
+        session.apply(&add).unwrap();
+        assert_eq!(session.report().violations.len(), 1);
+        assert_matches_full(&session);
+
+        let mut remove = EditSet::new();
+        remove.remove(1);
+        session.apply(&remove).unwrap();
+        assert!(
+            session.report().violations.is_empty(),
+            "{:?}",
+            session.report().violations
+        );
+        assert_matches_full(&session);
+    }
+
+    #[test]
+    fn move_element_relocates_violation() {
+        let layout = parse("L NM; B 2000 750 1000 375; B 2000 750 1000 1625; E").unwrap();
+        let tech = nmos_technology();
+        let mut session = CheckSession::new(layout, &tech, &options());
+        assert_eq!(session.report().violations.len(), 1); // 500 gap
+
+        let mut away = EditSet::new();
+        away.translate(1, 0, 5000);
+        session.apply(&away).unwrap();
+        assert!(session.report().violations.is_empty());
+        assert_matches_full(&session);
+
+        let mut back = EditSet::new();
+        back.translate(1, 0, -5000);
+        session.apply(&back).unwrap();
+        assert_eq!(session.report().violations.len(), 1);
+        assert_matches_full(&session);
+    }
+
+    #[test]
+    fn out_of_bounds_edit_leaves_session_untouched() {
+        let layout = parse("L NM; B 2000 750 1000 375; E").unwrap();
+        let tech = nmos_technology();
+        let mut session = CheckSession::new(layout, &tech, &options());
+        let before = session.report().violations.clone();
+        let mut bad = EditSet::new();
+        bad.remove(7);
+        let err = session.apply(&bad).unwrap_err();
+        assert_eq!(err, EditError::ItemOutOfBounds { index: 7, len: 1 });
+        assert_eq!(session.report().violations, before);
+        assert_matches_full(&session);
+    }
+
+    #[test]
+    fn replace_symbol_invalidates_instances() {
+        let layout = parse(
+            "DS 1; L NM; B 2000 750 1000 375; DF;
+             C 1 T 0 0; C 1 T 6000 0; E",
+        )
+        .unwrap();
+        let tech = nmos_technology();
+        let mut session = CheckSession::new(layout, &tech, &options());
+        assert!(session.report().violations.is_empty());
+
+        // New body: two wires 500 apart inside the definition — every
+        // instance now carries an internal spacing violation.
+        let sym = session.layout().symbol_by_cif_id(1).unwrap();
+        let broken = parse("DS 9; L NM; B 2000 750 1000 375; B 2000 750 1000 1625; DF; E").unwrap();
+        let body = broken.symbols()[0].items.clone();
+        let mut edits = EditSet::new();
+        edits.replace_symbol(sym, body);
+        session.apply(&edits).unwrap();
+        assert_eq!(session.report().violations.len(), 2, "one per instance");
+        assert_matches_full(&session);
+    }
+
+    #[test]
+    fn moved_call_is_rechecked() {
+        let layout = parse(
+            "DS 1; L NM; B 2000 750 1000 375; DF;
+             C 1 T 0 0; C 1 T 6000 0; E",
+        )
+        .unwrap();
+        let tech = nmos_technology();
+        let mut session = CheckSession::new(layout, &tech, &options());
+        assert!(session.report().violations.is_empty());
+        // Slide the second instance next to the first: cross-instance
+        // metal spacing violation.
+        let mut edits = EditSet::new();
+        edits.translate(1, -3500, 0); // gap becomes 500
+        session.apply(&edits).unwrap();
+        assert_eq!(session.report().violations.len(), 1);
+        assert_matches_full(&session);
+    }
+
+    #[test]
+    fn net_merge_far_from_edit_is_caught() {
+        // Two parallel metal wires 500 apart on different nets: one
+        // spacing violation. A far-away strap connecting them makes the
+        // pair same-net — the violation must vanish even though the
+        // close pair is far outside the edit's geometric dirty region.
+        let layout = parse(
+            "L NM; 9N A; B 20000 750 10000 375;
+             L NM; 9N B; B 20000 750 10000 1625;
+             E",
+        )
+        .unwrap();
+        let tech = nmos_technology();
+        let mut session = CheckSession::new(layout, &tech, &options());
+        assert_eq!(session.report().violations.len(), 1);
+
+        let mut strap = EditSet::new();
+        // Overlapping both rails at the far right end (x ≈ 19k): merges
+        // nets A and B into one.
+        strap.add_box("NM", Rect::new(19000, 0, 19750, 2000), Some("A"));
+        session.apply(&strap).unwrap();
+        assert_matches_full(&session);
+
+        let mut unstrap = EditSet::new();
+        unstrap.remove(2);
+        session.apply(&unstrap).unwrap();
+        assert_eq!(session.report().violations.len(), 1);
+        assert_matches_full(&session);
+    }
+
+    #[test]
+    fn whole_chip_dirty_rail_edit() {
+        // Moving a chip-spanning rail dirties everything; the patch
+        // machinery must still agree with the full check.
+        let layout = parse(
+            "L NM; 9N VDD; B 30000 750 15000 375;
+             L NM; B 2000 750 1000 1625;
+             L NM; B 2000 750 8000 1625;
+             E",
+        )
+        .unwrap();
+        let tech = nmos_technology();
+        let mut session = CheckSession::new(layout, &tech, &options());
+        let before = session.report().violations.len();
+        assert!(before > 0);
+        let mut edits = EditSet::new();
+        edits.translate(0, 0, -200); // rail slides closer to the stubs
+        session.apply(&edits).unwrap();
+        assert_matches_full(&session);
+    }
+}

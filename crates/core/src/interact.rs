@@ -173,6 +173,102 @@ pub fn check_interactions(
     (violations, stats)
 }
 
+/// Runs the interaction checks **scoped to a clip region**: only element
+/// pairs within rule reach of the clip are searched and evaluated, and
+/// only violations whose marker touches the clip are reported.
+///
+/// The scoping is *sound* for incremental re-checking because of two
+/// reach bounds: a spacing violation's marker lies within the pair's gap
+/// distance (≤ [`max_rule_range`]) of **both** elements, so every
+/// violation anchored in the clip comes from a pair whose elements both
+/// sit within one rule reach of it — exactly the element set searched
+/// here. Conversely, violations whose marker misses the clip are
+/// dropped: in an edit session their unchanged copies live on in the
+/// cached report. Candidates are enumerated with the flat grid search;
+/// the violation *multiset* equals the hierarchical search's (the
+/// four-way differential guarantee), so a canonically sorted patched
+/// report matches a full run under either engine.
+pub fn check_interactions_clipped(
+    view: &ChipView,
+    tech: &Technology,
+    nets: &NetgenResult,
+    options: &InteractOptions,
+    clip: &diic_geom::Region,
+) -> (Vec<Violation>, InteractStats) {
+    if clip.is_empty() {
+        return (Vec::new(), InteractStats::default());
+    }
+    let max_range = max_rule_range(tech);
+    let cell = interaction_cell_size(tech);
+
+    // Grid over the clip's rects: bbox-vs-clip tests run against the
+    // local neighbourhood instead of scanning every clip rect (a
+    // whole-chip clip region can hold thousands).
+    let mut clip_grid: GridIndex<()> = GridIndex::new(cell);
+    for r in clip.rects() {
+        clip_grid.insert(*r, ());
+    }
+
+    // Elements within one rule reach of the clip, in ascending id order.
+    let ids: Vec<usize> = view
+        .elements
+        .iter()
+        .filter(|e| {
+            e.bbox
+                .inflate(max_range)
+                .map(|b| clip_grid.touches_any(&b))
+                .unwrap_or(false)
+        })
+        .map(|e| e.id)
+        .collect();
+    check_interactions_among_clipped(view, tech, nets, options, &ids, &clip_grid)
+}
+
+/// The pre-scoped form of [`check_interactions_clipped`]: the caller
+/// supplies the candidate element set (ascending ids — every element
+/// within one rule reach of the clip; the incremental session derives
+/// it from its persistent spatial index instead of scanning the whole
+/// element list) **and** the grid over the clip's rects — which the
+/// session also uses for its retraction predicate, so the two sides of
+/// the retract/splice partition share one object by construction.
+pub fn check_interactions_among_clipped(
+    view: &ChipView,
+    tech: &Technology,
+    nets: &NetgenResult,
+    options: &InteractOptions,
+    ids: &[usize],
+    clip_grid: &GridIndex<()>,
+) -> (Vec<Violation>, InteractStats) {
+    let mut stats = InteractStats::default();
+    if ids.is_empty() {
+        return (Vec::new(), stats);
+    }
+    let max_range = max_rule_range(tech);
+    let cell = interaction_cell_size(tech);
+    let workers = effective_parallelism(options.parallelism);
+
+    let local = local_candidates(view, ids, max_range, cell);
+    let pairs: Vec<(usize, usize)> = local
+        .into_iter()
+        .map(|(li, lj)| (ids[li], ids[lj]))
+        .collect();
+    stats.candidate_pairs = pairs.len() as u64;
+
+    let cx = EvalCx {
+        view,
+        tech,
+        nets,
+        options,
+        forming: crate::connect::device_forming_pairs(tech),
+    };
+    let mut violations = evaluate_candidates(&cx, &pairs, workers, &mut stats);
+    // Location-less violations count as inside every clip (they cannot
+    // be anchored, so retraction and splicing must agree on them).
+    violations.retain(|v| v.location.is_none_or(|l| clip_grid.touches_any(&l)));
+    stats.violations = violations.len() as u64;
+    (violations, stats)
+}
+
 // ---------------------------------------------------------------------
 // Phase 1: candidate enumeration.
 // ---------------------------------------------------------------------
@@ -668,6 +764,12 @@ fn evaluate_pair(
 
 /// Minimum distance between two rect sets under the metric, with a marker
 /// rectangle. Returns `None` if either set is empty.
+///
+/// The marker is the tight [`diic_geom::spacing::gap_box`] of the closest
+/// rect pair — every marker point is within the pair's gap distance of
+/// both offending features, which is what lets the incremental checker
+/// anchor spacing violations to a dirty halo (a bounding-union marker
+/// could stretch arbitrarily far from the gap along a long wire).
 fn element_distance(a: &[Rect], b: &[Rect], metric: SizingMode) -> Option<(Coord, Rect)> {
     let mut best: Option<(Coord, Rect)> = None;
     for ra in a {
@@ -677,7 +779,7 @@ fn element_distance(a: &[Rect], b: &[Rect], metric: SizingMode) -> Option<(Coord
                 SizingMode::Orthogonal => ra.dist_linf(rb),
             };
             if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
-                best = Some((d, ra.bounding_union(rb)));
+                best = Some((d, diic_geom::spacing::gap_box(ra, rb)));
             }
         }
     }

@@ -88,6 +88,7 @@ pub mod connect;
 pub mod element_checks;
 pub mod engine;
 pub mod flat;
+pub mod incremental;
 pub mod interact;
 pub mod netgen;
 pub mod parallel;
@@ -99,7 +100,10 @@ pub use binding::{ChipElement, ChipView, DeviceInstance, LayerBinding};
 pub use checker::{check, check_cif, check_with_engine, CheckOptions, CheckReport, StageTimings};
 pub use engine::{CheckContext, DiagnosticSink, PipelineStage, StageEngine, StageTime};
 pub use flat::{flat_check, FlatLayers, FlatOptions};
+pub use incremental::{canonical_check, CheckSession, Edit, EditError, EditSet, EditStats};
 pub use interact::{interaction_cell_size, max_rule_range, InteractOptions, InteractStats};
 pub use parallel::{effective_parallelism, env_parallelism};
-pub use report::{account, category_of, format_report, ErrorRegions, InjectedError};
+pub use report::{
+    account, canonical_sort, category_of, format_report, ErrorRegions, InjectedError,
+};
 pub use violations::{CheckStage, Violation, ViolationKind};

@@ -7,13 +7,14 @@
 //! rules or to check the net list against an input net list for
 //! consistency."
 
-use crate::binding::ChipView;
+use crate::binding::{ChipElement, ChipView};
 use crate::connect::is_joining_class;
 use crate::violations::Violation;
 use diic_cif::NetLabel;
 use diic_geom::{GridIndex, Point};
-use diic_netlist::{NetId, Netlist, NetlistBuilder};
+use diic_netlist::{assemble_netlist, AssembleDevice, NetId, Netlist};
 use diic_tech::{DeviceClass, LayerId, Technology};
+use std::collections::HashMap;
 
 /// Output of net-list generation.
 #[derive(Debug, Clone)]
@@ -30,6 +31,291 @@ pub struct NetgenResult {
     pub violations: Vec<Violation>,
 }
 
+/// True if the element carries a net: interconnect and joining
+/// (contact-class) device geometry. A transistor's un-netted parts must
+/// not become phantom zero-terminal nets.
+pub fn element_is_netted(view: &ChipView, e: &ChipElement) -> bool {
+    match e.device {
+        None => true,
+        Some(d) => is_joining_class(view.devices[d].class),
+    }
+}
+
+/// Spatial index over the bindable (netted) elements, for terminal and
+/// label point binding. Cells are sized from the technology's rule reach
+/// rather than a magic constant.
+#[derive(Debug)]
+pub struct BindIndex {
+    index: GridIndex<usize>,
+}
+
+impl BindIndex {
+    /// Indexes every netted element of the view.
+    pub fn build(view: &ChipView, tech: &Technology) -> BindIndex {
+        let ids: Vec<usize> = view
+            .elements
+            .iter()
+            .filter(|e| element_is_netted(view, e))
+            .map(|e| e.id)
+            .collect();
+        BindIndex::build_among(view, tech, &ids)
+    }
+
+    /// Indexes only the given elements (the incremental checker's scoped
+    /// variant — callers must pass netted elements; only they can bind).
+    pub fn build_among(view: &ChipView, tech: &Technology, ids: &[usize]) -> BindIndex {
+        let mut index: GridIndex<usize> =
+            GridIndex::new(crate::interact::interaction_cell_size(tech));
+        for &id in ids {
+            index.insert(view.elements[id].bbox, id);
+        }
+        BindIndex { index }
+    }
+
+    /// Ids (ascending) of netted elements covering point `p` on `layer`.
+    pub fn elements_at(&self, view: &ChipView, layer: LayerId, p: Point) -> Vec<usize> {
+        self.index
+            .query(&diic_geom::Rect::new(p.x, p.y, p.x, p.y))
+            .into_iter()
+            .copied()
+            .filter(|&id| {
+                let e = &view.elements[id];
+                e.layer == layer && e.rects.iter().any(|r| r.contains_point(p))
+            })
+            .collect()
+    }
+}
+
+/// One device's rows in the net graph: its terminal `(name, node)` pairs
+/// and the connection edges its geometry/bindings contribute. Rows are
+/// position-independent (they reference interned nodes, not element
+/// ids), which is what lets an edit session splice cached rows of
+/// untouched devices into a patched graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeviceParts {
+    /// `(terminal-name, node)` pairs, in terminal order.
+    pub terms: Vec<(String, u32)>,
+    /// Node-pair edges (device join edges or terminal bindings).
+    pub edges: Vec<(u32, u32)>,
+}
+
+/// One label's rows: its net node (None if the label's layer is unknown)
+/// and its binding edges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LabelParts {
+    /// The label net's node.
+    pub node: Option<u32>,
+    /// Label-to-covering-element edges.
+    pub edges: Vec<(u32, u32)>,
+}
+
+/// The int-keyed net graph behind net-list generation.
+///
+/// Keys are interned once into `u32` nodes (the interner is append-only,
+/// so nodes are **stable across edits** — stale keys simply stop being
+/// referenced); the element/device/label rows record which nodes are
+/// live and how they connect. [`NetParts::assemble`] folds the graph
+/// through [`assemble_netlist`] — the same canonicalisation the
+/// [`diic_netlist::NetlistBuilder`] uses — so a graph patched
+/// incrementally by a [`crate::incremental::CheckSession`] produces a
+/// net list byte-identical to a from-scratch build.
+#[derive(Debug, Clone, Default)]
+pub struct NetParts {
+    interner: HashMap<String, u32>,
+    names: Vec<String>,
+    /// Node per element id; `None` for un-netted device internals.
+    pub element_node: Vec<Option<u32>>,
+    /// Node-pair edges from the connection stage's merges.
+    pub conn_edges: Vec<(u32, u32)>,
+    /// Per-device rows, aligned with `ChipView::devices`.
+    pub devices: Vec<DeviceParts>,
+    /// Per-label rows, aligned with the label list given to
+    /// [`NetParts::build`].
+    pub labels: Vec<LabelParts>,
+}
+
+impl NetParts {
+    /// Interns a net key, returning its stable node id.
+    pub fn node(&mut self, key: &str) -> u32 {
+        if let Some(&n) = self.interner.get(key) {
+            return n;
+        }
+        let n = self.names.len() as u32;
+        self.interner.insert(key.to_string(), n);
+        self.names.push(key.to_string());
+        n
+    }
+
+    /// The key behind a node.
+    pub fn name(&self, node: u32) -> &str {
+        &self.names[node as usize]
+    }
+
+    /// Builds the full graph for a view.
+    pub fn build(
+        view: &ChipView,
+        tech: &Technology,
+        merges: &[(usize, usize)],
+        labels: &[(NetLabel, Option<LayerId>)],
+    ) -> NetParts {
+        let mut parts = NetParts::default();
+        for e in &view.elements {
+            let node = element_is_netted(view, e).then(|| parts.node(&e.net_key));
+            parts.element_node.push(node);
+        }
+        parts.set_conn_edges(merges);
+        let bind = BindIndex::build(view, tech);
+        for di in 0..view.devices.len() {
+            let row = parts.device_parts(view, di, &bind);
+            parts.devices.push(row);
+        }
+        for (label, layer) in labels {
+            let row = parts.label_parts(view, label, *layer, &bind);
+            parts.labels.push(row);
+        }
+        parts
+    }
+
+    /// Recomputes the connection-merge edges from element-id pairs.
+    pub fn set_conn_edges(&mut self, merges: &[(usize, usize)]) {
+        self.conn_edges.clear();
+        self.conn_edges.reserve(merges.len());
+        for &(i, j) in merges {
+            let (Some(a), Some(b)) = (self.element_node[i], self.element_node[j]) else {
+                debug_assert!(false, "merge endpoints must be netted");
+                continue;
+            };
+            self.conn_edges.push((a, b));
+        }
+    }
+
+    /// Computes one device's row (used for initial build and for
+    /// re-binding a device whose neighbourhood changed).
+    pub fn device_parts(&mut self, view: &ChipView, di: usize, bind: &BindIndex) -> DeviceParts {
+        let dev = &view.devices[di];
+        let mut row = DeviceParts::default();
+        if is_joining_class(dev.class) {
+            // One net for the whole device.
+            let dev_node = self.node(&format!("{}.#", dev.path));
+            for &eid in &dev.element_ids {
+                let node = self.element_node[eid].expect("joining device geometry is netted");
+                row.edges.push((dev_node, node));
+            }
+            for (tname, _, _) in &dev.terminals {
+                row.terms.push((tname.clone(), dev_node));
+            }
+            if dev.terminals.is_empty() {
+                // Still a device on its single net.
+                row.terms.push(("A".to_string(), dev_node));
+            }
+        } else {
+            // Terminal-separated device: each terminal is its own key,
+            // bound to covering elements.
+            for (tname, layer, pos) in &dev.terminals {
+                let term_node = self.node(&format!("{}.{}", dev.path, tname));
+                for id in bind.elements_at(view, *layer, *pos) {
+                    let node = self.element_node[id].expect("bindable elements are netted");
+                    row.edges.push((term_node, node));
+                }
+                row.terms.push((tname.clone(), term_node));
+            }
+        }
+        row
+    }
+
+    /// Computes one label's row.
+    pub fn label_parts(
+        &mut self,
+        view: &ChipView,
+        label: &NetLabel,
+        layer: Option<LayerId>,
+        bind: &BindIndex,
+    ) -> LabelParts {
+        let Some(layer) = layer else {
+            return LabelParts::default();
+        };
+        let node = self.node(&label.net);
+        let mut row = LabelParts {
+            node: Some(node),
+            edges: Vec::new(),
+        };
+        for id in bind.elements_at(view, layer, label.position) {
+            let elem = self.element_node[id].expect("bindable elements are netted");
+            row.edges.push((node, elem));
+        }
+        row
+    }
+
+    /// Assembles the canonical net list and per-element / per-terminal
+    /// resolutions from the current graph.
+    pub fn assemble(&self, view: &ChipView) -> NetgenResult {
+        // Live nodes: whatever the element/device/label rows reference.
+        let mut live: Vec<u32> = self.element_node.iter().flatten().copied().collect();
+        for d in &self.devices {
+            live.extend(d.terms.iter().map(|&(_, n)| n));
+        }
+        for l in &self.labels {
+            live.extend(l.node);
+        }
+        live.sort_unstable();
+        live.dedup();
+        let nodes: Vec<(u32, &str)> = live
+            .iter()
+            .map(|&n| (n, self.names[n as usize].as_str()))
+            .collect();
+
+        let mut edges: Vec<(u32, u32)> = self.conn_edges.clone();
+        for d in &self.devices {
+            edges.extend_from_slice(&d.edges);
+        }
+        for l in &self.labels {
+            edges.extend_from_slice(&l.edges);
+        }
+
+        let devices: Vec<AssembleDevice<'_>> = view
+            .devices
+            .iter()
+            .zip(&self.devices)
+            .map(|(dev, row)| AssembleDevice {
+                name: &dev.path,
+                device_type: &dev.device_type,
+                class: dev.class.unwrap_or(DeviceClass::Capacitor),
+                terminals: row.terms.iter().map(|(t, n)| (t.as_str(), *n)).collect(),
+            })
+            .collect();
+
+        let (netlist, node_nets) = assemble_netlist(&nodes, &edges, &devices);
+        // Dense node → net map (nodes are interner indices).
+        let mut node_to_net: Vec<Option<NetId>> = vec![None; self.names.len()];
+        for (&(node, _), &net) in nodes.iter().zip(&node_nets) {
+            node_to_net[node as usize] = Some(net);
+        }
+
+        let element_net: Vec<Option<NetId>> = self
+            .element_node
+            .iter()
+            .map(|n| n.and_then(|n| node_to_net[n as usize]))
+            .collect();
+        let device_terminal_nets: Vec<Vec<NetId>> = self
+            .devices
+            .iter()
+            .map(|row| {
+                row.terms
+                    .iter()
+                    .filter_map(|(_, n)| node_to_net[*n as usize])
+                    .collect()
+            })
+            .collect();
+
+        NetgenResult {
+            netlist,
+            element_net,
+            device_terminal_nets,
+            violations: Vec::new(),
+        }
+    }
+}
+
 /// Generates the hierarchical net list.
 ///
 /// * interconnect elements get their declared (`9N`, path-qualified) or
@@ -39,141 +325,17 @@ pub struct NetgenResult {
 ///   net; transistors/resistors expose per-terminal nets that bind to any
 ///   element covering the terminal point on the terminal's layer;
 /// * `9L` labels name the net of the element covering the labelled point.
+///
+/// This is [`NetParts::build`] + [`NetParts::assemble`]; an edit session
+/// keeps the [`NetParts`] graph alive and patches it instead of
+/// rebuilding.
 pub fn generate_netlist(
     view: &ChipView,
     tech: &Technology,
     merges: &[(usize, usize)],
     labels: &[(NetLabel, Option<LayerId>)],
 ) -> NetgenResult {
-    let mut b = NetlistBuilder::new();
-
-    // Element keys — only for elements that carry nets: interconnect and
-    // joining (contact-class) device geometry. A transistor's un-netted
-    // parts must not become phantom zero-terminal nets.
-    for e in &view.elements {
-        let netted = match e.device {
-            None => true,
-            Some(d) => is_joining_class(view.devices[d].class),
-        };
-        if netted {
-            b.node(&e.net_key);
-        }
-    }
-    // Stage-4 merges.
-    for &(i, j) in merges {
-        b.connect(&view.elements[i].net_key, &view.elements[j].net_key);
-    }
-
-    // Spatial index for terminal/label point binding: prefer interconnect
-    // and joining-device elements (transistor internals don't carry nets).
-    // Cells are sized from the technology's rule reach rather than a
-    // magic constant.
-    let mut index: GridIndex<usize> = GridIndex::new(crate::interact::interaction_cell_size(tech));
-    for e in &view.elements {
-        let bindable = match e.device {
-            None => true,
-            Some(d) => is_joining_class(view.devices[d].class),
-        };
-        if bindable {
-            index.insert(e.bbox, e.id);
-        }
-    }
-    let elements_at = |index: &GridIndex<usize>, layer: LayerId, p: Point| -> Vec<usize> {
-        index
-            .query(&diic_geom::Rect::new(p.x, p.y, p.x, p.y))
-            .into_iter()
-            .copied()
-            .filter(|&id| {
-                let e = &view.elements[id];
-                e.layer == layer && e.rects.iter().any(|r| r.contains_point(p))
-            })
-            .collect()
-    };
-
-    // Devices.
-    let mut device_term_keys: Vec<Vec<(String, String)>> = Vec::with_capacity(view.devices.len());
-    for (di, dev) in view.devices.iter().enumerate() {
-        let joining = is_joining_class(dev.class);
-        let mut term_keys = Vec::new();
-        if joining {
-            // One net for the whole device.
-            let dev_key = format!("{}.#", dev.path);
-            b.node(&dev_key);
-            for &eid in &dev.element_ids {
-                b.connect(&dev_key, &view.elements[eid].net_key);
-            }
-            for (tname, _, _) in &dev.terminals {
-                term_keys.push((tname.clone(), dev_key.clone()));
-            }
-            if dev.terminals.is_empty() {
-                // Still a device on its single net.
-                term_keys.push(("A".to_string(), dev_key.clone()));
-            }
-        } else {
-            // Terminal-separated device: each terminal is its own key,
-            // bound to covering elements.
-            for (tname, layer, pos) in &dev.terminals {
-                let key = format!("{}.{}", dev.path, tname);
-                b.node(&key);
-                for id in elements_at(&index, *layer, *pos) {
-                    b.connect(&key, &view.elements[id].net_key);
-                }
-                term_keys.push((tname.clone(), key));
-            }
-        }
-        let class = dev.class.unwrap_or(DeviceClass::Capacitor);
-        let refs: Vec<(&str, &str)> = term_keys
-            .iter()
-            .map(|(t, k)| (t.as_str(), k.as_str()))
-            .collect();
-        b.add_device(&dev.path, &dev.device_type, class, &refs);
-        device_term_keys.push(term_keys);
-        let _ = di;
-    }
-
-    // Labels.
-    for (label, layer) in labels {
-        let Some(layer) = layer else { continue };
-        b.node(&label.net);
-        for id in elements_at(&index, *layer, label.position) {
-            b.connect(&label.net, &view.elements[id].net_key);
-        }
-    }
-
-    let netlist = b.finish();
-
-    // Resolve nets per element and per device terminal.
-    let element_net: Vec<Option<NetId>> = view
-        .elements
-        .iter()
-        .map(|e| {
-            let unnetted = match e.device {
-                None => false,
-                Some(d) => !is_joining_class(view.devices[d].class),
-            };
-            if unnetted {
-                None
-            } else {
-                netlist.net_by_name(&e.net_key)
-            }
-        })
-        .collect();
-    let device_terminal_nets: Vec<Vec<NetId>> = device_term_keys
-        .iter()
-        .map(|terms| {
-            terms
-                .iter()
-                .filter_map(|(_, key)| netlist.net_by_name(key))
-                .collect()
-        })
-        .collect();
-
-    NetgenResult {
-        netlist,
-        element_net,
-        device_terminal_nets,
-        violations: Vec::new(),
-    }
+    NetParts::build(view, tech, merges, labels).assemble(view)
 }
 
 #[cfg(test)]

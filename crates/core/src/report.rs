@@ -64,6 +64,36 @@ impl ErrorRegions {
     }
 }
 
+/// The rank of a stage in report order — the order the standard pipeline
+/// registers its stages, which is also the order [`format_report`]
+/// groups by.
+pub fn stage_rank(stage: CheckStage) -> usize {
+    match stage {
+        CheckStage::Elements => 0,
+        CheckStage::PrimitiveSymbols => 1,
+        CheckStage::Connections => 2,
+        CheckStage::NetList => 3,
+        CheckStage::Interactions => 4,
+        CheckStage::Composition => 5,
+    }
+}
+
+/// Sorts violations into the **canonical report order**: by stage rank,
+/// then by the violation's full debug rendering (a total order over
+/// kind, location, and context).
+///
+/// An engine run's natural order — stage registration order, stable
+/// within each stage (see
+/// [`DiagnosticSink::into_violations`](crate::DiagnosticSink::into_violations))
+/// — is a refinement-compatible coarsening of this: canonical order only
+/// reorders *within* a stage. The incremental checker keeps its cached
+/// report canonical so that retracting and splicing violations lands in
+/// exactly the order a canonicalized from-scratch run produces, making
+/// "patched == full re-check" literal byte equality.
+pub fn canonical_sort(violations: &mut [Violation]) {
+    violations.sort_by_cached_key(|v| (stage_rank(v.stage), format!("{v:?}")));
+}
+
 /// The category a violation belongs to, for ground-truth matching.
 pub fn category_of(v: &Violation) -> &'static str {
     use crate::violations::ViolationKind::*;

@@ -1,0 +1,160 @@
+//! Random [`EditSet`] generation for the incremental differential
+//! oracle.
+//!
+//! Each call produces one small, valid edit batch against the layout's
+//! *current* state (indices are checked against `top_items`), mixing
+//! benign edits (add a clean wire, move or remove an item, replace a
+//! cell definition with a nudged copy) with `inject`-style fault edits
+//! (a narrow stub, a too-close pair) so edit sequences both create and
+//! destroy violations. Deterministic per RNG state, like the chip
+//! generator itself.
+
+use diic_cif::{Item, Layout, Shape};
+use diic_core::incremental::{Edit, EditSet};
+use diic_geom::{Rect, Transform, Vector};
+use rand::rngs::StdRng;
+use rand::RngCore;
+
+use crate::l;
+
+/// Uniform coordinate in `lo..=hi`, snapped to quarter-λ.
+fn coord_in(rng: &mut StdRng, lo: i64, hi: i64) -> i64 {
+    let span = (hi - lo).max(1) as u64;
+    let raw = lo + rng.next_below(span) as i64;
+    raw - raw.rem_euclid(l(1) / 4)
+}
+
+/// A random point inside `bounds` (quarter-λ grid).
+fn point_in(rng: &mut StdRng, bounds: &Rect) -> (i64, i64) {
+    (
+        coord_in(rng, bounds.x1, bounds.x2),
+        coord_in(rng, bounds.y1, bounds.y2),
+    )
+}
+
+/// Generates one edit batch against the layout's current state.
+///
+/// `bounds` is where added geometry lands (normally the chip extent,
+/// slightly inflated); `step` tags declared nets so repeated edits do
+/// not alias each other's names.
+pub fn random_edit_set(layout: &Layout, bounds: Rect, step: usize, rng: &mut StdRng) -> EditSet {
+    let mut edits = EditSet::new();
+    let n_items = layout.top_items().len();
+    match rng.next_below(10) {
+        // Clean metal wire, sometimes on a declared chip-I/O net (the
+        // `IO_` prefix is exempt from the dangling-net rule).
+        0 | 1 => {
+            let (x, y) = point_in(rng, &bounds);
+            let net = (rng.next_below(2) == 0).then(|| format!("IO_EDIT{step}"));
+            edits.edits.push(Edit::AddElement {
+                cif_layer: "NM".to_string(),
+                shape: Shape::Box(Rect::new(x, y, x + l(8), y + l(3))),
+                net,
+            });
+        }
+        // Fault: a metal stub narrower than minimum width.
+        2 => {
+            let (x, y) = point_in(rng, &bounds);
+            edits.add_box("NM", Rect::new(x, y, x + l(8), y + l(3) - 50), None);
+        }
+        // Fault: two legal wires half a rule apart (metal spacing is
+        // 3λ; the gap here is 2λ).
+        3 => {
+            let (x, y) = point_in(rng, &bounds);
+            edits.add_box("NM", Rect::new(x, y, x + l(8), y + l(3)), None);
+            edits.add_box("NM", Rect::new(x, y + l(5), x + l(8), y + l(8)), None);
+        }
+        // Remove a random top-level item.
+        4 | 5 if n_items > 0 => {
+            edits.remove(rng.next_below(n_items as u64) as usize);
+        }
+        // Move a random top-level item by a few λ.
+        6..=8 if n_items > 0 => {
+            let index = rng.next_below(n_items as u64) as usize;
+            let dx = rng.next_below(17) as i64 - 8;
+            let dy = rng.next_below(17) as i64 - 8;
+            edits.translate(index, l(dx), l(dy));
+        }
+        // Replace a random cell definition with a nudged copy of its
+        // own body (every instance re-checks).
+        _ if !layout.symbols().is_empty() => {
+            let si = rng.next_below(layout.symbols().len() as u64) as usize;
+            let sym = diic_cif::SymbolId(si as u32);
+            let dv = Vector::new(
+                l(rng.next_below(3) as i64 - 1),
+                l(rng.next_below(3) as i64 - 1),
+            );
+            let t = Transform::translate(dv);
+            let items: Vec<Item> = layout
+                .symbol(sym)
+                .items
+                .iter()
+                .map(|item| match item {
+                    Item::Element(e) => {
+                        let mut e = e.clone();
+                        e.shape = e.shape.transformed(&t);
+                        Item::Element(e)
+                    }
+                    Item::Call(c) => {
+                        let mut c = c.clone();
+                        c.transform = t.after(&c.transform);
+                        Item::Call(c)
+                    }
+                })
+                .collect();
+            edits.replace_symbol(sym, items);
+        }
+        // Fallback when the preferred kind is impossible on an empty
+        // layout: add a clean wire.
+        _ => {
+            let (x, y) = point_in(rng, &bounds);
+            edits.add_box("NM", Rect::new(x, y, x + l(8), y + l(3)), None);
+        }
+    }
+    edits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, ChipSpec};
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let chip = generate(&ChipSpec::clean(2, 1));
+        let layout = diic_cif::parse(&chip.cif).unwrap();
+        let bounds = Rect::new(0, 0, l(40), l(40));
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..8)
+                .map(|s| random_edit_set(&layout, bounds, s, &mut rng).edits.len())
+                .collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..8)
+                .map(|s| random_edit_set(&layout, bounds, s, &mut rng).edits.len())
+                .collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&n| n >= 1));
+    }
+
+    #[test]
+    fn edit_sets_apply_cleanly() {
+        use diic_core::incremental::CheckSession;
+        use diic_core::CheckOptions;
+        use diic_tech::nmos::nmos_technology;
+        let chip = generate(&ChipSpec::clean(2, 1));
+        let layout = diic_cif::parse(&chip.cif).unwrap();
+        let tech = nmos_technology();
+        let mut session = CheckSession::new(layout, &tech, &CheckOptions::default());
+        let bounds = Rect::new(-l(10), -l(20), l(40), l(30));
+        let mut rng = StdRng::seed_from_u64(11);
+        for step in 0..8 {
+            let edits = random_edit_set(session.layout(), bounds, step, &mut rng);
+            session.apply(&edits).expect("generated edits are valid");
+        }
+    }
+}

@@ -16,9 +16,11 @@
 
 pub mod cells;
 pub mod chip;
+pub mod edits;
 pub mod inject;
 
 pub use chip::{generate, ChipSpec, GeneratedChip};
+pub use edits::random_edit_set;
 pub use inject::{ErrorKind, GroundTruthEntry};
 
 /// λ in database units for all generated layouts (matches

@@ -28,7 +28,8 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct GridIndex<T> {
     cell: Coord,
-    items: Vec<(Rect, T)>,
+    items: Vec<(Rect, Option<T>)>,
+    alive: usize,
     cells: HashMap<(Coord, Coord), Vec<u32>>,
 }
 
@@ -39,6 +40,7 @@ impl<T> GridIndex<T> {
         GridIndex {
             cell: cell_size.max(1),
             items: Vec::new(),
+            alive: 0,
             cells: HashMap::new(),
         }
     }
@@ -48,32 +50,69 @@ impl<T> GridIndex<T> {
         self.cell
     }
 
-    /// Number of indexed items.
+    /// Number of live indexed items.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.alive
     }
 
-    /// True if no items have been inserted.
+    /// True if no live items remain.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.alive == 0
     }
 
-    /// Inserts a rectangle with its payload.
-    pub fn insert(&mut self, rect: Rect, value: T) {
+    /// Inserts a rectangle with its payload, returning a stable handle
+    /// for [`GridIndex::remove`] / [`GridIndex::get`]. Handles are never
+    /// reused, so query results stay in insertion order across
+    /// incremental updates.
+    pub fn insert(&mut self, rect: Rect, value: T) -> u32 {
         let id = self.items.len() as u32;
         for key in self.cover_keys(&rect) {
             self.cells.entry(key).or_default().push(id);
         }
-        self.items.push((rect, value));
+        self.items.push((rect, Some(value)));
+        self.alive += 1;
+        id
     }
 
-    /// Returns payload references for all items whose rectangle **touches**
-    /// the query rectangle (closed-sense). Each item is returned once, in
-    /// insertion order.
+    /// Removes the item behind a handle, returning its payload (or
+    /// `None` if the handle was already removed). The item's grid cells
+    /// are cleaned eagerly, so query cost does not degrade under
+    /// insert/remove churn — this is the incremental-update path the
+    /// edit-session checker leans on.
+    pub fn remove(&mut self, id: u32) -> Option<T> {
+        let slot = self.items.get_mut(id as usize)?;
+        let value = slot.1.take()?;
+        let rect = slot.0;
+        self.alive -= 1;
+        for key in self.cover_keys(&rect) {
+            if let Some(cell) = self.cells.get_mut(&key) {
+                cell.retain(|&i| i != id);
+                if cell.is_empty() {
+                    self.cells.remove(&key);
+                }
+            }
+        }
+        Some(value)
+    }
+
+    /// The live item behind a handle.
+    pub fn get(&self, id: u32) -> Option<(&Rect, &T)> {
+        let (rect, value) = self.items.get(id as usize)?;
+        value.as_ref().map(|v| (rect, v))
+    }
+
+    /// Returns payload references for all live items whose rectangle
+    /// **touches** the query rectangle (closed-sense). Each item is
+    /// returned once, in insertion order.
     pub fn query(&self, query: &Rect) -> Vec<&T> {
         self.matching_ids(query)
             .into_iter()
-            .map(|id| &self.items[id as usize].1)
+            .map(|id| {
+                self.items[id as usize]
+                    .1
+                    .as_ref()
+                    .expect("matching ids are live")
+            })
             .collect()
     }
 
@@ -83,15 +122,33 @@ impl<T> GridIndex<T> {
             .into_iter()
             .map(|id| {
                 let (rect, value) = &self.items[id as usize];
-                (rect, value)
+                (rect, value.as_ref().expect("matching ids are live"))
             })
             .collect()
+    }
+
+    /// True if any live item touches the query rectangle — the
+    /// allocation-free predicate form of [`GridIndex::query`], for hot
+    /// "does this bbox touch the dirty region" loops.
+    pub fn touches_any(&self, query: &Rect) -> bool {
+        for key in self.cover_keys(query) {
+            if let Some(cell) = self.cells.get(&key) {
+                if cell
+                    .iter()
+                    .any(|&id| self.items[id as usize].0.touches(query))
+                {
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Item ids (ascending, deduplicated) whose rectangles touch the
     /// query. Work is proportional to the covered cells' occupancy, not
     /// to the total item count, so hot query loops stay cheap on large
-    /// indexes.
+    /// indexes. Removed items never appear (their ids were scrubbed from
+    /// the cells).
     fn matching_ids(&self, query: &Rect) -> Vec<u32> {
         let mut ids: Vec<u32> = Vec::new();
         for key in self.cover_keys(query) {
@@ -105,9 +162,11 @@ impl<T> GridIndex<T> {
         ids
     }
 
-    /// Iterates over all `(rect, payload)` items in insertion order.
+    /// Iterates over all live `(rect, payload)` items in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&Rect, &T)> {
-        self.items.iter().map(|(r, t)| (r, t))
+        self.items
+            .iter()
+            .filter_map(|(r, t)| t.as_ref().map(|v| (r, v)))
     }
 
     fn cover_keys(&self, r: &Rect) -> impl Iterator<Item = (Coord, Coord)> {
@@ -196,6 +255,67 @@ mod tests {
         assert_eq!(idx.len(), 2);
         assert_eq!(idx.iter().count(), 2);
         assert_eq!(idx.cell_size(), 10);
+    }
+
+    #[test]
+    fn remove_scrubs_cells_and_queries() {
+        let mut idx = GridIndex::new(10);
+        let a = idx.insert(Rect::new(0, 0, 50, 50), "a");
+        let b = idx.insert(Rect::new(10, 10, 40, 40), "b");
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.remove(a), Some("a"));
+        assert_eq!(idx.remove(a), None, "double remove is a no-op");
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.query(&Rect::new(0, 0, 100, 100)), vec![&"b"]);
+        assert_eq!(idx.get(a), None);
+        assert_eq!(idx.get(b).map(|(_, v)| *v), Some("b"));
+        assert_eq!(idx.iter().count(), 1);
+    }
+
+    #[test]
+    fn move_via_remove_and_insert() {
+        // The incremental-update idiom the edit session uses: evict the
+        // stale entry, insert the moved one (handles are never reused).
+        let mut idx = GridIndex::new(10);
+        let id = idx.insert(Rect::new(0, 0, 5, 5), 7u32);
+        let v = idx.remove(id).unwrap();
+        let id2 = idx.insert(Rect::new(100, 100, 105, 105), v);
+        assert_ne!(id, id2, "handles are never reused");
+        assert!(idx.query(&Rect::new(0, 0, 10, 10)).is_empty());
+        assert_eq!(idx.query(&Rect::new(100, 100, 101, 101)), vec![&7]);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn incremental_churn_matches_fresh_build() {
+        // Insert 60, remove every third, re-insert half: queries must
+        // equal a from-scratch index over the surviving set.
+        let mut idx = GridIndex::new(25);
+        let mut ids = Vec::new();
+        for i in 0..60i64 {
+            ids.push(idx.insert(Rect::new(i * 30, 0, i * 30 + 20, 20), i));
+        }
+        for (k, &id) in ids.iter().enumerate() {
+            if k % 3 == 0 {
+                idx.remove(id);
+            }
+        }
+        for i in 0..30i64 {
+            if i % 2 == 0 {
+                idx.insert(Rect::new(i * 30 + 5, 5, i * 30 + 15, 15), 100 + i);
+            }
+        }
+        let mut fresh = GridIndex::new(25);
+        let survivors: Vec<(Rect, i64)> = idx.iter().map(|(r, &v)| (*r, v)).collect();
+        for (r, v) in &survivors {
+            fresh.insert(*r, *v);
+        }
+        for q in 0..20i64 {
+            let query = Rect::new(q * 90, 0, q * 90 + 100, 20);
+            let got: Vec<i64> = idx.query(&query).into_iter().copied().collect();
+            let want: Vec<i64> = fresh.query(&query).into_iter().copied().collect();
+            assert_eq!(got, want, "churned index diverged for {query:?}");
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Regions: canonical sets of disjoint rectangles with Boolean algebra.
 
 use crate::boolean::{boolean_op, BoolOp};
-use crate::{GeomError, Point, Polygon, Rect, Wire};
+use crate::{Coord, GeomError, GridIndex, Point, Polygon, Rect, Wire};
 
 /// A (possibly disconnected, possibly hole-y) rectilinear area, stored as a
 /// normalised list of disjoint axis-aligned rectangles.
@@ -156,37 +156,138 @@ impl Region {
         other.difference(self).is_empty()
     }
 
+    /// True if the closed region shares at least one point with `r`
+    /// (touching edges or corners count) — the cheap single-rectangle
+    /// form of [`Region::touches`], used by dirty-halo tests in the
+    /// incremental checker.
+    pub fn touches_rect(&self, r: &Rect) -> bool {
+        match self.bbox() {
+            Some(b) if b.touches(r) => {}
+            _ => return false,
+        }
+        self.rects.iter().any(|own| own.touches(r))
+    }
+
+    /// The region inflated by `d` on every side: the union of every
+    /// rectangle grown by `d` (the *halo* of the region). `d <= 0`
+    /// returns the region unchanged — shrinking is [`crate::size::shrink`]'s
+    /// job.
+    pub fn inflate(&self, d: Coord) -> Region {
+        if d <= 0 || self.rects.is_empty() {
+            return self.clone();
+        }
+        Region::from_rects(
+            self.rects
+                .iter()
+                .filter_map(|r| r.inflate(d))
+                .collect::<Vec<_>>(),
+        )
+    }
+
     /// Splits the region into connected components (rectangles connected by
     /// shared edges or corners — closed-touch connectivity).
+    ///
+    /// Connectivity is discovered through a uniform-grid index (each
+    /// rectangle only probes its spatial neighbourhood) and merged with a
+    /// union-find, so the pass is near-linear in the rectangle count
+    /// instead of the quadratic all-pairs scan it replaces. Components
+    /// come out in a canonical order — ascending bounding-box corner,
+    /// ties broken by the smallest member rectangle index — with each
+    /// component's rectangles in their original (canonical decomposition)
+    /// order.
     pub fn components(&self) -> Vec<Region> {
         let n = self.rects.len();
-        let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
-            if parent[i] != i {
-                let root = find(parent, parent[i]);
-                parent[i] = root;
+        if n <= 1 {
+            return if n == 0 {
+                Vec::new()
+            } else {
+                vec![self.clone()]
+            };
+        }
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut i: u32) -> u32 {
+            while parent[i as usize] != i {
+                // Path halving.
+                parent[i as usize] = parent[parent[i as usize] as usize];
+                i = parent[i as usize];
             }
-            parent[i]
+            i
+        }
+        // Cell size from the typical rect extent so neighbourhood probes
+        // stay local on both fine and coarse geometry.
+        let typical = self
+            .rects
+            .iter()
+            .take(64)
+            .map(|r| (r.x2 - r.x1).min(r.y2 - r.y1))
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let mut index: GridIndex<u32> = GridIndex::new(typical.saturating_mul(4));
+        for (i, r) in self.rects.iter().enumerate() {
+            // Query before inserting: every touching pair (i, j) with
+            // j < i is discovered exactly once, from i's probe.
+            for &j in index.query(r) {
+                let (ri, rj) = (find(&mut parent, i as u32), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri as usize] = rj;
+                }
+            }
+            index.insert(*r, i as u32);
+        }
+        // Group members per root, preserving ascending rect order within
+        // each group (iteration is in index order).
+        let mut groups: std::collections::HashMap<u32, Vec<Rect>> =
+            std::collections::HashMap::new();
+        let mut first_member: std::collections::HashMap<u32, usize> =
+            std::collections::HashMap::new();
+        for i in 0..n {
+            let root = find(&mut parent, i as u32);
+            groups.entry(root).or_default().push(self.rects[i]);
+            first_member.entry(root).or_insert(i);
+        }
+        let mut comps: Vec<(usize, Region)> = groups
+            .into_iter()
+            .map(|(root, rects)| (first_member[&root], Region { rects }))
+            .collect();
+        comps.sort_by_key(|(first, r)| {
+            let b = r.bbox().expect("component is non-empty");
+            (b.x1, b.y1, *first)
+        });
+        comps.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Reference quadratic connectivity scan — the all-pairs algorithm
+    /// [`Region::components`] replaced — returning the component count
+    /// only. Kept (doc-hidden) so the bench ablation and the unit-test
+    /// oracle share one reference implementation instead of drifting
+    /// copies.
+    #[doc(hidden)]
+    pub fn components_count_pairwise(&self) -> usize {
+        let rs = &self.rects;
+        let n = rs.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(p: &mut [usize], mut i: usize) -> usize {
+            while p[i] != i {
+                p[i] = p[p[i]];
+                i = p[i];
+            }
+            i
         }
         for i in 0..n {
             for j in (i + 1)..n {
-                if self.rects[i].touches(&self.rects[j]) {
-                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
-                    if ri != rj {
-                        parent[ri] = rj;
+                if rs[i].touches(&rs[j]) {
+                    let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                    if a != b {
+                        parent[a] = b;
                     }
                 }
             }
         }
-        let mut groups: std::collections::HashMap<usize, Vec<Rect>> =
-            std::collections::HashMap::new();
-        for i in 0..n {
-            let root = find(&mut parent, i);
-            groups.entry(root).or_default().push(self.rects[i]);
-        }
-        let mut comps: Vec<Region> = groups.into_values().map(|rects| Region { rects }).collect();
-        comps.sort_by_key(|r| r.bbox().map(|b| (b.x1, b.y1)));
-        comps
+        (0..n)
+            .map(|i| find(&mut parent, i))
+            .collect::<std::collections::HashSet<_>>()
+            .len()
     }
 }
 
@@ -280,6 +381,64 @@ mod tests {
         ]);
         let comps = r.components();
         assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn components_grid_pass_matches_pairwise_scan() {
+        // A mix of corner-touching chains, isolated islands and a long
+        // spanning bar, checked against the reference quadratic scan.
+        let mut rects = Vec::new();
+        for i in 0..12i64 {
+            rects.push(Rect::new(i * 20, i * 20, i * 20 + 20, i * 20 + 20)); // corner chain
+            rects.push(Rect::new(i * 50, 1000, i * 50 + 30, 1030)); // overlapping row
+            rects.push(Rect::new(
+                i * 100,
+                2000 + i * 100,
+                i * 100 + 10,
+                2010 + i * 100,
+            ));
+        }
+        rects.push(Rect::new(-500, 990, 1500, 995)); // bar under the row
+        let region = Region::from_rects(rects);
+        let comps = region.components();
+        // Reference: the quadratic all-pairs scan (shared with the e17
+        // bench ablation).
+        assert_eq!(comps.len(), region.components_count_pairwise());
+        // Every component's area sums back to the region.
+        assert_eq!(comps.iter().map(|c| c.area()).sum::<i128>(), region.area());
+        // Canonical order: ascending bbox corner.
+        let keys: Vec<_> = comps
+            .iter()
+            .map(|c| {
+                let b = c.bbox().unwrap();
+                (b.x1, b.y1)
+            })
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn inflate_grows_halo() {
+        let r = Region::from_rects([Rect::new(0, 0, 10, 10), Rect::new(100, 0, 110, 10)]);
+        let h = r.inflate(20);
+        assert!(h.contains_point(Point::new(-20, -20)));
+        assert!(h.contains_point(Point::new(130, 30)));
+        assert!(!h.contains_point(Point::new(50, 50)));
+        assert_eq!(r.inflate(0), r);
+        assert!(Region::empty().inflate(100).is_empty());
+        // A big enough halo fuses the parts.
+        assert_eq!(r.inflate(50).components().len(), 1);
+    }
+
+    #[test]
+    fn touches_rect_closed_semantics() {
+        let r = Region::from_rect(Rect::new(0, 0, 10, 10));
+        assert!(r.touches_rect(&Rect::new(10, 10, 20, 20)), "corner touch");
+        assert!(r.touches_rect(&Rect::new(5, 5, 6, 6)), "containment");
+        assert!(!r.touches_rect(&Rect::new(11, 11, 20, 20)));
+        assert!(!Region::empty().touches_rect(&Rect::new(0, 0, 1, 1)));
     }
 
     #[test]

@@ -156,11 +156,13 @@ pub fn expand_check_overlap(
     check_region_spacing(a, b, min_spacing, mode)
 }
 
-fn gap_box(a: &Rect, b: &Rect) -> Rect {
-    // The bounding box of the closest-approach zone between two disjoint
-    // rectangles: intersection of the bounding union with each rect's
-    // nearest band. A simple, useful marker: the bounding union clipped to
-    // the gap.
+/// The bounding box of the closest-approach zone between two rectangles:
+/// the bounding union clipped to the gap (or to the overlap band when the
+/// rectangles intersect). Every point of the marker lies within the pair's
+/// L∞ gap distance of **both** rectangles — the tightness the incremental
+/// checker's dirty-halo anchoring relies on (a marker can only touch a
+/// halo if both offending features are within rule reach of it).
+pub fn gap_box(a: &Rect, b: &Rect) -> Rect {
     let union = a.bounding_union(b);
     let x1 = a.x2.min(b.x2).min(union.x2).max(union.x1);
     let x2 = a.x1.max(b.x1).max(union.x1).min(union.x2);

@@ -56,11 +56,23 @@ impl std::fmt::Display for ErcViolation {
 /// power net if any alias names it so.
 pub fn check_erc(netlist: &Netlist, tech: &Technology) -> Vec<ErcViolation> {
     let mut out = Vec::new();
+    // Auto net keys (checker-internal `#…` placeholders for undeclared
+    // geometry) are not designer names and never classify a net — only
+    // declared aliases are consulted. Besides being the right
+    // semantics (an auto key that happens to embed an `IO_`-named
+    // instance path must not exempt a dangling net), this skips the
+    // bulk of a big chip's aliases.
+    fn named(net: &crate::graph::Net) -> impl Iterator<Item = &str> {
+        net.aliases
+            .iter()
+            .filter(|a| !a.starts_with('#'))
+            .map(|a| local_name(a))
+    }
     for (i, net) in netlist.nets().iter().enumerate() {
         let id = NetId(i as u32);
-        let is_power = net.aliases.iter().any(|a| tech.is_power(local_name(a)));
-        let is_ground = net.aliases.iter().any(|a| tech.is_ground(local_name(a)));
-        let bus_alias = net.aliases.iter().find(|a| tech.is_bus(local_name(a)));
+        let is_power = named(net).any(|a| tech.is_power(a));
+        let is_ground = named(net).any(|a| tech.is_ground(a));
+        let bus_alias = named(net).find(|a| tech.is_bus(a));
 
         // Rule 2: power/ground short.
         if is_power && is_ground {
@@ -89,7 +101,7 @@ pub fn check_erc(netlist: &Netlist, tech: &Technology) -> Vec<ErcViolation> {
         // Rule 1: dangling net. Power/ground rails and chip I/O ports are
         // exempt — they connect off chip; the paper's rule is about
         // internal signal nets.
-        let is_io = net.aliases.iter().any(|a| tech.is_io(local_name(a)));
+        let is_io = named(net).any(|a| tech.is_io(a));
         if !is_power && !is_ground && !is_io && net.terminals.len() < 2 {
             out.push(ErcViolation {
                 rule: ErcRule::DanglingNet,

@@ -39,12 +39,36 @@ pub struct Device {
 }
 
 /// An extracted or intended net list.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Equality compares the canonical content (nets and devices); the
+/// name-lookup table is derived data, built lazily on the first
+/// [`Netlist::net_by_name`] call — net-list construction is on the
+/// incremental re-check path, where most rebuilt lists are never
+/// queried by name.
+#[derive(Debug, Default)]
 pub struct Netlist {
     nets: Vec<Net>,
     devices: Vec<Device>,
-    by_name: HashMap<String, NetId>,
+    by_name: std::sync::OnceLock<HashMap<String, NetId>>,
 }
+
+impl Clone for Netlist {
+    fn clone(&self) -> Self {
+        Netlist {
+            nets: self.nets.clone(),
+            devices: self.devices.clone(),
+            by_name: std::sync::OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Netlist {
+    fn eq(&self, other: &Self) -> bool {
+        self.nets == other.nets && self.devices == other.devices
+    }
+}
+
+impl Eq for Netlist {}
 
 impl Netlist {
     /// All nets.
@@ -69,7 +93,18 @@ impl Netlist {
 
     /// Finds the net that has `name` among its aliases.
     pub fn net_by_name(&self, name: &str) -> Option<NetId> {
-        self.by_name.get(name).copied()
+        self.by_name
+            .get_or_init(|| {
+                let mut map = HashMap::new();
+                for (i, net) in self.nets.iter().enumerate() {
+                    for a in &net.aliases {
+                        map.insert(a.clone(), NetId(i as u32));
+                    }
+                }
+                map
+            })
+            .get(name)
+            .copied()
     }
 
     /// Number of nets.
@@ -87,6 +122,117 @@ impl Netlist {
 /// `(name, interned net key)` pairs.
 type StagedDevice = (String, String, DeviceClass, Vec<(String, u32)>);
 
+/// A device staged for [`assemble_netlist`], borrowing its strings.
+#[derive(Debug, Clone)]
+pub struct AssembleDevice<'a> {
+    /// Instance path (dot notation).
+    pub name: &'a str,
+    /// The `9D` type name.
+    pub device_type: &'a str,
+    /// Electrical class.
+    pub class: DeviceClass,
+    /// `(terminal-name, node)` pairs.
+    pub terminals: Vec<(&'a str, u32)>,
+}
+
+/// Assembles a canonical [`Netlist`] from an explicit node/edge/device
+/// graph, returning it together with the per-node net resolution
+/// (aligned with the `nodes` slice).
+///
+/// This is the single canonicalisation path: [`NetlistBuilder::finish`]
+/// is a thin wrapper over it, and the incremental checker calls it
+/// directly with a persistently interned graph — which is why a patched
+/// session netlist is byte-identical to a from-scratch build: both are
+/// this one pure function of (live nodes, connectivity, devices).
+///
+/// Canonical form: nets are the connected components of the node graph;
+/// a net's canonical name is its shortest (then lexicographically
+/// smallest) alias; `aliases` are sorted; nets are ordered by canonical
+/// name; terminals appear in device order. Node ids may be sparse —
+/// edge/terminal endpoints must all appear in `nodes`.
+pub fn assemble_netlist(
+    nodes: &[(u32, &str)],
+    edges: &[(u32, u32)],
+    devices: &[AssembleDevice<'_>],
+) -> (Netlist, Vec<NetId>) {
+    // Dense remap so union-find stays compact under sparse node ids.
+    let max_node = nodes.iter().map(|&(n, _)| n).max().map_or(0, |n| n + 1);
+    let mut dense: Vec<u32> = vec![u32::MAX; max_node as usize];
+    let mut uf = UnionFind::new();
+    for (node, _) in nodes {
+        dense[*node as usize] = uf.make();
+    }
+    for (a, b) in edges {
+        uf.union(dense[*a as usize], dense[*b as usize]);
+    }
+
+    // Group aliases by component root (dense root ids index a Vec).
+    let mut groups: Vec<Vec<&str>> = vec![Vec::new(); nodes.len()];
+    for (node, name) in nodes {
+        groups[uf.find(dense[*node as usize]) as usize].push(name);
+    }
+    // Deterministic net order: by canonical (shortest, then smallest)
+    // alias.
+    let mut roots: Vec<(&str, u32, Vec<&str>)> = groups
+        .into_iter()
+        .enumerate()
+        .filter(|(_, aliases)| !aliases.is_empty())
+        .map(|(root, aliases)| {
+            let canon = *aliases
+                .iter()
+                .min_by_key(|a| (a.len(), **a))
+                .expect("group is non-empty");
+            (canon, root as u32, aliases)
+        })
+        .collect();
+    roots.sort_unstable_by(|a, b| a.0.cmp(b.0));
+
+    let mut root_to_net: Vec<NetId> = vec![NetId(u32::MAX); uf.len()];
+    let mut nets: Vec<Net> = Vec::with_capacity(roots.len());
+    for (canon, root, mut aliases) in roots {
+        let id = NetId(nets.len() as u32);
+        aliases.sort_unstable();
+        root_to_net[root as usize] = id;
+        nets.push(Net {
+            name: canon.to_string(),
+            aliases: aliases.into_iter().map(str::to_string).collect(),
+            terminals: Vec::new(),
+        });
+    }
+
+    let mut out_devices: Vec<Device> = Vec::with_capacity(devices.len());
+    for (di, dev) in devices.iter().enumerate() {
+        let mut terminals = Vec::with_capacity(dev.terminals.len());
+        for (tname, node) in &dev.terminals {
+            let net = root_to_net[uf.find(dense[*node as usize]) as usize];
+            nets[net.0 as usize]
+                .terminals
+                .push((DeviceId(di as u32), (*tname).to_string()));
+            terminals.push(((*tname).to_string(), net));
+        }
+        out_devices.push(Device {
+            name: dev.name.to_string(),
+            device_type: dev.device_type.to_string(),
+            class: dev.class,
+            terminals,
+        });
+    }
+
+    let node_nets: Vec<NetId> = nodes
+        .iter()
+        .map(|&(node, _)| root_to_net[uf.find(dense[node as usize]) as usize])
+        .collect();
+
+    (
+        Netlist {
+            nets,
+            devices: out_devices,
+            by_name: std::sync::OnceLock::new(),
+        },
+        node_nets,
+    )
+}
+
 /// Builder: intern net keys, merge them as connections are discovered, add
 /// devices, then [`NetlistBuilder::finish`] into a canonical [`Netlist`].
 #[derive(Debug, Clone, Default)]
@@ -94,6 +240,7 @@ pub struct NetlistBuilder {
     uf: UnionFind,
     keys: HashMap<String, u32>,
     names: Vec<String>,
+    edges: Vec<(u32, u32)>,
     devices: Vec<StagedDevice>,
 }
 
@@ -119,6 +266,7 @@ impl NetlistBuilder {
     pub fn connect(&mut self, a: &str, b: &str) {
         let na = self.node(a);
         let nb = self.node(b);
+        self.edges.push((na, nb));
         self.uf.union(na, nb);
     }
 
@@ -145,65 +293,26 @@ impl NetlistBuilder {
             .push((name.to_string(), device_type.to_string(), class, terms));
     }
 
-    /// Produces the canonical net list.
-    pub fn finish(mut self) -> Netlist {
-        // Group aliases by root.
-        let mut groups: HashMap<u32, Vec<String>> = HashMap::new();
-        for (name, &node) in &self.keys {
-            let root = self.uf.find(node);
-            groups.entry(root).or_default().push(name.clone());
-        }
-        // Deterministic net order: by canonical (min) alias.
-        let mut roots: Vec<(String, u32, Vec<String>)> = groups
-            .into_iter()
-            .map(|(root, mut aliases)| {
-                aliases.sort_by(|a, b| (a.len(), a.as_str()).cmp(&(b.len(), b.as_str())));
-                (aliases[0].clone(), root, aliases)
-            })
+    /// Produces the canonical net list (through [`assemble_netlist`],
+    /// the same path the incremental checker's patched graph takes).
+    pub fn finish(self) -> Netlist {
+        let nodes: Vec<(u32, &str)> = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
             .collect();
-        roots.sort_by(|a, b| a.0.cmp(&b.0));
-
-        let mut root_to_net: HashMap<u32, NetId> = HashMap::new();
-        let mut nets: Vec<Net> = Vec::with_capacity(roots.len());
-        let mut by_name: HashMap<String, NetId> = HashMap::new();
-        for (canon, root, mut aliases) in roots {
-            let id = NetId(nets.len() as u32);
-            aliases.sort();
-            for a in &aliases {
-                by_name.insert(a.clone(), id);
-            }
-            root_to_net.insert(root, id);
-            nets.push(Net {
-                name: canon,
-                aliases,
-                terminals: Vec::new(),
-            });
-        }
-
-        let mut devices: Vec<Device> = Vec::with_capacity(self.devices.len());
-        for (di, (name, device_type, class, terms)) in self.devices.clone().into_iter().enumerate()
-        {
-            let mut terminals = Vec::with_capacity(terms.len());
-            for (tname, node) in terms {
-                let net = root_to_net[&self.uf.find(node)];
-                nets[net.0 as usize]
-                    .terminals
-                    .push((DeviceId(di as u32), tname.clone()));
-                terminals.push((tname, net));
-            }
-            devices.push(Device {
+        let devices: Vec<AssembleDevice<'_>> = self
+            .devices
+            .iter()
+            .map(|(name, device_type, class, terms)| AssembleDevice {
                 name,
                 device_type,
-                class,
-                terminals,
-            });
-        }
-
-        Netlist {
-            nets,
-            devices,
-            by_name,
-        }
+                class: *class,
+                terminals: terms.iter().map(|(t, n)| (t.as_str(), *n)).collect(),
+            })
+            .collect();
+        assemble_netlist(&nodes, &self.edges, &devices).0
     }
 }
 

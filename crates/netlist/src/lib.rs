@@ -27,5 +27,7 @@ pub mod unionfind;
 
 pub use compare::{compare_by_structure, NetlistDiff};
 pub use erc::{check_erc, ErcRule, ErcViolation};
-pub use graph::{Device, DeviceId, Net, NetId, Netlist, NetlistBuilder};
+pub use graph::{
+    assemble_netlist, AssembleDevice, Device, DeviceId, Net, NetId, Netlist, NetlistBuilder,
+};
 pub use unionfind::UnionFind;

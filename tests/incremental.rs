@@ -1,0 +1,209 @@
+//! The **fifth leg** of the differential oracle: incremental == full.
+//!
+//! `tests/differential.rs` pins flat/hierarchical × serial/parallel to
+//! one answer; this suite pins the *edit loop* to it too. Every
+//! proptest case generates a chip (with injected faults), opens a
+//! [`CheckSession`], and drives it through a sequence of random edits
+//! (adds, fault stubs, removes, moves, cell-definition replacements).
+//! After **every** step the session's patched report must be
+//! byte-identical — violations in canonical order, net list, counts —
+//! to a from-scratch [`canonical_check`] of the edited layout, under
+//! both a serial session and one running at the `CHECK_PARALLELISM`
+//! worker count (CI forces 1 and `$(nproc)` in separate steps).
+
+use diic::core::incremental::{CheckSession, EditSet};
+use diic::core::{canonical_check, env_parallelism, CheckOptions, CheckReport};
+use diic::gen::{generate, random_edit_set, ChipSpec, ErrorKind};
+use diic::geom::Rect;
+use diic::tech::nmos::nmos_technology;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The parallel worker count exercised against serial runs.
+fn wide_workers() -> usize {
+    env_parallelism().unwrap_or(0) // 0 = all available cores
+}
+
+/// Asserts the session's cached report equals a from-scratch canonical
+/// check of its current layout, field by comparable field.
+fn assert_matches_full(session: &CheckSession, context: &str) -> CheckReport {
+    let full = session.full_check();
+    assert_eq!(
+        session.report().violations,
+        full.violations,
+        "{context}: patched violations diverge from full re-check"
+    );
+    assert_eq!(
+        session.report().netlist,
+        full.netlist,
+        "{context}: patched net list diverges"
+    );
+    assert_eq!(
+        session.report().element_count,
+        full.element_count,
+        "{context}"
+    );
+    assert_eq!(
+        session.report().device_count,
+        full.device_count,
+        "{context}"
+    );
+    assert_eq!(
+        session.report().waived_devices,
+        full.waived_devices,
+        "{context}"
+    );
+    full
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The oracle proper: ≥ 32 chips × ≥ 8 edit steps, serial and wide
+    /// sessions in lockstep, both equal to the from-scratch check at
+    /// every step — and equal to each other.
+    #[test]
+    fn edit_sequences_match_full_checks(
+        nx in 2usize..4,
+        ny in 1usize..3,
+        seed in 0u64..1_000_000,
+        mask in 1u16..512,
+    ) {
+        let tech = nmos_technology();
+        let errors: Vec<ErrorKind> = ErrorKind::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, k)| *k)
+            .take(nx * ny)
+            .collect();
+        let chip = generate(&ChipSpec::with_errors(nx, ny, errors, seed));
+        let layout = diic::cif::parse(&chip.cif).expect("generated chips always parse");
+
+        let serial_options = CheckOptions::default();
+        let wide_options = CheckOptions {
+            parallelism: wide_workers(),
+            ..CheckOptions::default()
+        };
+        let mut serial = CheckSession::new(layout.clone(), &tech, &serial_options);
+        let mut wide = CheckSession::new(layout, &tech, &wide_options);
+        assert_matches_full(&serial, "step 0 (serial)");
+
+        // Both sessions see the same edit stream.
+        let bounds = Rect::new(-2500, -6000, nx as i64 * 6750 + 2500, ny as i64 * 10000 + 2500);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1C);
+        for step in 0..8 {
+            let edits = random_edit_set(serial.layout(), bounds, step, &mut rng);
+            serial.apply(&edits).expect("generated edits are valid");
+            wide.apply(&edits).expect("generated edits are valid");
+            let ctx = format!("step {} (nx={nx} ny={ny} seed={seed} mask={mask:#b})", step + 1);
+            let full = assert_matches_full(&serial, &ctx);
+            prop_assert_eq!(
+                &wide.report().violations,
+                &full.violations,
+                "{}: wide session diverges",
+                ctx
+            );
+            prop_assert_eq!(&wide.report().netlist, &full.netlist, "{}", ctx);
+        }
+    }
+}
+
+/// A clean chip stays clean through benign edits (moving an instance
+/// around in free space must not fabricate violations), and the patched
+/// report still matches the full check at every step.
+#[test]
+fn benign_edits_on_clean_chip_stay_clean() {
+    let tech = nmos_technology();
+    let chip = generate(&ChipSpec::clean(3, 2));
+    let layout = diic::cif::parse(&chip.cif).unwrap();
+    let mut session = CheckSession::new(layout, &tech, &CheckOptions::default());
+    assert!(
+        session.report().violations.is_empty(),
+        "seed chip must be clean"
+    );
+
+    // A clean wire far below the array, then slide it around.
+    let mut add = EditSet::new();
+    add.add_box("NM", Rect::new(0, -20000, 2000, -19250), Some("IO_PROBE"));
+    let n = session.layout().top_items().len();
+    session.apply(&add).unwrap();
+    for dx in [2500i64, 2500, -5000] {
+        let mut mv = EditSet::new();
+        mv.translate(n, dx, 0);
+        session.apply(&mv).unwrap();
+        assert!(
+            session.report().violations.is_empty(),
+            "{:?}",
+            session.report().violations
+        );
+        assert_matches_full(&session, "benign move");
+    }
+}
+
+/// Editing must also *repair*: injecting a fault stub and then removing
+/// it returns the report to its original bytes.
+#[test]
+fn fault_injection_roundtrip() {
+    let tech = nmos_technology();
+    let chip = generate(&ChipSpec::clean(2, 1));
+    let layout = diic::cif::parse(&chip.cif).unwrap();
+    let mut session = CheckSession::new(layout, &tech, &CheckOptions::default());
+    let clean = session.report().violations.clone();
+
+    let mut fault = EditSet::new();
+    fault.add_box("NM", Rect::new(0, -10000, 2000, -9300), None); // 700 < 750 wide
+    let idx = session.layout().top_items().len();
+    let stats = session.apply(&fault).unwrap();
+    assert!(stats.spliced > 0, "{stats:?}");
+    assert!(
+        session.report().violations.len() > clean.len(),
+        "fault stub must be reported"
+    );
+    assert_matches_full(&session, "after fault");
+
+    let mut repair = EditSet::new();
+    repair.remove(idx);
+    session.apply(&repair).unwrap();
+    assert_eq!(
+        session.report().violations,
+        clean,
+        "repair must restore the report"
+    );
+    assert_matches_full(&session, "after repair");
+}
+
+/// Small edits on a mid-size array should re-check only a neighbourhood:
+/// the scoped interaction pass must evaluate far fewer candidate pairs
+/// than the full run enumerates.
+#[test]
+fn small_edit_rechecks_a_small_neighbourhood() {
+    let tech = nmos_technology();
+    let chip = generate(&ChipSpec {
+        demo_cells: false,
+        ..ChipSpec::clean(6, 4)
+    });
+    let layout = diic::cif::parse(&chip.cif).unwrap();
+    let options = CheckOptions::default();
+    let full_pairs = canonical_check(&layout, &tech, &options)
+        .interact_stats
+        .candidate_pairs;
+    let mut session = CheckSession::new(layout, &tech, &options);
+
+    let mut edits = EditSet::new();
+    edits.add_box(
+        "NM",
+        Rect::new(500, 5600 - 375, 2500, 5600 + 375),
+        Some("IO_PROBE"),
+    );
+    let stats = session.apply(&edits).unwrap();
+    assert_matches_full(&session, "probe stub");
+    assert!(
+        stats.rechecked_pairs * 4 < full_pairs,
+        "scoped pass re-evaluated {}/{} pairs — not incremental",
+        stats.rechecked_pairs,
+        full_pairs
+    );
+    assert!(stats.dirty_items == 1, "{stats:?}");
+}
