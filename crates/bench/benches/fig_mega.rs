@@ -1,0 +1,55 @@
+//! Bounded-memory bench: tiled streaming vs buffered interaction
+//! evaluation, and buffering vs streaming/counting sinks, on a
+//! mega-chip slice — the memory-model knobs PR 4 added.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diic_core::{check, check_with_sink, CheckOptions, CountingSink, StageEngine};
+use diic_tech::nmos::nmos_technology;
+
+fn bench(c: &mut Criterion) {
+    let tech = nmos_technology();
+    let chip = diic_gen::mega_chip(20_000);
+    let layout = diic_cif::parse(&chip.cif).unwrap();
+    let mut g = c.benchmark_group("fig_mega");
+    g.sample_size(10);
+    for (label, tiled) in [("buffered", false), ("tiled", true)] {
+        g.bench_with_input(
+            BenchmarkId::new("interactions", label),
+            &tiled,
+            |b, &tiled| {
+                b.iter(|| {
+                    check(
+                        &layout,
+                        &tech,
+                        &CheckOptions {
+                            erc: false,
+                            tiled_interactions: tiled,
+                            parallelism: 0,
+                            ..CheckOptions::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    g.bench_function("counting-sink", |b| {
+        b.iter(|| {
+            let mut sink = CountingSink::new();
+            check_with_sink(
+                &StageEngine::diic_pipeline(),
+                &layout,
+                &tech,
+                &CheckOptions {
+                    erc: false,
+                    parallelism: 0,
+                    ..CheckOptions::default()
+                },
+                &mut sink,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

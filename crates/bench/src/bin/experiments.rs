@@ -52,6 +52,7 @@ fn main() {
             Box::new(move || diic_bench::e16_parallel_speedup(scale)),
         ),
         ("e17", Box::new(move || diic_bench::e17_incremental(scale))),
+        ("e18", Box::new(move || diic_bench::e18_memory(scale))),
     ];
 
     println!("DIIC experiment harness — McGrath & Whitney, DAC 1980");

@@ -1,0 +1,87 @@
+//! Release-mode mega-chip smoke: generate a library-scale clean array,
+//! run the bounded-memory pipeline over it (sharded instantiation,
+//! tiled interactions, counting sink — nothing violation-shaped is ever
+//! buffered), and assert the verdict.
+//!
+//! ```text
+//! cargo run -p diic-bench --bin mega_smoke --release -- [target_elements]
+//! ```
+//!
+//! CI wraps this in `/usr/bin/time -v` and enforces a peak-RSS ceiling:
+//! with candidate memory bounded by the widest tile instead of the
+//! total pair count, resident memory scales with the instantiated view,
+//! not with the all-pairs list. Exits non-zero (panics) if the clean
+//! chip reports any violation or the tiled peak is not bounded.
+
+use diic_core::{check_with_sink, CheckOptions, CountingSink, StageEngine};
+use diic_tech::nmos::nmos_technology;
+use std::time::Instant;
+
+fn main() {
+    let target: u64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("target_elements must be a number"))
+        .unwrap_or(1_000_000);
+
+    let t0 = Instant::now();
+    let chip = diic_gen::mega_chip(target);
+    let layout = diic_cif::parse(&chip.cif).expect("generated chips always parse");
+    println!(
+        "generated + parsed {} cells in {:.1}s",
+        chip.cell_count,
+        t0.elapsed().as_secs_f64()
+    );
+
+    let tech = nmos_technology();
+    let options = CheckOptions {
+        erc: false,
+        parallelism: 0,
+        ..CheckOptions::default() // tiled interactions are the default
+    };
+    let mut sink = CountingSink::new();
+    let t0 = Instant::now();
+    let report = check_with_sink(
+        &StageEngine::diic_pipeline(),
+        &layout,
+        &tech,
+        &options,
+        &mut sink,
+    );
+    let elapsed = t0.elapsed();
+    println!(
+        "checked {} elements / {} devices in {:.1}s ({:.0} elements/s)",
+        report.element_count,
+        report.device_count,
+        elapsed.as_secs_f64(),
+        report.element_count as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "candidate pairs {} — peak candidate buffer {} (tiled)",
+        report.interact_stats.candidate_pairs, report.interact_stats.peak_candidate_buffer
+    );
+    for s in &report.stage_profile {
+        println!(
+            "  {:<12} {:>8.1} ms",
+            s.name,
+            s.duration.as_secs_f64() * 1e3
+        );
+    }
+
+    assert!(
+        report.element_count as u64 >= target,
+        "mega chip fell short of the element target: {} < {target}",
+        report.element_count
+    );
+    assert_eq!(
+        sink.total(),
+        0,
+        "the clean mega array must check clean — the checker regressed"
+    );
+    assert!(
+        report.interact_stats.peak_candidate_buffer < report.interact_stats.candidate_pairs,
+        "tiled peak {} not bounded below total pairs {}",
+        report.interact_stats.peak_candidate_buffer,
+        report.interact_stats.candidate_pairs
+    );
+    println!("mega smoke OK");
+}

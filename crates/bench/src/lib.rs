@@ -1056,6 +1056,79 @@ pub fn e17_incremental(scale: Scale) -> String {
     out
 }
 
+/// E18 — bounded-memory pipeline: the tiled streaming interaction
+/// stage's candidate-buffer peak vs the buffered baseline's, at
+/// `mega_chip` scale, with byte-identity and throughput. The buffered
+/// run holds the whole pair list; the tiled run's peak must be bounded
+/// by the widest tile — the number that makes million-element chips
+/// checkable in O(tile) candidate memory.
+pub fn e18_memory(scale: Scale) -> String {
+    use diic_core::{check_with_sink, CountingSink};
+    let mut out = String::new();
+    let targets: Vec<u64> = if scale.quick {
+        vec![2_000, 20_000]
+    } else {
+        vec![20_000, 200_000, 1_000_000]
+    };
+    let _ = writeln!(
+        out,
+        "E18: bounded-memory tiled interactions — candidate buffer peak"
+    );
+    let _ = writeln!(
+        out,
+        "{:>9} {:>9} {:>11} {:>12} {:>12} {:>10} {:>10}",
+        "elements", "cells", "pairs", "buffered pk", "tiled pk", "int ms", "identical"
+    );
+    let tech = nmos_technology();
+    for target in targets {
+        let chip = diic_gen::mega_chip(target);
+        let layout = diic_cif::parse(&chip.cif).unwrap();
+        let buffered_opts = CheckOptions {
+            erc: false,
+            tiled_interactions: false,
+            parallelism: 0,
+            ..CheckOptions::default()
+        };
+        let tiled_opts = CheckOptions {
+            tiled_interactions: true,
+            ..buffered_opts.clone()
+        };
+        let buffered = diic_core::check(&layout, &tech, &buffered_opts);
+        // The tiled leg also streams its (empty — the chip is clean)
+        // report through a counting sink: the whole run then buffers
+        // nothing violation-shaped at all.
+        let mut counting = CountingSink::new();
+        let tiled = check_with_sink(
+            &StageEngine::diic_pipeline(),
+            &layout,
+            &tech,
+            &tiled_opts,
+            &mut counting,
+        );
+        let identical = counting.total() == buffered.violations.len()
+            && tiled.interact_stats.candidate_pairs == buffered.interact_stats.candidate_pairs
+            && tiled.interact_stats.distance_checks == buffered.interact_stats.distance_checks;
+        let _ = writeln!(
+            out,
+            "{:>9} {:>9} {:>11} {:>12} {:>12} {:>10.1} {:>10}",
+            tiled.element_count,
+            chip.cell_count,
+            tiled.interact_stats.candidate_pairs,
+            buffered.interact_stats.peak_candidate_buffer,
+            tiled.interact_stats.peak_candidate_buffer,
+            tiled.timings.interactions.as_secs_f64() * 1e3,
+            if identical { "yes" } else { "NO" }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(buffered peak = the whole materialised pair list; tiled peak = the widest\n\
+         tile — the hierarchical search's widest scope/scope-pair cache row — which\n\
+         stays flat as the array grows while total pairs grow with the chip)"
+    );
+    out
+}
+
 /// Runs every experiment, returning the combined report.
 pub fn run_all(scale: Scale) -> String {
     let parts = vec![
@@ -1076,6 +1149,7 @@ pub fn run_all(scale: Scale) -> String {
         e15_composition_rules(),
         e16_parallel_speedup(scale),
         e17_incremental(scale),
+        e18_memory(scale),
     ];
     parts.join("\n")
 }
@@ -1182,5 +1256,26 @@ mod tests {
         assert!(t.contains("flat baseline"), "{t}");
         assert!(t.contains("yes"), "{t}");
         assert!(!t.contains(" NO"), "a parallel run diverged: {t}");
+    }
+
+    #[test]
+    fn e18_tiled_peak_is_bounded_and_identical() {
+        let t = e18_memory(QUICK);
+        assert!(t.contains("yes"), "{t}");
+        assert!(!t.contains(" NO"), "a tiled run diverged: {t}");
+        // The tiled peak must be strictly below the buffered peak on
+        // every row (the buffered peak is the total pair count).
+        for line in t
+            .lines()
+            .filter(|l| l.trim_start().starts_with(char::is_numeric))
+        {
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            let buffered: u64 = cols[3].parse().unwrap();
+            let tiled: u64 = cols[4].parse().unwrap();
+            assert!(
+                tiled < buffered,
+                "tiled peak {tiled} not below buffered {buffered}: {line}"
+            );
+        }
     }
 }

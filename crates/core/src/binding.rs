@@ -113,15 +113,82 @@ pub struct ChipView {
 ///
 /// Elements on unknown layers are skipped (the binding already reported
 /// them). Device symbols instantiate a [`DeviceInstance`] per call;
-/// elements inside them are tagged with it.
+/// elements inside them are tagged with it. Serial —
+/// [`instantiate_parallel`] with one worker.
 pub fn instantiate(layout: &Layout, tech: &Technology, binding: &LayerBinding) -> ChipView {
-    let mut view = ChipView::default();
-    let t = Transform::IDENTITY;
-    for item in layout.top_items() {
-        walk(layout, tech, binding, item, &t, "", None, None, &mut view);
-    }
+    instantiate_parallel(layout, tech, binding, 1)
+}
+
+/// [`instantiate`] with the per-top-item shard walks spread across
+/// `workers` scoped threads — the sharded front end that lets
+/// [`ChipView`] construction parallelise like the rest of the pipeline.
+///
+/// Each top-level item is one shard job: a pure walk of that item into
+/// a private [`ChipView`] with shard-local ids. The shards are stitched
+/// in item order by offsetting element ids, device indices, and the
+/// device → element back-references — exactly the numbering a serial
+/// walk produces, so any worker count yields a byte-identical view.
+/// Auto net keys are assigned over the stitched element list (they are
+/// global: duplicate ordinals may span shards).
+pub fn instantiate_parallel(
+    layout: &Layout,
+    tech: &Technology,
+    binding: &LayerBinding,
+    workers: usize,
+) -> ChipView {
+    let (mut view, _) = instantiate_sharded(layout, tech, binding, workers);
     assign_auto_net_keys(&mut view.elements, None);
     view
+}
+
+/// The sharded walk behind [`instantiate_parallel`]: builds the view
+/// one top-level item at a time on the worker pool and returns, along
+/// with the stitched view, the per-item `(elements, devices)` run
+/// lengths — the unit of reuse the incremental session's view patching
+/// is built on. Auto net keys are **not** assigned here.
+pub(crate) fn instantiate_sharded(
+    layout: &Layout,
+    tech: &Technology,
+    binding: &LayerBinding,
+    workers: usize,
+) -> (ChipView, Vec<(usize, usize)>) {
+    let items = layout.top_items();
+    let shards: Vec<ChipView> = crate::parallel::run_ordered(items.len(), workers, |k| {
+        let mut shard = ChipView::default();
+        walk(
+            layout,
+            tech,
+            binding,
+            &items[k],
+            &Transform::IDENTITY,
+            "",
+            None,
+            None,
+            &mut shard,
+        );
+        shard
+    });
+    let mut view = ChipView::default();
+    let mut runs = Vec::with_capacity(shards.len());
+    for mut shard in shards {
+        let (e_off, d_off) = (view.elements.len(), view.devices.len());
+        runs.push((shard.elements.len(), shard.devices.len()));
+        view.violations.append(&mut shard.violations);
+        for mut el in shard.elements {
+            el.id += e_off;
+            if let Some(d) = &mut el.device {
+                *d += d_off;
+            }
+            view.elements.push(el);
+        }
+        for mut dv in shard.devices {
+            for id in &mut dv.element_ids {
+                *id += e_off;
+            }
+            view.devices.push(dv);
+        }
+    }
+    (view, runs)
 }
 
 /// Instantiates a single top-level item, appending its elements and
@@ -438,6 +505,42 @@ mod tests {
         assert_eq!(view.elements.len(), 1);
         assert_eq!(view.elements[0].path, "i0.i0");
         assert_eq!(view.elements[0].net_key, "i0.i0.out");
+    }
+
+    #[test]
+    fn sharded_instantiation_is_byte_identical() {
+        // Mixed top level (device calls, nested calls, loose geometry,
+        // duplicate shapes whose auto-key ordinals span shards): the
+        // stitched parallel view must equal the serial walk exactly —
+        // ids, device indices, back-references, net keys.
+        let cif = "
+        DS 1; 9 ct; 9D CONTACT_D; 9T A NM 250 250; 9T B ND 250 250;
+        L NC; B 500 500 250 250; L ND; B 1000 1000 250 250; L NM; B 1000 1000 250 250; DF;
+        DS 2; C 1 T 0 0; L NM; B 1000 750 3000 0; DF;
+        C 1 T 0 0; C 2 T 8000 0; C 1 T 16000 0;
+        L NM; B 1000 750 24000 0; L NM; B 1000 750 24000 0;
+        E";
+        let layout = parse(cif).unwrap();
+        let tech = nmos_technology();
+        let (binding, _) = LayerBinding::bind(&layout, &tech);
+        let serial = instantiate(&layout, &tech, &binding);
+        assert!(!serial.elements.is_empty() && !serial.devices.is_empty());
+        for workers in [2usize, 3, 8] {
+            let par = instantiate_parallel(&layout, &tech, &binding, workers);
+            assert_eq!(par.elements.len(), serial.elements.len());
+            for (a, b) in serial.elements.iter().zip(&par.elements) {
+                assert_eq!(a.id, b.id, "workers={workers}");
+                assert_eq!(a.net_key, b.net_key, "workers={workers}");
+                assert_eq!(a.device, b.device, "workers={workers}");
+                assert_eq!(a.bbox, b.bbox, "workers={workers}");
+                assert_eq!(a.path, b.path, "workers={workers}");
+            }
+            assert_eq!(par.devices.len(), serial.devices.len());
+            for (a, b) in serial.devices.iter().zip(&par.devices) {
+                assert_eq!(a.path, b.path, "workers={workers}");
+                assert_eq!(a.element_ids, b.element_ids, "workers={workers}");
+            }
+        }
     }
 
     #[test]

@@ -40,6 +40,12 @@ pub struct CheckOptions {
     /// spawns that many scoped workers. Serial and parallel runs
     /// produce byte-identical reports.
     pub parallelism: usize,
+    /// Stream interaction candidates tile by tile (the default) instead
+    /// of materialising the full pair list — peak candidate memory is
+    /// then bounded by one tile **per live worker** (`parallelism` ×
+    /// widest tile), not by the chip's total pair count, with
+    /// byte-identical reports either way (the sixth differential leg).
+    pub tiled_interactions: bool,
 }
 
 impl Default for CheckOptions {
@@ -51,6 +57,7 @@ impl Default for CheckOptions {
             erc: true,
             intended_netlist: None,
             parallelism: 1,
+            tiled_interactions: true,
         }
     }
 }
@@ -62,6 +69,21 @@ impl CheckOptions {
     /// cannot disagree on what `0` means.
     pub fn effective_parallelism(&self) -> usize {
         crate::parallel::effective_parallelism(self.parallelism)
+    }
+
+    /// The interaction-stage options this run implies — the **single**
+    /// mapping the engine's interaction stage and the incremental
+    /// session both use, so a new interaction knob is wired once, here,
+    /// or nowhere.
+    pub fn interact_options(&self) -> crate::interact::InteractOptions {
+        crate::interact::InteractOptions {
+            same_net_suppression: self.same_net_suppression,
+            metric: self.metric,
+            hierarchical: self.hierarchical,
+            parallelism: self.parallelism,
+            tiled: self.tiled_interactions,
+            ..crate::interact::InteractOptions::default()
+        }
     }
 }
 
@@ -140,9 +162,14 @@ pub struct CheckReport {
 }
 
 impl CheckReport {
-    /// True if no violations were found.
+    /// True if no violations were found — trustworthy for **any** sink.
+    /// A streaming or counting run buffers nothing in `violations`, so
+    /// this also consults the per-stage profile counts (which record
+    /// what the sink *accepted*, flushed or not); a dirty chip checked
+    /// through a [`CountingSink`](crate::engine::CountingSink) must
+    /// never read as clean.
     pub fn is_clean(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.stage_profile.iter().all(|s| s.violations == 0)
     }
 
     /// Violations of a given stage.
@@ -172,6 +199,29 @@ pub fn check_with_engine(
     options: &CheckOptions,
 ) -> CheckReport {
     let mut ctx = CheckContext::new(layout, tech, options);
+    let profile = engine.run(&mut ctx);
+    ctx.into_report(profile)
+}
+
+/// Runs a stage set with violations emitted through a caller-supplied
+/// [`Sink`](crate::engine::Sink) instead of an in-memory buffer — the
+/// bounded-memory entry point. With a
+/// [`StreamingSink`](crate::engine::StreamingSink) or
+/// [`CountingSink`](crate::engine::CountingSink) the run holds at most
+/// one sink chunk of diagnostics at any time; the returned report then
+/// carries empty `violations` (the sink saw every one) but full
+/// timings, statistics, and counts. [`CheckReport::is_clean`] stays
+/// trustworthy (it also reads the per-stage counts), but
+/// [`CheckReport::by_stage`] and [`crate::report::format_report`] only
+/// see what was buffered — read the sink for content.
+pub fn check_with_sink(
+    engine: &StageEngine,
+    layout: &Layout,
+    tech: &Technology,
+    options: &CheckOptions,
+    sink: &mut dyn crate::engine::Sink,
+) -> CheckReport {
+    let mut ctx = CheckContext::new_with_sink(layout, tech, options, sink);
     let profile = engine.run(&mut ctx);
     ctx.into_report(profile)
 }

@@ -26,14 +26,14 @@
 //! [`PipelineStage`] and are added with [`StageEngine::register`]; they
 //! appear in the per-stage profile like the built-in ones.
 
-use crate::binding::{instantiate, ChipView, LayerBinding};
+use crate::binding::{ChipView, LayerBinding};
 use crate::checker::{CheckOptions, CheckReport, StageTimings};
 use crate::connect::{check_connections, ConnectionResult};
 use crate::element_checks::check_elements;
 use crate::flat::{
     flat_gate_checks, flat_spacing_checks, flat_width_checks, FlatLayers, FlatOptions,
 };
-use crate::interact::{check_interactions, InteractOptions, InteractStats};
+use crate::interact::{check_interactions, InteractStats};
 use crate::netgen::{generate_netlist, NetgenResult};
 use crate::parallel::effective_parallelism;
 use crate::primitive_checks::check_primitive_symbols;
@@ -45,11 +45,82 @@ use std::time::{Duration, Instant};
 
 /// Where stages deposit violations, by move.
 ///
-/// The sink is the single owner of every violation found during a run;
-/// stages hand over their vectors with [`DiagnosticSink::absorb`] (by
-/// value) or [`DiagnosticSink::append`] (draining a vector that lives
-/// inside a result struct), so diagnostics are never cloned on their way
-/// to the report.
+/// Every producer in the pipeline — the [`PipelineStage`]s of both
+/// stage sets, and the incremental session's patch phases — emits
+/// through this trait, so the decision of *what happens to a
+/// violation* (buffer it, stream it to a writer, just count it) is the
+/// caller's, not the stage's. Three implementations ship with the
+/// crate:
+///
+/// * [`DiagnosticSink`] — buffers everything in one vector (the
+///   classic report path);
+/// * [`StreamingSink`] — holds at most one bounded chunk in memory,
+///   flushing each chunk (canonically sorted) to a writer — the
+///   bounded-memory report path for million-element chips;
+/// * [`CountingSink`] — retains nothing, counting per report stage.
+///
+/// The ingestion contract all implementations share: violations are
+/// accepted **append-only, in arrival order** — a sink may batch or
+/// discard, but never reorder what a caller observes through
+/// [`Sink::len`], and [`Sink::take_buffered`] returns whatever is
+/// retained in arrival order.
+pub trait Sink: std::fmt::Debug {
+    /// Accepts one violation.
+    fn push(&mut self, v: Violation);
+
+    /// Drains `vs` into the sink, leaving it empty (for violation
+    /// vectors embedded in stage result structs). This keeps the
+    /// zero-copy discipline: diagnostics move, they are never cloned on
+    /// their way out of a stage.
+    fn append(&mut self, vs: &mut Vec<Violation>) {
+        for v in vs.drain(..) {
+            self.push(v);
+        }
+    }
+
+    /// Moves a whole vector of violations into the sink (the
+    /// owned-vector form of [`Sink::append`] — both funnel through one
+    /// path so the ordering contract cannot fork).
+    fn absorb(&mut self, vs: Vec<Violation>) {
+        let mut vs = vs;
+        self.append(&mut vs);
+    }
+
+    /// Number of violations **accepted** so far (streamed or counted
+    /// ones included — this is what the engine's per-stage profile
+    /// reads, so it must not reset on flush).
+    fn len(&self) -> usize;
+
+    /// True if nothing has been accepted.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes whatever the sink still holds **in memory**, in arrival
+    /// order. A buffering sink returns everything it accepted; a
+    /// streaming or counting sink returns nothing (its violations left
+    /// through the writer, or were never retained).
+    fn take_buffered(&mut self) -> Vec<Violation> {
+        Vec::new()
+    }
+}
+
+impl<S: Sink + ?Sized> Sink for &mut S {
+    fn push(&mut self, v: Violation) {
+        (**self).push(v);
+    }
+    fn append(&mut self, vs: &mut Vec<Violation>) {
+        (**self).append(vs);
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn take_buffered(&mut self) -> Vec<Violation> {
+        (**self).take_buffered()
+    }
+}
+
+/// The buffering [`Sink`]: owns every violation of a run in one vector.
 #[derive(Debug, Default)]
 pub struct DiagnosticSink {
     violations: Vec<Violation>,
@@ -61,36 +132,6 @@ impl DiagnosticSink {
         DiagnosticSink::default()
     }
 
-    /// Adds one violation.
-    pub fn push(&mut self, v: Violation) {
-        self.violations.push(v);
-    }
-
-    /// Moves a whole vector of violations into the sink (the owned-vector
-    /// form of [`DiagnosticSink::append`] — both funnel through one path
-    /// so the ordering contract below cannot fork).
-    pub fn absorb(&mut self, mut vs: Vec<Violation>) {
-        self.append(&mut vs);
-    }
-
-    /// Drains `vs` into the sink, leaving it empty (for violation
-    /// vectors embedded in stage result structs). This is the single
-    /// ingestion path: every violation enters the sink in the order its
-    /// stage produced it, after everything previously ingested.
-    pub fn append(&mut self, vs: &mut Vec<Violation>) {
-        self.violations.append(vs);
-    }
-
-    /// Number of violations collected so far.
-    pub fn len(&self) -> usize {
-        self.violations.len()
-    }
-
-    /// True if nothing has been reported.
-    pub fn is_empty(&self) -> bool {
-        self.violations.is_empty()
-    }
-
     /// Consumes the sink, yielding the collected violations in **report
     /// order**.
     ///
@@ -98,13 +139,164 @@ impl DiagnosticSink {
     /// list is exactly the concatenation of each stage's violations in
     /// stage *registration* order, and within one stage in the order
     /// the stage pushed them — ingestion is append-only through
-    /// [`DiagnosticSink::append`], nothing is ever reordered or
-    /// deduplicated here. A canonical refinement of this order (sorted
-    /// within each stage) is produced by
-    /// [`crate::report::canonical_sort`]; the incremental checker keeps
-    /// its patched reports in that canonical form.
+    /// [`Sink::append`], nothing is ever reordered or deduplicated
+    /// here. A canonical refinement of this order (sorted within each
+    /// stage) is produced by [`crate::report::canonical_sort`]; the
+    /// incremental checker keeps its patched reports in that canonical
+    /// form.
     pub fn into_violations(self) -> Vec<Violation> {
         self.violations
+    }
+}
+
+impl Sink for DiagnosticSink {
+    fn push(&mut self, v: Violation) {
+        self.violations.push(v);
+    }
+
+    fn append(&mut self, vs: &mut Vec<Violation>) {
+        self.violations.append(vs);
+    }
+
+    fn len(&self) -> usize {
+        self.violations.len()
+    }
+
+    fn take_buffered(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+}
+
+/// A bounded-memory [`Sink`]: retains at most `chunk_capacity`
+/// violations, flushing each full chunk — canonically sorted within
+/// itself ([`crate::report::canonical_sort`]) — to the writer as one
+/// debug-rendered line per violation. Pairing this with the tiled
+/// interaction search and sharded instantiation keeps a whole check run
+/// at O(tile) memory end to end.
+///
+/// Write errors are deferred (the [`Sink`] methods cannot fail) and
+/// surfaced by [`StreamingSink::finish`]; once an error occurs, further
+/// chunks are dropped rather than silently half-written.
+pub struct StreamingSink<W: std::io::Write> {
+    out: W,
+    chunk: Vec<Violation>,
+    capacity: usize,
+    accepted: usize,
+    written: usize,
+    error: Option<std::io::Error>,
+}
+
+impl<W: std::io::Write> StreamingSink<W> {
+    /// A sink flushing to `out` every `chunk_capacity` violations
+    /// (clamped to ≥ 1; `1` streams every violation immediately).
+    pub fn new(out: W, chunk_capacity: usize) -> Self {
+        StreamingSink {
+            out,
+            chunk: Vec::new(),
+            capacity: chunk_capacity.max(1),
+            accepted: 0,
+            written: 0,
+            error: None,
+        }
+    }
+
+    /// Violations written to the writer so far (excludes the pending
+    /// chunk).
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    fn flush_chunk(&mut self) {
+        if self.chunk.is_empty() || self.error.is_some() {
+            self.chunk.clear();
+            return;
+        }
+        crate::report::canonical_sort(&mut self.chunk);
+        // Format the whole (bounded) chunk and write it in one call:
+        // a raw `File` writer then pays one syscall per chunk, not one
+        // per violation — no `BufWriter` required of the caller.
+        let flushed = self.chunk.len();
+        let mut text = String::new();
+        for v in self.chunk.drain(..) {
+            use std::fmt::Write as _;
+            let _ = writeln!(text, "{v:?}");
+        }
+        match self.out.write_all(text.as_bytes()) {
+            Ok(()) => self.written += flushed,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    /// Flushes the pending chunk and returns the writer — or the first
+    /// deferred write error.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.flush_chunk();
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.out),
+        }
+    }
+}
+
+impl<W: std::io::Write> std::fmt::Debug for StreamingSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingSink")
+            .field("capacity", &self.capacity)
+            .field("accepted", &self.accepted)
+            .field("written", &self.written)
+            .field("pending", &self.chunk.len())
+            .finish()
+    }
+}
+
+impl<W: std::io::Write> Sink for StreamingSink<W> {
+    fn push(&mut self, v: Violation) {
+        self.accepted += 1;
+        self.chunk.push(v);
+        if self.chunk.len() >= self.capacity {
+            self.flush_chunk();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.accepted
+    }
+}
+
+/// A retention-free [`Sink`]: counts violations per report stage and in
+/// total, holding nothing — the cheapest way to answer "how many, and
+/// where" on a chip whose full report would not fit in memory.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    total: usize,
+    by_stage: [usize; crate::report::STAGE_COUNT],
+}
+
+impl CountingSink {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+
+    /// Violations accepted for one report stage.
+    pub fn count(&self, stage: CheckStage) -> usize {
+        self.by_stage[crate::report::stage_rank(stage)]
+    }
+
+    /// Violations accepted in total.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+impl Sink for CountingSink {
+    fn push(&mut self, v: Violation) {
+        self.total += 1;
+        self.by_stage[crate::report::stage_rank(v.stage)] += 1;
+    }
+
+    fn len(&self) -> usize {
+        self.total
     }
 }
 
@@ -133,8 +325,11 @@ pub struct CheckContext<'a> {
     pub options: &'a CheckOptions,
     /// Violation sink shared by all stages. All violations found so
     /// far — including those drained out of `view`, `connections` and
-    /// `nets` below — are here.
-    pub sink: DiagnosticSink,
+    /// `nets` below — went through it. A context built with
+    /// [`CheckContext::new`] owns a buffering [`DiagnosticSink`];
+    /// [`CheckContext::new_with_sink`] borrows any [`Sink`] (streaming,
+    /// counting, custom) instead.
+    pub sink: Box<dyn Sink + 'a>,
     /// Layer binding, set by the instantiate stage.
     pub binding: Option<LayerBinding>,
     /// Instantiated chip view, set by the instantiate stage (its
@@ -163,13 +358,37 @@ pub struct CheckContext<'a> {
 }
 
 impl<'a> CheckContext<'a> {
-    /// A fresh context with no stage artefacts yet.
+    /// A fresh context with no stage artefacts yet, buffering its
+    /// violations in an owned [`DiagnosticSink`].
     pub fn new(layout: &'a Layout, tech: &'a Technology, options: &'a CheckOptions) -> Self {
+        CheckContext::with_sink(layout, tech, options, Box::new(DiagnosticSink::new()))
+    }
+
+    /// A fresh context emitting through a borrowed [`Sink`] — the
+    /// bounded-memory entry point: pair it with a [`StreamingSink`] or
+    /// [`CountingSink`] and the run never buffers its report
+    /// (the resulting [`CheckReport::violations`] is then empty; the
+    /// sink saw everything).
+    pub fn new_with_sink(
+        layout: &'a Layout,
+        tech: &'a Technology,
+        options: &'a CheckOptions,
+        sink: &'a mut dyn Sink,
+    ) -> Self {
+        CheckContext::with_sink(layout, tech, options, Box::new(sink))
+    }
+
+    fn with_sink(
+        layout: &'a Layout,
+        tech: &'a Technology,
+        options: &'a CheckOptions,
+        sink: Box<dyn Sink + 'a>,
+    ) -> Self {
         CheckContext {
             layout,
             tech,
             options,
-            sink: DiagnosticSink::new(),
+            sink,
             binding: None,
             view: None,
             connections: None,
@@ -224,7 +443,10 @@ impl<'a> CheckContext<'a> {
     }
 
     /// Folds the finished context and a stage profile into a report.
-    pub fn into_report(self, profile: Vec<StageTime>) -> CheckReport {
+    /// The report's `violations` are whatever the sink retained in
+    /// memory — everything for a buffering context, nothing for a
+    /// streaming or counting one.
+    pub fn into_report(mut self, profile: Vec<StageTime>) -> CheckReport {
         let timings = StageTimings::from_profile(&profile);
         let (element_count, device_count) = self
             .view
@@ -232,7 +454,7 @@ impl<'a> CheckContext<'a> {
             .map(|v| (v.elements.len(), v.devices.len()))
             .unwrap_or((0, 0));
         CheckReport {
-            violations: self.sink.into_violations(),
+            violations: self.sink.take_buffered(),
             netlist: self
                 .nets
                 .map(|n| n.netlist)
@@ -358,7 +580,11 @@ impl std::fmt::Debug for StageEngine {
 }
 
 /// Binds layers and instantiates the chip view (the pipeline's front
-/// end; not one of the paper's numbered checking stages).
+/// end; not one of the paper's numbered checking stages). The view is
+/// built **sharded**: one walk job per top-level item, run across the
+/// scoped worker pool ([`CheckOptions::parallelism`]) and stitched with
+/// stable element/device ids — byte-identical to a serial walk for any
+/// worker count.
 pub struct InstantiateStage;
 
 impl PipelineStage for InstantiateStage {
@@ -369,7 +595,9 @@ impl PipelineStage for InstantiateStage {
     fn run(&self, ctx: &mut CheckContext<'_>) {
         let (binding, bind_violations) = LayerBinding::bind(ctx.layout, ctx.tech);
         ctx.sink.absorb(bind_violations);
-        let mut view = instantiate(ctx.layout, ctx.tech, &binding);
+        let workers = effective_parallelism(ctx.options.parallelism);
+        let mut view =
+            crate::binding::instantiate_parallel(ctx.layout, ctx.tech, &binding, workers);
         ctx.sink.append(&mut view.violations);
         ctx.binding = Some(binding);
         ctx.view = Some(view);
@@ -474,12 +702,7 @@ impl PipelineStage for InteractionsStage {
     }
 
     fn run(&self, ctx: &mut CheckContext<'_>) {
-        let interact_options = InteractOptions {
-            same_net_suppression: ctx.options.same_net_suppression,
-            metric: ctx.options.metric,
-            hierarchical: ctx.options.hierarchical,
-            parallelism: ctx.options.parallelism,
-        };
+        let interact_options = ctx.options.interact_options();
         let (ivs, stats) = match &ctx.clip {
             Some(clip) => crate::interact::check_interactions_clipped(
                 ctx.view(),
@@ -817,6 +1040,101 @@ mod tests {
         assert_eq!(sink.len(), 1);
         sink.absorb(Vec::new());
         assert_eq!(sink.into_violations().len(), 1);
+    }
+
+    fn sample_violation(context: &str) -> Violation {
+        Violation {
+            stage: CheckStage::Elements,
+            kind: ViolationKind::NonManhattan,
+            location: None,
+            context: context.into(),
+        }
+    }
+
+    #[test]
+    fn streaming_sink_flushes_bounded_chunks() {
+        let mut sink = StreamingSink::new(Vec::new(), 2);
+        sink.push(sample_violation("a"));
+        assert_eq!(sink.written(), 0, "below capacity: nothing flushed yet");
+        sink.push(sample_violation("b"));
+        assert_eq!(sink.written(), 2, "full chunk flushed");
+        sink.push(sample_violation("c"));
+        assert_eq!(sink.len(), 3, "len counts accepted, not written");
+        assert!(sink.take_buffered().is_empty(), "streaming retains nothing");
+        let out = sink.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 3, "finish flushes the tail:\n{text}");
+        for ctx in ["\"a\"", "\"b\"", "\"c\""] {
+            assert!(text.contains(ctx), "missing {ctx} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn counting_sink_counts_per_stage_without_retaining() {
+        let mut sink = CountingSink::new();
+        sink.push(sample_violation("x"));
+        sink.absorb(vec![sample_violation("y"), {
+            let mut v = sample_violation("z");
+            v.stage = CheckStage::Interactions;
+            v
+        }]);
+        assert_eq!(sink.total(), 3);
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.count(CheckStage::Elements), 2);
+        assert_eq!(sink.count(CheckStage::Interactions), 1);
+        assert_eq!(sink.count(CheckStage::Composition), 0);
+        assert!(sink.take_buffered().is_empty());
+    }
+
+    #[test]
+    fn engine_run_through_streaming_sink_matches_buffered() {
+        // The same stage set driven through a StreamingSink must find
+        // the same violations (read back from the writer) and count
+        // them identically in the per-stage profile.
+        let layout =
+            parse("L NM; B 2000 700 1000 350; B 2000 750 1000 2000; B 2000 750 1000 2500; E")
+                .unwrap();
+        let tech = nmos_technology();
+        let options = CheckOptions {
+            erc: false,
+            ..CheckOptions::default()
+        };
+        let buffered = check_with_engine(&StageEngine::diic_pipeline(), &layout, &tech, &options);
+        assert!(!buffered.violations.is_empty());
+
+        let mut sink = StreamingSink::new(Vec::new(), 1);
+        let streamed = crate::checker::check_with_sink(
+            &StageEngine::diic_pipeline(),
+            &layout,
+            &tech,
+            &options,
+            &mut sink,
+        );
+        assert!(streamed.violations.is_empty(), "nothing buffered");
+        assert_eq!(streamed.element_count, buffered.element_count);
+        assert_eq!(
+            streamed
+                .stage_profile
+                .iter()
+                .map(|s| (s.name.as_str(), s.violations))
+                .collect::<Vec<_>>(),
+            buffered
+                .stage_profile
+                .iter()
+                .map(|s| (s.name.as_str(), s.violations))
+                .collect::<Vec<_>>(),
+            "per-stage counts must agree across sinks"
+        );
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let mut streamed_lines: Vec<&str> = text.lines().collect();
+        streamed_lines.sort_unstable();
+        let mut expect: Vec<String> = buffered
+            .violations
+            .iter()
+            .map(|v| format!("{v:?}"))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(streamed_lines, expect);
     }
 
     #[test]

@@ -89,15 +89,17 @@
 //! );
 //! ```
 
-use crate::binding::{assign_auto_net_keys, instantiate_item, ChipView, LayerBinding};
+use crate::binding::{
+    assign_auto_net_keys, instantiate_item, instantiate_sharded, ChipView, LayerBinding,
+};
 use crate::checker::{check, CheckOptions, CheckReport};
 use crate::connect::check_connections_among;
 use crate::element_checks::check_elements;
-use crate::engine::composition_violations;
-use crate::interact::{check_interactions, max_rule_range, InteractOptions};
+use crate::engine::{composition_violations, DiagnosticSink, Sink};
+use crate::interact::{check_interactions, max_rule_range};
 use crate::netgen::{element_is_netted, BindIndex, NetParts, NetgenResult};
 use crate::primitive_checks::check_primitive_symbols;
-use crate::report::canonical_sort;
+use crate::report::{canonical_sort, merge_canonical};
 use crate::violations::{CheckStage, Violation};
 use diic_cif::{Element, Item, Layout, NetLabel, Shape, SymbolId};
 use diic_geom::{Rect, Region, Transform, Vector};
@@ -249,6 +251,10 @@ pub struct EditStats {
     /// reassembly. Moving geometry with declared nets, or whole
     /// instances (auto keys are instance-local), typically qualifies.
     pub netlist_reused: bool,
+    /// True when this apply compacted the session's persistent spatial
+    /// index ([`diic_geom::GridIndex::compact`]) — tombstones from
+    /// edit churn had come to outnumber the live elements.
+    pub index_compacted: bool,
     /// Wall clock of the view patch (apply + instantiate dirty items).
     pub t_view: std::time::Duration,
     /// Wall clock of the scoped connection pass.
@@ -328,16 +334,15 @@ impl CheckSession {
         let halo = max_rule_range(&tech);
 
         let (binding, bind_violations) = LayerBinding::bind(&layout, &tech);
-        let mut view = ChipView::default();
-        let mut runs = Vec::with_capacity(layout.top_items().len());
-        for item in layout.top_items() {
-            let (e0, d0) = (view.elements.len(), view.devices.len());
-            instantiate_item(&layout, &tech, &binding, item, &mut view);
-            runs.push(ItemRun {
-                elems: view.elements.len() - e0,
-                devices: view.devices.len() - d0,
-            });
-        }
+        // Sharded instantiation: the per-item walks the session's view
+        // patching is built on are exactly the shard jobs, so opening a
+        // session parallelises like an engine run.
+        let (mut view, run_lens) =
+            instantiate_sharded(&layout, &tech, &binding, options.effective_parallelism());
+        let runs: Vec<ItemRun> = run_lens
+            .into_iter()
+            .map(|(elems, devices)| ItemRun { elems, devices })
+            .collect();
         assign_auto_net_keys(&mut view.elements, None);
         let mut instantiate_violations = std::mem::take(&mut view.violations);
         // The patch path cannot regenerate *clean* items' instantiation
@@ -362,15 +367,19 @@ impl CheckSession {
             elem_tags.push(ElemTag { tag, handle });
         }
 
-        let mut violations = bind_violations;
-        violations.append(&mut instantiate_violations);
-        violations.extend(check_elements(&layout, &tech, &binding));
+        // The open-time stages emit through the Sink trait like any
+        // engine run; a session just buffers (it must own its canonical
+        // report — patching retracts and splices against it).
+        let mut sink = DiagnosticSink::new();
+        sink.absorb(bind_violations);
+        sink.append(&mut instantiate_violations);
+        sink.absorb(check_elements(&layout, &tech, &binding));
         let prim = check_primitive_symbols(&layout, &tech, &binding);
         let waived_devices = prim.waived;
-        violations.extend(prim.violations);
+        sink.absorb(prim.violations);
 
         let conn = crate::connect::check_connections(&view, &tech);
-        violations.extend(conn.violations);
+        sink.absorb(conn.violations);
 
         let labels: Vec<(NetLabel, Option<LayerId>)> = layout
             .labels()
@@ -379,18 +388,14 @@ impl CheckSession {
             .collect();
         let parts = NetParts::build(&view, &tech, &conn.merges, &labels);
         let mut nets = parts.assemble(&view);
-        violations.append(&mut nets.violations);
+        sink.append(&mut nets.violations);
 
-        let interact_options = InteractOptions {
-            same_net_suppression: options.same_net_suppression,
-            metric: options.metric,
-            hierarchical: options.hierarchical,
-            parallelism: options.parallelism,
-        };
+        let interact_options = options.interact_options();
         let (ivs, stats) = check_interactions(&view, &tech, &nets, &layout, &interact_options);
-        violations.extend(ivs);
+        sink.absorb(ivs);
 
-        violations.extend(composition_violations(&nets.netlist, &tech, &options));
+        sink.absorb(composition_violations(&nets.netlist, &tech, &options));
+        let mut violations = sink.into_violations();
         canonical_sort(&mut violations);
 
         let NetgenResult {
@@ -926,12 +931,7 @@ impl CheckSession {
 
         // -- Phase I: scoped interactions inside the halo. ------------
         let t0 = std::time::Instant::now();
-        let interact_options = InteractOptions {
-            same_net_suppression: self.options.same_net_suppression,
-            metric: self.options.metric,
-            hierarchical: self.options.hierarchical,
-            parallelism: self.options.parallelism,
-        };
+        let interact_options = self.options.interact_options();
         // Candidate elements (one rule reach around the halo) from the
         // persistent index: bbox ⊕ reach touches the halo ⇔ bbox
         // touches a halo rect ⊕ reach.
@@ -959,28 +959,32 @@ impl CheckSession {
         stats.rechecked_pairs = istats.candidate_pairs;
         stats.t_interact = t0.elapsed();
 
-        // -- Phase J: global stages re-run in full. -------------------
+        // -- Phase J: global stages re-run in full, emitted through the
+        // Sink trait like any engine run. -----------------------------
         let t0 = std::time::Instant::now();
-        let mut fresh: Vec<Violation> = bind_violations;
-        fresh.append(&mut fresh_instantiate_violations);
-        fresh.extend(check_elements(&self.layout, &self.tech, &binding));
+        let mut fresh_sink = DiagnosticSink::new();
+        fresh_sink.absorb(bind_violations);
+        fresh_sink.append(&mut fresh_instantiate_violations);
+        fresh_sink.absorb(check_elements(&self.layout, &self.tech, &binding));
         let prim = check_primitive_symbols(&self.layout, &self.tech, &binding);
         let waived_devices = prim.waived;
-        fresh.extend(prim.violations);
-        fresh.extend(nets_new.violations.iter().cloned());
-        fresh.extend(composition_violations(
+        fresh_sink.absorb(prim.violations);
+        fresh_sink.absorb(nets_new.violations.to_vec());
+        fresh_sink.absorb(composition_violations(
             &nets_new.netlist,
             &self.tech,
             &self.options,
         ));
         stats.t_global = t0.elapsed();
 
-        // -- Phase K: patch the report. -------------------------------
+        // -- Phase K: patch the report by merge-splice. ---------------
         let t0 = std::time::Instant::now();
         let anchored_in = |v: &Violation, grid: &diic_geom::GridIndex<()>| -> bool {
             v.location.is_none_or(|l| grid.touches_any(&l))
         };
-        let mut violations: Vec<Violation> = Vec::with_capacity(self.report.violations.len());
+        // The kept violations are a subsequence of the cached canonical
+        // report, hence already canonically sorted.
+        let mut kept: Vec<Violation> = Vec::with_capacity(self.report.violations.len());
         for v in &self.report.violations {
             let keep = match v.stage {
                 CheckStage::Connections => !anchored_in(v, &d_conn_grid),
@@ -988,21 +992,37 @@ impl CheckSession {
                 _ => false, // replaced wholesale by the fresh global runs
             };
             if keep {
-                violations.push(v.clone());
+                kept.push(v.clone());
             }
         }
-        let kept = violations.len();
-        stats.retracted = self.report.violations.len() - kept;
-        violations.extend(fresh);
-        violations.extend(
+        stats.retracted = self.report.violations.len() - kept.len();
+        fresh_sink.absorb(
             scoped_conn
                 .violations
                 .into_iter()
-                .filter(|v| anchored_in(v, &d_conn_grid)),
+                .filter(|v| anchored_in(v, &d_conn_grid))
+                .collect(),
         );
-        violations.extend(ivs);
-        stats.spliced = violations.len() - kept;
-        canonical_sort(&mut violations);
+        fresh_sink.absorb(ivs);
+        let mut fresh = fresh_sink.into_violations();
+        stats.spliced = fresh.len();
+        // Only the fresh side pays a sort; the combined list is a
+        // linear merge of the two sorted halves instead of re-sorting
+        // everything each edit.
+        canonical_sort(&mut fresh);
+        #[cfg(debug_assertions)]
+        let sort_oracle = {
+            let mut all = kept.clone();
+            all.extend(fresh.iter().cloned());
+            canonical_sort(&mut all);
+            all
+        };
+        let violations = merge_canonical(kept, fresh);
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            violations, sort_oracle,
+            "merge-splice diverged from canonical_sort"
+        );
         stats.t_patch = t0.elapsed();
 
         // -- Phase L: commit. -----------------------------------------
@@ -1029,7 +1049,33 @@ impl CheckSession {
             element_count: self.view.elements.len(),
             device_count: self.view.devices.len(),
         };
+
+        // -- Phase M: compact the spatial index after heavy churn. ----
+        // Tombstones and cell bookkeeping grow monotonically under
+        // edits; once the dead slots outnumber the live elements (with
+        // a floor so small sessions never bother), rebuild the index
+        // and remap the retained handles. Queries return identical
+        // results before and after, so no downstream state is touched.
+        if self.elem_index.tombstones() > self.elem_index.len().max(64) {
+            let remap = self.elem_index.compact();
+            for t in &mut self.elem_tags {
+                t.handle = remap[t.handle as usize].expect("live elements keep live handles");
+            }
+            stats.index_compacted = true;
+        }
         Ok(stats)
+    }
+
+    /// Streams the cached canonical report through any
+    /// [`Sink`](crate::engine::Sink) — pair it with a
+    /// [`StreamingSink`](crate::engine::StreamingSink) to export a
+    /// session's report without materialising a second copy. (The
+    /// session keeps its own canonical buffer: report patching retracts
+    /// and splices against it.)
+    pub fn emit_report(&self, sink: &mut dyn Sink) {
+        for v in &self.report.violations {
+            sink.push(v.clone());
+        }
     }
 }
 
@@ -1283,6 +1329,54 @@ mod tests {
         let mut unstrap = EditSet::new();
         unstrap.remove(2);
         session.apply(&unstrap).unwrap();
+        assert_eq!(session.report().violations.len(), 1);
+        assert_matches_full(&session);
+    }
+
+    #[test]
+    fn heavy_churn_compacts_the_index_and_stays_exact() {
+        // A chip big enough that moving one 8-element cell stays under
+        // the full-rebuild threshold (8 of 48 elements dirty); each
+        // move evicts and re-inserts the cell's elements, leaving 8
+        // tombstones per apply, so the threshold (dead > live, floored
+        // at 64) trips within a handful of edits. Check byte equality
+        // with the full run at every compaction boundary.
+        let mut cif = String::from("DS 1;\n");
+        for i in 0..8 {
+            cif.push_str(&format!("L NM; B 2000 750 1000 {};\n", 375 + i * 3000));
+        }
+        cif.push_str("DF;\n");
+        for i in 0..40 {
+            cif.push_str(&format!("L NM; B 2000 750 1000 {};\n", 375 + i * 3000));
+        }
+        cif.push_str("C 1 T 50000 0;\nE");
+        let layout = parse(&cif).unwrap();
+        let tech = nmos_technology();
+        let mut session = CheckSession::new(layout, &tech, &options());
+        assert!(session.report().violations.is_empty());
+        let mut compactions = 0;
+        for step in 0..30 {
+            let mut churn = EditSet::new();
+            churn.translate(40, if step % 2 == 0 { 2500 } else { -2500 }, 0);
+            let stats = session.apply(&churn).unwrap();
+            assert!(!stats.full_rebuild, "churn edits must stay incremental");
+            if stats.index_compacted {
+                compactions += 1;
+                assert_matches_full(&session);
+            }
+            if step % 10 == 0 {
+                assert_matches_full(&session);
+            }
+        }
+        assert!(
+            compactions >= 2,
+            "30 churn applies must trip the compaction threshold repeatedly \
+             (got {compactions})"
+        );
+        // The session keeps working (and can compact again) afterwards.
+        let mut after = EditSet::new();
+        after.add_box("NM", Rect::new(0, 1250, 2000, 2000), None);
+        session.apply(&after).unwrap();
         assert_eq!(session.report().violations.len(), 1);
         assert_matches_full(&session);
     }

@@ -34,6 +34,26 @@
 //!    contiguous chunks evaluated on a scoped thread pool; chunk
 //!    results are re-joined in chunk order, so serial and parallel
 //!    runs yield **byte-identical** violation lists and statistics.
+//!
+//! # Tiled streaming (bounded candidate memory)
+//!
+//! Materialising the full candidate-pair list costs O(total pairs) of
+//! memory — the binding constraint at million-element scale. With
+//! [`InteractOptions::tiled`] (the default) the stage never holds the
+//! whole list: the flat search walks a **deterministic tile iterator**
+//! over the [`GridIndex`] ([`GridIndex::tiles`] — contiguous
+//! insertion-order element ranges), and each worker owns one tile,
+//! enumerates its pairs, evaluates them, and discards the buffer before
+//! taking the next tile. A pair spanning two tiles is owned by its
+//! **lower element's tile** (the enumeration keeps only `j > i`), so
+//! every pair is enumerated and counted exactly once across tiles. The
+//! hierarchical search streams the same way with its natural tiles —
+//! one filled cache row per scope / scope pair. Tile results merge
+//! positionally ([`run_ordered`]), and within a tile pairs come out in
+//! the same canonical order the buffered list would hold, so tiled and
+//! buffered runs — serial or parallel — are **byte-identical**; only
+//! [`InteractStats::peak_candidate_buffer`] records the difference:
+//! the widest tile instead of the total pair count.
 
 use crate::binding::ChipView;
 use crate::netgen::NetgenResult;
@@ -60,6 +80,17 @@ pub struct InteractOptions {
     /// Worker threads for candidate evaluation. `1` = serial, `0` = all
     /// available cores. Any value produces identical reports.
     pub parallelism: usize,
+    /// Stream candidate pairs tile by tile instead of materialising the
+    /// full pair list (see the module docs) — candidate memory is then
+    /// bounded by one tile per live worker (`parallelism` × the widest
+    /// tile), not by the chip's total pair count. On by default; either
+    /// setting produces byte-identical violations and (peak buffer
+    /// aside) statistics.
+    pub tiled: bool,
+    /// Elements per tile for the tiled **flat** search (`0` = the
+    /// built-in default). The hierarchical search tiles by scope /
+    /// scope pair regardless.
+    pub tile_elements: usize,
 }
 
 impl Default for InteractOptions {
@@ -69,6 +100,25 @@ impl Default for InteractOptions {
             metric: SizingMode::Euclidean,
             hierarchical: false,
             parallelism: 1,
+            tiled: true,
+            tile_elements: 0,
+        }
+    }
+}
+
+/// Elements per tile when [`InteractOptions::tile_elements`] is left at
+/// `0`: small enough that a tile's pair buffer stays cache-friendly,
+/// large enough that tile bookkeeping is noise.
+pub const DEFAULT_TILE_ELEMENTS: usize = 512;
+
+impl InteractOptions {
+    /// The effective flat-search tile width (`0` resolved to
+    /// [`DEFAULT_TILE_ELEMENTS`]).
+    pub fn effective_tile_elements(&self) -> usize {
+        if self.tile_elements == 0 {
+            DEFAULT_TILE_ELEMENTS
+        } else {
+            self.tile_elements
         }
     }
 }
@@ -95,11 +145,21 @@ pub struct InteractStats {
     pub cache_hits: u64,
     /// Hierarchical cache misses (instance pairs searched geometrically).
     pub cache_misses: u64,
+    /// The largest **single** candidate-pair buffer held at any point:
+    /// the full pair count for a buffered run, the widest tile for a
+    /// tiled one — the number the bounded-memory refactor bounds. In a
+    /// parallel tiled run, up to `parallelism` such buffers are alive
+    /// concurrently (one per worker), so total concurrent candidate
+    /// memory is bounded by workers × this value.
+    pub peak_candidate_buffer: u64,
 }
 
 impl InteractStats {
-    /// Adds another stats record into this one (used to merge per-worker
-    /// counters; all counters are sums, so merging is order-independent).
+    /// Merges another stats record into this one (per-worker / per-tile
+    /// counters). Every counter is a sum except
+    /// [`InteractStats::peak_candidate_buffer`], which is a maximum —
+    /// both folds are commutative and associative, so merging stays
+    /// order-independent.
     pub fn absorb(&mut self, other: &InteractStats) {
         self.candidate_pairs += other.candidate_pairs;
         self.no_rule += other.no_rule;
@@ -110,6 +170,7 @@ impl InteractStats {
         self.violations += other.violations;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.peak_candidate_buffer = self.peak_candidate_buffer.max(other.peak_candidate_buffer);
     }
 }
 
@@ -154,13 +215,6 @@ pub fn check_interactions(
     let cell = interaction_cell_size(tech);
     let workers = effective_parallelism(options.parallelism);
 
-    let pairs = if options.hierarchical {
-        hierarchical_candidates(view, layout, max_range, cell, workers, &mut stats)
-    } else {
-        flat_candidates(view, max_range, cell, workers)
-    };
-    stats.candidate_pairs = pairs.len() as u64;
-
     let cx = EvalCx {
         view,
         tech,
@@ -168,7 +222,24 @@ pub fn check_interactions(
         options,
         forming: crate::connect::device_forming_pairs(tech),
     };
-    let violations = evaluate_candidates(&cx, &pairs, workers, &mut stats);
+    let violations = if options.hierarchical {
+        let plan = hierarchical_plan_fill(view, layout, max_range, cell, workers, &mut stats);
+        if options.tiled {
+            hierarchical_tiled(&cx, &plan, workers, &mut stats)
+        } else {
+            let pairs = assemble_pairs(&plan);
+            stats.candidate_pairs = pairs.len() as u64;
+            stats.peak_candidate_buffer = pairs.len() as u64;
+            evaluate_candidates(&cx, &pairs, workers, &mut stats)
+        }
+    } else if options.tiled {
+        flat_tiled(&cx, max_range, cell, workers, &mut stats)
+    } else {
+        let pairs = flat_candidates(view, max_range, cell, workers);
+        stats.candidate_pairs = pairs.len() as u64;
+        stats.peak_candidate_buffer = pairs.len() as u64;
+        evaluate_candidates(&cx, &pairs, workers, &mut stats)
+    };
     stats.violations = violations.len() as u64;
     (violations, stats)
 }
@@ -253,6 +324,8 @@ pub fn check_interactions_among_clipped(
         .map(|(li, lj)| (ids[li], ids[lj]))
         .collect();
     stats.candidate_pairs = pairs.len() as u64;
+    // The clipped search buffers its (already clip-bounded) pair list.
+    stats.peak_candidate_buffer = pairs.len() as u64;
 
     let cx = EvalCx {
         view,
@@ -284,42 +357,108 @@ fn flat_candidates(
     cell: Coord,
     workers: usize,
 ) -> Vec<(usize, usize)> {
-    let mut index: GridIndex<usize> = GridIndex::new(cell);
-    for e in &view.elements {
-        index.insert(e.bbox, e.id);
-    }
+    let index = element_grid(view, cell);
     let n = view.elements.len();
-    let collect = |range: std::ops::Range<usize>| -> Vec<(usize, usize)> {
-        let mut out = Vec::new();
-        for a in &view.elements[range] {
-            let query = a
-                .bbox
-                .inflate(max_range)
-                .expect("inflating by a positive range cannot fail");
-            // GridIndex::query returns ids in ascending insertion order
-            // (documented and tested there), so the pairs come out
-            // already sorted by (a.id, j).
-            let near = index
-                .query(&query)
-                .into_iter()
-                .copied()
-                .filter(|&j| j > a.id);
-            out.extend(near.map(|j| (a.id, j)));
-        }
-        out
-    };
     if workers <= 1 || n < 2 {
-        return collect(0..n);
+        return enumerate_range_pairs(view, &index, max_range, 0..n);
     }
     let chunk = n.div_ceil(workers);
     let chunks = n.div_ceil(chunk);
     run_ordered(chunks, workers, |k| {
         let lo = k * chunk;
-        collect(lo..(lo + chunk).min(n))
+        enumerate_range_pairs(view, &index, max_range, lo..(lo + chunk).min(n))
     })
     .into_iter()
     .flatten()
     .collect()
+}
+
+/// One grid index over every instantiated element's bbox, payload = id.
+fn element_grid(view: &ChipView, cell: Coord) -> GridIndex<usize> {
+    let mut index: GridIndex<usize> = GridIndex::new(cell);
+    for e in &view.elements {
+        index.insert(e.bbox, e.id);
+    }
+    index
+}
+
+/// Candidate pairs `(a.id, j)` with `j > a.id` for every element in
+/// `range`, queried against the shared grid index — the **single**
+/// enumeration body behind both the buffered per-worker ranges
+/// ([`flat_candidates`]) and the tiled per-tile walks ([`flat_tiled`]),
+/// so the byte-identity contract between the two paths cannot drift.
+///
+/// [`GridIndex::query`] returns ids in ascending insertion order
+/// (documented and tested there), so the pairs come out already sorted
+/// by `(a.id, j)`.
+fn enumerate_range_pairs(
+    view: &ChipView,
+    index: &GridIndex<usize>,
+    max_range: Coord,
+    range: std::ops::Range<usize>,
+) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for a in &view.elements[range] {
+        let query = a
+            .bbox
+            .inflate(max_range)
+            .expect("inflating by a positive range cannot fail");
+        let near = index
+            .query(&query)
+            .into_iter()
+            .copied()
+            .filter(|&j| j > a.id);
+        out.extend(near.map(|j| (a.id, j)));
+    }
+    out
+}
+
+/// Tiled flat search: the same grid index as [`flat_candidates`], walked
+/// through [`GridIndex::tiles`] — each tile job enumerates its element
+/// range's pairs into a tile-local buffer, evaluates them, and drops the
+/// buffer before the worker takes its next tile. Pairs come out in the
+/// identical canonical order the buffered list holds (ascending
+/// `(i, j)`, each pair owned by its lower element's tile), and the
+/// positional tile merge keeps any worker count byte-identical.
+fn flat_tiled(
+    cx: &EvalCx<'_>,
+    max_range: Coord,
+    cell: Coord,
+    workers: usize,
+    stats: &mut InteractStats,
+) -> Vec<Violation> {
+    let view = cx.view;
+    let index = element_grid(view, cell);
+    let tiles: Vec<std::ops::Range<u32>> =
+        index.tiles(cx.options.effective_tile_elements()).collect();
+    let results = run_ordered(tiles.len(), workers, |k| {
+        let range = (tiles[k].start as usize)..(tiles[k].end as usize);
+        let pairs = enumerate_range_pairs(view, &index, max_range, range);
+        evaluate_tile(cx, &pairs)
+    });
+    let mut out = Vec::new();
+    for (vs, tile_stats) in results {
+        out.extend(vs);
+        stats.absorb(&tile_stats);
+    }
+    out
+}
+
+/// Evaluates one tile's pair buffer serially, returning its violations
+/// and tile-local counters (`candidate_pairs` and the tile's buffer
+/// width; the caller folds tiles together with
+/// [`InteractStats::absorb`], which sums counts and maxes the peak).
+fn evaluate_tile(cx: &EvalCx<'_>, pairs: &[(usize, usize)]) -> (Vec<Violation>, InteractStats) {
+    let mut tile_stats = InteractStats {
+        candidate_pairs: pairs.len() as u64,
+        peak_candidate_buffer: pairs.len() as u64,
+        ..InteractStats::default()
+    };
+    let mut vs = Vec::new();
+    for &(i, j) in pairs {
+        evaluate_pair(cx, i, j, &mut vs, &mut tile_stats);
+    }
+    (vs, tile_stats)
 }
 
 /// A top-level scope: one top-level call (with all elements instantiated
@@ -329,6 +468,19 @@ struct Scope {
     transform: Transform,
     element_ids: Vec<usize>,
     bbox: Option<Rect>,
+}
+
+/// The planned-and-filled hierarchical search, before pair assembly:
+/// the scopes, which filled cache row feeds each scope (`intra_source`)
+/// and each near scope pair (`inter_source`), and the filled rows
+/// themselves (shard-local index pairs). A buffered run assembles the
+/// full global pair list from this ([`assemble_pairs`]); a tiled run
+/// streams one row at a time ([`hierarchical_tiled`]).
+struct HierPlan {
+    scopes: Vec<Scope>,
+    intra_source: Vec<usize>,
+    inter_source: Vec<(usize, usize, usize)>,
+    filled: Vec<Vec<(usize, usize)>>,
 }
 
 /// Hierarchical candidate search with the paper's redundancy
@@ -351,14 +503,14 @@ struct Scope {
 ///    element sets, so parallel fills return exactly the serial values;
 /// 3. **assemble** (serial, cheap) — emit the canonical pair list from
 ///    the filled caches.
-fn hierarchical_candidates(
+fn hierarchical_plan_fill(
     view: &ChipView,
     layout: &Layout,
     max_range: Coord,
     cell: Coord,
     workers: usize,
     stats: &mut InteractStats,
-) -> Vec<(usize, usize)> {
+) -> HierPlan {
     // Group elements by top-level scope, in walk order (deterministic:
     // walk order is identical for every instance of the same symbol).
     let mut scopes: Vec<Scope> = Vec::new();
@@ -488,22 +640,76 @@ fn hierarchical_candidates(
         ),
     });
 
-    // Step 3 — assemble the canonical pair list.
-    let mut out: Vec<(usize, usize)> = Vec::new();
-    for (scope, &job) in scopes.iter().zip(&intra_source) {
-        out.extend(
-            filled[job]
-                .iter()
-                .map(|&(li, lj)| (scope.element_ids[li], scope.element_ids[lj])),
-        );
+    HierPlan {
+        scopes,
+        intra_source,
+        inter_source,
+        filled,
     }
-    for &(si, sj, job) in &inter_source {
-        let (sa, sb) = (&scopes[si], &scopes[sj]);
-        out.extend(
-            filled[job]
+}
+
+impl HierPlan {
+    /// Number of assembly units: one per scope (intra pairs), then one
+    /// per near scope pair (inter pairs).
+    fn unit_count(&self) -> usize {
+        self.scopes.len() + self.inter_source.len()
+    }
+
+    /// Unit `k`'s global candidate pairs — the **single** cache-row to
+    /// global-id mapping behind both the buffered assembly
+    /// ([`assemble_pairs`]) and the tiled streaming walk
+    /// ([`hierarchical_tiled`]), so the byte-identity contract between
+    /// the two paths cannot drift. Units walk in canonical order:
+    /// scopes first, then the near scope pairs.
+    fn unit_pairs(&self, k: usize) -> Vec<(usize, usize)> {
+        if k < self.scopes.len() {
+            let (scope, job) = (&self.scopes[k], self.intra_source[k]);
+            self.filled[job]
                 .iter()
-                .map(|&(la, lb)| (sa.element_ids[la], sb.element_ids[lb])),
-        );
+                .map(|&(li, lj)| (scope.element_ids[li], scope.element_ids[lj]))
+                .collect()
+        } else {
+            let (si, sj, job) = self.inter_source[k - self.scopes.len()];
+            let (sa, sb) = (&self.scopes[si], &self.scopes[sj]);
+            self.filled[job]
+                .iter()
+                .map(|&(la, lb)| (sa.element_ids[la], sb.element_ids[lb]))
+                .collect()
+        }
+    }
+}
+
+/// Assembles the canonical global pair list from a filled plan (the
+/// buffered path — O(total pairs) of memory): every unit's pairs in
+/// unit order.
+fn assemble_pairs(plan: &HierPlan) -> Vec<(usize, usize)> {
+    (0..plan.unit_count())
+        .flat_map(|k| plan.unit_pairs(k))
+        .collect()
+}
+
+/// Tiled evaluation of a filled hierarchical plan: the natural tiles
+/// are the assembly units themselves — one per scope (intra pairs),
+/// one per near scope pair (inter pairs) — walked in exactly
+/// [`assemble_pairs`]'s order, so the streamed violation list is
+/// byte-identical to evaluating the assembled buffer. Each unit maps
+/// its cache row to global ids in a unit-local buffer (bounded by the
+/// widest scope, not the instance count) and discards it after
+/// evaluation.
+fn hierarchical_tiled(
+    cx: &EvalCx<'_>,
+    plan: &HierPlan,
+    workers: usize,
+    stats: &mut InteractStats,
+) -> Vec<Violation> {
+    let results = run_ordered(plan.unit_count(), workers, |k| {
+        let pairs = plan.unit_pairs(k);
+        evaluate_tile(cx, &pairs)
+    });
+    let mut out = Vec::new();
+    for (vs, tile_stats) in results {
+        out.extend(vs);
+        stats.absorb(&tile_stats);
     }
     out
 }
@@ -1001,6 +1207,102 @@ mod tests {
     }
 
     #[test]
+    fn tiled_counts_each_pair_once_and_matches_buffered() {
+        // Satellite guarantee: under tiling, `candidate_pairs` counts
+        // every enumerated pair exactly once — a pair spanning two
+        // tiles is owned by its lower element's tile — pinned against
+        // the buffered flat search on a known chip. Tiny tiles (1
+        // element) force every cross-element pair to span a tile
+        // boundary.
+        // 5 wires in a 500-pitch row: every adjacent and next-adjacent
+        // pair is within the rule reach, a known candidate structure.
+        let mut cif = String::new();
+        for i in 0..5 {
+            cif.push_str(&format!("L NM; B 2000 750 1000 {};\n", 375 + i * 1250));
+        }
+        cif.push('E');
+        let buffered = run_with(
+            &cif,
+            InteractOptions {
+                tiled: false,
+                ..Default::default()
+            },
+        );
+        assert!(buffered.1.candidate_pairs > 0);
+        assert_eq!(
+            buffered.1.peak_candidate_buffer, buffered.1.candidate_pairs,
+            "a buffered run holds the whole pair list"
+        );
+        for tile_elements in [1usize, 2, 512] {
+            for workers in [1usize, 3] {
+                let tiled = run_with(
+                    &cif,
+                    InteractOptions {
+                        tiled: true,
+                        tile_elements,
+                        parallelism: workers,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(
+                    tiled.0, buffered.0,
+                    "tile={tile_elements} workers={workers}: violations diverge"
+                );
+                assert_eq!(
+                    tiled.1.candidate_pairs, buffered.1.candidate_pairs,
+                    "tile={tile_elements} workers={workers}: pairs double- or under-counted"
+                );
+                assert_eq!(tiled.1.distance_checks, buffered.1.distance_checks);
+                if tile_elements < 5 {
+                    assert!(
+                        tiled.1.peak_candidate_buffer < buffered.1.candidate_pairs,
+                        "tile={tile_elements}: peak {} not bounded below total {}",
+                        tiled.1.peak_candidate_buffer,
+                        buffered.1.candidate_pairs
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_tiled_streams_per_scope() {
+        // The hierarchical search's tiles are its assembly units; the
+        // peak buffer must be the widest scope's pair list, not the
+        // total across instances — with identical violations.
+        let mut cif = String::from("DS 1; L NM; B 2000 750 1000 375; B 2000 750 1000 1625; DF;\n");
+        for i in 0..8 {
+            cif.push_str(&format!("C 1 T {} 0;\n", i * 2500));
+        }
+        cif.push('E');
+        let buffered = run_with(
+            &cif,
+            InteractOptions {
+                hierarchical: true,
+                tiled: false,
+                ..Default::default()
+            },
+        );
+        let tiled = run_with(
+            &cif,
+            InteractOptions {
+                hierarchical: true,
+                tiled: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(tiled.0, buffered.0);
+        assert_eq!(tiled.1.candidate_pairs, buffered.1.candidate_pairs);
+        assert_eq!(tiled.1.cache_hits, buffered.1.cache_hits);
+        assert!(
+            tiled.1.peak_candidate_buffer < buffered.1.peak_candidate_buffer,
+            "peak {} vs buffered {}",
+            tiled.1.peak_candidate_buffer,
+            buffered.1.peak_candidate_buffer
+        );
+    }
+
+    #[test]
     fn stats_absorb_sums_counters() {
         let mut a = InteractStats {
             candidate_pairs: 1,
@@ -1016,6 +1318,25 @@ mod tests {
         assert_eq!(a.candidate_pairs, 11);
         assert_eq!(a.distance_checks, 2);
         assert_eq!(a.same_net_suppressed, 3);
+    }
+
+    #[test]
+    fn stats_absorb_maxes_peak_buffer() {
+        // The peak is a high-water mark, not a sum: folding per-tile
+        // records keeps the widest tile.
+        let mut a = InteractStats {
+            peak_candidate_buffer: 5,
+            ..Default::default()
+        };
+        a.absorb(&InteractStats {
+            peak_candidate_buffer: 9,
+            ..Default::default()
+        });
+        a.absorb(&InteractStats {
+            peak_candidate_buffer: 3,
+            ..Default::default()
+        });
+        assert_eq!(a.peak_candidate_buffer, 9);
     }
 
     #[test]

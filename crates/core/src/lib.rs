@@ -43,6 +43,23 @@
 //! the four-way guarantee `tests/differential.rs` checks on generated
 //! chips with injected faults.
 //!
+//! # Memory model
+//!
+//! Candidate and diagnostic memory is **O(tile), not O(chip)** (the
+//! instantiated [`ChipView`] itself remains O(elements) — it *is* the
+//! chip): instantiation is sharded per top-level item
+//! ([`binding::instantiate_parallel`]), the interaction stage streams
+//! candidate pairs tile by tile — one tile buffer per live worker —
+//! instead of materialising the all-pairs list
+//! ([`CheckOptions::tiled_interactions`], the default — peak buffer
+//! recorded in [`InteractStats::peak_candidate_buffer`]), and every
+//! stage emits diagnostics through the [`Sink`] trait, whose
+//! [`StreamingSink`] / [`CountingSink`] implementations retain at most
+//! one bounded chunk ([`check_with_sink`]). All of it byte-identical
+//! to the buffered paths — the sixth differential leg
+//! (`tests/differential.rs`) and the sink oracle (`tests/sinks.rs`)
+//! prove it on generated chips.
+//!
 //! The checking stages themselves (paper Fig. 10):
 //!
 //! 1. **Parse CIF** (in [`diic_cif`]) — extended with net identifiers
@@ -96,14 +113,20 @@ pub mod primitive_checks;
 pub mod report;
 pub mod violations;
 
-pub use binding::{ChipElement, ChipView, DeviceInstance, LayerBinding};
-pub use checker::{check, check_cif, check_with_engine, CheckOptions, CheckReport, StageTimings};
-pub use engine::{CheckContext, DiagnosticSink, PipelineStage, StageEngine, StageTime};
+pub use binding::{instantiate_parallel, ChipElement, ChipView, DeviceInstance, LayerBinding};
+pub use checker::{
+    check, check_cif, check_with_engine, check_with_sink, CheckOptions, CheckReport, StageTimings,
+};
+pub use engine::{
+    CheckContext, CountingSink, DiagnosticSink, PipelineStage, Sink, StageEngine, StageTime,
+    StreamingSink,
+};
 pub use flat::{flat_check, FlatLayers, FlatOptions};
 pub use incremental::{canonical_check, CheckSession, Edit, EditError, EditSet, EditStats};
 pub use interact::{interaction_cell_size, max_rule_range, InteractOptions, InteractStats};
 pub use parallel::{effective_parallelism, env_parallelism};
 pub use report::{
-    account, canonical_sort, category_of, format_report, ErrorRegions, InjectedError,
+    account, canonical_sort, category_of, format_report, merge_canonical, ErrorRegions,
+    InjectedError,
 };
 pub use violations::{CheckStage, Violation, ViolationKind};

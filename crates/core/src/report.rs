@@ -64,9 +64,16 @@ impl ErrorRegions {
     }
 }
 
+/// Number of report stages — the exclusive upper bound of
+/// [`stage_rank`]. Size per-stage arrays (e.g.
+/// [`CountingSink`](crate::CountingSink)) with this so a new
+/// [`CheckStage`] variant breaks the build here instead of panicking at
+/// the first out-of-bounds count.
+pub const STAGE_COUNT: usize = 6;
+
 /// The rank of a stage in report order — the order the standard pipeline
 /// registers its stages, which is also the order [`format_report`]
-/// groups by.
+/// groups by. Always below [`STAGE_COUNT`].
 pub fn stage_rank(stage: CheckStage) -> usize {
     match stage {
         CheckStage::Elements => 0,
@@ -92,6 +99,57 @@ pub fn stage_rank(stage: CheckStage) -> usize {
 /// "patched == full re-check" literal byte equality.
 pub fn canonical_sort(violations: &mut [Violation]) {
     violations.sort_by_cached_key(|v| (stage_rank(v.stage), format!("{v:?}")));
+}
+
+/// The key [`canonical_sort`] orders by, exposed for merge-style
+/// consumers.
+pub fn canonical_key(v: &Violation) -> (usize, String) {
+    (stage_rank(v.stage), format!("{v:?}"))
+}
+
+/// Merges two **already canonically sorted** violation lists into one
+/// canonically sorted list — a linear splice instead of re-sorting the
+/// concatenation.
+///
+/// This is the incremental session's report-patch path: the violations
+/// it *keeps* from the cached report are a sorted subsequence by
+/// construction, so only the fresh side pays a sort and the combined
+/// list costs one merge. Kept-side keys are rendered **lazily** (each
+/// at most once, and none at all past the last fresh insertion point),
+/// so an edit that splices a handful of fresh violations into a large
+/// cached report re-formats only the prefix it walks, not the whole
+/// list. Ties (byte-identical violations) take the `kept` side first;
+/// since equal keys mean equal debug renderings of equal-stage
+/// violations — i.e. identical values — either choice yields the same
+/// bytes as a full [`canonical_sort`].
+pub fn merge_canonical(kept: Vec<Violation>, fresh: Vec<Violation>) -> Vec<Violation> {
+    if kept.is_empty() {
+        return fresh;
+    }
+    if fresh.is_empty() {
+        return kept;
+    }
+    let kb: Vec<(usize, String)> = fresh.iter().map(canonical_key).collect();
+    debug_assert!(kb.is_sorted(), "merge_canonical: fresh side not canonical");
+    let mut out = Vec::with_capacity(kept.len() + fresh.len());
+    let mut a = kept.into_iter().peekable();
+    let mut a_key: Option<(usize, String)> = None; // key of a.peek(), rendered once
+    let (mut b, mut j) = (fresh.into_iter(), 0usize);
+    while j < kb.len() {
+        let take_kept = match a.peek() {
+            None => false,
+            Some(v) => *a_key.get_or_insert_with(|| canonical_key(v)) <= kb[j],
+        };
+        if take_kept {
+            out.push(a.next().expect("peeked"));
+            a_key = None;
+        } else {
+            out.push(b.next().expect("fresh item behind key"));
+            j += 1;
+        }
+    }
+    out.extend(a);
+    out
 }
 
 /// The category a violation belongs to, for ground-truth matching.
@@ -277,6 +335,42 @@ mod tests {
         let r = account(&[v], &injected, 0);
         assert_eq!(r.real_flagged, 1);
         assert_eq!(r.false_errors, 0);
+    }
+
+    #[test]
+    fn merge_canonical_equals_full_sort() {
+        // Interleaved stages, duplicate violations, empty sides: the
+        // linear merge must reproduce canonical_sort of the
+        // concatenation byte for byte.
+        let spacing = |x: i64| Violation {
+            stage: CheckStage::Interactions,
+            kind: ViolationKind::Spacing {
+                layer_a: "metal".into(),
+                layer_b: "metal".into(),
+                measured: 500,
+                required: 750,
+                same_net: false,
+            },
+            location: Some(Rect::new(x, 0, x + 10, 10)),
+            context: String::new(),
+        };
+        let cases: Vec<(Vec<Violation>, Vec<Violation>)> = vec![
+            (vec![], vec![]),
+            (vec![width_violation(0)], vec![]),
+            (vec![], vec![spacing(5)]),
+            (
+                vec![width_violation(0), width_violation(50), spacing(10)],
+                vec![width_violation(20), spacing(0), spacing(10)],
+            ),
+        ];
+        for (mut kept, mut fresh) in cases {
+            canonical_sort(&mut kept);
+            canonical_sort(&mut fresh);
+            let mut expect = kept.clone();
+            expect.extend(fresh.iter().cloned());
+            canonical_sort(&mut expect);
+            assert_eq!(merge_canonical(kept, fresh), expect);
+        }
     }
 
     #[test]

@@ -302,6 +302,38 @@ pub fn generate(spec: &ChipSpec) -> GeneratedChip {
     }
 }
 
+/// A library-scale clean workload: the smallest near-square inverter
+/// array whose **flattened element count** reaches `target_elements` —
+/// the chip the bounded-memory pipeline (sharded instantiation, tiled
+/// interactions, streaming sinks) is sized against. At `10^6` the CIF
+/// text stays modest (one call line per cell — hierarchy is the point)
+/// while the instantiated view carries about a million elements.
+///
+/// No demo cells and no injected errors: the array is rule-clean, so a
+/// checker that reports anything on it is wrong, which is what the
+/// release-mode CI smoke asserts.
+pub fn mega_chip(target_elements: u64) -> GeneratedChip {
+    // Probe one cell for its flattened element count (the cell library
+    // is code, not data — measuring beats hard-coding a constant that
+    // silently drifts when the cell changes). A 1×1 array adds two row
+    // labels but labels are not elements.
+    let probe = generate(&ChipSpec {
+        demo_cells: false,
+        ..ChipSpec::clean(1, 1)
+    });
+    let probe_layout = diic_cif::parse(&probe.cif).expect("generated chips always parse");
+    let per_cell = diic_cif::hierarchy::stats(&probe_layout)
+        .flat_element_count
+        .max(1);
+    let cells = target_elements.div_ceil(per_cell).max(1);
+    let nx = (cells as f64).sqrt().ceil() as usize;
+    let ny = (cells as usize).div_ceil(nx);
+    generate(&ChipSpec {
+        demo_cells: false,
+        ..ChipSpec::clean(nx, ny)
+    })
+}
+
 /// Builds the golden net list of the **clean** array (inverter chains per
 /// row, plus the demo cells when enabled).
 pub fn intended_netlist(spec: &ChipSpec) -> diic_netlist::Netlist {
@@ -411,6 +443,28 @@ mod tests {
             vec![ErrorKind::NarrowWire; 2],
             1,
         ));
+    }
+
+    #[test]
+    fn mega_chip_reaches_its_element_target() {
+        let chip = mega_chip(2_000);
+        let layout = diic_cif::parse(&chip.cif).unwrap();
+        let stats = diic_cif::hierarchy::stats(&layout);
+        assert!(
+            stats.flat_element_count >= 2_000,
+            "got {} flattened elements",
+            stats.flat_element_count
+        );
+        // Near-square and not wildly overshooting: at most one extra
+        // row/column of cells beyond the target.
+        let per_cell = stats.flat_element_count / chip.cell_count as u64;
+        assert!(
+            stats.flat_element_count
+                < 2_000 + 2 * per_cell * (chip.cell_count as f64).sqrt() as u64,
+            "overshot: {} elements for target 2000",
+            stats.flat_element_count
+        );
+        assert!(chip.ground_truth.is_empty(), "mega chip is clean");
     }
 
     #[test]

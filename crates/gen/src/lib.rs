@@ -19,7 +19,7 @@ pub mod chip;
 pub mod edits;
 pub mod inject;
 
-pub use chip::{generate, ChipSpec, GeneratedChip};
+pub use chip::{generate, mega_chip, ChipSpec, GeneratedChip};
 pub use edits::random_edit_set;
 pub use inject::{ErrorKind, GroundTruthEntry};
 

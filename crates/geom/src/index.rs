@@ -60,6 +60,59 @@ impl<T> GridIndex<T> {
         self.alive == 0
     }
 
+    /// Number of tombstoned item slots: handles that were removed but
+    /// whose slots still occupy memory (handles are never reused, so
+    /// slots accumulate under insert/remove churn until
+    /// [`GridIndex::compact`] repacks them).
+    pub fn tombstones(&self) -> usize {
+        self.items.len() - self.alive
+    }
+
+    /// A deterministic partition of the item-slot space into contiguous
+    /// insertion-order tiles of at most `cap` slots each (`cap` clamped
+    /// to ≥ 1). Tiles are yielded in ascending slot order and cover
+    /// every slot exactly once; dead slots inside a tile are simply
+    /// absent from query results.
+    ///
+    /// This is the unit of work the tiled streaming interaction search
+    /// walks: each worker owns one tile of elements, enumerates and
+    /// evaluates that tile's candidate pairs in one pass, and the
+    /// per-tile results are merged positionally — so candidate memory
+    /// is bounded by the widest tile, not the whole index, while any
+    /// worker count produces byte-identical output.
+    pub fn tiles(&self, cap: usize) -> impl Iterator<Item = std::ops::Range<u32>> {
+        // Saturate (not truncate) caps beyond the u32 handle space: a
+        // cap of 2^32 must mean "one tile", never "divide by zero".
+        let cap = u32::try_from(cap).unwrap_or(u32::MAX).max(1);
+        let n = self.items.len() as u32;
+        (0..n.div_ceil(cap)).map(move |k| (k * cap)..((k + 1) * cap).min(n))
+    }
+
+    /// Rebuilds the index in place, dropping every tombstoned slot and
+    /// repacking the cell buckets — the recovery path for an index that
+    /// has served heavy insert/remove churn (an edit session's
+    /// persistent element index), whose slot vector and per-cell
+    /// bookkeeping otherwise grow monotonically.
+    ///
+    /// Live items keep their relative (insertion) order, so queries
+    /// return exactly the same payloads in exactly the same order as
+    /// before the compaction. Handles are renumbered densely; the
+    /// returned map gives each old handle's new handle (`None` for
+    /// slots that were already dead). Callers holding handles must
+    /// remap them.
+    pub fn compact(&mut self) -> Vec<Option<u32>> {
+        let old_items = std::mem::take(&mut self.items);
+        self.cells.clear();
+        self.alive = 0;
+        let mut map = vec![None; old_items.len()];
+        for (old_id, (rect, value)) in old_items.into_iter().enumerate() {
+            if let Some(v) = value {
+                map[old_id] = Some(self.insert(rect, v));
+            }
+        }
+        map
+    }
+
     /// Inserts a rectangle with its payload, returning a stable handle
     /// for [`GridIndex::remove`] / [`GridIndex::get`]. Handles are never
     /// reused, so query results stay in insertion order across
@@ -315,6 +368,90 @@ mod tests {
             let got: Vec<i64> = idx.query(&query).into_iter().copied().collect();
             let want: Vec<i64> = fresh.query(&query).into_iter().copied().collect();
             assert_eq!(got, want, "churned index diverged for {query:?}");
+        }
+    }
+
+    #[test]
+    fn tiles_cover_every_slot_once() {
+        let mut idx = GridIndex::new(20);
+        for i in 0..10i64 {
+            idx.insert(Rect::new(i * 30, 0, i * 30 + 20, 20), i);
+        }
+        let tiles: Vec<_> = idx.tiles(3).collect();
+        assert_eq!(tiles, vec![0..3, 3..6, 6..9, 9..10]);
+        // cap is clamped, a cap beyond the slot count (or beyond u32 —
+        // saturated, not truncated) yields one tile, and an empty index
+        // yields none.
+        assert_eq!(idx.tiles(0).collect::<Vec<_>>().len(), 10);
+        assert_eq!(idx.tiles(100).collect::<Vec<_>>(), vec![0..10]);
+        assert_eq!(idx.tiles(1 << 33).collect::<Vec<_>>(), vec![0..10]);
+        let empty: GridIndex<u8> = GridIndex::new(20);
+        assert_eq!(empty.tiles(4).count(), 0);
+    }
+
+    #[test]
+    fn tiles_span_dead_slots() {
+        // Tiles partition the *slot* space: removals leave the tile
+        // boundaries unchanged (dead slots just return nothing).
+        let mut idx = GridIndex::new(20);
+        let ids: Vec<u32> = (0..8i64)
+            .map(|i| idx.insert(Rect::new(i * 30, 0, i * 30 + 20, 20), i))
+            .collect();
+        idx.remove(ids[3]);
+        assert_eq!(idx.tiles(4).collect::<Vec<_>>(), vec![0..4, 4..8]);
+    }
+
+    #[test]
+    fn compact_preserves_queries_and_remaps_handles() {
+        // Churn an index hard, snapshot its query answers, compact, and
+        // demand byte-identical answers plus a sound handle map.
+        let mut idx = GridIndex::new(25);
+        let mut ids = Vec::new();
+        for i in 0..80i64 {
+            ids.push(idx.insert(Rect::new(i * 30, 0, i * 30 + 20, 20), i));
+        }
+        for (k, &id) in ids.iter().enumerate() {
+            if k % 2 == 0 {
+                idx.remove(id);
+            }
+        }
+        for i in 0..20i64 {
+            ids.push(idx.insert(Rect::new(i * 30 + 5, 5, i * 30 + 15, 15), 200 + i));
+        }
+        assert_eq!(idx.tombstones(), 40);
+        let queries: Vec<Rect> = (0..30)
+            .map(|q| Rect::new(q * 80, 0, q * 80 + 90, 20))
+            .collect();
+        let before: Vec<Vec<i64>> = queries
+            .iter()
+            .map(|q| idx.query(q).into_iter().copied().collect())
+            .collect();
+        let live_before: Vec<(Rect, i64)> = idx.iter().map(|(r, &v)| (*r, v)).collect();
+
+        let map = idx.compact();
+        assert_eq!(idx.tombstones(), 0);
+        assert_eq!(idx.len(), live_before.len());
+        let after: Vec<Vec<i64>> = queries
+            .iter()
+            .map(|q| idx.query(q).into_iter().copied().collect())
+            .collect();
+        assert_eq!(before, after, "compaction changed query answers");
+        assert_eq!(
+            idx.iter().map(|(r, &v)| (*r, v)).collect::<Vec<_>>(),
+            live_before,
+            "compaction reordered live items"
+        );
+        // Handle map: dead handles map to None, live ones resolve to the
+        // same (rect, payload).
+        for (k, &old) in ids.iter().enumerate() {
+            let dead = k < 80 && k % 2 == 0;
+            match map[old as usize] {
+                None => assert!(dead, "live handle {old} lost in compaction"),
+                Some(new) => {
+                    assert!(!dead, "dead handle {old} resurrected");
+                    assert!(idx.get(new).is_some());
+                }
+            }
         }
     }
 

@@ -25,6 +25,14 @@
 //! The "wide" worker count honours the `CHECK_PARALLELISM` environment
 //! variable (CI forces it to `1` and to `$(nproc)` in separate steps),
 //! defaulting to all available cores.
+//!
+//! On top of the four paths, the **sixth differential leg**
+//! (`tiled_streaming_equals_buffered`; the fifth is the incremental
+//! oracle in `tests/incremental.rs`) pins the bounded-memory pipeline:
+//! the tiled streaming interaction search must be byte-identical to the
+//! buffered all-pairs baseline under both engines and both worker
+//! counts, with identical statistics apart from the candidate-buffer
+//! peak it exists to bound.
 
 use diic::core::{
     account, check_cif, env_parallelism, flat_check, CheckOptions, CheckReport, FlatOptions,
@@ -126,6 +134,89 @@ proptest! {
                 "{}: {} of {} injected faults missed (nx={} ny={} seed={} mask={:#b})",
                 path, regions.unchecked, regions.injected, nx, ny, seed, mask
             );
+        }
+    }
+
+    /// The **sixth leg**: the tiled streaming pipeline (bounded
+    /// candidate memory — the default) is byte-identical to the
+    /// buffered baseline that materialises the full pair list, under
+    /// both search engines, serial and wide — and the buffered peak
+    /// actually buffers the whole list while the tiled one is bounded
+    /// by a tile. ≥ 32 proptest chips with injected faults.
+    #[test]
+    fn tiled_streaming_equals_buffered(
+        nx in 2usize..5,
+        ny in 1usize..3,
+        seed in 0u64..1_000_000,
+        mask in 1u16..512,
+    ) {
+        let tech = nmos_technology();
+        let errors: Vec<ErrorKind> = ErrorKind::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, k)| *k)
+            .take(nx * ny)
+            .collect();
+        let chip = generate(&ChipSpec::with_errors(nx, ny, errors, seed));
+        let wide = wide_workers();
+        for hierarchical in [false, true] {
+            for parallelism in [1usize, wide] {
+                let opts = CheckOptions {
+                    hierarchical,
+                    parallelism,
+                    ..CheckOptions::default()
+                };
+                let buffered = check_cif(
+                    &chip.cif,
+                    &tech,
+                    &CheckOptions {
+                        tiled_interactions: false,
+                        ..opts.clone()
+                    },
+                )
+                .expect("generated chips always parse");
+                let tiled = check_cif(
+                    &chip.cif,
+                    &tech,
+                    &CheckOptions {
+                        tiled_interactions: true,
+                        ..opts
+                    },
+                )
+                .expect("generated chips always parse");
+                prop_assert_eq!(
+                    &tiled.violations, &buffered.violations,
+                    "hier={} workers={}: tiled diverges from buffered \
+                     (nx={} ny={} seed={} mask={:#b})",
+                    hierarchical, parallelism, nx, ny, seed, mask
+                );
+                // Identical statistics modulo the peak, which is the
+                // point of the refactor: every pair still enumerated
+                // and counted exactly once.
+                let flatten_peak = |s: &diic::core::InteractStats| diic::core::InteractStats {
+                    peak_candidate_buffer: 0,
+                    ..*s
+                };
+                prop_assert_eq!(
+                    flatten_peak(&tiled.interact_stats),
+                    flatten_peak(&buffered.interact_stats),
+                    "hier={} workers={}: stats diverge",
+                    hierarchical, parallelism
+                );
+                prop_assert_eq!(
+                    buffered.interact_stats.peak_candidate_buffer,
+                    buffered.interact_stats.candidate_pairs,
+                    "the buffered run must hold the whole pair list"
+                );
+                prop_assert!(
+                    tiled.interact_stats.peak_candidate_buffer
+                        <= buffered.interact_stats.peak_candidate_buffer,
+                    "tiled peak above buffered: {} > {}",
+                    tiled.interact_stats.peak_candidate_buffer,
+                    buffered.interact_stats.peak_candidate_buffer
+                );
+            }
         }
     }
 

@@ -4,6 +4,58 @@ use diic::core::{check_cif, flat_check, CheckOptions, CheckStage, FlatOptions, V
 use diic::gen::{generate, ChipSpec, ErrorKind};
 use diic::tech::nmos::nmos_technology;
 
+/// Mega-chip smoke (debug-sized; the release-mode CI job runs the same
+/// shape at ~10⁶ elements via `mega_smoke`): the bounded-memory
+/// pipeline — sharded instantiation, tiled interactions, a counting
+/// sink — checks a clean library-scale array clean, with the candidate
+/// buffer peak bounded by the widest tile rather than the total pair
+/// count, and identical to the buffered run.
+#[test]
+fn mega_chip_smoke_bounded_memory() {
+    use diic::core::{check_with_sink, CountingSink, StageEngine};
+
+    let tech = nmos_technology();
+    let chip = diic::gen::mega_chip(4_000);
+    let layout = diic::cif::parse(&chip.cif).unwrap();
+    let options = CheckOptions {
+        erc: false,
+        parallelism: 0,
+        ..CheckOptions::default() // tiled interactions are the default
+    };
+    let mut sink = CountingSink::new();
+    let tiled = check_with_sink(
+        &StageEngine::diic_pipeline(),
+        &layout,
+        &tech,
+        &options,
+        &mut sink,
+    );
+    assert!(tiled.element_count >= 4_000, "{}", tiled.element_count);
+    assert_eq!(sink.total(), 0, "clean mega array must check clean");
+    assert!(tiled.violations.is_empty(), "streaming run buffers nothing");
+    assert!(
+        tiled.interact_stats.peak_candidate_buffer < tiled.interact_stats.candidate_pairs,
+        "peak {} not bounded below total pairs {}",
+        tiled.interact_stats.peak_candidate_buffer,
+        tiled.interact_stats.candidate_pairs
+    );
+
+    let buffered = check_cif(
+        &chip.cif,
+        &tech,
+        &CheckOptions {
+            tiled_interactions: false,
+            ..options
+        },
+    )
+    .unwrap();
+    assert!(buffered.is_clean());
+    assert_eq!(
+        buffered.interact_stats.candidate_pairs, tiled.interact_stats.candidate_pairs,
+        "tiling must enumerate every pair exactly once"
+    );
+}
+
 #[test]
 fn clean_chip_is_clean() {
     let tech = nmos_technology();

@@ -1,0 +1,154 @@
+//! Sink-equivalence oracle: every [`Sink`] implementation must observe
+//! the same violations from the same run.
+//!
+//! Proptest-generated chips with injected faults are driven through
+//! both stage sets (the DIIC pipeline and the flat baseline), serial
+//! and wide, with the report emitted three ways: buffered
+//! ([`DiagnosticSink`]), streamed in bounded chunks of several sizes —
+//! including 1, the degenerate everything-flushes-immediately case —
+//! ([`StreamingSink`]), and counted ([`CountingSink`]). The streamed
+//! lines, canonicalised, must equal the canonicalised buffered report;
+//! the counts must match per stage and in total.
+
+use diic::core::{
+    canonical_sort, check_with_engine, check_with_sink, env_parallelism, CheckOptions,
+    CountingSink, FlatOptions, StageEngine, StreamingSink,
+};
+use diic::gen::{generate, ChipSpec, ErrorKind};
+use diic::tech::nmos::nmos_technology;
+use proptest::prelude::*;
+
+/// The parallel worker count exercised against serial runs.
+fn wide_workers() -> usize {
+    env_parallelism().unwrap_or(0) // 0 = all available cores
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn streaming_and_counting_sinks_match_buffered(
+        nx in 2usize..5,
+        ny in 1usize..3,
+        seed in 0u64..1_000_000,
+        mask in 1u16..512,
+    ) {
+        let tech = nmos_technology();
+        let errors: Vec<ErrorKind> = ErrorKind::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, k)| *k)
+            .take(nx * ny)
+            .collect();
+        let chip = generate(&ChipSpec::with_errors(nx, ny, errors, seed));
+        let layout = diic::cif::parse(&chip.cif).expect("generated chips always parse");
+
+        for (engine_name, engine) in [
+            ("diic", StageEngine::diic_pipeline()),
+            ("flat", StageEngine::flat_baseline(FlatOptions::default())),
+        ] {
+            for parallelism in [1usize, wide_workers()] {
+                let options = CheckOptions {
+                    erc: false,
+                    parallelism,
+                    ..CheckOptions::default()
+                };
+                let buffered = check_with_engine(&engine, &layout, &tech, &options);
+                // The buffered report in canonical form is the oracle
+                // the streamed chunks must reassemble to.
+                let mut canonical = buffered.violations.clone();
+                canonical_sort(&mut canonical);
+                let expect: Vec<String> =
+                    canonical.iter().map(|v| format!("{v:?}")).collect();
+
+                for chunk in [1usize, 3, 64] {
+                    let mut sink = StreamingSink::new(Vec::new(), chunk);
+                    let streamed =
+                        check_with_sink(&engine, &layout, &tech, &options, &mut sink);
+                    prop_assert!(
+                        streamed.violations.is_empty(),
+                        "{engine_name}: a streaming run must buffer nothing"
+                    );
+                    let text = String::from_utf8(sink.finish().expect("vec write")).unwrap();
+                    let mut got: Vec<String> =
+                        text.lines().map(str::to_string).collect();
+                    got.sort_unstable();
+                    let mut want = expect.clone();
+                    want.sort_unstable();
+                    prop_assert_eq!(
+                        got, want,
+                        "{}: chunk={} workers={}: streamed report diverges \
+                         (nx={} ny={} seed={} mask={:#b})",
+                        engine_name, chunk, parallelism, nx, ny, seed, mask
+                    );
+                }
+
+                let mut counting = CountingSink::new();
+                check_with_sink(&engine, &layout, &tech, &options, &mut counting);
+                prop_assert_eq!(
+                    counting.total(),
+                    buffered.violations.len(),
+                    "{}: workers={}: counting sink disagrees on the total",
+                    engine_name, parallelism
+                );
+                for stage in [
+                    diic::core::CheckStage::Elements,
+                    diic::core::CheckStage::PrimitiveSymbols,
+                    diic::core::CheckStage::Connections,
+                    diic::core::CheckStage::NetList,
+                    diic::core::CheckStage::Interactions,
+                    diic::core::CheckStage::Composition,
+                ] {
+                    prop_assert_eq!(
+                        counting.count(stage),
+                        buffered.violations.iter().filter(|v| v.stage == stage).count(),
+                        "{}: per-stage count diverges for {:?}",
+                        engine_name, stage
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// An edit session exports its canonical report through any sink.
+#[test]
+fn session_emits_its_report_through_the_trait() {
+    use diic::core::incremental::{CheckSession, EditSet};
+    use diic::geom::Rect;
+
+    let tech = nmos_technology();
+    let chip = generate(&ChipSpec::clean(3, 2));
+    let layout = diic::cif::parse(&chip.cif).unwrap();
+    let mut session = CheckSession::new(
+        layout,
+        &tech,
+        &CheckOptions {
+            erc: false,
+            ..CheckOptions::default()
+        },
+    );
+    let mut fault = EditSet::new();
+    fault.add_box("NM", Rect::new(0, -10000, 2000, -9300), None); // 700 < 750 wide
+    session.apply(&fault).unwrap();
+    assert!(!session.report().violations.is_empty());
+
+    let mut sink = StreamingSink::new(Vec::new(), 2);
+    session.emit_report(&mut sink);
+    let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+    let mut got: Vec<String> = text.lines().map(str::to_string).collect();
+    got.sort_unstable();
+    let mut want: Vec<String> = session
+        .report()
+        .violations
+        .iter()
+        .map(|v| format!("{v:?}"))
+        .collect();
+    want.sort_unstable();
+    assert_eq!(got, want);
+
+    let mut counting = CountingSink::new();
+    session.emit_report(&mut counting);
+    assert_eq!(counting.total(), session.report().violations.len());
+}
