@@ -830,6 +830,55 @@ pub fn e16_parallel_speedup(scale: Scale) -> String {
          across worker counts; speedup needs >1 core)"
     );
 
+    // The connections + netgen stages, parallelised in the same
+    // discipline (tile-sharded connection scan; netgen per-scope union
+    // phase as symbolic draft rows). Timed from the engine's classic
+    // stage buckets; identity covers the stage outputs end to end
+    // (violations and the assembled net list).
+    let _ = writeln!(out, "\nconnections + netgen stages:");
+    let _ = writeln!(
+        out,
+        "{:>9} {:>11} {:>11} {:>11} {:>11} {:>8} {:>10}",
+        "cells", "conn s ms", "conn p ms", "net s ms", "net p ms", "speedup", "identical"
+    );
+    let conn_sizes = if scale.quick {
+        vec![(4, 2), (8, 4)]
+    } else {
+        vec![(8, 4), (12, 8), (16, 12)]
+    };
+    for (nx, ny) in conn_sizes {
+        let chip = generate(&ChipSpec {
+            demo_cells: false,
+            ..ChipSpec::clean(nx, ny)
+        });
+        let layout = diic_cif::parse(&chip.cif).unwrap();
+        let serial_opts = CheckOptions {
+            erc: false,
+            ..CheckOptions::default()
+        };
+        let par_opts = CheckOptions {
+            parallelism: threads,
+            ..serial_opts.clone()
+        };
+        let serial = diic_core::check(&layout, &tech, &serial_opts);
+        let parallel = diic_core::check(&layout, &tech, &par_opts);
+        let (cs, cp) = (serial.timings.connections, parallel.timings.connections);
+        let (ns, np) = (serial.timings.netlist, parallel.timings.netlist);
+        let identical =
+            serial.violations == parallel.violations && serial.netlist == parallel.netlist;
+        let _ = writeln!(
+            out,
+            "{:>9} {:>11.2} {:>11.2} {:>11.2} {:>11.2} {:>7.2}x {:>10}",
+            nx * ny,
+            cs.as_secs_f64() * 1e3,
+            cp.as_secs_f64() * 1e3,
+            ns.as_secs_f64() * 1e3,
+            np.as_secs_f64() * 1e3,
+            (cs + ns).as_secs_f64() / (cp + np).as_secs_f64().max(1e-9),
+            if identical { "yes" } else { "NO" }
+        );
+    }
+
     // The flat baseline's per-layer Boolean work, parallelised the same
     // way (per-layer width jobs, per-component spacing jobs). Timed
     // from the engine's stage profile — width + spacing only, since the
@@ -1080,6 +1129,7 @@ pub fn e18_memory(scale: Scale) -> String {
         "elements", "cells", "pairs", "buffered pk", "tiled pk", "int ms", "identical"
     );
     let tech = nmos_technology();
+    let mut intern_rows: Vec<String> = Vec::new();
     for target in targets {
         let chip = diic_gen::mega_chip(target);
         let layout = diic_cif::parse(&chip.cif).unwrap();
@@ -1119,12 +1169,60 @@ pub fn e18_memory(scale: Scale) -> String {
             tiled.timings.interactions.as_secs_f64() * 1e3,
             if identical { "yes" } else { "NO" }
         );
+
+        // The interned-view delta: what the ChipView's string floor
+        // costs with one interner entry per distinct string + a u32
+        // handle per reference, against what the same strings cost as
+        // the per-element `String` copies the view used to hold.
+        let (binding, _) = diic_core::LayerBinding::bind(&layout, &tech);
+        // instantiate_parallel takes a literal worker count (no 0 =
+        // auto resolution — that is CheckOptions' convention).
+        let view = diic_core::instantiate_parallel(
+            &layout,
+            &tech,
+            &binding,
+            diic_core::effective_parallelism(0),
+        );
+        let handle_refs = view.elements.len() * 2 + view.devices.len() * 2;
+        let interned = view.strings.heap_bytes() + handle_refs * 4;
+        let copies: usize = view
+            .elements
+            .iter()
+            .map(|e| view.str(e.path).len() + view.str(e.net_key).len() + 2 * 24)
+            .sum::<usize>()
+            + view
+                .devices
+                .iter()
+                .map(|d| view.str(d.path).len() + view.str(d.device_type).len() + 2 * 24)
+                .sum::<usize>();
+        intern_rows.push(format!(
+            "  view of {:>9} elements: {:>8} distinct strings, {:>6.1} MB interned vs {:>6.1} MB \
+             as owned copies ({:.1}x)",
+            view.elements.len(),
+            view.strings.len(),
+            interned as f64 / 1e6,
+            copies as f64 / 1e6,
+            copies as f64 / (interned as f64).max(1.0),
+        ));
     }
     let _ = writeln!(
         out,
         "(buffered peak = the whole materialised pair list; tiled peak = the widest\n\
          tile — the hierarchical search's widest scope/scope-pair cache row — which\n\
          stays flat as the array grows while total pairs grow with the chip)"
+    );
+    let _ = writeln!(
+        out,
+        "interned ChipView strings (path / net key / device type):"
+    );
+    for row in intern_rows {
+        let _ = writeln!(out, "{row}");
+    }
+    let _ = writeln!(
+        out,
+        "(owned copies = 24-byte String headers + per-element heap duplicates, the\n\
+         pre-interning view floor; interned = one entry per distinct string + 4-byte\n\
+         handles — the delta the tightened mega-smoke RSS ceiling banks on)"
     );
     out
 }

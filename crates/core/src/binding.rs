@@ -5,12 +5,204 @@
 //! symbol it came from, the device instance it belongs to, its net key, and
 //! its skeleton. "The information about what symbol the piece of geometry
 //! came from is never lost."
+//!
+//! # The view's memory floor: interned strings
+//!
+//! The [`ChipView`] is the pipeline's one intentionally O(chip) artefact
+//! (it *is* the chip), so its per-element cost is the resident-set floor
+//! at million-element scale. The topology strings — instance `path`, net
+//! key, device type — are massively shared (every element of an instance
+//! repeats its path; every instance of a symbol repeats its device type),
+//! so the view stores them once in a [`StringInterner`] and each
+//! [`ChipElement`] / [`DeviceInstance`] carries 4-byte [`Istr`] handles
+//! instead of owned `String`s. Handles from one view compare equal iff
+//! the strings are equal; render them with [`ChipView::str`]. Rendered
+//! output (violation contexts, net names) is unchanged — the interner is
+//! a storage decision, not a naming one.
 
 use crate::violations::{CheckStage, Violation, ViolationKind};
 use diic_cif::{Item, LayerRef, Layout, Shape, SymbolId};
 use diic_geom::skeleton::Skeleton;
 use diic_geom::{Point, Rect, Region, Transform};
 use diic_tech::{DeviceClass, LayerId, Technology};
+use std::collections::HashMap;
+
+/// A `u32`-keyed handle into a [`StringInterner`]: the interned form of
+/// a [`ChipElement`]'s `path` / `net_key` and a [`DeviceInstance`]'s
+/// `path` / `device_type`. Two handles from the **same** interner are
+/// equal iff their strings are equal (the interner deduplicates), so
+/// hot paths compare and hash 4-byte ids instead of strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Istr(u32);
+
+impl Istr {
+    /// The raw index into the owning interner.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a handle from a raw index (crate-internal: the net
+    /// graph stores its node ids as bare `u32`s).
+    pub(crate) fn from_index(index: u32) -> Istr {
+        Istr(index)
+    }
+}
+
+/// An append-only hash-consing table: each distinct string is stored
+/// exactly once and addressed by a stable [`Istr`] handle.
+///
+/// Lookup is by hash bucket with a full-string compare (no second copy
+/// of the key inside a map), so unique strings — auto net keys are
+/// mostly unique — cost one `Box<str>` plus bucket bookkeeping, while
+/// shared strings (instance paths, device types) collapse to one entry
+/// however many elements reference them. Handles are never invalidated:
+/// an edit session keeps one interner alive across applies and stale
+/// strings simply stop being referenced.
+#[derive(Debug, Clone, Default)]
+pub struct StringInterner {
+    strings: Vec<Box<str>>,
+    /// String hash → first id with that hash. Full-`u64` collisions are
+    /// vanishingly rare, so the common case costs one flat map entry
+    /// per distinct string; the rare extra ids live in `overflow`.
+    first: HashMap<u64, u32>,
+    /// `(hash, id)` pairs beyond the first per hash — scanned only when
+    /// the first id's string mismatches.
+    overflow: Vec<(u64, u32)>,
+}
+
+impl StringInterner {
+    fn hash_of(s: &str) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        s.hash(&mut h);
+        h.finish()
+    }
+
+    /// Interns a string, returning the stable handle of its single
+    /// stored copy.
+    pub fn intern(&mut self, s: &str) -> Istr {
+        match self.find_or_reserve(s) {
+            Ok(id) => id,
+            Err(id) => {
+                self.strings.push(s.into());
+                id
+            }
+        }
+    }
+
+    /// [`StringInterner::intern`] taking ownership — a miss moves the
+    /// box into the table instead of re-allocating it (the shard-stitch
+    /// path, where every shard's strings migrate into the merged view).
+    pub fn intern_owned(&mut self, s: Box<str>) -> Istr {
+        match self.find_or_reserve(&s) {
+            Ok(id) => id,
+            Err(id) => {
+                self.strings.push(s);
+                id
+            }
+        }
+    }
+
+    /// Below this many strings the table stays index-free (pure linear
+    /// scan): the sharded instantiation walk creates one interner per
+    /// top-level item, and a typical cell interns a couple of dozen
+    /// strings — a hash map per shard would dominate the very memory
+    /// the interner exists to save.
+    const LINEAR_LIMIT: usize = 32;
+
+    /// `Ok(existing)` on a hit; on a miss, records the next id in the
+    /// hash tables and returns it as `Err` — the caller must push the
+    /// string.
+    fn find_or_reserve(&mut self, s: &str) -> Result<Istr, Istr> {
+        if self.strings.len() < Self::LINEAR_LIMIT && self.first.is_empty() {
+            for (i, t) in self.strings.iter().enumerate() {
+                if &**t == s {
+                    return Ok(Istr(i as u32));
+                }
+            }
+            return Err(Istr(self.strings.len() as u32));
+        }
+        // Hash mode: index the linear backlog on first entry.
+        if self.first.is_empty() {
+            for i in 0..self.strings.len() as u32 {
+                let h = Self::hash_of(&self.strings[i as usize]);
+                match self.first.entry(h) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(i);
+                    }
+                    std::collections::hash_map::Entry::Occupied(_) => {
+                        // Strings are distinct by construction, so an
+                        // occupied slot is a true hash collision.
+                        self.overflow.push((h, i));
+                    }
+                }
+            }
+        }
+        let h = Self::hash_of(s);
+        let id = self.strings.len() as u32;
+        match self.first.entry(h) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(id);
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let first = *e.get();
+                if &*self.strings[first as usize] == s {
+                    return Ok(Istr(first));
+                }
+                for &(oh, oid) in &self.overflow {
+                    if oh == h && &*self.strings[oid as usize] == s {
+                        return Ok(Istr(oid));
+                    }
+                }
+                self.overflow.push((h, id));
+            }
+        }
+        Err(Istr(id))
+    }
+
+    /// The string behind a handle.
+    pub fn get(&self, id: Istr) -> &str {
+        &self.strings[id.0 as usize]
+    }
+
+    /// The handle a string is already interned under, if any (read-only
+    /// — [`StringInterner::intern`] to insert).
+    pub fn lookup(&self, s: &str) -> Option<Istr> {
+        if self.first.is_empty() {
+            return self
+                .strings
+                .iter()
+                .position(|t| &**t == s)
+                .map(|i| Istr(i as u32));
+        }
+        let h = Self::hash_of(s);
+        let first = *self.first.get(&h)?;
+        if &*self.strings[first as usize] == s {
+            return Some(Istr(first));
+        }
+        self.overflow
+            .iter()
+            .find(|&&(oh, oid)| oh == h && &*self.strings[oid as usize] == s)
+            .map(|&(_, oid)| Istr(oid))
+    }
+
+    /// Number of distinct strings stored.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Heap bytes held by the stored strings themselves (the payload the
+    /// e18 memory table compares against per-element `String` copies;
+    /// excludes bucket bookkeeping).
+    pub fn heap_bytes(&self) -> usize {
+        self.strings.iter().map(|s| s.len()).sum()
+    }
+}
 
 /// Maps layout layer references to technology layers.
 #[derive(Debug, Clone)]
@@ -62,12 +254,14 @@ pub struct ChipElement {
     /// under-width — already a width violation).
     pub skeleton: Option<Skeleton>,
     /// Net key: the declared net qualified by instance path, or a unique
-    /// auto key.
-    pub net_key: String,
+    /// auto key. Interned in the owning view — render with
+    /// [`ChipView::str`].
+    pub net_key: Istr,
     /// True if the net was declared via `9N` (vs auto-generated).
     pub net_declared: bool,
-    /// Instance path of the enclosing scope.
-    pub path: String,
+    /// Instance path of the enclosing scope, interned in the owning view
+    /// (the big sharing win: every element of an instance repeats it).
+    pub path: Istr,
     /// Index into [`ChipView::devices`] if the element lives inside a
     /// device symbol instance.
     pub device: Option<usize>,
@@ -78,12 +272,13 @@ pub struct ChipElement {
 /// An instantiated device (one per call of a device symbol).
 #[derive(Debug, Clone)]
 pub struct DeviceInstance {
-    /// Instance path (dot notation).
-    pub path: String,
+    /// Instance path (dot notation), interned in the owning view.
+    pub path: Istr,
     /// The device symbol.
     pub symbol: SymbolId,
-    /// Declared `9D` type.
-    pub device_type: String,
+    /// Declared `9D` type, interned in the owning view (one entry per
+    /// distinct type however many instances share it).
+    pub device_type: Istr,
     /// Archetype class if the technology knows the type.
     pub class: Option<DeviceClass>,
     /// Immunity flag (`9C`).
@@ -107,6 +302,15 @@ pub struct ChipView {
     /// Violations discovered during instantiation (unknown layers on
     /// terminals, non-rectilinear polygons treated as bboxes, …).
     pub violations: Vec<Violation>,
+    /// The interner behind every [`Istr`] in `elements` and `devices`.
+    pub strings: StringInterner,
+}
+
+impl ChipView {
+    /// Renders an interned string of this view.
+    pub fn str(&self, s: Istr) -> &str {
+        self.strings.get(s)
+    }
 }
 
 /// Instantiates the layout against a technology.
@@ -137,7 +341,7 @@ pub fn instantiate_parallel(
     workers: usize,
 ) -> ChipView {
     let (mut view, _) = instantiate_sharded(layout, tech, binding, workers);
-    assign_auto_net_keys(&mut view.elements, None);
+    assign_auto_net_keys(&mut view.elements, &mut view.strings, None);
     view
 }
 
@@ -174,17 +378,31 @@ pub(crate) fn instantiate_sharded(
         let (e_off, d_off) = (view.elements.len(), view.devices.len());
         runs.push((shard.elements.len(), shard.devices.len()));
         view.violations.append(&mut shard.violations);
+        // Each shard interned into a private table; its distinct
+        // strings **move** into the stitched view's table (no string is
+        // re-allocated — only duplicates already present are dropped)
+        // and the handles are remapped. The stitch is sequential in
+        // item order, so the merged numbering — like everything else
+        // here — is independent of the worker count.
+        let remap: Vec<Istr> = std::mem::take(&mut shard.strings.strings)
+            .into_iter()
+            .map(|s| view.strings.intern_owned(s))
+            .collect();
         for mut el in shard.elements {
             el.id += e_off;
             if let Some(d) = &mut el.device {
                 *d += d_off;
             }
+            el.net_key = remap[el.net_key.0 as usize];
+            el.path = remap[el.path.0 as usize];
             view.elements.push(el);
         }
         for mut dv in shard.devices {
             for id in &mut dv.element_ids {
                 *id += e_off;
             }
+            dv.path = remap[dv.path.0 as usize];
+            dv.device_type = remap[dv.device_type.0 as usize];
             view.devices.push(dv);
         }
     }
@@ -252,9 +470,10 @@ fn auto_key_base(key: &str) -> &str {
 /// group, and duplicates by definition share path, layer, and bbox.
 pub(crate) fn assign_auto_net_keys(
     elements: &mut [ChipElement],
+    strings: &mut StringInterner,
     changed: Option<&[bool]>,
 ) -> Vec<usize> {
-    use std::collections::{HashMap, HashSet};
+    use std::collections::HashSet;
     // Pre-filter: the (layer, chip bbox) cells of changed undeclared
     // elements — a superset of the affected identity groups (exact
     // grouping is by key base below; a spurious match just re-derives
@@ -280,32 +499,31 @@ pub(crate) fn assign_auto_net_keys(
                 continue;
             }
         }
-        let base = auto_key_base(&e.net_key);
-        let key = match ordinals.get_mut(base) {
-            None => {
-                ordinals.insert(base.to_string(), 1);
-                None // ordinal 0: the base itself is the key
-            }
-            Some(n) => {
-                let key = format!("{base}:{n}");
-                *n += 1;
-                Some(key)
+        // Derive the desired key while borrowing the current string,
+        // then intern only when it actually changed — an unchanged key
+        // costs no interner traffic and stays off the rekeyed list.
+        let desired: Option<String> = {
+            let current = strings.get(e.net_key);
+            let base = auto_key_base(current);
+            match ordinals.get_mut(base) {
+                None => {
+                    // Ordinal 0: the base itself is the key.
+                    let want_base = base.len() != current.len();
+                    let base = base.to_string();
+                    let changed_key = want_base.then(|| base.clone());
+                    ordinals.insert(base, 1);
+                    changed_key
+                }
+                Some(n) => {
+                    let key = format!("{base}:{n}");
+                    *n += 1;
+                    (key != current).then_some(key)
+                }
             }
         };
-        match key {
-            None => {
-                if e.net_key != auto_key_base(&e.net_key) {
-                    let key = auto_key_base(&e.net_key).to_string();
-                    rekeyed.push(e.id);
-                    e.net_key = key;
-                }
-            }
-            Some(key) => {
-                if e.net_key != key {
-                    rekeyed.push(e.id);
-                    e.net_key = key;
-                }
-            }
+        if let Some(key) = desired {
+            e.net_key = strings.intern(&key);
+            rekeyed.push(e.id);
         }
     }
     rekeyed
@@ -366,6 +584,8 @@ fn walk(
                     false,
                 ),
             };
+            let net_key = view.strings.intern(&net_key);
+            let path = view.strings.intern(path);
             view.elements.push(ChipElement {
                 id,
                 layer,
@@ -374,7 +594,7 @@ fn walk(
                 skeleton,
                 net_key,
                 net_declared,
-                path: path.to_string(),
+                path,
                 device,
                 source,
             });
@@ -407,9 +627,9 @@ fn walk(
                         })
                         .collect();
                     view.devices.push(DeviceInstance {
-                        path: child_path.clone(),
+                        path: view.strings.intern(&child_path),
                         symbol: c.target,
-                        device_type: decl.device_type.clone(),
+                        device_type: view.strings.intern(&decl.device_type),
                         class: tech.device(&decl.device_type).map(|a| a.class),
                         checked: decl.checked,
                         terminals,
@@ -465,7 +685,7 @@ mod tests {
         assert!(v.is_empty());
         assert_eq!(view.elements.len(), 2);
         let rail = &view.elements[0];
-        assert_eq!(rail.net_key, "VDD");
+        assert_eq!(view.str(rail.net_key), "VDD");
         assert!(rail.net_declared);
         assert!(rail.skeleton.is_some());
         let tiny = &view.elements[1];
@@ -482,8 +702,8 @@ mod tests {
         let (view, v) = view_of(cif);
         assert!(v.is_empty());
         assert_eq!(view.devices.len(), 2);
-        assert_eq!(view.devices[0].path, "i0");
-        assert_eq!(view.devices[1].path, "i1");
+        assert_eq!(view.str(view.devices[0].path), "i0");
+        assert_eq!(view.str(view.devices[1].path), "i1");
         assert_eq!(view.devices[0].element_ids.len(), 3);
         // Terminal transformed to chip coords.
         let (name, _, pos) = &view.devices[1].terminals[0];
@@ -503,8 +723,8 @@ mod tests {
         C 2 T 0 0; E";
         let (view, _) = view_of(cif);
         assert_eq!(view.elements.len(), 1);
-        assert_eq!(view.elements[0].path, "i0.i0");
-        assert_eq!(view.elements[0].net_key, "i0.i0.out");
+        assert_eq!(view.str(view.elements[0].path), "i0.i0");
+        assert_eq!(view.str(view.elements[0].net_key), "i0.i0.out");
     }
 
     #[test]
@@ -530,17 +750,47 @@ mod tests {
             assert_eq!(par.elements.len(), serial.elements.len());
             for (a, b) in serial.elements.iter().zip(&par.elements) {
                 assert_eq!(a.id, b.id, "workers={workers}");
+                // Handles come from per-run interners: compare the
+                // rendered strings (and the handles too — the stitch
+                // numbering must also be worker-count independent).
+                assert_eq!(
+                    serial.str(a.net_key),
+                    par.str(b.net_key),
+                    "workers={workers}"
+                );
                 assert_eq!(a.net_key, b.net_key, "workers={workers}");
                 assert_eq!(a.device, b.device, "workers={workers}");
                 assert_eq!(a.bbox, b.bbox, "workers={workers}");
-                assert_eq!(a.path, b.path, "workers={workers}");
+                assert_eq!(serial.str(a.path), par.str(b.path), "workers={workers}");
             }
             assert_eq!(par.devices.len(), serial.devices.len());
             for (a, b) in serial.devices.iter().zip(&par.devices) {
-                assert_eq!(a.path, b.path, "workers={workers}");
+                assert_eq!(serial.str(a.path), par.str(b.path), "workers={workers}");
                 assert_eq!(a.element_ids, b.element_ids, "workers={workers}");
             }
         }
+    }
+
+    #[test]
+    fn interner_dedups_across_the_linear_to_hash_transition() {
+        // The table starts index-free (per-shard interners stay tiny)
+        // and builds its hash index past LINEAR_LIMIT strings; handles
+        // must stay stable and deduplication exact through the switch.
+        let mut t = StringInterner::default();
+        let first = t.intern("s0");
+        let ids: Vec<Istr> = (0..100).map(|i| t.intern(&format!("s{i}"))).collect();
+        assert_eq!(ids[0], first, "re-interning must hit the stored copy");
+        assert_eq!(t.len(), 100);
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(t.get(id), format!("s{i}"));
+            assert_eq!(t.lookup(&format!("s{i}")), Some(id));
+            assert_eq!(t.intern(&format!("s{i}")), id, "no duplicate entry");
+        }
+        assert_eq!(t.lookup("never-interned"), None);
+        assert_eq!(t.intern_owned("s7".into()), ids[7], "owned hit dedups");
+        let owned = t.intern_owned("fresh".into());
+        assert_eq!(t.get(owned), "fresh");
+        assert!(t.heap_bytes() >= 100 * 2);
     }
 
     #[test]

@@ -12,8 +12,31 @@
 //! of unchecked errors in mask-level checkers, which "will not recognize
 //! the accidental crossing of poly and diffusion as an error since it
 //! forms a legal transistor".
+//!
+//! # Parallelism
+//!
+//! A connection verdict (touch + skeletal connectivity, or the Fig. 8
+//! cross-layer overlap test) is a pure function of one element pair, so
+//! the stage shards like the interaction search: the elements are
+//! indexed once in one [`GridIndex`], the index's insertion-order
+//! [`GridIndex::tiles`] partition the id space, and each worker scans
+//! one tile's elements against the shared index
+//! ([`check_connections_parallel`], driven by
+//! [`CheckOptions::parallelism`](crate::CheckOptions::parallelism)). A
+//! pair spanning two tiles is owned by its **lower element's tile** (the
+//! scan keeps only `j > i` — the same ownership rule the tiled
+//! interaction search uses), so every candidate pair is scored exactly
+//! once, and the per-tile results — violations, merges,
+//! `pairs_examined` — merge positionally
+//! ([`run_ordered`]): any worker count is
+//! byte-identical to serial, which the seventh differential-oracle leg
+//! (`tests/differential.rs`) pins on generated chips.
+//!
+//! The incremental checker's scoped pass ([`check_connections_among`])
+//! stays serial — its seed sets are already edit-sized.
 
 use crate::binding::ChipView;
+use crate::parallel::run_ordered;
 use crate::violations::{CheckStage, Violation, ViolationKind};
 use diic_geom::GridIndex;
 use diic_tech::{DeviceClass, InternalRule, LayerId, Technology};
@@ -60,10 +83,55 @@ pub fn device_forming_pairs(tech: &Technology) -> HashSet<(LayerId, LayerId)> {
     out
 }
 
-/// Runs the connection checks over the instantiated chip.
+/// Elements per tile for [`check_connections_parallel`] — the same
+/// insertion-order tile width the tiled interaction search defaults to,
+/// for the same reason: small enough that a tile is cache-friendly,
+/// large enough that tile bookkeeping is noise.
+const CONNECT_TILE_ELEMENTS: usize = crate::interact::DEFAULT_TILE_ELEMENTS;
+
+/// Runs the connection checks over the instantiated chip, serially —
+/// [`check_connections_parallel`] with one worker.
 pub fn check_connections(view: &ChipView, tech: &Technology) -> ConnectionResult {
-    let ids: Vec<usize> = (0..view.elements.len()).collect();
-    check_connections_among(view, tech, &ids)
+    check_connections_parallel(view, tech, 1)
+}
+
+/// [`check_connections`] with the element scan sharded by grid tile
+/// across `workers` scoped threads.
+///
+/// One [`GridIndex`] over every element is built and shared; its
+/// insertion-order [`GridIndex::tiles`] are the work units. Each tile
+/// job scans its elements against the whole index, keeping only pairs
+/// `j > i` — a pair spanning tiles is owned by its lower element's tile,
+/// so every pair is scored exactly once — and the per-tile results merge
+/// positionally: **any worker count yields a byte-identical
+/// [`ConnectionResult`]** (violations, merges, and `pairs_examined`).
+pub fn check_connections_parallel(
+    view: &ChipView,
+    tech: &Technology,
+    workers: usize,
+) -> ConnectionResult {
+    let forming = device_forming_pairs(tech);
+    let mut index: GridIndex<usize> = GridIndex::new(crate::interact::interaction_cell_size(tech));
+    for e in &view.elements {
+        index.insert(e.bbox, e.id);
+    }
+    // Slots are element ids (inserted in id order), so the tile ranges
+    // partition the id space in ascending order.
+    let tiles: Vec<std::ops::Range<u32>> = index.tiles(CONNECT_TILE_ELEMENTS).collect();
+    let shards = run_ordered(tiles.len(), workers, |k| {
+        let mut shard = ConnectionResult::default();
+        for i in tiles[k].clone() {
+            scan_element(view, tech, &index, &forming, i as usize, &mut shard);
+        }
+        shard
+    });
+    let mut result = ConnectionResult::default();
+    for mut shard in shards {
+        result.violations.append(&mut shard.violations);
+        result.merges.append(&mut shard.merges);
+        result.pairs_examined += shard.pairs_examined;
+    }
+    result
 }
 
 /// Runs the connection checks over the pairs **among** the given
@@ -90,59 +158,76 @@ pub fn check_connections_among(
     }
 
     for &i in ids {
-        let a = &view.elements[i];
-        for &j in index.query(&a.bbox) {
-            if j <= a.id {
-                continue;
-            }
-            let b = &view.elements[j];
-            // Pairs within one device instance are stage-3 territory.
-            if a.device.is_some() && a.device == b.device {
-                continue;
-            }
-            let touching = a
-                .rects
-                .iter()
-                .any(|ra| b.rects.iter().any(|rb| ra.touches(rb)));
-            if !touching {
-                continue;
-            }
+        scan_element(view, tech, &index, &forming, i, &mut result);
+    }
+    result
+}
 
-            if a.layer == b.layer {
-                result.pairs_examined += 1;
-                handle_same_layer(view, tech, a.id, j, &mut result);
+/// Scores every candidate pair `(i, j)` with `j > i` for one element —
+/// the **single** scan body behind the serial scoped pass
+/// ([`check_connections_among`]) and the tiled parallel one
+/// ([`check_connections_parallel`]), so the byte-identity contract
+/// between them cannot drift. [`GridIndex::query`] returns ids in
+/// ascending insertion order, so each element's pairs come out sorted.
+fn scan_element(
+    view: &ChipView,
+    tech: &Technology,
+    index: &GridIndex<usize>,
+    forming: &HashSet<(LayerId, LayerId)>,
+    i: usize,
+    result: &mut ConnectionResult,
+) {
+    let a = &view.elements[i];
+    for &j in index.query(&a.bbox) {
+        if j <= a.id {
+            continue;
+        }
+        let b = &view.elements[j];
+        // Pairs within one device instance are stage-3 territory.
+        if a.device.is_some() && a.device == b.device {
+            continue;
+        }
+        let touching = a
+            .rects
+            .iter()
+            .any(|ra| b.rects.iter().any(|rb| ra.touches(rb)));
+        if !touching {
+            continue;
+        }
+
+        if a.layer == b.layer {
+            result.pairs_examined += 1;
+            handle_same_layer(view, tech, a.id, j, result);
+        } else {
+            // Cross-layer overlap on a device-forming pair = implied
+            // device (Fig. 8), unless it is a device's own geometry
+            // overlapping — the declared-device case handled above by
+            // the same-instance skip; a device element overlapping
+            // *another* instance's geometry is still parasitic.
+            let key = if a.layer <= b.layer {
+                (a.layer, b.layer)
             } else {
-                // Cross-layer overlap on a device-forming pair = implied
-                // device (Fig. 8), unless it is a device's own geometry
-                // overlapping — the declared-device case handled above by
-                // the same-instance skip; a device element overlapping
-                // *another* instance's geometry is still parasitic.
-                let key = if a.layer <= b.layer {
-                    (a.layer, b.layer)
-                } else {
-                    (b.layer, a.layer)
-                };
-                if forming.contains(&key) {
-                    let overlapping = a
-                        .rects
-                        .iter()
-                        .any(|ra| b.rects.iter().any(|rb| ra.overlaps(rb)));
-                    if overlapping {
-                        result.violations.push(Violation {
-                            stage: CheckStage::Connections,
-                            kind: ViolationKind::ImpliedDevice {
-                                layer_a: tech.layer(a.layer).name.clone(),
-                                layer_b: tech.layer(b.layer).name.clone(),
-                            },
-                            location: overlap_bbox(view, a.id, j),
-                            context: context_of(view, a.id, j),
-                        });
-                    }
+                (b.layer, a.layer)
+            };
+            if forming.contains(&key) {
+                let overlapping = a
+                    .rects
+                    .iter()
+                    .any(|ra| b.rects.iter().any(|rb| ra.overlaps(rb)));
+                if overlapping {
+                    result.violations.push(Violation {
+                        stage: CheckStage::Connections,
+                        kind: ViolationKind::ImpliedDevice {
+                            layer_a: tech.layer(a.layer).name.clone(),
+                            layer_b: tech.layer(b.layer).name.clone(),
+                        },
+                        location: overlap_bbox(view, a.id, j),
+                        context: context_of(view, a.id, j),
+                    });
                 }
             }
         }
     }
-    result
 }
 
 fn handle_same_layer(
@@ -200,14 +285,14 @@ fn overlap_bbox(view: &ChipView, i: usize, j: usize) -> Option<diic_geom::Rect> 
 }
 
 fn context_of(view: &ChipView, i: usize, j: usize) -> String {
-    let a = &view.elements[i];
-    let b = &view.elements[j];
-    if a.path == b.path {
-        a.path.clone()
-    } else if a.path.is_empty() || b.path.is_empty() {
-        format!("{}{}", a.path, b.path)
+    let a = view.str(view.elements[i].path);
+    let b = view.str(view.elements[j].path);
+    if a == b {
+        a.to_string()
+    } else if a.is_empty() || b.is_empty() {
+        format!("{a}{b}")
     } else {
-        format!("{} / {}", a.path, b.path)
+        format!("{a} / {b}")
     }
 }
 

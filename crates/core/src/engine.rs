@@ -28,13 +28,13 @@
 
 use crate::binding::{ChipView, LayerBinding};
 use crate::checker::{CheckOptions, CheckReport, StageTimings};
-use crate::connect::{check_connections, ConnectionResult};
+use crate::connect::{check_connections_parallel, ConnectionResult};
 use crate::element_checks::check_elements;
 use crate::flat::{
     flat_gate_checks, flat_spacing_checks, flat_width_checks, FlatLayers, FlatOptions,
 };
 use crate::interact::{check_interactions, InteractStats};
-use crate::netgen::{generate_netlist, NetgenResult};
+use crate::netgen::{generate_netlist_parallel, NetgenResult};
 use crate::parallel::effective_parallelism;
 use crate::primitive_checks::check_primitive_symbols;
 use crate::violations::{CheckStage, Violation, ViolationKind};
@@ -643,7 +643,10 @@ impl PipelineStage for PrimitivesStage {
 }
 
 /// Stage 4 — "check legal connections": skeletal connectivity and
-/// undeclared-device detection.
+/// undeclared-device detection. The element scan is sharded by grid
+/// tile across the scoped worker pool ([`CheckOptions::parallelism`]) —
+/// each candidate pair owned by its lower element's tile, results
+/// merged positionally — byte-identical to serial for any worker count.
 pub struct ConnectionsStage;
 
 impl PipelineStage for ConnectionsStage {
@@ -656,13 +659,18 @@ impl PipelineStage for ConnectionsStage {
     }
 
     fn run(&self, ctx: &mut CheckContext<'_>) {
-        let mut conn = check_connections(ctx.view(), ctx.tech);
+        let workers = effective_parallelism(ctx.options.parallelism);
+        let mut conn = check_connections_parallel(ctx.view(), ctx.tech, workers);
         ctx.sink.append(&mut conn.violations);
         ctx.connections = Some(conn);
     }
 }
 
-/// Stage 5 — "generate hierarchical net list".
+/// Stage 5 — "generate hierarchical net list". The per-device /
+/// per-label union phase fans out over the scoped worker pool
+/// ([`CheckOptions::parallelism`]) as symbolic draft rows; the serial
+/// canonical assembly interns them in device/label order, so any worker
+/// count yields a byte-identical net list.
 pub struct NetgenStage;
 
 impl PipelineStage for NetgenStage {
@@ -681,7 +689,14 @@ impl PipelineStage for NetgenStage {
             .iter()
             .map(|l| (l.clone(), ctx.binding().layer(l.layer)))
             .collect();
-        let mut nets = generate_netlist(ctx.view(), ctx.tech, &ctx.connections().merges, &labels);
+        let workers = effective_parallelism(ctx.options.parallelism);
+        let mut nets = generate_netlist_parallel(
+            ctx.view(),
+            ctx.tech,
+            &ctx.connections().merges,
+            &labels,
+            workers,
+        );
         ctx.sink.append(&mut nets.violations);
         ctx.nets = Some(nets);
     }
@@ -786,7 +801,7 @@ impl PipelineStage for CompositionStage {
 /// Flat front end: flatten the layout and union it per mask layer (the
 /// baseline's counterpart of the instantiate stage — all topology is
 /// discarded here). The per-layer unions run across the worker pool
-/// ([`flat_stage_workers`]), byte-identical to serial.
+/// (`flat_stage_workers`), byte-identical to serial.
 pub struct FlatUnionStage {
     /// Baseline knobs (worker count).
     pub options: FlatOptions,
@@ -816,7 +831,7 @@ fn flat_stage_workers(options: &FlatOptions, ctx: &CheckContext<'_>) -> usize {
 }
 
 /// Flat width phase: shrink-expand-compare per layer, parallel over
-/// layers ([`flat_stage_workers`]).
+/// layers (`flat_stage_workers`).
 pub struct FlatWidthStage {
     /// Baseline knobs (metric, raster resolution).
     pub options: FlatOptions,
@@ -845,7 +860,7 @@ impl PipelineStage for FlatWidthStage {
 }
 
 /// Flat spacing phase: expand-check-overlap per rule entry / component,
-/// parallel over the job list ([`flat_stage_workers`]).
+/// parallel over the job list (`flat_stage_workers`).
 pub struct FlatSpacingStage {
     /// Baseline knobs (metric).
     pub options: FlatOptions,

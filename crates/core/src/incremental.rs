@@ -343,7 +343,7 @@ impl CheckSession {
             .into_iter()
             .map(|(elems, devices)| ItemRun { elems, devices })
             .collect();
-        assign_auto_net_keys(&mut view.elements, None);
+        assign_auto_net_keys(&mut view.elements, &mut view.strings, None);
         let mut instantiate_violations = std::mem::take(&mut view.violations);
         // The patch path cannot regenerate *clean* items' instantiation
         // violations (it never re-walks them), which is sound today only
@@ -378,7 +378,15 @@ impl CheckSession {
         let waived_devices = prim.waived;
         sink.absorb(prim.violations);
 
-        let conn = crate::connect::check_connections(&view, &tech);
+        // The session opens with the same parallel connection scan and
+        // netgen union phase an engine run uses (both byte-identical to
+        // serial); the patch paths below stay serial — they are
+        // edit-sized.
+        let conn = crate::connect::check_connections_parallel(
+            &view,
+            &tech,
+            options.effective_parallelism(),
+        );
         sink.absorb(conn.violations);
 
         let labels: Vec<(NetLabel, Option<LayerId>)> = layout
@@ -386,7 +394,13 @@ impl CheckSession {
             .iter()
             .map(|l| (l.clone(), binding.layer(l.layer)))
             .collect();
-        let parts = NetParts::build(&view, &tech, &conn.merges, &labels);
+        let parts = NetParts::build_parallel(
+            &view,
+            &tech,
+            &conn.merges,
+            &labels,
+            options.effective_parallelism(),
+        );
         let mut nets = parts.assemble(&view);
         sink.append(&mut nets.violations);
 
@@ -583,16 +597,25 @@ impl CheckSession {
         let (binding, bind_violations) = LayerBinding::bind(&self.layout, &self.tech);
 
         // -- Phase E: patch the view, reusing clean runs. -------------
-        let old_view = std::mem::take(&mut self.view);
+        let mut old_view = std::mem::take(&mut self.view);
         let old_runs = std::mem::take(&mut self.runs);
         let old_tags = std::mem::take(&mut self.elem_tags);
         let old_element_count = old_view.elements.len();
+        // The interner survives the patch: it is append-only, so the
+        // reused runs' `Istr` handles stay valid and fresh items intern
+        // into the same table (stale strings simply stop being
+        // referenced — compaction is not worth a whole-view rewrite per
+        // edit, and the rebuild fallback resets the table anyway).
+        let strings = std::mem::take(&mut old_view.strings);
         let mut old_elems: Vec<Option<crate::binding::ChipElement>> =
             old_view.elements.into_iter().map(Some).collect();
         let mut old_devs: Vec<Option<crate::binding::DeviceInstance>> =
             old_view.devices.into_iter().map(Some).collect();
 
-        let mut view = ChipView::default();
+        let mut view = ChipView {
+            strings,
+            ..ChipView::default()
+        };
         let mut tags: Vec<ElemTag> = Vec::with_capacity(old_element_count);
         let mut runs: Vec<ItemRun> = Vec::with_capacity(slots.len());
         let mut old_to_new: Vec<Option<usize>> = vec![None; old_element_count];
@@ -686,7 +709,7 @@ impl CheckSession {
         // Auto net keys: re-derive only identity groups with a changed
         // member (the seed mask covers removed duplicates — they share
         // their bbox with their survivors by definition).
-        let rekeyed = assign_auto_net_keys(&mut view.elements, Some(&seed));
+        let rekeyed = assign_auto_net_keys(&mut view.elements, &mut view.strings, Some(&seed));
         stats.t_view = t_start.elapsed();
 
         // -- Phase F: patch connections. ------------------------------
@@ -723,12 +746,13 @@ impl CheckSession {
             // Re-keyed survivors keep their netted-ness; fresh elements
             // are handled below.
             if element_node[id].is_some() {
-                element_node[id] = Some(self.parts.node(&view.elements[id].net_key));
+                element_node[id] = Some(self.parts.node(view.str(view.elements[id].net_key)));
             }
         }
         for (id, e) in view.elements.iter().enumerate() {
             if dirty_elem[id] {
-                element_node[id] = element_is_netted(&view, e).then(|| self.parts.node(&e.net_key));
+                element_node[id] =
+                    element_is_netted(&view, e).then(|| self.parts.node(view.str(e.net_key)));
             }
         }
         // Net-neutral fast-path candidate: an edit that provably leaves
@@ -1067,7 +1091,7 @@ impl CheckSession {
     }
 
     /// Streams the cached canonical report through any
-    /// [`Sink`](crate::engine::Sink) — pair it with a
+    /// [`Sink`] — pair it with a
     /// [`StreamingSink`](crate::engine::StreamingSink) to export a
     /// session's report without materialising a second copy. (The
     /// session keeps its own canonical buffer: report patching retracts

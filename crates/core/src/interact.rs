@@ -530,7 +530,7 @@ fn hierarchical_plan_fill(
         }
     }
     for e in &view.elements {
-        let top = e.path.split('.').next().unwrap_or("");
+        let top = view.str(e.path).split('.').next().unwrap_or("");
         if top.is_empty() {
             loose.push(e.id);
         } else if let Some(&s) = path_to_scope.get(top) {
@@ -852,7 +852,7 @@ fn evaluate_pair(
     for (own, other) in [(i, j), (j, i)] {
         let eo = &view.elements[own];
         let Some(d) = eo.device else { continue };
-        let Some(arch) = tech.device(&view.devices[d].device_type) else {
+        let Some(arch) = tech.device(view.str(view.devices[d].device_type)) else {
             continue;
         };
         if let Some(o) = arch.find_override(eo.layer, view.elements[other].layer) {
@@ -963,7 +963,7 @@ fn evaluate_pair(
                 same_net,
             },
             location: Some(gap_loc),
-            context: pair_context(a, b),
+            context: pair_context(view, a, b),
         });
     }
 }
@@ -992,11 +992,15 @@ fn element_distance(a: &[Rect], b: &[Rect], metric: SizingMode) -> Option<(Coord
     best
 }
 
-fn pair_context(a: &crate::binding::ChipElement, b: &crate::binding::ChipElement) -> String {
+fn pair_context(
+    view: &ChipView,
+    a: &crate::binding::ChipElement,
+    b: &crate::binding::ChipElement,
+) -> String {
     if a.path == b.path {
-        a.path.clone()
+        view.str(a.path).to_string()
     } else {
-        format!("{} / {}", a.path, b.path)
+        format!("{} / {}", view.str(a.path), view.str(b.path))
     }
 }
 

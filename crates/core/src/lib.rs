@@ -31,23 +31,31 @@
 //! alternative stage set ([`StageEngine::flat_baseline`], module
 //! [`flat`]).
 //!
-//! The interaction stage is **embarrassingly parallel**: candidate
-//! pairs are enumerated in a canonical order (hierarchically cached per
-//! symbol and per relative placement — with the distinct cache fills
-//! shared across threads — or from one flat grid index) and evaluated
-//! across a scoped thread pool when [`CheckOptions::parallelism`] asks
-//! for it. The flat baseline's per-layer Boolean work parallelises the
-//! same way ([`FlatOptions::parallelism`], module [`parallel`]). Serial
-//! and parallel runs produce byte-identical reports, and the flat and
-//! hierarchical interaction searches agree on the violation *set* —
-//! the four-way guarantee `tests/differential.rs` checks on generated
-//! chips with injected faults.
+//! Every heavy stage is **parallel and deterministic** on one shared
+//! worker discipline (module [`parallel`]: ordered job list,
+//! work-stealing pool, positional merge — byte-identical for any worker
+//! count, all behind [`CheckOptions::parallelism`]): instantiation is
+//! sharded per top-level item, the connection scan is sharded by grid
+//! tile (each pair owned by its lower element's tile), the netgen union
+//! phase fans out per device/label as symbolic draft rows interned
+//! serially in canonical order, the interaction search enumerates
+//! (hierarchically cached per symbol and per relative placement — with
+//! the distinct cache fills shared across threads — or from one flat
+//! grid index) and evaluates candidates across the pool, and the flat
+//! baseline's per-layer Boolean work parallelises the same way
+//! ([`FlatOptions::parallelism`]). The flat and hierarchical
+//! interaction searches agree on the violation *set* — the four-way
+//! guarantee `tests/differential.rs` checks on generated chips with
+//! injected faults; its seventh leg pins the parallel
+//! connections/netgen stages against serial.
 //!
 //! # Memory model
 //!
 //! Candidate and diagnostic memory is **O(tile), not O(chip)** (the
 //! instantiated [`ChipView`] itself remains O(elements) — it *is* the
-//! chip): instantiation is sharded per top-level item
+//! chip, with its per-element `path` / `net_key` / device-type strings
+//! stored once behind `u32` handles in a [`StringInterner`] to shrink
+//! that floor): instantiation is sharded per top-level item
 //! ([`binding::instantiate_parallel`]), the interaction stage streams
 //! candidate pairs tile by tile — one tile buffer per live worker —
 //! instead of materialising the all-pairs list
@@ -59,6 +67,10 @@
 //! to the buffered paths — the sixth differential leg
 //! (`tests/differential.rs`) and the sink oracle (`tests/sinks.rs`)
 //! prove it on generated chips.
+//!
+//! The full architecture — object model, parallelism model, memory
+//! model, and the test-oracle map — is documented in
+//! `docs/ARCHITECTURE.md` at the repository root.
 //!
 //! The checking stages themselves (paper Fig. 10):
 //!
@@ -113,10 +125,13 @@ pub mod primitive_checks;
 pub mod report;
 pub mod violations;
 
-pub use binding::{instantiate_parallel, ChipElement, ChipView, DeviceInstance, LayerBinding};
+pub use binding::{
+    instantiate_parallel, ChipElement, ChipView, DeviceInstance, Istr, LayerBinding, StringInterner,
+};
 pub use checker::{
     check, check_cif, check_with_engine, check_with_sink, CheckOptions, CheckReport, StageTimings,
 };
+pub use connect::{check_connections, check_connections_parallel, ConnectionResult};
 pub use engine::{
     CheckContext, CountingSink, DiagnosticSink, PipelineStage, Sink, StageEngine, StageTime,
     StreamingSink,
@@ -124,6 +139,7 @@ pub use engine::{
 pub use flat::{flat_check, FlatLayers, FlatOptions};
 pub use incremental::{canonical_check, CheckSession, Edit, EditError, EditSet, EditStats};
 pub use interact::{interaction_cell_size, max_rule_range, InteractOptions, InteractStats};
+pub use netgen::{generate_netlist, generate_netlist_parallel, NetgenResult};
 pub use parallel::{effective_parallelism, env_parallelism};
 pub use report::{
     account, canonical_sort, category_of, format_report, merge_canonical, ErrorRegions,

@@ -6,15 +6,37 @@
 //! net list available, it is now possible to check electrical construction
 //! rules or to check the net list against an input net list for
 //! consistency."
+//!
+//! # Parallelism
+//!
+//! Net-list generation splits into a **per-scope union phase** and a
+//! serial canonical assembly. The union phase — binding each device's
+//! terminals and each label's point to the elements covering them — is a
+//! pure function per device/label of the (read-only) view and the shared
+//! [`BindIndex`], so it fans out over the worker pool
+//! ([`crate::parallel::run_chunked`]) as symbolic **draft
+//! rows**: the covering element ids plus the key *strings* a serial
+//! build would intern, in intern order. The serial fold then interns the
+//! drafts in device/label order — exactly the order a serial
+//! [`NetParts::build`] calls [`NetParts::node`] — so the int-keyed graph
+//! is numbered identically and the assembled net list is
+//! **byte-identical for any worker count**
+//! ([`NetParts::build_parallel`], driven by
+//! [`CheckOptions::parallelism`](crate::CheckOptions::parallelism); the
+//! seventh differential-oracle leg in `tests/differential.rs` pins it).
+//! The assembly itself ([`NetParts::assemble`] →
+//! [`assemble_netlist`]) stays serial: it is a global union-find plus
+//! canonical naming, the same fold the incremental session re-runs after
+//! patching rows.
 
 use crate::binding::{ChipElement, ChipView};
 use crate::connect::is_joining_class;
+use crate::parallel::run_chunked;
 use crate::violations::Violation;
 use diic_cif::NetLabel;
 use diic_geom::{GridIndex, Point};
 use diic_netlist::{assemble_netlist, AssembleDevice, NetId, Netlist};
 use diic_tech::{DeviceClass, LayerId, Technology};
-use std::collections::HashMap;
 
 /// Output of net-list generation.
 #[derive(Debug, Clone)]
@@ -121,8 +143,10 @@ pub struct LabelParts {
 /// net list byte-identical to a from-scratch build.
 #[derive(Debug, Clone, Default)]
 pub struct NetParts {
-    interner: HashMap<String, u32>,
-    names: Vec<String>,
+    /// The key store: one copy per distinct key
+    /// ([`crate::binding::StringInterner`] — node ids are its raw
+    /// indices).
+    keys: crate::binding::StringInterner,
     /// Node per element id; `None` for un-netted device internals.
     pub element_node: Vec<Option<u32>>,
     /// Node-pair edges from the connection stage's merges.
@@ -137,40 +161,65 @@ pub struct NetParts {
 impl NetParts {
     /// Interns a net key, returning its stable node id.
     pub fn node(&mut self, key: &str) -> u32 {
-        if let Some(&n) = self.interner.get(key) {
-            return n;
-        }
-        let n = self.names.len() as u32;
-        self.interner.insert(key.to_string(), n);
-        self.names.push(key.to_string());
-        n
+        self.keys.intern(key).index()
     }
 
     /// The key behind a node.
     pub fn name(&self, node: u32) -> &str {
-        &self.names[node as usize]
+        self.keys.get(crate::binding::Istr::from_index(node))
     }
 
-    /// Builds the full graph for a view.
+    /// Builds the full graph for a view, serially —
+    /// [`NetParts::build_parallel`] with one worker.
     pub fn build(
         view: &ChipView,
         tech: &Technology,
         merges: &[(usize, usize)],
         labels: &[(NetLabel, Option<LayerId>)],
     ) -> NetParts {
+        NetParts::build_parallel(view, tech, merges, labels, 1)
+    }
+
+    /// [`NetParts::build`] with the per-device / per-label union phase
+    /// fanned out over `workers` scoped threads.
+    ///
+    /// The parallel jobs compute symbolic `DeviceDraft` /
+    /// `LabelDraft` rows (covering-element ids plus fresh key strings
+    /// in intern order); the serial fold then interns them in
+    /// device/label order — the same first-occurrence order a serial
+    /// build interns in — so node numbering, rows, and the assembled
+    /// net list are **byte-identical for any worker count**.
+    pub fn build_parallel(
+        view: &ChipView,
+        tech: &Technology,
+        merges: &[(usize, usize)],
+        labels: &[(NetLabel, Option<LayerId>)],
+        workers: usize,
+    ) -> NetParts {
         let mut parts = NetParts::default();
         for e in &view.elements {
-            let node = element_is_netted(view, e).then(|| parts.node(&e.net_key));
+            let node = element_is_netted(view, e).then(|| parts.node(view.str(e.net_key)));
             parts.element_node.push(node);
         }
         parts.set_conn_edges(merges);
         let bind = BindIndex::build(view, tech);
-        for di in 0..view.devices.len() {
-            let row = parts.device_parts(view, di, &bind);
+        // Union phase: chunked draft jobs over the device and label
+        // lists (one contiguous chunk per job keeps run_ordered's
+        // per-job overhead off the per-device scale).
+        let dev_drafts = run_chunked(view.devices.len(), workers, |di| {
+            device_draft(view, di, &bind)
+        });
+        let label_drafts = run_chunked(labels.len(), workers, |li| {
+            let (label, layer) = &labels[li];
+            label_draft(view, label, *layer, &bind)
+        });
+        // Serial fold: intern in device/label order.
+        for draft in dev_drafts {
+            let row = parts.intern_device_draft(draft);
             parts.devices.push(row);
         }
-        for (label, layer) in labels {
-            let row = parts.label_parts(view, label, *layer, &bind);
+        for draft in label_drafts {
+            let row = parts.intern_label_draft(draft);
             parts.labels.push(row);
         }
         parts
@@ -190,40 +239,16 @@ impl NetParts {
     }
 
     /// Computes one device's row (used for initial build and for
-    /// re-binding a device whose neighbourhood changed).
+    /// re-binding a device whose neighbourhood changed) — the draft
+    /// computation plus an immediate intern, so the incremental
+    /// session's re-rows and the parallel build share one emission
+    /// order.
     pub fn device_parts(&mut self, view: &ChipView, di: usize, bind: &BindIndex) -> DeviceParts {
-        let dev = &view.devices[di];
-        let mut row = DeviceParts::default();
-        if is_joining_class(dev.class) {
-            // One net for the whole device.
-            let dev_node = self.node(&format!("{}.#", dev.path));
-            for &eid in &dev.element_ids {
-                let node = self.element_node[eid].expect("joining device geometry is netted");
-                row.edges.push((dev_node, node));
-            }
-            for (tname, _, _) in &dev.terminals {
-                row.terms.push((tname.clone(), dev_node));
-            }
-            if dev.terminals.is_empty() {
-                // Still a device on its single net.
-                row.terms.push(("A".to_string(), dev_node));
-            }
-        } else {
-            // Terminal-separated device: each terminal is its own key,
-            // bound to covering elements.
-            for (tname, layer, pos) in &dev.terminals {
-                let term_node = self.node(&format!("{}.{}", dev.path, tname));
-                for id in bind.elements_at(view, *layer, *pos) {
-                    let node = self.element_node[id].expect("bindable elements are netted");
-                    row.edges.push((term_node, node));
-                }
-                row.terms.push((tname.clone(), term_node));
-            }
-        }
-        row
+        let draft = device_draft(view, di, bind);
+        self.intern_device_draft(draft)
     }
 
-    /// Computes one label's row.
+    /// Computes one label's row (see [`NetParts::device_parts`]).
     pub fn label_parts(
         &mut self,
         view: &ChipView,
@@ -231,19 +256,55 @@ impl NetParts {
         layer: Option<LayerId>,
         bind: &BindIndex,
     ) -> LabelParts {
-        let Some(layer) = layer else {
+        let draft = label_draft(view, label, layer, bind);
+        self.intern_label_draft(draft)
+    }
+
+    /// Resolves a symbolic device draft against the interner and the
+    /// element-node map, in the draft's recorded intern order. Fresh
+    /// keys are interned **by move** — a miss keeps the draft's own
+    /// allocation instead of copying it.
+    fn intern_device_draft(&mut self, draft: DeviceDraft) -> DeviceParts {
+        let nodes: Vec<u32> = draft
+            .keys
+            .into_iter()
+            .map(|k| self.keys.intern_owned(k.into()).index())
+            .collect();
+        DeviceParts {
+            terms: draft
+                .terms
+                .into_iter()
+                .map(|(tname, ki)| (tname, nodes[ki]))
+                .collect(),
+            edges: draft
+                .edges
+                .into_iter()
+                .map(|(ki, eid)| {
+                    let node = self.element_node[eid].expect(draft.expect);
+                    (nodes[ki], node)
+                })
+                .collect(),
+        }
+    }
+
+    /// Resolves a symbolic label draft (see
+    /// [`NetParts::intern_device_draft`]).
+    fn intern_label_draft(&mut self, draft: LabelDraft) -> LabelParts {
+        let Some(draft) = draft.0 else {
             return LabelParts::default();
         };
-        let node = self.node(&label.net);
-        let mut row = LabelParts {
+        let node = self.keys.intern_owned(draft.key.into()).index();
+        LabelParts {
             node: Some(node),
-            edges: Vec::new(),
-        };
-        for id in bind.elements_at(view, layer, label.position) {
-            let elem = self.element_node[id].expect("bindable elements are netted");
-            row.edges.push((node, elem));
+            edges: draft
+                .bound
+                .into_iter()
+                .map(|id| {
+                    let elem = self.element_node[id].expect("bindable elements are netted");
+                    (node, elem)
+                })
+                .collect(),
         }
-        row
     }
 
     /// Assembles the canonical net list and per-element / per-terminal
@@ -259,10 +320,7 @@ impl NetParts {
         }
         live.sort_unstable();
         live.dedup();
-        let nodes: Vec<(u32, &str)> = live
-            .iter()
-            .map(|&n| (n, self.names[n as usize].as_str()))
-            .collect();
+        let nodes: Vec<(u32, &str)> = live.iter().map(|&n| (n, self.name(n))).collect();
 
         let mut edges: Vec<(u32, u32)> = self.conn_edges.clone();
         for d in &self.devices {
@@ -277,8 +335,8 @@ impl NetParts {
             .iter()
             .zip(&self.devices)
             .map(|(dev, row)| AssembleDevice {
-                name: &dev.path,
-                device_type: &dev.device_type,
+                name: view.str(dev.path),
+                device_type: view.str(dev.device_type),
                 class: dev.class.unwrap_or(DeviceClass::Capacitor),
                 terminals: row.terms.iter().map(|(t, n)| (t.as_str(), *n)).collect(),
             })
@@ -286,7 +344,7 @@ impl NetParts {
 
         let (netlist, node_nets) = assemble_netlist(&nodes, &edges, &devices);
         // Dense node → net map (nodes are interner indices).
-        let mut node_to_net: Vec<Option<NetId>> = vec![None; self.names.len()];
+        let mut node_to_net: Vec<Option<NetId>> = vec![None; self.keys.len()];
         for (&(node, _), &net) in nodes.iter().zip(&node_nets) {
             node_to_net[node as usize] = Some(net);
         }
@@ -316,7 +374,88 @@ impl NetParts {
     }
 }
 
-/// Generates the hierarchical net list.
+/// One device's symbolic row before interning: the fresh node keys in
+/// the exact order a serial build interns them, with terminals and
+/// edges referencing key indices and covering-element ids. Pure data —
+/// computable on any worker without touching the shared interner.
+#[derive(Debug, Clone, Default)]
+struct DeviceDraft {
+    /// Fresh node keys, in serial intern order (one for a joining
+    /// device, one per terminal otherwise).
+    keys: Vec<String>,
+    /// `(terminal-name, key index)` pairs, in terminal order.
+    terms: Vec<(String, usize)>,
+    /// `(key index, element id)` edges, in serial emission order.
+    edges: Vec<(usize, usize)>,
+    /// The element-node expectation message (differs between joining
+    /// and terminal-separated rows).
+    expect: &'static str,
+}
+
+/// One label's symbolic row before interning; `None` when the label's
+/// layer is unknown.
+#[derive(Debug, Clone, Default)]
+struct LabelDraft(Option<LabelDraftInner>);
+
+#[derive(Debug, Clone)]
+struct LabelDraftInner {
+    key: String,
+    bound: Vec<usize>,
+}
+
+/// Computes one device's symbolic draft row (read-only — the parallel
+/// union phase's job body).
+fn device_draft(view: &ChipView, di: usize, bind: &BindIndex) -> DeviceDraft {
+    let dev = &view.devices[di];
+    let mut draft = DeviceDraft::default();
+    if is_joining_class(dev.class) {
+        // One net for the whole device.
+        draft.expect = "joining device geometry is netted";
+        draft.keys.push(format!("{}.#", view.str(dev.path)));
+        for &eid in &dev.element_ids {
+            draft.edges.push((0, eid));
+        }
+        for (tname, _, _) in &dev.terminals {
+            draft.terms.push((tname.clone(), 0));
+        }
+        if dev.terminals.is_empty() {
+            // Still a device on its single net.
+            draft.terms.push(("A".to_string(), 0));
+        }
+    } else {
+        // Terminal-separated device: each terminal is its own key,
+        // bound to covering elements.
+        draft.expect = "bindable elements are netted";
+        for (tname, layer, pos) in &dev.terminals {
+            let ki = draft.keys.len();
+            draft.keys.push(format!("{}.{}", view.str(dev.path), tname));
+            for id in bind.elements_at(view, *layer, *pos) {
+                draft.edges.push((ki, id));
+            }
+            draft.terms.push((tname.clone(), ki));
+        }
+    }
+    draft
+}
+
+/// Computes one label's symbolic draft row (read-only).
+fn label_draft(
+    view: &ChipView,
+    label: &NetLabel,
+    layer: Option<LayerId>,
+    bind: &BindIndex,
+) -> LabelDraft {
+    let Some(layer) = layer else {
+        return LabelDraft(None);
+    };
+    LabelDraft(Some(LabelDraftInner {
+        key: label.net.clone(),
+        bound: bind.elements_at(view, layer, label.position),
+    }))
+}
+
+/// Generates the hierarchical net list, serially —
+/// [`generate_netlist_parallel`] with one worker.
 ///
 /// * interconnect elements get their declared (`9N`, path-qualified) or
 ///   auto net keys;
@@ -335,7 +474,21 @@ pub fn generate_netlist(
     merges: &[(usize, usize)],
     labels: &[(NetLabel, Option<LayerId>)],
 ) -> NetgenResult {
-    NetParts::build(view, tech, merges, labels).assemble(view)
+    generate_netlist_parallel(view, tech, merges, labels, 1)
+}
+
+/// [`generate_netlist`] with the per-scope union phase fanned out over
+/// `workers` scoped threads ([`NetParts::build_parallel`]) — the
+/// assembly stays serial and canonical, so any worker count produces a
+/// byte-identical [`NetgenResult`].
+pub fn generate_netlist_parallel(
+    view: &ChipView,
+    tech: &Technology,
+    merges: &[(usize, usize)],
+    labels: &[(NetLabel, Option<LayerId>)],
+    workers: usize,
+) -> NetgenResult {
+    NetParts::build_parallel(view, tech, merges, labels, workers).assemble(view)
 }
 
 #[cfg(test)]

@@ -1,9 +1,8 @@
 //! Shared worker-pool plumbing for every parallel path in the pipeline.
 //!
-//! All three parallel hot paths — the flat baseline's per-layer Boolean
-//! work ([`crate::flat`]), the interaction stage's candidate enumeration
-//! and its pair evaluation ([`crate::interact`]) — follow one
-//! discipline, implemented once here:
+//! The paper's pipeline decomposes into stages whose inner work is pure
+//! per work-unit — which is why every parallel hot path in the crate
+//! follows one discipline, implemented once here:
 //!
 //! 1. split the work into a **deterministic, ordered job list**;
 //! 2. execute the jobs on a scoped thread pool (work-stealing via an
@@ -14,6 +13,21 @@
 //! positional, any worker count — including 1 — produces byte-identical
 //! output. That invariant is what the differential test oracle
 //! (`tests/differential.rs`) checks end to end.
+//!
+//! The paths that ride this pool, in pipeline order:
+//!
+//! * **sharded instantiation** — one walk job per top-level item,
+//!   stitched with stable ids ([`crate::binding::instantiate_parallel`]);
+//! * the **connection stage**'s tile-sharded pair scan
+//!   ([`crate::connect::check_connections_parallel`] — each pair owned
+//!   by its lower element's tile);
+//! * the **netgen union phase** — per-device / per-label draft rows,
+//!   interned serially in canonical order
+//!   ([`crate::netgen::NetParts::build_parallel`]);
+//! * the **interaction stage**'s candidate enumeration (flat tile walk
+//!   or hierarchical cache fills) and pair evaluation
+//!   ([`crate::interact`]);
+//! * the **flat baseline**'s per-layer Boolean work ([`crate::flat`]).
 //!
 //! The two user-facing knobs ([`crate::CheckOptions::parallelism`] and
 //! [`crate::FlatOptions::parallelism`]) are both resolved through the
@@ -112,9 +126,47 @@ where
         .collect()
 }
 
+/// Runs `job(0)`, …, `job(n - 1)` across the worker pool in contiguous
+/// **chunks** and returns the results in index order — the fan-out
+/// shape for fine-grained per-item work (e.g. the netgen union phase's
+/// per-device draft rows), where one [`run_ordered`] slot per item
+/// would drown the work in bookkeeping. A few chunks per worker keep
+/// unevenly sized items balanced; like [`run_ordered`], the positional
+/// merge makes any worker count byte-identical. (Jobs that carry
+/// per-chunk state of their own — the interaction stage's stat-folding
+/// chunks — use [`run_ordered`] directly.)
+pub fn run_chunked<T, F>(n: usize, workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || n < 2 {
+        return (0..n).map(job).collect();
+    }
+    let chunk = n.div_ceil(workers * 4).max(1);
+    let chunks = n.div_ceil(chunk);
+    run_ordered(chunks, workers, |k| {
+        let lo = k * chunk;
+        ((lo..(lo + chunk).min(n)).map(&job)).collect::<Vec<T>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn run_chunked_preserves_index_order() {
+        let serial: Vec<usize> = run_chunked(103, 1, |i| i * 3);
+        for workers in [2usize, 3, 8] {
+            assert_eq!(run_chunked(103, workers, |i| i * 3), serial, "{workers}");
+        }
+        assert!(run_chunked(0, 4, |i| i).is_empty());
+        assert_eq!(run_chunked(1, 4, |i| i + 7), vec![7]);
+    }
 
     #[test]
     fn zero_clamps_to_available_cores() {

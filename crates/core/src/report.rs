@@ -1,4 +1,5 @@
-//! Report formatting and the Fig. 1 error-region accounting.
+//! Report formatting, canonical ordering, and the Fig. 1 error-region
+//! accounting.
 //!
 //! The paper's Fig. 1 partitions the world into: region 1 — real errors
 //! **not** flagged (unchecked); region 2 — real errors flagged; region 3 —
@@ -6,6 +7,16 @@
 //! injected errors, [`account`] classifies a checker's output and computes
 //! the false:real ratio ("the ratio of false to real errors can be 10 to 1
 //! or higher").
+//!
+//! This module also owns the **canonical report order** the rest of the
+//! crate leans on: [`canonical_sort`] (stage rank, then the violation's
+//! total debug rendering) is the order every differential oracle
+//! compares in and the form the incremental session caches its report
+//! in, and [`merge_canonical`] is the linear splice that keeps report
+//! patching O(kept + fresh) instead of a full re-sort per edit. Stage
+//! ranks ([`stage_rank`] / [`STAGE_COUNT`]) size every per-stage array
+//! in the crate, so a new [`CheckStage`] variant fails the build here
+//! rather than panicking at the first out-of-bounds count.
 
 use crate::violations::{CheckStage, Violation};
 use diic_geom::Rect;

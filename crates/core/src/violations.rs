@@ -1,4 +1,15 @@
 //! The violation model: what the checker reports.
+//!
+//! The paper's Fig. 1 argument is about report *quality* — fewer false
+//! errors, no unchecked errors — so every finding carries the three
+//! things that make a report actionable: the pipeline stage that found
+//! it ([`CheckStage`], Fig. 10's boxes), a typed [`ViolationKind`] with
+//! the measured-vs-required numbers (not just a marker), and a
+//! topological `context` string (the instance paths involved, rendered
+//! from the chip view's interned strings). Violations are plain data:
+//! ordering, deduplication and accounting live in [`crate::report`],
+//! and transport (buffer / stream / count) in the
+//! [`Sink`](crate::engine::Sink) trait.
 
 use diic_geom::{Coord, Rect};
 use diic_netlist::ErcRule;

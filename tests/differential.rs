@@ -33,10 +33,22 @@
 //! buffered all-pairs baseline under both engines and both worker
 //! counts, with identical statistics apart from the candidate-buffer
 //! peak it exists to bound.
+//!
+//! The **seventh leg** (`parallel_connections_and_netgen_equal_serial`)
+//! pins the two stages parallelised after the interaction search: the
+//! tile-sharded connection scan and the netgen per-scope union phase
+//! must produce byte-identical results — violations, merges,
+//! `pairs_examined`, and the assembled net list — for any worker count.
+//! Alongside it, `interned_strings_round_trip` proves the `ChipView`
+//! string interner is a pure storage decision: every rendered
+//! `path` / `net_key` string resolves back to its own handle, parallel
+//! instantiation renders the same strings as serial, and shared paths
+//! collapse to single interner entries.
 
 use diic::core::{
-    account, check_cif, env_parallelism, flat_check, CheckOptions, CheckReport, FlatOptions,
-    Violation,
+    account, check_cif, check_connections, check_connections_parallel, env_parallelism, flat_check,
+    generate_netlist, generate_netlist_parallel, instantiate_parallel, CheckOptions, CheckReport,
+    FlatOptions, LayerBinding, Violation,
 };
 use diic::gen::{generate, ChipSpec, ErrorKind};
 use diic::tech::nmos::nmos_technology;
@@ -217,6 +229,116 @@ proptest! {
                     buffered.interact_stats.peak_candidate_buffer
                 );
             }
+        }
+    }
+
+    /// The **seventh leg**: the tile-sharded connection scan and the
+    /// netgen per-scope union phase must be byte-identical to their
+    /// serial forms for any worker count — stage outputs compared
+    /// directly (violations, merges, pairs examined, the assembled net
+    /// list and per-element / per-terminal resolutions), not just the
+    /// end-to-end report.
+    #[test]
+    fn parallel_connections_and_netgen_equal_serial(
+        nx in 2usize..5,
+        ny in 1usize..3,
+        seed in 0u64..1_000_000,
+        mask in 1u16..512,
+    ) {
+        let tech = nmos_technology();
+        let errors: Vec<ErrorKind> = ErrorKind::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, k)| *k)
+            .take(nx * ny)
+            .collect();
+        let chip = generate(&ChipSpec::with_errors(nx, ny, errors, seed));
+        let layout = diic::cif::parse(&chip.cif).expect("generated chips always parse");
+        let (binding, _) = LayerBinding::bind(&layout, &tech);
+        let view = instantiate_parallel(&layout, &tech, &binding, 1);
+        let labels: Vec<_> = layout
+            .labels()
+            .iter()
+            .map(|l| (l.clone(), binding.layer(l.layer)))
+            .collect();
+
+        let conn_serial = check_connections(&view, &tech);
+        let nets_serial = generate_netlist(&view, &tech, &conn_serial.merges, &labels);
+        let wide = wide_workers();
+        for workers in [2usize, 3, wide] {
+            let conn = check_connections_parallel(&view, &tech, workers);
+            prop_assert_eq!(
+                &conn.violations, &conn_serial.violations,
+                "connections: {} workers diverge (nx={} ny={} seed={} mask={:#b})",
+                workers, nx, ny, seed, mask
+            );
+            prop_assert_eq!(&conn.merges, &conn_serial.merges, "workers={}", workers);
+            prop_assert_eq!(conn.pairs_examined, conn_serial.pairs_examined);
+
+            let nets = generate_netlist_parallel(&view, &tech, &conn.merges, &labels, workers);
+            prop_assert_eq!(
+                &nets.netlist, &nets_serial.netlist,
+                "netgen: {} workers diverge (nx={} ny={} seed={} mask={:#b})",
+                workers, nx, ny, seed, mask
+            );
+            prop_assert_eq!(&nets.element_net, &nets_serial.element_net);
+            prop_assert_eq!(&nets.device_terminal_nets, &nets_serial.device_terminal_nets);
+        }
+    }
+
+    /// The interner round-trip oracle: interning `path` / `net_key` /
+    /// device-type strings behind `u32` handles must not change a
+    /// single rendered string. Every handle resolves back to itself
+    /// through a read-only lookup, parallel (sharded) instantiation
+    /// renders exactly the serial strings, and elements sharing an
+    /// instance share one interned path entry.
+    #[test]
+    fn interned_strings_round_trip(
+        nx in 2usize..5,
+        ny in 1usize..3,
+        seed in 0u64..1_000_000,
+        mask in 1u16..512,
+    ) {
+        let tech = nmos_technology();
+        // Faulted chips, like the other legs: injected errors perturb
+        // instance geometry and paths, so the oracle sees genuinely
+        // distinct string populations, not one clean array per size.
+        let errors: Vec<ErrorKind> = ErrorKind::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, k)| *k)
+            .take(nx * ny)
+            .collect();
+        let chip = generate(&ChipSpec::with_errors(nx, ny, errors, seed));
+        let layout = diic::cif::parse(&chip.cif).expect("generated chips always parse");
+        let (binding, _) = LayerBinding::bind(&layout, &tech);
+        let serial = instantiate_parallel(&layout, &tech, &binding, 1);
+        let wide = instantiate_parallel(&layout, &tech, &binding, wide_workers().max(2));
+
+        let mut distinct = std::collections::HashSet::new();
+        for e in &serial.elements {
+            // Round trip: the rendered string resolves back to the
+            // handle that rendered it (the interner stores one copy).
+            prop_assert_eq!(serial.strings.lookup(serial.str(e.net_key)), Some(e.net_key));
+            prop_assert_eq!(serial.strings.lookup(serial.str(e.path)), Some(e.path));
+            distinct.insert(serial.str(e.path).to_string());
+        }
+        prop_assert!(
+            distinct.len() < serial.elements.len() || serial.elements.len() <= 1,
+            "generated chips share instance paths; interning found none shared"
+        );
+        // Parallel instantiation renders the same strings element for
+        // element, device for device.
+        prop_assert_eq!(serial.elements.len(), wide.elements.len());
+        for (a, b) in serial.elements.iter().zip(&wide.elements) {
+            prop_assert_eq!(serial.str(a.net_key), wide.str(b.net_key));
+            prop_assert_eq!(serial.str(a.path), wide.str(b.path));
+        }
+        for (a, b) in serial.devices.iter().zip(&wide.devices) {
+            prop_assert_eq!(serial.str(a.path), wide.str(b.path));
+            prop_assert_eq!(serial.str(a.device_type), wide.str(b.device_type));
         }
     }
 
