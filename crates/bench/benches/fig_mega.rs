@@ -1,8 +1,11 @@
 //! Bounded-memory bench: tiled streaming vs buffered interaction
 //! evaluation, and buffering vs streaming/counting sinks, on a
-//! mega-chip slice — the memory-model knobs PR 4 added.
+//! mega-chip slice — the memory-model knobs PR 4 added — plus a
+//! wall-clock gate over the tiled end-to-end check, so a batch-kernel
+//! or candidate-search regression fails the bench run loudly instead
+//! of drifting in unread medians.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use diic_core::{check, check_with_sink, CheckOptions, CountingSink, StageEngine};
 use diic_tech::nmos::nmos_technology;
 
@@ -52,4 +55,47 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+
+/// The wall-clock assertion: the tiled check of a 20k-element mega
+/// slice must finish within `FIG_MEGA_MAX_MS` milliseconds (default
+/// 10 000 — generous against runner noise, loud against algorithmic
+/// regressions in the columnar batch kernels or the candidate search,
+/// which blow past it by orders of magnitude). Takes the best of
+/// three runs so a one-off scheduler stall cannot fail the gate.
+fn wall_clock_gate() {
+    let tech = nmos_technology();
+    let chip = diic_gen::mega_chip(20_000);
+    let layout = diic_cif::parse(&chip.cif).unwrap();
+    let max_ms: u64 = std::env::var("FIG_MEGA_MAX_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let opts = CheckOptions {
+        erc: false,
+        parallelism: 0,
+        ..CheckOptions::default() // tiled interactions are the default
+    };
+    let best = (0..3)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            criterion::black_box(check(&layout, &tech, &opts));
+            t0.elapsed()
+        })
+        .min()
+        .expect("three timed runs");
+    println!(
+        "fig_mega wall-clock gate: best tiled check {:.1} ms (ceiling {max_ms} ms)",
+        best.as_secs_f64() * 1e3
+    );
+    assert!(
+        best.as_millis() as u64 <= max_ms,
+        "tiled mega check took {:.1} ms, over the {max_ms} ms ceiling — \
+         a kernel or candidate-search regression",
+        best.as_secs_f64() * 1e3
+    );
+}
+
+fn main() {
+    benches();
+    wall_clock_gate();
+}

@@ -937,6 +937,122 @@ pub fn e16_parallel_speedup(scale: Scale) -> String {
             }
         );
     }
+
+    // The columnar batch kernels themselves: throughput of the
+    // branch-free geometry sweeps the connection and interaction
+    // stages now run over contiguous column slices. Pairs come from a
+    // fixed neighbour window over the element order — the same
+    // contiguous-run access pattern a grid tile presents.
+    let _ = writeln!(out, "\nbatch geometry kernels over the columnar store:");
+    let _ = writeln!(
+        out,
+        "{:>18} {:>11} {:>10} {:>9} {:>9}",
+        "kernel", "pairs", "total ms", "ns/pair", "hits"
+    );
+    let (knx, kny) = if scale.quick { (8, 4) } else { (16, 12) };
+    let kchip = generate(&ChipSpec {
+        demo_cells: false,
+        ..ChipSpec::clean(knx, kny)
+    });
+    let klayout = diic_cif::parse(&kchip.cif).unwrap();
+    let (kbinding, _) = diic_core::LayerBinding::bind(&klayout, &tech);
+    let kview = diic_core::instantiate_parallel(&klayout, &tech, &kbinding, 1);
+    let cols = &kview.elements;
+    let n = cols.len();
+    const WINDOW: usize = 32;
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| (i + 1..(i + 1 + WINDOW).min(n)).map(move |j| (i, j)))
+        .collect();
+    let kernel_row =
+        |out: &mut String, name: &str, total: std::time::Duration, m: usize, hits: usize| {
+            let _ = writeln!(
+                out,
+                "{:>18} {:>11} {:>10.2} {:>9.1} {:>9}",
+                name,
+                m,
+                total.as_secs_f64() * 1e3,
+                total.as_nanos() as f64 / m.max(1) as f64,
+                hits
+            );
+        };
+
+    let t0 = Instant::now();
+    let mut hits = 0usize;
+    for &(i, j) in &pairs {
+        hits += usize::from(diic_geom::batch::any_touch(
+            cols.rects_of(i),
+            cols.rects_of(j),
+        ));
+    }
+    kernel_row(
+        &mut out,
+        "any_touch",
+        t0.elapsed(),
+        pairs.len(),
+        std::hint::black_box(hits),
+    );
+
+    let t0 = Instant::now();
+    let mut hits = 0usize;
+    for &(i, j) in &pairs {
+        hits += usize::from(diic_geom::batch::any_overlap(
+            cols.skeleton_of(i),
+            cols.skeleton_of(j),
+        ));
+    }
+    kernel_row(
+        &mut out,
+        "any_overlap(skel)",
+        t0.elapsed(),
+        pairs.len(),
+        std::hint::black_box(hits),
+    );
+
+    let t0 = Instant::now();
+    let mut hits = 0usize;
+    for &(i, j) in &pairs {
+        hits += usize::from(
+            diic_geom::batch::closest_approach(
+                cols.rects_of(i),
+                cols.rects_of(j),
+                SizingMode::Euclidean,
+            )
+            .is_some(),
+        );
+    }
+    kernel_row(
+        &mut out,
+        "closest_approach",
+        t0.elapsed(),
+        pairs.len(),
+        std::hint::black_box(hits),
+    );
+
+    let t0 = Instant::now();
+    let mut hits = 0usize;
+    let mut candidates = 0usize;
+    let mut scratch: Vec<u32> = Vec::with_capacity(WINDOW);
+    let bboxes = cols.bboxes();
+    for i in 0..n {
+        let end = (i + 1 + WINDOW).min(n);
+        let run = &bboxes[i + 1..end];
+        candidates += run.len();
+        scratch.clear();
+        diic_geom::batch::touching_in_run(run, &bboxes[i], (i + 1) as u32, &mut scratch);
+        hits += scratch.len();
+    }
+    kernel_row(
+        &mut out,
+        "touching_in_run",
+        t0.elapsed(),
+        candidates,
+        std::hint::black_box(hits),
+    );
+    let _ = writeln!(
+        out,
+        "({n} elements, neighbour window {WINDOW}; rect/skeleton runs read straight\n\
+         from the shared arenas, bbox runs from the contiguous bbox column)"
+    );
     out
 }
 
@@ -1130,6 +1246,7 @@ pub fn e18_memory(scale: Scale) -> String {
     );
     let tech = nmos_technology();
     let mut intern_rows: Vec<String> = Vec::new();
+    let mut store_rows: Vec<String> = Vec::new();
     for target in targets {
         let chip = diic_gen::mega_chip(target);
         let layout = diic_cif::parse(&chip.cif).unwrap();
@@ -1188,7 +1305,7 @@ pub fn e18_memory(scale: Scale) -> String {
         let copies: usize = view
             .elements
             .iter()
-            .map(|e| view.str(e.path).len() + view.str(e.net_key).len() + 2 * 24)
+            .map(|e| view.str(e.path()).len() + view.str(e.net_key()).len() + 2 * 24)
             .sum::<usize>()
             + view
                 .devices
@@ -1203,6 +1320,30 @@ pub fn e18_memory(scale: Scale) -> String {
             interned as f64 / 1e6,
             copies as f64 / 1e6,
             copies as f64 / (interned as f64).max(1.0),
+        ));
+
+        // The columnar-store delta: bytes per element as struct-of-
+        // arrays columns + shared arenas, against what the same data
+        // costs as the boxed `ChipElement` records the view used to
+        // hold (per-record struct incl. Vec/Option headers + its own
+        // rect and skeleton heap allocations).
+        use std::mem::size_of;
+        let n = view.elements.len();
+        let columnar = view.elements.heap_bytes();
+        let boxed: usize = n * size_of::<diic_core::ChipElement>()
+            + view
+                .elements
+                .iter()
+                .map(|e| (e.rects().len() + e.skeleton().len()) * size_of::<Rect>())
+                .sum::<usize>();
+        let (arena_rects, arena_skel) = view.elements.arena_rects();
+        store_rows.push(format!(
+            "  store of {:>9} elements: boxed {:>6.1} B/elem vs columnar {:>6.1} B/elem \
+             ({:.2}x; arenas {arena_rects} rect + {arena_skel} skeleton)",
+            n,
+            boxed as f64 / n.max(1) as f64,
+            columnar as f64 / n.max(1) as f64,
+            boxed as f64 / (columnar as f64).max(1.0),
         ));
     }
     let _ = writeln!(
@@ -1223,6 +1364,20 @@ pub fn e18_memory(scale: Scale) -> String {
         "(owned copies = 24-byte String headers + per-element heap duplicates, the\n\
          pre-interning view floor; interned = one entry per distinct string + 4-byte\n\
          handles — the delta the tightened mega-smoke RSS ceiling banks on)"
+    );
+    let _ = writeln!(
+        out,
+        "columnar element store (struct-of-arrays vs boxed records):"
+    );
+    for row in store_rows {
+        let _ = writeln!(out, "{row}");
+    }
+    let _ = writeln!(
+        out,
+        "(boxed = one ChipElement record per element — struct incl. Vec/Option\n\
+         headers plus its own rect/skeleton allocations; columnar = fixed-width\n\
+         columns + two shared (offset,len)-addressed arenas. The per-element delta\n\
+         is what ratchets the mega-smoke RSS ceiling below the PR 5 baseline)"
     );
     out
 }
@@ -1361,6 +1516,7 @@ mod tests {
         let t = e18_memory(QUICK);
         assert!(t.contains("yes"), "{t}");
         assert!(!t.contains(" NO"), "a tiled run diverged: {t}");
+        assert!(t.contains("vs columnar"), "missing store rows: {t}");
         // The tiled peak must be strictly below the buffered peak on
         // every row (the buffered peak is the total pair count).
         for line in t

@@ -6,19 +6,39 @@
 //! its skeleton. "The information about what symbol the piece of geometry
 //! came from is never lost."
 //!
-//! # The view's memory floor: interned strings
+//! # The view's memory floor: interned strings, columnar elements
 //!
 //! The [`ChipView`] is the pipeline's one intentionally O(chip) artefact
 //! (it *is* the chip), so its per-element cost is the resident-set floor
-//! at million-element scale. The topology strings — instance `path`, net
-//! key, device type — are massively shared (every element of an instance
-//! repeats its path; every instance of a symbol repeats its device type),
-//! so the view stores them once in a [`StringInterner`] and each
-//! [`ChipElement`] / [`DeviceInstance`] carries 4-byte [`Istr`] handles
-//! instead of owned `String`s. Handles from one view compare equal iff
-//! the strings are equal; render them with [`ChipView::str`]. Rendered
-//! output (violation contexts, net names) is unchanged — the interner is
-//! a storage decision, not a naming one.
+//! at million-element scale. Two storage decisions squeeze that floor
+//! without changing a byte of rendered output:
+//!
+//! * **Interned strings.** The topology strings — instance `path`, net
+//!   key, device type — are massively shared (every element of an
+//!   instance repeats its path; every instance of a symbol repeats its
+//!   device type), so the view stores them once in a [`StringInterner`]
+//!   and elements / [`DeviceInstance`]s carry 4-byte [`Istr`] handles
+//!   instead of owned `String`s. Handles from one view compare equal iff
+//!   the strings are equal; render them with [`ChipView::str`].
+//!
+//! * **Columnar elements.** Elements live in [`ElementColumns`] — a
+//!   struct-of-arrays store with one dense, fixed-width column per
+//!   field (`layer`, `bbox`, `net_key`, `path`, flag bits, sentinel-
+//!   encoded device / source indices) and the variable-length geometry
+//!   (covered rectangles, skeleton rectangles) packed into two shared
+//!   arenas addressed by `(offset, len)` ranges. An element's id is its
+//!   position — the walk, the shard stitch, and the incremental
+//!   session's run splicing all preserve position, so no id column is
+//!   stored at all. Hot stages sweep the dense columns (the
+//!   [`diic_geom::batch`] kernels); anything that wants one element's
+//!   fields together borrows a zero-cost [`ElementRef`] view.
+//!
+//! The boxed record form, [`ChipElement`], remains as the staging and
+//! materialisation type: the instantiation walk builds one per element
+//! and [`ElementColumns::push`] scatters it into the columns;
+//! [`ElementRef::to_element`] gathers one back out. Round-tripping
+//! through the boxed form is lossless — the eighth differential-oracle
+//! leg (`tests/differential.rs`) pins it on generated chips.
 
 use crate::violations::{CheckStage, Violation, ViolationKind};
 use diic_cif::{Item, LayerRef, Layout, Shape, SymbolId};
@@ -28,7 +48,7 @@ use diic_tech::{DeviceClass, LayerId, Technology};
 use std::collections::HashMap;
 
 /// A `u32`-keyed handle into a [`StringInterner`]: the interned form of
-/// a [`ChipElement`]'s `path` / `net_key` and a [`DeviceInstance`]'s
+/// an element's `path` / `net_key` and a [`DeviceInstance`]'s
 /// `path` / `device_type`. Two handles from the **same** interner are
 /// equal iff their strings are equal (the interner deduplicates), so
 /// hot paths compare and hash 4-byte ids instead of strings.
@@ -202,6 +222,14 @@ impl StringInterner {
     pub fn heap_bytes(&self) -> usize {
         self.strings.iter().map(|s| s.len()).sum()
     }
+
+    /// Drains the stored strings (the shard-stitch path: a shard's
+    /// distinct strings move into the merged view's table).
+    pub(crate) fn take_strings(&mut self) -> Vec<Box<str>> {
+        self.first.clear();
+        self.overflow.clear();
+        std::mem::take(&mut self.strings)
+    }
 }
 
 /// Maps layout layer references to technology layers.
@@ -238,10 +266,15 @@ impl LayerBinding {
     }
 }
 
-/// An instantiated element with its topology retained.
-#[derive(Debug, Clone)]
+/// An instantiated element in boxed record form — the staging type the
+/// instantiation walk builds and the materialisation type
+/// [`ElementRef::to_element`] gathers back out of the columns. The
+/// pipeline's resident storage is [`ElementColumns`]; this struct
+/// exists at the edges (construction, diagnostics, differential tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChipElement {
-    /// Index in [`ChipView::elements`].
+    /// Index in [`ChipView::elements`] (equal to the element's column
+    /// position — ids are implicit in the columnar store).
     pub id: usize,
     /// Technology layer.
     pub layer: LayerId,
@@ -267,6 +300,389 @@ pub struct ChipElement {
     pub device: Option<usize>,
     /// The symbol definition the element came from (None = top level).
     pub source: Option<SymbolId>,
+}
+
+/// A packed bit column (one flag bit per element) — the storage behind
+/// [`ElementColumns`]' boolean fields.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct BitColumn {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitColumn {
+    fn push(&mut self, v: bool) {
+        let (w, b) = (self.len / 64, self.len % 64);
+        if w == self.words.len() {
+            self.words.push(0);
+        }
+        self.words[w] |= (v as u64) << b;
+        self.len += 1;
+    }
+
+    fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 != 0
+    }
+}
+
+/// Sentinel for "no device" / "no source" in the fixed-width columns
+/// (a `u32` index column beats `Vec<Option<usize>>` by 12 bytes per
+/// element and keeps the column densely comparable).
+const NONE_U32: u32 = u32::MAX;
+
+/// Struct-of-arrays storage for the instantiated elements.
+///
+/// One dense, fixed-width column per element field, with the
+/// variable-length geometry packed into two shared arenas:
+///
+/// ```text
+/// layer        Vec<LayerId>      2 B   dense column
+/// bbox         Vec<Rect>        32 B   dense column (the hot sweep)
+/// net_key      Vec<Istr>         4 B   interner handle
+/// path         Vec<Istr>         4 B   interner handle
+/// net_declared BitColumn       1 bit   flag bits
+/// device       Vec<u32>          4 B   u32::MAX = none
+/// source       Vec<u32>          4 B   SymbolId index, u32::MAX = none
+/// rect_range   Vec<(u32, u32)>   8 B   (offset, len) into `rects`
+/// skel_range   Vec<(u32, u32)>   8 B   (offset, len) into `skel`; len 0 = no skeleton
+/// rects        Vec<Rect>               shared arena, chip coordinates
+/// skel         Vec<Rect>               shared arena, scaled skeleton grid
+/// ```
+///
+/// An element's **id is its position** — every producer preserves
+/// position (the serial walk appends, the shard stitch concatenates in
+/// item order, the incremental session splices whole per-item runs), so
+/// no id column is stored. `len == 0` skeleton ranges encode "no
+/// skeleton" exactly (no constructor produces an empty skeleton —
+/// [`Skeleton::from_scaled_rects`] returns `None` for an empty run).
+///
+/// Hot consumers iterate the columns directly ([`ElementColumns::bboxes`]
+/// with the [`diic_geom::batch`] kernels); per-element field access goes
+/// through the borrowed [`ElementRef`] view, which renders reports
+/// byte-identically to the old boxed storage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ElementColumns {
+    layer: Vec<LayerId>,
+    bbox: Vec<Rect>,
+    net_key: Vec<Istr>,
+    path: Vec<Istr>,
+    net_declared: BitColumn,
+    device: Vec<u32>,
+    source: Vec<u32>,
+    rect_range: Vec<(u32, u32)>,
+    skel_range: Vec<(u32, u32)>,
+    rects: Vec<Rect>,
+    skel: Vec<Rect>,
+}
+
+impl ElementColumns {
+    /// Number of elements stored.
+    pub fn len(&self) -> usize {
+        self.bbox.len()
+    }
+
+    /// True if no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.bbox.is_empty()
+    }
+
+    /// Borrowed view of one element's fields. Panics if `id` is out of
+    /// bounds.
+    pub fn get(&self, id: usize) -> ElementRef<'_> {
+        assert!(id < self.len(), "element id {id} out of bounds");
+        ElementRef { cols: self, id }
+    }
+
+    /// Iterates the elements as [`ElementRef`] views, in id order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = ElementRef<'_>> + Clone {
+        (0..self.len()).map(move |id| ElementRef { cols: self, id })
+    }
+
+    /// The dense bounding-box column — the sweep surface for grid
+    /// insertion, tile filtering ([`diic_geom::batch::touching_in_run`])
+    /// and halo probes.
+    pub fn bboxes(&self) -> &[Rect] {
+        &self.bbox
+    }
+
+    /// The dense layer column.
+    pub fn layers(&self) -> &[LayerId] {
+        &self.layer
+    }
+
+    /// The dense net-key column (interner handles).
+    pub fn net_keys(&self) -> &[Istr] {
+        &self.net_key
+    }
+
+    /// The dense path column (interner handles).
+    pub fn paths(&self) -> &[Istr] {
+        &self.path
+    }
+
+    /// One element's covered rectangles (a contiguous arena run).
+    pub fn rects_of(&self, id: usize) -> &[Rect] {
+        let (off, len) = self.rect_range[id];
+        &self.rects[off as usize..off as usize + len as usize]
+    }
+
+    /// One element's skeleton rectangles in the scaled grid (empty =
+    /// no skeleton; see [`Skeleton::scaled_rects`]).
+    pub fn skeleton_of(&self, id: usize) -> &[Rect] {
+        let (off, len) = self.skel_range[id];
+        &self.skel[off as usize..off as usize + len as usize]
+    }
+
+    /// Total rectangles across both shared arenas (footprint
+    /// accounting for the e18 memory table).
+    pub fn arena_rects(&self) -> (usize, usize) {
+        (self.rects.len(), self.skel.len())
+    }
+
+    /// Payload bytes of the columnar store: every dense column plus the
+    /// two arenas (excludes `Vec` growth slack — this is the number the
+    /// e18 table compares against the boxed layout's bytes/element).
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.layer.len() * size_of::<LayerId>()
+            + self.bbox.len() * size_of::<Rect>()
+            + self.net_key.len() * size_of::<Istr>()
+            + self.path.len() * size_of::<Istr>()
+            + self.net_declared.words.len() * size_of::<u64>()
+            + self.device.len() * size_of::<u32>()
+            + self.source.len() * size_of::<u32>()
+            + self.rect_range.len() * size_of::<(u32, u32)>()
+            + self.skel_range.len() * size_of::<(u32, u32)>()
+            + self.rects.len() * size_of::<Rect>()
+            + self.skel.len() * size_of::<Rect>()
+    }
+
+    /// Appends one element, scattering the boxed record into the
+    /// columns. The record's `id` must equal the current length — ids
+    /// are positions.
+    pub fn push(&mut self, el: ChipElement) {
+        debug_assert_eq!(el.id, self.len(), "element ids are column positions");
+        self.layer.push(el.layer);
+        self.bbox.push(el.bbox);
+        self.net_key.push(el.net_key);
+        self.path.push(el.path);
+        self.net_declared.push(el.net_declared);
+        self.device.push(el.device.map_or(NONE_U32, |d| d as u32));
+        self.source.push(el.source.map_or(NONE_U32, |s| s.0));
+        let r0 = self.rects.len() as u32;
+        self.rects.extend_from_slice(&el.rects);
+        self.rect_range.push((r0, el.rects.len() as u32));
+        let s0 = self.skel.len() as u32;
+        let mut s_len = 0u32;
+        if let Some(sk) = el.skeleton {
+            let scaled = sk.into_scaled_rects();
+            s_len = scaled.len() as u32;
+            self.skel.extend(scaled);
+        }
+        self.skel_range.push((s0, s_len));
+    }
+
+    /// Builds columns from boxed records in order (ids must be
+    /// positions). The inverse of [`ElementColumns::to_elements`].
+    pub fn from_elements(elements: impl IntoIterator<Item = ChipElement>) -> ElementColumns {
+        let mut cols = ElementColumns::default();
+        for el in elements {
+            cols.push(el);
+        }
+        cols
+    }
+
+    /// Materialises every element back into boxed record form — the
+    /// differential oracle's round-trip surface; not used by the
+    /// pipeline itself.
+    pub fn to_elements(&self) -> Vec<ChipElement> {
+        self.iter().map(|e| e.to_element()).collect()
+    }
+
+    /// Rewrites one element's net key (the auto-key ordinal pass).
+    pub(crate) fn set_net_key(&mut self, id: usize, key: Istr) {
+        self.net_key[id] = key;
+    }
+
+    /// Appends a whole shard's columns, offsetting device indices by
+    /// `d_off` and remapping interner handles through `remap` — the
+    /// sharded-instantiation stitch, one column `extend` at a time
+    /// instead of one push per element.
+    pub(crate) fn append_remapped(&mut self, shard: ElementColumns, d_off: usize, remap: &[Istr]) {
+        self.layer.extend_from_slice(&shard.layer);
+        self.bbox.extend_from_slice(&shard.bbox);
+        self.net_key
+            .extend(shard.net_key.iter().map(|k| remap[k.0 as usize]));
+        self.path
+            .extend(shard.path.iter().map(|p| remap[p.0 as usize]));
+        for i in 0..shard.net_declared.len {
+            self.net_declared.push(shard.net_declared.get(i));
+        }
+        self.device.extend(shard.device.iter().map(|&d| {
+            if d == NONE_U32 {
+                NONE_U32
+            } else {
+                d + d_off as u32
+            }
+        }));
+        self.source.extend_from_slice(&shard.source);
+        let r0 = self.rects.len() as u32;
+        self.rects.extend_from_slice(&shard.rects);
+        self.rect_range
+            .extend(shard.rect_range.iter().map(|&(o, l)| (o + r0, l)));
+        let s0 = self.skel.len() as u32;
+        self.skel.extend_from_slice(&shard.skel);
+        self.skel_range
+            .extend(shard.skel_range.iter().map(|&(o, l)| (o + s0, l)));
+    }
+
+    /// Copies a contiguous run of elements from `other` (the incremental
+    /// session's view patch: untouched per-item runs splice across by
+    /// column copy, with ids renumbering implicitly to their new
+    /// positions). Device indices shift by `device_delta`; arena runs
+    /// re-pack contiguously.
+    pub(crate) fn append_run_from(
+        &mut self,
+        other: &ElementColumns,
+        range: std::ops::Range<usize>,
+        device_delta: i64,
+    ) {
+        self.layer.extend_from_slice(&other.layer[range.clone()]);
+        self.bbox.extend_from_slice(&other.bbox[range.clone()]);
+        self.net_key
+            .extend_from_slice(&other.net_key[range.clone()]);
+        self.path.extend_from_slice(&other.path[range.clone()]);
+        for i in range.clone() {
+            self.net_declared.push(other.net_declared.get(i));
+        }
+        self.device
+            .extend(other.device[range.clone()].iter().map(|&d| {
+                if d == NONE_U32 {
+                    NONE_U32
+                } else {
+                    (d as i64 + device_delta) as u32
+                }
+            }));
+        self.source.extend_from_slice(&other.source[range.clone()]);
+        for i in range {
+            let r0 = self.rects.len() as u32;
+            let run = other.rects_of(i);
+            self.rects.extend_from_slice(run);
+            self.rect_range.push((r0, run.len() as u32));
+            let s0 = self.skel.len() as u32;
+            let srun = other.skeleton_of(i);
+            self.skel.extend_from_slice(srun);
+            self.skel_range.push((s0, srun.len() as u32));
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a ElementColumns {
+    type Item = ElementRef<'a>;
+    type IntoIter =
+        std::iter::Map<std::ops::Range<usize>, Box<dyn FnMut(usize) -> ElementRef<'a> + 'a>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        (0..self.len()).map(Box::new(move |id| ElementRef { cols: self, id }))
+    }
+}
+
+/// A borrowed view of one element inside [`ElementColumns`] — two words
+/// (columns pointer + id), `Copy`, with accessor methods named after
+/// the old struct fields so call sites read the same.
+#[derive(Clone, Copy)]
+pub struct ElementRef<'a> {
+    cols: &'a ElementColumns,
+    id: usize,
+}
+
+impl<'a> ElementRef<'a> {
+    /// The element's id (its column position).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Technology layer.
+    pub fn layer(&self) -> LayerId {
+        self.cols.layer[self.id]
+    }
+
+    /// Bounding box in chip coordinates.
+    pub fn bbox(&self) -> Rect {
+        self.cols.bbox[self.id]
+    }
+
+    /// Covered rectangles (a contiguous arena run).
+    pub fn rects(&self) -> &'a [Rect] {
+        self.cols.rects_of(self.id)
+    }
+
+    /// Skeleton rectangles in the scaled grid; empty means the element
+    /// is under-width and has no skeleton. Feed pairs of these runs to
+    /// [`diic_geom::batch::any_overlap`] for the legal-connection test.
+    pub fn skeleton(&self) -> &'a [Rect] {
+        self.cols.skeleton_of(self.id)
+    }
+
+    /// True if the element has a skeleton (is at least minimum width).
+    pub fn has_skeleton(&self) -> bool {
+        !self.skeleton().is_empty()
+    }
+
+    /// Interned net key.
+    pub fn net_key(&self) -> Istr {
+        self.cols.net_key[self.id]
+    }
+
+    /// True if the net was declared via `9N` (vs auto-generated).
+    pub fn net_declared(&self) -> bool {
+        self.cols.net_declared.get(self.id)
+    }
+
+    /// Interned instance path.
+    pub fn path(&self) -> Istr {
+        self.cols.path[self.id]
+    }
+
+    /// Index into [`ChipView::devices`] if the element lives inside a
+    /// device symbol instance.
+    pub fn device(&self) -> Option<usize> {
+        let d = self.cols.device[self.id];
+        (d != NONE_U32).then_some(d as usize)
+    }
+
+    /// The symbol definition the element came from (None = top level).
+    pub fn source(&self) -> Option<SymbolId> {
+        let s = self.cols.source[self.id];
+        (s != NONE_U32).then_some(SymbolId(s))
+    }
+
+    /// Gathers the element back into boxed record form.
+    pub fn to_element(&self) -> ChipElement {
+        ChipElement {
+            id: self.id,
+            layer: self.layer(),
+            rects: self.rects().to_vec(),
+            bbox: self.bbox(),
+            skeleton: Skeleton::from_scaled_rects(self.skeleton().to_vec()),
+            net_key: self.net_key(),
+            net_declared: self.net_declared(),
+            path: self.path(),
+            device: self.device(),
+            source: self.source(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ElementRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ElementRef")
+            .field("id", &self.id)
+            .field("layer", &self.layer())
+            .field("bbox", &self.bbox())
+            .finish_non_exhaustive()
+    }
 }
 
 /// An instantiated device (one per call of a device symbol).
@@ -295,14 +711,17 @@ pub struct DeviceInstance {
 /// intact.
 #[derive(Debug, Clone, Default)]
 pub struct ChipView {
-    /// All instantiated elements.
-    pub elements: Vec<ChipElement>,
+    /// All instantiated elements, in columnar storage.
+    pub elements: ElementColumns,
     /// All device instances.
     pub devices: Vec<DeviceInstance>,
     /// Violations discovered during instantiation (unknown layers on
     /// terminals, non-rectilinear polygons treated as bboxes, …).
     pub violations: Vec<Violation>,
-    /// The interner behind every [`Istr`] in `elements` and `devices`.
+    /// The interner behind every [`Istr`] in `elements` and `devices`
+    /// — and, once the netgen stage has run, behind the net graph's
+    /// node keys too (one table end to end; see
+    /// [`crate::netgen::NetParts`]).
     pub strings: StringInterner,
 }
 
@@ -310,6 +729,11 @@ impl ChipView {
     /// Renders an interned string of this view.
     pub fn str(&self, s: Istr) -> &str {
         self.strings.get(s)
+    }
+
+    /// Borrowed view of one element (see [`ElementColumns::get`]).
+    pub fn element(&self, id: usize) -> ElementRef<'_> {
+        self.elements.get(id)
     }
 }
 
@@ -329,11 +753,12 @@ pub fn instantiate(layout: &Layout, tech: &Technology, binding: &LayerBinding) -
 ///
 /// Each top-level item is one shard job: a pure walk of that item into
 /// a private [`ChipView`] with shard-local ids. The shards are stitched
-/// in item order by offsetting element ids, device indices, and the
-/// device → element back-references — exactly the numbering a serial
-/// walk produces, so any worker count yields a byte-identical view.
-/// Auto net keys are assigned over the stitched element list (they are
-/// global: duplicate ordinals may span shards).
+/// in item order by concatenating their columns — which renumbers
+/// element positions (= ids) exactly as a serial walk would — while
+/// offsetting device indices and the device → element back-references,
+/// so any worker count yields a byte-identical view. Auto net keys are
+/// assigned over the stitched columns (they are global: duplicate
+/// ordinals may span shards).
 pub fn instantiate_parallel(
     layout: &Layout,
     tech: &Technology,
@@ -384,19 +809,13 @@ pub(crate) fn instantiate_sharded(
         // and the handles are remapped. The stitch is sequential in
         // item order, so the merged numbering — like everything else
         // here — is independent of the worker count.
-        let remap: Vec<Istr> = std::mem::take(&mut shard.strings.strings)
+        let remap: Vec<Istr> = shard
+            .strings
+            .take_strings()
             .into_iter()
             .map(|s| view.strings.intern_owned(s))
             .collect();
-        for mut el in shard.elements {
-            el.id += e_off;
-            if let Some(d) = &mut el.device {
-                *d += d_off;
-            }
-            el.net_key = remap[el.net_key.0 as usize];
-            el.path = remap[el.path.0 as usize];
-            view.elements.push(el);
-        }
+        view.elements.append_remapped(shard.elements, d_off, &remap);
         for mut dv in shard.devices {
             for id in &mut dv.element_ids {
                 *id += e_off;
@@ -413,7 +832,7 @@ pub(crate) fn instantiate_sharded(
 /// device instances to `view` (the incremental checker's entry point for
 /// regenerating one dirty item's run). Auto net keys are **not**
 /// assigned here — run [`assign_auto_net_keys`] over the assembled
-/// element vector afterwards.
+/// columns afterwards.
 pub(crate) fn instantiate_item(
     layout: &Layout,
     tech: &Technology,
@@ -447,14 +866,14 @@ fn auto_key_base(key: &str) -> &str {
     key
 }
 
-/// Finalises the auto (undeclared) net keys over a finished element
-/// list — appending ordinals where exact duplicates share a key base —
-/// and returns the ids whose key changed.
+/// Finalises the auto (undeclared) net keys over the finished element
+/// columns — appending ordinals where exact duplicates share a key base
+/// — and returns the ids whose key changed.
 ///
 /// The key is a pure function of the element's *identity* — instance
 /// path, layer, and definition-local bounding box (the base the walk
 /// stored in `net_key`), with an ordinal disambiguating exact
-/// duplicates — never of its position in the element vector. That
+/// duplicates — never of its position in the columns. That
 /// stability is what lets an edit session reuse the net graph of
 /// untouched elements: adding or removing an element elsewhere does not
 /// rename every auto net after it (the old scheme's `#e{id}` did), and
@@ -469,7 +888,7 @@ fn auto_key_base(key: &str) -> &str {
 /// removed geometry: duplicate ordinals shift only within one identity
 /// group, and duplicates by definition share path, layer, and bbox.
 pub(crate) fn assign_auto_net_keys(
-    elements: &mut [ChipElement],
+    elements: &mut ElementColumns,
     strings: &mut StringInterner,
     changed: Option<&[bool]>,
 ) -> Vec<usize> {
@@ -477,12 +896,12 @@ pub(crate) fn assign_auto_net_keys(
     // Pre-filter: the (layer, chip bbox) cells of changed undeclared
     // elements — a superset of the affected identity groups (exact
     // grouping is by key base below; a spurious match just re-derives
-    // an unchanged key).
+    // an unchanged key). A column sweep: layer/bbox/flag reads only.
     let hot: Option<HashSet<(diic_tech::LayerId, Rect)>> = changed.map(|mask| {
         elements
             .iter()
-            .filter(|e| !e.net_declared && mask[e.id])
-            .map(|e| (e.layer, e.bbox))
+            .filter(|e| !e.net_declared() && mask[e.id()])
+            .map(|e| (e.layer(), e.bbox()))
             .collect()
     });
     if hot.as_ref().is_some_and(|h| h.is_empty()) {
@@ -490,12 +909,13 @@ pub(crate) fn assign_auto_net_keys(
     }
     let mut ordinals: HashMap<String, u32> = HashMap::new();
     let mut rekeyed = Vec::new();
-    for e in elements {
-        if e.net_declared {
+    for id in 0..elements.len() {
+        let e = elements.get(id);
+        if e.net_declared() {
             continue;
         }
         if let Some(h) = &hot {
-            if !h.contains(&(e.layer, e.bbox)) {
+            if !h.contains(&(e.layer(), e.bbox())) {
                 continue;
             }
         }
@@ -503,7 +923,7 @@ pub(crate) fn assign_auto_net_keys(
         // then intern only when it actually changed — an unchanged key
         // costs no interner traffic and stays off the rekeyed list.
         let desired: Option<String> = {
-            let current = strings.get(e.net_key);
+            let current = strings.get(e.net_key());
             let base = auto_key_base(current);
             match ordinals.get_mut(base) {
                 None => {
@@ -522,8 +942,8 @@ pub(crate) fn assign_auto_net_keys(
             }
         };
         if let Some(key) = desired {
-            e.net_key = strings.intern(&key);
-            rekeyed.push(e.id);
+            elements.set_net_key(id, strings.intern(&key));
+            rekeyed.push(id);
         }
     }
     rekeyed
@@ -570,7 +990,7 @@ fn walk(
             };
             let id = view.elements.len();
             // Undeclared elements get their key *base* (path, layer and
-            // local bbox — never the element's position in the vector);
+            // local bbox — never the element's position in the columns);
             // `assign_auto_net_keys` appends ordinals where exact
             // duplicates collide once the element list is complete.
             let (net_key, net_declared) = match &e.net {
@@ -684,13 +1104,13 @@ mod tests {
         let (view, v) = view_of("L NM; 9N VDD; B 1000 750 0 0; B 100 100 5000 5000; E");
         assert!(v.is_empty());
         assert_eq!(view.elements.len(), 2);
-        let rail = &view.elements[0];
-        assert_eq!(view.str(rail.net_key), "VDD");
-        assert!(rail.net_declared);
-        assert!(rail.skeleton.is_some());
-        let tiny = &view.elements[1];
-        assert!(!tiny.net_declared);
-        assert!(tiny.skeleton.is_none()); // under metal min width 750
+        let rail = view.elements.get(0);
+        assert_eq!(view.str(rail.net_key()), "VDD");
+        assert!(rail.net_declared());
+        assert!(rail.has_skeleton());
+        let tiny = view.elements.get(1);
+        assert!(!tiny.net_declared());
+        assert!(!tiny.has_skeleton()); // under metal min width 750
     }
 
     #[test]
@@ -711,7 +1131,7 @@ mod tests {
         assert_eq!(*pos, Point::new(5250, 250));
         // Elements tagged with the device.
         for &eid in &view.devices[1].element_ids {
-            assert_eq!(view.elements[eid].device, Some(1));
+            assert_eq!(view.elements.get(eid).device(), Some(1));
         }
     }
 
@@ -723,8 +1143,8 @@ mod tests {
         C 2 T 0 0; E";
         let (view, _) = view_of(cif);
         assert_eq!(view.elements.len(), 1);
-        assert_eq!(view.str(view.elements[0].path), "i0.i0");
-        assert_eq!(view.str(view.elements[0].net_key), "i0.i0.out");
+        assert_eq!(view.str(view.elements.get(0).path()), "i0.i0");
+        assert_eq!(view.str(view.elements.get(0).net_key()), "i0.i0.out");
     }
 
     #[test]
@@ -747,26 +1167,57 @@ mod tests {
         assert!(!serial.elements.is_empty() && !serial.devices.is_empty());
         for workers in [2usize, 3, 8] {
             let par = instantiate_parallel(&layout, &tech, &binding, workers);
-            assert_eq!(par.elements.len(), serial.elements.len());
-            for (a, b) in serial.elements.iter().zip(&par.elements) {
-                assert_eq!(a.id, b.id, "workers={workers}");
+            // The whole columnar store must be identical — ids are
+            // positions, so column equality covers the id contract.
+            assert_eq!(par.elements, serial.elements, "workers={workers}");
+            for (a, b) in serial.elements.iter().zip(par.elements.iter()) {
                 // Handles come from per-run interners: compare the
-                // rendered strings (and the handles too — the stitch
-                // numbering must also be worker-count independent).
+                // rendered strings too (the stitch numbering must also
+                // be worker-count independent).
                 assert_eq!(
-                    serial.str(a.net_key),
-                    par.str(b.net_key),
+                    serial.str(a.net_key()),
+                    par.str(b.net_key()),
                     "workers={workers}"
                 );
-                assert_eq!(a.net_key, b.net_key, "workers={workers}");
-                assert_eq!(a.device, b.device, "workers={workers}");
-                assert_eq!(a.bbox, b.bbox, "workers={workers}");
-                assert_eq!(serial.str(a.path), par.str(b.path), "workers={workers}");
+                assert_eq!(serial.str(a.path()), par.str(b.path()), "workers={workers}");
             }
             assert_eq!(par.devices.len(), serial.devices.len());
             for (a, b) in serial.devices.iter().zip(&par.devices) {
                 assert_eq!(serial.str(a.path), par.str(b.path), "workers={workers}");
                 assert_eq!(a.element_ids, b.element_ids, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn columns_round_trip_through_boxed_records() {
+        // Scatter → gather → scatter must be lossless: materialised
+        // boxed records rebuild identical columns, and every accessor
+        // agrees with its boxed field.
+        let cif = "
+        DS 1; 9 ct; 9D CONTACT_D; 9T A NM 250 250;
+        L NC; B 500 500 250 250; L NM; B 1000 1000 250 250; DF;
+        C 1 T 0 0;
+        L NM; 9N out; W 750 0 0 5000 0;
+        L NM; B 100 100 9000 9000;
+        E";
+        let (view, _) = view_of(cif);
+        let boxed = view.elements.to_elements();
+        let rebuilt = ElementColumns::from_elements(boxed.clone());
+        assert_eq!(rebuilt, view.elements);
+        for (el, r) in boxed.iter().zip(view.elements.iter()) {
+            assert_eq!(el.id, r.id());
+            assert_eq!(el.layer, r.layer());
+            assert_eq!(el.bbox, r.bbox());
+            assert_eq!(el.rects.as_slice(), r.rects());
+            assert_eq!(el.net_key, r.net_key());
+            assert_eq!(el.net_declared, r.net_declared());
+            assert_eq!(el.path, r.path());
+            assert_eq!(el.device, r.device());
+            assert_eq!(el.source, r.source());
+            match &el.skeleton {
+                Some(sk) => assert_eq!(sk.scaled_rects(), r.skeleton()),
+                None => assert!(!r.has_skeleton()),
             }
         }
     }

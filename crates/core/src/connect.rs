@@ -38,7 +38,7 @@
 use crate::binding::ChipView;
 use crate::parallel::run_ordered;
 use crate::violations::{CheckStage, Violation, ViolationKind};
-use diic_geom::GridIndex;
+use diic_geom::{batch, GridIndex};
 use diic_tech::{DeviceClass, InternalRule, LayerId, Technology};
 use std::collections::HashSet;
 
@@ -112,8 +112,9 @@ pub fn check_connections_parallel(
 ) -> ConnectionResult {
     let forming = device_forming_pairs(tech);
     let mut index: GridIndex<usize> = GridIndex::new(crate::interact::interaction_cell_size(tech));
-    for e in &view.elements {
-        index.insert(e.bbox, e.id);
+    // One pass down the dense bbox column — no per-element structs.
+    for (id, bbox) in view.elements.bboxes().iter().enumerate() {
+        index.insert(*bbox, id);
     }
     // Slots are element ids (inserted in id order), so the tile ranges
     // partition the id space in ascending order.
@@ -154,7 +155,7 @@ pub fn check_connections_among(
     // technology's rule reach (see `interact::interaction_cell_size`).
     let mut index: GridIndex<usize> = GridIndex::new(crate::interact::interaction_cell_size(tech));
     for &id in ids {
-        index.insert(view.elements[id].bbox, id);
+        index.insert(view.elements.bboxes()[id], id);
     }
 
     for &i in ids {
@@ -177,54 +178,46 @@ fn scan_element(
     i: usize,
     result: &mut ConnectionResult,
 ) {
-    let a = &view.elements[i];
-    for &j in index.query(&a.bbox) {
-        if j <= a.id {
+    let a = view.elements.get(i);
+    for &j in index.query(&a.bbox()) {
+        if j <= i {
             continue;
         }
-        let b = &view.elements[j];
+        let b = view.elements.get(j);
         // Pairs within one device instance are stage-3 territory.
-        if a.device.is_some() && a.device == b.device {
+        if a.device().is_some() && a.device() == b.device() {
             continue;
         }
-        let touching = a
-            .rects
-            .iter()
-            .any(|ra| b.rects.iter().any(|rb| ra.touches(rb)));
-        if !touching {
+        // The covered rectangles are contiguous arena runs — the touch
+        // test is a batch pair sweep over two plain slices.
+        if !batch::any_touch(a.rects(), b.rects()) {
             continue;
         }
 
-        if a.layer == b.layer {
+        if a.layer() == b.layer() {
             result.pairs_examined += 1;
-            handle_same_layer(view, tech, a.id, j, result);
+            handle_same_layer(view, tech, i, j, result);
         } else {
             // Cross-layer overlap on a device-forming pair = implied
             // device (Fig. 8), unless it is a device's own geometry
             // overlapping — the declared-device case handled above by
             // the same-instance skip; a device element overlapping
             // *another* instance's geometry is still parasitic.
-            let key = if a.layer <= b.layer {
-                (a.layer, b.layer)
+            let key = if a.layer() <= b.layer() {
+                (a.layer(), b.layer())
             } else {
-                (b.layer, a.layer)
+                (b.layer(), a.layer())
             };
-            if forming.contains(&key) {
-                let overlapping = a
-                    .rects
-                    .iter()
-                    .any(|ra| b.rects.iter().any(|rb| ra.overlaps(rb)));
-                if overlapping {
-                    result.violations.push(Violation {
-                        stage: CheckStage::Connections,
-                        kind: ViolationKind::ImpliedDevice {
-                            layer_a: tech.layer(a.layer).name.clone(),
-                            layer_b: tech.layer(b.layer).name.clone(),
-                        },
-                        location: overlap_bbox(view, a.id, j),
-                        context: context_of(view, a.id, j),
-                    });
-                }
+            if forming.contains(&key) && batch::any_overlap(a.rects(), b.rects()) {
+                result.violations.push(Violation {
+                    stage: CheckStage::Connections,
+                    kind: ViolationKind::ImpliedDevice {
+                        layer_a: tech.layer(a.layer()).name.clone(),
+                        layer_b: tech.layer(b.layer()).name.clone(),
+                    },
+                    location: overlap_bbox(view, i, j),
+                    context: context_of(view, i, j),
+                });
             }
         }
     }
@@ -237,31 +230,31 @@ fn handle_same_layer(
     j: usize,
     result: &mut ConnectionResult,
 ) {
-    let a = &view.elements[i];
-    let b = &view.elements[j];
+    let a = view.elements.get(i);
+    let b = view.elements.get(j);
     let a_join = a
-        .device
+        .device()
         .map(|d| is_joining_class(view.devices[d].class))
         .unwrap_or(false);
     let b_join = b
-        .device
+        .device()
         .map(|d| is_joining_class(view.devices[d].class))
         .unwrap_or(false);
 
-    match (a.device.is_some(), b.device.is_some()) {
+    match (a.device().is_some(), b.device().is_some()) {
         (false, false) => {
-            // Interconnect ↔ interconnect: skeletal connectivity decides.
-            let connected = match (&a.skeleton, &b.skeleton) {
-                (Some(sa), Some(sb)) => sa.connected_to(sb),
-                _ => false, // an under-width element cannot legally connect
-            };
+            // Interconnect ↔ interconnect: skeletal connectivity
+            // decides — an overlap sweep over the two skeleton arena
+            // runs (an empty run is an under-width element, which
+            // cannot legally connect; `any_overlap` is vacuously false).
+            let connected = batch::any_overlap(a.skeleton(), b.skeleton());
             if connected {
                 result.merges.push((i, j));
             } else {
                 result.violations.push(Violation {
                     stage: CheckStage::Connections,
                     kind: ViolationKind::IllegalConnection {
-                        layer: tech.layer(a.layer).name.clone(),
+                        layer: tech.layer(a.layer()).name.clone(),
                     },
                     location: overlap_bbox(view, i, j),
                     context: context_of(view, i, j),
@@ -279,14 +272,13 @@ fn handle_same_layer(
 }
 
 fn overlap_bbox(view: &ChipView, i: usize, j: usize) -> Option<diic_geom::Rect> {
-    let a = &view.elements[i];
-    let b = &view.elements[j];
-    a.bbox.intersection(&b.bbox).or(Some(a.bbox))
+    let bb = view.elements.bboxes();
+    bb[i].intersection(&bb[j]).or(Some(bb[i]))
 }
 
 fn context_of(view: &ChipView, i: usize, j: usize) -> String {
-    let a = view.str(view.elements[i].path);
-    let b = view.str(view.elements[j].path);
+    let a = view.str(view.elements.paths()[i]);
+    let b = view.str(view.elements.paths()[j]);
     if a == b {
         a.to_string()
     } else if a.is_empty() || b.is_empty() {

@@ -421,6 +421,14 @@ impl<'a> CheckContext<'a> {
             .expect("chip view not available: run the instantiate stage first")
     }
 
+    /// Mutable chip view (the net-list stage interns its fresh node
+    /// keys into the view's string table).
+    pub fn view_mut(&mut self) -> &mut ChipView {
+        self.view
+            .as_mut()
+            .expect("chip view not available: run the instantiate stage first")
+    }
+
     /// The connection results (requires the connections stage).
     pub fn connections(&self) -> &ConnectionResult {
         self.connections
@@ -690,13 +698,9 @@ impl PipelineStage for NetgenStage {
             .map(|l| (l.clone(), ctx.binding().layer(l.layer)))
             .collect();
         let workers = effective_parallelism(ctx.options.parallelism);
-        let mut nets = generate_netlist_parallel(
-            ctx.view(),
-            ctx.tech,
-            &ctx.connections().merges,
-            &labels,
-            workers,
-        );
+        let merges = ctx.connections().merges.clone();
+        let tech = ctx.tech;
+        let mut nets = generate_netlist_parallel(ctx.view_mut(), tech, &merges, &labels, workers);
         ctx.sink.append(&mut nets.violations);
         ctx.nets = Some(nets);
     }

@@ -360,10 +360,10 @@ impl CheckSession {
             diic_geom::GridIndex::new(crate::interact::interaction_cell_size(&tech));
         let mut elem_tags = Vec::with_capacity(view.elements.len());
         let mut next_tag = 0u32;
-        for e in &view.elements {
+        for &bbox in view.elements.bboxes() {
             let tag = next_tag;
             next_tag += 1;
-            let handle = elem_index.insert(e.bbox, tag);
+            let handle = elem_index.insert(bbox, tag);
             elem_tags.push(ElemTag { tag, handle });
         }
 
@@ -395,7 +395,7 @@ impl CheckSession {
             .map(|l| (l.clone(), binding.layer(l.layer)))
             .collect();
         let parts = NetParts::build_parallel(
-            &view,
+            &mut view,
             &tech,
             &conn.merges,
             &labels,
@@ -580,11 +580,12 @@ impl CheckSession {
             .chain(slots.iter().filter(|s| s.dirty).filter_map(|s| s.origin))
         {
             let (e0, _) = old_offsets[o];
-            for (e, t) in self.view.elements[e0..e0 + self.runs[o].elems]
+            let run_bboxes = &self.view.elements.bboxes()[e0..e0 + self.runs[o].elems];
+            for (&bbox, t) in run_bboxes
                 .iter()
                 .zip(&self.elem_tags[e0..e0 + self.runs[o].elems])
             {
-                foot.push(e.bbox);
+                foot.push(bbox);
                 self.elem_index.remove(t.handle);
             }
         }
@@ -607,8 +608,10 @@ impl CheckSession {
         // referenced — compaction is not worth a whole-view rewrite per
         // edit, and the rebuild fallback resets the table anyway).
         let strings = std::mem::take(&mut old_view.strings);
-        let mut old_elems: Vec<Option<crate::binding::ChipElement>> =
-            old_view.elements.into_iter().map(Some).collect();
+        // Survivor element runs copy across as whole column runs (ids
+        // renumber implicitly to their new positions); devices still
+        // move one record at a time for the back-reference rewrite.
+        let old_cols = old_view.elements;
         let mut old_devs: Vec<Option<crate::binding::DeviceInstance>> =
             old_view.devices.into_iter().map(Some).collect();
 
@@ -628,15 +631,14 @@ impl CheckSession {
                 (false, Some(o)) => {
                     let (oe, od) = old_offsets[o];
                     let run = old_runs[o];
+                    view.elements.append_run_from(
+                        &old_cols,
+                        oe..oe + run.elems,
+                        d0 as i64 - od as i64,
+                    );
                     for t in 0..run.elems {
-                        let mut el = old_elems[oe + t].take().expect("runs are disjoint");
-                        el.id = e0 + t;
-                        if let Some(d) = el.device {
-                            el.device = Some(d - od + d0);
-                        }
                         old_to_new[oe + t] = Some(e0 + t);
                         tags.push(old_tags[oe + t]);
-                        view.elements.push(el);
                     }
                     for t in 0..run.devices {
                         let mut dv = old_devs[od + t].take().expect("runs are disjoint");
@@ -657,10 +659,10 @@ impl CheckSession {
                         &self.layout.top_items()[k],
                         &mut view,
                     );
-                    for e in &view.elements[e0..] {
+                    for &bbox in &view.elements.bboxes()[e0..] {
                         let tag = self.next_tag;
                         self.next_tag += 1;
-                        let handle = self.elem_index.insert(e.bbox, tag);
+                        let handle = self.elem_index.insert(bbox, tag);
                         tags.push(ElemTag { tag, handle });
                     }
                     dev_old_of_new.extend(std::iter::repeat_n(None, view.devices.len() - d0));
@@ -679,9 +681,10 @@ impl CheckSession {
         let new_offsets = run_offsets(&runs);
         for (slot, (&(e0, _), run)) in slots.iter().zip(new_offsets.iter().zip(&runs)) {
             if slot.dirty {
-                for e in &view.elements[e0..e0 + run.elems] {
-                    foot.push(e.bbox);
-                    dirty_elem[e.id] = true;
+                let run_bboxes = &view.elements.bboxes()[e0..e0 + run.elems];
+                for (&bbox, dirty) in run_bboxes.iter().zip(&mut dirty_elem[e0..e0 + run.elems]) {
+                    foot.push(bbox);
+                    *dirty = true;
                     stats.dirty_elements += 1;
                 }
             }
@@ -742,17 +745,19 @@ impl CheckSession {
                 element_node[*new] = old_element_node[old];
             }
         }
+        // Nodes are the view interner's raw indices, so patching them is
+        // a handle read — no string ever re-interns here.
         for &id in &rekeyed {
             // Re-keyed survivors keep their netted-ness; fresh elements
             // are handled below.
             if element_node[id].is_some() {
-                element_node[id] = Some(self.parts.node(view.str(view.elements[id].net_key)));
+                element_node[id] = Some(view.elements.net_keys()[id].index());
             }
         }
-        for (id, e) in view.elements.iter().enumerate() {
+        for id in 0..n_new {
             if dirty_elem[id] {
                 element_node[id] =
-                    element_is_netted(&view, e).then(|| self.parts.node(view.str(e.net_key)));
+                    element_is_netted(&view, id).then(|| view.elements.net_keys()[id].index());
             }
         }
         // Net-neutral fast-path candidate: an edit that provably leaves
@@ -783,7 +788,7 @@ impl CheckSession {
         // region, whose grid already exists.
         let d_bind_grid_wide = rekeyed.iter().any(|&id| !dirty_elem[id]).then(|| {
             let mut rects = foot.clone();
-            rects.extend(rekeyed.iter().map(|&id| view.elements[id].bbox));
+            rects.extend(rekeyed.iter().map(|&id| view.elements.bboxes()[id]));
             region_grid(&Region::from_rects(rects), cell)
         });
         let d_bind_grid = d_bind_grid_wide.as_ref().unwrap_or(&d_conn_grid);
@@ -850,7 +855,7 @@ impl CheckSession {
             }
             ids.sort_unstable();
             ids.dedup();
-            ids.retain(|&id| element_is_netted(&view, &view.elements[id]));
+            ids.retain(|&id| element_is_netted(&view, id));
             Some(BindIndex::build_among(&view, &self.tech, &ids))
         } else {
             None
@@ -875,7 +880,7 @@ impl CheckSession {
                     let b = bind
                         .as_ref()
                         .expect("bind index built when anything re-rows");
-                    let row = self.parts.device_parts(&view, di, b);
+                    let row = self.parts.device_parts(&mut view, di, b);
                     if net_neutral {
                         // Under `aligned`, device di corresponds to old
                         // device di.
@@ -897,7 +902,7 @@ impl CheckSession {
                 let b = bind
                     .as_ref()
                     .expect("bind index built when anything re-binds");
-                let row = self.parts.label_parts(&view, label, *layer, b);
+                let row = self.parts.label_parts(&mut view, label, *layer, b);
                 net_neutral &= self.parts.labels[li] == row;
                 self.parts.labels[li] = row;
             }
@@ -927,7 +932,7 @@ impl CheckSession {
             for (old, new) in old_to_new.iter().enumerate() {
                 let Some(new) = *new else { continue };
                 if old_name(self.element_net[old]) != new_name(nets_new.element_net[new]) {
-                    int_foot.push(view.elements[new].bbox);
+                    int_foot.push(view.elements.bboxes()[new]);
                     stats.net_dirty_elements += 1;
                 }
             }
@@ -942,7 +947,7 @@ impl CheckSession {
                         .all(|(&o, &n)| old_name(Some(o)) == new_name(Some(n)));
                 if !same {
                     for &eid in &view.devices[di].element_ids {
-                        int_foot.push(view.elements[eid].bbox);
+                        int_foot.push(view.elements.bboxes()[eid]);
                     }
                 }
             }

@@ -280,17 +280,19 @@ pub fn check_interactions_clipped(
         clip_grid.insert(*r, ());
     }
 
-    // Elements within one rule reach of the clip, in ascending id order.
+    // Elements within one rule reach of the clip, in ascending id order
+    // — a sweep down the dense bbox column.
     let ids: Vec<usize> = view
         .elements
+        .bboxes()
         .iter()
-        .filter(|e| {
-            e.bbox
-                .inflate(max_range)
+        .enumerate()
+        .filter(|(_, bbox)| {
+            bbox.inflate(max_range)
                 .map(|b| clip_grid.touches_any(&b))
                 .unwrap_or(false)
         })
-        .map(|e| e.id)
+        .map(|(id, _)| id)
         .collect();
     check_interactions_among_clipped(view, tech, nets, options, &ids, &clip_grid)
 }
@@ -376,8 +378,8 @@ fn flat_candidates(
 /// One grid index over every instantiated element's bbox, payload = id.
 fn element_grid(view: &ChipView, cell: Coord) -> GridIndex<usize> {
     let mut index: GridIndex<usize> = GridIndex::new(cell);
-    for e in &view.elements {
-        index.insert(e.bbox, e.id);
+    for (id, bbox) in view.elements.bboxes().iter().enumerate() {
+        index.insert(*bbox, id);
     }
     index
 }
@@ -398,17 +400,13 @@ fn enumerate_range_pairs(
     range: std::ops::Range<usize>,
 ) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
-    for a in &view.elements[range] {
-        let query = a
-            .bbox
+    for (i, bbox) in view.elements.bboxes()[range.clone()].iter().enumerate() {
+        let i = range.start + i;
+        let query = bbox
             .inflate(max_range)
             .expect("inflating by a positive range cannot fail");
-        let near = index
-            .query(&query)
-            .into_iter()
-            .copied()
-            .filter(|&j| j > a.id);
-        out.extend(near.map(|j| (a.id, j)));
+        let near = index.query(&query).into_iter().copied().filter(|&j| j > i);
+        out.extend(near.map(|j| (i, j)));
     }
     out
 }
@@ -529,14 +527,14 @@ fn hierarchical_plan_fill(
             call_idx += 1;
         }
     }
-    for e in &view.elements {
-        let top = view.str(e.path).split('.').next().unwrap_or("");
+    for e in view.elements.iter() {
+        let top = view.str(e.path()).split('.').next().unwrap_or("");
         if top.is_empty() {
-            loose.push(e.id);
+            loose.push(e.id());
         } else if let Some(&s) = path_to_scope.get(top) {
-            scopes[s].element_ids.push(e.id);
+            scopes[s].element_ids.push(e.id());
         } else {
-            loose.push(e.id);
+            loose.push(e.id());
         }
     }
     scopes.push(Scope {
@@ -548,7 +546,7 @@ fn hierarchical_plan_fill(
     for s in &mut scopes {
         let mut bb: Option<Rect> = None;
         for &id in &s.element_ids {
-            let b = view.elements[id].bbox;
+            let b = view.elements.bboxes()[id];
             bb = Some(bb.map_or(b, |acc| acc.bounding_union(&b)));
         }
         s.bbox = bb;
@@ -721,16 +719,14 @@ fn local_candidates(
     max_range: Coord,
     cell: Coord,
 ) -> Vec<(usize, usize)> {
+    let bboxes = view.elements.bboxes();
     let mut index: GridIndex<usize> = GridIndex::new(cell);
     for (local, &id) in ids.iter().enumerate() {
-        index.insert(view.elements[id].bbox, local);
+        index.insert(bboxes[id], local);
     }
     let mut out = Vec::new();
     for (li, &id) in ids.iter().enumerate() {
-        let query = view.elements[id]
-            .bbox
-            .inflate(max_range)
-            .expect("inflate cannot fail");
+        let query = bboxes[id].inflate(max_range).expect("inflate cannot fail");
         // Ascending-query-order results keep `out` lexicographically
         // sorted without an explicit sort.
         for &lj in index.query(&query) {
@@ -752,16 +748,14 @@ fn cross_candidates(
     max_range: Coord,
     cell: Coord,
 ) -> Vec<(usize, usize)> {
+    let bboxes = view.elements.bboxes();
     let mut index: GridIndex<usize> = GridIndex::new(cell);
     for (local, &id) in b.iter().enumerate() {
-        index.insert(view.elements[id].bbox, local);
+        index.insert(bboxes[id], local);
     }
     let mut out = Vec::new();
     for (la, &id) in a.iter().enumerate() {
-        let query = view.elements[id]
-            .bbox
-            .inflate(max_range)
-            .expect("inflate cannot fail");
+        let query = bboxes[id].inflate(max_range).expect("inflate cannot fail");
         // Ascending-query-order results keep `out` lexicographically
         // sorted without an explicit sort.
         for &lb in index.query(&query) {
@@ -832,9 +826,9 @@ fn evaluate_pair(
     stats: &mut InteractStats,
 ) {
     let (view, tech, nets) = (cx.view, cx.tech, cx.nets);
-    let a = &view.elements[i];
-    let b = &view.elements[j];
-    if a.device.is_some() && a.device == b.device {
+    let a = view.elements.get(i);
+    let b = view.elements.get(j);
+    if a.device().is_some() && a.device() == b.device() {
         return; // internal to one device: stage 3's territory
     }
 
@@ -850,12 +844,12 @@ fn evaluate_pair(
     let mut rule: Option<(Coord, bool)> = None; // (required, counts_same_net)
     let mut overridden = false;
     for (own, other) in [(i, j), (j, i)] {
-        let eo = &view.elements[own];
-        let Some(d) = eo.device else { continue };
+        let eo = view.elements.get(own);
+        let Some(d) = eo.device() else { continue };
         let Some(arch) = tech.device(view.str(view.devices[d].device_type)) else {
             continue;
         };
-        if let Some(o) = arch.find_override(eo.layer, view.elements[other].layer) {
+        if let Some(o) = arch.find_override(eo.layer(), view.elements.layers()[other]) {
             overridden = true;
             match o.spacing {
                 None => {
@@ -875,7 +869,7 @@ fn evaluate_pair(
     }
 
     if !overridden {
-        let Some(matrix) = tech.rules().spacing(a.layer, b.layer) else {
+        let Some(matrix) = tech.rules().spacing(a.layer(), b.layer()) else {
             stats.no_rule += 1;
             return;
         };
@@ -883,8 +877,9 @@ fn evaluate_pair(
         // checked against unrelated elements.
         let mut required = None;
         for (inside, other) in [(i, j), (j, i)] {
-            let e = &view.elements[inside];
-            let Some(d) = e.device else { continue };
+            let Some(d) = view.elements.get(inside).device() else {
+                continue;
+            };
             let dev = &view.devices[d];
             if !dev.class.map(|c| c.is_transistor()).unwrap_or(false) {
                 continue;
@@ -892,8 +887,10 @@ fn evaluate_pair(
             let other_net = nets.element_net[other];
             let related = match other_net {
                 Some(n) => nets.device_terminal_nets[d].contains(&n),
-                None => view.elements[other]
-                    .device
+                None => view
+                    .elements
+                    .get(other)
+                    .device()
                     .map(|od| od == d)
                     .unwrap_or(false),
             };
@@ -926,10 +923,16 @@ fn evaluate_pair(
         return;
     };
 
-    // Distance.
+    // Distance: the closest-approach batch kernel over the two arena
+    // runs. The marker is the tight [`diic_geom::spacing::gap_box`] of
+    // the closest rect pair — every marker point is within the pair's
+    // gap distance of both offending features, which is what lets the
+    // incremental checker anchor spacing violations to a dirty halo (a
+    // bounding-union marker could stretch arbitrarily far from the gap
+    // along a long wire).
     stats.distance_checks += 1;
     let Some((dist, gap_loc)) =
-        element_distance(a.rects.as_slice(), b.rects.as_slice(), cx.options.metric)
+        diic_geom::batch::closest_approach(a.rects(), b.rects(), cx.options.metric)
     else {
         return;
     };
@@ -939,13 +942,13 @@ fn evaluate_pair(
         // cross-layer device-forming overlaps were reported as implied
         // devices. What remains (e.g. base touching isolation under a
         // transistor override) is a genuine short.
-        if a.layer == b.layer {
+        if a.layer() == b.layer() {
             return;
         }
-        let key = if a.layer <= b.layer {
-            (a.layer, b.layer)
+        let key = if a.layer() <= b.layer() {
+            (a.layer(), b.layer())
         } else {
-            (b.layer, a.layer)
+            (b.layer(), a.layer())
         };
         if cx.forming.contains(&key) {
             return;
@@ -956,8 +959,8 @@ fn evaluate_pair(
         violations.push(Violation {
             stage: CheckStage::Interactions,
             kind: ViolationKind::Spacing {
-                layer_a: tech.layer(a.layer).name.clone(),
-                layer_b: tech.layer(b.layer).name.clone(),
+                layer_a: tech.layer(a.layer()).name.clone(),
+                layer_b: tech.layer(b.layer()).name.clone(),
                 measured: dist,
                 required,
                 same_net,
@@ -968,39 +971,15 @@ fn evaluate_pair(
     }
 }
 
-/// Minimum distance between two rect sets under the metric, with a marker
-/// rectangle. Returns `None` if either set is empty.
-///
-/// The marker is the tight [`diic_geom::spacing::gap_box`] of the closest
-/// rect pair — every marker point is within the pair's gap distance of
-/// both offending features, which is what lets the incremental checker
-/// anchor spacing violations to a dirty halo (a bounding-union marker
-/// could stretch arbitrarily far from the gap along a long wire).
-fn element_distance(a: &[Rect], b: &[Rect], metric: SizingMode) -> Option<(Coord, Rect)> {
-    let mut best: Option<(Coord, Rect)> = None;
-    for ra in a {
-        for rb in b {
-            let d = match metric {
-                SizingMode::Euclidean => diic_geom::width::isqrt(ra.dist_sq(rb)),
-                SizingMode::Orthogonal => ra.dist_linf(rb),
-            };
-            if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
-                best = Some((d, diic_geom::spacing::gap_box(ra, rb)));
-            }
-        }
-    }
-    best
-}
-
 fn pair_context(
     view: &ChipView,
-    a: &crate::binding::ChipElement,
-    b: &crate::binding::ChipElement,
+    a: crate::binding::ElementRef<'_>,
+    b: crate::binding::ElementRef<'_>,
 ) -> String {
-    if a.path == b.path {
-        view.str(a.path).to_string()
+    if a.path() == b.path() {
+        view.str(a.path()).to_string()
     } else {
-        format!("{} / {}", view.str(a.path), view.str(b.path))
+        format!("{} / {}", view.str(a.path()), view.str(b.path()))
     }
 }
 
@@ -1017,14 +996,14 @@ mod tests {
         let layout = parse(cif).unwrap();
         let tech = nmos_technology();
         let (binding, _) = LayerBinding::bind(&layout, &tech);
-        let view = instantiate(&layout, &tech, &binding);
+        let mut view = instantiate(&layout, &tech, &binding);
         let conn = check_connections(&view, &tech);
         let labels: Vec<_> = layout
             .labels()
             .iter()
             .map(|l| (l.clone(), binding.layer(l.layer)))
             .collect();
-        let nets = generate_netlist(&view, &tech, &conn.merges, &labels);
+        let nets = generate_netlist(&mut view, &tech, &conn.merges, &labels);
         check_interactions(&view, &tech, &nets, &layout, &options)
     }
 

@@ -126,7 +126,8 @@ pub mod report;
 pub mod violations;
 
 pub use binding::{
-    instantiate_parallel, ChipElement, ChipView, DeviceInstance, Istr, LayerBinding, StringInterner,
+    instantiate_parallel, ChipElement, ChipView, DeviceInstance, ElementColumns, ElementRef, Istr,
+    LayerBinding, StringInterner,
 };
 pub use checker::{
     check, check_cif, check_with_engine, check_with_sink, CheckOptions, CheckReport, StageTimings,

@@ -7,21 +7,38 @@
 //! rules or to check the net list against an input net list for
 //! consistency."
 //!
+//! # One interner, end to end
+//!
+//! The net graph's node ids **are** the view interner's raw indices
+//! ([`crate::binding::Istr::index`]): an element's node is its `net_key`
+//! handle, and the fresh keys this stage creates — terminal keys
+//! (`i0.G`), joining-device keys (`i0.#`), label nets — are interned
+//! into [`ChipView::strings`]. No key string is ever copied into a
+//! second table, and "same string ⇒ same node" holds across the whole
+//! pipeline, which is what keeps an edit session's cached rows valid.
+//! Node ids therefore depend on interning history (a from-scratch build
+//! and a patched session may number them differently) — which is fine,
+//! because [`assemble_netlist`] canonicalises purely by key *strings*:
+//! net identity, aliases, and ordering never see the raw ids.
+//!
 //! # Parallelism
 //!
 //! Net-list generation splits into a **per-scope union phase** and a
-//! serial canonical assembly. The union phase — binding each device's
-//! terminals and each label's point to the elements covering them — is a
-//! pure function per device/label of the (read-only) view and the shared
-//! [`BindIndex`], so it fans out over the worker pool
-//! ([`crate::parallel::run_chunked`]) as symbolic **draft
-//! rows**: the covering element ids plus the key *strings* a serial
-//! build would intern, in intern order. The serial fold then interns the
+//! serial canonical assembly. The element-node map is a read-only
+//! column sweep (`net_key` handle + device class per element), so it
+//! fans out over the worker pool, as does the netted filter behind
+//! [`BindIndex::build_parallel`] — the last serial build steps. The
+//! terminal/label union phase — binding each device's terminals and
+//! each label's point to the elements covering them — is a pure
+//! function per device/label of the (read-only) view and the shared
+//! [`BindIndex`], so it fans out too
+//! ([`crate::parallel::run_chunked`]) as symbolic **draft rows**: the
+//! covering element ids plus the fresh key *strings* a serial build
+//! would intern, in intern order. The serial fold then interns the
 //! drafts in device/label order — exactly the order a serial
-//! [`NetParts::build`] calls [`NetParts::node`] — so the int-keyed graph
-//! is numbered identically and the assembled net list is
-//! **byte-identical for any worker count**
-//! ([`NetParts::build_parallel`], driven by
+//! [`NetParts::build`] interns in — so the int-keyed graph is numbered
+//! identically and the assembled net list is **byte-identical for any
+//! worker count** ([`NetParts::build_parallel`], driven by
 //! [`CheckOptions::parallelism`](crate::CheckOptions::parallelism); the
 //! seventh differential-oracle leg in `tests/differential.rs` pins it).
 //! The assembly itself ([`NetParts::assemble`] →
@@ -29,7 +46,7 @@
 //! canonical naming, the same fold the incremental session re-runs after
 //! patching rows.
 
-use crate::binding::{ChipElement, ChipView};
+use crate::binding::{ChipView, Istr, StringInterner};
 use crate::connect::is_joining_class;
 use crate::parallel::run_chunked;
 use crate::violations::Violation;
@@ -56,8 +73,8 @@ pub struct NetgenResult {
 /// True if the element carries a net: interconnect and joining
 /// (contact-class) device geometry. A transistor's un-netted parts must
 /// not become phantom zero-terminal nets.
-pub fn element_is_netted(view: &ChipView, e: &ChipElement) -> bool {
-    match e.device {
+pub fn element_is_netted(view: &ChipView, id: usize) -> bool {
+    match view.elements.get(id).device() {
         None => true,
         Some(d) => is_joining_class(view.devices[d].class),
     }
@@ -72,14 +89,24 @@ pub struct BindIndex {
 }
 
 impl BindIndex {
-    /// Indexes every netted element of the view.
+    /// Indexes every netted element of the view, serially —
+    /// [`BindIndex::build_parallel`] with one worker.
     pub fn build(view: &ChipView, tech: &Technology) -> BindIndex {
-        let ids: Vec<usize> = view
-            .elements
-            .iter()
-            .filter(|e| element_is_netted(view, e))
-            .map(|e| e.id)
-            .collect();
+        BindIndex::build_parallel(view, tech, 1)
+    }
+
+    /// [`BindIndex::build`] with the netted filter — a device-column
+    /// and class sweep per element — fanned out over `workers` scoped
+    /// threads. The chunked results flatten in id order, so the index
+    /// insertion order (and every ascending-id query answer) is
+    /// byte-identical for any worker count.
+    pub fn build_parallel(view: &ChipView, tech: &Technology, workers: usize) -> BindIndex {
+        let ids: Vec<usize> = run_chunked(view.elements.len(), workers, |id| {
+            element_is_netted(view, id).then_some(id)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         BindIndex::build_among(view, tech, &ids)
     }
 
@@ -88,8 +115,9 @@ impl BindIndex {
     pub fn build_among(view: &ChipView, tech: &Technology, ids: &[usize]) -> BindIndex {
         let mut index: GridIndex<usize> =
             GridIndex::new(crate::interact::interaction_cell_size(tech));
+        let bboxes = view.elements.bboxes();
         for &id in ids {
-            index.insert(view.elements[id].bbox, id);
+            index.insert(bboxes[id], id);
         }
         BindIndex { index }
     }
@@ -101,8 +129,8 @@ impl BindIndex {
             .into_iter()
             .copied()
             .filter(|&id| {
-                let e = &view.elements[id];
-                e.layer == layer && e.rects.iter().any(|r| r.contains_point(p))
+                let e = view.elements.get(id);
+                e.layer() == layer && e.rects().iter().any(|r| r.contains_point(p))
             })
             .collect()
     }
@@ -133,20 +161,20 @@ pub struct LabelParts {
 
 /// The int-keyed net graph behind net-list generation.
 ///
-/// Keys are interned once into `u32` nodes (the interner is append-only,
-/// so nodes are **stable across edits** — stale keys simply stop being
-/// referenced); the element/device/label rows record which nodes are
+/// Nodes are **raw indices into the owning view's interner**
+/// ([`ChipView::strings`]) — there is no second key table, so net node
+/// keys are never re-interned, and the interner's append-only contract
+/// makes nodes **stable across edits** (stale keys simply stop being
+/// referenced). The element/device/label rows record which nodes are
 /// live and how they connect. [`NetParts::assemble`] folds the graph
 /// through [`assemble_netlist`] — the same canonicalisation the
-/// [`diic_netlist::NetlistBuilder`] uses — so a graph patched
-/// incrementally by a [`crate::incremental::CheckSession`] produces a
-/// net list byte-identical to a from-scratch build.
+/// [`diic_netlist::NetlistBuilder`] uses, keyed purely on the node's
+/// *strings* — so a graph patched incrementally by a
+/// [`crate::incremental::CheckSession`] produces a net list
+/// byte-identical to a from-scratch build even where the two interned
+/// the keys in different orders.
 #[derive(Debug, Clone, Default)]
 pub struct NetParts {
-    /// The key store: one copy per distinct key
-    /// ([`crate::binding::StringInterner`] — node ids are its raw
-    /// indices).
-    keys: crate::binding::StringInterner,
     /// Node per element id; `None` for un-netted device internals.
     pub element_node: Vec<Option<u32>>,
     /// Node-pair edges from the connection stage's merges.
@@ -159,20 +187,14 @@ pub struct NetParts {
 }
 
 impl NetParts {
-    /// Interns a net key, returning its stable node id.
-    pub fn node(&mut self, key: &str) -> u32 {
-        self.keys.intern(key).index()
-    }
-
-    /// The key behind a node.
-    pub fn name(&self, node: u32) -> &str {
-        self.keys.get(crate::binding::Istr::from_index(node))
-    }
-
     /// Builds the full graph for a view, serially —
     /// [`NetParts::build_parallel`] with one worker.
+    ///
+    /// Needs the view mutably: fresh terminal / joining-device / label
+    /// keys intern into the view's own table (the graph has no key
+    /// store of its own).
     pub fn build(
-        view: &ChipView,
+        view: &mut ChipView,
         tech: &Technology,
         merges: &[(usize, usize)],
         labels: &[(NetLabel, Option<LayerId>)],
@@ -180,46 +202,52 @@ impl NetParts {
         NetParts::build_parallel(view, tech, merges, labels, 1)
     }
 
-    /// [`NetParts::build`] with the per-device / per-label union phase
+    /// [`NetParts::build`] with the element-node map, the
+    /// [`BindIndex`] filter, and the per-device / per-label union phase
     /// fanned out over `workers` scoped threads.
     ///
-    /// The parallel jobs compute symbolic `DeviceDraft` /
+    /// The parallel jobs are read-only: the element-node map is a
+    /// column sweep (an element's node is its `net_key` handle index),
+    /// and the device/label jobs compute symbolic `DeviceDraft` /
     /// `LabelDraft` rows (covering-element ids plus fresh key strings
-    /// in intern order); the serial fold then interns them in
-    /// device/label order — the same first-occurrence order a serial
-    /// build interns in — so node numbering, rows, and the assembled
-    /// net list are **byte-identical for any worker count**.
+    /// in intern order). The serial fold then interns the drafts into
+    /// the **view's** interner in device/label order — the same
+    /// first-occurrence order a serial build interns in — so node
+    /// numbering, rows, and the assembled net list are **byte-identical
+    /// for any worker count**.
     pub fn build_parallel(
-        view: &ChipView,
+        view: &mut ChipView,
         tech: &Technology,
         merges: &[(usize, usize)],
         labels: &[(NetLabel, Option<LayerId>)],
         workers: usize,
     ) -> NetParts {
         let mut parts = NetParts::default();
-        for e in &view.elements {
-            let node = element_is_netted(view, e).then(|| parts.node(view.str(e.net_key)));
-            parts.element_node.push(node);
-        }
+        // Element nodes: a parallel read-only sweep of the net-key and
+        // device columns. The node *is* the interned key's index — no
+        // interner traffic at all.
+        let ro: &ChipView = view;
+        parts.element_node = run_chunked(ro.elements.len(), workers, |id| {
+            element_is_netted(ro, id).then(|| ro.elements.net_keys()[id].index())
+        });
         parts.set_conn_edges(merges);
-        let bind = BindIndex::build(view, tech);
+        let bind = BindIndex::build_parallel(ro, tech, workers);
         // Union phase: chunked draft jobs over the device and label
         // lists (one contiguous chunk per job keeps run_ordered's
         // per-job overhead off the per-device scale).
-        let dev_drafts = run_chunked(view.devices.len(), workers, |di| {
-            device_draft(view, di, &bind)
-        });
+        let dev_drafts = run_chunked(ro.devices.len(), workers, |di| device_draft(ro, di, &bind));
         let label_drafts = run_chunked(labels.len(), workers, |li| {
             let (label, layer) = &labels[li];
-            label_draft(view, label, *layer, &bind)
+            label_draft(ro, label, *layer, &bind)
         });
-        // Serial fold: intern in device/label order.
+        // Serial fold: intern fresh keys into the view's table in
+        // device/label order.
         for draft in dev_drafts {
-            let row = parts.intern_device_draft(draft);
+            let row = parts.intern_device_draft(&mut view.strings, draft);
             parts.devices.push(row);
         }
         for draft in label_drafts {
-            let row = parts.intern_label_draft(draft);
+            let row = parts.intern_label_draft(&mut view.strings, draft);
             parts.labels.push(row);
         }
         parts
@@ -240,35 +268,44 @@ impl NetParts {
 
     /// Computes one device's row (used for initial build and for
     /// re-binding a device whose neighbourhood changed) — the draft
-    /// computation plus an immediate intern, so the incremental
-    /// session's re-rows and the parallel build share one emission
-    /// order.
-    pub fn device_parts(&mut self, view: &ChipView, di: usize, bind: &BindIndex) -> DeviceParts {
+    /// computation plus an immediate intern into the view's table, so
+    /// the incremental session's re-rows and the parallel build share
+    /// one emission order.
+    pub fn device_parts(
+        &mut self,
+        view: &mut ChipView,
+        di: usize,
+        bind: &BindIndex,
+    ) -> DeviceParts {
         let draft = device_draft(view, di, bind);
-        self.intern_device_draft(draft)
+        self.intern_device_draft(&mut view.strings, draft)
     }
 
     /// Computes one label's row (see [`NetParts::device_parts`]).
     pub fn label_parts(
         &mut self,
-        view: &ChipView,
+        view: &mut ChipView,
         label: &NetLabel,
         layer: Option<LayerId>,
         bind: &BindIndex,
     ) -> LabelParts {
         let draft = label_draft(view, label, layer, bind);
-        self.intern_label_draft(draft)
+        self.intern_label_draft(&mut view.strings, draft)
     }
 
-    /// Resolves a symbolic device draft against the interner and the
-    /// element-node map, in the draft's recorded intern order. Fresh
-    /// keys are interned **by move** — a miss keeps the draft's own
-    /// allocation instead of copying it.
-    fn intern_device_draft(&mut self, draft: DeviceDraft) -> DeviceParts {
+    /// Resolves a symbolic device draft against the view interner and
+    /// the element-node map, in the draft's recorded intern order.
+    /// Fresh keys are interned **by move** — a miss keeps the draft's
+    /// own allocation instead of copying it.
+    fn intern_device_draft(
+        &mut self,
+        strings: &mut StringInterner,
+        draft: DeviceDraft,
+    ) -> DeviceParts {
         let nodes: Vec<u32> = draft
             .keys
             .into_iter()
-            .map(|k| self.keys.intern_owned(k.into()).index())
+            .map(|k| strings.intern_owned(k.into()).index())
             .collect();
         DeviceParts {
             terms: draft
@@ -289,11 +326,15 @@ impl NetParts {
 
     /// Resolves a symbolic label draft (see
     /// [`NetParts::intern_device_draft`]).
-    fn intern_label_draft(&mut self, draft: LabelDraft) -> LabelParts {
+    fn intern_label_draft(
+        &mut self,
+        strings: &mut StringInterner,
+        draft: LabelDraft,
+    ) -> LabelParts {
         let Some(draft) = draft.0 else {
             return LabelParts::default();
         };
-        let node = self.keys.intern_owned(draft.key.into()).index();
+        let node = strings.intern_owned(draft.key.into()).index();
         LabelParts {
             node: Some(node),
             edges: draft
@@ -308,7 +349,8 @@ impl NetParts {
     }
 
     /// Assembles the canonical net list and per-element / per-terminal
-    /// resolutions from the current graph.
+    /// resolutions from the current graph. Node keys render through the
+    /// view's interner (the only key table there is).
     pub fn assemble(&self, view: &ChipView) -> NetgenResult {
         // Live nodes: whatever the element/device/label rows reference.
         let mut live: Vec<u32> = self.element_node.iter().flatten().copied().collect();
@@ -320,7 +362,10 @@ impl NetParts {
         }
         live.sort_unstable();
         live.dedup();
-        let nodes: Vec<(u32, &str)> = live.iter().map(|&n| (n, self.name(n))).collect();
+        let nodes: Vec<(u32, &str)> = live
+            .iter()
+            .map(|&n| (n, view.strings.get(Istr::from_index(n))))
+            .collect();
 
         let mut edges: Vec<(u32, u32)> = self.conn_edges.clone();
         for d in &self.devices {
@@ -343,8 +388,8 @@ impl NetParts {
             .collect();
 
         let (netlist, node_nets) = assemble_netlist(&nodes, &edges, &devices);
-        // Dense node → net map (nodes are interner indices).
-        let mut node_to_net: Vec<Option<NetId>> = vec![None; self.keys.len()];
+        // Dense node → net map (nodes are view-interner indices).
+        let mut node_to_net: Vec<Option<NetId>> = vec![None; view.strings.len()];
         for (&(node, _), &net) in nodes.iter().zip(&node_nets) {
             node_to_net[node as usize] = Some(net);
         }
@@ -465,11 +510,15 @@ fn label_draft(
 ///   element covering the terminal point on the terminal's layer;
 /// * `9L` labels name the net of the element covering the labelled point.
 ///
+/// The view is mutable because the stage's fresh keys (terminal,
+/// joining-device, and label nets) intern into the view's own string
+/// table — the graph shares that one interner end to end.
+///
 /// This is [`NetParts::build`] + [`NetParts::assemble`]; an edit session
 /// keeps the [`NetParts`] graph alive and patches it instead of
 /// rebuilding.
 pub fn generate_netlist(
-    view: &ChipView,
+    view: &mut ChipView,
     tech: &Technology,
     merges: &[(usize, usize)],
     labels: &[(NetLabel, Option<LayerId>)],
@@ -482,7 +531,7 @@ pub fn generate_netlist(
 /// assembly stays serial and canonical, so any worker count produces a
 /// byte-identical [`NetgenResult`].
 pub fn generate_netlist_parallel(
-    view: &ChipView,
+    view: &mut ChipView,
     tech: &Technology,
     merges: &[(usize, usize)],
     labels: &[(NetLabel, Option<LayerId>)],
@@ -503,14 +552,14 @@ mod tests {
         let layout = parse(cif).unwrap();
         let tech = nmos_technology();
         let (binding, _) = LayerBinding::bind(&layout, &tech);
-        let view = instantiate(&layout, &tech, &binding);
+        let mut view = instantiate(&layout, &tech, &binding);
         let conn = check_connections(&view, &tech);
         let labels: Vec<(NetLabel, Option<LayerId>)> = layout
             .labels()
             .iter()
             .map(|l| (l.clone(), binding.layer(l.layer)))
             .collect();
-        let r = generate_netlist(&view, &tech, &conn.merges, &labels);
+        let r = generate_netlist(&mut view, &tech, &conn.merges, &labels);
         (r, view)
     }
 
@@ -598,8 +647,23 @@ mod tests {
         let (r, view) = extract(
             "DS 1; 9D NMOS_ENH; L NP; B 1500 500 250 0; L ND; B 500 2500 250 0; DF; C 1; E",
         );
-        for e in &view.elements {
-            assert!(r.element_net[e.id].is_none());
+        for id in 0..view.elements.len() {
+            assert!(r.element_net[id].is_none());
         }
+    }
+
+    #[test]
+    fn node_keys_live_in_the_view_interner() {
+        // The graph has no key table of its own: terminal keys and the
+        // element nodes alike must resolve through the view's interner.
+        let (_, view) = extract(
+            "DS 1; 9D CONTACT_D; 9T A NM 0 0;
+             L NC; B 500 500 0 0; L NM; B 1000 1000 0 0; DF;
+             C 1 T 0 0; E",
+        );
+        assert!(
+            view.strings.lookup("i0.#").is_some(),
+            "joining-device key interned into the view table"
+        );
     }
 }

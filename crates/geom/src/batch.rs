@@ -1,0 +1,142 @@
+//! Batch kernels over rectangle column slices.
+//!
+//! The columnar `ChipView` (diic-core) stores per-element geometry as
+//! contiguous runs inside shared arenas: every element's covered
+//! rectangles and skeleton rectangles are `(offset, len)` slices of one
+//! `Vec<Rect>`, and the per-element bounding boxes form one dense
+//! column. The predicates the pipeline evaluates per candidate pair —
+//! touch, overlap, closest approach — and the per-tile candidate
+//! filters then become loops over plain `&[Rect]` slices with no
+//! pointer chasing, which is what this module provides.
+//!
+//! Two shapes of kernel live here:
+//!
+//! * **pair sweeps** ([`any_touch`], [`any_overlap`],
+//!   [`closest_approach`]) — all-pairs predicates between two short
+//!   rect runs (an element is a handful of rectangles);
+//! * **run filters** ([`touching_in_run`]) — one probe rectangle
+//!   against a contiguous bbox run, appending the hit indices to a
+//!   caller-owned scratch vector with a branch-free compaction loop
+//!   (write the candidate unconditionally, advance the length by the
+//!   predicate), so the inner loop has no data-dependent branches for
+//!   the compiler to serialise on.
+
+use crate::size::SizingMode;
+use crate::spacing::gap_box;
+use crate::width::isqrt;
+use crate::{Coord, Rect};
+
+/// True if any rectangle of `a` touches (shares at least a point with)
+/// any rectangle of `b` — the closed-set contact sweep behind the
+/// connection stage's touch test.
+pub fn any_touch(a: &[Rect], b: &[Rect]) -> bool {
+    a.iter().any(|ra| b.iter().any(|rb| ra.touches(rb)))
+}
+
+/// True if any rectangle of `a` shares interior area with any rectangle
+/// of `b`. Over skeleton runs in the doubled-and-inflated grid this *is*
+/// the paper's legal-connection criterion (see
+/// [`crate::skeleton::Skeleton`]); over element runs it is the Fig. 8
+/// implied-device overlap test.
+pub fn any_overlap(a: &[Rect], b: &[Rect]) -> bool {
+    a.iter().any(|ra| b.iter().any(|rb| ra.overlaps(rb)))
+}
+
+/// Closest approach between two rect runs: the minimum pairwise
+/// distance under `mode` and the tight [`gap_box`] marker of the
+/// closest pair. Returns `None` only for empty runs.
+///
+/// Distances are compared in squared form (`i128` — cannot overflow) so
+/// the inner loop is comparison-only; the single winning pair pays the
+/// square root.
+pub fn closest_approach(a: &[Rect], b: &[Rect], mode: SizingMode) -> Option<(Coord, Rect)> {
+    let mut best: Option<(i128, Rect)> = None;
+    for ra in a {
+        for rb in b {
+            let d2 = match mode {
+                SizingMode::Euclidean => ra.dist_sq(rb),
+                SizingMode::Orthogonal => {
+                    let d = ra.dist_linf(rb);
+                    d as i128 * d as i128
+                }
+            };
+            if best.is_none_or(|(bd, _)| d2 < bd) {
+                best = Some((d2, gap_box(ra, rb)));
+            }
+        }
+    }
+    best.map(|(d2, marker)| (isqrt(d2), marker))
+}
+
+/// Appends `base + i` to `out` for every rectangle `run[i]` that
+/// touches `probe` — the grid-tile candidate filter over a contiguous
+/// bbox run.
+///
+/// The loop is a branch-free compaction: each candidate index is
+/// written unconditionally into reserved scratch space and the live
+/// length advances by the predicate value, so no conditional branch
+/// depends on the geometry. `out` is a scratch arena the caller reuses
+/// across tiles (existing contents are kept; hits are appended).
+pub fn touching_in_run(run: &[Rect], probe: &Rect, base: u32, out: &mut Vec<u32>) {
+    let start = out.len();
+    out.resize(start + run.len(), 0);
+    let scratch = &mut out[start..];
+    let mut hits = 0usize;
+    for (i, r) in run.iter().enumerate() {
+        scratch[hits] = base + i as u32;
+        let hit = (r.x1 <= probe.x2) & (probe.x1 <= r.x2) & (r.y1 <= probe.y2) & (probe.y1 <= r.y2);
+        hits += hit as usize;
+    }
+    out.truncate(start + hits);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_sweeps_match_scalar_predicates() {
+        let a = [Rect::new(0, 0, 10, 10), Rect::new(20, 0, 30, 10)];
+        let b = [Rect::new(10, 0, 15, 10)];
+        assert!(any_touch(&a, &b)); // edge contact with a[0]
+        assert!(!any_overlap(&a, &b));
+        let c = [Rect::new(5, 5, 12, 12)];
+        assert!(any_overlap(&a, &c));
+        assert!(!any_touch(&a, &[Rect::new(100, 100, 110, 110)]));
+        assert!(!any_touch(&[], &b) && !any_overlap(&a, &[]));
+    }
+
+    #[test]
+    fn closest_approach_picks_the_closest_pair() {
+        let a = [Rect::new(0, 0, 10, 10)];
+        let b = [Rect::new(40, 0, 50, 10), Rect::new(13, 0, 20, 10)];
+        let (d, marker) = closest_approach(&a, &b, SizingMode::Euclidean).unwrap();
+        assert_eq!(d, 3);
+        assert_eq!(marker, gap_box(&a[0], &b[1]));
+        // Orthogonal mode measures L∞.
+        let diag = [Rect::new(13, 14, 20, 20)];
+        let (d2, _) = closest_approach(&a, &diag, SizingMode::Euclidean).unwrap();
+        assert_eq!(d2, 5);
+        let (dinf, _) = closest_approach(&a, &diag, SizingMode::Orthogonal).unwrap();
+        assert_eq!(dinf, 4);
+        assert!(closest_approach(&[], &b, SizingMode::Euclidean).is_none());
+    }
+
+    #[test]
+    fn touching_in_run_appends_hit_indices() {
+        let run = [
+            Rect::new(0, 0, 10, 10),
+            Rect::new(50, 50, 60, 60),
+            Rect::new(10, 0, 20, 10), // touches the probe's right edge
+            Rect::new(11, 0, 20, 10), // one past touching
+        ];
+        let probe = Rect::new(0, 0, 10, 10);
+        let mut out = vec![7u32];
+        touching_in_run(&run, &probe, 100, &mut out);
+        assert_eq!(out, vec![7, 100, 102]);
+        // Matches the scalar predicate over every index.
+        for (i, r) in run.iter().enumerate() {
+            assert_eq!(out.contains(&(100 + i as u32)), r.touches(&probe));
+        }
+    }
+}

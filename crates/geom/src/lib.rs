@@ -28,7 +28,10 @@
 //!   element shrunk by half the minimum width of its layer; two elements are
 //!   legally connected iff their skeletons touch, overlap, or enclose one
 //!   another (see [`skeleton`]);
-//! * a uniform-grid spatial index for interaction searches (see [`index`]).
+//! * a uniform-grid spatial index for interaction searches (see [`index`]);
+//! * batch kernels over rectangle column slices — pair sweeps, closest
+//!   approach, branch-free run filters — for columnar element stores
+//!   (see [`batch`]).
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@
 //! assert_eq!(union.area(), 100 * 100 + 100 * 100 - 50 * 50);
 //! ```
 
+pub mod batch;
 pub mod boolean;
 pub mod distance;
 pub mod edge;

@@ -106,9 +106,34 @@ impl Skeleton {
     /// True if the two skeletons touch, overlap, or one encloses the other —
     /// the paper's legal-connection criterion.
     pub fn connected_to(&self, other: &Skeleton) -> bool {
+        crate::batch::any_overlap(&self.scaled, &other.scaled)
+    }
+
+    /// The raw rectangles in the doubled-and-inflated grid — the packed
+    /// form a columnar store keeps in its shared arena. Two scaled runs
+    /// are connected iff [`crate::batch::any_overlap`] holds between
+    /// them (exactly what [`Skeleton::connected_to`] evaluates).
+    pub fn scaled_rects(&self) -> &[Rect] {
+        &self.scaled
+    }
+
+    /// Consumes the skeleton into its scaled rectangles (never empty —
+    /// every constructor returns `None` instead of an empty skeleton,
+    /// so a zero-length arena run can encode "no skeleton").
+    pub fn into_scaled_rects(self) -> Vec<Rect> {
         self.scaled
-            .iter()
-            .any(|a| other.scaled.iter().any(|b| a.overlaps(b)))
+    }
+
+    /// Rebuilds a skeleton from scaled rectangles previously obtained
+    /// via [`Skeleton::scaled_rects`] / [`Skeleton::into_scaled_rects`].
+    /// Returns `None` for an empty run, mirroring the constructors'
+    /// "no skeleton" convention.
+    pub fn from_scaled_rects(scaled: Vec<Rect>) -> Option<Skeleton> {
+        if scaled.is_empty() {
+            None
+        } else {
+            Some(Skeleton { scaled })
+        }
     }
 
     /// The skeleton rectangles, mapped back to original coordinates

@@ -44,11 +44,19 @@
 //! `path` / `net_key` string resolves back to its own handle, parallel
 //! instantiation renders the same strings as serial, and shared paths
 //! collapse to single interner entries.
+//!
+//! The **eighth leg** (`columnar_equals_boxed`) pins the columnar
+//! element store the same way: the struct-of-arrays `ElementColumns`
+//! layout is a pure storage decision. Every generated chip's columns
+//! round-trip through boxed `ChipElement` records back to identical
+//! columns, and each `ElementRef` accessor agrees field for field with
+//! its boxed counterpart — so the batch kernels sweeping column slices
+//! see exactly what per-record code saw.
 
 use diic::core::{
     account, check_cif, check_connections, check_connections_parallel, env_parallelism, flat_check,
     generate_netlist, generate_netlist_parallel, instantiate_parallel, CheckOptions, CheckReport,
-    FlatOptions, LayerBinding, Violation,
+    ElementColumns, FlatOptions, LayerBinding, Violation,
 };
 use diic::gen::{generate, ChipSpec, ErrorKind};
 use diic::tech::nmos::nmos_technology;
@@ -256,7 +264,7 @@ proptest! {
         let chip = generate(&ChipSpec::with_errors(nx, ny, errors, seed));
         let layout = diic::cif::parse(&chip.cif).expect("generated chips always parse");
         let (binding, _) = LayerBinding::bind(&layout, &tech);
-        let view = instantiate_parallel(&layout, &tech, &binding, 1);
+        let mut view = instantiate_parallel(&layout, &tech, &binding, 1);
         let labels: Vec<_> = layout
             .labels()
             .iter()
@@ -264,7 +272,7 @@ proptest! {
             .collect();
 
         let conn_serial = check_connections(&view, &tech);
-        let nets_serial = generate_netlist(&view, &tech, &conn_serial.merges, &labels);
+        let nets_serial = generate_netlist(&mut view, &tech, &conn_serial.merges, &labels);
         let wide = wide_workers();
         for workers in [2usize, 3, wide] {
             let conn = check_connections_parallel(&view, &tech, workers);
@@ -276,7 +284,7 @@ proptest! {
             prop_assert_eq!(&conn.merges, &conn_serial.merges, "workers={}", workers);
             prop_assert_eq!(conn.pairs_examined, conn_serial.pairs_examined);
 
-            let nets = generate_netlist_parallel(&view, &tech, &conn.merges, &labels, workers);
+            let nets = generate_netlist_parallel(&mut view, &tech, &conn.merges, &labels, workers);
             prop_assert_eq!(
                 &nets.netlist, &nets_serial.netlist,
                 "netgen: {} workers diverge (nx={} ny={} seed={} mask={:#b})",
@@ -321,9 +329,12 @@ proptest! {
         for e in &serial.elements {
             // Round trip: the rendered string resolves back to the
             // handle that rendered it (the interner stores one copy).
-            prop_assert_eq!(serial.strings.lookup(serial.str(e.net_key)), Some(e.net_key));
-            prop_assert_eq!(serial.strings.lookup(serial.str(e.path)), Some(e.path));
-            distinct.insert(serial.str(e.path).to_string());
+            prop_assert_eq!(
+                serial.strings.lookup(serial.str(e.net_key())),
+                Some(e.net_key())
+            );
+            prop_assert_eq!(serial.strings.lookup(serial.str(e.path())), Some(e.path()));
+            distinct.insert(serial.str(e.path()).to_string());
         }
         prop_assert!(
             distinct.len() < serial.elements.len() || serial.elements.len() <= 1,
@@ -333,13 +344,66 @@ proptest! {
         // element, device for device.
         prop_assert_eq!(serial.elements.len(), wide.elements.len());
         for (a, b) in serial.elements.iter().zip(&wide.elements) {
-            prop_assert_eq!(serial.str(a.net_key), wide.str(b.net_key));
-            prop_assert_eq!(serial.str(a.path), wide.str(b.path));
+            prop_assert_eq!(serial.str(a.net_key()), wide.str(b.net_key()));
+            prop_assert_eq!(serial.str(a.path()), wide.str(b.path()));
         }
         for (a, b) in serial.devices.iter().zip(&wide.devices) {
             prop_assert_eq!(serial.str(a.path), wide.str(b.path));
             prop_assert_eq!(serial.str(a.device_type), wide.str(b.device_type));
         }
+    }
+
+    /// The **eighth leg**: the columnar element store is a pure layout
+    /// decision. For arbitrary generated chips, `ElementColumns`
+    /// round-trips through boxed `ChipElement` records back to
+    /// identical columns (arenas, ranges, flag bits and all, via the
+    /// derived equality), and every `ElementRef` accessor agrees field
+    /// for field with the boxed record it materialises — so batch
+    /// kernels sweeping contiguous column slices see exactly the data
+    /// per-record code saw before the refactor.
+    #[test]
+    fn columnar_equals_boxed(
+        nx in 2usize..5,
+        ny in 1usize..3,
+        seed in 0u64..1_000_000,
+        mask in 1u16..512,
+    ) {
+        let tech = nmos_technology();
+        let errors: Vec<ErrorKind> = ErrorKind::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, k)| *k)
+            .take(nx * ny)
+            .collect();
+        let chip = generate(&ChipSpec::with_errors(nx, ny, errors, seed));
+        let layout = diic::cif::parse(&chip.cif).expect("generated chips always parse");
+        let (binding, _) = LayerBinding::bind(&layout, &tech);
+        let view = instantiate_parallel(&layout, &tech, &binding, 1);
+
+        let boxed = view.elements.to_elements();
+        prop_assert_eq!(boxed.len(), view.elements.len());
+        for (e, rec) in view.elements.iter().zip(&boxed) {
+            // Accessor view vs boxed record, field for field. Ids are
+            // implicit column positions in the columnar store.
+            prop_assert_eq!(e.id(), rec.id);
+            prop_assert_eq!(e.layer(), rec.layer);
+            prop_assert_eq!(e.bbox(), rec.bbox);
+            prop_assert_eq!(e.rects(), rec.rects.as_slice());
+            prop_assert_eq!(e.net_key(), rec.net_key);
+            prop_assert_eq!(e.net_declared(), rec.net_declared);
+            prop_assert_eq!(e.path(), rec.path);
+            prop_assert_eq!(e.device(), rec.device);
+            prop_assert_eq!(e.source(), rec.source);
+            prop_assert_eq!(e.has_skeleton(), rec.skeleton.is_some());
+            let scaled = rec.skeleton.as_ref().map(|s| s.scaled_rects()).unwrap_or(&[]);
+            prop_assert_eq!(e.skeleton(), scaled);
+            prop_assert_eq!(&e.to_element(), rec);
+        }
+        // And back: rebuilding the columns from the boxed records
+        // reproduces the resident store exactly.
+        let rebuilt = ElementColumns::from_elements(boxed);
+        prop_assert_eq!(&rebuilt, &view.elements);
     }
 
     /// The mask-level baseline's parallel per-layer Boolean work,
