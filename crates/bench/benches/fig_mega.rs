@@ -6,7 +6,7 @@
 //! of drifting in unread medians.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
-use diic_core::{check, check_with_sink, CheckOptions, CountingSink, StageEngine};
+use diic_core::{check, check_with_sink, CheckOptions, CountingSink, SpillingSink, StageEngine};
 use diic_tech::nmos::nmos_technology;
 
 fn bench(c: &mut Criterion) {
@@ -49,6 +49,30 @@ fn bench(c: &mut Criterion) {
                 },
                 &mut sink,
             )
+        })
+    });
+    // The spilled report path end to end: same-net suppression off so
+    // the clean slice produces report volume, a budget far below it so
+    // every iteration writes sorted runs to disk and k-way merges them
+    // back — pricing the external sort against the in-RAM paths above.
+    g.bench_function("spilling-sink", |b| {
+        b.iter(|| {
+            let mut sink = SpillingSink::new(std::io::sink(), 256);
+            check_with_sink(
+                &StageEngine::diic_pipeline(),
+                &layout,
+                &tech,
+                &CheckOptions {
+                    erc: false,
+                    parallelism: 0,
+                    same_net_suppression: false,
+                    ..CheckOptions::default()
+                },
+                &mut sink,
+            );
+            let (_, stats) = sink.finish().expect("sink writes cannot fail");
+            assert!(stats.runs > 1, "budget 256 must spill the mega slice");
+            stats
         })
     });
     g.finish();

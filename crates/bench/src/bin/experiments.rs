@@ -53,6 +53,7 @@ fn main() {
         ),
         ("e17", Box::new(move || diic_bench::e17_incremental(scale))),
         ("e18", Box::new(move || diic_bench::e18_memory(scale))),
+        ("e19", Box::new(move || diic_bench::e19_spill(scale))),
     ];
 
     println!("DIIC experiment harness — McGrath & Whitney, DAC 1980");

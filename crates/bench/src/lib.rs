@@ -1382,6 +1382,175 @@ pub fn e18_memory(scale: Scale) -> String {
     out
 }
 
+/// Peak resident set size (`VmHWM` from `/proc/self/status`) in
+/// kilobytes; `0` where the proc interface is unavailable.
+pub fn peak_rss_kb() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        std::fs::read_to_string("/proc/self/status")
+            .ok()
+            .and_then(|s| {
+                s.lines().find_map(|line| {
+                    line.strip_prefix("VmHWM:")
+                        .and_then(|rest| rest.trim().strip_suffix("kB"))
+                        .and_then(|n| n.trim().parse().ok())
+                })
+            })
+            .unwrap_or(0)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
+/// Resets the kernel's peak-RSS watermark to the current RSS (writes
+/// `5` to `/proc/self/clear_refs`) so successive [`peak_rss_kb`] reads
+/// bracket one phase each instead of accumulating across the process.
+/// Returns `false` where unsupported; measurements then cover the whole
+/// process lifetime, which still upper-bounds each phase.
+pub fn reset_peak_rss() -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        std::fs::write("/proc/self/clear_refs", "5").is_ok()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        false
+    }
+}
+
+/// An [`std::io::Write`] that hashes (FNV-1a, 64-bit) and counts every
+/// byte — byte-identity between two streamed reports without holding
+/// either in memory: equal `(hash, bytes)` digests mean equal streams.
+#[derive(Debug, Default)]
+pub struct FnvWriter {
+    hash: u64,
+    bytes: u64,
+}
+
+impl FnvWriter {
+    /// An empty-stream digest.
+    pub fn new() -> Self {
+        FnvWriter {
+            hash: 0xcbf2_9ce4_8422_2325,
+            bytes: 0,
+        }
+    }
+
+    /// `(hash, byte count)` of everything written so far.
+    pub fn digest(&self) -> (u64, u64) {
+        (self.hash, self.bytes)
+    }
+}
+
+impl std::io::Write for FnvWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        for &b in buf {
+            self.hash ^= b as u64;
+            self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.bytes += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// E19 — the spilled report path: peak RSS and wall-clock, buffered
+/// canonical report vs [`diic_core::SpillingSink`], by element count. Same-net
+/// suppression is disabled so the rule-clean array actually produces
+/// report volume (every intra-net spacing pair reports —
+/// O(interactions) violations, the regime the spill path exists for).
+/// Both legs stream their final bytes through an [`FnvWriter`], so
+/// byte-identity is checked without a second in-memory copy.
+pub fn e19_spill(scale: Scale) -> String {
+    use diic_core::{canonical_sort, check_with_sink, SpillingSink};
+    use std::io::Write as _;
+    let mut out = String::new();
+    // The budget is deliberately far below the violation volume so the
+    // merge is genuinely k-way (quick: a few hundred violations per
+    // run; full: 64k — about the chunk a production caller would pick).
+    let (targets, budget): (Vec<u64>, usize) = if scale.quick {
+        (vec![2_000, 20_000], 256)
+    } else {
+        (vec![20_000, 200_000, 1_000_000], 64 * 1024)
+    };
+    let _ = writeln!(
+        out,
+        "E19: spilled report path — RSS and wall-clock, buffered vs spilling sink"
+    );
+    let _ = writeln!(
+        out,
+        "{:>9} {:>10} {:>6} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10}",
+        "elements",
+        "violations",
+        "runs",
+        "spill MB",
+        "buf ms",
+        "spill ms",
+        "buf RSSMB",
+        "spill RSSMB",
+        "identical"
+    );
+    let tech = nmos_technology();
+    let engine = StageEngine::diic_pipeline();
+    for target in targets {
+        let chip = diic_gen::mega_chip(target);
+        let layout = diic_cif::parse(&chip.cif).unwrap();
+        let options = CheckOptions {
+            erc: false,
+            parallelism: 0,
+            same_net_suppression: false,
+            ..CheckOptions::default()
+        };
+
+        reset_peak_rss();
+        let t0 = Instant::now();
+        let mut buffered = check_with_engine(&engine, &layout, &tech, &options);
+        canonical_sort(&mut buffered.violations);
+        let mut want = FnvWriter::new();
+        for v in &buffered.violations {
+            let _ = writeln!(want, "{v:?}");
+        }
+        let t_buf = t0.elapsed();
+        let rss_buf = peak_rss_kb();
+
+        reset_peak_rss();
+        let t0 = Instant::now();
+        let mut sink = SpillingSink::new(FnvWriter::new(), budget);
+        check_with_sink(&engine, &layout, &tech, &options, &mut sink);
+        let (got, stats) = sink.finish().expect("hash writes cannot fail");
+        let t_spill = t0.elapsed();
+        let rss_spill = peak_rss_kb();
+
+        let identical = got.digest() == want.digest() && stats.written == buffered.violations.len();
+        let _ = writeln!(
+            out,
+            "{:>9} {:>10} {:>6} {:>9.1} {:>9.1} {:>9.1} {:>10.1} {:>10.1} {:>10}",
+            buffered.element_count,
+            stats.written,
+            stats.runs,
+            stats.spilled_bytes as f64 / 1e6,
+            t_buf.as_secs_f64() * 1e3,
+            t_spill.as_secs_f64() * 1e3,
+            rss_buf as f64 / 1e3,
+            rss_spill as f64 / 1e3,
+            if identical { "yes" } else { "NO" }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(buffered = whole report sorted in RAM; spilling = sorted {budget}-violation\n\
+         runs on disk, k-way merged to the writer at finish — the report's RAM\n\
+         footprint is one run plus one merge cursor per run, whatever the chip\n\
+         size. RSS is VmHWM bracketed per leg via /proc/self/clear_refs)"
+    );
+    out
+}
+
 /// Runs every experiment, returning the combined report.
 pub fn run_all(scale: Scale) -> String {
     let parts = vec![
@@ -1403,6 +1572,7 @@ pub fn run_all(scale: Scale) -> String {
         e16_parallel_speedup(scale),
         e17_incremental(scale),
         e18_memory(scale),
+        e19_spill(scale),
     ];
     parts.join("\n")
 }
@@ -1530,6 +1700,24 @@ mod tests {
                 tiled < buffered,
                 "tiled peak {tiled} not below buffered {buffered}: {line}"
             );
+        }
+    }
+
+    #[test]
+    fn e19_spilled_report_is_identical_and_multi_run() {
+        let t = e19_spill(QUICK);
+        assert!(!t.contains(" NO"), "a spilled report diverged: {t}");
+        // Every row must have merged more than one run (the budget is
+        // far below the same-net violation volume) and verified
+        // byte-identity against the buffered canonical report.
+        for line in t
+            .lines()
+            .filter(|l| l.trim_start().starts_with(char::is_numeric))
+        {
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            let runs: u64 = cols[2].parse().unwrap();
+            assert!(runs > 1, "expected a multi-run merge: {line}");
+            assert_eq!(*cols.last().unwrap(), "yes", "{line}");
         }
     }
 }

@@ -57,6 +57,10 @@ use std::time::{Duration, Instant};
 /// * [`StreamingSink`] — holds at most one bounded chunk in memory,
 ///   flushing each chunk (canonically sorted) to a writer — the
 ///   bounded-memory report path for million-element chips;
+/// * [`SpillingSink`] — like [`StreamingSink`] but the writer receives
+///   the **fully sorted** report: chunks past the in-memory budget
+///   spill to on-disk sorted runs ([`crate::spill`]) and
+///   [`SpillingSink::finish`] streams their k-way merge;
 /// * [`CountingSink`] — retains nothing, counting per report stage.
 ///
 /// The ingestion contract all implementations share: violations are
@@ -175,8 +179,17 @@ impl Sink for DiagnosticSink {
 /// at O(tile) memory end to end.
 ///
 /// Write errors are deferred (the [`Sink`] methods cannot fail) and
-/// surfaced by [`StreamingSink::finish`]; once an error occurs, further
-/// chunks are dropped rather than silently half-written.
+/// surfaced by [`StreamingSink::finish`].
+///
+/// **Error latch.** The first write failure poisons the sink: the
+/// failed chunk is dropped (a partial `write_all` may have left its
+/// prefix in the writer, but [`StreamingSink::written`] does not count
+/// it — `written` means *durably written in full chunks*), every
+/// subsequent [`Sink::push`] is discarded without buffering or
+/// counting, and [`StreamingSink::finish`] returns the original error.
+/// A poisoned sink therefore stops mutating both its own state and the
+/// writer the moment the error occurs, instead of interleaving later
+/// chunks after a torn one.
 pub struct StreamingSink<W: std::io::Write> {
     out: W,
     chunk: Vec<Violation>,
@@ -200,15 +213,23 @@ impl<W: std::io::Write> StreamingSink<W> {
         }
     }
 
-    /// Violations written to the writer so far (excludes the pending
-    /// chunk).
+    /// Violations written **durably** to the writer so far: complete
+    /// chunks whose `write_all` succeeded. Excludes the pending chunk
+    /// and any chunk lost to a write error (even if a prefix of its
+    /// bytes reached the writer before the failure).
     pub fn written(&self) -> usize {
         self.written
     }
 
+    /// True once a write error has latched: the sink is poisoned, all
+    /// further input is dropped, and [`StreamingSink::finish`] will
+    /// return the error.
+    pub fn errored(&self) -> bool {
+        self.error.is_some()
+    }
+
     fn flush_chunk(&mut self) {
-        if self.chunk.is_empty() || self.error.is_some() {
-            self.chunk.clear();
+        if self.chunk.is_empty() {
             return;
         }
         crate::report::canonical_sort(&mut self.chunk);
@@ -230,7 +251,9 @@ impl<W: std::io::Write> StreamingSink<W> {
     /// Flushes the pending chunk and returns the writer — or the first
     /// deferred write error.
     pub fn finish(mut self) -> std::io::Result<W> {
-        self.flush_chunk();
+        if self.error.is_none() {
+            self.flush_chunk();
+        }
         match self.error {
             Some(e) => Err(e),
             None => Ok(self.out),
@@ -245,16 +268,210 @@ impl<W: std::io::Write> std::fmt::Debug for StreamingSink<W> {
             .field("accepted", &self.accepted)
             .field("written", &self.written)
             .field("pending", &self.chunk.len())
+            .field("errored", &self.error.is_some())
             .finish()
     }
 }
 
 impl<W: std::io::Write> Sink for StreamingSink<W> {
     fn push(&mut self, v: Violation) {
+        if self.error.is_some() {
+            // The latch: a poisoned sink accepts nothing further.
+            return;
+        }
         self.accepted += 1;
         self.chunk.push(v);
         if self.chunk.len() >= self.capacity {
             self.flush_chunk();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.accepted
+    }
+}
+
+/// Statistics of a finished [`SpillingSink`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Sorted runs spilled to disk (0 = the whole report fit the
+    /// in-memory budget and was sorted and written directly).
+    pub runs: usize,
+    /// Bytes of encoded run records spilled to disk.
+    pub spilled_bytes: u64,
+    /// Violations written to the output writer (the full report).
+    pub written: usize,
+}
+
+/// The external-sort [`Sink`]: a bounded in-memory budget, on-disk
+/// sorted runs past it, and a k-way merge at the end — the writer
+/// receives the report in **global canonical order**
+/// ([`crate::report::canonical_sort`] order, byte-identical to sorting
+/// a [`DiagnosticSink`]'s buffer) while the process never holds more
+/// than `budget` violations plus O(runs) merge cursors in memory.
+///
+/// Accepted violations accumulate in one chunk; when the chunk reaches
+/// the budget it is canonically sorted and appended as a *run* to a
+/// single unlinked temp file ([`crate::spill::SpillFile`] — see that
+/// module for the record format). [`SpillingSink::finish`] then streams
+/// the heap-merge of all runs (plus the final partial chunk) to the
+/// writer as one debug-rendered line per violation. A report that
+/// never exceeds the budget spills nothing: it is sorted in memory and
+/// written directly, so small chips pay no I/O beyond the final write.
+///
+/// **Error latch.** Spill and merge I/O can fail mid-run; the first
+/// failure poisons the sink exactly like [`StreamingSink`]: further
+/// input is dropped uncounted, no further writes are attempted, and
+/// [`SpillingSink::finish`] returns the error.
+pub struct SpillingSink<W: std::io::Write> {
+    out: W,
+    chunk: Vec<Violation>,
+    budget: usize,
+    accepted: usize,
+    spill: Option<crate::spill::SpillFile>,
+    spill_dir: Option<std::path::PathBuf>,
+    error: Option<std::io::Error>,
+}
+
+impl<W: std::io::Write> SpillingSink<W> {
+    /// A sink merging to `out`, spilling every `budget` violations
+    /// (clamped to ≥ 1; `1` makes every violation its own run — the
+    /// degenerate all-merge configuration the differential oracle
+    /// exercises). Runs spill to the system temp directory; see
+    /// [`SpillingSink::with_spill_dir`].
+    pub fn new(out: W, budget: usize) -> Self {
+        SpillingSink {
+            out,
+            chunk: Vec::new(),
+            budget: budget.max(1),
+            accepted: 0,
+            spill: None,
+            spill_dir: None,
+            error: None,
+        }
+    }
+
+    /// Directs run spilling into `dir` instead of the system temp
+    /// directory (the file is still unlinked/deleted automatically).
+    #[must_use]
+    pub fn with_spill_dir(mut self, dir: std::path::PathBuf) -> Self {
+        self.spill_dir = Some(dir);
+        self
+    }
+
+    /// True once a spill or write error has latched (see the type-level
+    /// docs); [`SpillingSink::finish`] will return the error.
+    pub fn errored(&self) -> bool {
+        self.error.is_some()
+    }
+
+    /// Sorted runs spilled so far (the final partial chunk spills at
+    /// [`SpillingSink::finish`], so this can grow by one more).
+    pub fn spilled_runs(&self) -> usize {
+        self.spill.as_ref().map_or(0, |s| s.runs())
+    }
+
+    fn spill_chunk(&mut self) {
+        if self.chunk.is_empty() || self.error.is_some() {
+            self.chunk.clear();
+            return;
+        }
+        crate::report::canonical_sort(&mut self.chunk);
+        let result = (|| -> std::io::Result<()> {
+            if self.spill.is_none() {
+                self.spill = Some(crate::spill::SpillFile::create_in(
+                    self.spill_dir.as_deref(),
+                )?);
+            }
+            // invariant: just created above when absent.
+            let spill = self.spill.as_mut().expect("created above");
+            spill.append_run(&self.chunk)
+        })();
+        self.chunk.clear();
+        if let Err(e) = result {
+            self.error = Some(e);
+        }
+    }
+
+    /// Merges every spilled run (and the pending chunk) into the
+    /// writer in global canonical order, returning the writer and the
+    /// run statistics — or the first deferred error.
+    pub fn finish(mut self) -> std::io::Result<(W, SpillStats)> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        let mut stats = SpillStats {
+            written: self.accepted,
+            ..SpillStats::default()
+        };
+        // Batch merged lines so the writer sees large writes, not one
+        // syscall per violation.
+        const FLUSH_BYTES: usize = 256 * 1024;
+        let mut text = String::new();
+        if let Some(mut spill) = self.spill.take() {
+            // External path: the pending chunk becomes the last run,
+            // then everything merges from disk.
+            self.spill = Some(spill);
+            self.spill_chunk();
+            if let Some(e) = self.error.take() {
+                return Err(e);
+            }
+            // invariant: spill_chunk either latched an error (returned
+            // above) or left a spill file holding at least this chunk.
+            spill = self.spill.take().expect("spill survives spill_chunk");
+            stats.runs = spill.runs();
+            stats.spilled_bytes = spill.bytes();
+            let out = &mut self.out;
+            spill.merge(&mut |_, line| {
+                text.push_str(&line);
+                text.push('\n');
+                if text.len() >= FLUSH_BYTES {
+                    out.write_all(text.as_bytes())?;
+                    text.clear();
+                }
+                Ok(())
+            })?;
+        } else {
+            // In-memory path: the whole report fit the budget.
+            crate::report::canonical_sort(&mut self.chunk);
+            for v in self.chunk.drain(..) {
+                use std::fmt::Write as _;
+                let _ = writeln!(text, "{v:?}");
+                if text.len() >= FLUSH_BYTES {
+                    self.out.write_all(text.as_bytes())?;
+                    text.clear();
+                }
+            }
+        }
+        if !text.is_empty() {
+            self.out.write_all(text.as_bytes())?;
+        }
+        Ok((self.out, stats))
+    }
+}
+
+impl<W: std::io::Write> std::fmt::Debug for SpillingSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpillingSink")
+            .field("budget", &self.budget)
+            .field("accepted", &self.accepted)
+            .field("pending", &self.chunk.len())
+            .field("runs", &self.spilled_runs())
+            .field("errored", &self.error.is_some())
+            .finish()
+    }
+}
+
+impl<W: std::io::Write> Sink for SpillingSink<W> {
+    fn push(&mut self, v: Violation) {
+        if self.error.is_some() {
+            // The latch: a poisoned sink accepts nothing further.
+            return;
+        }
+        self.accepted += 1;
+        self.chunk.push(v);
+        if self.chunk.len() >= self.budget {
+            self.spill_chunk();
         }
     }
 
@@ -406,6 +623,12 @@ impl<'a> CheckContext<'a> {
         self.clip = Some(clip);
         self
     }
+
+    // invariant (this and the accessors below): stage-order contract —
+    // the engine runs producers before consumers, so a populated field
+    // here is a precondition of being scheduled at all; a panic is a
+    // mis-registered custom stage set, not an input- or I/O-reachable
+    // state.
 
     /// The layer binding (requires the instantiate stage).
     pub fn binding(&self) -> &LayerBinding {
@@ -1086,6 +1309,121 @@ mod tests {
         for ctx in ["\"a\"", "\"b\"", "\"c\""] {
             assert!(text.contains(ctx), "missing {ctx} in:\n{text}");
         }
+    }
+
+    /// A writer accepting at most `budget` bytes, then failing — the
+    /// mid-chunk partial-write case: `write_all` sees a short `Ok`
+    /// first, so some bytes land before the error surfaces.
+    #[derive(Debug)]
+    struct FailingWriter {
+        budget: usize,
+        taken: usize,
+    }
+
+    impl std::io::Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let room = self.budget - self.taken;
+            if room == 0 {
+                return Err(std::io::Error::other("writer full"));
+            }
+            let n = room.min(buf.len());
+            self.taken += n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn streaming_sink_latches_on_mid_chunk_write_failure() {
+        // Room for a few bytes only: the first chunk's write_all makes
+        // partial progress, then fails.
+        let mut sink = StreamingSink::new(
+            FailingWriter {
+                budget: 5,
+                taken: 0,
+            },
+            2,
+        );
+        sink.push(sample_violation("a"));
+        assert!(!sink.errored());
+        sink.push(sample_violation("b")); // fills the chunk → torn write
+        assert!(sink.errored(), "partial write_all must latch the error");
+        assert_eq!(
+            sink.written(),
+            0,
+            "written means durably written: a torn chunk does not count"
+        );
+        let accepted = sink.len();
+        // The poisoned sink drops everything that follows — no
+        // buffering, no counting, no further writer traffic.
+        sink.push(sample_violation("c"));
+        sink.push(sample_violation("d"));
+        assert_eq!(sink.len(), accepted, "poisoned sink accepts nothing");
+        let err = sink
+            .finish()
+            .expect_err("finish surfaces the latched error");
+        assert_eq!(err.to_string(), "writer full");
+    }
+
+    #[test]
+    fn spilling_sink_in_memory_path_sorts_without_io() {
+        // Under budget: nothing spills, the writer gets the canonically
+        // sorted report in one shot.
+        let mut sink = SpillingSink::new(Vec::new(), 100);
+        sink.push(sample_violation("b"));
+        sink.push(sample_violation("a"));
+        assert_eq!(sink.spilled_runs(), 0);
+        let (out, stats) = sink.finish().unwrap();
+        assert_eq!(stats.runs, 0, "under budget: no run files");
+        assert_eq!(stats.written, 2);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(
+            lines[0].contains("\"a\"") && lines[1].contains("\"b\""),
+            "canonical order in-memory:\n{text}"
+        );
+    }
+
+    #[test]
+    fn spilling_sink_merges_runs_in_canonical_order() {
+        // Budget 2 over 5 violations pushed in reverse order: two
+        // spilled runs plus a pending chunk, merged fully sorted.
+        let mut sink = SpillingSink::new(Vec::new(), 2);
+        for ctx in ["e", "d", "c", "b", "a"] {
+            sink.push(sample_violation(ctx));
+        }
+        assert_eq!(sink.spilled_runs(), 2);
+        let (out, stats) = sink.finish().unwrap();
+        assert_eq!(stats.runs, 3, "final partial chunk spills at finish");
+        assert_eq!(stats.written, 5);
+        assert!(stats.spilled_bytes > 0);
+        let text = String::from_utf8(out).unwrap();
+        let contexts: Vec<&str> = ["\"a\"", "\"b\"", "\"c\"", "\"d\"", "\"e\""].to_vec();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for (line, ctx) in lines.iter().zip(&contexts) {
+            assert!(line.contains(ctx), "expected {ctx} in {line}");
+        }
+    }
+
+    #[test]
+    fn spilling_sink_latches_on_final_write_failure() {
+        let mut sink = SpillingSink::new(
+            FailingWriter {
+                budget: 3,
+                taken: 0,
+            },
+            1, // every violation its own run
+        );
+        sink.push(sample_violation("a"));
+        sink.push(sample_violation("b"));
+        assert_eq!(sink.spilled_runs(), 2, "runs spill to disk error-free");
+        // The merge hits the failing output writer at finish.
+        let err = sink.finish().expect_err("merge write error surfaces");
+        assert_eq!(err.to_string(), "writer full");
     }
 
     #[test]

@@ -641,6 +641,8 @@ impl CheckSession {
                         tags.push(old_tags[oe + t]);
                     }
                     for t in 0..run.devices {
+                        // invariant: each old device index belongs to
+                        // exactly one reused run, so it is taken once.
                         let mut dv = old_devs[od + t].take().expect("runs are disjoint");
                         for id in dv.element_ids.iter_mut() {
                             *id = *id - oe + e0;
@@ -877,6 +879,8 @@ impl CheckSession {
             match reusable {
                 Some(row) => new_rows.push(row),
                 None => {
+                    // invariant: the bind index is built up front
+                    // whenever any row is marked for re-derivation.
                     let b = bind
                         .as_ref()
                         .expect("bind index built when anything re-rows");
@@ -899,6 +903,8 @@ impl CheckSession {
         // region.
         for (li, (label, layer)) in self.labels.iter().enumerate() {
             if relabel[li] {
+                // invariant: same up-front construction as the device
+                // rows — relabel[li] implies the index exists.
                 let b = bind
                     .as_ref()
                     .expect("bind index built when anything re-binds");
@@ -1088,6 +1094,8 @@ impl CheckSession {
         if self.elem_index.tombstones() > self.elem_index.len().max(64) {
             let remap = self.elem_index.compact();
             for t in &mut self.elem_tags {
+                // invariant: compaction only drops tombstoned handles,
+                // and every tag references a live element.
                 t.handle = remap[t.handle as usize].expect("live elements keep live handles");
             }
             stats.index_compacted = true;
@@ -1098,7 +1106,9 @@ impl CheckSession {
     /// Streams the cached canonical report through any
     /// [`Sink`] — pair it with a
     /// [`StreamingSink`](crate::engine::StreamingSink) to export a
-    /// session's report without materialising a second copy. (The
+    /// session's report without materialising a second copy, or with a
+    /// [`SpillingSink`](crate::engine::SpillingSink) to bound even the
+    /// export's sort buffer when the report outgrows RAM. (The
     /// session keeps its own canonical buffer: report patching retracts
     /// and splices against it.)
     pub fn emit_report(&self, sink: &mut dyn Sink) {

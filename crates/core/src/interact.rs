@@ -402,6 +402,8 @@ fn enumerate_range_pairs(
     let mut out = Vec::new();
     for (i, bbox) in view.elements.bboxes()[range.clone()].iter().enumerate() {
         let i = range.start + i;
+        // invariant: max_range >= 0 (rule ranges are non-negative), and
+        // inflate only fails on negative shrink past emptiness.
         let query = bbox
             .inflate(max_range)
             .expect("inflating by a positive range cannot fail");
@@ -596,6 +598,7 @@ fn hierarchical_plan_fill(
             let (Some(ba), Some(bb)) = (sa.bbox, sb.bbox) else {
                 continue;
             };
+            // invariant: non-negative range, as above.
             let near = ba
                 .inflate(max_range)
                 .expect("inflate cannot fail")
@@ -726,6 +729,7 @@ fn local_candidates(
     }
     let mut out = Vec::new();
     for (li, &id) in ids.iter().enumerate() {
+        // invariant: non-negative range, as above.
         let query = bboxes[id].inflate(max_range).expect("inflate cannot fail");
         // Ascending-query-order results keep `out` lexicographically
         // sorted without an explicit sort.
@@ -755,6 +759,7 @@ fn cross_candidates(
     }
     let mut out = Vec::new();
     for (la, &id) in a.iter().enumerate() {
+        // invariant: non-negative range, as above.
         let query = bboxes[id].inflate(max_range).expect("inflate cannot fail");
         // Ascending-query-order results keep `out` lexicographically
         // sorted without an explicit sort.

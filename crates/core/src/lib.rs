@@ -63,10 +63,15 @@
 //! recorded in [`InteractStats::peak_candidate_buffer`]), and every
 //! stage emits diagnostics through the [`Sink`] trait, whose
 //! [`StreamingSink`] / [`CountingSink`] implementations retain at most
-//! one bounded chunk ([`check_with_sink`]). All of it byte-identical
-//! to the buffered paths — the sixth differential leg
-//! (`tests/differential.rs`) and the sink oracle (`tests/sinks.rs`)
-//! prove it on generated chips.
+//! one bounded chunk ([`check_with_sink`]). Even a *globally sorted*
+//! report — the one remaining O(chip) term — stays bounded through the
+//! [`SpillingSink`]: past its budget, canonically sorted chunks spill
+//! as length-prefixed runs into one unlinked temp file (module
+//! [`spill`]) and `finish()` k-way merges them straight into the
+//! writer, holding one chunk plus a small cursor buffer per run. All
+//! of it byte-identical to the buffered paths — the sixth and ninth
+//! differential legs (`tests/differential.rs`, `tests/sinks.rs`) prove
+//! it on generated chips, the spilled leg at budgets down to 1.
 //!
 //! The full architecture — object model, parallelism model, memory
 //! model, and the test-oracle map — is documented in
@@ -123,6 +128,7 @@ pub mod netgen;
 pub mod parallel;
 pub mod primitive_checks;
 pub mod report;
+pub mod spill;
 pub mod violations;
 
 pub use binding::{
@@ -134,8 +140,8 @@ pub use checker::{
 };
 pub use connect::{check_connections, check_connections_parallel, ConnectionResult};
 pub use engine::{
-    CheckContext, CountingSink, DiagnosticSink, PipelineStage, Sink, StageEngine, StageTime,
-    StreamingSink,
+    CheckContext, CountingSink, DiagnosticSink, PipelineStage, Sink, SpillStats, SpillingSink,
+    StageEngine, StageTime, StreamingSink,
 };
 pub use flat::{flat_check, FlatLayers, FlatOptions};
 pub use incremental::{canonical_check, CheckSession, Edit, EditError, EditSet, EditStats};
@@ -146,4 +152,5 @@ pub use report::{
     account, canonical_sort, category_of, format_report, merge_canonical, ErrorRegions,
     InjectedError,
 };
+pub use spill::SpillFile;
 pub use violations::{CheckStage, Violation, ViolationKind};

@@ -317,6 +317,8 @@ impl NetParts {
                 .edges
                 .into_iter()
                 .map(|(ki, eid)| {
+                    // invariant: drafts only reference elements the
+                    // union phase netted (message supplied per draft).
                     let node = self.element_node[eid].expect(draft.expect);
                     (nodes[ki], node)
                 })
@@ -341,6 +343,8 @@ impl NetParts {
                 .bound
                 .into_iter()
                 .map(|id| {
+                    // invariant: a label binds only to elements the
+                    // union phase assigned a node.
                     let elem = self.element_node[id].expect("bindable elements are netted");
                     (node, elem)
                 })

@@ -115,6 +115,8 @@ where
             })
             .collect();
         for h in handles {
+            // invariant: propagating a worker panic, not creating one —
+            // join only fails if the closure itself panicked.
             for (i, r) in h.join().expect("pipeline worker panicked") {
                 slots[i] = Some(r);
             }
@@ -122,6 +124,8 @@ where
     });
     slots
         .into_iter()
+        // invariant: the shared counter hands each index to exactly
+        // one worker, and every worker fills what it claims.
         .map(|r| r.expect("every job index is claimed exactly once"))
         .collect()
 }

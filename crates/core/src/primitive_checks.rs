@@ -113,6 +113,8 @@ pub fn check_primitive_symbols(
                     if inner_r.is_empty() {
                         None // nothing to enclose; RequiresLayer handles absence
                     } else {
+                        // invariant: rule margins are validated
+                        // non-negative at technology construction.
                         let grown = expand(&inner_r, *margin).expect("margin >= 0");
                         if region_of(*outer).covers(&grown) {
                             None
@@ -139,6 +141,7 @@ pub fn check_primitive_symbols(
                     if gate.is_empty() {
                         None
                     } else {
+                        // invariant: non-negative margin, as above.
                         let grown = expand(&gate, *margin).expect("margin >= 0");
                         if region_of(*outer).covers(&grown) {
                             None

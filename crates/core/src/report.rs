@@ -152,9 +152,12 @@ pub fn merge_canonical(kept: Vec<Violation>, fresh: Vec<Violation>) -> Vec<Viola
             Some(v) => *a_key.get_or_insert_with(|| canonical_key(v)) <= kb[j],
         };
         if take_kept {
+            // invariant: take_kept is only true when peek saw an item.
             out.push(a.next().expect("peeked"));
             a_key = None;
         } else {
+            // invariant: j < kb.len() means the fresh iterator still
+            // holds the item its precomputed key stands for.
             out.push(b.next().expect("fresh item behind key"));
             j += 1;
         }

@@ -21,6 +21,11 @@ pub struct ChipSpec {
     pub errors: Vec<ErrorKind>,
     /// Include the butting-contact and resistor demo cells below the array.
     pub demo_cells: bool,
+    /// Build the golden (intended) net list for the array. On by
+    /// default; [`mega_chip`] turns it off — at 10⁷ elements the golden
+    /// net list alone would cost gigabytes, and the mega workloads never
+    /// compare against it.
+    pub golden_netlist: bool,
     /// RNG seed for error placement.
     pub seed: u64,
 }
@@ -33,6 +38,7 @@ impl ChipSpec {
             ny,
             errors: Vec::new(),
             demo_cells: true,
+            golden_netlist: true,
             seed: 42,
         }
     }
@@ -44,6 +50,7 @@ impl ChipSpec {
             ny,
             errors,
             demo_cells: true,
+            golden_netlist: true,
             seed,
         }
     }
@@ -117,20 +124,23 @@ pub fn generate(spec: &ChipSpec) -> GeneratedChip {
         cells::inverter_with_bad_transistor(&mut cif, ids::INV_BAD_CONTACT, ids::TENH_CONTACT);
     }
 
-    // Which variant (if any) each cell uses.
-    let variant_of = |cell: usize| -> u32 {
-        for (kind, c) in &assignments {
-            if *c == cell && kind.is_variant() {
-                return match kind {
-                    ErrorKind::DepletionToGround => ids::INV_DEP_GND,
-                    ErrorKind::BadGateOverhang => ids::INV_BAD_TR,
-                    ErrorKind::ContactOverGate => ids::INV_BAD_CONTACT,
-                    _ => unreachable!(),
-                };
-            }
-        }
-        ids::INV
-    };
+    // Which variant (if any) each cell uses. Built once so the array
+    // loop stays O(cells) rather than O(cells × errors) — at mega-chip
+    // scale the linear scan per cell would dominate generation.
+    let variant_map: std::collections::HashMap<usize, u32> = assignments
+        .iter()
+        .filter(|(kind, _)| kind.is_variant())
+        .map(|(kind, c)| {
+            let id = match kind {
+                ErrorKind::DepletionToGround => ids::INV_DEP_GND,
+                ErrorKind::BadGateOverhang => ids::INV_BAD_TR,
+                ErrorKind::ContactOverGate => ids::INV_BAD_CONTACT,
+                _ => unreachable!(),
+            };
+            (*c, id)
+        })
+        .collect();
+    let variant_of = |cell: usize| -> u32 { variant_map.get(&cell).copied().unwrap_or(ids::INV) };
 
     // The array.
     for row in 0..spec.ny {
@@ -297,7 +307,11 @@ pub fn generate(spec: &ChipSpec) -> GeneratedChip {
     GeneratedChip {
         cif,
         ground_truth,
-        intended_netlist: intended_netlist(spec),
+        intended_netlist: if spec.golden_netlist {
+            intended_netlist(spec)
+        } else {
+            diic_netlist::NetlistBuilder::new().finish()
+        },
         cell_count: total_cells,
     }
 }
@@ -305,9 +319,12 @@ pub fn generate(spec: &ChipSpec) -> GeneratedChip {
 /// A library-scale clean workload: the smallest near-square inverter
 /// array whose **flattened element count** reaches `target_elements` —
 /// the chip the bounded-memory pipeline (sharded instantiation, tiled
-/// interactions, streaming sinks) is sized against. At `10^6` the CIF
-/// text stays modest (one call line per cell — hierarchy is the point)
-/// while the instantiated view carries about a million elements.
+/// interactions, streaming and spilling sinks) is sized against. At
+/// `10^6`–`10^7` the CIF text stays modest (one call line per cell —
+/// hierarchy is the point) while the instantiated view carries millions
+/// of elements. The golden net list is skipped: the mega workloads never
+/// run net-list consistency, and at `10^7` elements the golden list
+/// alone would rival the chip view in memory.
 ///
 /// No demo cells and no injected errors: the array is rule-clean, so a
 /// checker that reports anything on it is wrong, which is what the
@@ -319,6 +336,7 @@ pub fn mega_chip(target_elements: u64) -> GeneratedChip {
     // labels but labels are not elements.
     let probe = generate(&ChipSpec {
         demo_cells: false,
+        golden_netlist: false,
         ..ChipSpec::clean(1, 1)
     });
     let probe_layout = diic_cif::parse(&probe.cif).expect("generated chips always parse");
@@ -330,6 +348,7 @@ pub fn mega_chip(target_elements: u64) -> GeneratedChip {
     let ny = (cells as usize).div_ceil(nx);
     generate(&ChipSpec {
         demo_cells: false,
+        golden_netlist: false,
         ..ChipSpec::clean(nx, ny)
     })
 }
@@ -465,6 +484,24 @@ mod tests {
             stats.flat_element_count
         );
         assert!(chip.ground_truth.is_empty(), "mega chip is clean");
+        assert_eq!(
+            chip.intended_netlist.device_count(),
+            0,
+            "mega chips skip the golden net list"
+        );
+    }
+
+    #[test]
+    fn golden_netlist_gate_controls_intended_netlist() {
+        let with = generate(&ChipSpec::clean(2, 1));
+        assert!(with.intended_netlist.device_count() > 0);
+        let without = generate(&ChipSpec {
+            golden_netlist: false,
+            ..ChipSpec::clean(2, 1)
+        });
+        assert_eq!(without.intended_netlist.device_count(), 0);
+        // The gate only affects the golden net list, never the layout.
+        assert_eq!(with.cif, without.cif);
     }
 
     #[test]

@@ -77,7 +77,29 @@ pub fn closest_approach(a: &[Rect], b: &[Rect], mode: SizingMode) -> Option<(Coo
 /// length advances by the predicate value, so no conditional branch
 /// depends on the geometry. `out` is a scratch arena the caller reuses
 /// across tiles (existing contents are kept; hits are appended).
+///
+/// # The `u32` element-id ceiling
+///
+/// Candidate indices are `u32` throughout the pipeline — halving
+/// candidate-buffer bandwidth is the point of the columnar layout — so
+/// a chip view is capped at `u32::MAX` (~4.3 × 10⁹) flattened
+/// elements. `10⁷`-element mega chips sit three orders of magnitude
+/// below the ceiling; this guard exists so that when a future caller
+/// does cross it, the failure is a checked panic at the filter rather
+/// than silently wrapped candidate ids aliasing unrelated elements.
+///
+/// # Panics
+///
+/// Panics if `base + run.len() - 1` would overflow `u32`.
 pub fn touching_in_run(run: &[Rect], probe: &Rect, base: u32, out: &mut Vec<u32>) {
+    // Check once per run, not per rectangle: the `base + i` additions in
+    // the loop below then cannot wrap.
+    assert!(
+        run.is_empty() || u32::try_from(run.len() - 1).is_ok_and(|n| base.checked_add(n).is_some()),
+        "element ids exceed the u32 ceiling: base {} + run of {}",
+        base,
+        run.len()
+    );
     let start = out.len();
     out.resize(start + run.len(), 0);
     let scratch = &mut out[start..];
@@ -138,5 +160,24 @@ mod tests {
         for (i, r) in run.iter().enumerate() {
             assert_eq!(out.contains(&(100 + i as u32)), r.touches(&probe));
         }
+    }
+
+    #[test]
+    fn touching_in_run_accepts_ids_at_the_ceiling() {
+        let run = [Rect::new(0, 0, 1, 1), Rect::new(0, 0, 1, 1)];
+        let probe = Rect::new(0, 0, 1, 1);
+        let mut out = Vec::new();
+        touching_in_run(&run, &probe, u32::MAX - 1, &mut out);
+        assert_eq!(out, vec![u32::MAX - 1, u32::MAX]);
+        // An empty run never overflows regardless of base.
+        touching_in_run(&[], &probe, u32::MAX, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 ceiling")]
+    fn touching_in_run_rejects_ids_past_the_ceiling() {
+        let run = [Rect::new(0, 0, 1, 1), Rect::new(0, 0, 1, 1)];
+        let mut out = Vec::new();
+        touching_in_run(&run, &Rect::new(0, 0, 1, 1), u32::MAX, &mut out);
     }
 }

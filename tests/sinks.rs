@@ -12,7 +12,7 @@
 
 use diic::core::{
     canonical_sort, check_with_engine, check_with_sink, env_parallelism, CheckOptions,
-    CountingSink, FlatOptions, StageEngine, StreamingSink,
+    CountingSink, FlatOptions, SpillingSink, StageEngine, StreamingSink,
 };
 use diic::gen::{generate, ChipSpec, ErrorKind};
 use diic::tech::nmos::nmos_technology;
@@ -112,6 +112,84 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Ninth differential leg: the spilled report is **byte-identical**
+    /// to the buffered one brought into canonical order — not merely
+    /// set-equal. The k-way merge must reproduce the canonical total
+    /// order exactly, at budgets down to 1 (every violation its own
+    /// on-disk run), serial and wide.
+    #[test]
+    fn spilled_equals_buffered(
+        nx in 2usize..5,
+        ny in 1usize..3,
+        seed in 0u64..1_000_000,
+        mask in 1u16..512,
+    ) {
+        let tech = nmos_technology();
+        let errors: Vec<ErrorKind> = ErrorKind::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, k)| *k)
+            .take(nx * ny)
+            .collect();
+        let chip = generate(&ChipSpec::with_errors(nx, ny, errors, seed));
+        let layout = diic::cif::parse(&chip.cif).expect("generated chips always parse");
+
+        for (engine_name, engine) in [
+            ("diic", StageEngine::diic_pipeline()),
+            ("flat", StageEngine::flat_baseline(FlatOptions::default())),
+        ] {
+            for parallelism in [1usize, wide_workers()] {
+                let options = CheckOptions {
+                    erc: false,
+                    parallelism,
+                    ..CheckOptions::default()
+                };
+                let buffered = check_with_engine(&engine, &layout, &tech, &options);
+                let mut canonical = buffered.violations.clone();
+                canonical_sort(&mut canonical);
+                let mut want = String::new();
+                for v in &canonical {
+                    want.push_str(&format!("{v:?}"));
+                    want.push('\n');
+                }
+
+                for budget in [1usize, 3, 64] {
+                    let mut sink = SpillingSink::new(Vec::new(), budget);
+                    let spilled =
+                        check_with_sink(&engine, &layout, &tech, &options, &mut sink);
+                    prop_assert!(
+                        spilled.violations.is_empty(),
+                        "{engine_name}: a spilling run must buffer nothing in the report"
+                    );
+                    prop_assert!(!sink.errored(), "Vec writes cannot fail");
+                    let (out, stats) = sink.finish().expect("vec-backed spill");
+                    if budget == 1 && canonical.len() > 1 {
+                        prop_assert!(
+                            stats.runs > 1,
+                            "{}: budget 1 with {} violations must force a multi-run \
+                             merge, got {} runs",
+                            engine_name, canonical.len(), stats.runs
+                        );
+                    }
+                    prop_assert_eq!(stats.written, canonical.len());
+                    let got = String::from_utf8(out).unwrap();
+                    prop_assert_eq!(
+                        &got, &want,
+                        "{}: budget={} workers={}: spilled report is not \
+                         byte-identical to the buffered canonical report \
+                         (nx={} ny={} seed={} mask={:#b})",
+                        engine_name, budget, parallelism, nx, ny, seed, mask
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// An edit session exports its canonical report through any sink.
 #[test]
 fn session_emits_its_report_through_the_trait() {
@@ -151,4 +229,16 @@ fn session_emits_its_report_through_the_trait() {
     let mut counting = CountingSink::new();
     session.emit_report(&mut counting);
     assert_eq!(counting.total(), session.report().violations.len());
+
+    // The spilling sink plugs into the same export path: budget 1 forces
+    // every violation through the on-disk merge, and the output equals
+    // the session's report in canonical order, byte for byte.
+    let mut spilling = SpillingSink::new(Vec::new(), 1);
+    session.emit_report(&mut spilling);
+    let (out, stats) = spilling.finish().unwrap();
+    assert_eq!(stats.written, session.report().violations.len());
+    let mut canonical = session.report().violations.clone();
+    canonical_sort(&mut canonical);
+    let want: String = canonical.iter().map(|v| format!("{v:?}\n")).collect();
+    assert_eq!(String::from_utf8(out).unwrap(), want);
 }
