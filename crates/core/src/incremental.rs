@@ -96,12 +96,12 @@ use crate::checker::{check, CheckOptions, CheckReport};
 use crate::connect::check_connections_among;
 use crate::element_checks::check_elements;
 use crate::engine::{composition_violations, DiagnosticSink, Sink};
-use crate::interact::{check_interactions, max_rule_range};
+use crate::interact::{check_interactions, check_same_mask, max_rule_range};
 use crate::netgen::{element_is_netted, BindIndex, NetParts, NetgenResult};
 use crate::primitive_checks::check_primitive_symbols;
 use crate::report::{canonical_sort, merge_canonical};
 use crate::violations::{CheckStage, Violation};
-use diic_cif::{Element, Item, Layout, NetLabel, Shape, SymbolId};
+use diic_cif::{Call, Element, Item, Layout, NetLabel, Shape, SymbolId};
 use diic_geom::{Rect, Region, Transform, Vector};
 use diic_tech::{LayerId, Technology};
 use std::collections::HashSet;
@@ -119,6 +119,18 @@ pub enum Edit {
         shape: Shape,
         /// Optional declared net (`9N`).
         net: Option<String>,
+    },
+    /// Instantiate an existing symbol at top level (a new placement of
+    /// a cell the layout already defines).
+    AddCall {
+        /// The symbol to instantiate.
+        symbol: SymbolId,
+        /// The placement transform.
+        transform: Transform,
+        /// Instance name (the CIF parser auto-names parsed calls
+        /// `i<n>`; edit-added calls pick their own, which becomes the
+        /// leading component of the instance's context paths).
+        name: String,
     },
     /// Remove the top-level item at this index (element or call; later
     /// items shift down, exactly as in the layout itself).
@@ -170,6 +182,16 @@ impl EditSet {
             cif_layer: cif_layer.to_string(),
             shape: Shape::Box(rect),
             net: net.map(str::to_string),
+        });
+        self
+    }
+
+    /// Convenience: append an instance of an existing symbol.
+    pub fn add_call(&mut self, symbol: SymbolId, transform: Transform, name: &str) -> &mut Self {
+        self.edits.push(Edit::AddCall {
+            symbol,
+            transform,
+            name: name.to_string(),
         });
         self
     }
@@ -490,6 +512,15 @@ impl CheckSession {
                     origin: None,
                     dirty: true,
                 }),
+                Edit::AddCall { symbol, .. } => {
+                    if symbol.0 as usize >= self.layout.symbols().len() {
+                        return Err(EditError::UnknownSymbol(*symbol));
+                    }
+                    slots.push(Slot {
+                        origin: None,
+                        dirty: true,
+                    });
+                }
                 Edit::RemoveItem { index } => {
                     if *index >= slots.len() {
                         return Err(EditError::ItemOutOfBounds {
@@ -1023,7 +1054,16 @@ impl CheckSession {
         for v in &self.report.violations {
             let keep = match v.stage {
                 CheckStage::Connections => !anchored_in(v, &d_conn_grid),
-                CheckStage::Interactions => !anchored_in(v, &d_halo_grid),
+                // Mask odd cycles are a global (conflict-graph) verdict:
+                // an edit anywhere can open or close a cycle whose
+                // witness marker lies far outside the halo, so they are
+                // always retracted and recomputed from scratch below.
+                CheckStage::Interactions => {
+                    !matches!(
+                        v.kind,
+                        crate::violations::ViolationKind::MaskOddCycle { .. }
+                    ) && !anchored_in(v, &d_halo_grid)
+                }
                 _ => false, // replaced wholesale by the fresh global runs
             };
             if keep {
@@ -1039,6 +1079,10 @@ impl CheckSession {
                 .collect(),
         );
         fresh_sink.absorb(ivs);
+        // Global recompute of the same-mask conflict graph (the scoped
+        // interaction pass above discards its clip-local edges): free
+        // when the technology declares no same_mask rules.
+        fresh_sink.absorb(check_same_mask(&view, &self.tech, &interact_options));
         let mut fresh = fresh_sink.into_violations();
         stats.spliced = fresh.len();
         // Only the fresh side pays a sort; the combined list is a
@@ -1142,6 +1186,17 @@ fn apply_layout_edits(layout: &mut Layout, edits: &EditSet) {
                     layer,
                     shape: shape.clone(),
                     net: net.clone(),
+                }));
+            }
+            Edit::AddCall {
+                symbol,
+                transform,
+                name,
+            } => {
+                layout.push_top(Item::Call(Call {
+                    target: *symbol,
+                    transform: *transform,
+                    name: name.clone(),
                 }));
             }
             Edit::RemoveItem { index } => {
@@ -1320,6 +1375,50 @@ mod tests {
         edits.replace_symbol(sym, body);
         session.apply(&edits).unwrap();
         assert_eq!(session.report().violations.len(), 2, "one per instance");
+        assert_matches_full(&session);
+    }
+
+    #[test]
+    fn added_call_is_instantiated_and_checked() {
+        let layout = parse("DS 1; L NM; B 2000 750 1000 375; DF; C 1 T 0 0; E").unwrap();
+        let tech = nmos_technology();
+        let mut session = CheckSession::new(layout, &tech, &options());
+        assert!(session.report().violations.is_empty());
+
+        // A second placement 1250 above the first: the two instances'
+        // wires end up 500 apart (rule 750) — cross-instance violation.
+        let sym = session.layout().symbol_by_cif_id(1).unwrap();
+        let mut edits = EditSet::new();
+        edits.add_call(sym, Transform::translate(Vector::new(0, 1250)), "added");
+        session.apply(&edits).unwrap();
+        assert_eq!(
+            session.report().violations.len(),
+            1,
+            "{:?}",
+            session.report().violations
+        );
+        assert_matches_full(&session);
+
+        // The added instance behaves like any other item: move it away
+        // and the violation disappears.
+        let mut away = EditSet::new();
+        away.translate(1, 0, 8000);
+        session.apply(&away).unwrap();
+        assert!(session.report().violations.is_empty());
+        assert_matches_full(&session);
+    }
+
+    #[test]
+    fn add_call_unknown_symbol_rejected() {
+        let layout = parse("DS 1; L NM; B 2000 750 1000 375; DF; C 1 T 0 0; E").unwrap();
+        let tech = nmos_technology();
+        let mut session = CheckSession::new(layout, &tech, &options());
+        let before = session.report().violations.clone();
+        let mut bad = EditSet::new();
+        bad.add_call(SymbolId(99), Transform::IDENTITY, "x");
+        let err = session.apply(&bad).unwrap_err();
+        assert_eq!(err, EditError::UnknownSymbol(SymbolId(99)));
+        assert_eq!(session.report().violations, before);
         assert_matches_full(&session);
     }
 

@@ -54,6 +54,25 @@
 //! buffered runs — serial or parallel — are **byte-identical**; only
 //! [`InteractStats::peak_candidate_buffer`] records the difference:
 //! the widest tile instead of the total pair count.
+//!
+//! # Same-mask conflict graphs (multi-patterning)
+//!
+//! The first post-paper check family: a technology may declare a
+//! `same_mask` distance per layer ([`diic_tech::RuleSet::same_mask`]).
+//! Two features on that layer closer than the distance — but not
+//! touching (touching features print as one mask feature) — cannot
+//! share a mask, which makes them an edge of the layer's **conflict
+//! graph**. A two-mask (double-patterning) decomposition is a
+//! 2-colouring of that graph, which exists iff the graph is bipartite;
+//! every **odd cycle** is therefore an undecomposable cluster,
+//! reported as one [`ViolationKind::MaskOddCycle`] anchored at the odd
+//! component's closest conflicting edge. Edges are collected during
+//! the normal pair evaluation (geometrically — net topology and device
+//! membership do not excuse a mask conflict) in every search shape
+//! (flat/hierarchical × tiled/buffered), then analysed once at the end
+//! of the run; [`check_same_mask`] runs the same analysis standalone,
+//! which is how the incremental session recomputes the (global, and
+//! therefore un-clippable) property after an edit.
 
 use crate::binding::ChipView;
 use crate::netgen::NetgenResult;
@@ -190,6 +209,9 @@ pub fn max_rule_range(tech: &Technology) -> Coord {
             m = m.max(o.spacing.unwrap_or(0));
         }
     }
+    for (_, d) in tech.rules().same_mask_entries() {
+        m = m.max(d);
+    }
     m
 }
 
@@ -222,7 +244,7 @@ pub fn check_interactions(
         options,
         forming: crate::connect::device_forming_pairs(tech),
     };
-    let violations = if options.hierarchical {
+    let (mut violations, edges) = if options.hierarchical {
         let plan = hierarchical_plan_fill(view, layout, max_range, cell, workers, &mut stats);
         if options.tiled {
             hierarchical_tiled(&cx, &plan, workers, &mut stats)
@@ -240,6 +262,7 @@ pub fn check_interactions(
         stats.peak_candidate_buffer = pairs.len() as u64;
         evaluate_candidates(&cx, &pairs, workers, &mut stats)
     };
+    violations.extend(mask_cycle_violations(view, tech, options.metric, edges));
     stats.violations = violations.len() as u64;
     (violations, stats)
 }
@@ -336,7 +359,13 @@ pub fn check_interactions_among_clipped(
         options,
         forming: crate::connect::device_forming_pairs(tech),
     };
-    let mut violations = evaluate_candidates(&cx, &pairs, workers, &mut stats);
+    // Same-mask edges are discarded here: bipartiteness is a *global*
+    // property of the conflict graph — a clip-local edge subset cannot
+    // decide odd-cycle membership, and a marker-in-clip filter would
+    // retract/splice the wrong cycles. Callers that need the
+    // multi-patterning verdict after a scoped run recompute it with
+    // [`check_same_mask`] (the incremental session does exactly that).
+    let (mut violations, _edges) = evaluate_candidates(&cx, &pairs, workers, &mut stats);
     // Location-less violations count as inside every clip (they cannot
     // be anchored, so retraction and splicing must agree on them).
     violations.retain(|v| v.location.is_none_or(|l| clip_grid.touches_any(&l)));
@@ -426,7 +455,7 @@ fn flat_tiled(
     cell: Coord,
     workers: usize,
     stats: &mut InteractStats,
-) -> Vec<Violation> {
+) -> (Vec<Violation>, Vec<MaskEdge>) {
     let view = cx.view;
     let index = element_grid(view, cell);
     let tiles: Vec<std::ops::Range<u32>> =
@@ -437,28 +466,34 @@ fn flat_tiled(
         evaluate_tile(cx, &pairs)
     });
     let mut out = Vec::new();
-    for (vs, tile_stats) in results {
+    let mut edges = Vec::new();
+    for (vs, es, tile_stats) in results {
         out.extend(vs);
+        edges.extend(es);
         stats.absorb(&tile_stats);
     }
-    out
+    (out, edges)
 }
 
 /// Evaluates one tile's pair buffer serially, returning its violations
 /// and tile-local counters (`candidate_pairs` and the tile's buffer
 /// width; the caller folds tiles together with
 /// [`InteractStats::absorb`], which sums counts and maxes the peak).
-fn evaluate_tile(cx: &EvalCx<'_>, pairs: &[(usize, usize)]) -> (Vec<Violation>, InteractStats) {
+fn evaluate_tile(
+    cx: &EvalCx<'_>,
+    pairs: &[(usize, usize)],
+) -> (Vec<Violation>, Vec<MaskEdge>, InteractStats) {
     let mut tile_stats = InteractStats {
         candidate_pairs: pairs.len() as u64,
         peak_candidate_buffer: pairs.len() as u64,
         ..InteractStats::default()
     };
     let mut vs = Vec::new();
+    let mut edges = Vec::new();
     for &(i, j) in pairs {
-        evaluate_pair(cx, i, j, &mut vs, &mut tile_stats);
+        evaluate_pair(cx, i, j, &mut vs, &mut edges, &mut tile_stats);
     }
-    (vs, tile_stats)
+    (vs, edges, tile_stats)
 }
 
 /// A top-level scope: one top-level call (with all elements instantiated
@@ -702,17 +737,19 @@ fn hierarchical_tiled(
     plan: &HierPlan,
     workers: usize,
     stats: &mut InteractStats,
-) -> Vec<Violation> {
+) -> (Vec<Violation>, Vec<MaskEdge>) {
     let results = run_ordered(plan.unit_count(), workers, |k| {
         let pairs = plan.unit_pairs(k);
         evaluate_tile(cx, &pairs)
     });
     let mut out = Vec::new();
-    for (vs, tile_stats) in results {
+    let mut edges = Vec::new();
+    for (vs, es, tile_stats) in results {
         out.extend(vs);
+        edges.extend(es);
         stats.absorb(&tile_stats);
     }
-    out
+    (out, edges)
 }
 
 /// Candidate close pairs within one element set (sorted local indices).
@@ -796,30 +833,34 @@ fn evaluate_candidates(
     pairs: &[(usize, usize)],
     workers: usize,
     stats: &mut InteractStats,
-) -> Vec<Violation> {
+) -> (Vec<Violation>, Vec<MaskEdge>) {
     if workers <= 1 || pairs.len() < 2 {
         let mut out = Vec::new();
+        let mut edges = Vec::new();
         for &(i, j) in pairs {
-            evaluate_pair(cx, i, j, &mut out, stats);
+            evaluate_pair(cx, i, j, &mut out, &mut edges, stats);
         }
-        return out;
+        return (out, edges);
     }
     let chunk = pairs.len().div_ceil(workers);
     let chunks: Vec<&[(usize, usize)]> = pairs.chunks(chunk).collect();
     let results = run_ordered(chunks.len(), workers, |k| {
         let mut local = Vec::new();
+        let mut local_edges = Vec::new();
         let mut local_stats = InteractStats::default();
         for &(i, j) in chunks[k] {
-            evaluate_pair(cx, i, j, &mut local, &mut local_stats);
+            evaluate_pair(cx, i, j, &mut local, &mut local_edges, &mut local_stats);
         }
-        (local, local_stats)
+        (local, local_edges, local_stats)
     });
     let mut merged = Vec::new();
-    for (local, local_stats) in results {
+    let mut edges = Vec::new();
+    for (local, local_edges, local_stats) in results {
         merged.extend(local);
+        edges.extend(local_edges);
         stats.absorb(&local_stats);
     }
-    merged
+    (merged, edges)
 }
 
 /// Decides and applies the rule for one element pair.
@@ -828,11 +869,33 @@ fn evaluate_pair(
     i: usize,
     j: usize,
     violations: &mut Vec<Violation>,
+    edges: &mut Vec<MaskEdge>,
     stats: &mut InteractStats,
 ) {
     let (view, tech, nets) = (cx.view, cx.tech, cx.nets);
     let a = view.elements.get(i);
     let b = view.elements.get(j);
+
+    // Same-mask conflict edges are purely geometric, so they are
+    // collected *before* any electrical pruning: sharing a net or a
+    // device does not put two features on different masks. Touching
+    // features (dist == 0) print as one feature and never conflict.
+    if a.layer() == b.layer() {
+        if let Some(threshold) = tech.rules().same_mask(a.layer()) {
+            if let Some((dist, _)) =
+                diic_geom::batch::closest_approach(a.rects(), b.rects(), cx.options.metric)
+            {
+                if dist > 0 && dist < threshold {
+                    edges.push(MaskEdge {
+                        a: i,
+                        b: j,
+                        gap: dist,
+                    });
+                }
+            }
+        }
+    }
+
     if a.device().is_some() && a.device() == b.device() {
         return; // internal to one device: stage 3's territory
     }
@@ -961,6 +1024,16 @@ fn evaluate_pair(
     }
 
     if dist < required {
+        // Orient the pair canonically before naming layers: the flat
+        // search, the hierarchical search, and the edit session's halo
+        // re-check enumerate pairs in different orders, and the rendered
+        // violation must not encode which path produced it (see
+        // `pair_context`).
+        let (a, b) = if pair_key(view, tech, a) <= pair_key(view, tech, b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
         violations.push(Violation {
             stage: CheckStage::Interactions,
             kind: ViolationKind::Spacing {
@@ -976,6 +1049,22 @@ fn evaluate_pair(
     }
 }
 
+/// Enumeration-independent sort key for one side of an element pair:
+/// instance path, layer name, bounding box. Two elements that tie on
+/// all three are interchangeable duplicates, so the residual ambiguity
+/// cannot change a rendered violation.
+fn pair_key<'v>(
+    view: &'v ChipView,
+    tech: &'v Technology,
+    e: crate::binding::ElementRef<'_>,
+) -> (&'v str, &'v str, Rect) {
+    (
+        view.str(e.path()),
+        tech.layer(e.layer()).name.as_str(),
+        e.bbox(),
+    )
+}
+
 fn pair_context(
     view: &ChipView,
     a: crate::binding::ElementRef<'_>,
@@ -984,8 +1073,198 @@ fn pair_context(
     if a.path() == b.path() {
         view.str(a.path()).to_string()
     } else {
-        format!("{} / {}", view.str(a.path()), view.str(b.path()))
+        // Lexicographic, not enumeration order: the flat search hands
+        // pairs over in element-id order, the hierarchical search in
+        // scope-visit order, and the edit session's halo re-check in
+        // clipped-subset order — the rendered context must not care
+        // which path produced it (an `AddCall` edit appends a call
+        // *after* top-level elements, where id order and scope order
+        // disagree).
+        let (pa, pb) = (view.str(a.path()), view.str(b.path()));
+        if pa <= pb {
+            format!("{pa} / {pb}")
+        } else {
+            format!("{pb} / {pa}")
+        }
     }
+}
+
+// ---------------------------------------------------------------------
+// Same-mask conflict graphs (multi-patterning).
+// ---------------------------------------------------------------------
+
+/// One conflict-graph edge: elements `a < b` on the same layer, closer
+/// than the layer's `same_mask` distance but not touching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct MaskEdge {
+    a: usize,
+    b: usize,
+    gap: Coord,
+}
+
+/// Analyses a collected edge set: BFS 2-colouring per connected
+/// component (sorted adjacency, ascending roots — fully deterministic),
+/// one [`ViolationKind::MaskOddCycle`] per non-bipartite component,
+/// anchored at the closest (then lowest-id) edge whose endpoints took
+/// the same colour, with `cycle` the length of the actual odd cycle
+/// that edge closes through the BFS tree.
+fn mask_cycle_violations(
+    view: &ChipView,
+    tech: &Technology,
+    metric: SizingMode,
+    mut edges: Vec<MaskEdge>,
+) -> Vec<Violation> {
+    if edges.is_empty() {
+        return Vec::new();
+    }
+    // Canonical edge order regardless of which search shape collected
+    // the edges; the dedup is belt and braces — the tiling contract
+    // already enumerates every pair exactly once.
+    edges.sort_unstable();
+    edges.dedup();
+
+    let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+    for e in &edges {
+        adj.entry(e.a).or_default().push(e.b);
+        adj.entry(e.b).or_default().push(e.a);
+    }
+    let mut nodes: Vec<usize> = adj.keys().copied().collect();
+    nodes.sort_unstable();
+    for list in adj.values_mut() {
+        list.sort_unstable();
+        list.dedup();
+    }
+
+    let mut color: HashMap<usize, bool> = HashMap::new();
+    let mut parent: HashMap<usize, usize> = HashMap::new();
+    let mut depth: HashMap<usize, usize> = HashMap::new();
+    let mut out = Vec::new();
+    for &root in &nodes {
+        if color.contains_key(&root) {
+            continue;
+        }
+        color.insert(root, false);
+        depth.insert(root, 0);
+        let mut queue = std::collections::VecDeque::from([root]);
+        let mut members: HashSet<usize> = HashSet::from([root]);
+        while let Some(u) = queue.pop_front() {
+            let cu = color[&u];
+            for &v in &adj[&u] {
+                if let std::collections::hash_map::Entry::Vacant(slot) = color.entry(v) {
+                    slot.insert(!cu);
+                    parent.insert(v, u);
+                    depth.insert(v, depth[&u] + 1);
+                    members.insert(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+        // An edge whose endpoints took the same colour closes an odd
+        // cycle through the BFS tree; both endpoints of any edge share
+        // a component, so testing one against `members` suffices.
+        let witness = edges
+            .iter()
+            .filter(|e| members.contains(&e.a) && color[&e.a] == color[&e.b])
+            .min_by_key(|e| (e.gap, e.a, e.b));
+        let Some(e) = witness else { continue };
+        let cycle = odd_cycle_len(&parent, &depth, e.a, e.b);
+        let ea = view.elements.get(e.a);
+        let eb = view.elements.get(e.b);
+        let required = tech
+            .rules()
+            .same_mask(ea.layer())
+            .expect("a mask edge implies a same_mask rule on its layer");
+        let (_, gap_loc) = diic_geom::batch::closest_approach(ea.rects(), eb.rects(), metric)
+            .expect("a mask edge implies a closest approach");
+        out.push(Violation {
+            stage: CheckStage::Interactions,
+            kind: ViolationKind::MaskOddCycle {
+                layer: tech.layer(ea.layer()).name.clone(),
+                measured: e.gap,
+                required,
+                cycle,
+            },
+            location: Some(gap_loc),
+            context: pair_context(view, ea, eb),
+        });
+    }
+    out
+}
+
+/// Length of the odd cycle the tree-closing edge `(u, v)` forms: the
+/// two BFS-tree paths up to the lowest common ancestor, plus the edge
+/// itself. Same-colour endpoints make `depth[u] + depth[v]` even, so
+/// the result is always odd.
+fn odd_cycle_len(
+    parent: &HashMap<usize, usize>,
+    depth: &HashMap<usize, usize>,
+    mut u: usize,
+    mut v: usize,
+) -> usize {
+    let (du, dv) = (depth[&u], depth[&v]);
+    while depth[&u] > depth[&v] {
+        u = parent[&u];
+    }
+    while depth[&v] > depth[&u] {
+        v = parent[&v];
+    }
+    while u != v {
+        u = parent[&u];
+        v = parent[&v];
+    }
+    du + dv - 2 * depth[&u] + 1
+}
+
+/// Runs the same-mask conflict-graph analysis standalone, over the
+/// whole chip: enumerates conflicting same-layer pairs from one flat
+/// grid index and hands the edge set to the same odd-cycle analysis
+/// the interaction stage runs — so the violations are byte-identical
+/// to the ones [`check_interactions`] appends. Returns nothing when
+/// the technology declares no `same_mask` rules.
+///
+/// This is the incremental session's recompute path: bipartiteness is
+/// global, so after any edit the conflict verdict is re-derived from
+/// scratch here rather than patched through the dirty halo.
+pub fn check_same_mask(
+    view: &ChipView,
+    tech: &Technology,
+    options: &InteractOptions,
+) -> Vec<Violation> {
+    if !tech.rules().has_same_mask() {
+        return Vec::new();
+    }
+    let max_range = max_rule_range(tech);
+    let cell = interaction_cell_size(tech);
+    let index = element_grid(view, cell);
+    let bboxes = view.elements.bboxes();
+    let layers = view.elements.layers();
+    let mut edges = Vec::new();
+    for (i, bbox) in bboxes.iter().enumerate() {
+        let Some(threshold) = tech.rules().same_mask(layers[i]) else {
+            continue;
+        };
+        // invariant: non-negative range, as above.
+        let query = bbox.inflate(max_range).expect("inflate cannot fail");
+        for &j in index.query(&query) {
+            if j <= i || layers[j] != layers[i] {
+                continue;
+            }
+            let a = view.elements.get(i);
+            let b = view.elements.get(j);
+            if let Some((dist, _)) =
+                diic_geom::batch::closest_approach(a.rects(), b.rects(), options.metric)
+            {
+                if dist > 0 && dist < threshold {
+                    edges.push(MaskEdge {
+                        a: i,
+                        b: j,
+                        gap: dist,
+                    });
+                }
+            }
+        }
+    }
+    mask_cycle_violations(view, tech, options.metric, edges)
 }
 
 #[cfg(test)]
@@ -1014,6 +1293,157 @@ mod tests {
 
     fn run(cif: &str) -> (Vec<Violation>, InteractStats) {
         run_with(cif, InteractOptions::default())
+    }
+
+    /// A one-metal technology with a `same_mask` rule: spacing 750,
+    /// conflict distance 1250 — gaps in (750, 1250) are spacing-clean
+    /// but mask-conflicting.
+    fn mp_tech() -> diic_tech::Technology {
+        use diic_tech::{Layer, LayerKind, SpacingRule, Technology};
+        let mut tech = Technology::new("mp", 250);
+        let m = tech.add_layer(Layer::new("metal", "NM", LayerKind::Metal, 750));
+        tech.rules_mut().set_spacing(m, m, SpacingRule::simple(750));
+        tech.rules_mut().set_same_mask(m, 1250);
+        tech
+    }
+
+    fn build(
+        cif: &str,
+        tech: &diic_tech::Technology,
+    ) -> (ChipView, crate::netgen::NetgenResult, diic_cif::Layout) {
+        let layout = parse(cif).unwrap();
+        let (binding, _) = LayerBinding::bind(&layout, tech);
+        let mut view = instantiate(&layout, tech, &binding);
+        let conn = check_connections(&view, tech);
+        let labels: Vec<_> = layout
+            .labels()
+            .iter()
+            .map(|l| (l.clone(), binding.layer(l.layer)))
+            .collect();
+        let nets = generate_netlist(&mut view, tech, &conn.merges, &labels);
+        (view, nets, layout)
+    }
+
+    /// Triangle of metal boxes with pairwise gaps 950 / 1000 / 1000:
+    /// every gap clears the 750 spacing rule but conflicts under the
+    /// 1250 same-mask rule — an odd (3-)cycle.
+    const ODD_TRIANGLE: &str = "L NM; B 2000 750 1000 375; B 2000 750 3950 375; \
+                                B 2950 750 2475 2125; E";
+
+    /// Four metal boxes in a ring: adjacent gaps 1000 (conflict),
+    /// diagonal gaps 1000·√2 ≈ 1414 (clear under the Euclidean
+    /// metric) — an even cycle, 2-colourable.
+    const EVEN_RING: &str = "L NM; B 2000 750 1000 2125; B 2000 750 4000 2125; \
+                             B 2000 750 1000 375; B 2000 750 4000 375; E";
+
+    #[test]
+    fn odd_cycle_flagged_in_every_search_shape() {
+        let tech = mp_tech();
+        let (view, nets, layout) = build(ODD_TRIANGLE, &tech);
+        let mut reference: Option<Vec<Violation>> = None;
+        for hierarchical in [false, true] {
+            for tiled in [false, true] {
+                for parallelism in [1usize, 3] {
+                    let options = InteractOptions {
+                        hierarchical,
+                        tiled,
+                        parallelism,
+                        ..Default::default()
+                    };
+                    let (v, _) = check_interactions(&view, &tech, &nets, &layout, &options);
+                    let mask: Vec<&Violation> = v
+                        .iter()
+                        .filter(|x| matches!(x.kind, ViolationKind::MaskOddCycle { .. }))
+                        .collect();
+                    assert_eq!(mask.len(), 1, "hier={hierarchical} tiled={tiled}: {v:?}");
+                    assert!(
+                        matches!(
+                            &mask[0].kind,
+                            ViolationKind::MaskOddCycle {
+                                measured: 1000,
+                                required: 1250,
+                                cycle: 3,
+                                ..
+                            }
+                        ),
+                        "{:?}",
+                        mask[0].kind
+                    );
+                    assert!(mask[0].location.is_some());
+                    match &reference {
+                        None => reference = Some(v),
+                        Some(r) => assert_eq!(
+                            r, &v,
+                            "hier={hierarchical} tiled={tiled} workers={parallelism}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn even_ring_is_two_mask_decomposable() {
+        let tech = mp_tech();
+        let (view, nets, layout) = build(EVEN_RING, &tech);
+        let (v, _) = check_interactions(&view, &tech, &nets, &layout, &InteractOptions::default());
+        assert!(
+            !v.iter()
+                .any(|x| matches!(x.kind, ViolationKind::MaskOddCycle { .. })),
+            "an even cycle is bipartite: {v:?}"
+        );
+    }
+
+    #[test]
+    fn standalone_check_matches_inline_collection() {
+        let tech = mp_tech();
+        for cif in [ODD_TRIANGLE, EVEN_RING] {
+            let (view, nets, layout) = build(cif, &tech);
+            let options = InteractOptions::default();
+            let (v, _) = check_interactions(&view, &tech, &nets, &layout, &options);
+            let inline: Vec<Violation> = v
+                .into_iter()
+                .filter(|x| matches!(x.kind, ViolationKind::MaskOddCycle { .. }))
+                .collect();
+            let standalone = check_same_mask(&view, &tech, &options);
+            assert_eq!(inline, standalone, "cif={cif}");
+        }
+    }
+
+    #[test]
+    fn standalone_check_is_free_without_rules() {
+        // nmos declares no same_mask rules: the standalone check
+        // early-outs and the triangle is clean.
+        let tech = nmos_technology();
+        let (view, _, _) = build(ODD_TRIANGLE, &tech);
+        assert!(check_same_mask(&view, &tech, &InteractOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn touching_features_do_not_conflict() {
+        // Two of the triangle's boxes fused into one touching pair:
+        // touching features print as one mask feature, so the only
+        // conflict edges left cannot close an odd cycle.
+        let cif = "L NM; B 2000 750 1000 375; B 2000 750 2950 375; \
+                   B 2950 750 2475 2125; E";
+        let tech = mp_tech();
+        let (view, nets, layout) = build(cif, &tech);
+        let (v, _) = check_interactions(&view, &tech, &nets, &layout, &InteractOptions::default());
+        assert!(
+            !v.iter()
+                .any(|x| matches!(x.kind, ViolationKind::MaskOddCycle { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn same_mask_extends_rule_reach() {
+        let tech = mp_tech();
+        assert_eq!(
+            max_rule_range(&tech),
+            1250,
+            "same_mask must widen the reach"
+        );
     }
 
     #[test]

@@ -145,7 +145,9 @@ pub use engine::{
 };
 pub use flat::{flat_check, FlatLayers, FlatOptions};
 pub use incremental::{canonical_check, CheckSession, Edit, EditError, EditSet, EditStats};
-pub use interact::{interaction_cell_size, max_rule_range, InteractOptions, InteractStats};
+pub use interact::{
+    check_same_mask, interaction_cell_size, max_rule_range, InteractOptions, InteractStats,
+};
 pub use netgen::{generate_netlist, generate_netlist_parallel, NetgenResult};
 pub use parallel::{effective_parallelism, env_parallelism};
 pub use report::{

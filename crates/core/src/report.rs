@@ -190,6 +190,7 @@ pub fn category_of(v: &Violation) -> &'static str {
         TerminalOutsideDevice { .. } => "terminal",
         Erc { .. } => "erc",
         NetlistMismatch { .. } => "netlist",
+        MaskOddCycle { .. } => "multi-patterning",
     }
 }
 

@@ -192,6 +192,18 @@ pub fn encode_violation(v: &Violation, buf: &mut Vec<u8>) {
             buf.push(11);
             put_str(buf, detail);
         }
+        MaskOddCycle {
+            layer,
+            measured,
+            required,
+            cycle,
+        } => {
+            buf.push(12);
+            put_str(buf, layer);
+            put_i64(buf, *measured);
+            put_i64(buf, *required);
+            put_u32(buf, *cycle as u32);
+        }
     }
     match &v.location {
         None => buf.push(0),
@@ -302,6 +314,12 @@ pub fn decode_violation(payload: &[u8]) -> io::Result<Violation> {
         },
         11 => NetlistMismatch {
             detail: p.string()?,
+        },
+        12 => MaskOddCycle {
+            layer: p.string()?,
+            measured: p.i64()?,
+            required: p.i64()?,
+            cycle: p.u32()? as usize,
         },
         other => return Err(bad_data(format!("unknown kind tag {other}"))),
     };
@@ -658,6 +676,17 @@ mod tests {
                 },
                 None,
                 "",
+            ),
+            mk(
+                CheckStage::Interactions,
+                MaskOddCycle {
+                    layer: "metal".into(),
+                    measured: 950,
+                    required: 1250,
+                    cycle: 3,
+                },
+                loc,
+                "i2",
             ),
         ]
     }

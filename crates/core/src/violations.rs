@@ -128,6 +128,21 @@ pub enum ViolationKind {
         /// Description of the discrepancy.
         detail: String,
     },
+    /// The layer's same-mask conflict graph (features closer than the
+    /// `same_mask` rule, but not touching, conflict) contains an odd
+    /// cycle: no two-mask (double-patterning) decomposition exists. The
+    /// violation anchors at the closest conflicting edge of the cycle;
+    /// `measured` is that edge's gap.
+    MaskOddCycle {
+        /// The layer name.
+        layer: String,
+        /// The conflicting gap at the reported edge.
+        measured: Coord,
+        /// The same-mask spacing the edge violates.
+        required: Coord,
+        /// Number of features in the odd cycle (always odd, ≥ 3).
+        cycle: usize,
+    },
 }
 
 impl std::fmt::Display for ViolationKind {
@@ -184,6 +199,18 @@ impl std::fmt::Display for ViolationKind {
             ViolationKind::Erc { rule, detail } => write!(f, "{rule}: {detail}"),
             ViolationKind::NetlistMismatch { detail } => {
                 write!(f, "net list mismatch: {detail}")
+            }
+            ViolationKind::MaskOddCycle {
+                layer,
+                measured,
+                required,
+                cycle,
+            } => {
+                write!(
+                    f,
+                    "same-mask conflict on {layer}: {cycle}-feature odd cycle \
+                     (gap {measured} < {required}) is not two-mask decomposable"
+                )
             }
         }
     }

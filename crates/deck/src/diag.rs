@@ -1,0 +1,163 @@
+//! Source spans and rustc-style diagnostics.
+//!
+//! Every AST node carries the byte range it was parsed from, and every
+//! [`DeckError`] — lexical, syntactic, or semantic (compile-time) —
+//! points at one. [`DeckError::render`] turns that into the familiar
+//! three-line `error: … / --> file:line:col / caret underline` shape, so
+//! a malformed deck reads like a malformed Rust file.
+
+use std::fmt;
+
+/// A half-open byte range into the deck source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// The empty placeholder span (synthetic nodes, stripped ASTs).
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// An error in a deck: a message anchored to a source span, plus the
+/// constructs the parser would have accepted at that point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeckError {
+    /// What went wrong.
+    pub message: String,
+    /// Where in the source.
+    pub span: Span,
+    /// Expected-token hints (empty for lexical and compile errors).
+    pub expected: Vec<String>,
+}
+
+impl DeckError {
+    /// Creates an error with no expected-token hints.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        DeckError {
+            message: message.into(),
+            span,
+            expected: Vec::new(),
+        }
+    }
+
+    /// Attaches expected-token hints.
+    pub fn expecting<S: Into<String>>(mut self, expected: impl IntoIterator<Item = S>) -> Self {
+        self.expected = expected.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// 1-based `(line, column)` of the span start in `source`. Columns
+    /// count bytes (deck sources are ASCII in practice).
+    pub fn line_column(&self, source: &str) -> (usize, usize) {
+        let start = self.span.start.min(source.len());
+        let before = &source[..start];
+        let line = before.bytes().filter(|&b| b == b'\n').count() + 1;
+        let column = start - before.rfind('\n').map(|i| i + 1).unwrap_or(0) + 1;
+        (line, column)
+    }
+
+    /// Renders the error rustc-style: message, `file:line:col`, the
+    /// offending source line, and a caret underline carrying the
+    /// expected-token hint.
+    pub fn render(&self, file: &str, source: &str) -> String {
+        use std::fmt::Write as _;
+        let (line, column) = self.line_column(source);
+        let line_start = self.span.start.min(source.len()) - (column - 1);
+        let line_text = source[line_start..].lines().next().unwrap_or("");
+        let mut s = String::new();
+        let _ = writeln!(s, "error: {}", self.message);
+        let _ = writeln!(s, " --> {file}:{line}:{column}");
+        let gutter = line.to_string();
+        let pad = " ".repeat(gutter.len());
+        let _ = writeln!(s, "{pad} |");
+        let _ = writeln!(s, "{gutter} | {line_text}");
+        // Underline the span, clipped to the rendered line; always at
+        // least one caret (end-of-file errors point past the last byte).
+        let avail = line_text.len().saturating_sub(column - 1).max(1);
+        let carets = self
+            .span
+            .end
+            .saturating_sub(self.span.start)
+            .clamp(1, avail);
+        let hint = if self.expected.is_empty() {
+            String::new()
+        } else {
+            format!(" expected {}", self.expected.join(" or "))
+        };
+        let _ = writeln!(
+            s,
+            "{pad} | {}{}{hint}",
+            " ".repeat(column - 1),
+            "^".repeat(carets)
+        );
+        s
+    }
+}
+
+impl fmt::Display for DeckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)?;
+        if !self.expected.is_empty() {
+            write!(f, " (expected {})", self.expected.join(" or "))?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DeckError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_column_counts_from_one() {
+        let src = "abc\ndef\n";
+        let e = DeckError::new("x", Span::new(5, 6));
+        assert_eq!(e.line_column(src), (2, 2));
+        let first = DeckError::new("x", Span::new(0, 1));
+        assert_eq!(first.line_column(src), (1, 1));
+    }
+
+    #[test]
+    fn render_shape() {
+        let src = "tech \"x\" {\n    lambda;\n}\n";
+        let e = DeckError::new("expected a number, found `;`", Span::new(21, 22))
+            .expecting(["a number"]);
+        let out = e.render("t.deck", src);
+        assert_eq!(
+            out,
+            "error: expected a number, found `;`\n \
+             --> t.deck:2:11\n  \
+             |\n\
+             2 |     lambda;\n  \
+             |           ^ expected a number\n"
+        );
+    }
+
+    #[test]
+    fn render_clamps_past_eof() {
+        let src = "tech";
+        let e = DeckError::new("unexpected end of file", Span::new(4, 4));
+        let out = e.render("t.deck", src);
+        assert!(out.contains("t.deck:1:5"));
+        assert!(out.contains('^'));
+    }
+}

@@ -1,0 +1,124 @@
+//! Golden-file tests for deck diagnostics: every class of malformed
+//! deck must produce a **spanned** `DeckError` (never a panic), and the
+//! rendered rustc-style diagnostic must match the blessed text in
+//! `tests/golden/<case>.txt` byte for byte.
+//!
+//! To bless new output after an intentional diagnostic change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p diic-deck --test golden
+//! ```
+
+use diic_deck::compile_str;
+use std::path::PathBuf;
+
+/// One malformed deck per diagnostic class the front end can emit.
+const CASES: &[(&str, &str)] = &[
+    // Lexer: a string literal that never closes.
+    ("unterminated-string", "tech \"nmos\n"),
+    // Lexer: a byte outside the language.
+    (
+        "stray-character",
+        "tech \"t\" {\n    lambda 250;\n    @layer m;\n}\n",
+    ),
+    // Parser: a statement keyword the grammar does not know.
+    (
+        "unknown-statement",
+        "tech \"t\" {\n    lambda 250;\n    widget metal 3 lambda;\n}\n",
+    ),
+    // Parser: a number where the grammar wants one but the token is `;`.
+    ("missing-number", "tech \"t\" {\n    lambda;\n}\n"),
+    // Parser: a missing semicolon mid-block.
+    (
+        "missing-semicolon",
+        "tech \"t\" {\n    lambda 250\n    space a a 3 lambda;\n}\n",
+    ),
+    // Parser: truncated input — the file ends inside the tech block.
+    ("unexpected-eof", "tech \"t\" {\n    lambda 250;\n"),
+    // Parser: a layer kind outside the enumeration.
+    (
+        "bad-layer-kind",
+        "tech \"t\" {\n    lambda 250;\n    layer m { cif \"NM\"; kind plutonium; min_width 2 lambda; }\n}\n",
+    ),
+    // Parser: a device class outside the enumeration.
+    (
+        "bad-device-class",
+        "tech \"t\" {\n    lambda 250;\n    layer m { cif \"NM\"; kind metal; min_width 2 lambda; }\n    device X flux_capacitor { terminals A B; }\n}\n",
+    ),
+    // Compile: a rule naming a layer the deck never declared.
+    (
+        "unknown-layer",
+        "tech \"t\" {\n    lambda 250;\n    space metal metal 3 lambda;\n}\n",
+    ),
+    // Compile: the same layer declared twice.
+    (
+        "duplicate-layer",
+        "tech \"t\" {\n    lambda 250;\n    layer m { cif \"NM\"; kind metal; min_width 2 lambda; }\n    layer m { cif \"NM\"; kind metal; min_width 2 lambda; }\n}\n",
+    ),
+    // Compile: a same_mask distance no tighter than the spacing rule
+    // (the conflict graph would be empty by construction).
+    (
+        "same-mask-not-tighter",
+        "tech \"t\" {\n    lambda 250;\n    layer m { cif \"NM\"; kind metal; min_width 2 lambda; }\n    space m m 3 lambda;\n    same_mask m 3 lambda;\n}\n",
+    ),
+];
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+#[test]
+fn malformed_decks_render_blessed_diagnostics() {
+    let bless = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut failures = Vec::new();
+    for (name, source) in CASES {
+        let err = match compile_str(source) {
+            Err(e) => e,
+            Ok(_) => panic!("{name}: malformed deck compiled successfully"),
+        };
+        // Every diagnostic is anchored: a real span inside the source
+        // (or just past its end for EOF errors), never the dummy.
+        assert!(
+            err.span.end >= err.span.start && err.span.start <= source.len(),
+            "{name}: span {:?} escapes the source",
+            err.span
+        );
+        let rendered = err.render(&format!("{name}.deck"), source);
+        assert!(rendered.contains('^'), "{name}: no caret underline");
+        let path = golden_path(name);
+        if bless {
+            std::fs::write(&path, &rendered).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+            panic!("{name}: missing golden file {path:?} — bless with UPDATE_GOLDEN=1")
+        });
+        if rendered != want {
+            failures.push(format!(
+                "{name}: diagnostic drifted from {path:?}\n--- blessed\n{want}\n--- got\n{rendered}"
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+/// The whole malformed-deck surface is panic-free: truncating or
+/// corrupting the NMOS deck at any byte boundary yields `Ok` or a
+/// spanned `Err`, never a panic.
+#[test]
+fn no_input_panics_the_front_end() {
+    let src = diic_deck::NMOS_DECK;
+    for cut in (0..src.len()).step_by(37) {
+        if !src.is_char_boundary(cut) {
+            continue;
+        }
+        let truncated = &src[..cut];
+        if let Err(e) = compile_str(truncated) {
+            assert!(e.span.start <= truncated.len() + 1, "cut {cut}");
+        }
+        let corrupted = format!("{}?{}", &src[..cut], &src[cut..]);
+        let _ = compile_str(&corrupted);
+    }
+}

@@ -1,0 +1,196 @@
+//! Random rule-deck generation for the deck-compilation differential
+//! leg.
+//!
+//! [`random_deck`] emits the *text* of a `diic-deck` rule deck (this
+//! crate deliberately does not depend on the deck crate — the
+//! differential tests compile the text through `diic::deck` and run
+//! the checker under the resulting technology). Every generated deck
+//! is a **recall-preserving variation** of the built-in NMOS
+//! technology: layers, CIF names, minimum widths, devices and their
+//! internal rules are identical, and spacing distances only ever
+//! *tighten* (grow) — so any fault `inject` plants against the
+//! baseline rules still measures under its rule's threshold and must
+//! be flagged under the generated deck too. On top of that a deck may
+//! declare a `same_mask` rule on metal, exercising the
+//! multi-patterning check under the fault corpus.
+
+/// A deterministic spacing pick: the baseline distance in λ, plus a
+/// seed-dependent tightening of 0–2 λ.
+fn widen(seed: u64, salt: u64, base: i64) -> i64 {
+    // splitmix64 — tiny, deterministic, and independent of the rand
+    // compat shim so deck text never changes underneath the corpus.
+    let mut z = seed ^ (salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    base + (z % 3) as i64
+}
+
+/// Generates one rule deck as text, deterministically from `seed`.
+///
+/// The deck compiles to a technology that differs from
+/// [`diic_tech::nmos::nmos_technology`] only in (some) spacing
+/// distances — never loosened — and, for two seeds in three, a
+/// `same_mask` distance on metal strictly above the metal spacing
+/// rule.
+pub fn random_deck(seed: u64) -> String {
+    let diff_diff = widen(seed, 1, 3);
+    let poly_poly = widen(seed, 2, 2);
+    let metal_metal = widen(seed, 3, 3);
+    let contact_contact = widen(seed, 4, 2);
+    let same_mask = match seed % 3 {
+        0 => String::new(),
+        r => format!(
+            "    same_mask metal {} lambda;\n",
+            metal_metal + 1 + r as i64
+        ),
+    };
+    format!(
+        r#"# Generated deck (seed {seed}): the NMOS baseline with tightened
+# spacing rules — recall-preserving for the injected-fault corpus.
+tech "nmos-gen-{seed}" {{
+    lambda 250;
+
+    layer diff    {{ cif "ND"; kind diffusion; min_width 2 lambda; }}
+    layer poly    {{ cif "NP"; kind poly;      min_width 2 lambda; }}
+    layer contact {{ cif "NC"; kind contact;   min_width 2 lambda; }}
+    layer metal   {{ cif "NM"; kind metal;     min_width 3 lambda; }}
+    layer implant {{ cif "NI"; kind implant;   min_width 2 lambda; }}
+    layer buried  {{ cif "NB"; kind buried;    min_width 2 lambda; }}
+    layer glass   {{ cif "NG"; kind glass;     min_width 2 lambda; }}
+
+    space diff diff {diff_diff} lambda;
+    space poly poly {poly_poly} lambda;
+    space metal metal {metal_metal} lambda;
+    space poly diff 1 lambda {{ unrelated_device 1 lambda; }}
+    space contact contact {contact_contact} lambda;
+    space buried buried 2 lambda;
+    space buried diff 2 lambda;
+{same_mask}
+    device NMOS_ENH mos_enhancement {{
+        requires_overlap poly diff;
+        gate_extension poly poly diff 2 lambda;
+        gate_extension diff poly diff 2 lambda;
+        no_layer_over_gate contact poly diff;
+        terminals G S D;
+    }}
+
+    device NMOS_DEP mos_depletion {{
+        requires_overlap poly diff;
+        requires_layer implant;
+        gate_extension poly poly diff 2 lambda;
+        gate_extension diff poly diff 2 lambda;
+        overlap_enclosure poly diff in implant 3/2 lambda;
+        no_layer_over_gate contact poly diff;
+        terminals G S D;
+    }}
+
+    device CONTACT_D contact {{
+        requires_layer contact;
+        min_width contact 2 lambda;
+        enclosure contact in diff 1 lambda;
+        enclosure contact in metal 1 lambda;
+        terminals A B;
+    }}
+
+    device CONTACT_P contact {{
+        requires_layer contact;
+        min_width contact 2 lambda;
+        enclosure contact in poly 1 lambda;
+        enclosure contact in metal 1 lambda;
+        terminals A B;
+    }}
+
+    device BUTTING_CONTACT butting_contact {{
+        requires_layer contact;
+        requires_overlap poly diff;
+        enclosure contact in metal 1 lambda;
+        terminals A B;
+    }}
+
+    device BURIED_CONTACT buried_contact {{
+        requires_layer buried;
+        requires_overlap poly diff;
+        overlap_enclosure poly diff in buried 1 lambda;
+        terminals A B;
+    }}
+
+    device RESISTOR_D resistor {{
+        requires_layer diff;
+        override diff diff {diff_diff} lambda same_net;
+        terminals A B;
+    }}
+
+    power VDD;
+    ground GND VSS;
+    bus_prefix "BUS_";
+    io_prefix "IO_";
+}}
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(random_deck(7), random_deck(7));
+        assert_ne!(random_deck(7), random_deck(8));
+    }
+
+    #[test]
+    fn spacing_only_tightens() {
+        for seed in 0..32 {
+            let deck = random_deck(seed);
+            for (pair, base) in [
+                ("space diff diff", 3),
+                ("space poly poly", 2),
+                ("space metal metal", 3),
+                ("space contact contact", 2),
+            ] {
+                let line = deck
+                    .lines()
+                    .find(|l| l.trim_start().starts_with(pair))
+                    .unwrap_or_else(|| panic!("seed {seed}: missing `{pair}`"));
+                let d: i64 = line
+                    .split_whitespace()
+                    .nth(3)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("seed {seed}: unparsable `{line}`"));
+                assert!(d >= base, "seed {seed}: `{line}` loosens the {base}λ rule");
+                assert!(d <= base + 2, "seed {seed}: `{line}` overshoots");
+            }
+        }
+    }
+
+    #[test]
+    fn same_mask_appears_and_exceeds_spacing() {
+        let mut with = 0;
+        for seed in 0..12 {
+            let deck = random_deck(seed);
+            if let Some(line) = deck
+                .lines()
+                .find(|l| l.trim_start().starts_with("same_mask metal"))
+            {
+                with += 1;
+                let mask: i64 = line.split_whitespace().nth(2).unwrap().parse().unwrap();
+                let space: i64 = deck
+                    .lines()
+                    .find(|l| l.trim_start().starts_with("space metal metal"))
+                    .unwrap()
+                    .split_whitespace()
+                    .nth(3)
+                    .unwrap()
+                    .parse()
+                    .unwrap();
+                assert!(
+                    mask > space,
+                    "seed {seed}: same_mask {mask}λ must exceed spacing {space}λ"
+                );
+            }
+        }
+        assert!(with >= 4, "expected same_mask decks among 12 seeds: {with}");
+    }
+}

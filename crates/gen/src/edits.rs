@@ -40,7 +40,7 @@ fn point_in(rng: &mut StdRng, bounds: &Rect) -> (i64, i64) {
 pub fn random_edit_set(layout: &Layout, bounds: Rect, step: usize, rng: &mut StdRng) -> EditSet {
     let mut edits = EditSet::new();
     let n_items = layout.top_items().len();
-    match rng.next_below(10) {
+    match rng.next_below(11) {
         // Clean metal wire, sometimes on a declared chip-I/O net (the
         // `IO_` prefix is exempt from the dangling-net rule).
         0 | 1 => {
@@ -74,6 +74,19 @@ pub fn random_edit_set(layout: &Layout, bounds: Rect, step: usize, rng: &mut Std
             let dx = rng.next_below(17) as i64 - 8;
             let dy = rng.next_below(17) as i64 - 8;
             edits.translate(index, l(dx), l(dy));
+        }
+        // Instantiate an existing cell definition at a fresh spot — the
+        // `AddCall` edit kind. The instance name carries the step so
+        // repeated edits do not alias each other (top-level call names
+        // key the hierarchical search's scope map).
+        9 if !layout.symbols().is_empty() => {
+            let si = rng.next_below(layout.symbols().len() as u64) as usize;
+            let (x, y) = point_in(rng, &bounds);
+            edits.add_call(
+                diic_cif::SymbolId(si as u32),
+                Transform::translate(Vector::new(x, y)),
+                &format!("edit{step}c"),
+            );
         }
         // Replace a random cell definition with a nudged copy of its
         // own body (every instance re-checks).

@@ -16,10 +16,12 @@
 
 pub mod cells;
 pub mod chip;
+pub mod decks;
 pub mod edits;
 pub mod inject;
 
 pub use chip::{generate, mega_chip, ChipSpec, GeneratedChip};
+pub use decks::random_deck;
 pub use edits::random_edit_set;
 pub use inject::{ErrorKind, GroundTruthEntry};
 

@@ -11,6 +11,7 @@
 //! layer poly NP poly width 500
 //! space diff diff 750
 //! space poly diff 250 unrelated 250
+//! samemask metal 1250
 //! power VDD
 //! ground GND VSS
 //! busprefix BUS_
@@ -249,6 +250,15 @@ pub fn parse_rules(text: &str) -> Result<Technology, DslError> {
                 }
                 t.rules_mut().set_spacing(a, b, rule);
             }
+            "samemask" => {
+                // samemask <layer> <min_space>
+                let [l, d] = args(&parts, 2, line_no)?[..] else {
+                    unreachable!()
+                };
+                let layer = layer_of(t, l, line_no)?;
+                let d = num(d, line_no)?;
+                t.rules_mut().set_same_mask(layer, d);
+            }
             "power" => {
                 t.power_nets = parts[1..].iter().map(|s| s.to_string()).collect();
             }
@@ -316,6 +326,9 @@ pub fn to_rules(t: &Technology) -> String {
             let _ = write!(s, " unrelated {u}");
         }
         s.push('\n');
+    }
+    for (layer, d) in t.rules().same_mask_entries() {
+        let _ = writeln!(s, "samemask {} {d}", t.layer(layer).name);
     }
     let _ = writeln!(s, "power {}", t.power_nets.join(" "));
     let _ = writeln!(s, "ground {}", t.ground_nets.join(" "));
@@ -517,6 +530,17 @@ mod tests {
         assert_eq!(t.lambda(), 100);
         let m = t.layer_by_name("m").unwrap();
         assert_eq!(t.rules().spacing(m, m).unwrap().diff_net, 300);
+    }
+
+    #[test]
+    fn samemask_round_trips() {
+        let mut t = nmos_technology();
+        let metal = t.layer_by_name("metal").unwrap();
+        t.rules_mut().set_same_mask(metal, 1250);
+        let text = to_rules(&t);
+        assert!(text.contains("samemask metal 1250"));
+        let back = parse_rules(&text).unwrap();
+        assert_eq!(back, t);
     }
 
     #[test]

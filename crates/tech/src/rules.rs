@@ -50,6 +50,12 @@ impl SpacingRule {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RuleSet {
     spacing: HashMap<(LayerId, LayerId), SpacingRule>,
+    /// Per-layer same-mask spacing: two features of the layer closer than
+    /// this (but not touching) cannot share one mask of a two-mask
+    /// (double-patterning) decomposition, so they form an edge of the
+    /// layer's conflict graph. A post-paper rule family — the built-in
+    /// technologies declare none.
+    same_mask: HashMap<LayerId, Coord>,
 }
 
 fn key(a: LayerId, b: LayerId) -> (LayerId, LayerId) {
@@ -98,6 +104,30 @@ impl RuleSet {
         v
     }
 
+    /// Sets the same-mask spacing for a layer (multi-patterning
+    /// decomposability — see [`RuleSet::same_mask`]).
+    pub fn set_same_mask(&mut self, layer: LayerId, min_space: Coord) {
+        self.same_mask.insert(layer, min_space);
+    }
+
+    /// The same-mask spacing for a layer, if declared.
+    pub fn same_mask(&self, layer: LayerId) -> Option<Coord> {
+        self.same_mask.get(&layer).copied()
+    }
+
+    /// True if any layer declares a same-mask spacing — the gate the
+    /// multi-patterning check runs behind.
+    pub fn has_same_mask(&self) -> bool {
+        !self.same_mask.is_empty()
+    }
+
+    /// Enumerates the same-mask entries in deterministic (sorted) order.
+    pub fn same_mask_entries(&self) -> Vec<(LayerId, Coord)> {
+        let mut v: Vec<(LayerId, Coord)> = self.same_mask.iter().map(|(&l, &d)| (l, d)).collect();
+        v.sort_by_key(|&(l, _)| l);
+        v
+    }
+
     /// Counts the subcases of the matrix: for `n` layers there are
     /// `n(n+1)/2` potential pairs, each with same-net and different-net
     /// subcases; returns `(pairs_with_rules, pairs_checked_same_net)`.
@@ -141,6 +171,21 @@ mod tests {
         };
         assert_eq!(strict.for_same_net(), Some(500));
         assert_eq!(strict.for_unrelated_device(), 250);
+    }
+
+    #[test]
+    fn same_mask_entries_sorted() {
+        let mut rs = RuleSet::new();
+        assert!(!rs.has_same_mask());
+        rs.set_same_mask(LayerId(3), 1250);
+        rs.set_same_mask(LayerId(1), 1000);
+        assert!(rs.has_same_mask());
+        assert_eq!(rs.same_mask(LayerId(3)), Some(1250));
+        assert_eq!(rs.same_mask(LayerId(0)), None);
+        assert_eq!(
+            rs.same_mask_entries(),
+            vec![(LayerId(1), 1000), (LayerId(3), 1250)]
+        );
     }
 
     #[test]

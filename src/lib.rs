@@ -14,6 +14,10 @@
 //!   tools and the flattener;
 //! * [`tech`] — technologies: layers, the Fig. 12 interaction matrix,
 //!   device archetypes, rule-file DSL, default NMOS and bipolar processes;
+//! * [`deck`] — the rule-deck language: lexer, parser, spanned
+//!   diagnostics, canonical printer, and compilation to a [`tech`]
+//!   `Technology` (the built-in NMOS process ships as a checked-in
+//!   `.deck` file proven byte-equivalent to the hardcoded recipe);
 //! * [`netlist`] — hierarchical net lists, consistency comparison, and the
 //!   four non-geometric construction rules;
 //! * [`process`] — 2-D process modelling: Gaussian exposure (Eq. 1),
@@ -40,6 +44,7 @@
 
 pub use diic_cif as cif;
 pub use diic_core as core;
+pub use diic_deck as deck;
 pub use diic_gen as gen;
 pub use diic_geom as geom;
 pub use diic_netlist as netlist;

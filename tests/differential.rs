@@ -51,7 +51,20 @@
 //! round-trip through boxed `ChipElement` records back to identical
 //! columns, and each `ElementRef` accessor agrees field for field with
 //! its boxed counterpart — so the batch kernels sweeping column slices
-//! see exactly what per-record code saw.
+//! see exactly what per-record code saw. (The **ninth leg** — the
+//! disk-spilling sink against the buffered canonical report — lives in
+//! `tests/sinks.rs`.)
+//!
+//! The **tenth leg** (`deck_compiled_nmos_equals_hardcoded`) pins the
+//! rule-deck front end: compiling the checked-in `decks/nmos.deck`
+//! through `diic::deck` must produce a `Technology` equal to the
+//! hardcoded `nmos_technology()` recipe, and every faulted chip must
+//! check **byte-identically** under the two on all four search paths —
+//! the deck language is a pure representation decision. Alongside it,
+//! `random_decks_preserve_fault_recall` compiles generator-produced
+//! deck variations (spacing only ever tightened, `same_mask` sometimes
+//! added) and re-runs the recall oracle under them: rule decks that
+//! tighten rules never lose injected faults.
 
 use diic::core::{
     account, check_cif, check_connections, check_connections_parallel, env_parallelism, flat_check,
@@ -404,6 +417,85 @@ proptest! {
         // reproduces the resident store exactly.
         let rebuilt = ElementColumns::from_elements(boxed);
         prop_assert_eq!(&rebuilt, &view.elements);
+    }
+
+    /// The **tenth leg**: the deck-compiled NMOS technology is
+    /// indistinguishable from the hardcoded one — equal as a value, and
+    /// byte-identical in every report over the faulted corpus, flat and
+    /// hierarchical, serial and wide.
+    #[test]
+    fn deck_compiled_nmos_equals_hardcoded(
+        nx in 2usize..5,
+        ny in 1usize..3,
+        seed in 0u64..1_000_000,
+        mask in 1u16..512,
+    ) {
+        let hard = nmos_technology();
+        let deck = diic::deck::compile_str(diic::deck::NMOS_DECK)
+            .expect("the checked-in NMOS deck compiles");
+        prop_assert_eq!(&deck, &hard, "decks/nmos.deck drifted from nmos_technology()");
+
+        let errors: Vec<ErrorKind> = ErrorKind::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, k)| *k)
+            .take(nx * ny)
+            .collect();
+        let chip = generate(&ChipSpec::with_errors(nx, ny, errors, seed));
+        let wide = wide_workers();
+        for hierarchical in [false, true] {
+            for parallelism in [1usize, wide] {
+                let under_hard = run(&chip.cif, &hard, hierarchical, parallelism);
+                let under_deck = run(&chip.cif, &deck, hierarchical, parallelism);
+                prop_assert_eq!(
+                    &under_deck.violations, &under_hard.violations,
+                    "hier={} workers={}: deck-compiled tech diverges \
+                     (nx={} ny={} seed={} mask={:#b})",
+                    hierarchical, parallelism, nx, ny, seed, mask
+                );
+                prop_assert_eq!(under_deck.interact_stats, under_hard.interact_stats);
+                prop_assert_eq!(&under_deck.netlist, &under_hard.netlist);
+            }
+        }
+    }
+
+    /// Generated rule decks (tightened spacings, sometimes a
+    /// `same_mask` rule) keep the four-way contract **and** full fault
+    /// recall: a deck that only tightens rules can add violations but
+    /// never lose an injected fault.
+    #[test]
+    fn random_decks_preserve_fault_recall(
+        nx in 2usize..4,
+        ny in 1usize..3,
+        seed in 0u64..1_000_000,
+        mask in 1u16..512,
+        deck_seed in 0u64..1_000,
+    ) {
+        let tech = diic::deck::compile_str(&diic::gen::random_deck(deck_seed))
+            .expect("generated decks always compile");
+        let errors: Vec<ErrorKind> = ErrorKind::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, k)| *k)
+            .take(nx * ny)
+            .collect();
+        let chip = generate(&ChipSpec::with_errors(nx, ny, errors, seed));
+        let injected = chip.injected();
+        let reports = assert_four_way(&chip.cif, &tech);
+        for (path, report) in ["flat-serial", "flat-parallel", "hier-serial", "hier-parallel"]
+            .iter()
+            .zip(&reports)
+        {
+            let regions = account(&report.violations, &injected, 800);
+            prop_assert_eq!(
+                regions.unchecked, 0,
+                "{}: deck {} lost {} of {} injected faults \
+                 (nx={} ny={} seed={} mask={:#b})",
+                path, deck_seed, regions.unchecked, regions.injected, nx, ny, seed, mask
+            );
+        }
     }
 
     /// The mask-level baseline's parallel per-layer Boolean work,
