@@ -54,6 +54,7 @@ fn main() {
         ("e17", Box::new(move || diic_bench::e17_incremental(scale))),
         ("e18", Box::new(move || diic_bench::e18_memory(scale))),
         ("e19", Box::new(move || diic_bench::e19_spill(scale))),
+        ("e20", Box::new(move || diic_bench::e20_library(scale))),
     ];
 
     println!("DIIC experiment harness — McGrath & Whitney, DAC 1980");

@@ -1551,6 +1551,134 @@ pub fn e19_spill(scale: Scale) -> String {
     out
 }
 
+/// E20 — library mode: cells/second over a generated variant library,
+/// a loop of standalone `check()` calls against `check_library`'s
+/// shared content-keyed caches, serial and wide. Every batch leg
+/// streams its per-cell violations (input order) through an
+/// [`FnvWriter`], so the "identical" column is a byte-level comparison
+/// against the standalone loop, not a count.
+pub fn e20_library(scale: Scale) -> String {
+    use diic_core::{check, check_library_buffered, LibraryOptions, LibraryReport};
+    use std::io::Write as _;
+
+    let mut out = String::new();
+    let cells = if scale.quick { 60 } else { 1000 };
+    let lib = diic_gen::cell_library_with(&diic_gen::LibrarySpec {
+        shared_fraction: 0.5,
+        error_rate: 0.1,
+        ..diic_gen::LibrarySpec::new(cells, 20)
+    });
+    let layouts: Vec<diic_cif::Layout> = lib
+        .cells
+        .iter()
+        .map(|c| diic_cif::parse(&c.cif).unwrap())
+        .collect();
+    let tech = nmos_technology();
+    let options = LibraryOptions::default();
+    let _ = writeln!(
+        out,
+        "E20: library mode — {} cells ({} with shared subcell content, {} faulted)",
+        cells, lib.shared_cells, lib.faulted_cells
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>8} {:>9} {:>9} {:>7} {:>10} {:>10}",
+        "mode", "ms", "cells/s", "bytes/cell", "hit %", "compact", "identical"
+    );
+
+    // Baseline: a loop of standalone checks, one cold interner and one
+    // run-local candidate cache per cell.
+    reset_peak_rss();
+    let t0 = Instant::now();
+    let mut want = FnvWriter::new();
+    for layout in &layouts {
+        let report = check(layout, &tech, &options.cell);
+        for v in &report.violations {
+            let _ = writeln!(want, "{v:?}");
+        }
+    }
+    let t_loop = t0.elapsed();
+    let rss_loop = peak_rss_kb();
+    let _ = writeln!(
+        out,
+        "{:<22} {:>8.1} {:>9.0} {:>9.0}K {:>7} {:>10} {:>10}",
+        "standalone loop",
+        t_loop.as_secs_f64() * 1e3,
+        cells as f64 / t_loop.as_secs_f64(),
+        rss_loop as f64 / cells as f64,
+        "-",
+        "-",
+        "(baseline)"
+    );
+
+    let mut batch_row = |label: &str, opts: &LibraryOptions| -> (std::time::Duration, bool) {
+        reset_peak_rss();
+        let t0 = Instant::now();
+        let batch: LibraryReport<_> = check_library_buffered(&layouts, &tech, opts);
+        let elapsed = t0.elapsed();
+        let rss = peak_rss_kb();
+        let mut got = FnvWriter::new();
+        for report in &batch.reports {
+            for v in &report.violations {
+                let _ = writeln!(got, "{v:?}");
+            }
+        }
+        let identical = got.digest() == want.digest();
+        let (h, m) = (
+            batch.stats.shared_cache_hits,
+            batch.stats.shared_cache_misses,
+        );
+        let _ = writeln!(
+            out,
+            "{:<22} {:>8.1} {:>9.0} {:>9.0}K {:>6.1}% {:>10} {:>10}",
+            label,
+            elapsed.as_secs_f64() * 1e3,
+            cells as f64 / elapsed.as_secs_f64(),
+            rss as f64 / cells as f64,
+            100.0 * h as f64 / (h + m).max(1) as f64,
+            batch.stats.interner_compactions,
+            if identical { "yes" } else { "NO" }
+        );
+        (elapsed, identical)
+    };
+
+    let (t_serial, id_serial) = batch_row(
+        "batch shared, serial",
+        &LibraryOptions {
+            parallelism: 1,
+            ..options.clone()
+        },
+    );
+    let (t_wide, id_wide) = batch_row("batch shared, wide", &options);
+    let (_, id_compact) = batch_row(
+        "batch, tight interner",
+        &LibraryOptions {
+            interner_budget_bytes: 0,
+            interner_keep_epochs: 1,
+            ..options.clone()
+        },
+    );
+
+    let _ = writeln!(
+        out,
+        "speedup vs standalone loop: serial ×{:.2}, wide ×{:.2}  (identical reports: {})",
+        t_loop.as_secs_f64() / t_serial.as_secs_f64(),
+        t_loop.as_secs_f64() / t_wide.as_secs_f64(),
+        if id_serial && id_wide && id_compact {
+            "all"
+        } else {
+            "NO"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "(shared caches: BoundTechnology constants + content-keyed candidate fills\n\
+         + per-worker session interners with epoch compaction; hit % is the\n\
+         cross-cell fill cache; bytes/cell is peak RSS over the leg / cells)"
+    );
+    out
+}
+
 /// Runs every experiment, returning the combined report.
 pub fn run_all(scale: Scale) -> String {
     let parts = vec![
@@ -1573,6 +1701,7 @@ pub fn run_all(scale: Scale) -> String {
         e17_incremental(scale),
         e18_memory(scale),
         e19_spill(scale),
+        e20_library(scale),
     ];
     parts.join("\n")
 }
@@ -1718,6 +1847,22 @@ mod tests {
             let runs: u64 = cols[2].parse().unwrap();
             assert!(runs > 1, "expected a multi-run merge: {line}");
             assert_eq!(*cols.last().unwrap(), "yes", "{line}");
+        }
+    }
+
+    #[test]
+    fn e20_batch_reports_identical_to_standalone() {
+        let t = e20_library(QUICK);
+        assert!(
+            t.contains("identical reports: all"),
+            "a batch leg diverged from the standalone loop: {t}"
+        );
+        for label in [
+            "standalone loop",
+            "batch shared, serial",
+            "batch shared, wide",
+        ] {
+            assert!(t.contains(label), "missing row {label:?}: {t}");
         }
     }
 }

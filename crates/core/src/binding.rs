@@ -88,6 +88,11 @@ pub struct StringInterner {
     /// `(hash, id)` pairs beyond the first per hash — scanned only when
     /// the first id's string mismatches.
     overflow: Vec<(u64, u32)>,
+    /// Current usage epoch (see [`StringInterner::advance_epoch`]).
+    epoch: u32,
+    /// Epoch each string was last interned in, parallel to `strings` —
+    /// the liveness signal [`StringInterner::compact_stale`] retains by.
+    last_used: Vec<u32>,
 }
 
 impl StringInterner {
@@ -101,25 +106,40 @@ impl StringInterner {
     /// Interns a string, returning the stable handle of its single
     /// stored copy.
     pub fn intern(&mut self, s: &str) -> Istr {
-        match self.find_or_reserve(s) {
+        let id = match self.find_or_reserve(s) {
             Ok(id) => id,
             Err(id) => {
                 self.strings.push(s.into());
                 id
             }
-        }
+        };
+        self.touch(id);
+        id
     }
 
     /// [`StringInterner::intern`] taking ownership — a miss moves the
     /// box into the table instead of re-allocating it (the shard-stitch
     /// path, where every shard's strings migrate into the merged view).
     pub fn intern_owned(&mut self, s: Box<str>) -> Istr {
-        match self.find_or_reserve(&s) {
+        let id = match self.find_or_reserve(&s) {
             Ok(id) => id,
             Err(id) => {
                 self.strings.push(s);
                 id
             }
+        };
+        self.touch(id);
+        id
+    }
+
+    /// Stamps a handle as used in the current epoch (growing the stamp
+    /// column for a fresh push).
+    fn touch(&mut self, id: Istr) {
+        let i = id.0 as usize;
+        if self.last_used.len() <= i {
+            self.last_used.resize(i + 1, self.epoch);
+        } else {
+            self.last_used[i] = self.epoch;
         }
     }
 
@@ -228,7 +248,65 @@ impl StringInterner {
     pub(crate) fn take_strings(&mut self) -> Vec<Box<str>> {
         self.first.clear();
         self.overflow.clear();
+        self.last_used.clear();
         std::mem::take(&mut self.strings)
+    }
+
+    /// The current usage epoch. Epochs segment interner traffic into
+    /// generations: a long-lived session (one interner across many
+    /// checked cells) advances the epoch at each cell boundary, every
+    /// [`StringInterner::intern`] stamps its handle with the epoch it
+    /// ran in, and [`StringInterner::compact_stale`] evicts strings
+    /// whose last use fell out of the recent-epoch window.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Starts the next usage epoch (see [`StringInterner::epoch`]).
+    pub fn advance_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+    }
+
+    /// Rebuilds the table keeping only the strings `keep` approves,
+    /// renumbering the survivors densely **in their original order**,
+    /// and returns the old-handle → new-handle map — `None` for evicted
+    /// strings (the [`diic_geom::GridIndex::compact`] remap pattern).
+    /// Any caller still holding handles must remap them; handles of
+    /// evicted strings are dead.
+    ///
+    /// Epoch stamps survive compaction, so repeated
+    /// [`StringInterner::compact_stale`] calls age strings correctly.
+    pub fn compact<F>(&mut self, mut keep: F) -> Vec<Option<Istr>>
+    where
+        F: FnMut(Istr, &str) -> bool,
+    {
+        let old_strings = std::mem::take(&mut self.strings);
+        let old_used = std::mem::take(&mut self.last_used);
+        self.first.clear();
+        self.overflow.clear();
+        let mut map = vec![None; old_strings.len()];
+        for (old_id, s) in old_strings.into_iter().enumerate() {
+            if keep(Istr(old_id as u32), &s) {
+                // invariant: the table was emptied above, so every kept
+                // string is a miss and ids come out dense in old order.
+                let id = self.intern_owned(s);
+                self.last_used[id.0 as usize] = old_used[old_id];
+                map[old_id] = Some(id);
+            }
+        }
+        map
+    }
+
+    /// [`StringInterner::compact`] keeping strings used within the last
+    /// `keep_epochs` epochs (0 = only the current epoch). The batch
+    /// library driver fires this between cells once the table outgrows
+    /// its budget: strings the recent cells actually re-interned (shared
+    /// paths, net names, device types) survive as a warm dictionary,
+    /// one-off keys from older cells are evicted.
+    pub fn compact_stale(&mut self, keep_epochs: u32) -> Vec<Option<Istr>> {
+        let cutoff = self.epoch.saturating_sub(keep_epochs);
+        let used = self.last_used.clone();
+        self.compact(|id, _| used[id.index() as usize] >= cutoff)
     }
 }
 
@@ -765,7 +843,26 @@ pub fn instantiate_parallel(
     binding: &LayerBinding,
     workers: usize,
 ) -> ChipView {
-    let (mut view, _) = instantiate_sharded(layout, tech, binding, workers);
+    instantiate_parallel_seeded(layout, tech, binding, workers, StringInterner::default())
+}
+
+/// [`instantiate_parallel`] with the view's string table **seeded** from
+/// an existing interner — the library batch driver's warm-dictionary
+/// path: a worker's session interner (carrying the shared paths, net
+/// names, and device types of the cells it already checked) becomes the
+/// base table, so repeated strings re-intern into existing entries
+/// instead of re-allocating per cell. Handle *values* then differ from a
+/// cold run, which is invisible in rendered output: violations carry
+/// resolved strings and the net-list assembly canonicalises purely by
+/// key strings ([`crate::netgen`]).
+pub(crate) fn instantiate_parallel_seeded(
+    layout: &Layout,
+    tech: &Technology,
+    binding: &LayerBinding,
+    workers: usize,
+    seed: StringInterner,
+) -> ChipView {
+    let (mut view, _) = instantiate_sharded_seeded(layout, tech, binding, workers, seed);
     assign_auto_net_keys(&mut view.elements, &mut view.strings, None);
     view
 }
@@ -780,6 +877,18 @@ pub(crate) fn instantiate_sharded(
     tech: &Technology,
     binding: &LayerBinding,
     workers: usize,
+) -> (ChipView, Vec<(usize, usize)>) {
+    instantiate_sharded_seeded(layout, tech, binding, workers, StringInterner::default())
+}
+
+/// [`instantiate_sharded`] stitching into a **seeded** string table
+/// (see [`instantiate_parallel_seeded`]).
+pub(crate) fn instantiate_sharded_seeded(
+    layout: &Layout,
+    tech: &Technology,
+    binding: &LayerBinding,
+    workers: usize,
+    seed: StringInterner,
 ) -> (ChipView, Vec<(usize, usize)>) {
     let items = layout.top_items();
     let shards: Vec<ChipView> = crate::parallel::run_ordered(items.len(), workers, |k| {
@@ -797,7 +906,10 @@ pub(crate) fn instantiate_sharded(
         );
         shard
     });
-    let mut view = ChipView::default();
+    let mut view = ChipView {
+        strings: seed,
+        ..ChipView::default()
+    };
     let mut runs = Vec::with_capacity(shards.len());
     for mut shard in shards {
         let (e_off, d_off) = (view.elements.len(), view.devices.len());
@@ -1242,6 +1354,62 @@ mod tests {
         let owned = t.intern_owned("fresh".into());
         assert_eq!(t.get(owned), "fresh");
         assert!(t.heap_bytes() >= 100 * 2);
+    }
+
+    #[test]
+    fn interner_compact_remaps_handles_and_keeps_order() {
+        // The GridIndex::compact shape: survivors renumber densely in
+        // original order, the returned map translates old handles, and
+        // evicted handles come back None.
+        let mut t = StringInterner::default();
+        let ids: Vec<Istr> = (0..50).map(|i| t.intern(&format!("k{i}"))).collect();
+        let map = t.compact(|_, s| !s.ends_with('3'));
+        assert_eq!(map.len(), 50);
+        let mut expect_new = 0u32;
+        for (i, &id) in ids.iter().enumerate() {
+            if format!("k{i}").ends_with('3') {
+                assert_eq!(map[id.index() as usize], None);
+            } else {
+                let new = map[id.index() as usize].expect("survivor remaps");
+                assert_eq!(new.index(), expect_new, "dense, in original order");
+                assert_eq!(t.get(new), format!("k{i}"));
+                expect_new += 1;
+            }
+        }
+        assert_eq!(t.len(), expect_new as usize);
+        // The rebuilt index still dedups: re-interning a survivor hits
+        // its new handle, an evicted string re-enters fresh.
+        assert_eq!(t.intern("k0"), map[ids[0].index() as usize].unwrap());
+        assert_eq!(t.lookup("k3"), None);
+        let back = t.intern("k3");
+        assert_eq!(back.index(), expect_new);
+    }
+
+    #[test]
+    fn interner_compact_stale_evicts_by_epoch() {
+        // Session shape: one epoch per checked cell. Strings re-interned
+        // in recent epochs survive compaction; one-off keys from old
+        // epochs are evicted — and the stamps survive the rebuild, so a
+        // second compaction keeps ageing correctly.
+        let mut t = StringInterner::default();
+        t.intern("shared");
+        t.intern("old-only");
+        t.advance_epoch();
+        t.intern("shared");
+        t.intern("recent");
+        let map = t.compact_stale(0); // keep only the current epoch
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup("old-only"), None);
+        let shared = t.lookup("shared").expect("recently used survives");
+        assert_eq!(map[0], Some(shared));
+        assert_eq!(map[1], None);
+        assert_eq!(t.get(t.lookup("recent").unwrap()), "recent");
+        // Nothing re-interned since: advancing twice ages both out.
+        t.advance_epoch();
+        t.advance_epoch();
+        t.compact_stale(1);
+        assert!(t.is_empty());
+        assert_eq!(t.epoch(), 3);
     }
 
     #[test]

@@ -572,6 +572,23 @@ pub struct CheckContext<'a> {
     /// engine hook the incremental re-check subsystem drives; see
     /// [`crate::incremental`].
     pub clip: Option<diic_geom::Region>,
+    /// Library-mode shared state: the batch's precomputed technology
+    /// constants and its cross-cell content-keyed candidate cache.
+    /// `None` (the default) re-derives the constants per run and keeps
+    /// candidate fills run-local — the standalone [`crate::check`]
+    /// behaviour. Set by [`crate::library::check_library`]; either way
+    /// the run's output bytes are identical.
+    pub(crate) library: Option<(
+        &'a crate::library::BoundTechnology,
+        &'a crate::library::LibraryCache,
+    )>,
+    /// A warm [`StringInterner`] the instantiate stage seeds the view's
+    /// string table from (the library batch driver's per-worker session
+    /// dictionary). `None` starts cold. Handle *values* differ between
+    /// the two, but handles never reach rendered output (violations
+    /// materialize strings at creation; the net list canonicalises by
+    /// key strings), so either way the report bytes are identical.
+    pub(crate) seed_strings: Option<crate::binding::StringInterner>,
 }
 
 impl<'a> CheckContext<'a> {
@@ -614,6 +631,8 @@ impl<'a> CheckContext<'a> {
             interact_stats: InteractStats::default(),
             waived_devices: Vec::new(),
             clip: None,
+            library: None,
+            seed_strings: None,
         }
     }
 
@@ -622,6 +641,35 @@ impl<'a> CheckContext<'a> {
     pub fn with_clip(mut self, clip: diic_geom::Region) -> Self {
         self.clip = Some(clip);
         self
+    }
+
+    /// Builder-style library-mode shared state (see
+    /// [`CheckContext::library`]).
+    #[must_use]
+    pub(crate) fn with_library(
+        mut self,
+        bound: &'a crate::library::BoundTechnology,
+        cache: &'a crate::library::LibraryCache,
+    ) -> Self {
+        self.library = Some((bound, cache));
+        self
+    }
+
+    /// Builder-style warm interner seed (see
+    /// [`CheckContext::seed_strings`]).
+    #[must_use]
+    pub(crate) fn with_seed_strings(mut self, seed: crate::binding::StringInterner) -> Self {
+        self.seed_strings = Some(seed);
+        self
+    }
+
+    /// Takes the view's string table out of a finished context (the
+    /// library batch driver reclaims its per-worker session interner
+    /// this way, now holding the cell's additions). Call after the
+    /// engine ran and before [`CheckContext::into_report`] — the report
+    /// only reads counts and already-materialized strings.
+    pub(crate) fn take_strings(&mut self) -> Option<crate::binding::StringInterner> {
+        self.view.as_mut().map(|v| std::mem::take(&mut v.strings))
     }
 
     // invariant (this and the accessors below): stage-order contract —
@@ -827,8 +875,12 @@ impl PipelineStage for InstantiateStage {
         let (binding, bind_violations) = LayerBinding::bind(ctx.layout, ctx.tech);
         ctx.sink.absorb(bind_violations);
         let workers = effective_parallelism(ctx.options.parallelism);
-        let mut view =
-            crate::binding::instantiate_parallel(ctx.layout, ctx.tech, &binding, workers);
+        let mut view = match ctx.seed_strings.take() {
+            Some(seed) => crate::binding::instantiate_parallel_seeded(
+                ctx.layout, ctx.tech, &binding, workers, seed,
+            ),
+            None => crate::binding::instantiate_parallel(ctx.layout, ctx.tech, &binding, workers),
+        };
         ctx.sink.append(&mut view.violations);
         ctx.binding = Some(binding);
         ctx.view = Some(view);
@@ -953,13 +1005,24 @@ impl PipelineStage for InteractionsStage {
                 &interact_options,
                 clip,
             ),
-            None => check_interactions(
-                ctx.view(),
-                ctx.tech,
-                ctx.nets(),
-                ctx.layout,
-                &interact_options,
-            ),
+            None => match ctx.library {
+                Some((bound, cache)) => crate::interact::check_interactions_shared(
+                    ctx.view(),
+                    ctx.tech,
+                    ctx.nets(),
+                    ctx.layout,
+                    &interact_options,
+                    bound,
+                    cache,
+                ),
+                None => check_interactions(
+                    ctx.view(),
+                    ctx.tech,
+                    ctx.nets(),
+                    ctx.layout,
+                    &interact_options,
+                ),
+            },
         };
         ctx.sink.absorb(ivs);
         ctx.interact_stats = stats;

@@ -75,13 +75,16 @@
 //! therefore un-clippable) property after an edit.
 
 use crate::binding::ChipView;
+use crate::library::{BoundTechnology, ContentHash, LibraryCache};
 use crate::netgen::NetgenResult;
 use crate::parallel::{effective_parallelism, run_ordered};
 use crate::violations::{CheckStage, Violation, ViolationKind};
 use diic_cif::{Item, Layout, SymbolId};
 use diic_geom::{Coord, GridIndex, Rect, SizingMode, Transform};
 use diic_tech::{LayerId, Technology};
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Options for the interaction stage (ablation knobs).
 #[derive(Debug, Clone, Copy)]
@@ -232,9 +235,49 @@ pub fn check_interactions(
     layout: &Layout,
     options: &InteractOptions,
 ) -> (Vec<Violation>, InteractStats) {
+    check_interactions_impl(view, tech, nets, layout, options, None)
+}
+
+/// Library-mode [`check_interactions`]: the technology constants come
+/// precomputed from the [`BoundTechnology`] (equal by construction to
+/// the per-run values) and the hierarchical candidate fills are shared
+/// **across cells** through the content-keyed [`LibraryCache`]. The
+/// violation list and the per-cell statistics are byte-identical to
+/// [`check_interactions`] — cross-cell cache traffic is counted on the
+/// cache itself, not in [`InteractStats`].
+pub fn check_interactions_shared(
+    view: &ChipView,
+    tech: &Technology,
+    nets: &NetgenResult,
+    layout: &Layout,
+    options: &InteractOptions,
+    bound: &BoundTechnology,
+    cache: &LibraryCache,
+) -> (Vec<Violation>, InteractStats) {
+    check_interactions_impl(view, tech, nets, layout, options, Some((bound, cache)))
+}
+
+fn check_interactions_impl(
+    view: &ChipView,
+    tech: &Technology,
+    nets: &NetgenResult,
+    layout: &Layout,
+    options: &InteractOptions,
+    shared: Option<(&BoundTechnology, &LibraryCache)>,
+) -> (Vec<Violation>, InteractStats) {
     let mut stats = InteractStats::default();
-    let max_range = max_rule_range(tech);
-    let cell = interaction_cell_size(tech);
+    let (max_range, cell, forming) = match shared {
+        Some((bound, _)) => (
+            bound.max_rule_range(),
+            bound.cell_size(),
+            Cow::Borrowed(bound.forming()),
+        ),
+        None => (
+            max_rule_range(tech),
+            interaction_cell_size(tech),
+            Cow::Owned(crate::connect::device_forming_pairs(tech)),
+        ),
+    };
     let workers = effective_parallelism(options.parallelism);
 
     let cx = EvalCx {
@@ -242,10 +285,19 @@ pub fn check_interactions(
         tech,
         nets,
         options,
-        forming: crate::connect::device_forming_pairs(tech),
+        forming,
     };
+    let shared_cache = shared.map(|(bound, cache)| (cache, bound.revision()));
     let (mut violations, edges) = if options.hierarchical {
-        let plan = hierarchical_plan_fill(view, layout, max_range, cell, workers, &mut stats);
+        let plan = hierarchical_plan_fill(
+            view,
+            layout,
+            max_range,
+            cell,
+            workers,
+            &mut stats,
+            shared_cache,
+        );
         if options.tiled {
             hierarchical_tiled(&cx, &plan, workers, &mut stats)
         } else {
@@ -357,7 +409,7 @@ pub fn check_interactions_among_clipped(
         tech,
         nets,
         options,
-        forming: crate::connect::device_forming_pairs(tech),
+        forming: Cow::Owned(crate::connect::device_forming_pairs(tech)),
     };
     // Same-mask edges are discarded here: bipartiteness is a *global*
     // property of the conflict graph — a clip-local edge subset cannot
@@ -515,7 +567,9 @@ struct HierPlan {
     scopes: Vec<Scope>,
     intra_source: Vec<usize>,
     inter_source: Vec<(usize, usize, usize)>,
-    filled: Vec<Vec<(usize, usize)>>,
+    /// Filled rows sit behind [`Arc`] so library-mode cache hits share
+    /// one allocation across cells instead of copying the pair list.
+    filled: Vec<Arc<Vec<(usize, usize)>>>,
 }
 
 /// Hierarchical candidate search with the paper's redundancy
@@ -545,6 +599,7 @@ fn hierarchical_plan_fill(
     cell: Coord,
     workers: usize,
     stats: &mut InteractStats,
+    shared: Option<(&LibraryCache, u64)>,
 ) -> HierPlan {
     // Group elements by top-level scope, in walk order (deterministic:
     // walk order is identical for every instance of the same symbol).
@@ -664,16 +719,42 @@ fn hierarchical_plan_fill(
     }
 
     // Step 2 — fill every distinct cache entry (and each uncached scope
-    // search) across the worker pool.
-    let filled: Vec<Vec<(usize, usize)>> = run_ordered(jobs.len(), workers, |k| match jobs[k] {
-        FillJob::Intra(si) => local_candidates(view, &scopes[si].element_ids, max_range, cell),
-        FillJob::Cross(si, sj) => cross_candidates(
-            view,
-            &scopes[si].element_ids,
-            &scopes[sj].element_ids,
-            max_range,
-            cell,
-        ),
+    // search) across the worker pool. In library mode each *symbol*
+    // job additionally consults the batch's content-keyed cache: the
+    // key hashes exactly what the fill is a pure function of (the
+    // scopes' normalized bbox sequences + the bound-tech revision), so
+    // a hit returns the bytes a local fill would have produced.
+    // Symbol-less (loose top-level) scopes never touch the shared
+    // cache — their geometry is cell-specific, and caching it would
+    // grow the cache with rows no sibling can hit.
+    let filled: Vec<Arc<Vec<(usize, usize)>>> = run_ordered(jobs.len(), workers, |k| {
+        let compute = || match jobs[k] {
+            FillJob::Intra(si) => local_candidates(view, &scopes[si].element_ids, max_range, cell),
+            FillJob::Cross(si, sj) => cross_candidates(
+                view,
+                &scopes[si].element_ids,
+                &scopes[sj].element_ids,
+                max_range,
+                cell,
+            ),
+        };
+        let key = shared.and_then(|(_, revision)| match jobs[k] {
+            FillJob::Intra(si) => scopes[si]
+                .symbol
+                .map(|_| intra_content_key(view, &scopes[si].element_ids, revision)),
+            FillJob::Cross(si, sj) => scopes[si].symbol.and(scopes[sj].symbol).map(|_| {
+                cross_content_key(
+                    view,
+                    &scopes[si].element_ids,
+                    &scopes[sj].element_ids,
+                    revision,
+                )
+            }),
+        });
+        match (shared, key) {
+            (Some((cache, _)), Some(key)) => cache.get_or_fill(key, compute),
+            _ => Arc::new(compute()),
+        }
     });
 
     HierPlan {
@@ -808,6 +889,63 @@ fn cross_candidates(
     out
 }
 
+/// Content key for an intra-scope fill: the scope's bbox sequence in
+/// walk order, **normalized** by its first bbox's lower-left corner —
+/// so every translated instance of the same definition, in any cell of
+/// the batch, hashes identically. Rotated/mirrored instances hash
+/// differently (their bbox sequences differ) and simply miss — a
+/// conservative, correct outcome. The bound-technology revision pins
+/// the rule reach and cell size the fill was computed under.
+///
+/// Bboxes are the *complete* input of [`local_candidates`] (layers and
+/// shapes only matter at evaluation, which stays per-cell), so equal
+/// keys imply byte-equal fills.
+fn intra_content_key(view: &ChipView, ids: &[usize], revision: u64) -> (u64, u64) {
+    let bboxes = view.elements.bboxes();
+    let mut h = ContentHash::new();
+    h.word(revision);
+    h.word(1); // domain tag: intra
+    h.word(ids.len() as u64);
+    let (rx, ry) = ids
+        .first()
+        .map(|&id| (bboxes[id].x1, bboxes[id].y1))
+        .unwrap_or((0, 0));
+    for &id in ids {
+        let b = bboxes[id];
+        h.coord(b.x1 - rx);
+        h.coord(b.y1 - ry);
+        h.coord(b.x2 - rx);
+        h.coord(b.y2 - ry);
+    }
+    h.digest()
+}
+
+/// Content key for a cross-scope fill: both scopes' bbox sequences,
+/// normalized by scope `a`'s reference corner — one shared origin, so
+/// the key captures the pair's **relative placement** exactly like the
+/// per-run `(SymbolId, SymbolId, relative transform)` key, but by
+/// content. See [`intra_content_key`] for why bboxes suffice.
+fn cross_content_key(view: &ChipView, a: &[usize], b: &[usize], revision: u64) -> (u64, u64) {
+    let bboxes = view.elements.bboxes();
+    let mut h = ContentHash::new();
+    h.word(revision);
+    h.word(2); // domain tag: cross
+    h.word(a.len() as u64);
+    h.word(b.len() as u64);
+    let (rx, ry) = a
+        .first()
+        .map(|&id| (bboxes[id].x1, bboxes[id].y1))
+        .unwrap_or((0, 0));
+    for &id in a.iter().chain(b) {
+        let bb = bboxes[id];
+        h.coord(bb.x1 - rx);
+        h.coord(bb.y1 - ry);
+        h.coord(bb.x2 - rx);
+        h.coord(bb.y2 - ry);
+    }
+    h.digest()
+}
+
 // ---------------------------------------------------------------------
 // Phase 2: pair evaluation (serial or scoped-parallel).
 // ---------------------------------------------------------------------
@@ -818,10 +956,11 @@ struct EvalCx<'a> {
     tech: &'a Technology,
     nets: &'a NetgenResult,
     options: &'a InteractOptions,
-    /// Device-forming layer pairs, precomputed once per run (touching
-    /// cross-layer pairs on these layers were already reported as
-    /// implied devices by the connection stage).
-    forming: HashSet<(LayerId, LayerId)>,
+    /// Device-forming layer pairs (touching cross-layer pairs on these
+    /// layers were already reported as implied devices by the
+    /// connection stage) — computed once per run, or borrowed from the
+    /// batch's [`BoundTechnology`] in library mode.
+    forming: Cow<'a, HashSet<(LayerId, LayerId)>>,
 }
 
 /// Evaluates the candidate list, splitting it into contiguous chunks

@@ -124,6 +124,7 @@ pub mod engine;
 pub mod flat;
 pub mod incremental;
 pub mod interact;
+pub mod library;
 pub mod netgen;
 pub mod parallel;
 pub mod primitive_checks;
@@ -147,6 +148,10 @@ pub use flat::{flat_check, FlatLayers, FlatOptions};
 pub use incremental::{canonical_check, CheckSession, Edit, EditError, EditSet, EditStats};
 pub use interact::{
     check_same_mask, interaction_cell_size, max_rule_range, InteractOptions, InteractStats,
+};
+pub use library::{
+    check_library, check_library_buffered, check_library_in, BatchProfile, BoundTechnology,
+    LibraryCache, LibraryOptions, LibraryReport, LibrarySession, LibraryStats,
 };
 pub use netgen::{generate_netlist, generate_netlist_parallel, NetgenResult};
 pub use parallel::{effective_parallelism, env_parallelism};

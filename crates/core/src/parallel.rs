@@ -92,42 +92,76 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_ordered_with_state(jobs, workers, || (), |(), i| job(i)).0
+}
+
+/// [`run_ordered`] with **per-worker mutable state**: each worker calls
+/// `init` once, threads the resulting state through every job it claims,
+/// and the final states are returned alongside the ordered results.
+///
+/// The state is a *performance* channel, not a correctness one: work
+/// stealing assigns jobs to workers nondeterministically, so a job's
+/// output bytes must not depend on what its worker's state accumulated —
+/// the state may only carry things that are re-derivable per job (warm
+/// caches, scratch buffers, session interners whose handle values never
+/// reach rendered output). The library batch driver rides this to keep
+/// one long-lived [`crate::binding::StringInterner`] per worker across
+/// cells.
+pub fn run_ordered_with_state<T, S, I, F>(
+    jobs: usize,
+    workers: usize,
+    init: I,
+    job: F,
+) -> (Vec<T>, Vec<S>)
+where
+    T: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     if workers <= 1 || jobs < 2 {
-        return (0..jobs).map(job).collect();
+        let mut state = init();
+        let out = (0..jobs).map(|i| job(&mut state, i)).collect();
+        return (out, vec![state]);
     }
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    let mut states: Vec<S> = Vec::new();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers.min(jobs))
             .map(|_| {
-                let (cursor, job) = (&cursor, &job);
+                let (cursor, init, job) = (&cursor, &init, &job);
                 s.spawn(move || {
+                    let mut state = init();
                     let mut done = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= jobs {
                             break;
                         }
-                        done.push((i, job(i)));
+                        done.push((i, job(&mut state, i)));
                     }
-                    done
+                    (done, state)
                 })
             })
             .collect();
         for h in handles {
             // invariant: propagating a worker panic, not creating one —
             // join only fails if the closure itself panicked.
-            for (i, r) in h.join().expect("pipeline worker panicked") {
+            let (done, state) = h.join().expect("pipeline worker panicked");
+            for (i, r) in done {
                 slots[i] = Some(r);
             }
+            states.push(state);
         }
     });
-    slots
+    let out = slots
         .into_iter()
         // invariant: the shared counter hands each index to exactly
         // one worker, and every worker fills what it claims.
         .map(|r| r.expect("every job index is claimed exactly once"))
-        .collect()
+        .collect();
+    (out, states)
 }
 
 /// Runs `job(0)`, …, `job(n - 1)` across the worker pool in contiguous
@@ -211,6 +245,36 @@ mod tests {
     fn run_ordered_handles_empty_and_single() {
         assert!(run_ordered(0, 4, |i| i).is_empty());
         assert_eq!(run_ordered(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn run_ordered_with_state_threads_worker_state() {
+        // Every worker counts the jobs it ran; the counts must cover
+        // every job exactly once and the results stay positional.
+        let (out, states) = run_ordered_with_state(
+            50,
+            4,
+            || 0usize,
+            |seen: &mut usize, i| {
+                *seen += 1;
+                i * 2
+            },
+        );
+        assert_eq!(out, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(states.iter().sum::<usize>(), 50);
+        assert!(states.len() <= 4 && !states.is_empty());
+        // Serial fallback: one state, all jobs.
+        let (out, states) = run_ordered_with_state(
+            3,
+            1,
+            || 0usize,
+            |seen: &mut usize, i| {
+                *seen += 1;
+                i
+            },
+        );
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(states, vec![3]);
     }
 
     #[test]

@@ -304,6 +304,29 @@ pub fn inverter(out: &mut String) {
     let _ = writeln!(out, "DF;");
 }
 
+/// Emits a **content-unique** variant of the standard inverter symbol
+/// (same id, same devices, same nets — still rule-clean): the body plus
+/// one extra same-net metal box sitting fully inside the GND rail, at
+/// an x position derived from `tag`. Distinct tags give the definition
+/// distinct flattened geometry, which is exactly what defeats
+/// content-keyed candidate-cache sharing — the knob behind
+/// `cell_library`'s controllable overlap ratio.
+pub fn inverter_unique(out: &mut String, tag: u32) {
+    let _ = writeln!(out, "DS {} 1 1;\n9 inv;", ids::INV);
+    inverter_body(out, true);
+    // Both rails span x∈[-2,21]λ and are 3λ tall; a 4×3λ box whose
+    // centre sits in [0,19]λ stays inside its rail for every tag. The
+    // centres land on database resolution (λ/250), giving ~4751²
+    // distinguishable tag classes — enough that a 10⁴-cell library's
+    // "unique" cells collide only incidentally.
+    let span = l(19) + 1;
+    let x0 = (tag as i64) % span;
+    let x1 = ((tag as i64) / span) % span;
+    let _ = writeln!(out, "L NM; 9N GND; B {} {} {} {};", l(4), l(3), x0, lh(3));
+    let _ = writeln!(out, "L NM; 9N VDD; B {} {} {} {};", l(4), l(3), x1, lh(77));
+    let _ = writeln!(out, "DF;");
+}
+
 /// Emits the ERC-broken inverter (pull-up strapped to ground).
 pub fn inverter_dep_gnd(out: &mut String) {
     let _ = writeln!(out, "DS {} 1 1;\n9 inv_dep_gnd;", ids::INV_DEP_GND);

@@ -28,6 +28,15 @@ pub struct ChipSpec {
     pub golden_netlist: bool,
     /// RNG seed for error placement.
     pub seed: u64,
+    /// Make the inverter *definition* content-unique: `Some(tag)` emits
+    /// [`cells::inverter_unique`] (one extra clean same-net box at a
+    /// tag-dependent position) instead of the stock [`cells::inverter`]
+    /// under the same symbol id. `None` (the default) shares the stock
+    /// definition — chips generated with equal tags (or all with
+    /// `None`) have content-identical inverter subcells, which is what
+    /// the library batch's content-keyed candidate cache shares across
+    /// cells; distinct tags defeat that sharing on purpose.
+    pub unique_tag: Option<u32>,
 }
 
 impl ChipSpec {
@@ -40,18 +49,16 @@ impl ChipSpec {
             demo_cells: true,
             golden_netlist: true,
             seed: 42,
+            unique_tag: None,
         }
     }
 
     /// An array with the given injected errors.
     pub fn with_errors(nx: usize, ny: usize, errors: Vec<ErrorKind>, seed: u64) -> Self {
         ChipSpec {
-            nx,
-            ny,
             errors,
-            demo_cells: true,
-            golden_netlist: true,
             seed,
+            ..ChipSpec::clean(nx, ny)
         }
     }
 }
@@ -106,7 +113,10 @@ pub fn generate(spec: &ChipSpec) -> GeneratedChip {
     cells::tdep(&mut cif);
     cells::cd(&mut cif);
     cells::cp(&mut cif);
-    cells::inverter(&mut cif);
+    match spec.unique_tag {
+        Some(tag) => cells::inverter_unique(&mut cif, tag),
+        None => cells::inverter(&mut cif),
+    }
     if spec.demo_cells {
         cells::bc(&mut cif);
         cells::res(&mut cif);

@@ -19,11 +19,13 @@ pub mod chip;
 pub mod decks;
 pub mod edits;
 pub mod inject;
+pub mod library;
 
 pub use chip::{generate, mega_chip, ChipSpec, GeneratedChip};
 pub use decks::random_deck;
 pub use edits::random_edit_set;
 pub use inject::{ErrorKind, GroundTruthEntry};
+pub use library::{cell_library, cell_library_with, GeneratedLibrary, LibrarySpec};
 
 /// λ in database units for all generated layouts (matches
 /// [`diic_tech::nmos::nmos_technology`]).

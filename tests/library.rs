@@ -1,0 +1,244 @@
+//! The **eleventh differential leg**: library-mode batch verification
+//! against standalone checks.
+//!
+//! `check_library` hoists three per-run rebuilds into shared state —
+//! the bound technology constants, a cross-cell content-keyed
+//! candidate cache, and per-worker session string interners with
+//! epoch compaction. The contract that makes all three safe is
+//! **per-cell byte-identity**: every cell's report out of a batch must
+//! equal a standalone `check()` of that cell — violations, net list,
+//! interaction statistics, element/device counts — for any outer
+//! worker count (the "wide" count honours `CHECK_PARALLELISM`, like
+//! the other legs), with and without interner compaction, on faulted
+//! variant libraries as well as clean ones.
+//!
+//! On top of identity, the leg pins the *point* of the mode: a library
+//! whose cells share definition content must produce cross-cell cache
+//! hits (and a fully unique library must not produce spurious ones —
+//! the content keys are discriminating, not just permissive).
+
+use diic::cif::Layout;
+use diic::core::{
+    check, check_library_buffered, env_parallelism, CheckReport, LibraryOptions, LibraryReport,
+};
+use diic::gen::library::LibrarySpec;
+use diic::gen::{cell_library, cell_library_with};
+use diic::tech::nmos::nmos_technology;
+use proptest::prelude::*;
+
+/// The parallel worker count exercised against serial runs.
+fn wide_workers() -> usize {
+    env_parallelism().unwrap_or(0) // 0 = all available cores
+}
+
+fn parse_all(cells: &[diic::gen::GeneratedChip]) -> Vec<Layout> {
+    cells
+        .iter()
+        .map(|c| diic::cif::parse(&c.cif).expect("generated cells always parse"))
+        .collect()
+}
+
+/// Asserts one batch run is per-cell byte-identical to standalone
+/// checks of the same layouts under the batch's per-cell options.
+fn assert_batch_matches_standalone(
+    layouts: &[Layout],
+    options: &LibraryOptions,
+) -> LibraryReport<diic::core::DiagnosticSink> {
+    let tech = nmos_technology();
+    let standalone: Vec<CheckReport> = layouts
+        .iter()
+        .map(|l| check(l, &tech, &options.cell))
+        .collect();
+    let batch = check_library_buffered(layouts, &tech, options);
+    assert_eq!(batch.reports.len(), standalone.len());
+    assert_eq!(batch.stats.cells, layouts.len());
+    for (i, (b, s)) in batch.reports.iter().zip(&standalone).enumerate() {
+        assert_eq!(b.violations, s.violations, "cell {i}: violations diverge");
+        assert_eq!(b.netlist, s.netlist, "cell {i}: net list diverges");
+        assert_eq!(
+            b.interact_stats, s.interact_stats,
+            "cell {i}: interaction statistics diverge"
+        );
+        assert_eq!(b.waived_devices, s.waived_devices, "cell {i}");
+        assert_eq!(b.element_count, s.element_count, "cell {i}");
+        assert_eq!(b.device_count, s.device_count, "cell {i}");
+    }
+    batch
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Faulted variant libraries: batch reports are byte-identical to
+    /// per-cell standalone checks, serial and wide, with and without
+    /// the shared interner, under default and forced compaction.
+    #[test]
+    fn batch_equals_standalone(
+        cells in 1usize..8,
+        shared_pct in 0u32..101,
+        error_pct in 0u32..101,
+        seed in 0u64..1000,
+    ) {
+        let lib = cell_library_with(&LibrarySpec {
+            shared_fraction: shared_pct as f64 / 100.0,
+            error_rate: error_pct as f64 / 100.0,
+            ..LibrarySpec::new(cells, seed)
+        });
+        let layouts = parse_all(&lib.cells);
+        let wide = wide_workers();
+        for parallelism in [1usize, wide] {
+            // Default: shared interner, generous budget.
+            assert_batch_matches_standalone(&layouts, &LibraryOptions {
+                parallelism,
+                ..LibraryOptions::default()
+            });
+            // Zero budget: compaction fires after every cell.
+            let forced = assert_batch_matches_standalone(&layouts, &LibraryOptions {
+                parallelism,
+                interner_budget_bytes: 0,
+                interner_keep_epochs: 0,
+                ..LibraryOptions::default()
+            });
+            prop_assert!(
+                forced.stats.interner_compactions >= 1,
+                "zero budget must compact at least once"
+            );
+            // Cold interners: every cell starts like standalone check().
+            assert_batch_matches_standalone(&layouts, &LibraryOptions {
+                parallelism,
+                shared_interner: false,
+                ..LibraryOptions::default()
+            });
+        }
+    }
+}
+
+/// A library of content-shared cells produces cross-cell cache hits —
+/// the throughput mechanism exists, not just the identity contract.
+#[test]
+fn shared_definitions_hit_the_cross_cell_cache() {
+    let lib = cell_library_with(&LibrarySpec {
+        shared_fraction: 1.0,
+        error_rate: 0.0,
+        ..LibrarySpec::new(8, 21)
+    });
+    let layouts = parse_all(&lib.cells);
+    let batch = assert_batch_matches_standalone(&layouts, &LibraryOptions::default());
+    assert!(
+        batch.stats.shared_cache_hits > 0,
+        "8 content-identical cells produced no cross-cell cache hits: {:?}",
+        batch.stats
+    );
+    // Every cell past the first should be served mostly from the cache:
+    // distinct fills are bounded by one cell's worth of jobs, not the
+    // batch's.
+    assert!(
+        batch.stats.shared_cache_hits > batch.stats.shared_cache_misses,
+        "sharing should dominate on an all-shared library: {:?}",
+        batch.stats
+    );
+    // All cells are clean by construction.
+    for (i, report) in batch.reports.iter().enumerate() {
+        assert!(
+            report.violations.is_empty(),
+            "shared clean cell {i} reported {:?}",
+            report.violations
+        );
+    }
+}
+
+/// Content keys discriminate: a fully unique library (distinct tag
+/// geometry in every cell) gets no intra-definition sharing windfall
+/// from sibling cells with different array widths — hits can only come
+/// from *within*-library coincidences (same nx ⇒ identical loose-free
+/// scope pair layouts never arise; the tag boxes differ), so the hit
+/// rate stays far below the all-shared case.
+#[test]
+fn unique_definitions_mostly_miss() {
+    let spec = |shared| LibrarySpec {
+        shared_fraction: shared,
+        error_rate: 0.0,
+        ..LibrarySpec::new(8, 33)
+    };
+    let tech = nmos_technology();
+    let unique = check_library_buffered(
+        &parse_all(&cell_library_with(&spec(0.0)).cells),
+        &tech,
+        &LibraryOptions::default(),
+    );
+    let shared = check_library_buffered(
+        &parse_all(&cell_library_with(&spec(1.0)).cells),
+        &tech,
+        &LibraryOptions::default(),
+    );
+    let rate = |r: &LibraryReport<_>| {
+        let (h, m) = (r.stats.shared_cache_hits, r.stats.shared_cache_misses);
+        h as f64 / (h + m).max(1) as f64
+    };
+    assert!(
+        rate(&unique) < rate(&shared),
+        "unique library hit rate {:.2} not below shared {:.2}",
+        rate(&unique),
+        rate(&shared)
+    );
+}
+
+/// The aggregating profile and stats cover the batch: one wall-clock
+/// sample per cell, stage totals for the whole pipeline, and the
+/// summed interaction stats equal the fold of the per-cell reports.
+#[test]
+fn batch_profile_and_stats_aggregate() {
+    let lib = cell_library(6, 5);
+    let layouts = parse_all(&lib.cells);
+    let tech = nmos_technology();
+    let batch = check_library_buffered(&layouts, &tech, &LibraryOptions::default());
+    assert_eq!(batch.profile.cell_wall.len(), 6);
+    assert!(batch.profile.p50() <= batch.profile.p99());
+    let stage_names: Vec<&str> = batch
+        .profile
+        .stage_totals
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .collect();
+    assert_eq!(
+        stage_names,
+        [
+            "instantiate",
+            "elements",
+            "primitives",
+            "connections",
+            "netlist",
+            "interactions",
+            "composition"
+        ]
+    );
+    let mut folded = diic::core::InteractStats::default();
+    for r in &batch.reports {
+        folded.absorb(&r.interact_stats);
+    }
+    assert_eq!(batch.stats.interact, folded);
+}
+
+/// `check_library` honours a caller sink factory: per-cell sinks see
+/// exactly their cell's violations, in canonical per-cell order.
+#[test]
+fn sink_factory_receives_per_cell_violations() {
+    let lib = cell_library_with(&LibrarySpec {
+        error_rate: 1.0,
+        ..LibrarySpec::new(4, 9)
+    });
+    let layouts = parse_all(&lib.cells);
+    let tech = nmos_technology();
+    let options = LibraryOptions::default();
+    let batch = diic::core::check_library(&layouts, &tech, &options, |_| {
+        diic::core::CountingSink::default()
+    });
+    for (i, (sink, layout)) in batch.sinks.iter().zip(&layouts).enumerate() {
+        let standalone = check(layout, &tech, &options.cell);
+        assert_eq!(
+            sink.total(),
+            standalone.violations.len(),
+            "cell {i}: counting sink disagrees with standalone violation count"
+        );
+    }
+}
