@@ -55,6 +55,7 @@ fn main() {
         ("e18", Box::new(move || diic_bench::e18_memory(scale))),
         ("e19", Box::new(move || diic_bench::e19_spill(scale))),
         ("e20", Box::new(move || diic_bench::e20_library(scale))),
+        ("e21", Box::new(move || diic_bench::e21_service_load(scale))),
     ];
 
     println!("DIIC experiment harness — McGrath & Whitney, DAC 1980");

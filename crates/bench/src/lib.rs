@@ -1679,6 +1679,163 @@ pub fn e20_library(scale: Scale) -> String {
     out
 }
 
+/// E21 — check-as-a-service load: edit latency and session density.
+///
+/// Drives the `diic-api` router **in-process** (the tower `oneshot`
+/// idiom — no sockets, so the numbers are the service's own cost, not
+/// the kernel's): opens a pool of sessions over generated inverter
+/// arrays, then hammers `POST /sessions/{id}/edits` from several
+/// threads with net-neutral edit batches (a move, or an add
+/// immediately un-done by a remove — the session ends each request at
+/// its original item count, so concurrent writers never invalidate
+/// each other's indices). Reports p50/p99 edit latency per thread
+/// count, end-of-run `GET /report` latency, and the pool's
+/// sessions-per-GB from the registry's own memory accounting.
+pub fn e21_service_load(scale: Scale) -> String {
+    use axum::{Method, Request, StatusCode};
+    use diic_api::{router, App, RegistryConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let mut out = String::new();
+    let (nx, ny) = scale.array((12, 6));
+    let sessions = if scale.quick { 6 } else { 24 };
+    let edits_per_thread = if scale.quick { 40 } else { 250 };
+
+    let app = router(App::new(RegistryConfig {
+        max_sessions: sessions * 2,
+        ..RegistryConfig::default()
+    }));
+    let app = Arc::new(app);
+
+    // Open the pool.
+    let chip = generate(&ChipSpec::clean(nx, ny));
+    let open_body = format!(
+        r#"{{"cif": {}, "options": {{"erc": false}}}}"#,
+        serde_json::to_string(&serde_json::Value::from(chip.cif.as_str()))
+    );
+    let t0 = Instant::now();
+    let mut ids = Vec::new();
+    for _ in 0..sessions {
+        let resp =
+            app.oneshot(Request::new(Method::Post, "/sessions").with_body(open_body.clone()));
+        assert_eq!(resp.status, StatusCode::CREATED, "open failed");
+        let body = serde_json::from_str(std::str::from_utf8(&resp.into_bytes().unwrap()).unwrap())
+            .unwrap();
+        ids.push(body.get("id").and_then(serde_json::Value::as_i64).unwrap() as u64);
+    }
+    let t_open = t0.elapsed();
+    let items = diic_cif::parse(&chip.cif).unwrap().top_items().len();
+
+    let _ = writeln!(
+        out,
+        "E21: service load — {sessions} sessions of {nx}×{ny} inverters \
+         ({items} top items each), open {:.1} ms/session",
+        t_open.as_secs_f64() * 1e3 / sessions as f64
+    );
+    let _ = writeln!(
+        out,
+        "{:<26} {:>8} {:>9} {:>9} {:>9}",
+        "edit mix", "threads", "ops/s", "p50 ms", "p99 ms"
+    );
+
+    let percentile = |sorted: &[Duration], q: f64| -> f64 {
+        let i = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[i].as_secs_f64() * 1e3
+    };
+
+    for threads in [1usize, 4] {
+        let counter = AtomicUsize::new(0);
+        let t0 = Instant::now();
+        let lats: Vec<Vec<Duration>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let app = Arc::clone(&app);
+                    let ids = &ids;
+                    let counter = &counter;
+                    s.spawn(move || {
+                        let mut lats = Vec::with_capacity(edits_per_thread);
+                        for _ in 0..edits_per_thread {
+                            let k = counter.fetch_add(1, Ordering::Relaxed);
+                            let id = ids[k % ids.len()];
+                            // Alternate a translate of an existing item
+                            // with a net-neutral add+remove pair.
+                            let body = if k.is_multiple_of(2) {
+                                let dx = if (k / 2).is_multiple_of(2) { 40 } else { -40 };
+                                format!(
+                                    r#"{{"edits": [{{"op": "move", "index": {}, "by": [{dx}, 0]}}]}}"#,
+                                    k % items
+                                )
+                            } else {
+                                format!(
+                                    r#"{{"edits": [
+                                        {{"op": "add_element", "layer": "NM",
+                                          "shape": {{"box": [-9000, {0}, -7000, {1}]}}}},
+                                        {{"op": "remove", "index": {items}}}]}}"#,
+                                    k * 3000,
+                                    k * 3000 + 750
+                                )
+                            };
+                            let t = Instant::now();
+                            let resp = app.oneshot(
+                                Request::new(Method::Post, &format!("/sessions/{id}/edits"))
+                                    .with_body(body),
+                            );
+                            lats.push(t.elapsed());
+                            assert_eq!(resp.status, StatusCode::OK, "edit failed");
+                        }
+                        lats
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let wall = t0.elapsed();
+        let mut all: Vec<Duration> = lats.into_iter().flatten().collect();
+        all.sort_unstable();
+        let _ = writeln!(
+            out,
+            "{:<26} {:>8} {:>9.0} {:>9.2} {:>9.2}",
+            "move / add+remove",
+            threads,
+            all.len() as f64 / wall.as_secs_f64(),
+            percentile(&all, 0.50),
+            percentile(&all, 0.99),
+        );
+    }
+
+    // Full-report streaming latency over one session.
+    let t0 = Instant::now();
+    let resp = app.oneshot(Request::new(
+        Method::Get,
+        &format!("/sessions/{}/report", ids[0]),
+    ));
+    assert_eq!(resp.status, StatusCode::OK);
+    let report_bytes = resp.into_bytes().unwrap().len();
+    let t_report = t0.elapsed();
+
+    // Session density from the registry's own accounting.
+    let resp = app.oneshot(Request::new(Method::Get, "/stats"));
+    let stats =
+        serde_json::from_str(std::str::from_utf8(&resp.into_bytes().unwrap()).unwrap()).unwrap();
+    let memory_bytes = stats
+        .get("memory_bytes")
+        .and_then(serde_json::Value::as_i64)
+        .unwrap() as f64;
+    let per_session = memory_bytes / sessions as f64;
+    let _ = writeln!(
+        out,
+        "GET /report: {report_bytes} bytes in {:.1} ms; pool {:.1} MiB \
+         ({:.0} KiB/session, {:.0} sessions/GB)",
+        t_report.as_secs_f64() * 1e3,
+        memory_bytes / (1 << 20) as f64,
+        per_session / 1024.0,
+        (1u64 << 30) as f64 / per_session
+    );
+    out
+}
+
 /// Runs every experiment, returning the combined report.
 pub fn run_all(scale: Scale) -> String {
     let parts = vec![
@@ -1702,6 +1859,7 @@ pub fn run_all(scale: Scale) -> String {
         e18_memory(scale),
         e19_spill(scale),
         e20_library(scale),
+        e21_service_load(scale),
     ];
     parts.join("\n")
 }

@@ -1,0 +1,677 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! The build environment has no access to a crates registry, so the
+//! workspace vendors the slice of JSON machinery the `diic-api` wire
+//! layer needs: a self-describing [`Value`], a strict recursive-descent
+//! [`from_str`] parser (position-carrying errors, bounded depth, never
+//! panics on any input — `crates/api` fuzzes this in its golden
+//! error-path tests), and a deterministic [`to_string`] writer.
+//!
+//! Two deliberate departures from the real crate, both in the service's
+//! favour:
+//!
+//! * Numbers keep an exact [`i64`] variant ([`Value::Int`]) next to the
+//!   float one — layout coordinates are database units and must survive
+//!   a round trip bit-exactly.
+//! * Objects preserve **insertion order** (a `Vec` of pairs, not a
+//!   map), so every wire response the service renders is byte-stable
+//!   across runs — the same canonical-bytes discipline the report
+//!   pipeline follows.
+
+use std::fmt;
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer without fractional part or exponent, kept exact.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order; duplicate keys are rejected by
+    /// the parser.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds an object from key/value pairs, preserving their order.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Value)>) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array.
+    pub fn array(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::Array(items.into_iter().collect())
+    }
+
+    /// Appends a member to an object (builder style; panics on
+    /// non-objects — a construction bug, not a data error).
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<Value>) -> Value {
+        match &mut self {
+            Value::Object(pairs) => pairs.push((key.into(), value.into())),
+            _ => panic!("Value::with on a non-object"),
+        }
+        self
+    }
+
+    /// Member lookup on an object (first match); `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is an exact integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value of either number variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The member list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Int(n)
+    }
+}
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Int(n as i64)
+    }
+}
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        // Wire counters are far below 2^63; saturate instead of wrapping.
+        Value::Int(i64::try_from(n).unwrap_or(i64::MAX))
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::Float(x)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+/// Why a document failed to parse: a message and the byte offset it
+/// was detected at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What was wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Nesting ceiling: deeper documents are rejected, so hostile input
+/// cannot overflow the parser's recursion.
+const MAX_DEPTH: usize = 128;
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub fn from_str(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("document nests too deeply"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(&format!("duplicate object key \"{key}\"")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'b' => s.push('\u{0008}'),
+                        b'f' => s.push('\u{000C}'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let first = self.hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&first) {
+                                // Surrogate pair: require the low half.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                let second = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                                char::from_u32(c)
+                            } else {
+                                char::from_u32(first)
+                            };
+                            match ch {
+                                Some(c) => s.push(c),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                0x00..=0x1F => return Err(self.err("unescaped control character in string")),
+                _ => {
+                    // Re-sync to char boundaries: pos-1 started a UTF-8
+                    // sequence (the input is a &str, so it is valid).
+                    let start = self.pos - 1;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xC0 == 0x80 {
+                        self.pos += 1;
+                    }
+                    // invariant: the input came from &str, so any
+                    // byte-run between boundaries is valid UTF-8.
+                    s.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input was a valid &str"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return Err(self.err("truncated unicode escape"));
+            };
+            let d = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a') as u32 + 10,
+                b'A'..=b'F' => (b - b'A') as u32 + 10,
+                _ => return Err(self.err("invalid hex digit in unicode escape")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digit_start = self.pos;
+        let int_digits = self.digits()?;
+        if int_digits > 1 && self.bytes[digit_start] == b'0' {
+            return Err(self.err("leading zero in number"));
+        }
+        let mut exact = true;
+        if self.peek() == Some(b'.') {
+            exact = false;
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            exact = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        // invariant: the scanned range is ASCII digits/sign/dot/exp.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if exact {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Value::Float(x)),
+            _ => Err(self.err("number out of range")),
+        }
+    }
+
+    fn digits(&mut self) -> Result<usize, JsonError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected digit"));
+        }
+        Ok(self.pos - start)
+    }
+}
+
+/// Renders a document in compact form (no whitespace), deterministically.
+pub fn to_string(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v);
+    out
+}
+
+impl std::fmt::Display for Value {
+    /// Compact rendering, identical to [`to_string`].
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&to_string(self))
+    }
+}
+
+/// Renders a document with two-space indentation, deterministically.
+pub fn to_string_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_pretty(&mut out, v, 0);
+    out
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(n) => {
+            use fmt::Write as _;
+            let _ = write!(out, "{n}");
+        }
+        Value::Float(x) => {
+            use fmt::Write as _;
+            // Finite by construction; Display for f64 round-trips.
+            let _ = write!(out, "{x}");
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(pairs) if !pairs.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_string(out, k);
+                out.push_str(": ");
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_value(out, other),
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for (text, v) in [
+            ("null", Value::Null),
+            ("true", Value::Bool(true)),
+            ("false", Value::Bool(false)),
+            ("0", Value::Int(0)),
+            ("-42", Value::Int(-42)),
+            ("9223372036854775807", Value::Int(i64::MAX)),
+            ("\"hi\"", Value::Str("hi".into())),
+        ] {
+            assert_eq!(from_str(text).unwrap(), v, "{text}");
+            assert_eq!(to_string(&v), text, "{text}");
+        }
+    }
+
+    #[test]
+    fn floats_and_exponents_parse() {
+        assert_eq!(from_str("1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(from_str("-2e3").unwrap(), Value::Float(-2000.0));
+        assert_eq!(
+            from_str("1e999"),
+            Err(JsonError {
+                message: "number out of range".into(),
+                offset: 5,
+            })
+        );
+    }
+
+    #[test]
+    fn containers_round_trip_and_preserve_order() {
+        let text = r#"{"b":[1,2,{"x":null}],"a":"z"}"#;
+        let v = from_str(text).unwrap();
+        assert_eq!(to_string(&v), text, "object member order is preserved");
+        assert_eq!(v.get("a").and_then(Value::as_str), Some("z"));
+        assert_eq!(
+            v.get("b").and_then(Value::as_array).map(<[Value]>::len),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let text = r#""a\"b\\c\nd\u00e9 \ud83d\ude00""#;
+        let v = from_str(text).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndé 😀"));
+        let re = from_str(&to_string(&v)).unwrap();
+        assert_eq!(re, v);
+    }
+
+    #[test]
+    fn malformed_inputs_error_instead_of_panicking() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "01",
+            "1.",
+            "-",
+            "\"\\q\"",
+            "\"\\u12\"",
+            "\"\u{0007}\"",
+            "[1]]",
+            "{\"a\":1,\"a\":2}",
+            "\"\\ud800\"",
+            "nullx",
+        ] {
+            assert!(from_str(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn depth_is_bounded() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(from_str(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(from_str(&ok).is_ok());
+    }
+
+    #[test]
+    fn pretty_printing_is_reparseable() {
+        let v = Value::object([
+            ("list", Value::array([Value::Int(1), Value::Null])),
+            ("empty", Value::Array(vec![])),
+            ("name", Value::from("x")),
+        ]);
+        let pretty = to_string_pretty(&v);
+        assert_eq!(from_str(&pretty).unwrap(), v);
+        assert!(pretty.contains("\n  \"list\""));
+    }
+}

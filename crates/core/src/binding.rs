@@ -499,6 +499,17 @@ impl ElementColumns {
         &self.path
     }
 
+    /// Remaps the `net_key` / `path` handle columns through an interner
+    /// compaction map ([`StringInterner::compact`]). The caller must
+    /// have built the keep set from these very columns, so every stored
+    /// handle survives.
+    pub fn remap_strings(&mut self, remap: &[Option<Istr>]) {
+        for h in self.net_key.iter_mut().chain(self.path.iter_mut()) {
+            // invariant: column handles are in the compaction keep set.
+            *h = remap[h.index() as usize].expect("live column handles survive compaction");
+        }
+    }
+
     /// One element's covered rectangles (a contiguous arena run).
     pub fn rects_of(&self, id: usize) -> &[Rect] {
         let (off, len) = self.rect_range[id];

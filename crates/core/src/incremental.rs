@@ -1136,15 +1136,24 @@ impl CheckSession {
         // and remap the retained handles. Queries return identical
         // results before and after, so no downstream state is touched.
         if self.elem_index.tombstones() > self.elem_index.len().max(64) {
-            let remap = self.elem_index.compact();
-            for t in &mut self.elem_tags {
-                // invariant: compaction only drops tombstoned handles,
-                // and every tag references a live element.
-                t.handle = remap[t.handle as usize].expect("live elements keep live handles");
-            }
-            stats.index_compacted = true;
+            stats.index_compacted = self.compact_spatial_index();
         }
         Ok(stats)
+    }
+
+    /// Rebuilds the spatial index without its tombstones and remaps
+    /// the retained handles. True if anything was dropped.
+    fn compact_spatial_index(&mut self) -> bool {
+        if self.elem_index.tombstones() == 0 {
+            return false;
+        }
+        let remap = self.elem_index.compact();
+        for t in &mut self.elem_tags {
+            // invariant: compaction only drops tombstoned handles,
+            // and every tag references a live element.
+            t.handle = remap[t.handle as usize].expect("live elements keep live handles");
+        }
+        true
     }
 
     /// Streams the cached canonical report through any
@@ -1160,6 +1169,149 @@ impl CheckSession {
             sink.push(v.clone());
         }
     }
+
+    /// The options the session checks under.
+    pub fn options(&self) -> &CheckOptions {
+        &self.options
+    }
+
+    /// The technology the session checks against.
+    pub fn tech(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// An estimate of the session's resident heap, in bytes: the
+    /// columnar element store, the string table, device instances, the
+    /// persistent net graph, the cached canonical report, and the
+    /// spatial-index bookkeeping. Payload bytes, not allocator-exact —
+    /// the number a session *pool* budgets and evicts against (and the
+    /// denominator of the e21 sessions-per-GB figure).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::{size_of, size_of_val};
+        let elements = self.view.elements.heap_bytes();
+        let strings = self.view.strings.heap_bytes();
+        let devices: usize = self
+            .view
+            .devices
+            .iter()
+            .map(|d| {
+                size_of_val(d)
+                    + d.terminals.len()
+                        * size_of::<(String, diic_tech::LayerId, diic_geom::Point)>()
+                    + d.element_ids.len() * size_of::<usize>()
+            })
+            .sum();
+        let graph = self.parts.element_node.len() * size_of::<Option<u32>>()
+            + self.parts.conn_edges.len() * size_of::<(u32, u32)>()
+            + self
+                .parts
+                .devices
+                .iter()
+                .map(|d| {
+                    size_of_val(d)
+                        + d.terms.iter().map(|(t, _)| t.len() + 28).sum::<usize>()
+                        + d.edges.len() * size_of::<(u32, u32)>()
+                })
+                .sum::<usize>()
+            + self
+                .parts
+                .labels
+                .iter()
+                .map(|l| size_of_val(l) + l.edges.len() * size_of::<(u32, u32)>())
+                .sum::<usize>();
+        let report: usize = self
+            .report
+            .violations
+            .iter()
+            .map(|v| size_of_val(v) + v.context.len())
+            .sum();
+        let index = self.elem_tags.len() * (size_of::<ElemTag>() + size_of::<(Rect, u32)>());
+        elements + strings + devices + graph + report + index
+    }
+
+    /// Compacts the session's long-lived memory in place: rebuilds the
+    /// spatial index without tombstones ([`diic_geom::GridIndex::compact`])
+    /// and evicts interner strings orphaned by edit churn
+    /// ([`crate::binding::StringInterner::compact`] — removed elements
+    /// and replaced definitions leave dead paths and net keys behind),
+    /// remapping every live handle: the element columns, the device
+    /// instances, and the net graph's node indices
+    /// ([`NetParts::remap_strings`]). The session pool fires this on
+    /// eviction pressure; rendered reports before and after are
+    /// byte-identical (`service_sessions_survive_compaction` in
+    /// `tests/api.rs` and [`mod@self`]'s own unit test pin it).
+    pub fn compact_memory(&mut self) -> SessionCompaction {
+        let index_compacted = self.compact_spatial_index();
+        let strings_before = self.view.strings.len();
+        let bytes_before = self.view.strings.heap_bytes();
+
+        // The keep set: every handle the view or the net graph still
+        // references. Everything else is churn garbage.
+        let mut keep = vec![false; strings_before];
+        let mut mark = |index: u32| keep[index as usize] = true;
+        for h in self.view.elements.net_keys() {
+            mark(h.index());
+        }
+        for h in self.view.elements.paths() {
+            mark(h.index());
+        }
+        for d in &self.view.devices {
+            mark(d.path.index());
+            mark(d.device_type.index());
+        }
+        for node in self.parts.element_node.iter().flatten() {
+            mark(*node);
+        }
+        for (a, b) in &self.parts.conn_edges {
+            mark(*a);
+            mark(*b);
+        }
+        for d in &self.parts.devices {
+            for (_, node) in &d.terms {
+                mark(*node);
+            }
+            for (a, b) in &d.edges {
+                mark(*a);
+                mark(*b);
+            }
+        }
+        for l in &self.parts.labels {
+            if let Some(node) = l.node {
+                mark(node);
+            }
+            for (a, b) in &l.edges {
+                mark(*a);
+                mark(*b);
+            }
+        }
+
+        let remap = self.view.strings.compact(|id, _| keep[id.index() as usize]);
+        self.view.elements.remap_strings(&remap);
+        for d in &mut self.view.devices {
+            // invariant: device handles were marked above.
+            d.path = remap[d.path.index() as usize].expect("device path survives compaction");
+            d.device_type =
+                remap[d.device_type.index() as usize].expect("device type survives compaction");
+        }
+        self.parts.remap_strings(&remap);
+
+        SessionCompaction {
+            index_compacted,
+            strings_evicted: strings_before - self.view.strings.len(),
+            string_bytes_freed: bytes_before.saturating_sub(self.view.strings.heap_bytes()),
+        }
+    }
+}
+
+/// What one [`CheckSession::compact_memory`] reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionCompaction {
+    /// True if the spatial index had tombstones to drop.
+    pub index_compacted: bool,
+    /// Interner strings evicted as unreferenced.
+    pub strings_evicted: usize,
+    /// Interner heap bytes freed by the eviction.
+    pub string_bytes_freed: usize,
 }
 
 /// A from-scratch [`check`] with the violations brought into canonical
@@ -1517,6 +1669,58 @@ mod tests {
         session.apply(&after).unwrap();
         assert_eq!(session.report().violations.len(), 1);
         assert_matches_full(&session);
+    }
+
+    #[test]
+    fn compact_memory_evicts_churn_garbage_and_stays_exact() {
+        // Add-then-remove churn leaves orphaned net keys and paths in
+        // the interner (each added element at a distinct bbox interns a
+        // fresh auto key). compact_memory must evict them, renumber
+        // every live handle (columns, devices, net-graph nodes), and
+        // leave the rendered report and the edit loop byte-identical.
+        // The base chip is wide enough that one-box churn stays under
+        // the full-rebuild threshold (a rebuild resets the interner and
+        // would hide the garbage this test is about).
+        let mut cif = String::new();
+        for i in 0..40 {
+            cif.push_str(&format!("L NM; B 2000 750 1000 {};\n", 375 + i * 3000));
+        }
+        cif.push('E');
+        let layout = parse(&cif).unwrap();
+        let tech = nmos_technology();
+        let mut session = CheckSession::new(layout, &tech, &options());
+        for step in 0..24i64 {
+            let mut add = EditSet::new();
+            add.add_box(
+                "NM",
+                Rect::new(50_000, 10_000 + step * 3000, 52_000, 10_750 + step * 3000),
+                None,
+            );
+            let stats = session.apply(&add).unwrap();
+            assert!(!stats.full_rebuild, "churn edits must stay incremental");
+            let mut remove = EditSet::new();
+            remove.remove(40);
+            session.apply(&remove).unwrap();
+        }
+        let before = session.memory_bytes();
+        let compaction = session.compact_memory();
+        assert!(
+            compaction.strings_evicted > 0,
+            "24 add/remove rounds must orphan interned keys: {compaction:?}"
+        );
+        assert!(compaction.string_bytes_freed > 0);
+        assert!(session.memory_bytes() < before);
+        assert_matches_full(&session);
+
+        // The compacted session keeps editing (and re-interning) fine.
+        let mut add = EditSet::new();
+        add.add_box("NM", Rect::new(0, 1250, 2000, 2000), None);
+        session.apply(&add).unwrap();
+        assert_eq!(session.report().violations.len(), 1);
+        assert_matches_full(&session);
+        let again = session.compact_memory();
+        assert_matches_full(&session);
+        let _ = again;
     }
 
     #[test]

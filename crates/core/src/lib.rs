@@ -145,7 +145,9 @@ pub use engine::{
     StageEngine, StageTime, StreamingSink,
 };
 pub use flat::{flat_check, FlatLayers, FlatOptions};
-pub use incremental::{canonical_check, CheckSession, Edit, EditError, EditSet, EditStats};
+pub use incremental::{
+    canonical_check, CheckSession, Edit, EditError, EditSet, EditStats, SessionCompaction,
+};
 pub use interact::{
     check_same_mask, interaction_cell_size, max_rule_range, InteractOptions, InteractStats,
 };

@@ -187,6 +187,49 @@ pub struct NetParts {
 }
 
 impl NetParts {
+    /// Remaps every node through an interner compaction map
+    /// ([`crate::binding::StringInterner::compact`]): nodes are raw
+    /// interner indices, so when the owning view's table is compacted
+    /// (a long-lived service session shedding edit-churn garbage) the
+    /// whole graph renumbers with it. The caller must keep every node
+    /// key alive in the compaction — the remap is dense and
+    /// order-preserving, so the graph stays isomorphic and
+    /// [`NetParts::assemble`] (which canonicalises by the node
+    /// *strings*) produces byte-identical net lists.
+    pub fn remap_strings(&mut self, remap: &[Option<crate::binding::Istr>]) {
+        let map = |n: u32| -> u32 {
+            // invariant: the compaction keep set includes every node.
+            remap[n as usize]
+                .expect("live net nodes survive compaction")
+                .index()
+        };
+        for node in self.element_node.iter_mut().flatten() {
+            *node = map(*node);
+        }
+        for (a, b) in &mut self.conn_edges {
+            *a = map(*a);
+            *b = map(*b);
+        }
+        for device in &mut self.devices {
+            for (_, node) in &mut device.terms {
+                *node = map(*node);
+            }
+            for (a, b) in &mut device.edges {
+                *a = map(*a);
+                *b = map(*b);
+            }
+        }
+        for label in &mut self.labels {
+            if let Some(node) = &mut label.node {
+                *node = map(*node);
+            }
+            for (a, b) in &mut label.edges {
+                *a = map(*a);
+                *b = map(*b);
+            }
+        }
+    }
+
     /// Builds the full graph for a view, serially —
     /// [`NetParts::build_parallel`] with one worker.
     ///

@@ -1,0 +1,39 @@
+//! `diic-serve` — bind the check-as-a-service API to a TCP socket.
+//!
+//! ```text
+//! cargo run --release --example diic_serve -- 127.0.0.1:8080
+//! ```
+//!
+//! Then, from another shell:
+//!
+//! ```text
+//! curl -s localhost:8080/healthz
+//! curl -s -X POST localhost:8080/sessions \
+//!      -d '{"cif": "L NM; B 2000 700 1000 350; E"}'
+//! curl -s -X POST localhost:8080/sessions/0/edits \
+//!      -d '{"edits": [{"op": "move", "index": 0, "by": [0, 500]}]}'
+//! curl -s localhost:8080/sessions/0/report
+//! ```
+//!
+//! See `docs/api.md` for the full endpoint reference.
+
+use diic::api::{router, App, RegistryConfig};
+use std::net::TcpListener;
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:8080".to_string());
+    let listener = TcpListener::bind(&addr).expect("bind");
+    let local = listener.local_addr().expect("local addr");
+    let app = App::new(RegistryConfig::default());
+    eprintln!("diic-serve listening on http://{local}");
+    eprintln!("  GET  /healthz              liveness");
+    eprintln!("  GET  /stats                registry counters");
+    eprintln!("  POST /sessions             open a check session");
+    eprintln!("  POST /sessions/{{id}}/edits  apply an edit batch");
+    eprintln!("  GET  /sessions/{{id}}/report stream the canonical report");
+    eprintln!("  DEL  /sessions/{{id}}        close a session");
+    eprintln!("  POST /library              batch-verify a cell library");
+    axum::serve(listener, router(app), axum::ServeOptions::default()).expect("serve");
+}

@@ -1,0 +1,21 @@
+//! `load_test` — the check-as-a-service load driver (experiment e21).
+//!
+//! Pure Rust, no sockets: drives the service router in-process through
+//! `oneshot` dispatch, so the printed p50/p99 edit latencies and the
+//! sessions-per-GB density are the service's own cost. The same
+//! numbers are recorded as experiment **e21** in `EXPERIMENTS.md`
+//! (regenerate with `cargo run -p diic-bench --bin experiments
+//! --release -- e21`).
+//!
+//! ```text
+//! cargo run --release --example load_test             # full sizes
+//! cargo run --release --example load_test -- --quick  # CI sizes
+//! ```
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!(
+        "{}",
+        diic_bench::e21_service_load(diic_bench::Scale { quick })
+    );
+}

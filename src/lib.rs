@@ -24,7 +24,11 @@
 //!   proximity-effect expansion, exposure-based spacing, relational rules;
 //! * [`core`] — the six-stage DIIC pipeline and the flat mask-level
 //!   baseline checker;
-//! * [`gen`] — synthetic NMOS workloads with ground-truth error ledgers.
+//! * [`gen`] — synthetic NMOS workloads with ground-truth error ledgers;
+//! * [`api`] — check-as-a-service: an HTTP session API over the
+//!   incremental checker (concurrent edit sessions, streamed canonical
+//!   reports, batch library verification; `examples/diic_serve.rs`
+//!   binds it to a socket).
 //!
 //! # Quickstart
 //!
@@ -42,6 +46,7 @@
 //! # Ok::<(), diic::cif::CifError>(())
 //! ```
 
+pub use diic_api as api;
 pub use diic_cif as cif;
 pub use diic_core as core;
 pub use diic_deck as deck;

@@ -1,0 +1,750 @@
+//! The **twelfth differential leg**: the service == the session.
+//!
+//! Everything the check-as-a-service API returns must be
+//! byte-identical to driving the underlying [`CheckSession`] /
+//! [`check_library_in`] locally — the HTTP layer (wire codecs, the
+//! registry's locking and eviction, streamed bodies) must add exactly
+//! zero semantics. Each proptest case generates a faulted chip, opens
+//! it twice through the in-process router (a serial session and one at
+//! the `CHECK_PARALLELISM` wide worker count, like every other leg),
+//! and drives both with [`random_edit_set`] batches round-tripped
+//! through the JSON codec, holding the service to three identities at
+//! every step:
+//!
+//! * the per-edit **delta** (added/removed violation lines) equals the
+//!   one computed from a local oracle session's [`CheckSession::apply`];
+//! * the streamed `GET /report` bytes — buffered, chunked small, and
+//!   spilled with `?spill_budget=1` — equal the canonical report
+//!   rendered locally;
+//! * `POST /library` per-cell report lines equal standalone
+//!   [`canonical_check`] runs of each cell.
+//!
+//! On top of the leg: a concurrency soak (hot writers on one session
+//! plus writers on distinct sessions, under a registry squeezed hard
+//! enough that sweeps compact and evict continuously — no lost
+//! updates, no torn reports, nothing evicted mid-request) and the
+//! error-path contract (malformed JSON / CIF / deck / edits are 4xx
+//! with rendered diagnostics, never a panic; the id space answers
+//! 404 vs 410; a client hanging up mid-stream latches the sink error
+//! without poisoning the registry).
+//!
+//! [`check_library_in`]: diic::core::check_library_in
+
+use axum::{Body, Method, Request, Response, Router, StatusCode};
+use diic::api::wire;
+use diic::api::{router, App, RegistryConfig};
+use diic::core::incremental::CheckSession;
+use diic::core::{canonical_check, env_parallelism, CheckOptions, Violation};
+use diic::gen::{cell_library, generate, random_edit_set, ChipSpec, ErrorKind};
+use diic::geom::Rect;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::Value;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The parallel worker count exercised against serial runs.
+fn wide_workers() -> usize {
+    env_parallelism().unwrap_or(0) // 0 = all available cores
+}
+
+fn service() -> Arc<Router> {
+    Arc::new(router(App::new(RegistryConfig::default())))
+}
+
+fn get(app: &Router, path: &str) -> Response {
+    app.oneshot(Request::new(Method::Get, path))
+}
+
+fn post(app: &Router, path: &str, body: String) -> Response {
+    app.oneshot(Request::new(Method::Post, path).with_body(body))
+}
+
+fn json_body(resp: Response) -> Value {
+    let bytes = resp.into_bytes().expect("in-process bodies collect");
+    serde_json::from_str(std::str::from_utf8(&bytes).expect("utf-8 body"))
+        .expect("response bodies are JSON")
+}
+
+/// Opens a session over `cif`, asserting success; returns its id.
+fn open_session(app: &Router, cif: &str, options: &str) -> u64 {
+    let body = format!(
+        r#"{{"cif": {}, "options": {options}}}"#,
+        Value::from(cif) // escapes the CIF text as a JSON string
+    );
+    let resp = post(app, "/sessions", body);
+    assert_eq!(resp.status, StatusCode::CREATED, "open failed");
+    json_body(resp).get("id").and_then(Value::as_i64).unwrap() as u64
+}
+
+/// The canonical report rendered exactly as the streamed body renders
+/// it: one `Debug` line per violation, canonical order.
+fn render_canonical(violations: &[Violation]) -> String {
+    violations.iter().map(|v| format!("{v:?}\n")).collect()
+}
+
+fn string_vec(v: &Value, key: &str) -> Vec<String> {
+    v.get(key)
+        .and_then(Value::as_array)
+        .expect("delta arrays present")
+        .iter()
+        .map(|s| s.as_str().expect("delta lines are strings").to_string())
+        .collect()
+}
+
+/// Asserts the three streamed `GET /report` variants (buffered-size
+/// chunks, chunk=1, spill_budget=1) all return exactly `expected`.
+fn assert_report_streams(app: &Router, id: u64, expected: &str, ctx: &str) {
+    for query in ["", "?chunk=1", "?spill_budget=1"] {
+        let resp = get(app, &format!("/sessions/{id}/report{query}"));
+        assert_eq!(resp.status, StatusCode::OK, "{ctx}: report {query}");
+        let bytes = resp.into_bytes().unwrap();
+        assert_eq!(
+            std::str::from_utf8(&bytes).unwrap(),
+            expected,
+            "{ctx}: streamed report bytes diverge ({query})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The leg proper: faulted chips, serial + wide service sessions,
+    /// every edit round-tripped through the wire codec, deltas and
+    /// streamed reports equal to the local oracle at every step.
+    #[test]
+    fn service_matches_session_oracle(
+        nx in 2usize..4,
+        ny in 1usize..3,
+        seed in 0u64..1_000_000,
+        mask in 1u16..512,
+    ) {
+        let tech = diic::tech::nmos::nmos_technology();
+        let errors: Vec<ErrorKind> = ErrorKind::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, k)| *k)
+            .take(nx * ny)
+            .collect();
+        let chip = generate(&ChipSpec::with_errors(nx, ny, errors, seed));
+        let layout = diic::cif::parse(&chip.cif).expect("generated chips always parse");
+
+        let app = service();
+        let serial_id = open_session(&app, &chip.cif, "{}");
+        let wide_id = open_session(
+            &app,
+            &chip.cif,
+            &format!(r#"{{"parallelism": {}}}"#, wide_workers()),
+        );
+        // The local oracle: the session the fifth leg already pins to
+        // from-scratch checks. The service must mirror it byte for byte.
+        let mut oracle = CheckSession::new(layout, &tech, &CheckOptions::default());
+        assert_report_streams(
+            &app,
+            serial_id,
+            &render_canonical(&oracle.report().violations),
+            "step 0",
+        );
+
+        let bounds = Rect::new(-2500, -6000, nx as i64 * 6750 + 2500, ny as i64 * 10000 + 2500);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA41);
+        for step in 0..6 {
+            let edits = random_edit_set(oracle.layout(), bounds, step, &mut rng);
+            // Encode against the pre-edit layout — the state the
+            // service's sessions are in when the request arrives.
+            let body = wire::edit_set_to_json(&edits, oracle.layout()).to_string();
+            let old = oracle.report().violations.clone();
+            oracle.apply(&edits).expect("generated edits are valid");
+            let (want_added, want_removed) =
+                wire::violation_delta(&old, &oracle.report().violations);
+
+            let ctx = format!("step {} (nx={nx} ny={ny} seed={seed} mask={mask:#b})", step + 1);
+            for id in [serial_id, wide_id] {
+                let resp = post(&app, &format!("/sessions/{id}/edits"), body.clone());
+                prop_assert_eq!(resp.status, StatusCode::OK, "{}: edit rejected", &ctx);
+                let delta = json_body(resp);
+                prop_assert_eq!(
+                    string_vec(&delta, "added"),
+                    want_added.clone(),
+                    "{}: added delta diverges (session {})", &ctx, id
+                );
+                prop_assert_eq!(
+                    string_vec(&delta, "removed"),
+                    want_removed.clone(),
+                    "{}: removed delta diverges (session {})", &ctx, id
+                );
+                prop_assert_eq!(
+                    delta.get("report").and_then(|r| r.get("violations")).and_then(Value::as_i64),
+                    Some(oracle.report().violations.len() as i64),
+                    "{}: summary count diverges (session {})", &ctx, id
+                );
+            }
+            // Stream identity every other step (each stream is three
+            // full renders; every step would double the leg's cost).
+            if step % 2 == 1 {
+                let expected = render_canonical(&oracle.report().violations);
+                assert_report_streams(&app, serial_id, &expected, &ctx);
+                assert_report_streams(&app, wide_id, &expected, &ctx);
+            }
+        }
+        let expected = render_canonical(&oracle.report().violations);
+        assert_report_streams(&app, serial_id, &expected, "final");
+        assert_report_streams(&app, wide_id, &expected, "final");
+    }
+
+    /// `POST /library` per-cell report lines equal standalone
+    /// [`canonical_check`] runs, serial and wide, and repeated batches
+    /// through the same deck accumulate shared-cache hits.
+    #[test]
+    fn library_endpoint_matches_standalone_checks(seed in 0u64..1_000_000) {
+        let lib = cell_library(8, seed);
+        let tech = diic::deck::compile_str(diic::deck::NMOS_DECK).unwrap();
+        let options = diic::core::LibraryOptions::default();
+        let want: Vec<Vec<String>> = lib
+            .cells
+            .iter()
+            .map(|c| {
+                let layout = diic::cif::parse(&c.cif).unwrap();
+                canonical_check(&layout, &tech, &options.cell)
+                    .violations
+                    .iter()
+                    .map(|v| format!("{v:?}"))
+                    .collect()
+            })
+            .collect();
+
+        let app = service();
+        let cells_json = Value::array(lib.cells.iter().map(|c| Value::from(c.cif.as_str())));
+        for parallelism in [1, wide_workers()] {
+            let body = format!(
+                r#"{{"cells": {cells_json}, "options": {{"parallelism": {parallelism}}}}}"#
+            );
+            let resp = post(&app, "/library", body);
+            prop_assert_eq!(resp.status, StatusCode::OK);
+            let reply = json_body(resp);
+            let cells = reply.get("cells").and_then(Value::as_array).unwrap();
+            prop_assert_eq!(cells.len(), want.len());
+            for (i, (cell, want_lines)) in cells.iter().zip(&want).enumerate() {
+                prop_assert_eq!(
+                    string_vec(cell, "report"),
+                    want_lines.clone(),
+                    "cell {} diverges at parallelism {}", i, parallelism
+                );
+            }
+        }
+        // Same deck, same cells, same registry: the second batch ran
+        // against the warm shared cache.
+        let stats = json_body(get(&app, "/stats"));
+        let libraries = stats.get("libraries").and_then(Value::as_array).unwrap();
+        prop_assert_eq!(libraries.len(), 1, "one deck, one shared library session");
+        let hits = libraries[0].get("cache_hits").and_then(Value::as_i64).unwrap();
+        prop_assert!(hits > 0, "the repeat batch must hit the shared cache");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Concurrency / soak.
+
+/// Hot concurrent writers: N threads hammer one session while M
+/// threads each churn private sessions (every open runs a sweep). The
+/// registry has headroom, so nothing is evicted — no lost updates
+/// (element counts add up exactly), no torn responses, no deadlock.
+#[test]
+fn soak_concurrent_edits_no_lost_updates() {
+    let hot_threads = 4usize;
+    let cold_threads = 3usize;
+    let iters = 12usize;
+
+    // Headroom: at most 1 hot + `cold_threads` sessions are ever open
+    // at once, under the cap and the budget — every cold open still
+    // runs a sweep concurrently with the hot writers.
+    let app = Arc::new(router(App::new(RegistryConfig {
+        max_sessions: 8,
+        idle_ttl: Duration::from_secs(3600),
+        ..RegistryConfig::default()
+    })));
+
+    let chip = generate(&ChipSpec::clean(2, 1));
+    let hot_id = open_session(&app, &chip.cif, r#"{"erc": false}"#);
+    let base_elements = {
+        let resp = get(&app, &format!("/sessions/{hot_id}/report"));
+        assert_eq!(resp.status, StatusCode::OK);
+        let layout = diic::cif::parse(&chip.cif).unwrap();
+        let tech = diic::tech::nmos::nmos_technology();
+        let options = CheckOptions {
+            erc: false,
+            ..CheckOptions::default()
+        };
+        canonical_check(&layout, &tech, &options).element_count
+    };
+
+    std::thread::scope(|s| {
+        // Hot: all threads append clean far-apart metal boxes to ONE
+        // session. Adds commute, so any interleaving is fine — but a
+        // lost update would show up as a missing element at the end.
+        for t in 0..hot_threads {
+            let app = Arc::clone(&app);
+            s.spawn(move || {
+                for i in 0..iters {
+                    let y = 100_000 + (t * iters + i) as i64 * 3000;
+                    let body = format!(
+                        r#"{{"edits": [{{"op": "add_element", "layer": "NM",
+                            "shape": {{"box": [-20000, {y}, -18000, {}]}},
+                            "net": "IO_T{t}I{i}"}}]}}"#,
+                        y + 750
+                    );
+                    let resp = app.oneshot(
+                        Request::new(Method::Post, &format!("/sessions/{hot_id}/edits"))
+                            .with_body(body),
+                    );
+                    // Nothing sheds here: the thread count stays under
+                    // the queue bound and the registry has headroom.
+                    assert_eq!(resp.status, StatusCode::OK, "hot edit failed");
+                    json_body(resp); // must always parse — no torn bodies
+                }
+            });
+        }
+        // Cold: each thread repeatedly opens its own session (every
+        // open runs a sweep concurrently with the hot edits), streams
+        // its report — which must be exactly the canonical bytes —
+        // and closes it.
+        for t in 0..cold_threads {
+            let app = Arc::clone(&app);
+            let cif = chip.cif.clone();
+            s.spawn(move || {
+                let layout = diic::cif::parse(&cif).unwrap();
+                let tech = diic::tech::nmos::nmos_technology();
+                let options = CheckOptions {
+                    erc: false,
+                    ..CheckOptions::default()
+                };
+                let clean = render_canonical(&canonical_check(&layout, &tech, &options).violations);
+                for i in 0..iters {
+                    let id = open_session(&app, &cif, r#"{"erc": false}"#);
+                    let resp = get(&app, &format!("/sessions/{id}/report"));
+                    assert_eq!(resp.status, StatusCode::OK, "cold thread {t} iter {i}");
+                    let bytes = resp.into_bytes().unwrap();
+                    assert_eq!(
+                        std::str::from_utf8(&bytes).unwrap(),
+                        clean,
+                        "cold thread {t} iter {i}: torn report"
+                    );
+                    let resp =
+                        app.oneshot(Request::new(Method::Delete, &format!("/sessions/{id}")));
+                    assert_eq!(resp.status, StatusCode::OK, "close {t}/{i}");
+                }
+            });
+        }
+    });
+
+    // No lost updates: every hot add landed exactly once.
+    let body = r#"{"edits": [{"op": "move", "index": 0, "by": [0, 0]}]}"#.to_string();
+    let resp = post(&app, &format!("/sessions/{hot_id}/edits"), body);
+    assert_eq!(resp.status, StatusCode::OK);
+    let elements = json_body(resp)
+        .get("report")
+        .and_then(|r| r.get("elements"))
+        .and_then(Value::as_i64)
+        .unwrap();
+    assert_eq!(
+        elements as usize,
+        base_elements + hot_threads * iters,
+        "lost update: element count does not add up"
+    );
+
+    // With headroom, none of those concurrent sweeps evicted anything.
+    let stats = json_body(get(&app, "/stats"));
+    assert_eq!(
+        stats.get("evicted_pressure").and_then(Value::as_i64),
+        Some(0),
+        "nothing should be evicted under headroom: {stats}"
+    );
+    assert_eq!(
+        stats.get("evicted_idle").and_then(Value::as_i64),
+        Some(0),
+        "nothing idled past a 1h TTL: {stats}"
+    );
+}
+
+/// Open-churn under a registry squeezed to a 1-byte memory budget and
+/// a 2-session cap: every sweep compacts survivors and evicts LRU.
+/// Concurrent owners racing those sweeps see `200` (with exactly
+/// canonical bytes — eviction never tears an in-flight request, pins
+/// forbid it) or `410` (evicted between requests) — never a `5xx`,
+/// never a panic, never a torn body.
+#[test]
+fn soak_open_churn_under_eviction_pressure() {
+    let threads = 4usize;
+    let iters = 10usize;
+    let app = Arc::new(router(App::new(RegistryConfig {
+        max_sessions: 2,
+        memory_budget_bytes: 1,
+        idle_ttl: Duration::from_secs(3600),
+        ..RegistryConfig::default()
+    })));
+
+    let chip = generate(&ChipSpec::clean(2, 1));
+    let layout = diic::cif::parse(&chip.cif).unwrap();
+    let tech = diic::tech::nmos::nmos_technology();
+    let options = CheckOptions {
+        erc: false,
+        ..CheckOptions::default()
+    };
+    let clean = render_canonical(&canonical_check(&layout, &tech, &options).violations);
+
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let app = Arc::clone(&app);
+            let cif = chip.cif.clone();
+            let clean = clean.clone();
+            s.spawn(move || {
+                for i in 0..iters {
+                    let id = open_session(&app, &cif, r#"{"erc": false}"#);
+                    // Report: 200 with full canonical bytes, or 410 if a
+                    // racing sweep evicted us between the two requests.
+                    let resp = get(&app, &format!("/sessions/{id}/report"));
+                    match resp.status {
+                        StatusCode::OK => {
+                            let bytes = resp.into_bytes().unwrap();
+                            assert_eq!(
+                                std::str::from_utf8(&bytes).unwrap(),
+                                clean,
+                                "thread {t} iter {i}: torn report"
+                            );
+                        }
+                        StatusCode::GONE => {}
+                        other => panic!("thread {t} iter {i}: report {other:?}"),
+                    }
+                    // An edit against a maybe-evicted session: 200 or 410.
+                    let body = format!(
+                        r#"{{"edits": [{{"op": "add_element", "layer": "NM",
+                            "shape": {{"box": [-20000, {0}, -18000, {1}]}}}}]}}"#,
+                        100_000 + (t * iters + i) as i64 * 3000,
+                        100_750 + (t * iters + i) as i64 * 3000,
+                    );
+                    let resp = app.oneshot(
+                        Request::new(Method::Post, &format!("/sessions/{id}/edits"))
+                            .with_body(body),
+                    );
+                    assert!(
+                        resp.status == StatusCode::OK || resp.status == StatusCode::GONE,
+                        "thread {t} iter {i}: edit {:?}",
+                        resp.status
+                    );
+                    json_body(resp); // bodies always parse
+                    let resp =
+                        app.oneshot(Request::new(Method::Delete, &format!("/sessions/{id}")));
+                    assert!(
+                        resp.status == StatusCode::OK || resp.status == StatusCode::GONE,
+                        "thread {t} iter {i}: close {:?}",
+                        resp.status
+                    );
+                }
+            });
+        }
+    });
+
+    // Deterministic coda: with the registry quiet, opening A then B
+    // makes B's sweep find A idle and over-budget — compact, still
+    // over, evict. The pressure path provably ran.
+    let a = open_session(&app, &chip.cif, r#"{"erc": false}"#);
+    let _b = open_session(&app, &chip.cif, r#"{"erc": false}"#);
+    assert_eq!(
+        get(&app, &format!("/sessions/{a}/report")).status,
+        StatusCode::GONE,
+        "the 1-byte budget must evict the idle LRU session"
+    );
+    let stats = json_body(get(&app, "/stats"));
+    let compactions = stats.get("compactions").and_then(Value::as_i64).unwrap();
+    let evicted = stats
+        .get("evicted_pressure")
+        .and_then(Value::as_i64)
+        .unwrap();
+    assert!(compactions > 0, "no sweep ever compacted: {stats}");
+    assert!(evicted > 0, "no sweep ever evicted: {stats}");
+}
+
+/// Sessions keep answering canonically after the sweep's
+/// [`CheckSession::compact_memory`] ran on them (the doc-promised
+/// service-level compaction test: interner eviction + handle remap
+/// must be invisible on the wire).
+#[test]
+fn service_sessions_survive_compaction() {
+    // A 1-byte budget makes every sweep compact (and want to evict)
+    // everything. Holding a pin across the sweep — exactly what an
+    // in-flight request does — lets compaction run on the session
+    // while forbidding its eviction.
+    let state = App::new(RegistryConfig {
+        memory_budget_bytes: 1,
+        ..RegistryConfig::default()
+    });
+    let app = router(Arc::clone(&state));
+    let chip = generate(&ChipSpec::clean(3, 1));
+    let layout = diic::cif::parse(&chip.cif).unwrap();
+    let tech = diic::tech::nmos::nmos_technology();
+    let mut oracle = CheckSession::new(layout, &tech, &CheckOptions::default());
+    let id = open_session(&app, &chip.cif, "{}");
+
+    let bounds = Rect::new(-2500, -6000, 3 * 6750 + 2500, 10000 + 2500);
+    let mut rng = StdRng::seed_from_u64(7);
+    for step in 0..5 {
+        // Sweep with the session pinned: compact_memory runs on it
+        // (the sweep takes the session mutex, not the pin), eviction
+        // is forbidden by the pin.
+        let pin = state.registry.pin(id).expect("session stays live");
+        state.registry.sweep();
+        drop(pin);
+
+        let edits = random_edit_set(oracle.layout(), bounds, step, &mut rng);
+        let body = wire::edit_set_to_json(&edits, oracle.layout()).to_string();
+        oracle.apply(&edits).expect("generated edits are valid");
+        let resp = post(&app, &format!("/sessions/{id}/edits"), body);
+        assert_eq!(resp.status, StatusCode::OK, "step {step}");
+        assert_report_streams(
+            &app,
+            id,
+            &render_canonical(&oracle.report().violations),
+            &format!("post-compaction step {step}"),
+        );
+    }
+    let stats = json_body(get(&app, "/stats"));
+    let compactions = stats.get("compactions").and_then(Value::as_i64).unwrap();
+    assert!(compactions >= 5, "every sweep must have compacted: {stats}");
+    assert_eq!(
+        stats.get("open_sessions").and_then(Value::as_i64),
+        Some(1),
+        "the pinned session must never be evicted: {stats}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Error paths.
+
+#[test]
+fn malformed_bodies_are_4xx_never_panics() {
+    let app = service();
+
+    // Not JSON at all.
+    let resp = post(&app, "/sessions", "{not json".to_string());
+    assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+    let body = json_body(resp);
+    assert_eq!(body.get("error").and_then(Value::as_str), Some("bad-json"));
+
+    // JSON of the wrong shape.
+    let resp = post(&app, "/sessions", r#"{"cif": 42}"#.to_string());
+    assert_eq!(resp.status, StatusCode::UNPROCESSABLE_ENTITY);
+
+    // Malformed CIF: a rendered parse diagnostic, not a panic.
+    let resp = post(
+        &app,
+        "/sessions",
+        r#"{"cif": "L NM; B oops; E"}"#.to_string(),
+    );
+    assert_eq!(resp.status, StatusCode::UNPROCESSABLE_ENTITY);
+    let body = json_body(resp);
+    assert_eq!(body.get("error").and_then(Value::as_str), Some("bad-cif"));
+
+    // Malformed deck: the body carries the caret-rendered DeckError.
+    let resp = post(
+        &app,
+        "/sessions",
+        r#"{"cif": "L NM; B 2000 750 1000 375; E", "deck": "layer NM metal {\n  width 750\n"}"#
+            .to_string(),
+    );
+    assert_eq!(resp.status, StatusCode::UNPROCESSABLE_ENTITY);
+    let body = json_body(resp);
+    assert_eq!(body.get("error").and_then(Value::as_str), Some("bad-deck"));
+    let detail = body.get("detail").and_then(Value::as_str).unwrap();
+    assert!(
+        detail.contains("deck") && detail.contains('^'),
+        "expected a caret-rendered deck diagnostic, got: {detail}"
+    );
+
+    // Unknown option key.
+    let resp = post(
+        &app,
+        "/sessions",
+        r#"{"cif": "E", "options": {"paralellism": 2}}"#.to_string(),
+    );
+    assert_eq!(resp.status, StatusCode::UNPROCESSABLE_ENTITY);
+
+    // Bad edit bodies against a real session.
+    let id = open_session(&app, "L NM; B 2000 750 1000 375; E", "{}");
+    for (body, want) in [
+        ("{", StatusCode::BAD_REQUEST),
+        (r#"{"edits": 7}"#, StatusCode::UNPROCESSABLE_ENTITY),
+        (
+            r#"{"edits": [{"op": "transmogrify"}]}"#,
+            StatusCode::UNPROCESSABLE_ENTITY,
+        ),
+        (
+            // Valid shape, out-of-bounds index: rejected by apply(),
+            // session untouched.
+            r#"{"edits": [{"op": "remove", "index": 99}]}"#,
+            StatusCode::UNPROCESSABLE_ENTITY,
+        ),
+    ] {
+        let resp = post(&app, &format!("/sessions/{id}/edits"), body.to_string());
+        assert_eq!(resp.status, want, "body {body:?}");
+        json_body(resp); // always a JSON error body
+    }
+    // The rejected edits left the session serving.
+    assert_eq!(
+        get(&app, &format!("/sessions/{id}/report")).status,
+        StatusCode::OK
+    );
+}
+
+#[test]
+fn session_id_space_discriminates_404_from_410() {
+    let app = service();
+    // Never issued.
+    assert_eq!(
+        get(&app, "/sessions/999/report").status,
+        StatusCode::NOT_FOUND
+    );
+    assert_eq!(
+        get(&app, "/sessions/banana/report").status,
+        StatusCode::NOT_FOUND
+    );
+    // Issued, then deleted → 410 everywhere.
+    let id = open_session(&app, "L NM; B 2000 750 1000 375; E", "{}");
+    let resp = app.oneshot(Request::new(Method::Delete, &format!("/sessions/{id}")));
+    assert_eq!(resp.status, StatusCode::OK);
+    assert_eq!(
+        get(&app, &format!("/sessions/{id}/report")).status,
+        StatusCode::GONE
+    );
+    let resp = post(
+        &app,
+        &format!("/sessions/{id}/edits"),
+        r#"{"edits": []}"#.to_string(),
+    );
+    assert_eq!(resp.status, StatusCode::GONE);
+    let resp = app.oneshot(Request::new(Method::Delete, &format!("/sessions/{id}")));
+    assert_eq!(resp.status, StatusCode::GONE, "double delete");
+
+    // Evicted (capacity pressure) → same 410.
+    let app = router(App::new(RegistryConfig {
+        max_sessions: 1,
+        ..RegistryConfig::default()
+    }));
+    let first = open_session(&app, "L NM; B 2000 750 1000 375; E", "{}");
+    let _second = open_session(&app, "L NM; B 2000 750 1000 375; E", "{}");
+    let _third = open_session(&app, "L NM; B 2000 750 1000 375; E", "{}");
+    assert_eq!(
+        get(&app, &format!("/sessions/{first}/report")).status,
+        StatusCode::GONE,
+        "the LRU session must have been evicted"
+    );
+}
+
+/// A client hanging up mid-stream: the body writer hits the I/O error
+/// (the sink latches it), the pin drops, and the session keeps
+/// serving canonical bytes — the registry is not poisoned.
+#[test]
+fn client_disconnect_mid_stream_does_not_poison_the_session() {
+    /// A connection that dies after a few bytes.
+    struct Hangup {
+        left: usize,
+    }
+    impl std::io::Write for Hangup {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.left == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "client hung up",
+                ));
+            }
+            let n = buf.len().min(self.left);
+            self.left -= n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let app = service();
+    // A chip with real violations so the report has bytes to truncate.
+    let chip = generate(&ChipSpec::with_errors(
+        2,
+        1,
+        vec![ErrorKind::CloseSpacing, ErrorKind::NarrowWire],
+        11,
+    ));
+    let id = open_session(&app, &chip.cif, "{}");
+
+    let expected = {
+        let resp = get(&app, &format!("/sessions/{id}/report"));
+        String::from_utf8(resp.into_bytes().unwrap()).unwrap()
+    };
+    assert!(!expected.is_empty(), "need a non-empty report to truncate");
+
+    for query in ["", "?spill_budget=1"] {
+        let resp = get(&app, &format!("/sessions/{id}/report{query}"));
+        assert_eq!(resp.status, StatusCode::OK);
+        let Body::Writer(writer) = resp.body else {
+            panic!("report bodies stream");
+        };
+        let err = writer(&mut Hangup { left: 8 });
+        assert!(err.is_err(), "the latched sink error must surface");
+    }
+
+    // The session still answers, bytes still canonical.
+    let resp = get(&app, &format!("/sessions/{id}/report"));
+    assert_eq!(resp.status, StatusCode::OK);
+    assert_eq!(
+        String::from_utf8(resp.into_bytes().unwrap()).unwrap(),
+        expected,
+        "a hung-up stream must not corrupt later ones"
+    );
+    // And the registry still takes edits for it.
+    let resp = post(
+        &app,
+        &format!("/sessions/{id}/edits"),
+        r#"{"edits": [{"op": "move", "index": 0, "by": [0, 40]}]}"#.to_string(),
+    );
+    assert_eq!(resp.status, StatusCode::OK);
+}
+
+/// The service-wide admission bound sheds with 503 — while the
+/// diagnostic endpoints stay reachable — and a released permit admits
+/// the next request.
+#[test]
+fn overload_sheds_with_503_and_recovers() {
+    let app = router(App::new(RegistryConfig {
+        max_concurrent_requests: 0,
+        ..RegistryConfig::default()
+    }));
+    let resp = post(
+        &app,
+        "/sessions",
+        r#"{"cif": "L NM; B 2000 750 1000 375; E"}"#.to_string(),
+    );
+    assert_eq!(resp.status, StatusCode::SERVICE_UNAVAILABLE);
+    let body = json_body(resp);
+    assert_eq!(
+        body.get("error").and_then(Value::as_str),
+        Some("overloaded")
+    );
+    // Liveness and stats never shed: an operator can always see why.
+    assert_eq!(get(&app, "/healthz").status, StatusCode::OK);
+    assert_eq!(get(&app, "/stats").status, StatusCode::OK);
+
+    // A budget of one serves any number of *sequential* requests: the
+    // permit drops with each response (shedding would mean a leak).
+    let app = router(App::new(RegistryConfig {
+        max_concurrent_requests: 1,
+        ..RegistryConfig::default()
+    }));
+    let id = open_session(&app, "L NM; B 2000 750 1000 375; E", "{}");
+    for _ in 0..3 {
+        let resp = get(&app, &format!("/sessions/{id}/report"));
+        assert_eq!(resp.status, StatusCode::OK, "permit leaked");
+        resp.into_bytes().unwrap(); // the streamed body carries the permit
+    }
+}
